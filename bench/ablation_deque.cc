@@ -1,0 +1,43 @@
+// Design-choice ablation (DESIGN.md §5.4): MAK's leveled deque (curiosity
+// folded into the action space) vs a single flat deque where interacted
+// elements return to level 0 and compete with fresh discoveries.
+#include <cstdio>
+#include <iostream>
+
+#include "harness/aggregate.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "support/strings.h"
+
+int main() {
+  using namespace mak;
+  using harness::CrawlerKind;
+
+  const harness::Protocol protocol = harness::protocol_from_env();
+  std::printf(
+      "Deque ablation: leveled deque vs flat deque\n"
+      "protocol: %zu repetitions, %lld virtual minutes per run\n\n",
+      protocol.repetitions,
+      static_cast<long long>(protocol.run.budget /
+                             support::kMillisPerMinute));
+
+  harness::TextTable table(
+      {"Application", "MAK (leveled)", "MAK (flat deque)"});
+  for (const apps::AppInfo* info : apps::php_apps()) {
+    std::vector<std::string> row = {info->name};
+    for (const CrawlerKind kind :
+         {CrawlerKind::kMak, CrawlerKind::kMakFlatDeque}) {
+      const auto runs = harness::run_repeated(*info, kind, protocol.run,
+                                              protocol.repetitions);
+      row.push_back(support::format_thousands(
+          static_cast<std::int64_t>(harness::mean_covered(runs))));
+    }
+    table.add_row(std::move(row));
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nexpected: the leveled deque guarantees breadth of first visits; the "
+      "flat deque re-serves old elements and loses coverage.\n");
+  return 0;
+}

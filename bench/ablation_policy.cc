@@ -1,0 +1,115 @@
+// Design-choice ablation (DESIGN.md §5.3): the Exp3.1 policy vs fixed-gamma
+// Exp3 and epsilon-greedy.
+//
+// Part 1 — controlled bandit: a piecewise-stationary 3-armed adversarial
+// bandit whose best arm rotates every `phase` steps. Exp3.1's epoch resets
+// let it track the rotation; epsilon-greedy's stationary means cannot.
+//
+// Part 2 — end-to-end: the same three policies inside MAK on the PHP apps.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "harness/aggregate.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "rl/epsilon_greedy.h"
+#include "rl/thompson.h"
+#include "rl/ucb.h"
+#include "rl/exp3.h"
+#include "support/strings.h"
+
+namespace {
+
+// Expected reward of `arm` at time t: the good arm pays 0.9, others 0.1.
+double arm_reward(std::size_t arm, std::size_t t, std::size_t phase,
+                  mak::support::Rng& rng) {
+  const std::size_t good = (t / phase) % 3;
+  const double p = arm == good ? 0.9 : 0.1;
+  return rng.chance(p) ? 1.0 : 0.0;
+}
+
+double play(mak::rl::BanditPolicy& policy, std::size_t horizon,
+            std::size_t phase, std::uint64_t seed) {
+  mak::support::Rng rng(seed);
+  double total = 0.0;
+  for (std::size_t t = 0; t < horizon; ++t) {
+    const std::size_t arm = policy.choose(rng);
+    const double r = arm_reward(arm, t, phase, rng);
+    policy.update(arm, r);
+    total += r;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mak;
+
+  // ---- Part 1: piecewise-stationary bandit ----
+  constexpr std::size_t kHorizon = 30000;
+  constexpr std::size_t kPhase = 3000;
+  constexpr std::size_t kTrials = 10;
+  std::printf(
+      "Policy ablation, part 1: piecewise-stationary 3-armed bandit\n"
+      "(horizon %zu, best arm rotates every %zu steps, %zu trials)\n\n",
+      kHorizon, kPhase, kTrials);
+
+  double exp31_total = 0.0;
+  double exp3_total = 0.0;
+  double eps_total = 0.0;
+  double ucb_total = 0.0;
+  double thompson_total = 0.0;
+  double oracle_total = 0.9 * static_cast<double>(kHorizon);
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    rl::Exp31 exp31(3);
+    rl::Exp3 exp3(3, 0.1);
+    rl::EpsilonGreedy eps(3, 0.1);
+    rl::Ucb1 ucb(3);
+    rl::ThompsonSampling thompson(3);
+    exp31_total += play(exp31, kHorizon, kPhase, 100 + trial);
+    exp3_total += play(exp3, kHorizon, kPhase, 100 + trial);
+    eps_total += play(eps, kHorizon, kPhase, 100 + trial);
+    ucb_total += play(ucb, kHorizon, kPhase, 100 + trial);
+    thompson_total += play(thompson, kHorizon, kPhase, 100 + trial);
+  }
+  std::printf("  oracle (always best arm):  %.0f expected\n", oracle_total);
+  std::printf("  Exp3.1:                    %.0f\n",
+              exp31_total / kTrials);
+  std::printf("  Exp3 (gamma=0.1):          %.0f\n", exp3_total / kTrials);
+  std::printf("  epsilon-greedy (eps=0.1):  %.0f\n", eps_total / kTrials);
+  std::printf("  UCB1 (stochastic MAB):     %.0f\n", ucb_total / kTrials);
+  std::printf("  Thompson sampling:         %.0f\n\n",
+              thompson_total / kTrials);
+
+  // ---- Part 2: inside MAK on the PHP apps ----
+  using harness::CrawlerKind;
+  const harness::Protocol protocol = harness::protocol_from_env();
+  const CrawlerKind variants[] = {CrawlerKind::kMak,
+                                  CrawlerKind::kMakExp3Fixed,
+                                  CrawlerKind::kMakEpsilonGreedy,
+                                  CrawlerKind::kMakUcb1,
+                                  CrawlerKind::kMakThompson};
+  std::printf(
+      "Policy ablation, part 2: mean covered lines on the PHP apps "
+      "(%zu reps x %lld virtual minutes)\n\n",
+      protocol.repetitions,
+      static_cast<long long>(protocol.run.budget /
+                             support::kMillisPerMinute));
+  harness::TextTable table({"Application", "MAK (Exp3.1)", "Exp3 fixed",
+                            "eps-greedy", "UCB1", "Thompson"});
+  for (const apps::AppInfo* info : apps::php_apps()) {
+    std::vector<std::string> row = {info->name};
+    for (const CrawlerKind kind : variants) {
+      const auto runs = harness::run_repeated(*info, kind, protocol.run,
+                                              protocol.repetitions);
+      row.push_back(support::format_thousands(
+          static_cast<std::int64_t>(harness::mean_covered(runs))));
+    }
+    table.add_row(std::move(row));
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+  return 0;
+}

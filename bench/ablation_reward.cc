@@ -1,0 +1,48 @@
+// Design-choice ablation (DESIGN.md §5.2): MAK's standardized link-coverage
+// reward vs (a) the raw, unstandardized increment and (b) a count-based
+// curiosity reward, holding everything else fixed.
+#include <cstdio>
+#include <iostream>
+
+#include "harness/aggregate.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "support/strings.h"
+
+int main() {
+  using namespace mak;
+  using harness::CrawlerKind;
+
+  const harness::Protocol protocol = harness::protocol_from_env();
+  const CrawlerKind variants[] = {CrawlerKind::kMak,
+                                  CrawlerKind::kMakRawReward,
+                                  CrawlerKind::kMakCuriosityReward,
+                                  CrawlerKind::kMakDomNovelty};
+
+  std::printf(
+      "Reward ablation: standardized link coverage vs raw vs curiosity\n"
+      "protocol: %zu repetitions, %lld virtual minutes per run\n\n",
+      protocol.repetitions,
+      static_cast<long long>(protocol.run.budget /
+                             support::kMillisPerMinute));
+
+  harness::TextTable table({"Application", "MAK (standardized)",
+                            "MAK raw reward", "MAK curiosity",
+                            "MAK DOM novelty"});
+  for (const apps::AppInfo* info : apps::php_apps()) {
+    std::vector<std::string> row = {info->name};
+    for (const CrawlerKind kind : variants) {
+      const auto runs = harness::run_repeated(*info, kind, protocol.run,
+                                              protocol.repetitions);
+      row.push_back(support::format_thousands(
+          static_cast<std::int64_t>(harness::mean_covered(runs))));
+    }
+    table.add_row(std::move(row));
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nexpected: the standardized reward matches or beats both variants; "
+      "curiosity is the weakest on search/trap-heavy apps.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Tests the paper's framework assumption (iii): leaving WebExplor's DFA
+// guidance out "does not overly penalize WebExplor, because the authors show
+// that WebExplor with and without DFA converges to around the same code
+// coverage in 30 minutes".
+//
+// We implement the DFA (shortest recorded transition path toward a state
+// with untried actions, engaged after a stagnation streak) and compare.
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/webexplor.h"
+#include "core/browser.h"
+#include "harness/aggregate.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "httpsim/network.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace mak;
+
+struct DfaRun {
+  std::size_t covered = 0;
+  std::size_t activations = 0;
+  std::size_t guided_steps = 0;
+};
+
+DfaRun run_webexplor(const apps::AppInfo& info, bool with_dfa,
+                     support::VirtualMillis budget, std::uint64_t seed) {
+  auto app = info.factory();
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  network.register_host(app->host(), *app);
+  support::Rng master(seed);
+  core::Browser browser(network, app->seed_url(), master.fork());
+  baselines::WebExplorConfig config;
+  config.enable_dfa = with_dfa;
+  baselines::WebExplorCrawler crawler(master.fork(), config);
+  crawler.start(browser);
+  const support::Deadline deadline(clock, budget);
+  while (!deadline.expired()) {
+    clock.advance(700);
+    crawler.step(browser);
+  }
+  return DfaRun{app->tracker().covered_lines(),
+                crawler.guidance_activations(), crawler.guided_steps()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace mak;
+
+  const harness::Protocol protocol = harness::protocol_from_env();
+  std::printf(
+      "WebExplor DFA ablation (assumption (iii) of the paper)\n"
+      "protocol: %zu repetitions, %lld virtual minutes per run\n\n",
+      protocol.repetitions,
+      static_cast<long long>(protocol.run.budget /
+                             support::kMillisPerMinute));
+
+  harness::TextTable table({"Application", "WebExplor", "WebExplor+DFA",
+                            "delta %", "DFA plans", "guided steps"});
+  for (const apps::AppInfo* info : apps::php_apps()) {
+    double without_total = 0.0;
+    double with_total = 0.0;
+    double activations = 0.0;
+    double guided = 0.0;
+    for (std::size_t rep = 0; rep < protocol.repetitions; ++rep) {
+      const auto seed = support::mix64(0xdfa0 + rep);
+      without_total += static_cast<double>(
+          run_webexplor(*info, false, protocol.run.budget, seed).covered);
+      const auto with_dfa =
+          run_webexplor(*info, true, protocol.run.budget, seed);
+      with_total += static_cast<double>(with_dfa.covered);
+      activations += static_cast<double>(with_dfa.activations);
+      guided += static_cast<double>(with_dfa.guided_steps);
+    }
+    const double reps = static_cast<double>(protocol.repetitions);
+    const double without_mean = without_total / reps;
+    const double with_mean = with_total / reps;
+    table.add_row(
+        {info->name,
+         support::format_thousands(static_cast<std::int64_t>(without_mean)),
+         support::format_thousands(static_cast<std::int64_t>(with_mean)),
+         support::format_fixed(
+             100.0 * (with_mean - without_mean) / without_mean, 1),
+         support::format_fixed(activations / reps, 0),
+         support::format_fixed(guided / reps, 0)});
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\npaper's justification holds if |delta| stays small: the DFA\n"
+      "changes WHERE WebExplor wanders, not how much it covers in 30\n"
+      "minutes.\n");
+  return 0;
+}

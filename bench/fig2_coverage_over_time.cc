@@ -1,0 +1,114 @@
+// Reproduces Figure 2: mean and standard deviation of code coverage over 30
+// minutes for QExplore, WebExplor and MAK on the 8 PHP applications.
+//
+// Only PHP apps appear here, mirroring the paper: Xdebug can sample coverage
+// at any time during execution, coverage-node cannot (Section V-A.3).
+// Output: one CSV block per application with columns
+//   time_s, <crawler>_mean, <crawler>_std ...
+// plus a convergence summary (time to reach 95% of the crawler's own final
+// coverage).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/aggregate.h"
+#include "harness/experiment.h"
+#include "support/strings.h"
+
+int main() {
+  using namespace mak;
+  using harness::CrawlerKind;
+
+  const harness::Protocol protocol = harness::protocol_from_env();
+  const CrawlerKind crawlers[] = {CrawlerKind::kQExplore,
+                                  CrawlerKind::kWebExplor, CrawlerKind::kMak};
+
+  std::printf(
+      "Figure 2: code coverage over time (mean/std over %zu runs of %lld "
+      "virtual minutes)\n\n",
+      protocol.repetitions,
+      static_cast<long long>(protocol.run.budget /
+                             support::kMillisPerMinute));
+
+  for (const apps::AppInfo* info : apps::php_apps()) {
+    std::vector<harness::CoverageCurve> curves;
+    std::vector<std::string> names;
+    for (const CrawlerKind kind : crawlers) {
+      const auto runs = harness::run_repeated(*info, kind, protocol.run,
+                                              protocol.repetitions);
+      curves.push_back(harness::aggregate_series(runs));
+      names.emplace_back(to_string(kind));
+    }
+
+    std::printf("== %s ==\n", info->name.c_str());
+    std::printf("time_s");
+    for (const auto& name : names) {
+      std::printf(",%s_mean,%s_std", name.c_str(), name.c_str());
+    }
+    std::printf("\n");
+    const std::size_t points = curves.front().times.size();
+    for (std::size_t i = 0; i < points; ++i) {
+      std::printf("%lld", static_cast<long long>(curves.front().times[i] /
+                                                 support::kMillisPerSecond));
+      for (const auto& curve : curves) {
+        std::printf(",%.0f,%.0f",
+                    i < curve.mean.size() ? curve.mean[i] : 0.0,
+                    i < curve.stddev.size() ? curve.stddev[i] : 0.0);
+      }
+      std::printf("\n");
+    }
+
+    // Convergence summary: first sample time where a crawler reaches 95% of
+    // its own final mean coverage (the paper highlights MAK converging on
+    // PhpBB2 in under six minutes).
+    std::printf("# convergence to 95%% of own final coverage:");
+    for (std::size_t c = 0; c < curves.size(); ++c) {
+      const auto& curve = curves[c];
+      const double target = 0.95 * curve.mean.back();
+      long long when = -1;
+      for (std::size_t i = 0; i < curve.mean.size(); ++i) {
+        if (curve.mean[i] >= target) {
+          when = curve.times[i] / support::kMillisPerSecond;
+          break;
+        }
+      }
+      std::printf(" %s=%llds", names[c].c_str(), when);
+    }
+    // The paper's headline convergence claim: MAK reaches the best
+    // baseline's FINAL coverage early in the run (PhpBB2: < 6 minutes).
+    {
+      const auto& mak = curves.back();  // crawlers[] ends with MAK
+      double best_baseline_final = 0.0;
+      for (std::size_t c = 0; c + 1 < curves.size(); ++c) {
+        best_baseline_final =
+            std::max(best_baseline_final, curves[c].mean.back());
+      }
+      long long when = -1;
+      for (std::size_t i = 0; i < mak.mean.size(); ++i) {
+        if (mak.mean[i] >= best_baseline_final) {
+          when = mak.times[i] / support::kMillisPerSecond;
+          break;
+        }
+      }
+      std::printf("\n# MAK surpasses the best baseline's final coverage at: "
+                  "%llds",
+                  when);
+    }
+    std::printf("\n# final mean coverage:");
+    for (std::size_t c = 0; c < curves.size(); ++c) {
+      std::printf(" %s=%s", names[c].c_str(),
+                  support::format_thousands(
+                      static_cast<std::int64_t>(curves[c].mean.back()))
+                      .c_str());
+    }
+    std::printf("\n\n");
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "paper (Figure 2): MAK consistently above both baselines, e.g. Drupal "
+      "50,445 vs 45,761 mean lines (+4,684), and converges faster "
+      "(PhpBB2 peak in <6 minutes).\n");
+  return 0;
+}

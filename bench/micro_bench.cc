@@ -1,0 +1,105 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the framework:
+// Exp3.1 steps, leveled-deque operations, HTML tokenize/parse/extract, URL
+// parsing/resolution, and a full simulated crawl step.
+#include <benchmark/benchmark.h>
+
+#include "apps/catalog.h"
+#include "core/browser.h"
+#include "core/frontier.h"
+#include "core/mak.h"
+#include "html/interactables.h"
+#include "html/parser.h"
+#include "httpsim/network.h"
+#include "rl/exp3.h"
+#include "support/rng.h"
+#include "url/url.h"
+
+namespace {
+
+using namespace mak;
+
+void BM_Exp31Step(benchmark::State& state) {
+  rl::Exp31 policy(3);
+  support::Rng rng(1);
+  for (auto _ : state) {
+    const std::size_t arm = policy.choose(rng);
+    policy.update(arm, rng.uniform01());
+  }
+}
+BENCHMARK(BM_Exp31Step);
+
+void BM_LeveledDequePushTake(benchmark::State& state) {
+  support::Rng rng(2);
+  std::size_t i = 0;
+  core::LeveledDeque deque;
+  for (auto _ : state) {
+    core::ResolvedAction action;
+    action.element.kind = html::InteractableKind::kLink;
+    action.element.method = "GET";
+    action.target = *url::parse("http://h.test/p/" + std::to_string(i++));
+    deque.push(action);
+    if (auto taken = deque.take(core::Arm::kRandom, rng)) {
+      deque.requeue(*taken);
+    }
+  }
+}
+BENCHMARK(BM_LeveledDequePushTake);
+
+std::string sample_page() {
+  auto app = apps::make_addressbook();
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  network.register_host(app->host(), *app);
+  httpsim::CookieJar jar;
+  auto fetched = network.fetch(httpsim::Method::kGet, app->seed_url(),
+                               url::QueryMap{}, jar);
+  return fetched.response.body;
+}
+
+void BM_HtmlParse(benchmark::State& state) {
+  const std::string body = sample_page();
+  for (auto _ : state) {
+    auto doc = html::parse(body);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(body.size()));
+}
+BENCHMARK(BM_HtmlParse);
+
+void BM_ExtractInteractables(benchmark::State& state) {
+  const auto doc = html::parse(sample_page());
+  for (auto _ : state) {
+    auto items = html::extract_interactables(doc);
+    benchmark::DoNotOptimize(items);
+  }
+}
+BENCHMARK(BM_ExtractInteractables);
+
+void BM_UrlParseResolve(benchmark::State& state) {
+  const auto base = *url::parse("http://app.test/shop/product/7?page=2");
+  for (auto _ : state) {
+    auto resolved = url::resolve(base, "../cart?item=3#frag");
+    benchmark::DoNotOptimize(resolved);
+  }
+}
+BENCHMARK(BM_UrlParseResolve);
+
+void BM_FullCrawlStep(benchmark::State& state) {
+  auto app = apps::make_addressbook();
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  network.register_host(app->host(), *app);
+  support::Rng master(3);
+  core::Browser browser(network, app->seed_url(), master.fork());
+  auto crawler = core::make_mak(master.fork());
+  crawler->start(browser);
+  for (auto _ : state) {
+    crawler->step(browser);
+  }
+}
+BENCHMARK(BM_FullCrawlStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

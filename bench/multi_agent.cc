@@ -1,0 +1,120 @@
+// Extension bench (paper Section VI): does the stateless design compose
+// into a multi-agent ensemble?
+//
+// A MakTeam of N agents shares the leveled deque and link ledger while each
+// agent keeps its own browser session and Exp3.1 policy. With agents
+// modelled as parallel workers, a 30-minute wall-clock budget gives the
+// team N x the single-agent interaction volume; we report coverage for
+// N in {1, 2, 4} against (a) single MAK at 30 minutes and (b) single MAK
+// given the same TOTAL budget (N x 30 minutes) — separating the parallel
+// speed-up from genuine ensemble effects (session diversity).
+#include <cstdio>
+#include <iostream>
+
+#include "apps/catalog.h"
+#include "core/mak.h"
+#include "core/mak_team.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "httpsim/network.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace mak;
+
+std::size_t run_team_once(const apps::AppInfo& info, std::size_t agents,
+                          support::VirtualMillis wall_budget,
+                          std::uint64_t seed) {
+  auto app = info.factory();
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  network.register_host(app->host(), *app);
+  core::MakTeam team(network, app->seed_url(), support::Rng(seed),
+                     core::MakTeamConfig{.agent_count = agents});
+  team.start();
+  // Round-robin over N parallel workers: the shared clock accumulates all
+  // agents' fetch time, so N agents within wall budget T = clock budget NxT.
+  const support::Deadline deadline(
+      clock, wall_budget * static_cast<support::VirtualMillis>(agents));
+  while (!deadline.expired()) {
+    clock.advance(700 / static_cast<support::VirtualMillis>(agents));
+    team.step();
+  }
+  return app->tracker().covered_lines();
+}
+
+std::size_t run_single_once(const apps::AppInfo& info,
+                            support::VirtualMillis budget,
+                            std::uint64_t seed) {
+  harness::RunConfig config;
+  config.budget = budget;
+  config.seed = seed;
+  return harness::run_once(info, harness::CrawlerKind::kMak, config)
+      .final_covered_lines;
+}
+
+constexpr std::size_t kReps = 5;
+
+double run_team(const apps::AppInfo& info, std::size_t agents,
+                support::VirtualMillis wall_budget) {
+  double total = 0.0;
+  for (std::size_t rep = 0; rep < kReps; ++rep) {
+    total += static_cast<double>(
+        run_team_once(info, agents, wall_budget, 0x7e40 + rep));
+  }
+  return total / kReps;
+}
+
+double run_single(const apps::AppInfo& info, support::VirtualMillis budget) {
+  double total = 0.0;
+  for (std::size_t rep = 0; rep < kReps; ++rep) {
+    total += static_cast<double>(
+        run_single_once(info, budget, 0x7e40 + rep));
+  }
+  return total / kReps;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mak;
+
+  const support::VirtualMillis wall = 30 * support::kMillisPerMinute;
+  const char* app_names[] = {"Drupal", "WordPress", "HotCRP", "PhpBB2"};
+
+  std::printf(
+      "Multi-agent MAK (30 wall-clock minutes; agents run in parallel)\n\n");
+  harness::TextTable table({"Application", "MAK x1", "team x2", "team x4",
+                            "single, 2x budget", "single, 4x budget",
+                            "total lines"});
+  for (const char* app_name : app_names) {
+    const apps::AppInfo* info = nullptr;
+    for (const auto& candidate : apps::app_catalog()) {
+      if (candidate.name == app_name) info = &candidate;
+    }
+    const auto total = info->factory()->code_model().total_lines();
+    table.add_row(
+        {app_name,
+         support::format_thousands(
+             static_cast<std::int64_t>(run_single(*info, wall))),
+         support::format_thousands(
+             static_cast<std::int64_t>(run_team(*info, 2, wall))),
+         support::format_thousands(
+             static_cast<std::int64_t>(run_team(*info, 4, wall))),
+         support::format_thousands(
+             static_cast<std::int64_t>(run_single(*info, 2 * wall))),
+         support::format_thousands(
+             static_cast<std::int64_t>(run_single(*info, 4 * wall))),
+         support::format_thousands(static_cast<std::int64_t>(total))});
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nobserved trade-off: the shared frontier parallelizes cleanly on\n"
+      "content-heavy apps, but per-agent sessions FRAGMENT stateful flows —\n"
+      "an element unlocked by one agent's session may be consumed by an\n"
+      "agent that cannot use it. Coordinating session state is the open\n"
+      "problem for the ensemble extension.\n");
+  return 0;
+}

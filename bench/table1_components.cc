@@ -1,0 +1,24 @@
+// Prints Table I: the component summary of the reviewed RL-based crawlers
+// and MAK, cross-checked against the framework's actual instantiations.
+#include <iostream>
+
+#include "harness/report.h"
+
+int main() {
+  mak::harness::TextTable table({"Tool", "State Abstraction",
+                                 "Action Definition", "Reward",
+                                 "Policy Update", "Action Selection"});
+  table.add_row({"WebExplor", "URL + sequence of HTML tags",
+                 "interactable DOM elements", "Curiosity",
+                 "Q-Learning update", "Gumbel-softmax"});
+  table.add_row({"QExplore",
+                 "Sequence of attribute values of interactable DOM elements",
+                 "interactable DOM elements", "Curiosity",
+                 "Modified Q-Learning update", "Maximum Q-value"});
+  table.add_row({"MAK", "Stateless", "Head, Tail, Random", "Link coverage",
+                 "Exp3.1", "Exp3.1"});
+  table.print(std::cout);
+  std::cout << "\nimplementations: src/baselines/webexplor.{h,cc}, "
+               "src/baselines/qexplore.{h,cc}, src/core/mak.{h,cc}\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Table II: estimated mean code coverage of MAK, WebExplor and
+// QExplore on the 11 testbed applications.
+//
+// Protocol (Section V-A): 10 repetitions x 30 virtual minutes per
+// app/crawler pair. Ground truth per app: union of lines covered by all
+// crawlers across all runs (PHP / Xdebug) or the declared total line count
+// (Node.js / coverage-node). Override the protocol with MAK_REPS,
+// MAK_BUDGET_MINUTES, MAK_SAMPLE_SECONDS.
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "harness/aggregate.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "support/strings.h"
+
+int main() {
+  using namespace mak;
+  using harness::CrawlerKind;
+
+  const harness::Protocol protocol = harness::protocol_from_env();
+  const CrawlerKind crawlers[] = {CrawlerKind::kMak, CrawlerKind::kWebExplor,
+                                  CrawlerKind::kQExplore};
+
+  std::printf(
+      "Table II: estimated mean code coverage (%% of ground truth)\n"
+      "protocol: %zu repetitions, %lld virtual minutes per run\n\n",
+      protocol.repetitions,
+      static_cast<long long>(protocol.run.budget /
+                             support::kMillisPerMinute));
+
+  harness::TextTable table(
+      {"Application", "MAK", "WebExplor", "QExplore", "ground truth"});
+
+  for (const auto& info : apps::app_catalog()) {
+    std::vector<std::vector<harness::RunResult>> all_runs;
+    for (const CrawlerKind kind : crawlers) {
+      all_runs.push_back(harness::run_repeated(info, kind, protocol.run,
+                                               protocol.repetitions));
+    }
+    const std::size_t ground_truth = harness::estimate_ground_truth(all_runs);
+    std::vector<std::string> row = {info.name};
+    for (const auto& runs : all_runs) {
+      row.push_back(support::format_fixed(
+                        harness::mean_coverage_percent(runs, ground_truth), 1) +
+                    "%");
+    }
+    row.push_back(support::format_thousands(
+        static_cast<std::int64_t>(ground_truth)));
+    table.add_row(std::move(row));
+    std::fflush(stdout);
+  }
+
+  table.print(std::cout);
+  std::printf(
+      "\npaper (Table II): MAK wins on every application; e.g. HotCRP "
+      "87.3%% vs 77.2%% (WebExplor) vs 71.2%% (QExplore).\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Tutorial: implementing a NEW RL-based crawler on the unified framework.
+//
+// The framework (core::RlCrawlerBase) is the paper's Algorithm 2 with its
+// six building blocks as virtual functions. This example builds
+// "GreedyNovelty": a page-local crawler that
+//   * abstracts state as the page URL's path (coarser than WebExplor),
+//   * rewards actions by the number of never-seen-before links they reveal,
+//   * learns with plain epsilon-greedy Q-values.
+// It is deliberately simple — the point is how little code a new crawler
+// needs — and the example races it against MAK on one app.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+#include "apps/catalog.h"
+#include "core/browser.h"
+#include "core/crawler.h"
+#include "core/mak.h"
+#include "httpsim/network.h"
+#include "rl/qlearning.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace mak;
+
+class GreedyNoveltyCrawler final : public core::RlCrawlerBase {
+ public:
+  explicit GreedyNoveltyCrawler(support::Rng rng)
+      : RlCrawlerBase(std::move(rng)) {}
+
+  std::string_view name() const override { return "GreedyNovelty"; }
+
+ protected:
+  // GET_STATE: hash of the URL path only (queries collapse into one state).
+  rl::StateId get_state(const core::Page& page) override {
+    return support::fnv1a(page.url.path);
+  }
+
+  // GET_ACTIONS: the current page's interactables.
+  std::size_t action_count(const core::Page& page) override {
+    return page.actions.size();
+  }
+
+  // CHOOSE_ACTION: epsilon-greedy over the state's Q-row.
+  std::size_t choose_action(rl::StateId state, const core::Page&,
+                            std::size_t n_actions) override {
+    qtable_.touch(state, n_actions);
+    if (rng().chance(0.15)) return rng().next_below(n_actions);
+    return qtable_.argmax_action(state, n_actions, rng());
+  }
+
+  // EXECUTE: drive the shared browser.
+  core::InteractionResult execute(core::Browser& browser,
+                                  std::size_t action) override {
+    const core::ResolvedAction chosen = browser.page().actions.at(action);
+    return browser.interact(chosen);
+  }
+
+  // GET_REWARD: the extrinsic link-novelty signal, clamped to [0, 1].
+  double get_reward(rl::StateId, std::size_t, const core::InteractionResult&,
+                    rl::StateId, const core::Page&) override {
+    return std::min(1.0, static_cast<double>(last_link_increment()) / 5.0);
+  }
+
+  // UPDATE_POLICY: one Bellman backup.
+  void update_policy(rl::StateId state, std::size_t action, double reward,
+                     rl::StateId next_state,
+                     const core::Page& next_page) override {
+    qtable_.touch(next_state, next_page.actions.size());
+    qtable_.bellman_update(state, action, reward, next_state);
+  }
+
+ private:
+  rl::QTable qtable_{{.alpha = 0.4, .gamma = 0.7, .initial_q = 2.0}};
+};
+
+std::size_t crawl(core::Crawler& crawler, apps::SyntheticApp& app,
+                  std::size_t steps) {
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  network.register_host(app.host(), app);
+  support::Rng rng(2024);
+  core::Browser browser(network, app.seed_url(), rng.fork());
+  crawler.start(browser);
+  for (std::size_t i = 0; i < steps; ++i) crawler.step(browser);
+  return app.tracker().covered_lines();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string app_name = argc > 1 ? argv[1] : "PhpBB2";
+  constexpr std::size_t kSteps = 900;
+
+  auto app_for_custom = mak::apps::make_app(app_name);
+  GreedyNoveltyCrawler custom{mak::support::Rng(1)};
+  const std::size_t custom_lines = crawl(custom, *app_for_custom, kSteps);
+
+  auto app_for_mak = mak::apps::make_app(app_name);
+  auto makc = mak::core::make_mak(mak::support::Rng(1));
+  const std::size_t mak_lines = crawl(*makc, *app_for_mak, kSteps);
+
+  const auto total = app_for_mak->code_model().total_lines();
+  std::printf("%s, %zu interactions each:\n", app_name.c_str(), kSteps);
+  std::printf("  GreedyNovelty (this example):  %6zu / %zu lines (%.1f%%)\n",
+              custom_lines, total, 100.0 * custom_lines / total);
+  std::printf("  MAK (paper):                   %6zu / %zu lines (%.1f%%)\n",
+              mak_lines, total, 100.0 * mak_lines / total);
+  std::printf(
+      "\nThe whole crawler above is ~60 lines: state abstraction, reward and\n"
+      "policy are the only things a new design has to provide.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: crawl one testbed application with MAK for 30 virtual minutes
+// and print what happened.
+//
+// Usage: quickstart [app-name]   (default: AddressBook)
+#include <cstdio>
+#include <string>
+
+#include "apps/catalog.h"
+#include "core/browser.h"
+#include "core/mak.h"
+#include "harness/experiment.h"
+#include "support/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace mak;
+
+  const std::string app_name = argc > 1 ? argv[1] : "AddressBook";
+  const apps::AppInfo* info = nullptr;
+  for (const auto& candidate : apps::app_catalog()) {
+    if (candidate.name == app_name) {
+      info = &candidate;
+      break;
+    }
+  }
+  if (info == nullptr) {
+    std::fprintf(stderr, "unknown app '%s'; available:\n", app_name.c_str());
+    for (const auto& candidate : apps::app_catalog()) {
+      std::fprintf(stderr, "  %s\n", candidate.name.c_str());
+    }
+    return 1;
+  }
+
+  harness::RunConfig config;
+  config.seed = 42;
+  const harness::RunResult result =
+      harness::run_once(*info, harness::CrawlerKind::kMak, config);
+
+  std::printf("MAK crawled %s (%s, %s lines of server code)\n",
+              result.app.c_str(), to_string(result.platform).data(),
+              support::format_thousands(
+                  static_cast<std::int64_t>(result.total_lines))
+                  .c_str());
+  std::printf("  interactions:      %zu\n", result.interactions);
+  std::printf("  links discovered:  %zu\n", result.links_discovered);
+  std::printf("  lines covered:     %s (%.1f%% of the code base)\n",
+              support::format_thousands(
+                  static_cast<std::int64_t>(result.final_covered_lines))
+                  .c_str(),
+              100.0 * static_cast<double>(result.final_covered_lines) /
+                  static_cast<double>(result.total_lines));
+  std::printf("\ncoverage over time (sampled every 30 virtual seconds):\n");
+  const auto& points = result.series.points();
+  for (std::size_t i = 0; i < points.size(); i += 10) {
+    std::printf("  t=%4llds  %6zu lines\n",
+                static_cast<long long>(points[i].time / 1000),
+                points[i].covered_lines);
+  }
+  return 0;
+}

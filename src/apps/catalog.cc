@@ -1,0 +1,614 @@
+#include "apps/catalog.h"
+
+#include <stdexcept>
+
+#include "apps/features/aliased_reviews.h"
+#include "apps/features/calendar_trap.h"
+#include "apps/features/cart_flow.h"
+#include "apps/features/deep_wizard.h"
+#include "apps/features/login_area.h"
+#include "apps/features/module_router.h"
+#include "apps/features/mutable_shortcuts.h"
+#include "apps/features/paginated_forum.h"
+#include "apps/features/search_box.h"
+#include "apps/features/static_section.h"
+#include "apps/features/validated_signup.h"
+
+namespace mak::apps {
+
+namespace {
+
+// Per-app latency: page cost ~= base + per_kb * size. Calibrated so a
+// 30-minute budget yields roughly 850-950 atomic interactions, matching the
+// interaction counts reported in Section V-D.
+void set_latency(SyntheticApp& app, support::VirtualMillis base_ms,
+                 support::VirtualMillis per_kb_ms) {
+  app.latency().base_ms = base_ms;
+  app.latency().per_kilobyte_ms = per_kb_ms;
+}
+
+}  // namespace
+
+std::unique_ptr<SyntheticApp> make_addressbook() {
+  // AddressBook v8.2.5 — a small contact manager. Nearly everything is one
+  // or two clicks from the home page; all crawlers reach high coverage and
+  // the margins are small (paper: 99.3 / 98.5 / 96.4).
+  auto app = std::make_unique<SyntheticApp>("AddressBook", "addressbook.test",
+                                            Platform::kPhp);
+  set_latency(*app, 1000, 12);
+  app->set_framework_overhead(900);
+  app->add_feature(std::make_unique<NewsArchive>(NewsArchiveParams{
+      .slug = "contacts",
+      .title = "Contacts",
+      .article_count = 70,
+      .index_page_size = 20,
+      .variants = 12,
+      .lines_per_variant = 60,
+      .lines_per_entity = 3,
+      .shared_lines = 350,
+  }));
+  app->add_feature(std::make_unique<StaticSection>(StaticSectionParams{
+      .slug = "groups",
+      .title = "Groups",
+      .page_count = 16,
+      .fanout = 6,
+      .variants = 8,
+      .lines_per_variant = 45,
+      .lines_per_entity = 3,
+      .shared_lines = 150,
+  }));
+  app->add_feature(std::make_unique<SearchBox>(SearchBoxParams{
+      .slug = "search",
+      .result_paths = {"/contacts/a/0", "/contacts/a/1", "/contacts/a/2"},
+  }));
+  app->add_feature(std::make_unique<LoginArea>(LoginAreaParams{
+      .slug = "admin",
+      .private_pages = 8,
+      .page_variants = 4,
+      .lines_per_variant = 45,
+  }));
+  app->finalize();
+  return app;
+}
+
+std::unique_ptr<SyntheticApp> make_drupal() {
+  // Drupal v8.6.15 — the largest PHP app: a heavyweight framework, a large
+  // content inventory, admin modules, and the self-modifying shortcut panel
+  // of Figure 1 (bottom).
+  auto app = std::make_unique<SyntheticApp>("Drupal", "drupal.test",
+                                            Platform::kPhp);
+  set_latency(*app, 1550, 15);
+  app->set_framework_overhead(15000);
+  app->add_feature(std::make_unique<NewsArchive>(NewsArchiveParams{
+      .slug = "node",
+      .title = "Content",
+      .article_count = 700,
+      .index_page_size = 12,
+      .variants = 100,
+      .lines_per_variant = 75,
+      .lines_per_entity = 3,
+      .shared_lines = 1500,
+  }));
+  app->add_feature(std::make_unique<StaticSection>(StaticSectionParams{
+      .slug = "taxonomy",
+      .title = "Taxonomy",
+      .page_count = 250,
+      .fanout = 5,
+      .variants = 40,
+      .lines_per_variant = 65,
+      .lines_per_entity = 2,
+      .shared_lines = 800,
+  }));
+  app->add_feature(std::make_unique<ModuleRouter>(ModuleRouterParams{
+      .script = "/admin.php",
+      .module_count = 16,
+      .actions_per_module = 8,
+      .lines_per_module = 60,
+      .lines_per_action = 22,
+      .shared_lines = 400,
+  }));
+  app->add_feature(std::make_unique<MutableShortcuts>(MutableShortcutsParams{
+      .slug = "dashboard",
+  }));
+  app->add_feature(std::make_unique<DeepWizard>(DeepWizardParams{
+      .slug = "config",
+      .title = "Site configuration",
+      .steps = 20,
+      .lines_per_step = 200,
+  }));
+  app->add_feature(std::make_unique<LoginArea>(LoginAreaParams{
+      .slug = "user",
+      .private_pages = 40,
+      .page_variants = 8,
+      .lines_per_variant = 60,
+  }));
+  app->add_feature(std::make_unique<SearchBox>(SearchBoxParams{
+      .slug = "search",
+      .result_paths = {"/node/a/0", "/node/a/1", "/node/a/2", "/node/a/3"},
+  }));
+  app->finalize();
+  return app;
+}
+
+std::unique_ptr<SyntheticApp> make_hotcrp() {
+  // HotCRP v2.102 — conference management with the aliased review-form URLs
+  // of Figure 1 (top) and a deep submission wizard.
+  auto app = std::make_unique<SyntheticApp>("HotCRP", "hotcrp.test",
+                                            Platform::kPhp);
+  set_latency(*app, 1350, 13);
+  app->set_framework_overhead(5000);
+  app->add_feature(std::make_unique<AliasedReviews>(AliasedReviewsParams{
+      .paper_count = 60,
+      .paper_variants = 10,
+      .lines_per_paper_variant = 40,
+      .review_variants = 12,
+      .lines_per_review_variant = 50,
+      .reviewer_id = 23,
+      .shared_lines = 500,
+  }));
+  app->add_feature(std::make_unique<DeepWizard>(DeepWizardParams{
+      .slug = "submit",
+      .title = "Paper submission",
+      .steps = 15,
+      .lines_per_step = 110,
+  }));
+  app->add_feature(std::make_unique<StaticSection>(StaticSectionParams{
+      .slug = "help",
+      .title = "Help",
+      .page_count = 80,
+      .fanout = 4,
+      .variants = 25,
+      .lines_per_variant = 50,
+      .lines_per_entity = 3,
+      .shared_lines = 400,
+  }));
+  app->add_feature(std::make_unique<LoginArea>(LoginAreaParams{
+      .slug = "profile",
+      .private_pages = 20,
+      .page_variants = 6,
+      .lines_per_variant = 50,
+  }));
+  app->finalize();
+  return app;
+}
+
+std::unique_ptr<SyntheticApp> make_matomo() {
+  // Matomo v4.11.0 — analytics platform routed almost entirely through
+  // ?module=...&action=... query parameters (Section III-A), plus
+  // date-navigation calendar links.
+  auto app = std::make_unique<SyntheticApp>("Matomo", "matomo.test",
+                                            Platform::kPhp);
+  set_latency(*app, 1500, 14);
+  app->set_framework_overhead(9000);
+  app->add_feature(std::make_unique<ModuleRouter>(ModuleRouterParams{
+      .script = "/index.php",
+      .module_count = 20,
+      .actions_per_module = 8,
+      .lines_per_module = 220,
+      .lines_per_action = 30,
+      .shared_lines = 1200,
+  }));
+  app->add_feature(std::make_unique<CalendarTrap>(CalendarTrapParams{
+      .slug = "period",
+      .month_count = 720,
+      .start_month = 360,
+  }));
+  app->add_feature(std::make_unique<DeepWizard>(DeepWizardParams{
+      .slug = "site-setup",
+      .title = "Tracking setup",
+      .steps = 15,
+      .lines_per_step = 200,
+  }));
+  app->add_feature(std::make_unique<StaticSection>(StaticSectionParams{
+      .slug = "docs",
+      .title = "Guides",
+      .page_count = 100,
+      .fanout = 5,
+      .variants = 15,
+      .lines_per_variant = 90,
+      .lines_per_entity = 2,
+      .shared_lines = 500,
+  }));
+  app->add_feature(std::make_unique<LoginArea>(LoginAreaParams{
+      .slug = "settings",
+      .private_pages = 25,
+      .page_variants = 6,
+      .lines_per_variant = 50,
+  }));
+  app->finalize();
+  return app;
+}
+
+std::unique_ptr<SyntheticApp> make_oscommerce() {
+  // OsCommerce2 v2.3.4.1 — e-commerce with the cart/checkout state machine
+  // that motivates the paper's reward design (Section IV-C).
+  auto app = std::make_unique<SyntheticApp>("OsCommerce2", "oscommerce.test",
+                                            Platform::kPhp);
+  set_latency(*app, 1250, 12);
+  app->set_framework_overhead(1900);
+  app->add_feature(std::make_unique<CartFlow>(CartFlowParams{
+      .slug = "shop",
+      .product_count = 80,
+      .products_per_page = 10,
+      .product_variants = 12,
+      .lines_per_product_variant = 40,
+      .shared_lines = 450,
+  }));
+  app->add_feature(std::make_unique<StaticSection>(StaticSectionParams{
+      .slug = "info",
+      .title = "Store information",
+      .page_count = 60,
+      .fanout = 4,
+      .variants = 12,
+      .lines_per_variant = 70,
+      .lines_per_entity = 3,
+      .shared_lines = 300,
+  }));
+  app->add_feature(std::make_unique<SearchBox>(SearchBoxParams{
+      .slug = "search",
+      .result_paths = {"/shop/product/0", "/shop/product/1",
+                       "/shop/product/2"},
+      .reflect_unescaped = true,
+  }));
+  app->add_feature(std::make_unique<DeepWizard>(DeepWizardParams{
+      .slug = "account-setup",
+      .title = "Account setup",
+      .steps = 12,
+      .lines_per_step = 120,
+  }));
+  app->add_feature(std::make_unique<ValidatedSignup>(ValidatedSignupParams{
+      .slug = "newsletter",
+      .success_lines = 150,
+      .member_pages = 5,
+  }));
+  app->add_feature(std::make_unique<LoginArea>(LoginAreaParams{
+      .slug = "customer",
+      .private_pages = 15,
+      .page_variants = 5,
+      .lines_per_variant = 45,
+  }));
+  app->finalize();
+  return app;
+}
+
+std::unique_ptr<SyntheticApp> make_phpbb() {
+  // PhpBB2 v2.0.23 — classic forum: boards, paginated topic lists, reply
+  // forms. Link discovery outpaces coverage growth.
+  auto app = std::make_unique<SyntheticApp>("PhpBB2", "phpbb.test",
+                                            Platform::kPhp);
+  set_latency(*app, 1300, 13);
+  app->set_framework_overhead(2600);
+  app->add_feature(std::make_unique<PaginatedForum>(PaginatedForumParams{
+      .slug = "forum",
+      .board_count = 8,
+      .topics_per_board = 50,
+      .topics_per_page = 10,
+      .posts_per_topic = 4,
+      .lines_per_board = 35,
+      .topic_variants = 15,
+      .lines_per_topic_variant = 45,
+      .shared_lines = 400,
+      .sqli_page_param = true,
+      .stored_xss_replies = true,
+  }));
+  app->add_feature(std::make_unique<StaticSection>(StaticSectionParams{
+      .slug = "faq",
+      .title = "FAQ",
+      .page_count = 40,
+      .fanout = 4,
+      .variants = 10,
+      .lines_per_variant = 60,
+      .lines_per_entity = 3,
+      .shared_lines = 250,
+  }));
+  app->add_feature(std::make_unique<SearchBox>(SearchBoxParams{
+      .slug = "search",
+      .result_paths = {"/forum/topic/0", "/forum/topic/1", "/forum/topic/2"},
+  }));
+  app->add_feature(std::make_unique<DeepWizard>(DeepWizardParams{
+      .slug = "register",
+      .title = "Member registration",
+      .steps = 12,
+      .lines_per_step = 100,
+  }));
+  app->add_feature(std::make_unique<LoginArea>(LoginAreaParams{
+      .slug = "profile",
+      .private_pages = 15,
+      .page_variants = 5,
+      .lines_per_variant = 45,
+  }));
+  app->finalize();
+  return app;
+}
+
+std::unique_ptr<SyntheticApp> make_vanilla() {
+  // Vanilla v2.0.17.10 — a small discussion forum.
+  auto app = std::make_unique<SyntheticApp>("Vanilla", "vanilla.test",
+                                            Platform::kPhp);
+  set_latency(*app, 1150, 12);
+  app->set_framework_overhead(1100);
+  app->add_feature(std::make_unique<PaginatedForum>(PaginatedForumParams{
+      .slug = "discussions",
+      .board_count = 4,
+      .topics_per_board = 25,
+      .topics_per_page = 10,
+      .posts_per_topic = 3,
+      .lines_per_board = 30,
+      .topic_variants = 12,
+      .lines_per_topic_variant = 40,
+      .shared_lines = 350,
+  }));
+  app->add_feature(std::make_unique<StaticSection>(StaticSectionParams{
+      .slug = "categories",
+      .title = "Categories",
+      .page_count = 30,
+      .fanout = 4,
+      .variants = 8,
+      .lines_per_variant = 50,
+      .lines_per_entity = 3,
+      .shared_lines = 200,
+  }));
+  app->add_feature(std::make_unique<DeepWizard>(DeepWizardParams{
+      .slug = "onboarding",
+      .title = "Community onboarding",
+      .steps = 10,
+      .lines_per_step = 90,
+  }));
+  app->add_feature(std::make_unique<LoginArea>(LoginAreaParams{
+      .slug = "profile",
+      .private_pages = 12,
+      .page_variants = 5,
+      .lines_per_variant = 40,
+  }));
+  app->finalize();
+  return app;
+}
+
+std::unique_ptr<SyntheticApp> make_wordpress() {
+  // WordPress v5.1.0 — the blog platform the paper's search example comes
+  // from (Section III-B): a very large post inventory, read-only search and
+  // month-archive navigation. Run-to-run variance is high; even the best
+  // crawler leaves much of the union uncovered in a single run.
+  auto app = std::make_unique<SyntheticApp>("WordPress", "wordpress.test",
+                                            Platform::kPhp);
+  set_latency(*app, 1450, 14);
+  app->set_framework_overhead(10000);
+  app->add_feature(std::make_unique<NewsArchive>(NewsArchiveParams{
+      .slug = "posts",
+      .title = "Blog",
+      .article_count = 1500,
+      .index_page_size = 10,
+      .variants = 150,
+      .lines_per_variant = 60,
+      .lines_per_entity = 3,
+      .shared_lines = 1200,
+  }));
+  app->add_feature(std::make_unique<StaticSection>(StaticSectionParams{
+      .slug = "pages",
+      .title = "Pages",
+      .page_count = 150,
+      .fanout = 5,
+      .variants = 35,
+      .lines_per_variant = 65,
+      .lines_per_entity = 3,
+      .shared_lines = 600,
+  }));
+  app->add_feature(std::make_unique<SearchBox>(SearchBoxParams{
+      .slug = "search",
+      .result_paths = {"/posts/a/0", "/posts/a/1", "/posts/a/2",
+                       "/posts/a/3", "/posts/a/4"},
+      .shared_lines = 400,
+      .reflect_unescaped = true,
+  }));
+  app->add_feature(std::make_unique<CalendarTrap>(CalendarTrapParams{
+      .slug = "archive",
+      .month_count = 600,
+      .start_month = 300,
+      .days_per_month = 30,
+  }));
+  app->add_feature(std::make_unique<DeepWizard>(DeepWizardParams{
+      .slug = "customizer",
+      .title = "Site customizer",
+      .steps = 18,
+      .lines_per_step = 180,
+  }));
+  app->add_feature(std::make_unique<LoginArea>(LoginAreaParams{
+      .slug = "wp-admin",
+      .private_pages = 30,
+      .page_variants = 8,
+      .lines_per_variant = 60,
+      .shared_lines = 300,
+  }));
+  app->finalize();
+  return app;
+}
+
+std::unique_ptr<SyntheticApp> make_actual() {
+  // Actual v25.2.1 — Node.js finance manager: SPA-style module routes and a
+  // budget-setup wizard, plus a large unreachable server surface (bank-sync
+  // protocol, importers) that caps coverage-node percentages around the
+  // mid-60s for every crawler.
+  auto app = std::make_unique<SyntheticApp>("Actual", "actual.test",
+                                            Platform::kNode);
+  set_latency(*app, 1200, 12);
+  app->set_framework_overhead(2000);
+  app->add_feature(std::make_unique<ModuleRouter>(ModuleRouterParams{
+      .script = "/app",
+      .module_count = 10,
+      .actions_per_module = 6,
+      .lines_per_module = 60,
+      .lines_per_action = 25,
+      .shared_lines = 500,
+  }));
+  app->add_feature(std::make_unique<DeepWizard>(DeepWizardParams{
+      .slug = "budget-setup",
+      .title = "Budget setup",
+      .steps = 12,
+      .lines_per_step = 120,
+  }));
+  app->add_feature(std::make_unique<StaticSection>(StaticSectionParams{
+      .slug = "reports",
+      .title = "Reports",
+      .page_count = 40,
+      .fanout = 4,
+      .variants = 8,
+      .lines_per_variant = 60,
+      .lines_per_entity = 2,
+      .shared_lines = 300,
+  }));
+  app->add_feature(std::make_unique<LoginArea>(LoginAreaParams{
+      .slug = "sync",
+      .private_pages = 12,
+      .page_variants = 5,
+      .lines_per_variant = 45,
+  }));
+  // Unreachable server code: bank-sync protocol handlers, importers and the
+  // embedded API that the web UI never links to.
+  app->arena().file("server/bank-sync.js");
+  app->arena().dead_code(2600);
+  app->arena().file("server/importers.js");
+  app->arena().dead_code(1400);
+  app->finalize();
+  return app;
+}
+
+std::unique_ptr<SyntheticApp> make_docmost() {
+  // Docmost v0.8.4 — Node.js documentation/wiki: deep page trees, search,
+  // workspaces behind a login, plus unreachable collaboration endpoints.
+  auto app = std::make_unique<SyntheticApp>("Docmost", "docmost.test",
+                                            Platform::kNode);
+  set_latency(*app, 1250, 12);
+  app->set_framework_overhead(2000);
+  app->add_feature(std::make_unique<StaticSection>(StaticSectionParams{
+      .slug = "pages",
+      .title = "Workspace pages",
+      .page_count = 90,
+      .fanout = 3,
+      .variants = 10,
+      .lines_per_variant = 65,
+      .lines_per_entity = 2,
+      .shared_lines = 400,
+  }));
+  app->add_feature(std::make_unique<StaticSection>(StaticSectionParams{
+      .slug = "spaces",
+      .title = "Spaces",
+      .page_count = 30,
+      .fanout = 4,
+      .variants = 6,
+      .lines_per_variant = 55,
+      .lines_per_entity = 2,
+      .shared_lines = 250,
+  }));
+  app->add_feature(std::make_unique<SearchBox>(SearchBoxParams{
+      .slug = "search",
+      .result_paths = {"/pages/p/0", "/pages/p/1", "/pages/p/2"},
+  }));
+  app->add_feature(std::make_unique<LoginArea>(LoginAreaParams{
+      .slug = "workspace",
+      .private_pages = 14,
+      .page_variants = 5,
+      .lines_per_variant = 40,
+  }));
+  app->add_feature(std::make_unique<DeepWizard>(DeepWizardParams{
+      .slug = "space-setup",
+      .title = "Space setup",
+      .steps = 10,
+      .lines_per_step = 100,
+  }));
+  app->add_feature(std::make_unique<ValidatedSignup>(ValidatedSignupParams{
+      .slug = "invite",
+      .success_lines = 140,
+      .member_pages = 4,
+  }));
+  // Real-time collaboration (websocket) and attachment-processing code is
+  // unreachable through plain HTTP crawling.
+  app->arena().file("server/collab-ws.js");
+  app->arena().dead_code(2200);
+  app->arena().file("server/attachments.js");
+  app->arena().dead_code(700);
+  app->finalize();
+  return app;
+}
+
+std::unique_ptr<SyntheticApp> make_retroboard() {
+  // Retro-board v5.5.2 — Node.js retrospective boards; roughly half of the
+  // server (websocket game loop) is unreachable over HTTP.
+  auto app = std::make_unique<SyntheticApp>("Retro-board", "retroboard.test",
+                                            Platform::kNode);
+  set_latency(*app, 1150, 12);
+  app->set_framework_overhead(1200);
+  app->add_feature(std::make_unique<PaginatedForum>(PaginatedForumParams{
+      .slug = "boards",
+      .board_count = 5,
+      .topics_per_board = 20,
+      .topics_per_page = 8,
+      .posts_per_topic = 3,
+      .lines_per_board = 32,
+      .topic_variants = 10,
+      .lines_per_topic_variant = 40,
+      .shared_lines = 350,
+      .sqli_page_param = true,
+  }));
+  app->add_feature(std::make_unique<StaticSection>(StaticSectionParams{
+      .slug = "templates",
+      .title = "Board templates",
+      .page_count = 25,
+      .fanout = 4,
+      .variants = 6,
+      .lines_per_variant = 45,
+      .lines_per_entity = 2,
+      .shared_lines = 200,
+  }));
+  app->add_feature(std::make_unique<LoginArea>(LoginAreaParams{
+      .slug = "account",
+      .private_pages = 10,
+      .page_variants = 4,
+      .lines_per_variant = 40,
+  }));
+  app->add_feature(std::make_unique<DeepWizard>(DeepWizardParams{
+      .slug = "board-setup",
+      .title = "Board setup",
+      .steps = 10,
+      .lines_per_step = 90,
+  }));
+  // The live-session websocket engine dominates the code base and never
+  // executes during crawling.
+  app->arena().file("server/game-ws.js");
+  app->arena().dead_code(3400);
+  app->finalize();
+  return app;
+}
+
+const std::vector<AppInfo>& app_catalog() {
+  static const std::vector<AppInfo> catalog = {
+      {"AddressBook", "8.2.5", Platform::kPhp, make_addressbook},
+      {"Drupal", "8.6.15", Platform::kPhp, make_drupal},
+      {"HotCRP", "2.102", Platform::kPhp, make_hotcrp},
+      {"Matomo", "4.11.0", Platform::kPhp, make_matomo},
+      {"OsCommerce2", "2.3.4.1", Platform::kPhp, make_oscommerce},
+      {"PhpBB2", "2.0.23", Platform::kPhp, make_phpbb},
+      {"Vanilla", "2.0.17.10", Platform::kPhp, make_vanilla},
+      {"WordPress", "5.1.0", Platform::kPhp, make_wordpress},
+      {"Actual", "25.2.1", Platform::kNode, make_actual},
+      {"Docmost", "0.8.4", Platform::kNode, make_docmost},
+      {"Retro-board", "5.5.2", Platform::kNode, make_retroboard},
+  };
+  return catalog;
+}
+
+std::vector<const AppInfo*> php_apps() {
+  std::vector<const AppInfo*> out;
+  for (const auto& info : app_catalog()) {
+    if (info.platform == Platform::kPhp) out.push_back(&info);
+  }
+  return out;
+}
+
+std::unique_ptr<SyntheticApp> make_app(std::string_view name) {
+  for (const auto& info : app_catalog()) {
+    if (info.name == name) return info.factory();
+  }
+  throw std::invalid_argument("unknown app: " + std::string(name));
+}
+
+}  // namespace mak::apps

@@ -1,0 +1,49 @@
+// The testbed catalog: models of the 11 applications evaluated in the paper
+// (Section V-A.3), built from the structural features in apps/features.
+//
+// Scales are calibrated to the paper's magnitudes (Drupal tens of thousands
+// of server-side lines, AddressBook a couple of thousand) and to a 30-minute
+// virtual crawl budget of roughly 850-950 interactions. See DESIGN.md for
+// the substitution rationale.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/synthetic_app.h"
+
+namespace mak::apps {
+
+struct AppInfo {
+  std::string name;       // paper name, e.g. "Drupal"
+  std::string version;    // version evaluated in the paper
+  Platform platform;
+  std::function<std::unique_ptr<SyntheticApp>()> factory;
+};
+
+// All 11 testbed apps in the paper's order: 8 PHP, then 3 Node.js.
+const std::vector<AppInfo>& app_catalog();
+
+// The 8 PHP apps (Figure 2 uses only these).
+std::vector<const AppInfo*> php_apps();
+
+// Build one app by name; throws std::invalid_argument for unknown names.
+std::unique_ptr<SyntheticApp> make_app(std::string_view name);
+
+// Individual factories (used by tests and examples).
+std::unique_ptr<SyntheticApp> make_addressbook();
+std::unique_ptr<SyntheticApp> make_drupal();
+std::unique_ptr<SyntheticApp> make_hotcrp();
+std::unique_ptr<SyntheticApp> make_matomo();
+std::unique_ptr<SyntheticApp> make_oscommerce();
+std::unique_ptr<SyntheticApp> make_phpbb();
+std::unique_ptr<SyntheticApp> make_vanilla();
+std::unique_ptr<SyntheticApp> make_wordpress();
+std::unique_ptr<SyntheticApp> make_actual();
+std::unique_ptr<SyntheticApp> make_docmost();
+std::unique_ptr<SyntheticApp> make_retroboard();
+
+}  // namespace mak::apps

@@ -1,0 +1,30 @@
+// Structural features of the synthetic testbed applications.
+//
+// Crawler performance differences in the paper stem from *structural*
+// properties of the evaluated applications: URL aliasing (HotCRP),
+// query-parameter routing (Matomo), self-modifying pages (Drupal
+// shortcuts), read-only search (WordPress), deep flows, pagination,
+// login walls and crawler traps. Each Feature class reproduces one such
+// pattern — with its own server-side code regions and routes — and the
+// named testbed apps in catalog.cc are compositions of features at
+// app-specific scales.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "webapp/app_base.h"
+
+namespace mak::apps {
+
+class Feature {
+ public:
+  virtual ~Feature() = default;
+
+  // Allocate code regions in app.arena(), register routes on app.router(),
+  // and add entry links via app.add_home_link(). Handlers may capture both
+  // `this` and `&app`; the app owns the feature, so lifetimes match.
+  virtual void install(webapp::WebApp& app) = 0;
+};
+
+}  // namespace mak::apps

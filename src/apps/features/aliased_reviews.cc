@@ -1,0 +1,117 @@
+#include "apps/features/aliased_reviews.h"
+
+#include "webapp/page_builder.h"
+
+namespace mak::apps {
+
+using httpsim::Response;
+using webapp::FormSpec;
+using webapp::PageBuilder;
+using webapp::RequestContext;
+using webapp::WebApp;
+
+void AliasedReviews::install(WebApp& app) {
+  auto& arena = app.arena();
+  arena.file("review/papers.php");
+  common_region_ = arena.region(params_.shared_lines);
+  list_region_ = arena.region(35);
+  paper_handler_region_ = arena.region(28);
+  arena.file("review/review.php");
+  review_handler_region_ = arena.region(40);
+  review_submit_region_ = arena.region(32);
+  arena.file("review/content.php");
+  papers_.allocate(arena, params_.paper_count, params_.paper_variants,
+                   params_.lines_per_paper_variant, params_.lines_per_entity);
+  reviews_.allocate(arena, params_.paper_count, params_.review_variants,
+                    params_.lines_per_review_variant,
+                    params_.lines_per_entity);
+
+  // Paper list.
+  app.router().get("/papers", [this, &app](RequestContext&) {
+    app.cover(common_region_);
+    app.cover(list_region_);
+    PageBuilder page("Submitted papers");
+    page.heading("Your assigned papers");
+    page.list_begin();
+    for (std::size_t i = 0; i < params_.paper_count; ++i) {
+      page.nav_link("/paper/" + std::to_string(i),
+                    "Paper #" + std::to_string(i));
+    }
+    page.list_end();
+    return Response::html(page.build());
+  });
+
+  // Paper page: links to the review form through BOTH aliases.
+  app.router().get("/paper/:id", [this, &app](RequestContext& ctx) {
+    app.cover(common_region_);
+    app.cover(paper_handler_region_);
+    std::size_t id = 0;
+    try {
+      id = std::stoul(ctx.param("id"));
+    } catch (...) {
+      return Response::not_found("bad paper id");
+    }
+    if (id >= params_.paper_count) return Response::not_found("paper");
+    app.cover(papers_.variant_region(id));
+    app.cover(papers_.entity_region(id));
+
+    const std::string p = std::to_string(id);
+    // Review id convention: reviewer 23's review of paper 8 is "8B23".
+    const std::string rid = p + "B" + std::to_string(params_.reviewer_id);
+    PageBuilder page("Paper #" + p);
+    page.heading("Paper #" + p);
+    page.paragraph("Abstract of paper " + p + ".");
+    page.list_begin();
+    page.nav_link("/review?p=" + p + "&r=" + rid, "Edit your review");
+    page.nav_link("/review?p=" + p + "&m=rea", "Review (reader mode)");
+    page.nav_link("/papers", "Back to the list");
+    page.list_end();
+    return Response::html(page.build());
+  });
+
+  // The review form: one handler, one code path, two alias URLs.
+  app.router().get("/review", [this, &app](RequestContext& ctx) {
+    app.cover(common_region_);
+    app.cover(review_handler_region_);
+    std::size_t id = 0;
+    try {
+      id = std::stoul(ctx.req().param("p", "0"));
+    } catch (...) {
+      return Response::not_found("bad paper id");
+    }
+    if (id >= params_.paper_count) return Response::not_found("review");
+    // NOTE: the r= / m= parameters deliberately do NOT change the executed
+    // code — that is the aliasing trap.
+    app.cover(reviews_.variant_region(id));
+    app.cover(reviews_.entity_region(id));
+
+    const std::string p = std::to_string(id);
+    PageBuilder page("Review paper #" + p);
+    page.heading("Review form — paper #" + p);
+    FormSpec form;
+    form.action = "/review/submit";
+    form.method = "post";
+    form.hidden_field("p", p);
+    form.text_field("summary");
+    form.select_field("score", {"1", "2", "3", "4", "5"});
+    form.textarea("comments");
+    form.submit_label = "Save review";
+    page.form(form);
+    page.link("/paper/" + p, "Back to paper #" + p);
+    return Response::html(page.build());
+  });
+
+  app.router().post("/review/submit", [this, &app](RequestContext& ctx) {
+    app.cover(common_region_);
+    app.cover(review_submit_region_);
+    const std::string p = ctx.req().form_value("p", "0");
+    ctx.sess().push_list("reviews", p);
+    return Response::redirect("/paper/" + p);
+  });
+
+  if (params_.link_from_home) {
+    app.add_home_link("/papers", "Assigned papers");
+  }
+}
+
+}  // namespace mak::apps

@@ -1,0 +1,49 @@
+// URL aliasing, the HotCRP pattern (Section III-A, Figure 1 top).
+//
+// Each paper's review form is reachable through two different URLs that
+// carry distinct query parameters (r=<reviewId> and m=rea) but execute the
+// same server-side code. WebExplor's exact-URL state matching creates a
+// separate state for every alias, inflating the state space with no
+// coverage gain.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/feature.h"
+#include "apps/variant_set.h"
+#include "webapp/code_arena.h"
+
+namespace mak::apps {
+
+struct AliasedReviewsParams {
+  std::size_t paper_count = 30;
+  std::size_t paper_variants = 10;    // paper-page branches
+  std::size_t lines_per_paper_variant = 35;
+  std::size_t review_variants = 10;   // review-form branches
+  std::size_t lines_per_review_variant = 45;
+  std::size_t lines_per_entity = 2;   // per-paper micro-branches
+  std::size_t reviewer_id = 23;       // appears in the r= alias
+  std::size_t shared_lines = 400;     // review subsystem shared code
+  bool link_from_home = true;
+};
+
+class AliasedReviews final : public Feature {
+ public:
+  explicit AliasedReviews(AliasedReviewsParams params)
+      : params_(std::move(params)) {}
+
+  void install(webapp::WebApp& app) override;
+
+ private:
+  AliasedReviewsParams params_;
+  webapp::CodeRegion common_region_;
+  webapp::CodeRegion list_region_;
+  webapp::CodeRegion paper_handler_region_;
+  webapp::CodeRegion review_handler_region_;
+  webapp::CodeRegion review_submit_region_;
+  VariantSet papers_;
+  VariantSet reviews_;
+};
+
+}  // namespace mak::apps

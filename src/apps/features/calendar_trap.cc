@@ -1,0 +1,74 @@
+#include "apps/features/calendar_trap.h"
+
+#include "webapp/page_builder.h"
+
+namespace mak::apps {
+
+using httpsim::Response;
+using webapp::PageBuilder;
+using webapp::RequestContext;
+using webapp::WebApp;
+
+void CalendarTrap::install(WebApp& app) {
+  auto& arena = app.arena();
+  arena.file(params_.slug + "/calendar.php");
+  common_region_ = arena.region(params_.shared_lines);
+  render_region_ = arena.region(34);
+
+  const std::string base = "/" + params_.slug;
+
+  app.router().get(base, [this, &app, base](RequestContext& ctx) {
+    // One region regardless of the month: the trap yields no new coverage.
+    app.cover(common_region_);
+    app.cover(render_region_);
+    std::size_t month = params_.start_month;
+    try {
+      month = std::stoul(
+          ctx.req().param("month", std::to_string(params_.start_month)));
+    } catch (...) {
+      month = params_.start_month;
+    }
+    if (month >= params_.month_count) month = params_.start_month;
+
+    PageBuilder page("Calendar — month " + std::to_string(month));
+    page.heading("Archive for month " + std::to_string(month));
+    page.paragraph("No entries for this month.");
+    page.list_begin();
+    // The day grid: a burst of junk links, contiguous in discovery order.
+    for (std::size_t d = 1; d <= params_.days_per_month; ++d) {
+      page.nav_link(base + "/day?month=" + std::to_string(month) +
+                        "&d=" + std::to_string(d),
+                    "Day " + std::to_string(d));
+    }
+    if (month + 1 < params_.month_count) {
+      page.nav_link(base + "?month=" + std::to_string(month + 1),
+                    "Next month");
+    }
+    if (month > 0) {
+      page.nav_link(base + "?month=" + std::to_string(month - 1),
+                    "Previous month");
+    }
+    page.list_end();
+    return Response::html(page.build());
+  });
+
+  if (params_.days_per_month > 0) {
+    app.router().get(base + "/day", [this, &app, base](RequestContext& ctx) {
+      // Same shared code as the month view; a day page yields nothing new.
+      app.cover(common_region_);
+      const std::string month =
+          ctx.req().param("month", std::to_string(params_.start_month));
+      PageBuilder page("Day view");
+      page.heading("No entries on day " + ctx.req().param("d", "1"));
+      page.link(base + "?month=" + month, "Back to the month");
+      return Response::html(page.build());
+    });
+  }
+
+  if (params_.link_from_home) {
+    app.add_home_link(base + "?month=" + std::to_string(params_.start_month),
+                      "Calendar");
+  }
+}
+
+}  // namespace mak::apps

@@ -1,0 +1,39 @@
+// Calendar crawler trap (archive-by-month navigation).
+//
+// Every month page links to the next and previous months, minting fresh
+// URLs indefinitely while executing the same server-side code after the
+// first visit. Depth-first crawlers chain through months forever; crawlers
+// whose state abstraction keys on the URL (WebExplor) mint a new state —
+// with fresh optimistic Q-values and fresh curiosity — for every month.
+#pragma once
+
+#include <string>
+
+#include "apps/feature.h"
+#include "webapp/code_arena.h"
+
+namespace mak::apps {
+
+struct CalendarTrapParams {
+  std::string slug = "calendar";
+  std::size_t month_count = 720;  // 60 years of months; >> any 30-min budget
+  std::size_t start_month = 360;
+  std::size_t days_per_month = 0;  // >0: each month floods a grid of day
+                                   // links, none of which yields coverage
+  std::size_t shared_lines = 120;  // date/rendering shared code
+  bool link_from_home = true;
+};
+
+class CalendarTrap final : public Feature {
+ public:
+  explicit CalendarTrap(CalendarTrapParams params) : params_(std::move(params)) {}
+
+  void install(webapp::WebApp& app) override;
+
+ private:
+  CalendarTrapParams params_;
+  webapp::CodeRegion common_region_;
+  webapp::CodeRegion render_region_;
+};
+
+}  // namespace mak::apps

@@ -1,0 +1,155 @@
+#include "apps/features/cart_flow.h"
+
+#include "webapp/page_builder.h"
+
+namespace mak::apps {
+
+using httpsim::Response;
+using webapp::FormSpec;
+using webapp::PageBuilder;
+using webapp::RequestContext;
+using webapp::WebApp;
+
+void CartFlow::install(WebApp& app) {
+  auto& arena = app.arena();
+  arena.file(params_.slug + "/catalog.php");
+  common_region_ = arena.region(params_.shared_lines);
+  catalog_region_ = arena.region(36);
+  product_handler_region_ = arena.region(26);
+  arena.file(params_.slug + "/cart.php");
+  add_region_ = arena.region(24);
+  cart_view_region_ = arena.region(30);
+  checkout_empty_region_ = arena.region(16);
+  checkout_filled_region_ = arena.region(48);
+  confirm_region_ = arena.region(26);
+  arena.file(params_.slug + "/products.php");
+  products_.allocate(arena, params_.product_count, params_.product_variants,
+                     params_.lines_per_product_variant,
+                     params_.lines_per_product);
+
+  const std::string base = "/" + params_.slug;
+  const std::size_t pages =
+      (params_.product_count + params_.products_per_page - 1) /
+      params_.products_per_page;
+
+  app.router().get(base, [this, &app, base, pages](RequestContext& ctx) {
+    app.cover(common_region_);
+    app.cover(catalog_region_);
+    std::size_t pg = 0;
+    try {
+      pg = std::stoul(ctx.req().param("page", "0"));
+    } catch (...) {
+      pg = 0;
+    }
+    if (pg >= pages) pg = 0;
+    PageBuilder page("Catalog — page " + std::to_string(pg));
+    page.heading("Products");
+    page.list_begin();
+    const std::size_t begin = pg * params_.products_per_page;
+    const std::size_t end =
+        std::min(begin + params_.products_per_page, params_.product_count);
+    for (std::size_t i = begin; i < end; ++i) {
+      page.nav_link(base + "/product/" + std::to_string(i),
+                    "Product " + std::to_string(i));
+    }
+    page.list_end();
+    if (pg + 1 < pages) {
+      page.link(base + "?page=" + std::to_string(pg + 1), "Next page");
+    }
+    page.link(base + "/cart", "View cart");
+    return Response::html(page.build());
+  });
+
+  app.router().get(base + "/product/:id",
+                   [this, &app, base](RequestContext& ctx) {
+                     app.cover(common_region_);
+                     app.cover(product_handler_region_);
+                     std::size_t id = 0;
+                     try {
+                       id = std::stoul(ctx.param("id"));
+                     } catch (...) {
+                       return Response::not_found("bad product");
+                     }
+                     if (id >= params_.product_count) {
+                       return Response::not_found("product");
+                     }
+                     app.cover(products_.variant_region(id));
+                     app.cover(products_.entity_region(id));
+                     const std::string p = std::to_string(id);
+                     PageBuilder page("Product " + p);
+                     page.heading("Product " + p);
+                     page.paragraph("Detailed description of product " + p + ".");
+                     FormSpec form;
+                     form.action = base + "/cart/add";
+                     form.method = "post";
+                     form.hidden_field("product", p);
+                     form.select_field("quantity", {"1", "2", "3"});
+                     form.submit_label = "Add to cart";
+                     page.form(form);
+                     page.link(base, "Back to the catalog");
+                     page.link(base + "/cart", "View cart");
+                     return Response::html(page.build());
+                   });
+
+  app.router().post(base + "/cart/add", [this, &app, base](RequestContext& ctx) {
+    app.cover(common_region_);
+    app.cover(add_region_);
+    const std::string product = ctx.req().form_value("product");
+    if (!product.empty()) {
+      ctx.sess().push_list(params_.slug + ".cart", product);
+    }
+    return Response::redirect(base + "/cart");
+  });
+
+  app.router().get(base + "/cart", [this, &app, base](RequestContext& ctx) {
+    app.cover(common_region_);
+    app.cover(cart_view_region_);
+    const auto& items = ctx.sess().get_list(params_.slug + ".cart");
+    PageBuilder page("Your cart");
+    page.heading("Shopping cart");
+    if (items.empty()) {
+      page.paragraph("The cart is empty.");
+    } else {
+      page.list_begin();
+      for (const auto& item : items) page.list_item("Product " + item);
+      page.list_end();
+    }
+    page.button(base + "/checkout", "Checkout", "post");
+    page.link(base, "Continue shopping");
+    return Response::html(page.build());
+  });
+
+  // The paper's example: same button, different code depending on state.
+  app.router().post(base + "/checkout", [this, &app, base](RequestContext& ctx) {
+    app.cover(common_region_);
+    const auto& items = ctx.sess().get_list(params_.slug + ".cart");
+    if (items.empty()) {
+      app.cover(checkout_empty_region_);
+      PageBuilder page("Checkout error");
+      page.heading("Cannot check out");
+      page.paragraph("Your cart is empty.");
+      page.link(base, "Back to the catalog");
+      return Response::html(page.build());
+    }
+    app.cover(checkout_filled_region_);
+    ctx.sess().clear_list(params_.slug + ".cart");
+    return Response::redirect(base + "/order/confirm");
+  });
+
+  app.router().get(base + "/order/confirm", [this, &app, base](
+                                                RequestContext&) {
+    app.cover(common_region_);
+    app.cover(confirm_region_);
+    PageBuilder page("Order confirmed");
+    page.heading("Thank you for your order");
+    page.link(base, "Back to the catalog");
+    return Response::html(page.build());
+  });
+
+  if (params_.link_from_home) {
+    app.add_home_link(base, "Shop");
+    app.add_home_link(base + "/cart", "Cart");
+  }
+}
+
+}  // namespace mak::apps

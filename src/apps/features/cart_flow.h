@@ -1,0 +1,49 @@
+// Shopping-cart flow, the OsCommerce pattern — and the paper's reward
+// example (Section IV-C).
+//
+// The checkout button executes *different* server-side code depending on
+// whether the cart is empty (error path) or filled (purchase path).
+// Executing the same action twice can therefore yield new coverage — which
+// curiosity rewards cannot see, but a link/coverage-correlated reward can.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/feature.h"
+#include "apps/variant_set.h"
+#include "webapp/code_arena.h"
+
+namespace mak::apps {
+
+struct CartFlowParams {
+  std::string slug = "shop";
+  std::size_t product_count = 40;
+  std::size_t products_per_page = 10;
+  std::size_t product_variants = 12;  // product-page branches
+  std::size_t lines_per_product_variant = 40;
+  std::size_t lines_per_product = 2;  // per-product micro-branches
+  std::size_t shared_lines = 400;  // catalog/cart engine shared code
+  bool link_from_home = true;
+};
+
+class CartFlow final : public Feature {
+ public:
+  explicit CartFlow(CartFlowParams params) : params_(std::move(params)) {}
+
+  void install(webapp::WebApp& app) override;
+
+ private:
+  CartFlowParams params_;
+  webapp::CodeRegion common_region_;
+  webapp::CodeRegion catalog_region_;
+  webapp::CodeRegion product_handler_region_;
+  webapp::CodeRegion add_region_;
+  webapp::CodeRegion cart_view_region_;
+  webapp::CodeRegion checkout_empty_region_;   // error path: empty cart
+  webapp::CodeRegion checkout_filled_region_;  // purchase path
+  webapp::CodeRegion confirm_region_;
+  VariantSet products_;
+};
+
+}  // namespace mak::apps

@@ -1,0 +1,124 @@
+#include "apps/features/deep_wizard.h"
+
+#include "webapp/page_builder.h"
+
+namespace mak::apps {
+
+using httpsim::Response;
+using webapp::FormSpec;
+using webapp::PageBuilder;
+using webapp::RequestContext;
+using webapp::WebApp;
+
+void DeepWizard::install(WebApp& app) {
+  auto& arena = app.arena();
+  arena.file(params_.slug + "/wizard.php");
+  common_region_ = arena.region(params_.shared_lines);
+  start_region_ = arena.region(24);
+  guard_region_ = arena.region(14);
+  finish_region_ = arena.region(30);
+  for (std::size_t i = 0; i < params_.steps; ++i) {
+    step_regions_.push_back(arena.region(params_.lines_per_step));
+  }
+
+  const std::string base = "/" + params_.slug;
+
+  app.router().get(base + "/start", [this, &app, base](RequestContext& ctx) {
+    app.cover(common_region_);
+    app.cover(start_region_);
+    if (!ctx.sess().has(progress_key())) {
+      ctx.sess().set_int(progress_key(), 0);  // initialize, never reset
+    }
+    PageBuilder page(params_.title);
+    page.heading(params_.title);
+    page.paragraph("This wizard has " + std::to_string(params_.steps) +
+                   " steps.");
+    page.link(base + "/step/1", "Begin step 1");
+    return Response::html(page.build());
+  });
+
+  app.router().get(base + "/step/:i", [this, &app, base](RequestContext& ctx) {
+    app.cover(common_region_);
+    app.cover(guard_region_);
+    std::size_t i = 0;
+    try {
+      i = std::stoul(ctx.param("i"));
+    } catch (...) {
+      return Response::not_found("bad step");
+    }
+    if (i == 0 || i > params_.steps) return Response::not_found("step");
+    const std::int64_t raw_progress = ctx.sess().get_int(progress_key(), -1);
+    if (raw_progress < 0) {
+      return Response::redirect(base + "/start");
+    }
+    const auto progress = static_cast<std::size_t>(raw_progress);
+    if (i > progress + 1) {
+      // Skipping ahead resumes at the furthest unlocked step.
+      return Response::redirect(base + "/step/" +
+                                std::to_string(progress + 1));
+    }
+    app.cover(step_regions_[i - 1]);
+
+    PageBuilder page(params_.title + " — step " + std::to_string(i));
+    page.heading("Step " + std::to_string(i) + " of " +
+                 std::to_string(params_.steps));
+    FormSpec form;
+    form.action = base + "/step/" + std::to_string(i) + "/complete";
+    form.method = "post";
+    form.text_field("choice", "default-" + std::to_string(i));
+    form.submit_label = "Continue";
+    page.form(form);
+    return Response::html(page.build());
+  });
+
+  app.router().post(base + "/step/:i/complete",
+                    [this, &app, base](RequestContext& ctx) {
+                      app.cover(common_region_);
+                      app.cover(guard_region_);
+                      std::size_t i = 0;
+                      try {
+                        i = std::stoul(ctx.param("i"));
+                      } catch (...) {
+                        return Response::not_found("bad step");
+                      }
+                      const auto progress = ctx.sess().get_int(progress_key(), -1);
+                      if (progress < 0 || i > params_.steps) {
+                        return Response::redirect(base + "/start");
+                      }
+                      if (i != static_cast<std::size_t>(progress) + 1) {
+                        // Re-submitting a completed step keeps the session
+                        // where it is; it does not rewind progress.
+                        return Response::redirect(
+                            base + "/step/" +
+                            std::to_string(progress + 1 > params_.steps
+                                               ? params_.steps
+                                               : progress + 1));
+                      }
+                      ctx.sess().set_int(progress_key(),
+                                         static_cast<std::int64_t>(i));
+                      if (i == params_.steps) {
+                        return Response::redirect(base + "/done");
+                      }
+                      return Response::redirect(base + "/step/" +
+                                                std::to_string(i + 1));
+                    });
+
+  app.router().get(base + "/done", [this, &app](RequestContext& ctx) {
+    app.cover(common_region_);
+    const auto progress = ctx.sess().get_int(progress_key(), -1);
+    if (progress < static_cast<std::int64_t>(params_.steps)) {
+      return Response::redirect("/" + params_.slug + "/start");
+    }
+    app.cover(finish_region_);
+    PageBuilder page(params_.title + " — complete");
+    page.heading("All done");
+    page.paragraph("The wizard completed successfully.");
+    return Response::html(page.build());
+  });
+
+  if (params_.link_from_home) {
+    app.add_home_link(base + "/start", params_.title);
+  }
+}
+
+}  // namespace mak::apps

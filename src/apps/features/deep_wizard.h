@@ -1,0 +1,44 @@
+// Sequentially unlocked multi-step flow (submission wizards, checkout
+// funnels, budget setup).
+//
+// Step i+1 is only reachable after step i has been completed in the current
+// session; each step executes its own server-side region. Depth-first
+// exploration shines here: the newest discovered link is always the next
+// step. Breadth-first keeps deferring the chain and pays a long delay.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/feature.h"
+#include "webapp/code_arena.h"
+
+namespace mak::apps {
+
+struct DeepWizardParams {
+  std::string slug = "wizard";
+  std::string title = "Setup wizard";
+  std::size_t steps = 12;
+  std::size_t lines_per_step = 28;
+  std::size_t shared_lines = 180;  // wizard engine shared code
+  bool link_from_home = true;
+};
+
+class DeepWizard final : public Feature {
+ public:
+  explicit DeepWizard(DeepWizardParams params) : params_(std::move(params)) {}
+
+  void install(webapp::WebApp& app) override;
+
+ private:
+  std::string progress_key() const { return params_.slug + ".progress"; }
+
+  DeepWizardParams params_;
+  webapp::CodeRegion common_region_;
+  webapp::CodeRegion start_region_;
+  webapp::CodeRegion guard_region_;
+  webapp::CodeRegion finish_region_;
+  std::vector<webapp::CodeRegion> step_regions_;
+};
+
+}  // namespace mak::apps

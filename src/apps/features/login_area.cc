@@ -1,0 +1,116 @@
+#include "apps/features/login_area.h"
+
+#include "webapp/page_builder.h"
+
+namespace mak::apps {
+
+using httpsim::Response;
+using webapp::FormSpec;
+using webapp::PageBuilder;
+using webapp::RequestContext;
+using webapp::WebApp;
+
+void LoginArea::install(WebApp& app) {
+  auto& arena = app.arena();
+  arena.file(params_.slug + "/auth.php");
+  common_region_ = arena.region(params_.shared_lines);
+  login_form_region_ = arena.region(20);
+  login_check_region_ = arena.region(26);
+  login_fail_region_ = arena.region(12);
+  guard_region_ = arena.region(10);
+  logout_region_ = arena.region(10);
+  arena.file(params_.slug + "/private.php");
+  pages_.allocate(arena, params_.private_pages, params_.page_variants,
+                  params_.lines_per_variant, params_.lines_per_page);
+
+  const std::string base = "/" + params_.slug;
+
+  app.router().get(base + "/login", [this, &app, base](RequestContext& ctx) {
+    app.cover(common_region_);
+    app.cover(login_form_region_);
+    PageBuilder page("Sign in");
+    page.heading("Sign in");
+    if (ctx.sess().get_flag(flag_key())) {
+      page.paragraph("You are already signed in.");
+      page.link(base + "/home", "Go to your account");
+    }
+    FormSpec form;
+    form.action = base + "/login";
+    form.method = "post";
+    form.text_field("username", params_.username);  // prefilled fixture
+    form.password_field("password");
+    form.submit_label = "Sign in";
+    page.form(form);
+    return Response::html(page.build());
+  });
+
+  app.router().post(base + "/login", [this, &app, base](RequestContext& ctx) {
+    app.cover(common_region_);
+    app.cover(login_check_region_);
+    const std::string username = ctx.req().form_value("username");
+    const std::string password = ctx.req().form_value("password");
+    if (username != params_.username || password.empty()) {
+      app.cover(login_fail_region_);
+      PageBuilder page("Sign in failed");
+      page.heading("Invalid credentials");
+      page.link(base + "/login", "Try again");
+      return Response::html(page.build());
+    }
+    ctx.sess().set_flag(flag_key(), true);
+    return Response::redirect(base + "/home");
+  });
+
+  app.router().get(base + "/logout", [this, &app, base](RequestContext& ctx) {
+    app.cover(common_region_);
+    app.cover(logout_region_);
+    ctx.sess().set_flag(flag_key(), false);
+    return Response::redirect(base + "/login");
+  });
+
+  app.router().get(base + "/home", [this, &app, base](RequestContext& ctx) {
+    app.cover(common_region_);
+    app.cover(guard_region_);
+    if (!ctx.sess().get_flag(flag_key())) {
+      return Response::redirect(base + "/login");
+    }
+    PageBuilder page("Your account");
+    page.heading("Account home");
+    page.list_begin();
+    for (std::size_t i = 0; i < params_.private_pages; ++i) {
+      page.nav_link(base + "/page/" + std::to_string(i),
+                    "Private page " + std::to_string(i));
+    }
+    page.nav_link(base + "/logout", "Sign out");
+    page.list_end();
+    return Response::html(page.build());
+  });
+
+  app.router().get(base + "/page/:id", [this, &app, base](RequestContext& ctx) {
+    app.cover(common_region_);
+    app.cover(guard_region_);
+    if (!ctx.sess().get_flag(flag_key())) {
+      return Response::redirect(base + "/login");
+    }
+    std::size_t id = 0;
+    try {
+      id = std::stoul(ctx.param("id"));
+    } catch (...) {
+      return Response::not_found("bad page");
+    }
+    if (id >= params_.private_pages) return Response::not_found("page");
+    app.cover(pages_.variant_region(id));
+    app.cover(pages_.entity_region(id));
+    PageBuilder page("Private page " + std::to_string(id));
+    page.heading("Private page " + std::to_string(id));
+    page.paragraph("Sensitive account content number " + std::to_string(id) +
+                   ".");
+    page.link(base + "/home", "Back to account home");
+    return Response::html(page.build());
+  });
+
+  if (params_.link_from_home) {
+    app.add_home_link(base + "/login", "Sign in");
+  }
+}
+
+}  // namespace mak::apps

@@ -1,0 +1,48 @@
+// Login wall guarding a private section.
+//
+// The login form is prefilled with a valid username (the standard testbed
+// fixture); any non-empty password is accepted. A successful login sets a
+// session flag unlocking a tree of private pages. Crawlers that never
+// submit the form miss the entire section.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/feature.h"
+#include "apps/variant_set.h"
+#include "webapp/code_arena.h"
+
+namespace mak::apps {
+
+struct LoginAreaParams {
+  std::string slug = "account";
+  std::string username = "admin";
+  std::size_t private_pages = 15;
+  std::size_t page_variants = 6;   // private-page template branches
+  std::size_t lines_per_variant = 45;
+  std::size_t lines_per_page = 3;  // per-page micro-branches
+  std::size_t shared_lines = 250;  // auth subsystem shared code
+  bool link_from_home = true;
+};
+
+class LoginArea final : public Feature {
+ public:
+  explicit LoginArea(LoginAreaParams params) : params_(std::move(params)) {}
+
+  void install(webapp::WebApp& app) override;
+
+ private:
+  std::string flag_key() const { return params_.slug + ".logged_in"; }
+
+  LoginAreaParams params_;
+  webapp::CodeRegion common_region_;
+  webapp::CodeRegion login_form_region_;
+  webapp::CodeRegion login_check_region_;
+  webapp::CodeRegion login_fail_region_;
+  webapp::CodeRegion guard_region_;
+  webapp::CodeRegion logout_region_;
+  VariantSet pages_;
+};
+
+}  // namespace mak::apps

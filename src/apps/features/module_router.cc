@@ -1,0 +1,114 @@
+#include "apps/features/module_router.h"
+
+#include "webapp/page_builder.h"
+
+namespace mak::apps {
+
+using httpsim::Response;
+using webapp::PageBuilder;
+using webapp::RequestContext;
+using webapp::WebApp;
+
+namespace {
+const char* const kModuleNames[] = {
+    "CoreHome",     "Dashboard",    "MultiSites",  "CoreAdminHome",
+    "UserSettings", "Goals",        "Referrers",   "VisitsSummary",
+    "Actions",      "SegmentEditor", "Annotations", "Feedback",
+    "Ecommerce",    "DevicesDetection", "Events",  "Contents",
+};
+const char* const kActionNames[] = {
+    "index",   "manage", "view",   "settings",
+    "details", "export", "compare", "history",
+};
+}  // namespace
+
+std::string ModuleRouter::module_name(std::size_t m) const {
+  const std::size_t known = sizeof(kModuleNames) / sizeof(kModuleNames[0]);
+  if (m < known) return kModuleNames[m];
+  return "Plugin" + std::to_string(m);
+}
+
+std::string ModuleRouter::action_name(std::size_t a) const {
+  const std::size_t known = sizeof(kActionNames) / sizeof(kActionNames[0]);
+  if (a < known) return kActionNames[a];
+  return "action" + std::to_string(a);
+}
+
+void ModuleRouter::install(WebApp& app) {
+  auto& arena = app.arena();
+  arena.file("core/dispatcher.php");
+  common_region_ = arena.region(params_.shared_lines);
+  dispatch_region_ = arena.region(45);
+  module_regions_.reserve(params_.module_count);
+  action_regions_.resize(params_.module_count);
+  for (std::size_t m = 0; m < params_.module_count; ++m) {
+    arena.file("plugins/" + module_name(m) + "/controller.php");
+    module_regions_.push_back(arena.region(params_.lines_per_module));
+    action_regions_[m].reserve(params_.actions_per_module);
+    for (std::size_t a = 0; a < params_.actions_per_module; ++a) {
+      action_regions_[m].push_back(arena.region(params_.lines_per_action));
+    }
+  }
+
+  const std::string script = params_.script;
+  // Route pattern without the leading slash split: script is a single path.
+  app.router().get(script, [this, &app, script](RequestContext& ctx) {
+    app.cover(common_region_);
+    app.cover(dispatch_region_);
+    const std::string module = ctx.req().param("module", "CoreHome");
+    const std::string action = ctx.req().param("action", "index");
+
+    // Resolve module/action indices.
+    std::size_t m = params_.module_count;
+    for (std::size_t i = 0; i < params_.module_count; ++i) {
+      if (module_name(i) == module) {
+        m = i;
+        break;
+      }
+    }
+    if (m == params_.module_count) {
+      return Response::not_found("unknown module " + module);
+    }
+    std::size_t a = params_.actions_per_module;
+    for (std::size_t i = 0; i < params_.actions_per_module; ++i) {
+      if (action_name(i) == action) {
+        a = i;
+        break;
+      }
+    }
+    app.cover(module_regions_[m]);
+    if (a == params_.actions_per_module) {
+      return Response::not_found("unknown action " + action);
+    }
+    app.cover(action_regions_[m][a]);
+
+    PageBuilder page(module + " — " + action);
+    page.heading(module + " / " + action);
+    page.paragraph("Module " + module + " rendering action " + action + ".");
+    page.list_begin();
+    // Sibling actions of this module.
+    for (std::size_t i = 0; i < params_.actions_per_module; ++i) {
+      if (i == a) continue;
+      page.nav_link(script + "?module=" + module + "&action=" + action_name(i),
+                    module + " " + action_name(i));
+    }
+    // A few other modules (the Matomo left-hand menu).
+    for (std::size_t k = 1; k <= 3; ++k) {
+      const std::size_t other = (m + k) % params_.module_count;
+      page.nav_link(script + "?module=" + module_name(other) +
+                        "&action=index",
+                    module_name(other));
+    }
+    page.list_end();
+    return Response::html(page.build());
+  });
+
+  if (params_.link_from_home) {
+    app.add_home_link(script + "?module=CoreHome&action=index", "Dashboard");
+    app.add_home_link(script + "?module=" + module_name(1 % params_.module_count) +
+                          "&action=index",
+                      module_name(1 % params_.module_count));
+  }
+}
+
+}  // namespace mak::apps

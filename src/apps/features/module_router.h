@@ -1,0 +1,45 @@
+// Query-parameter module routing, the Matomo pattern (Section III-A).
+//
+// A single front-controller path (/index.php) dispatches on the `module`
+// and `action` query parameters; distinct parameter values execute distinct
+// server-side code. A crawler that ignores the query string would collapse
+// all modules into one page and miss most of the application.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/feature.h"
+#include "webapp/code_arena.h"
+
+namespace mak::apps {
+
+struct ModuleRouterParams {
+  std::string script = "/index.php";
+  std::size_t module_count = 12;
+  std::size_t actions_per_module = 6;
+  std::size_t lines_per_module = 60;   // module bootstrap code
+  std::size_t lines_per_action = 22;   // per-action code
+  std::size_t shared_lines = 400;      // plugin framework shared by modules
+  bool link_from_home = true;
+};
+
+class ModuleRouter final : public Feature {
+ public:
+  explicit ModuleRouter(ModuleRouterParams params) : params_(std::move(params)) {}
+
+  void install(webapp::WebApp& app) override;
+
+  // Deterministic module/action names ("CoreAdminHome"-style).
+  std::string module_name(std::size_t m) const;
+  std::string action_name(std::size_t a) const;
+
+ private:
+  ModuleRouterParams params_;
+  webapp::CodeRegion common_region_;
+  webapp::CodeRegion dispatch_region_;
+  std::vector<webapp::CodeRegion> module_regions_;
+  std::vector<std::vector<webapp::CodeRegion>> action_regions_;
+};
+
+}  // namespace mak::apps

@@ -1,0 +1,70 @@
+#include "apps/features/mutable_shortcuts.h"
+
+#include "url/url.h"
+#include "webapp/page_builder.h"
+
+namespace mak::apps {
+
+using httpsim::Response;
+using webapp::FormSpec;
+using webapp::PageBuilder;
+using webapp::RequestContext;
+using webapp::WebApp;
+
+void MutableShortcuts::install(WebApp& app) {
+  auto& arena = app.arena();
+  arena.file(params_.slug + "/shortcuts.php");
+  common_region_ = arena.region(params_.shared_lines);
+  panel_region_ = arena.region(38);
+  add_region_ = arena.region(20);
+  go_region_ = arena.region(12);
+
+  const std::string base = "/" + params_.slug + "/shortcuts";
+
+  app.router().get(base, [this, &app, base](RequestContext& ctx) {
+    app.cover(common_region_);
+    app.cover(panel_region_);
+    PageBuilder page("Shortcuts");
+    page.heading("Your shortcuts");
+    page.list_begin();
+    for (const auto& shortcut : ctx.sess().get_list("shortcuts")) {
+      page.nav_link("/" + params_.slug + "/go/" + url::encode_component(shortcut),
+                    shortcut);
+    }
+    page.list_end();
+    FormSpec form;
+    form.action = base + "/add";
+    form.method = "post";
+    form.text_field("label");
+    form.submit_label = "Add shortcut";
+    page.form(form);
+    return Response::html(page.build());
+  });
+
+  app.router().post(base + "/add", [this, &app, base](RequestContext& ctx) {
+    app.cover(common_region_);
+    app.cover(add_region_);
+    const std::string label = ctx.req().form_value("label");
+    if (!label.empty() &&
+        ctx.sess().get_list("shortcuts").size() < params_.max_shortcuts) {
+      ctx.sess().push_list("shortcuts", label);
+    }
+    return Response::redirect(base);
+  });
+
+  // Following a user-created shortcut: the target is an arbitrary string
+  // the crawler typed, so resolution always fails (navigation error).
+  app.router().get("/" + params_.slug + "/go/:label",
+                   [this, &app](RequestContext& ctx) {
+                     app.cover(common_region_);
+                     app.cover(go_region_);
+                     return Response::not_found("shortcut target " +
+                                                ctx.param("label"));
+                   });
+
+  if (params_.link_from_home) {
+    app.add_home_link(base, "Shortcuts");
+  }
+}
+
+}  // namespace mak::apps

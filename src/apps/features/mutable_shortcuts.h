@@ -1,0 +1,42 @@
+// Self-modifying page, the Drupal shortcut pattern (Section III-A, Figure 1
+// bottom).
+//
+// A private dashboard page carries a form for adding "shortcut" links. Every
+// submission appends a new link to the page; the crawlers generate arbitrary
+// strings, so the created links always trigger navigation errors. For
+// QExplore, each new link changes the page's interactable-attribute sequence
+// and therefore mints an unbounded stream of new states with no coverage
+// behind them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/feature.h"
+#include "webapp/code_arena.h"
+
+namespace mak::apps {
+
+struct MutableShortcutsParams {
+  std::string slug = "dashboard";
+  std::size_t max_shortcuts = 500;  // server-side cap per session
+  std::size_t shared_lines = 150;   // shortcut module shared code
+  bool link_from_home = true;
+};
+
+class MutableShortcuts final : public Feature {
+ public:
+  explicit MutableShortcuts(MutableShortcutsParams params)
+      : params_(std::move(params)) {}
+
+  void install(webapp::WebApp& app) override;
+
+ private:
+  MutableShortcutsParams params_;
+  webapp::CodeRegion common_region_;
+  webapp::CodeRegion panel_region_;
+  webapp::CodeRegion add_region_;
+  webapp::CodeRegion go_region_;
+};
+
+}  // namespace mak::apps

@@ -1,0 +1,172 @@
+#include "apps/features/paginated_forum.h"
+
+#include "webapp/page_builder.h"
+
+namespace mak::apps {
+
+using httpsim::Response;
+using webapp::FormSpec;
+using webapp::PageBuilder;
+using webapp::RequestContext;
+using webapp::WebApp;
+
+void PaginatedForum::install(WebApp& app) {
+  auto& arena = app.arena();
+  arena.file(params_.slug + "/forum.php");
+  common_region_ = arena.region(params_.shared_lines);
+  index_region_ = arena.region(32);
+  board_handler_region_ = arena.region(40);
+  topic_handler_region_ = arena.region(35);
+  reply_region_ = arena.region(22);
+  arena.file(params_.slug + "/boards.php");
+  for (std::size_t b = 0; b < params_.board_count; ++b) {
+    board_regions_.push_back(arena.region(params_.lines_per_board));
+  }
+  arena.file(params_.slug + "/topics.php");
+  const std::size_t total_topics =
+      params_.board_count * params_.topics_per_board;
+  topics_.allocate(arena, total_topics, params_.topic_variants,
+                   params_.lines_per_topic_variant, params_.lines_per_topic);
+
+  const std::string base = "/" + params_.slug;
+
+  app.router().get(base, [this, &app, base](RequestContext&) {
+    app.cover(common_region_);
+    app.cover(index_region_);
+    PageBuilder page("Forum index");
+    page.heading("Boards");
+    page.list_begin();
+    for (std::size_t b = 0; b < params_.board_count; ++b) {
+      page.nav_link(base + "/board/" + std::to_string(b),
+                    "Board " + std::to_string(b));
+    }
+    page.list_end();
+    return Response::html(page.build());
+  });
+
+  app.router().get(base + "/board/:id", [this, &app, base](
+                                            RequestContext& ctx) {
+    app.cover(common_region_);
+    app.cover(board_handler_region_);
+    std::size_t b = 0;
+    try {
+      b = std::stoul(ctx.param("id"));
+    } catch (...) {
+      return Response::not_found("bad board");
+    }
+    if (b >= params_.board_count) return Response::not_found("board");
+    app.cover(board_regions_[b]);
+    const std::string raw_page = ctx.req().param("page", "0");
+    if (params_.sqli_page_param && raw_page.find('\'') != std::string::npos) {
+      // BUG (intentional): unsanitized parameter reaches the SQL layer.
+      httpsim::Response error;
+      error.status = 500;
+      error.body =
+          "<html><head><title>Error</title></head><body><h1>Database "
+          "error</h1><p>You have an error in your SQL syntax near '" ;
+      error.body += raw_page;
+      error.body += "'</p></body></html>";
+      return error;
+    }
+    std::size_t pg = 0;
+    try {
+      pg = std::stoul(raw_page);
+    } catch (...) {
+      pg = 0;
+    }
+    const std::size_t pages =
+        (params_.topics_per_board + params_.topics_per_page - 1) /
+        params_.topics_per_page;
+    if (pg >= pages) pg = 0;
+
+    PageBuilder page("Board " + std::to_string(b));
+    page.heading("Board " + std::to_string(b) + " — page " +
+                 std::to_string(pg));
+    page.list_begin();
+    const std::size_t begin = pg * params_.topics_per_page;
+    const std::size_t end =
+        std::min(begin + params_.topics_per_page, params_.topics_per_board);
+    for (std::size_t i = begin; i < end; ++i) {
+      page.nav_link(base + "/topic/" + std::to_string(topic_id(b, i)),
+                    "Topic " + std::to_string(topic_id(b, i)));
+    }
+    page.list_end();
+    if (pg + 1 < pages) {
+      page.link(base + "/board/" + std::to_string(b) +
+                    "?page=" + std::to_string(pg + 1),
+                "Next page");
+    }
+    if (pg > 0) {
+      page.link(base + "/board/" + std::to_string(b) +
+                    "?page=" + std::to_string(pg - 1),
+                "Previous page");
+    }
+    page.link(base, "Forum index");
+    return Response::html(page.build());
+  });
+
+  app.router().get(base + "/topic/:id", [this, &app, base](
+                                            RequestContext& ctx) {
+    app.cover(common_region_);
+    app.cover(topic_handler_region_);
+    std::size_t t = 0;
+    try {
+      t = std::stoul(ctx.param("id"));
+    } catch (...) {
+      return Response::not_found("bad topic");
+    }
+    if (t >= topics_.entity_count()) return Response::not_found("topic");
+    app.cover(topics_.variant_region(t));
+    app.cover(topics_.entity_region(t));
+    const std::size_t board = t / params_.topics_per_board;
+
+    PageBuilder page("Topic " + std::to_string(t));
+    page.heading("Topic " + std::to_string(t));
+    for (std::size_t p = 0; p < params_.posts_per_topic; ++p) {
+      page.paragraph("Post " + std::to_string(p) + " in topic " +
+                     std::to_string(t) + ".");
+    }
+    // Session-posted replies show up too.
+    for (const auto& reply :
+         ctx.sess().get_list(params_.slug + ".replies." + std::to_string(t))) {
+      if (params_.stored_xss_replies) {
+        // BUG (intentional): stored reply rendered without escaping.
+        page.raw("<div class=\"reply\">" + reply + "</div>");
+      } else {
+        page.paragraph("Reply: " + reply);
+      }
+    }
+    if (params_.enable_reply_form) {
+      FormSpec form;
+      form.action = base + "/topic/" + std::to_string(t) + "/reply";
+      form.method = "post";
+      form.textarea("message");
+      form.submit_label = "Post reply";
+      page.form(form);
+    }
+    page.link(base + "/board/" + std::to_string(board), "Back to the board");
+    return Response::html(page.build());
+  });
+
+  if (params_.enable_reply_form) {
+    app.router().post(base + "/topic/:id/reply",
+                      [this, &app, base](RequestContext& ctx) {
+                        app.cover(common_region_);
+                        app.cover(reply_region_);
+                        const std::string t = ctx.param("id");
+                        const std::string message =
+                            ctx.req().form_value("message");
+                        if (!message.empty()) {
+                          ctx.sess().push_list(
+                              params_.slug + ".replies." + t, message);
+                        }
+                        return Response::redirect(base + "/topic/" + t);
+                      });
+  }
+
+  if (params_.link_from_home) {
+    app.add_home_link(base, "Forum");
+  }
+}
+
+}  // namespace mak::apps

@@ -1,0 +1,63 @@
+// Forum with boards, paginated topic lists and threads (the PhpBB/Vanilla
+// pattern).
+//
+// Link discovery grows quickly (every list page mints many topic links)
+// while code coverage saturates: all topics of a board share the same
+// handler, with only a small unique region each. The mismatch between link
+// growth and coverage growth exercises MAK's standardized reward.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/feature.h"
+#include "apps/variant_set.h"
+#include "webapp/code_arena.h"
+
+namespace mak::apps {
+
+struct PaginatedForumParams {
+  std::string slug = "forum";
+  std::size_t board_count = 6;
+  std::size_t topics_per_board = 30;
+  std::size_t topics_per_page = 8;
+  std::size_t posts_per_topic = 3;
+  std::size_t lines_per_board = 30;
+  std::size_t topic_variants = 15;   // thread-rendering branches
+  std::size_t lines_per_topic_variant = 45;
+  std::size_t lines_per_topic = 2;   // per-thread micro-branches
+  std::size_t shared_lines = 350;  // forum engine shared code
+  // Vulnerability toggle: the board page parameter is concatenated into a
+  // "query" unsanitized; a quote character surfaces a database error page.
+  bool sqli_page_param = false;
+  // Vulnerability toggle: replies are rendered back without escaping
+  // (stored XSS) — one vulnerable injection point PER TOPIC, so findings
+  // scale with how much of the forum the crawler actually discovered.
+  bool stored_xss_replies = false;
+  bool enable_reply_form = true;
+  bool link_from_home = true;
+};
+
+class PaginatedForum final : public Feature {
+ public:
+  explicit PaginatedForum(PaginatedForumParams params)
+      : params_(std::move(params)) {}
+
+  void install(webapp::WebApp& app) override;
+
+ private:
+  std::size_t topic_id(std::size_t board, std::size_t index) const {
+    return board * params_.topics_per_board + index;
+  }
+
+  PaginatedForumParams params_;
+  webapp::CodeRegion common_region_;
+  webapp::CodeRegion index_region_;
+  webapp::CodeRegion board_handler_region_;
+  webapp::CodeRegion topic_handler_region_;
+  webapp::CodeRegion reply_region_;
+  std::vector<webapp::CodeRegion> board_regions_;
+  VariantSet topics_;
+};
+
+}  // namespace mak::apps

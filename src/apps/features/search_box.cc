@@ -1,0 +1,59 @@
+#include "apps/features/search_box.h"
+
+#include "webapp/page_builder.h"
+
+namespace mak::apps {
+
+using httpsim::Response;
+using webapp::FormSpec;
+using webapp::PageBuilder;
+using webapp::RequestContext;
+using webapp::WebApp;
+
+void SearchBox::install(WebApp& app) {
+  auto& arena = app.arena();
+  arena.file(params_.slug + "/search.php");
+  common_region_ = arena.region(params_.shared_lines);
+  form_region_ = arena.region(22);
+  results_region_ = arena.region(35);
+
+  const std::string base = "/" + params_.slug;
+
+  app.router().get(base, [this, &app, base](RequestContext& ctx) {
+    app.cover(common_region_);
+    const std::string query = ctx.req().param("q");
+    PageBuilder page("Search");
+    if (query.empty()) {
+      app.cover(form_region_);
+      page.heading("Search the site");
+    } else {
+      // The same code executes for EVERY query; results are a fixed set of
+      // already-linked pages. No server-side state changes.
+      app.cover(form_region_);
+      app.cover(results_region_);
+      page.heading("Results for \"" + query + "\"");
+      if (params_.reflect_unescaped) {
+        // BUG (intentional): raw echo of attacker-controlled input.
+        page.raw("<div class=\"echo\">" + query + "</div>");
+      }
+      page.list_begin();
+      for (const auto& path : params_.result_paths) {
+        page.nav_link(path, "Result: " + path);
+      }
+      page.list_end();
+    }
+    FormSpec form;
+    form.action = base;
+    form.method = "get";
+    form.fields.push_back(FormSpec::Field{"q", "search", "", {}});
+    form.submit_label = "Search";
+    page.form(form);
+    return Response::html(page.build());
+  });
+
+  if (params_.link_from_home) {
+    app.add_home_link(base, "Search");
+  }
+}
+
+}  // namespace mak::apps

@@ -1,0 +1,42 @@
+// Read-only search, the WordPress pattern (Section III-B).
+//
+// The search endpoint reads from the server but never changes its state:
+// every query executes the same code and links to the same fixed set of
+// result pages. Curiosity-driven crawlers keep re-submitting the form
+// (each query string is a "new" URL/state) while gaining no coverage; a
+// link-coverage reward recognizes the stagnation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/feature.h"
+#include "webapp/code_arena.h"
+
+namespace mak::apps {
+
+struct SearchBoxParams {
+  std::string slug = "search";
+  // Result links point into these target paths (existing content).
+  std::vector<std::string> result_paths;
+  std::size_t shared_lines = 250;  // query parsing/ranking shared code
+  // Vulnerability toggle: echo the query back WITHOUT escaping (a classic
+  // reflected-XSS bug several of the paper's testbed apps historically had).
+  bool reflect_unescaped = false;
+  bool link_from_home = true;
+};
+
+class SearchBox final : public Feature {
+ public:
+  explicit SearchBox(SearchBoxParams params) : params_(std::move(params)) {}
+
+  void install(webapp::WebApp& app) override;
+
+ private:
+  SearchBoxParams params_;
+  webapp::CodeRegion common_region_;
+  webapp::CodeRegion form_region_;
+  webapp::CodeRegion results_region_;
+};
+
+}  // namespace mak::apps

@@ -1,0 +1,158 @@
+#include "apps/features/static_section.h"
+
+#include "webapp/page_builder.h"
+
+namespace mak::apps {
+
+using httpsim::Response;
+using webapp::PageBuilder;
+using webapp::RequestContext;
+using webapp::WebApp;
+
+void StaticSection::install(WebApp& app) {
+  auto& arena = app.arena();
+  arena.file(params_.slug + "/section.php");
+  common_region_ = arena.region(params_.shared_lines);
+  handler_region_ = arena.region(30);
+  pages_.allocate(arena, params_.page_count, params_.variants,
+                  params_.lines_per_variant, params_.lines_per_entity);
+
+  app.router().get(
+      "/" + params_.slug + "/p/:id", [this, &app](RequestContext& ctx) {
+        app.cover(common_region_);
+        app.cover(handler_region_);
+        std::size_t id = 0;
+        try {
+          id = std::stoul(ctx.param("id"));
+        } catch (...) {
+          return Response::not_found("bad page id");
+        }
+        if (id >= params_.page_count) {
+          return Response::not_found(params_.slug + " page");
+        }
+        app.cover(pages_.variant_region(id));
+        app.cover(pages_.entity_region(id));
+
+        PageBuilder page(params_.title + " #" + std::to_string(id));
+        page.heading(params_.title + " — page " + std::to_string(id));
+        page.paragraph("Static content for " + params_.slug + " page " +
+                       std::to_string(id) + ".");
+        page.list_begin();
+        // Tree children.
+        for (std::size_t c = 1; c <= params_.fanout; ++c) {
+          const std::size_t child = id * params_.fanout + c;
+          if (child < params_.page_count) {
+            page.nav_link("/" + params_.slug + "/p/" + std::to_string(child),
+                          params_.title + " " + std::to_string(child));
+          }
+        }
+        // Deterministic cross links (siblings elsewhere in the tree).
+        for (std::size_t k = 1; k <= params_.cross_links; ++k) {
+          const std::size_t other =
+              (id * 7 + k * 13) % params_.page_count;
+          if (other != id) {
+            page.nav_link("/" + params_.slug + "/p/" + std::to_string(other),
+                          "See also " + std::to_string(other));
+          }
+        }
+        if (id != 0) {
+          page.nav_link("/" + params_.slug + "/p/0", params_.title + " home");
+        }
+        page.list_end();
+        return Response::html(page.build());
+      });
+
+  if (params_.link_from_home) {
+    app.add_home_link("/" + params_.slug + "/p/0", params_.title);
+  }
+}
+
+void NewsArchive::install(WebApp& app) {
+  auto& arena = app.arena();
+  arena.file(params_.slug + "/archive.php");
+  common_region_ = arena.region(params_.shared_lines);
+  index_region_ = arena.region(40);
+  article_handler_region_ = arena.region(25);
+  arena.file(params_.slug + "/articles.php");
+  articles_.allocate(arena, params_.article_count, params_.variants,
+                     params_.lines_per_variant, params_.lines_per_entity);
+
+  const std::size_t chunks =
+      (params_.article_count + params_.index_page_size - 1) /
+      params_.index_page_size;
+
+  // Chunked index: /<slug>?chunk=N
+  app.router().get("/" + params_.slug, [this, &app, chunks](
+                                           RequestContext& ctx) {
+    app.cover(common_region_);
+    app.cover(index_region_);
+    std::size_t chunk = 0;
+    try {
+      chunk = std::stoul(ctx.req().param("chunk", "0"));
+    } catch (...) {
+      chunk = 0;
+    }
+    if (chunk >= chunks) chunk = 0;
+
+    PageBuilder page(params_.title + " — archive " + std::to_string(chunk));
+    page.heading(params_.title);
+    page.list_begin();
+    const std::size_t begin = chunk * params_.index_page_size;
+    const std::size_t end =
+        std::min(begin + params_.index_page_size, params_.article_count);
+    for (std::size_t i = begin; i < end; ++i) {
+      page.nav_link("/" + params_.slug + "/a/" + std::to_string(i),
+                    params_.title + " story " + std::to_string(i));
+    }
+    page.list_end();
+    if (chunk + 1 < chunks) {
+      page.link("/" + params_.slug + "?chunk=" + std::to_string(chunk + 1),
+                "Older stories");
+    }
+    if (chunk > 0) {
+      page.link("/" + params_.slug + "?chunk=" + std::to_string(chunk - 1),
+                "Newer stories");
+    }
+    return Response::html(page.build());
+  });
+
+  app.router().get(
+      "/" + params_.slug + "/a/:id", [this, &app](RequestContext& ctx) {
+        app.cover(common_region_);
+        app.cover(article_handler_region_);
+        std::size_t id = 0;
+        try {
+          id = std::stoul(ctx.param("id"));
+        } catch (...) {
+          return Response::not_found("bad article id");
+        }
+        if (id >= params_.article_count) {
+          return Response::not_found("article");
+        }
+        app.cover(articles_.variant_region(id));
+        app.cover(articles_.entity_region(id));
+
+        PageBuilder page(params_.title + " story " + std::to_string(id));
+        page.heading("Story " + std::to_string(id));
+        page.paragraph("Long-form article body number " + std::to_string(id) +
+                       " with enough text to look like a real story.");
+        page.list_begin();
+        if (id + 1 < params_.article_count) {
+          page.nav_link("/" + params_.slug + "/a/" + std::to_string(id + 1),
+                        "Next story");
+        }
+        if (id > 0) {
+          page.nav_link("/" + params_.slug + "/a/" + std::to_string(id - 1),
+                        "Previous story");
+        }
+        page.nav_link("/" + params_.slug, "Back to the archive");
+        page.list_end();
+        return Response::html(page.build());
+      });
+
+  if (params_.link_from_home) {
+    app.add_home_link("/" + params_.slug, params_.title);
+  }
+}
+
+}  // namespace mak::apps

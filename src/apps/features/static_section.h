@@ -1,0 +1,75 @@
+// Breadth-oriented content features.
+//
+// StaticSection: a tree of content pages (fanout x depth); every page has
+// its own code region, so coverage grows with each newly visited page.
+// Rewards breadth-first exploration.
+//
+// NewsArchive: a flat archive of many articles behind a chunked index;
+// coverage is dominated by the per-article regions, of which a 30-minute
+// budget only reaches a part — the source of run-to-run variance on the
+// large apps (WordPress, Drupal).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/feature.h"
+#include "apps/variant_set.h"
+#include "webapp/code_arena.h"
+
+namespace mak::apps {
+
+struct StaticSectionParams {
+  std::string slug = "docs";       // URL prefix: /<slug>/p/<id>
+  std::string title = "Documentation";
+  std::size_t page_count = 40;     // total pages in the tree
+  std::size_t fanout = 4;          // children per page
+  std::size_t variants = 12;       // page-template branches (Zipf-assigned)
+  std::size_t lines_per_variant = 60;
+  std::size_t lines_per_entity = 3;  // per-page micro-branches
+  std::size_t cross_links = 2;     // extra deterministic cross links per page
+  std::size_t shared_lines = 150;  // section code shared by all its pages
+  bool link_from_home = true;
+};
+
+class StaticSection final : public Feature {
+ public:
+  explicit StaticSection(StaticSectionParams params)
+      : params_(std::move(params)) {}
+
+  void install(webapp::WebApp& app) override;
+
+ private:
+  StaticSectionParams params_;
+  webapp::CodeRegion common_region_;
+  webapp::CodeRegion handler_region_;
+  VariantSet pages_;
+};
+
+struct NewsArchiveParams {
+  std::string slug = "news";
+  std::string title = "News";
+  std::size_t article_count = 300;
+  std::size_t index_page_size = 12;  // articles listed per index chunk
+  std::size_t variants = 25;         // article-rendering branches
+  std::size_t lines_per_variant = 70;
+  std::size_t lines_per_entity = 3;
+  std::size_t shared_lines = 350;  // archive code shared by all articles
+  bool link_from_home = true;
+};
+
+class NewsArchive final : public Feature {
+ public:
+  explicit NewsArchive(NewsArchiveParams params) : params_(std::move(params)) {}
+
+  void install(webapp::WebApp& app) override;
+
+ private:
+  NewsArchiveParams params_;
+  webapp::CodeRegion common_region_;
+  webapp::CodeRegion index_region_;
+  webapp::CodeRegion article_handler_region_;
+  VariantSet articles_;
+};
+
+}  // namespace mak::apps

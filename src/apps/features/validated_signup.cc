@@ -1,0 +1,132 @@
+#include "apps/features/validated_signup.h"
+
+#include <cctype>
+
+#include "support/strings.h"
+#include "webapp/page_builder.h"
+
+namespace mak::apps {
+
+using httpsim::Response;
+using webapp::FormSpec;
+using webapp::PageBuilder;
+using webapp::RequestContext;
+using webapp::WebApp;
+
+namespace {
+
+bool valid_email(const std::string& email) {
+  const std::size_t at = email.find('@');
+  if (at == std::string::npos || at == 0) return false;
+  return email.find('.', at) != std::string::npos;
+}
+
+bool valid_age(const std::string& age) {
+  if (age.empty() || age.size() > 3) return false;
+  for (char c : age) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  const int value = std::stoi(age);
+  return value >= 18 && value <= 99;
+}
+
+bool valid_username(const std::string& username) {
+  if (username.empty()) return false;
+  for (char c : username) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void ValidatedSignup::install(WebApp& app) {
+  auto& arena = app.arena();
+  arena.file(params_.slug + "/signup.php");
+  form_region_ = arena.region(24);
+  validate_region_ = arena.region(30);
+  reject_region_ = arena.region(14);
+  success_region_ = arena.region(params_.success_lines);
+  member_guard_region_ = arena.region(10);
+  for (std::size_t i = 0; i < params_.member_pages; ++i) {
+    member_regions_.push_back(arena.region(params_.lines_per_member_page));
+  }
+
+  const std::string base = "/" + params_.slug;
+
+  app.router().get(base, [this, &app, base](RequestContext&) {
+    app.cover(form_region_);
+    PageBuilder page("Sign up");
+    page.heading("Create your account");
+    FormSpec form;
+    form.action = base;
+    form.method = "post";
+    form.text_field("username");
+    form.fields.push_back(FormSpec::Field{"email", "email", "", {}});
+    form.fields.push_back(FormSpec::Field{"age", "number", "", {}});
+    form.submit_label = "Sign up";
+    page.form(form);
+    return Response::html(page.build());
+  });
+
+  app.router().post(base, [this, &app, base](RequestContext& ctx) {
+    app.cover(validate_region_);
+    const std::string username = ctx.req().form_value("username");
+    const std::string email = ctx.req().form_value("email");
+    const std::string age = ctx.req().form_value("age");
+    if (!valid_username(username) || !valid_email(email) || !valid_age(age)) {
+      app.cover(reject_region_);
+      PageBuilder page("Sign up failed");
+      page.heading("Please fix the errors");
+      page.paragraph("Username must be alphanumeric, the email must be real "
+                     "and the age between 18 and 99.");
+      page.link(base, "Back to the form");
+      return Response::html(page.build());
+    }
+    app.cover(success_region_);
+    ctx.sess().set_flag(flag_key(), true);
+    return Response::redirect(base + "/welcome");
+  });
+
+  app.router().get(base + "/welcome", [this, &app, base](RequestContext& ctx) {
+    app.cover(member_guard_region_);
+    if (!ctx.sess().get_flag(flag_key())) return Response::redirect(base);
+    PageBuilder page("Welcome");
+    page.heading("Welcome aboard");
+    page.list_begin();
+    for (std::size_t i = 0; i < params_.member_pages; ++i) {
+      page.nav_link(base + "/member/" + std::to_string(i),
+                    "Member page " + std::to_string(i));
+    }
+    page.list_end();
+    return Response::html(page.build());
+  });
+
+  app.router().get(base + "/member/:id",
+                   [this, &app, base](RequestContext& ctx) {
+                     app.cover(member_guard_region_);
+                     if (!ctx.sess().get_flag(flag_key())) {
+                       return Response::redirect(base);
+                     }
+                     std::size_t id = 0;
+                     try {
+                       id = std::stoul(ctx.param("id"));
+                     } catch (...) {
+                       return Response::not_found("bad member page");
+                     }
+                     if (id >= params_.member_pages) {
+                       return Response::not_found("member page");
+                     }
+                     app.cover(member_regions_[id]);
+                     PageBuilder page("Member page " + std::to_string(id));
+                     page.heading("Members only: " + std::to_string(id));
+                     page.link(base + "/welcome", "Back");
+                     return Response::html(page.build());
+                   });
+
+  if (params_.link_from_home) {
+    app.add_home_link(base, "Sign up");
+  }
+}
+
+}  // namespace mak::apps

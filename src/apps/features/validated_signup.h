@@ -1,0 +1,47 @@
+// Server-side form validation gate.
+//
+// A signup form whose handler validates its fields the way real
+// applications do: the email needs '@' and a dot, the age must parse into
+// [18, 99], the username must be non-empty alphanumeric. Only a VALID
+// submission executes the success path (profile creation, welcome page,
+// member area); invalid input hits a short error path. Crawlers that fill
+// inputs with junk never unlock the gated region — the "sophisticated input
+// filling" dimension the paper notes as a GET_ACTIONS difference between
+// crawlers (Section III). bench/input_strategies measures it.
+#pragma once
+
+#include <string>
+
+#include "apps/feature.h"
+#include "webapp/code_arena.h"
+
+namespace mak::apps {
+
+struct ValidatedSignupParams {
+  std::string slug = "signup";
+  std::size_t success_lines = 180;  // profile-creation + welcome code
+  std::size_t member_pages = 6;     // gated pages behind a valid signup
+  std::size_t lines_per_member_page = 30;
+  bool link_from_home = true;
+};
+
+class ValidatedSignup final : public Feature {
+ public:
+  explicit ValidatedSignup(ValidatedSignupParams params)
+      : params_(std::move(params)) {}
+
+  void install(webapp::WebApp& app) override;
+
+ private:
+  std::string flag_key() const { return params_.slug + ".member"; }
+
+  ValidatedSignupParams params_;
+  webapp::CodeRegion form_region_;
+  webapp::CodeRegion validate_region_;
+  webapp::CodeRegion reject_region_;
+  webapp::CodeRegion success_region_;
+  webapp::CodeRegion member_guard_region_;
+  std::vector<webapp::CodeRegion> member_regions_;
+};
+
+}  // namespace mak::apps

@@ -1,0 +1,25 @@
+#include "apps/synthetic_app.h"
+
+#include <stdexcept>
+
+namespace mak::apps {
+
+std::string_view to_string(Platform platform) noexcept {
+  switch (platform) {
+    case Platform::kPhp:
+      return "PHP";
+    case Platform::kNode:
+      return "Node.js";
+  }
+  return "?";
+}
+
+void SyntheticApp::add_feature(std::unique_ptr<Feature> feature) {
+  if (finalized()) {
+    throw std::logic_error("SyntheticApp::add_feature after finalize()");
+  }
+  feature->install(*this);
+  features_.push_back(std::move(feature));
+}
+
+}  // namespace mak::apps

@@ -1,0 +1,39 @@
+// A synthetic testbed application: a WebApp composed of Features.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/feature.h"
+#include "webapp/app_base.h"
+
+namespace mak::apps {
+
+// Server platform of the modelled application. Determines how the harness
+// measures coverage, mirroring the paper's tooling: PHP apps (Xdebug) can be
+// sampled at any time during the run, Node apps (coverage-node) only report
+// at the end, against the total declared line count.
+enum class Platform { kPhp, kNode };
+
+std::string_view to_string(Platform platform) noexcept;
+
+class SyntheticApp final : public webapp::WebApp {
+ public:
+  SyntheticApp(std::string name, std::string host, Platform platform)
+      : WebApp(std::move(name), std::move(host)), platform_(platform) {}
+
+  Platform platform() const noexcept { return platform_; }
+
+  // Install a feature (allocates regions, registers routes). Must be called
+  // before finalize(); the app takes ownership.
+  void add_feature(std::unique_ptr<Feature> feature);
+
+  std::size_t feature_count() const noexcept { return features_.size(); }
+
+ private:
+  Platform platform_;
+  std::vector<std::unique_ptr<Feature>> features_;
+};
+
+}  // namespace mak::apps

@@ -1,0 +1,61 @@
+#include "apps/variant_set.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "support/rng.h"
+
+namespace mak::apps {
+
+void VariantSet::allocate(webapp::CodeArena& arena, std::size_t entities,
+                          std::size_t variants, std::size_t lines_per_variant,
+                          std::size_t lines_per_entity) {
+  if (variants == 0) throw std::invalid_argument("VariantSet: zero variants");
+  variant_regions_.reserve(variants);
+  for (std::size_t v = 0; v < variants; ++v) {
+    variant_regions_.push_back(arena.region(lines_per_variant));
+  }
+  zipf_total_ = 0.0;
+  for (std::size_t k = 1; k <= variants; ++k) {
+    zipf_total_ += 1.0 / static_cast<double>(k);
+  }
+  entity_regions_.reserve(entities);
+  for (std::size_t e = 0; e < entities; ++e) {
+    entity_regions_.push_back(
+        lines_per_entity > 0 ? arena.region(lines_per_entity)
+                             : webapp::CodeRegion{});
+  }
+}
+
+std::size_t VariantSet::variant_of(std::size_t entity) const {
+  // Hash the entity id to a uniform u in [0,1) and invert the Zipf CDF:
+  // variant k is hit with probability proportional to 1/(k+1). The head
+  // variants are common (any crawler finds them within a few entity
+  // visits); the tail is thin enough that only a broad sweep uncovers it.
+  const double u =
+      static_cast<double>(support::mix64(entity) >> 11) * 0x1.0p-53;
+  const double target = u * zipf_total_;
+  double acc = 0.0;
+  for (std::size_t k = 0; k < variant_regions_.size(); ++k) {
+    acc += 1.0 / static_cast<double>(k + 1);
+    if (target < acc) return k;
+  }
+  return variant_regions_.size() - 1;
+}
+
+const webapp::CodeRegion& VariantSet::variant_region(std::size_t entity) const {
+  return variant_regions_.at(variant_of(entity));
+}
+
+const webapp::CodeRegion& VariantSet::entity_region(std::size_t entity) const {
+  return entity_regions_.at(entity);
+}
+
+std::size_t VariantSet::total_lines() const noexcept {
+  std::size_t total = 0;
+  for (const auto& r : variant_regions_) total += r.lines();
+  for (const auto& r : entity_regions_) total += r.lines();
+  return total;
+}
+
+}  // namespace mak::apps

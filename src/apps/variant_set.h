@@ -1,0 +1,51 @@
+// Variant-based code accounting for entity collections.
+//
+// In a real application, all articles (products, topics, ...) run the same
+// handler; what differs between entities is which *branches* execute:
+// an article with comments, a product on sale, a topic with attachments.
+// VariantSet models this: a collection of N entities shares V variant
+// regions, with a Zipf-like assignment (low variants common, high variants
+// rare). Any crawler covers the common variants after a handful of entity
+// visits; the rare variants are the long tail that separates thorough
+// crawlers from shallow ones. A small per-entity region (a few lines) keeps
+// coverage weakly increasing with every newly visited entity, mirroring
+// data-dependent micro-branches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "webapp/code_arena.h"
+
+namespace mak::apps {
+
+class VariantSet {
+ public:
+  VariantSet() = default;
+
+  // Allocate `variants` variant regions of `lines_per_variant` lines each,
+  // plus one `lines_per_entity`-line region per entity, in the arena's
+  // current file.
+  void allocate(webapp::CodeArena& arena, std::size_t entities,
+                std::size_t variants, std::size_t lines_per_variant,
+                std::size_t lines_per_entity);
+
+  std::size_t entity_count() const noexcept { return entity_regions_.size(); }
+  std::size_t variant_count() const noexcept { return variant_regions_.size(); }
+
+  // Deterministic Zipf-distributed variant of entity i: P(variant k) ~ 1/k.
+  std::size_t variant_of(std::size_t entity) const;
+
+  const webapp::CodeRegion& variant_region(std::size_t entity) const;
+  const webapp::CodeRegion& entity_region(std::size_t entity) const;
+
+  // Total lines this set contributed to the arena.
+  std::size_t total_lines() const noexcept;
+
+ private:
+  std::vector<webapp::CodeRegion> variant_regions_;
+  std::vector<webapp::CodeRegion> entity_regions_;
+  double zipf_total_ = 0.0;  // harmonic normalizer H(V)
+};
+
+}  // namespace mak::apps

@@ -1,0 +1,55 @@
+#include "baselines/qexplore.h"
+
+#include "html/interactables.h"
+#include "support/rng.h"
+
+namespace mak::baselines {
+
+QExploreCrawler::QExploreCrawler(support::Rng rng, QExploreConfig config)
+    : RlCrawlerBase(std::move(rng)), config_(config), qtable_(config.q) {}
+
+rl::StateId QExploreCrawler::get_state(const core::Page& page) {
+  // Pre-processing: sequence of attribute values of the interactable
+  // elements; similarity: hash equality of the string representation.
+  const rl::StateId id = html::qexplore_state_hash(page.dom);
+  known_states_.insert(id);
+  return id;
+}
+
+std::size_t QExploreCrawler::action_count(const core::Page& page) {
+  return page.actions.size();
+}
+
+std::size_t QExploreCrawler::choose_action(rl::StateId state,
+                                           const core::Page&,
+                                           std::size_t n_actions) {
+  // Greedy strategy: the action with the highest Q-value; ties (which with
+  // optimistic initialization means "never tried") break at random.
+  return qtable_.argmax_action(state, n_actions, rng());
+}
+
+core::InteractionResult QExploreCrawler::execute(core::Browser& browser,
+                                                 std::size_t action) {
+  const core::ResolvedAction chosen = browser.page().actions.at(action);
+  executed_key_ = chosen.key();
+  set_last_action(chosen.describe());
+  return browser.interact(chosen);
+}
+
+double QExploreCrawler::get_reward(rl::StateId state, std::size_t,
+                                   const core::InteractionResult&,
+                                   rl::StateId, const core::Page&) {
+  const std::uint64_t key =
+      support::mix64(state * 0x9e3779b97f4a7c15ULL ^ executed_key_);
+  return curiosity_.visit(key);
+}
+
+void QExploreCrawler::update_policy(rl::StateId state, std::size_t action,
+                                    double reward, rl::StateId next_state,
+                                    const core::Page& next_page) {
+  qtable_.touch(next_state, next_page.actions.size());
+  qtable_.action_guided_update(state, action, reward, next_state,
+                               next_page.actions.size());
+}
+
+}  // namespace mak::baselines

@@ -1,0 +1,60 @@
+// QExplore baseline (Sherin et al., JSS 2023), reimplemented on the unified
+// framework (Section V-A.1 of the paper; the authors' public code guided
+// the reimplementation choices).
+//
+// Building blocks (Table I):
+//   GET_STATE      — hash of the sequence of attribute values of the page's
+//                    interactable elements
+//   GET_ACTIONS    — interactable DOM elements of the current page
+//   CHOOSE_ACTION  — deterministic: the action with the maximum Q-value
+//   GET_REWARD     — curiosity: 1/sqrt(#times (s, a) executed)
+//   UPDATE_POLICY  — modified Q-learning update that boosts successor
+//                    states with more available actions
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "core/crawler.h"
+#include "rl/qlearning.h"
+#include "rl/reward.h"
+
+namespace mak::baselines {
+
+struct QExploreConfig {
+  rl::QLearningConfig q;
+};
+
+class QExploreCrawler final : public core::RlCrawlerBase {
+ public:
+  QExploreCrawler(support::Rng rng, QExploreConfig config = {});
+
+  std::string_view name() const override { return "QExplore"; }
+
+  std::size_t state_count() const noexcept { return known_states_.size(); }
+  const rl::QTable& qtable() const noexcept { return qtable_; }
+
+ protected:
+  rl::StateId get_state(const core::Page& page) override;
+  std::size_t action_count(const core::Page& page) override;
+  std::size_t choose_action(rl::StateId state, const core::Page& page,
+                            std::size_t n_actions) override;
+  core::InteractionResult execute(core::Browser& browser,
+                                  std::size_t action) override;
+  double get_reward(rl::StateId state, std::size_t action,
+                    const core::InteractionResult& result,
+                    rl::StateId next_state,
+                    const core::Page& next_page) override;
+  void update_policy(rl::StateId state, std::size_t action, double reward,
+                     rl::StateId next_state,
+                     const core::Page& next_page) override;
+
+ private:
+  QExploreConfig config_;
+  rl::QTable qtable_;
+  rl::CuriosityReward curiosity_;
+  std::unordered_set<rl::StateId> known_states_;
+  std::uint64_t executed_key_ = 0;
+};
+
+}  // namespace mak::baselines

@@ -1,0 +1,166 @@
+#include "baselines/webexplor.h"
+
+#include <algorithm>
+
+#include "html/interactables.h"
+#include "support/rng.h"
+
+namespace mak::baselines {
+
+double WebExplorStateAbstraction::similarity(
+    const std::vector<std::string>& a, const std::vector<std::string>& b) const {
+  return html::sequence_similarity(a, b, config_.max_tags_compared);
+}
+
+rl::StateId WebExplorStateAbstraction::state_of(const core::Page& page) {
+  // Pre-processing function: (URL, tag sequence).
+  const std::string url_key = page.url.without_fragment();
+  std::vector<std::string> tags = html::tag_sequence(page.dom);
+
+  auto& states = by_url_[url_key];
+  // Exact URL matching first: a brand-new URL always creates a new state.
+  // For an existing URL, compare tag sequences by pattern matching.
+  for (const auto& known : states) {
+    if (similarity(known.tags, tags) >= config_.tag_similarity_threshold) {
+      return known.id;
+    }
+  }
+  const rl::StateId id = next_state_++;
+  states.push_back(KnownState{std::move(tags), id});
+  return id;
+}
+
+WebExplorCrawler::WebExplorCrawler(support::Rng rng, WebExplorConfig config)
+    : RlCrawlerBase(std::move(rng)),
+      config_(config),
+      abstraction_(config),
+      qtable_(config.q) {}
+
+rl::StateId WebExplorCrawler::get_state(const core::Page& page) {
+  return abstraction_.state_of(page);
+}
+
+std::size_t WebExplorCrawler::action_count(const core::Page& page) {
+  return page.actions.size();
+}
+
+std::optional<std::size_t> WebExplorCrawler::guided_choice(
+    const core::Page& page) {
+  if (guidance_.empty()) return std::nullopt;
+  const std::uint64_t wanted = guidance_.front();
+  for (std::size_t i = 0; i < page.actions.size(); ++i) {
+    if (page.actions[i].key() == wanted) {
+      guidance_.pop_front();
+      ++guided_steps_;
+      return i;
+    }
+  }
+  // The recorded action is not on this page (the application moved on):
+  // abandon the plan rather than wander.
+  guidance_.clear();
+  return std::nullopt;
+}
+
+void WebExplorCrawler::plan_guidance(rl::StateId from) {
+  // BFS over the recorded transition graph toward any state with untried
+  // actions, reconstructing the action-key path.
+  std::map<rl::StateId, std::pair<rl::StateId, std::uint64_t>> parent;
+  std::deque<rl::StateId> queue;
+  std::set<rl::StateId> seen;
+  queue.push_back(from);
+  seen.insert(from);
+  rl::StateId goal = from;
+  bool found = false;
+  while (!queue.empty() && !found) {
+    const rl::StateId current = queue.front();
+    queue.pop_front();
+    if (current != from) {
+      const auto known = known_action_counts_.find(current);
+      const auto executed = executed_actions_.find(current);
+      const std::size_t done =
+          executed != executed_actions_.end() ? executed->second.size() : 0;
+      if (known != known_action_counts_.end() && done < known->second) {
+        goal = current;
+        found = true;
+        break;
+      }
+    }
+    const auto edges = transitions_.find(current);
+    if (edges == transitions_.end()) continue;
+    for (const auto& edge : edges->second) {
+      if (seen.insert(edge.to).second) {
+        parent[edge.to] = {current, edge.action_key};
+        queue.push_back(edge.to);
+      }
+    }
+  }
+  if (!found) return;
+  std::vector<std::uint64_t> reversed;
+  for (rl::StateId at = goal; at != from;) {
+    const auto& [prev, key] = parent.at(at);
+    reversed.push_back(key);
+    at = prev;
+  }
+  guidance_.assign(reversed.rbegin(), reversed.rend());
+  ++guidance_activations_;
+}
+
+std::size_t WebExplorCrawler::choose_action(rl::StateId state,
+                                            const core::Page& page,
+                                            std::size_t n_actions) {
+  qtable_.touch(state, n_actions);
+  known_action_counts_[state] =
+      std::max(known_action_counts_[state], n_actions);
+  if (config_.enable_dfa) {
+    if (auto guided = guided_choice(page)) return *guided;
+    if (stagnation_ >= config_.stagnation_threshold) {
+      stagnation_ = 0;
+      plan_guidance(state);
+      if (auto guided = guided_choice(page)) return *guided;
+    }
+  }
+  std::vector<double> q_values(n_actions);
+  for (std::size_t i = 0; i < n_actions; ++i) {
+    q_values[i] = qtable_.q(state, i);
+  }
+  return rl::gumbel_softmax_choice(q_values, config_.temperature, rng());
+}
+
+core::InteractionResult WebExplorCrawler::execute(core::Browser& browser,
+                                                  std::size_t action) {
+  // Copy the action out: interact() replaces the current page.
+  const core::ResolvedAction chosen = browser.page().actions.at(action);
+  executed_key_ = chosen.key();
+  set_last_action(chosen.describe());
+  return browser.interact(chosen);
+}
+
+double WebExplorCrawler::get_reward(rl::StateId state, std::size_t,
+                                    const core::InteractionResult&,
+                                    rl::StateId, const core::Page&) {
+  // Curiosity over (state, action) execution counts.
+  const std::uint64_t key =
+      support::mix64(state * 0x9e3779b97f4a7c15ULL ^ executed_key_);
+  return curiosity_.visit(key);
+}
+
+void WebExplorCrawler::update_policy(rl::StateId state, std::size_t action,
+                                     double reward, rl::StateId next_state,
+                                     const core::Page& next_page) {
+  qtable_.touch(next_state, next_page.actions.size());
+  qtable_.bellman_update(state, action, reward, next_state);
+  if (config_.enable_dfa) {
+    // Record the transition and the executed action for the DFA.
+    transitions_[state].push_back(Transition{executed_key_, next_state});
+    executed_actions_[state].insert(executed_key_);
+    known_action_counts_[next_state] = std::max(
+        known_action_counts_[next_state], next_page.actions.size());
+    if (visited_states_.insert(next_state).second) {
+      stagnation_ = 0;  // discovered a brand-new state
+    } else {
+      ++stagnation_;
+    }
+  }
+}
+
+}  // namespace mak::baselines

@@ -1,0 +1,137 @@
+// WebExplor baseline (Zheng et al., ICSE 2021), reimplemented on the unified
+// framework per the paper's methodology (Section V-A.1; the original has no
+// public implementation).
+//
+// Building blocks (Table I):
+//   GET_STATE      — URL + sequence of HTML tags; exact URL match first,
+//                    then tag-sequence pattern matching among the states
+//                    sharing the URL
+//   GET_ACTIONS    — interactable DOM elements of the current page
+//   CHOOSE_ACTION  — Gumbel-softmax over the state's Q-values
+//   GET_REWARD     — curiosity: 1/sqrt(#times (s, a) executed)
+//   UPDATE_POLICY  — standard Bellman Q-learning update
+//
+// The DFA guidance of the original is implemented but DISABLED by default,
+// matching framework assumption (iii) of the paper. The paper justifies the
+// omission with WebExplor's own result that the DFA does not change the
+// 30-minute coverage; bench/dfa_ablation turns it on to test that claim.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/crawler.h"
+#include "rl/qlearning.h"
+#include "rl/reward.h"
+
+namespace mak::baselines {
+
+struct WebExplorConfig {
+  rl::QLearningConfig q;             // alpha/gamma/initial Q
+  double temperature = 0.2;          // Gumbel-softmax temperature
+  double tag_similarity_threshold = 0.90;  // pattern-matching cut-off
+  std::size_t max_tags_compared = 256;     // cap for the LCS computation
+  // DFA guidance (disabled by default per the paper's assumption (iii)):
+  // when no new state has been discovered for `stagnation_threshold`
+  // consecutive steps, replay the shortest recorded transition path toward
+  // a state that still has untried actions.
+  bool enable_dfa = false;
+  std::size_t stagnation_threshold = 12;
+};
+
+// Registry of WebExplor states: URL -> list of (tag sequence, state id).
+// Exposed separately so the state-explosion bench (Figure 1, top) can probe
+// it directly.
+class WebExplorStateAbstraction {
+ public:
+  explicit WebExplorStateAbstraction(const WebExplorConfig& config)
+      : config_(config) {}
+
+  // Map a page to a state id, creating a new state when no existing state
+  // matches (new URL, or tag sequence too dissimilar).
+  rl::StateId state_of(const core::Page& page);
+
+  std::size_t state_count() const noexcept { return next_state_; }
+  std::size_t url_count() const noexcept { return by_url_.size(); }
+
+ private:
+  struct KnownState {
+    std::vector<std::string> tags;
+    rl::StateId id;
+  };
+
+  // Similarity in [0,1]: 2*LCS(a,b) / (|a|+|b|), sequences truncated to
+  // max_tags_compared.
+  double similarity(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) const;
+
+  WebExplorConfig config_;
+  std::map<std::string, std::vector<KnownState>> by_url_;
+  rl::StateId next_state_ = 0;
+};
+
+class WebExplorCrawler final : public core::RlCrawlerBase {
+ public:
+  WebExplorCrawler(support::Rng rng, WebExplorConfig config = {});
+
+  std::string_view name() const override { return "WebExplor"; }
+
+  const WebExplorStateAbstraction& abstraction() const noexcept {
+    return abstraction_;
+  }
+  const rl::QTable& qtable() const noexcept { return qtable_; }
+  // DFA diagnostics.
+  std::size_t guidance_activations() const noexcept {
+    return guidance_activations_;
+  }
+  std::size_t guided_steps() const noexcept { return guided_steps_; }
+
+ protected:
+  rl::StateId get_state(const core::Page& page) override;
+  std::size_t action_count(const core::Page& page) override;
+  std::size_t choose_action(rl::StateId state, const core::Page& page,
+                            std::size_t n_actions) override;
+  core::InteractionResult execute(core::Browser& browser,
+                                  std::size_t action) override;
+  double get_reward(rl::StateId state, std::size_t action,
+                    const core::InteractionResult& result,
+                    rl::StateId next_state,
+                    const core::Page& next_page) override;
+  void update_policy(rl::StateId state, std::size_t action, double reward,
+                     rl::StateId next_state,
+                     const core::Page& next_page) override;
+
+ private:
+  // Pick a guided action if the DFA has one queued for the current page;
+  // returns the action index or nullopt to fall back to the policy.
+  std::optional<std::size_t> guided_choice(const core::Page& page);
+  // BFS over recorded transitions toward a state with untried actions.
+  void plan_guidance(rl::StateId from);
+
+  WebExplorConfig config_;
+  WebExplorStateAbstraction abstraction_;
+  rl::QTable qtable_;
+  rl::CuriosityReward curiosity_;
+  std::uint64_t executed_key_ = 0;  // (state, action) key of the last step
+
+  // --- DFA machinery (only active with config_.enable_dfa) ---
+  struct Transition {
+    std::uint64_t action_key;
+    rl::StateId to;
+  };
+  std::map<rl::StateId, std::vector<Transition>> transitions_;
+  std::map<rl::StateId, std::set<std::uint64_t>> executed_actions_;
+  std::map<rl::StateId, std::size_t> known_action_counts_;
+  std::set<rl::StateId> visited_states_;
+  std::deque<std::uint64_t> guidance_;
+  std::size_t stagnation_ = 0;
+  std::size_t guidance_activations_ = 0;
+  std::size_t guided_steps_ = 0;
+};
+
+}  // namespace mak::baselines

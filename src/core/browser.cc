@@ -1,0 +1,166 @@
+#include "core/browser.h"
+
+#include <utility>
+
+#include "html/parser.h"
+#include "support/log.h"
+#include "support/strings.h"
+
+namespace mak::core {
+
+Page build_page(const url::Url& final_url, int status, std::string body,
+                const url::Url& origin) {
+  Page page;
+  page.url = url::normalized(final_url);
+  page.status = status;
+  page.dom = html::parse(body);
+  page.title = page.dom.title();
+  for (auto& element : html::extract_interactables(page.dom)) {
+    std::string raw_target = element.target;
+    if (element.kind == html::InteractableKind::kForm && raw_target.empty()) {
+      raw_target = page.url.path;  // action="" submits to the current page
+    }
+    auto resolved = url::resolve(page.url, raw_target);
+    if (!resolved.has_value()) continue;
+    url::Url target = url::normalized(*resolved);
+    if (!url::same_origin(target, origin)) {
+      continue;  // actions leaving the application domain are invalid
+    }
+    page.actions.push_back(ResolvedAction{std::move(element), std::move(target)});
+  }
+  return page;
+}
+
+Browser::Browser(httpsim::Network& network, url::Url seed, support::Rng rng,
+                 FormFillStrategy fill_strategy)
+    : network_(&network),
+      seed_(url::normalized(std::move(seed))),
+      rng_(std::move(rng)),
+      fill_strategy_(fill_strategy) {}
+
+void Browser::navigate_seed() {
+  ++navigations_;
+  page_ = fetch(httpsim::Method::kGet, seed_, url::QueryMap{}, nullptr);
+}
+
+Page Browser::fetch(httpsim::Method method, const url::Url& target,
+                    const url::QueryMap& form, InteractionResult* result) {
+  httpsim::FetchResult fetched = network_->fetch(method, target, form, jar_);
+  if (result != nullptr) {
+    result->status = fetched.response.status;
+    result->navigation_error =
+        fetched.network_error || fetched.response.status >= 400;
+    result->redirects = fetched.redirects;
+  }
+  return build_page(fetched.final_url, fetched.response.status,
+                    std::move(fetched.response.body), seed_);
+}
+
+std::string Browser::generate_value(const html::FormField& field) {
+  const std::string counter = std::to_string(fill_counter_);
+  switch (fill_strategy_) {
+    case FormFillStrategy::kCounter:
+      if (field.type == "password") return "password123";
+      if (field.type == "email") return "crawler" + counter + "@example.test";
+      if (field.type == "number") return std::to_string(fill_counter_ % 100);
+      return "input-" + counter;
+    case FormFillStrategy::kDictionary: {
+      // Field-name and type aware plausible values.
+      const std::string name = support::to_lower(field.name);
+      if (field.type == "password") return "Str0ng!pass";
+      if (field.type == "email" || support::contains(name, "email") ||
+          support::contains(name, "mail")) {
+        return "alice" + counter + "@example.test";
+      }
+      if (field.type == "number" || support::contains(name, "age") ||
+          support::contains(name, "year") ||
+          support::contains(name, "quantity")) {
+        return "42";
+      }
+      if (support::contains(name, "phone")) return "+15550100" + counter;
+      if (support::contains(name, "date")) return "2024-05-01";
+      if (support::contains(name, "url") || support::contains(name, "link")) {
+        return "http://example.test/page" + counter;
+      }
+      if (support::contains(name, "user") || support::contains(name, "name")) {
+        return "alice" + counter;
+      }
+      return "lorem ipsum " + counter;
+    }
+    case FormFillStrategy::kRandom: {
+      std::string junk;
+      const std::size_t length = 4 + rng_.next_below(12);
+      for (std::size_t i = 0; i < length; ++i) {
+        junk += static_cast<char>('!' + rng_.next_below(94));
+      }
+      return junk;
+    }
+  }
+  return "input-" + counter;
+}
+
+url::QueryMap Browser::fill_form(const html::Interactable& form) {
+  url::QueryMap values;
+  for (const auto& field : form.fields) {
+    if (field.name.empty()) continue;
+    if (field.type == "hidden" || field.type == "submit") {
+      values.add(field.name, field.value);
+      continue;
+    }
+    if (field.type == "select") {
+      if (!field.options.empty()) {
+        values.add(field.name, rng_.choice(field.options));
+      }
+      continue;
+    }
+    if (field.type == "checkbox" || field.type == "radio") {
+      values.add(field.name, field.value.empty() ? "on" : field.value);
+      continue;
+    }
+    if (!field.value.empty()) {
+      values.add(field.name, field.value);  // keep prefilled values
+      continue;
+    }
+    // Generate a value. The counter makes successive fills distinct, which
+    // matters for apps that store submitted content (the Drupal shortcut
+    // pattern in Section III-A of the paper).
+    ++fill_counter_;
+    values.add(field.name, generate_value(field));
+  }
+  return values;
+}
+
+InteractionResult Browser::interact(ResolvedAction action) {
+  ++interactions_;
+  InteractionResult result;
+  switch (action.element.kind) {
+    case html::InteractableKind::kLink: {
+      page_ = fetch(httpsim::Method::kGet, action.target, url::QueryMap{},
+                    &result);
+      break;
+    }
+    case html::InteractableKind::kButton: {
+      const httpsim::Method method = action.element.method == "GET"
+                                         ? httpsim::Method::kGet
+                                         : httpsim::Method::kPost;
+      page_ = fetch(method, action.target, url::QueryMap{}, &result);
+      break;
+    }
+    case html::InteractableKind::kForm: {
+      url::QueryMap values = fill_form(action.element);
+      if (action.element.method == "GET") {
+        // GET forms encode their fields into the query string.
+        url::Url target = action.target;
+        target.query = values.to_string();
+        page_ = fetch(httpsim::Method::kGet, target, url::QueryMap{}, &result);
+      } else {
+        page_ = fetch(httpsim::Method::kPost, action.target, values, &result);
+      }
+      break;
+    }
+  }
+  MAK_LOG_TRACE << "interact " << action.describe() << " -> " << result.status;
+  return result;
+}
+
+}  // namespace mak::core

@@ -1,0 +1,78 @@
+// The crawler's browser: fetches pages over the virtual network, parses
+// them, resolves and filters interactables, fills and submits forms.
+//
+// This is the EXECUTE building block of Algorithm 2 — identical for every
+// crawler in the framework, so implementation differences cannot bias the
+// comparison (Section V-A.1 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "core/types.h"
+#include "httpsim/cookies.h"
+#include "httpsim/network.h"
+#include "support/rng.h"
+
+namespace mak::core {
+
+// How empty text-like form fields get filled (Section V-A.2 of the paper
+// notes crawlers differ in "filling inputs in a sophisticated way";
+// bench/input_strategies quantifies the effect).
+enum class FormFillStrategy {
+  kCounter,     // "input-<n>" style unique junk (default)
+  kDictionary,  // field-name/type aware plausible values
+  kRandom,      // random ASCII junk
+};
+
+class Browser {
+ public:
+  // `rng` drives form-value generation only.
+  Browser(httpsim::Network& network, url::Url seed, support::Rng rng,
+          FormFillStrategy fill_strategy = FormFillStrategy::kCounter);
+
+  const url::Url& seed() const noexcept { return seed_; }
+  const Page& page() const noexcept { return page_; }
+
+  // (Re)load the seed URL. Counts as a navigation, not an interaction.
+  void navigate_seed();
+
+  // Execute one atomic interaction: click a link/button or fill-and-submit
+  // a form. Loads the resulting page into `page()`.
+  // Takes the action BY VALUE: interact() replaces the current page, which
+  // would invalidate a reference into page().actions mid-call.
+  InteractionResult interact(ResolvedAction action);
+
+  // Counters for the performance evaluation (Section V-D).
+  std::size_t interactions() const noexcept { return interactions_; }
+  std::size_t navigations() const noexcept { return navigations_; }
+
+  httpsim::CookieJar& cookies() noexcept { return jar_; }
+  FormFillStrategy fill_strategy() const noexcept { return fill_strategy_; }
+
+ private:
+  Page fetch(httpsim::Method method, const url::Url& target,
+             const url::QueryMap& form, InteractionResult* result);
+  // Fill form fields, generating values for empty text-like inputs.
+  url::QueryMap fill_form(const html::Interactable& form);
+  // One generated value per the active fill strategy.
+  std::string generate_value(const html::FormField& field);
+
+  httpsim::Network* network_;
+  url::Url seed_;
+  support::Rng rng_;
+  FormFillStrategy fill_strategy_;
+  httpsim::CookieJar jar_;
+  Page page_;
+  std::size_t interactions_ = 0;
+  std::size_t navigations_ = 0;
+  std::size_t fill_counter_ = 0;
+};
+
+// Build a Page from a fetched body: parse, extract, resolve, filter to the
+// seed's origin. Exposed for tests.
+Page build_page(const url::Url& final_url, int status, std::string body,
+                const url::Url& origin);
+
+}  // namespace mak::core

@@ -1,0 +1,36 @@
+#include "core/crawler.h"
+
+namespace mak::core {
+
+void RlCrawlerBase::absorb(const Page& page) {
+  last_increment_ = ledger_.absorb(page);
+  on_page(page);
+}
+
+void RlCrawlerBase::start(Browser& browser) {
+  browser.navigate_seed();
+  absorb(browser.page());
+}
+
+void RlCrawlerBase::step(Browser& browser) {
+  const rl::StateId state = get_state(browser.page());
+  const std::size_t n_actions = action_count(browser.page());
+  if (n_actions == 0) {
+    recover(browser);
+    return;
+  }
+  const std::size_t action = choose_action(state, browser.page(), n_actions);
+  const InteractionResult result = execute(browser, action);
+  absorb(browser.page());
+  const rl::StateId next_state = get_state(browser.page());
+  const double reward =
+      get_reward(state, action, result, next_state, browser.page());
+  update_policy(state, action, reward, next_state, browser.page());
+}
+
+void RlCrawlerBase::recover(Browser& browser) {
+  browser.navigate_seed();
+  absorb(browser.page());
+}
+
+}  // namespace mak::core

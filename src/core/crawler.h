@@ -1,0 +1,107 @@
+// The unified RL-crawling framework (Algorithm 2 of the paper).
+//
+// Every crawler — MAK, WebExplor, QExplore and the static strategies — is an
+// instantiation of the same loop:
+//
+//   s  <- GET_STATE(p)
+//   A  <- GET_ACTIONS(p)
+//   a  <- CHOOSE_ACTION(pi, s, A)
+//   p' <- EXECUTE(p, a)
+//   s' <- GET_STATE(p')
+//   r  <- GET_REWARD(s, a, s')
+//   pi <- UPDATE_POLICY(pi, r, s, a, s')
+//
+// RlCrawlerBase drives the loop; subclasses instantiate the virtual building
+// blocks. EXECUTE always flows through the shared Browser, so implementation
+// differences cannot bias the comparison (Section V-A.1).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "core/browser.h"
+#include "core/link_ledger.h"
+#include "core/types.h"
+#include "rl/qlearning.h"
+#include "support/rng.h"
+
+namespace mak::core {
+
+class Crawler {
+ public:
+  virtual ~Crawler() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Load the seed page and initialize internal pools.
+  virtual void start(Browser& browser) = 0;
+
+  // One iteration of the Algorithm 2 loop body (at most one atomic
+  // interaction with the application).
+  virtual void step(Browser& browser) = 0;
+
+  // Distinct links gathered so far (link coverage).
+  virtual std::size_t links_discovered() const = 0;
+
+  // Human-readable description of the most recent step's choice (for
+  // tracing); empty if the crawler does not report one.
+  virtual std::string last_action() const { return {}; }
+};
+
+class RlCrawlerBase : public Crawler {
+ public:
+  explicit RlCrawlerBase(support::Rng rng) : rng_(std::move(rng)) {}
+
+  void start(Browser& browser) final;
+  void step(Browser& browser) final;
+  std::size_t links_discovered() const final {
+    return ledger_.distinct_links();
+  }
+  std::string last_action() const final { return last_action_; }
+
+ protected:
+  // --- the Algorithm 2 building blocks ---
+  virtual rl::StateId get_state(const Page& page) = 0;
+  // Number of abstract actions available (page interactables for the
+  // Q-learning crawlers; the three arms for MAK).
+  virtual std::size_t action_count(const Page& page) = 0;
+  virtual std::size_t choose_action(rl::StateId state, const Page& page,
+                                    std::size_t n_actions) = 0;
+  virtual InteractionResult execute(Browser& browser, std::size_t action) = 0;
+  virtual double get_reward(rl::StateId state, std::size_t action,
+                            const InteractionResult& result,
+                            rl::StateId next_state, const Page& next_page) = 0;
+  virtual void update_policy(rl::StateId state, std::size_t action,
+                             double reward, rl::StateId next_state,
+                             const Page& next_page) = 0;
+
+  // Called after every page load (seed, interaction result, recovery) so
+  // subclasses can maintain their pools.
+  virtual void on_page(const Page& /*page*/) {}
+
+  // Called when no action is available on the current page; the default
+  // restarts from the seed URL (standard dead-end recovery).
+  virtual void recover(Browser& browser);
+
+  // Link-coverage increment produced by the most recent page load.
+  std::size_t last_link_increment() const noexcept { return last_increment_; }
+
+  support::Rng& rng() noexcept { return rng_; }
+  LinkLedger& ledger() noexcept { return ledger_; }
+
+  // Subclasses may refine the trace label inside execute().
+  void set_last_action(std::string description) {
+    last_action_ = std::move(description);
+  }
+
+ private:
+  void absorb(const Page& page);
+
+  support::Rng rng_;
+  LinkLedger ledger_;
+  std::size_t last_increment_ = 0;
+  std::string last_action_;
+};
+
+}  // namespace mak::core

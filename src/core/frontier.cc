@@ -1,0 +1,95 @@
+#include "core/frontier.h"
+
+#include <stdexcept>
+
+namespace mak::core {
+
+std::string_view to_string(Arm arm) noexcept {
+  switch (arm) {
+    case Arm::kHead:
+      return "Head";
+    case Arm::kTail:
+      return "Tail";
+    case Arm::kRandom:
+      return "Random";
+  }
+  return "?";
+}
+
+std::deque<ResolvedAction>& LeveledDeque::level(std::size_t i) {
+  if (levels_.size() <= i) levels_.resize(i + 1);
+  return levels_[i];
+}
+
+bool LeveledDeque::push(const ResolvedAction& action) {
+  const std::uint64_t key = action.key();
+  if (level_of_.find(key) != level_of_.end()) return false;
+  level_of_[key] = 0;
+  level(0).push_back(action);
+  ++size_;
+  return true;
+}
+
+std::size_t LeveledDeque::level_size(std::size_t i) const noexcept {
+  return i < levels_.size() ? levels_[i].size() : 0;
+}
+
+std::size_t LeveledDeque::lowest_level() const noexcept {
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (!levels_[i].empty()) return i;
+  }
+  return 0;
+}
+
+std::optional<ResolvedAction> LeveledDeque::take(Arm arm, support::Rng& rng) {
+  if (size_ == 0) return std::nullopt;
+  auto& deque = levels_[lowest_level()];
+  ResolvedAction out;
+  switch (arm) {
+    case Arm::kHead:
+      out = std::move(deque.front());
+      deque.pop_front();
+      break;
+    case Arm::kTail:
+      out = std::move(deque.back());
+      deque.pop_back();
+      break;
+    case Arm::kRandom: {
+      const std::size_t index = rng.next_below(deque.size());
+      out = std::move(deque[index]);
+      deque.erase(deque.begin() + static_cast<std::ptrdiff_t>(index));
+      break;
+    }
+  }
+  --size_;
+  // Record the level the element will live at when requeued.
+  auto it = level_of_.find(out.key());
+  if (it != level_of_.end()) ++it->second;
+  return out;
+}
+
+void LeveledDeque::requeue(const ResolvedAction& action) {
+  const auto it = level_of_.find(action.key());
+  if (it == level_of_.end()) {
+    throw std::logic_error("LeveledDeque::requeue: unknown element");
+  }
+  level(it->second).push_back(action);
+  ++size_;
+}
+
+void LeveledDeque::requeue_flat(const ResolvedAction& action) {
+  const auto it = level_of_.find(action.key());
+  if (it == level_of_.end()) {
+    throw std::logic_error("LeveledDeque::requeue_flat: unknown element");
+  }
+  it->second = 0;
+  level(0).push_back(action);
+  ++size_;
+}
+
+std::size_t LeveledDeque::interactions_of(std::uint64_t key) const noexcept {
+  const auto it = level_of_.find(key);
+  return it != level_of_.end() ? it->second : 0;
+}
+
+}  // namespace mak::core

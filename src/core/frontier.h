@@ -1,0 +1,67 @@
+// MAK's global leveled deque of interactable elements (Section IV-B).
+//
+// The frontier is a list of deques indexed by level: the deque at level i
+// holds elements the crawler has already interacted with i times. The three
+// MAK arms draw from the *lowest non-empty level*:
+//   Head   — least recently discovered element (BFS when always chosen)
+//   Tail   — most recently discovered element (DFS when always chosen)
+//   Random — uniform element of that level
+// After an interaction the element is re-queued one level higher, so
+// everything stays available while rarely-used elements are preferred —
+// the curiosity principle folded into the action definition.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "support/rng.h"
+
+namespace mak::core {
+
+enum class Arm : std::size_t { kHead = 0, kTail = 1, kRandom = 2 };
+constexpr std::size_t kArmCount = 3;
+
+std::string_view to_string(Arm arm) noexcept;
+
+class LeveledDeque {
+ public:
+  // Insert a newly discovered element at level 0 (tail). Elements are
+  // deduplicated by action key across all levels; duplicates are ignored.
+  // Returns true if the element was new.
+  bool push(const ResolvedAction& action);
+
+  // Remove and return an element from the lowest non-empty level according
+  // to the arm. Empty frontier returns nullopt.
+  std::optional<ResolvedAction> take(Arm arm, support::Rng& rng);
+
+  // Re-insert an element previously returned by take() one level higher.
+  void requeue(const ResolvedAction& action);
+
+  // Re-insert at level 0 regardless of history (flat-deque ablation: the
+  // structure degenerates to a single deque).
+  void requeue_flat(const ResolvedAction& action);
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t level_count() const noexcept { return levels_.size(); }
+  std::size_t level_size(std::size_t level) const noexcept;
+  // Level the lowest available element sits at (0 if empty).
+  std::size_t lowest_level() const noexcept;
+  // Interaction count of a known element's action key (0 if unknown).
+  std::size_t interactions_of(std::uint64_t key) const noexcept;
+
+ private:
+  std::deque<ResolvedAction>& level(std::size_t i);
+
+  std::vector<std::deque<ResolvedAction>> levels_;
+  // action key -> level it currently sits at (or will be requeued to).
+  std::unordered_map<std::uint64_t, std::size_t> level_of_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mak::core

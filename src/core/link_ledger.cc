@@ -1,0 +1,17 @@
+#include "core/link_ledger.h"
+
+namespace mak::core {
+
+std::size_t LinkLedger::absorb(const Page& page) {
+  std::size_t fresh = 0;
+  for (const auto& action : page.actions) {
+    if (absorb_url(action.target)) ++fresh;
+  }
+  return fresh;
+}
+
+bool LinkLedger::absorb_url(const url::Url& target) {
+  return links_.insert(target.without_fragment()).second;
+}
+
+}  // namespace mak::core

@@ -1,0 +1,33 @@
+// Link-coverage accounting (the observable MAK's reward is built on).
+//
+// "Link coverage is determined by the number of different links gathered
+// during the exploration of the web application" (Section IV-C). The ledger
+// records the distinct action targets discovered on every visited page; the
+// per-step increment is the raw reward fed into the standardizer.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+
+#include "core/types.h"
+
+namespace mak::core {
+
+class LinkLedger {
+ public:
+  // Record all action targets of a page; returns how many were new.
+  std::size_t absorb(const Page& page);
+
+  // Record a single URL; returns true if it was new.
+  bool absorb_url(const url::Url& target);
+
+  std::size_t distinct_links() const noexcept { return links_.size(); }
+
+  void reset() { links_.clear(); }
+
+ private:
+  std::unordered_set<std::string> links_;
+};
+
+}  // namespace mak::core

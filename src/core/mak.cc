@@ -1,0 +1,160 @@
+#include "core/mak.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rl/epsilon_greedy.h"
+#include "rl/exp3.h"
+#include "rl/thompson.h"
+#include "rl/ucb.h"
+
+#include "html/interactables.h"
+
+namespace mak::core {
+
+namespace {
+
+std::unique_ptr<rl::BanditPolicy> build_policy(const MakConfig& config) {
+  switch (config.policy) {
+    case MakConfig::PolicyKind::kExp31:
+      return std::make_unique<rl::Exp31>(kArmCount);
+    case MakConfig::PolicyKind::kExp3Fixed:
+      return std::make_unique<rl::Exp3>(kArmCount, config.exp3_gamma);
+    case MakConfig::PolicyKind::kEpsilonGreedy:
+      return std::make_unique<rl::EpsilonGreedy>(kArmCount, config.epsilon);
+    case MakConfig::PolicyKind::kUcb1:
+      return std::make_unique<rl::Ucb1>(kArmCount);
+    case MakConfig::PolicyKind::kThompson:
+      return std::make_unique<rl::ThompsonSampling>(kArmCount);
+  }
+  throw std::logic_error("unknown policy kind");
+}
+
+std::string derive_name(const MakConfig& config) {
+  if (!config.name_override.empty()) return config.name_override;
+  if (config.forced_arm.has_value()) {
+    switch (*config.forced_arm) {
+      case Arm::kHead:
+        return "BFS";
+      case Arm::kTail:
+        return "DFS";
+      case Arm::kRandom:
+        return "Random";
+    }
+  }
+  return "MAK";
+}
+
+}  // namespace
+
+MakCrawler::MakCrawler(support::Rng rng, MakConfig config)
+    : RlCrawlerBase(std::move(rng)),
+      config_(std::move(config)),
+      name_(derive_name(config_)),
+      policy_(build_policy(config_)) {}
+
+rl::StateId MakCrawler::get_state(const Page&) {
+  return 0;  // stateless: the MAB has a single state
+}
+
+std::size_t MakCrawler::action_count(const Page&) {
+  // The arms are available whenever the frontier has elements to draw.
+  return frontier_.empty() ? 0 : kArmCount;
+}
+
+std::size_t MakCrawler::choose_action(rl::StateId, const Page&,
+                                      std::size_t) {
+  if (config_.forced_arm.has_value()) {
+    return static_cast<std::size_t>(*config_.forced_arm);
+  }
+  return policy_->choose(rng());
+}
+
+InteractionResult MakCrawler::execute(Browser& browser, std::size_t action) {
+  const Arm arm = static_cast<Arm>(action);
+  ++arm_counts_[action];
+  ++steps_;
+  in_flight_ = frontier_.take(arm, rng());
+  if (!in_flight_.has_value()) {
+    throw std::logic_error("MakCrawler::execute on empty frontier");
+  }
+  set_last_action(std::string(to_string(arm)) + " -> " +
+                  in_flight_->describe());
+  return browser.interact(*in_flight_);
+}
+
+void MakCrawler::on_page(const Page& page) {
+  for (const auto& action : page.actions) {
+    frontier_.push(action);
+  }
+}
+
+double MakCrawler::get_reward(rl::StateId, std::size_t,
+                              const InteractionResult&, rl::StateId,
+                              const Page& next_page) {
+  switch (config_.reward_mode) {
+    case MakConfig::RewardMode::kStandardizedLinks:
+      return standardized_.shape(static_cast<double>(last_link_increment()));
+    case MakConfig::RewardMode::kRawLinks:
+      // Unstandardized ablation: clamp the raw increment into [0, 1].
+      return std::min(1.0, static_cast<double>(last_link_increment()) / 10.0);
+    case MakConfig::RewardMode::kCuriosity:
+      return in_flight_.has_value() ? curiosity_.visit(in_flight_->key())
+                                    : 0.0;
+    case MakConfig::RewardMode::kDomNovelty: {
+      // Structural novelty of the landed page relative to the previous one
+      // (a reward used by GUI-testing crawlers): high when the DOM changed
+      // a lot, zero when the action led somewhere that looks the same.
+      std::vector<std::string> tags = html::tag_sequence(next_page.dom);
+      const double similarity =
+          html::sequence_similarity(previous_tags_, tags);
+      previous_tags_ = std::move(tags);
+      return 1.0 - similarity;
+    }
+  }
+  return 0.0;
+}
+
+void MakCrawler::update_policy(rl::StateId, std::size_t action, double reward,
+                               rl::StateId, const Page&) {
+  // Re-queue the interacted element one level up (or back into the single
+  // flat deque for the ablation), keeping every element available.
+  if (in_flight_.has_value()) {
+    if (config_.leveled_deque) {
+      frontier_.requeue(*in_flight_);
+    } else {
+      // Flat-deque ablation: behave as one deque — the element returns to
+      // the tail of level 0 competing with fresh discoveries.
+      ResolvedAction flat = *in_flight_;
+      frontier_.requeue_flat(flat);
+    }
+    in_flight_.reset();
+  }
+  if (!config_.forced_arm.has_value()) {
+    policy_->update(action, reward);
+  }
+}
+
+std::unique_ptr<MakCrawler> make_mak(support::Rng rng) {
+  return std::make_unique<MakCrawler>(std::move(rng));
+}
+
+std::unique_ptr<MakCrawler> make_static_bfs(support::Rng rng) {
+  MakConfig config;
+  config.forced_arm = Arm::kHead;
+  return std::make_unique<MakCrawler>(std::move(rng), std::move(config));
+}
+
+std::unique_ptr<MakCrawler> make_static_dfs(support::Rng rng) {
+  MakConfig config;
+  config.forced_arm = Arm::kTail;
+  return std::make_unique<MakCrawler>(std::move(rng), std::move(config));
+}
+
+std::unique_ptr<MakCrawler> make_static_random(support::Rng rng) {
+  MakConfig config;
+  config.forced_arm = Arm::kRandom;
+  return std::make_unique<MakCrawler>(std::move(rng), std::move(config));
+}
+
+}  // namespace mak::core

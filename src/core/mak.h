@@ -1,0 +1,98 @@
+// Multi-Armed Krawler (MAK) — the paper's contribution (Section IV).
+//
+// Stateless crawler over the global leveled deque:
+//   GET_STATE      — constant (single-state MAB)
+//   GET_ACTIONS    — {Head, Tail, Random}
+//   CHOOSE_ACTION  — sampled from the Exp3.1 policy
+//   EXECUTE        — pop an element from the lowest deque level, interact
+//   GET_REWARD     — standardized link-coverage increment, logistic-squashed
+//   UPDATE_POLICY  — Exp3.1 weight/gain update
+//
+// MakConfig exposes the ablation knobs evaluated in the benches: forcing one
+// arm (static BFS/DFS/Random, Section V-C), alternative reward shaping and
+// alternative bandit policies, and a flat (single-level) deque.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/crawler.h"
+#include "core/frontier.h"
+#include "rl/bandit.h"
+#include "rl/reward.h"
+
+namespace mak::core {
+
+struct MakConfig {
+  enum class RewardMode {
+    kStandardizedLinks,  // the paper's reward (default)
+    kRawLinks,           // unstandardized, clamped increment (ablation)
+    kCuriosity,          // count-based curiosity (ablation)
+    kDomNovelty,         // 1 - tag-sequence similarity to the previous page
+  };
+  enum class PolicyKind {
+    kExp31,          // the paper's policy (default)
+    kExp3Fixed,      // Exp3 with fixed gamma (ablation)
+    kEpsilonGreedy,  // stationary-assumption bandit (ablation)
+    kUcb1,           // stochastic-MAB bandit (ablation)
+    kThompson,       // Bayesian stochastic bandit (ablation)
+  };
+
+  std::optional<Arm> forced_arm;  // set => static BFS/DFS/Random crawler
+  RewardMode reward_mode = RewardMode::kStandardizedLinks;
+  PolicyKind policy = PolicyKind::kExp31;
+  double exp3_gamma = 0.1;   // for kExp3Fixed
+  double epsilon = 0.1;      // for kEpsilonGreedy
+  bool leveled_deque = true;  // false => flat single-level deque (ablation)
+  std::string name_override;  // display name (defaults derived from config)
+};
+
+class MakCrawler final : public RlCrawlerBase {
+ public:
+  MakCrawler(support::Rng rng, MakConfig config = {});
+
+  std::string_view name() const override { return name_; }
+
+  // Introspection for tests and benches.
+  const LeveledDeque& frontier() const noexcept { return frontier_; }
+  const rl::BanditPolicy& policy() const noexcept { return *policy_; }
+  std::size_t steps() const noexcept { return steps_; }
+  const std::array<std::size_t, kArmCount>& arm_counts() const noexcept {
+    return arm_counts_;
+  }
+
+ protected:
+  rl::StateId get_state(const Page& page) override;
+  std::size_t action_count(const Page& page) override;
+  std::size_t choose_action(rl::StateId state, const Page& page,
+                            std::size_t n_actions) override;
+  InteractionResult execute(Browser& browser, std::size_t action) override;
+  double get_reward(rl::StateId state, std::size_t action,
+                    const InteractionResult& result, rl::StateId next_state,
+                    const Page& next_page) override;
+  void update_policy(rl::StateId state, std::size_t action, double reward,
+                     rl::StateId next_state, const Page& next_page) override;
+  void on_page(const Page& page) override;
+
+ private:
+  MakConfig config_;
+  std::string name_;
+  LeveledDeque frontier_;
+  std::unique_ptr<rl::BanditPolicy> policy_;
+  rl::StandardizedReward standardized_;
+  rl::CuriosityReward curiosity_;
+  std::vector<std::string> previous_tags_;  // for kDomNovelty
+  std::optional<ResolvedAction> in_flight_;  // element taken this step
+  std::size_t steps_ = 0;
+  std::array<std::size_t, kArmCount> arm_counts_{};
+};
+
+// Factory helpers for the paper's crawler line-up.
+std::unique_ptr<MakCrawler> make_mak(support::Rng rng);
+std::unique_ptr<MakCrawler> make_static_bfs(support::Rng rng);
+std::unique_ptr<MakCrawler> make_static_dfs(support::Rng rng);
+std::unique_ptr<MakCrawler> make_static_random(support::Rng rng);
+
+}  // namespace mak::core

@@ -1,0 +1,82 @@
+#include "core/mak_team.h"
+
+#include <stdexcept>
+
+#include "rl/exp3.h"
+
+namespace mak::core {
+
+MakTeam::MakTeam(httpsim::Network& network, url::Url seed, support::Rng rng,
+                 MakTeamConfig config)
+    : config_(config) {
+  if (config.agent_count == 0) {
+    throw std::invalid_argument("MakTeam: zero agents");
+  }
+  agents_.reserve(config.agent_count);
+  for (std::size_t i = 0; i < config.agent_count; ++i) {
+    agents_.push_back(Agent{
+        Browser(network, seed, rng.fork()),
+        std::make_unique<rl::Exp31>(kArmCount),
+        rl::StandardizedReward{},
+        rng.fork(),
+        {},
+    });
+  }
+}
+
+void MakTeam::absorb(Agent& agent, std::size_t* increment_out) {
+  const std::size_t increment = ledger_.absorb(agent.browser.page());
+  for (const auto& action : agent.browser.page().actions) {
+    frontier_.push(action);
+  }
+  if (increment_out != nullptr) *increment_out = increment;
+}
+
+void MakTeam::start() {
+  for (auto& agent : agents_) {
+    agent.browser.navigate_seed();
+    absorb(agent, nullptr);
+  }
+}
+
+void MakTeam::agent_step(Agent& agent) {
+  if (frontier_.empty()) {
+    agent.browser.navigate_seed();
+    absorb(agent, nullptr);
+    return;
+  }
+  const std::size_t arm_index = agent.policy->choose(agent.rng);
+  const Arm arm = static_cast<Arm>(arm_index);
+  ++agent.arm_counts[arm_index];
+
+  auto element = frontier_.take(arm, agent.rng);
+  if (!element.has_value()) return;  // raced empty (cannot happen here)
+  agent.browser.interact(*element);
+
+  std::size_t increment = 0;
+  absorb(agent, &increment);
+  frontier_.requeue(*element);
+
+  rl::StandardizedReward& standardizer =
+      config_.shared_reward_history ? shared_reward_ : agent.reward;
+  const double reward = standardizer.shape(static_cast<double>(increment));
+  agent.policy->update(arm_index, reward);
+}
+
+void MakTeam::step() {
+  agent_step(agents_[next_agent_]);
+  next_agent_ = (next_agent_ + 1) % agents_.size();
+}
+
+std::size_t MakTeam::interactions() const noexcept {
+  std::size_t total = 0;
+  for (const auto& agent : agents_) total += agent.browser.interactions();
+  return total;
+}
+
+std::array<std::size_t, kArmCount> MakTeam::arm_counts(
+    std::size_t agent) const {
+  return agents_.at(agent).arm_counts;
+}
+
+}  // namespace mak::core

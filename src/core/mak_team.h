@@ -1,0 +1,78 @@
+// Multi-agent MAK — the ensemble extension sketched in the paper's related
+// work (Section VI): "Our proposal has the potential to improve multi-agent
+// RL-based crawlers as well, because each agent of the ensemble can benefit
+// from our stateless approach."
+//
+// A MakTeam is N crawling agents working the SAME application concurrently:
+//   * shared: the global leveled deque and the link ledger — an element
+//     discovered by one agent is available to all, and is interacted with
+//     exactly once per level across the whole team;
+//   * per-agent: the browser (own cookie jar, hence own server session —
+//     agents progress wizards/carts independently), the Exp3.1 policy and
+//     the RNG, so agents can specialize on different arms.
+// Stepping is round-robin; with each agent modelled as a parallel worker, a
+// wall-clock budget of T corresponds to N x T of single-agent budget.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "core/browser.h"
+#include "core/frontier.h"
+#include "core/link_ledger.h"
+#include "core/mak.h"
+#include "rl/bandit.h"
+#include "rl/reward.h"
+
+namespace mak::core {
+
+struct MakTeamConfig {
+  std::size_t agent_count = 2;
+  // Share one reward standardizer across the team (the link-coverage
+  // history is global anyway); when false each agent standardizes against
+  // its own observations only.
+  bool shared_reward_history = true;
+};
+
+class MakTeam {
+ public:
+  MakTeam(httpsim::Network& network, url::Url seed, support::Rng rng,
+          MakTeamConfig config = {});
+
+  // Load the seed page in every agent's browser.
+  void start();
+
+  // The next agent (round-robin) performs one atomic interaction.
+  void step();
+
+  std::size_t agent_count() const noexcept { return agents_.size(); }
+  std::size_t interactions() const noexcept;  // summed over agents
+  std::size_t links_discovered() const noexcept {
+    return ledger_.distinct_links();
+  }
+  const LeveledDeque& frontier() const noexcept { return frontier_; }
+  // Per-agent arm usage (for diagnosing specialization).
+  std::array<std::size_t, kArmCount> arm_counts(std::size_t agent) const;
+
+ private:
+  struct Agent {
+    Browser browser;
+    std::unique_ptr<rl::BanditPolicy> policy;
+    rl::StandardizedReward reward;  // used when !shared_reward_history
+    support::Rng rng;
+    std::array<std::size_t, kArmCount> arm_counts{};
+  };
+
+  void agent_step(Agent& agent);
+  void absorb(Agent& agent, std::size_t* increment_out);
+
+  MakTeamConfig config_;
+  LeveledDeque frontier_;
+  LinkLedger ledger_;
+  rl::StandardizedReward shared_reward_;
+  std::vector<Agent> agents_;
+  std::size_t next_agent_ = 0;
+};
+
+}  // namespace mak::core

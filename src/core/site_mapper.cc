@@ -1,0 +1,75 @@
+#include "core/site_mapper.h"
+
+#include <deque>
+#include <set>
+
+#include "support/rng.h"
+
+namespace mak::core {
+
+SiteMap map_site(httpsim::Network& network, const url::Url& seed,
+                 SiteMapperConfig config) {
+  SiteMap map;
+  Browser browser(network, seed, support::Rng(0x517e));
+
+  struct QueueEntry {
+    url::Url target;
+    std::size_t depth;
+  };
+  std::deque<QueueEntry> queue;
+  std::set<std::string> enqueued;
+  std::set<std::string> form_keys;
+  std::set<std::string> button_keys;
+
+  const std::string seed_key = url::normalized(seed).without_fragment();
+  queue.push_back({url::normalized(seed), 0});
+  enqueued.insert(seed_key);
+
+  while (!queue.empty()) {
+    if (map.pages_visited >= config.max_pages) {
+      map.reached_cap = true;
+      break;
+    }
+    const QueueEntry entry = queue.front();
+    queue.pop_front();
+
+    ResolvedAction fetch;
+    fetch.element.kind = html::InteractableKind::kLink;
+    fetch.element.method = "GET";
+    fetch.target = entry.target;
+    const InteractionResult result = browser.interact(fetch);
+
+    ++map.pages_visited;
+    map.max_depth = std::max(map.max_depth, entry.depth);
+    ++map.pages_per_depth[entry.depth];
+    if (result.navigation_error) ++map.error_pages;
+
+    std::size_t links_here = 0;
+    for (const auto& action : browser.page().actions) {
+      switch (action.element.kind) {
+        case html::InteractableKind::kLink: {
+          ++links_here;
+          const std::string key = action.target.without_fragment();
+          if (enqueued.insert(key).second) {
+            queue.push_back({action.target, entry.depth + 1});
+          }
+          break;
+        }
+        case html::InteractableKind::kForm:
+          form_keys.insert(action.target.without_fragment() + "|" +
+                           action.element.method);
+          break;
+        case html::InteractableKind::kButton:
+          button_keys.insert(action.target.without_fragment());
+          break;
+      }
+    }
+    if (links_here == 0) ++map.dead_ends;
+  }
+
+  map.forms_seen = form_keys.size();
+  map.buttons_seen = button_keys.size();
+  return map;
+}
+
+}  // namespace mak::core

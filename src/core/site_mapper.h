@@ -1,0 +1,44 @@
+// Exhaustive site mapping: a non-RL, breadth-first fixpoint walk over all
+// same-origin GET links reachable from the seed.
+//
+// Unlike the budgeted crawlers, the mapper has no time limit — it visits
+// every discoverable URL once (up to a safety cap). It serves two purposes:
+//  * substrate validation: structural statistics of the synthetic apps
+//    (reachable URLs, depth, dead ends, forms) for DESIGN.md calibration;
+//  * an upper-bound reference for link discovery ("how much was there to
+//    find via GET navigation alone").
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "core/browser.h"
+#include "httpsim/network.h"
+
+namespace mak::core {
+
+struct SiteMap {
+  std::size_t pages_visited = 0;     // distinct URLs fetched
+  std::size_t reached_cap = false;   // stopped by the safety cap
+  std::size_t max_depth = 0;         // longest shortest-path from the seed
+  std::size_t dead_ends = 0;         // pages with no same-origin links
+  std::size_t error_pages = 0;       // status >= 400
+  std::size_t forms_seen = 0;        // distinct form actions observed
+  std::size_t buttons_seen = 0;      // distinct standalone buttons
+  std::map<std::size_t, std::size_t> pages_per_depth;
+  std::size_t coverable_lines = 0;   // server lines covered by the sweep
+};
+
+struct SiteMapperConfig {
+  std::size_t max_pages = 20000;  // safety cap for trap-heavy sites
+};
+
+// Map the application behind `network` starting from `seed`. Uses its own
+// browser (one session for the whole sweep). GET links only: forms and
+// buttons are counted but not submitted, so session-gated areas beyond a
+// POST remain unexplored — exactly what a naive link spider would see.
+SiteMap map_site(httpsim::Network& network, const url::Url& seed,
+                 SiteMapperConfig config = {});
+
+}  // namespace mak::core

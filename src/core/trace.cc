@@ -1,0 +1,83 @@
+#include "core/trace.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace mak::core {
+
+std::string_view to_string(TraceEvent::Kind kind) noexcept {
+  switch (kind) {
+    case TraceEvent::Kind::kSeedLoad:
+      return "seed";
+    case TraceEvent::Kind::kInteraction:
+      return "interaction";
+    case TraceEvent::Kind::kRecovery:
+      return "recovery";
+  }
+  return "?";
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void CrawlTrace::write_jsonl(std::ostream& os) const {
+  for (const auto& event : events_) {
+    os << "{\"kind\":\"" << to_string(event.kind) << "\",\"time_ms\":"
+       << event.time << ",\"step\":" << event.step << ",\"action\":\""
+       << json_escape(event.action) << "\",\"url\":\""
+       << json_escape(event.url) << "\",\"status\":" << event.status
+       << ",\"new_links\":" << event.new_links
+       << ",\"covered_lines\":" << event.covered_lines << "}\n";
+  }
+}
+
+CrawlTrace::Summary CrawlTrace::summarize() const noexcept {
+  Summary summary;
+  for (const auto& event : events_) {
+    switch (event.kind) {
+      case TraceEvent::Kind::kInteraction:
+        ++summary.interactions;
+        break;
+      case TraceEvent::Kind::kRecovery:
+        ++summary.recoveries;
+        break;
+      case TraceEvent::Kind::kSeedLoad:
+        break;
+    }
+    if (event.status >= 400) ++summary.errors;
+    summary.total_new_links += event.new_links;
+  }
+  return summary;
+}
+
+}  // namespace mak::core

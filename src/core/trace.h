@@ -1,0 +1,61 @@
+// Crawl tracing: a structured event log of a run.
+//
+// Each step emits one record (time, agent, arm/action, URL, HTTP status,
+// link increment, coverage). Traces serialize to JSON Lines for offline
+// analysis and replay-debugging of crawler decisions; the mak_crawl tool
+// exposes them with --trace.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/clock.h"
+
+namespace mak::core {
+
+struct TraceEvent {
+  enum class Kind { kSeedLoad, kInteraction, kRecovery };
+
+  Kind kind = Kind::kInteraction;
+  support::VirtualMillis time = 0;
+  std::size_t step = 0;
+  std::string action;       // arm name or action description
+  std::string url;          // URL landed on
+  int status = 0;           // HTTP status
+  std::size_t new_links = 0;
+  std::size_t covered_lines = 0;  // server-side coverage after the step
+};
+
+std::string_view to_string(TraceEvent::Kind kind) noexcept;
+
+class CrawlTrace {
+ public:
+  void record(TraceEvent event) { events_.push_back(std::move(event)); }
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  bool empty() const noexcept { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  // Serialize as JSON Lines (one object per event).
+  void write_jsonl(std::ostream& os) const;
+
+  // Summary statistics for quick inspection.
+  struct Summary {
+    std::size_t interactions = 0;
+    std::size_t recoveries = 0;
+    std::size_t errors = 0;         // events with status >= 400
+    std::size_t total_new_links = 0;
+  };
+  Summary summarize() const noexcept;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+// Minimal JSON string escaping (sufficient for URLs and action labels).
+std::string json_escape(std::string_view text);
+
+}  // namespace mak::core

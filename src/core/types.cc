@@ -1,0 +1,36 @@
+#include "core/types.h"
+
+#include "support/strings.h"
+
+namespace mak::core {
+
+std::uint64_t ResolvedAction::key() const {
+  std::string out(html::to_string(element.kind));
+  out += '|';
+  out += element.method;
+  out += '|';
+  out += target.without_fragment();
+  for (const auto& field : element.fields) {
+    out += '|';
+    out += field.name;
+    out += ':';
+    out += field.type;
+  }
+  return support::fnv1a(out);
+}
+
+std::string ResolvedAction::describe() const {
+  std::string out(html::to_string(element.kind));
+  out += ' ';
+  out += element.method;
+  out += ' ';
+  out += target.without_fragment();
+  if (!element.text.empty()) {
+    out += " \"";
+    out += element.text;
+    out += '"';
+  }
+  return out;
+}
+
+}  // namespace mak::core

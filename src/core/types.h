@@ -1,0 +1,46 @@
+// Core value types shared by the crawler framework.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "html/dom.h"
+#include "html/interactables.h"
+#include "url/url.h"
+
+namespace mak::core {
+
+// An interactable element with its target resolved to an absolute,
+// same-origin URL (external and unparsable targets are dropped at page
+// construction, per the paper's framework assumption (ii)).
+struct ResolvedAction {
+  html::Interactable element;
+  url::Url target;  // normalized absolute URL, no fragment
+
+  // Identity of the *action* (not of the DOM node): kind, method, target and
+  // form-field signature. Two pages sharing a nav link share the action.
+  std::uint64_t key() const;
+
+  std::string describe() const;
+};
+
+// A fetched, parsed page as the crawler sees it.
+struct Page {
+  url::Url url;       // final URL after redirects, normalized
+  int status = 0;     // HTTP status of the final response
+  std::string title;
+  html::Document dom;
+  std::vector<ResolvedAction> actions;  // valid interactables, page order
+
+  bool ok() const noexcept { return status > 0 && status < 400; }
+};
+
+// Result of executing one atomic interaction.
+struct InteractionResult {
+  int status = 0;
+  bool navigation_error = false;  // status >= 400 or transport failure
+  int redirects = 0;
+};
+
+}  // namespace mak::core

@@ -1,0 +1,117 @@
+#include "coverage/coverage.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace mak::coverage {
+
+FileId CodeModel::add_file(std::string name, std::size_t line_count) {
+  if (line_count == 0) {
+    throw std::invalid_argument("CodeModel::add_file: zero lines");
+  }
+  files_.push_back(File{std::move(name), line_count});
+  total_lines_ += line_count;
+  return static_cast<FileId>(files_.size() - 1);
+}
+
+LineSet::LineSet(const CodeModel& model) {
+  bits_.resize(model.file_count());
+  file_lines_.resize(model.file_count());
+  for (FileId id = 0; id < model.file_count(); ++id) {
+    file_lines_[id] = model.file_lines(id);
+    bits_[id].assign((model.file_lines(id) + 63) / 64, 0);
+  }
+}
+
+void LineSet::mark(FileId id, std::size_t first_line, std::size_t last_line) {
+  if (id >= bits_.size()) {
+    throw std::out_of_range("LineSet::mark: bad file id");
+  }
+  if (first_line == 0) first_line = 1;
+  last_line = std::min(last_line, file_lines_[id]);
+  if (first_line > last_line) return;
+  auto& words = bits_[id];
+  for (std::size_t line = first_line; line <= last_line; ++line) {
+    const std::size_t bit = line - 1;
+    std::uint64_t& word = words[bit / 64];
+    const std::uint64_t mask = 1ULL << (bit % 64);
+    if ((word & mask) == 0) {
+      word |= mask;
+      ++covered_;
+    }
+  }
+}
+
+bool LineSet::contains(FileId id, std::size_t line) const {
+  if (id >= bits_.size() || line == 0 || line > file_lines_[id]) return false;
+  const std::size_t bit = line - 1;
+  return (bits_[id][bit / 64] >> (bit % 64)) & 1;
+}
+
+void LineSet::union_with(const LineSet& other) {
+  if (bits_.size() != other.bits_.size()) {
+    throw std::invalid_argument("LineSet::union_with: model mismatch");
+  }
+  covered_ = 0;
+  for (std::size_t f = 0; f < bits_.size(); ++f) {
+    if (bits_[f].size() != other.bits_[f].size()) {
+      throw std::invalid_argument("LineSet::union_with: model mismatch");
+    }
+    for (std::size_t w = 0; w < bits_[f].size(); ++w) {
+      bits_[f][w] |= other.bits_[f][w];
+      covered_ += static_cast<std::size_t>(std::popcount(bits_[f][w]));
+    }
+  }
+}
+
+std::size_t LineSet::count_not_in(const LineSet& other) const {
+  if (bits_.size() != other.bits_.size()) {
+    throw std::invalid_argument("LineSet::count_not_in: model mismatch");
+  }
+  std::size_t total = 0;
+  for (std::size_t f = 0; f < bits_.size(); ++f) {
+    for (std::size_t w = 0; w < bits_[f].size(); ++w) {
+      total += static_cast<std::size_t>(
+          std::popcount(bits_[f][w] & ~other.bits_[f][w]));
+    }
+  }
+  return total;
+}
+
+void LineSet::clear() {
+  for (auto& words : bits_) {
+    std::fill(words.begin(), words.end(), 0);
+  }
+  covered_ = 0;
+}
+
+std::vector<FileCoverage> file_breakdown(const CodeModel& model,
+                                         const LineSet& covered) {
+  std::vector<FileCoverage> out;
+  out.reserve(model.file_count());
+  for (FileId id = 0; id < model.file_count(); ++id) {
+    FileCoverage fc;
+    fc.file = model.file_name(id);
+    fc.total = model.file_lines(id);
+    for (std::size_t line = 1; line <= fc.total; ++line) {
+      if (covered.contains(id, line)) ++fc.covered;
+    }
+    out.push_back(std::move(fc));
+  }
+  return out;
+}
+
+std::size_t CoverageSeries::at(support::VirtualMillis time) const noexcept {
+  std::size_t best = 0;
+  for (const auto& p : points_) {
+    if (p.time <= time) {
+      best = p.covered_lines;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace mak::coverage

@@ -1,0 +1,136 @@
+// Server-side line coverage instrumentation (the Xdebug analogue).
+//
+// Each synthetic application declares a CodeModel: its "server-side source
+// files" with line counts. Handlers mark line ranges as executed on a
+// CoverageTracker. Like Xdebug, coverage can be sampled at any virtual time;
+// like coverage-node, the total line count of the model is known.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/clock.h"
+
+namespace mak::coverage {
+
+using FileId = std::uint32_t;
+
+// Immutable description of an application's server-side code base.
+class CodeModel {
+ public:
+  FileId add_file(std::string name, std::size_t line_count);
+
+  std::size_t file_count() const noexcept { return files_.size(); }
+  std::size_t total_lines() const noexcept { return total_lines_; }
+  const std::string& file_name(FileId id) const { return files_.at(id).name; }
+  std::size_t file_lines(FileId id) const { return files_.at(id).lines; }
+
+ private:
+  struct File {
+    std::string name;
+    std::size_t lines;
+  };
+  std::vector<File> files_;
+  std::size_t total_lines_ = 0;
+};
+
+// A set of covered lines over a CodeModel. Bitset-backed; supports union
+// (for the paper's ground-truth estimation) and fast counting.
+class LineSet {
+ public:
+  LineSet() = default;
+  explicit LineSet(const CodeModel& model);
+
+  // Mark [first_line, last_line] of file `id` covered (1-based, inclusive).
+  // Out-of-range portions are clamped to the file.
+  void mark(FileId id, std::size_t first_line, std::size_t last_line);
+
+  bool contains(FileId id, std::size_t line) const;
+  std::size_t count() const noexcept { return covered_; }
+  bool empty() const noexcept { return covered_ == 0; }
+
+  // Set union; both sets must come from the same CodeModel.
+  void union_with(const LineSet& other);
+  // Lines in this set but not in `other`.
+  std::size_t count_not_in(const LineSet& other) const;
+
+  void clear();
+
+ private:
+  // Per file: packed bit words; sizes fixed by the model at construction.
+  std::vector<std::vector<std::uint64_t>> bits_;
+  std::vector<std::size_t> file_lines_;
+  std::size_t covered_ = 0;
+};
+
+// Mutable coverage recorder handed to application handlers.
+class CoverageTracker {
+ public:
+  explicit CoverageTracker(const CodeModel& model)
+      : model_(&model), lines_(model) {}
+
+  const CodeModel& model() const noexcept { return *model_; }
+
+  // Record execution of [first_line, last_line] of file `id`.
+  void hit(FileId id, std::size_t first_line, std::size_t last_line) {
+    lines_.mark(id, first_line, last_line);
+  }
+
+  std::size_t covered_lines() const noexcept { return lines_.count(); }
+  double covered_fraction() const noexcept {
+    return model_->total_lines() == 0
+               ? 0.0
+               : static_cast<double>(lines_.count()) /
+                     static_cast<double>(model_->total_lines());
+  }
+  const LineSet& lines() const noexcept { return lines_; }
+
+  void reset() { lines_.clear(); }
+
+ private:
+  const CodeModel* model_;
+  LineSet lines_;
+};
+
+// Per-file coverage numbers for report generation.
+struct FileCoverage {
+  std::string file;
+  std::size_t covered = 0;
+  std::size_t total = 0;
+
+  double fraction() const noexcept {
+    return total == 0 ? 0.0
+                      : static_cast<double>(covered) /
+                            static_cast<double>(total);
+  }
+};
+
+// Break a covered set down by file (order: as declared in the model).
+std::vector<FileCoverage> file_breakdown(const CodeModel& model,
+                                         const LineSet& covered);
+
+// Coverage sampled over virtual time; one per crawl run (Figure 2 data).
+struct CoveragePoint {
+  support::VirtualMillis time = 0;
+  std::size_t covered_lines = 0;
+};
+
+class CoverageSeries {
+ public:
+  void record(support::VirtualMillis time, std::size_t covered) {
+    points_.push_back({time, covered});
+  }
+  const std::vector<CoveragePoint>& points() const noexcept { return points_; }
+  bool empty() const noexcept { return points_.empty(); }
+
+  // Coverage at the latest sample <= time (0 before the first sample).
+  std::size_t at(support::VirtualMillis time) const noexcept;
+
+ private:
+  std::vector<CoveragePoint> points_;
+};
+
+}  // namespace mak::coverage

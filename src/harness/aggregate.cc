@@ -1,0 +1,98 @@
+#include "harness/aggregate.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/stats.h"
+
+namespace mak::harness {
+
+CoverageCurve aggregate_series(const std::vector<RunResult>& runs) {
+  CoverageCurve curve;
+  if (runs.empty()) return curve;
+  // All runs share the same sampling grid (same config); use the longest.
+  std::size_t grid = 0;
+  for (const auto& run : runs) {
+    grid = std::max(grid, run.series.points().size());
+  }
+  for (std::size_t i = 0; i < grid; ++i) {
+    std::vector<double> values;
+    support::VirtualMillis time = 0;
+    for (const auto& run : runs) {
+      const auto& points = run.series.points();
+      if (i < points.size()) {
+        time = points[i].time;
+        values.push_back(static_cast<double>(points[i].covered_lines));
+      }
+    }
+    curve.times.push_back(time);
+    curve.mean.push_back(support::mean_of(values));
+    curve.stddev.push_back(support::stddev_of(values));
+  }
+  return curve;
+}
+
+std::size_t estimate_ground_truth(
+    const std::vector<std::vector<RunResult>>& runs_by_crawler) {
+  const RunResult* first = nullptr;
+  for (const auto& runs : runs_by_crawler) {
+    if (!runs.empty()) {
+      first = &runs.front();
+      break;
+    }
+  }
+  if (first == nullptr) {
+    throw std::invalid_argument("estimate_ground_truth: no runs");
+  }
+  if (first->platform == apps::Platform::kNode) {
+    // coverage-node knows the total server line count.
+    return first->total_lines;
+  }
+  // Xdebug does not: take the union of all covered lines over all crawlers
+  // and runs as the ground-truth estimate (Section V-B).
+  coverage::LineSet unioned = first->covered;
+  for (const auto& runs : runs_by_crawler) {
+    for (const auto& run : runs) {
+      unioned.union_with(run.covered);
+    }
+  }
+  return unioned.count();
+}
+
+double mean_covered(const std::vector<RunResult>& runs) {
+  std::vector<double> values;
+  values.reserve(runs.size());
+  for (const auto& run : runs) {
+    values.push_back(static_cast<double>(run.final_covered_lines));
+  }
+  return support::mean_of(values);
+}
+
+double mean_coverage_percent(const std::vector<RunResult>& runs,
+                             std::size_t ground_truth) {
+  if (ground_truth == 0) return 0.0;
+  return 100.0 * mean_covered(runs) / static_cast<double>(ground_truth);
+}
+
+std::map<std::string, double> regrets_percent(
+    const std::map<std::string, double>& mean_lines, double total_lines) {
+  std::map<std::string, double> out;
+  if (mean_lines.empty() || total_lines <= 0.0) return out;
+  double best = 0.0;
+  for (const auto& [name, lines] : mean_lines) best = std::max(best, lines);
+  for (const auto& [name, lines] : mean_lines) {
+    out[name] = 100.0 * (best - lines) / total_lines;
+  }
+  return out;
+}
+
+double mean_interactions(const std::vector<RunResult>& runs) {
+  std::vector<double> values;
+  values.reserve(runs.size());
+  for (const auto& run : runs) {
+    values.push_back(static_cast<double>(run.interactions));
+  }
+  return support::mean_of(values);
+}
+
+}  // namespace mak::harness

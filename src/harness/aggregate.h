@@ -1,0 +1,45 @@
+// Aggregation of run results into the paper's tables and figures.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace mak::harness {
+
+// Mean and population standard deviation of coverage at each sample time
+// across repetitions (one Figure 2 curve).
+struct CoverageCurve {
+  std::vector<support::VirtualMillis> times;
+  std::vector<double> mean;
+  std::vector<double> stddev;
+};
+CoverageCurve aggregate_series(const std::vector<RunResult>& runs);
+
+// Paper Section V-B ground truth:
+//  * PHP apps: the union of lines covered by ALL crawlers across ALL runs;
+//  * Node apps: the app's declared total line count (coverage-node reports
+//    the whole code base).
+// `runs_by_crawler` holds every run of every crawler for ONE app.
+std::size_t estimate_ground_truth(
+    const std::vector<std::vector<RunResult>>& runs_by_crawler);
+
+// Mean covered lines across runs.
+double mean_covered(const std::vector<RunResult>& runs);
+
+// Mean coverage percentage of this crawler's runs w.r.t. `ground_truth`.
+double mean_coverage_percent(const std::vector<RunResult>& runs,
+                             std::size_t ground_truth);
+
+// Section V-C regret: (best crawler's mean lines - this crawler's mean
+// lines) / total lines of the app, expressed in percent. `mean_lines` maps
+// crawler name -> mean covered lines for one app.
+std::map<std::string, double> regrets_percent(
+    const std::map<std::string, double>& mean_lines, double total_lines);
+
+// Mean interactions per run (Section V-D).
+double mean_interactions(const std::vector<RunResult>& runs);
+
+}  // namespace mak::harness

@@ -1,0 +1,274 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include "baselines/qexplore.h"
+#include "baselines/webexplor.h"
+#include "core/browser.h"
+#include "httpsim/network.h"
+#include "support/log.h"
+#include "support/rng.h"
+
+namespace mak::harness {
+
+std::string_view to_string(CrawlerKind kind) {
+  switch (kind) {
+    case CrawlerKind::kMak:
+      return "MAK";
+    case CrawlerKind::kWebExplor:
+      return "WebExplor";
+    case CrawlerKind::kQExplore:
+      return "QExplore";
+    case CrawlerKind::kBfs:
+      return "BFS";
+    case CrawlerKind::kDfs:
+      return "DFS";
+    case CrawlerKind::kRandom:
+      return "Random";
+    case CrawlerKind::kMakRawReward:
+      return "MAK-raw-reward";
+    case CrawlerKind::kMakCuriosityReward:
+      return "MAK-curiosity";
+    case CrawlerKind::kMakFlatDeque:
+      return "MAK-flat-deque";
+    case CrawlerKind::kMakExp3Fixed:
+      return "MAK-exp3-fixed";
+    case CrawlerKind::kMakEpsilonGreedy:
+      return "MAK-eps-greedy";
+    case CrawlerKind::kMakUcb1:
+      return "MAK-ucb1";
+    case CrawlerKind::kMakDomNovelty:
+      return "MAK-dom-novelty";
+    case CrawlerKind::kMakThompson:
+      return "MAK-thompson";
+  }
+  return "?";
+}
+
+std::unique_ptr<core::Crawler> make_crawler(CrawlerKind kind,
+                                            support::Rng rng) {
+  using core::MakConfig;
+  switch (kind) {
+    case CrawlerKind::kMak:
+      return core::make_mak(std::move(rng));
+    case CrawlerKind::kWebExplor:
+      return std::make_unique<baselines::WebExplorCrawler>(std::move(rng));
+    case CrawlerKind::kQExplore:
+      return std::make_unique<baselines::QExploreCrawler>(std::move(rng));
+    case CrawlerKind::kBfs:
+      return core::make_static_bfs(std::move(rng));
+    case CrawlerKind::kDfs:
+      return core::make_static_dfs(std::move(rng));
+    case CrawlerKind::kRandom:
+      return core::make_static_random(std::move(rng));
+    case CrawlerKind::kMakRawReward: {
+      MakConfig config;
+      config.reward_mode = MakConfig::RewardMode::kRawLinks;
+      config.name_override = "MAK-raw-reward";
+      return std::make_unique<core::MakCrawler>(std::move(rng), config);
+    }
+    case CrawlerKind::kMakCuriosityReward: {
+      MakConfig config;
+      config.reward_mode = MakConfig::RewardMode::kCuriosity;
+      config.name_override = "MAK-curiosity";
+      return std::make_unique<core::MakCrawler>(std::move(rng), config);
+    }
+    case CrawlerKind::kMakFlatDeque: {
+      MakConfig config;
+      config.leveled_deque = false;
+      config.name_override = "MAK-flat-deque";
+      return std::make_unique<core::MakCrawler>(std::move(rng), config);
+    }
+    case CrawlerKind::kMakExp3Fixed: {
+      MakConfig config;
+      config.policy = MakConfig::PolicyKind::kExp3Fixed;
+      config.name_override = "MAK-exp3-fixed";
+      return std::make_unique<core::MakCrawler>(std::move(rng), config);
+    }
+    case CrawlerKind::kMakEpsilonGreedy: {
+      MakConfig config;
+      config.policy = MakConfig::PolicyKind::kEpsilonGreedy;
+      config.name_override = "MAK-eps-greedy";
+      return std::make_unique<core::MakCrawler>(std::move(rng), config);
+    }
+    case CrawlerKind::kMakUcb1: {
+      MakConfig config;
+      config.policy = MakConfig::PolicyKind::kUcb1;
+      config.name_override = "MAK-ucb1";
+      return std::make_unique<core::MakCrawler>(std::move(rng), config);
+    }
+    case CrawlerKind::kMakDomNovelty: {
+      MakConfig config;
+      config.reward_mode = MakConfig::RewardMode::kDomNovelty;
+      config.name_override = "MAK-dom-novelty";
+      return std::make_unique<core::MakCrawler>(std::move(rng), config);
+    }
+    case CrawlerKind::kMakThompson: {
+      MakConfig config;
+      config.policy = MakConfig::PolicyKind::kThompson;
+      config.name_override = "MAK-thompson";
+      return std::make_unique<core::MakCrawler>(std::move(rng), config);
+    }
+  }
+  throw std::logic_error("unknown crawler kind");
+}
+
+RunResult run_once(const apps::AppInfo& app_info, CrawlerKind kind,
+                   const RunConfig& config) {
+  // Fresh application instance per run: sessions, user content and coverage
+  // all start clean, like restarting the container between runs.
+  auto app = app_info.factory();
+
+  support::SimClock clock;
+  support::Deadline deadline(clock, config.budget);
+  httpsim::Network network(clock);
+  network.register_host(app->host(), *app);
+
+  support::Rng master(config.seed);
+  core::Browser browser(network, app->seed_url(), master.fork(),
+                        config.fill_strategy);
+  auto crawler = make_crawler(kind, master.fork());
+
+  RunResult result;
+  result.app = app_info.name;
+  result.crawler = std::string(crawler->name());
+  result.platform = app_info.platform;
+  result.total_lines = app->code_model().total_lines();
+
+  crawler->start(browser);
+  if (config.trace != nullptr) {
+    core::TraceEvent event;
+    event.kind = core::TraceEvent::Kind::kSeedLoad;
+    event.time = clock.now();
+    event.url = browser.page().url.to_string();
+    event.status = browser.page().status;
+    event.new_links = crawler->links_discovered();
+    event.covered_lines = app->tracker().covered_lines();
+    config.trace->record(std::move(event));
+  }
+
+  support::VirtualMillis next_sample = 0;
+  std::size_t step_index = 0;
+  while (!deadline.expired()) {
+    // Xdebug-style any-time sampling: record coverage at interval
+    // boundaries that have passed.
+    while (clock.now() >= next_sample) {
+      result.series.record(next_sample, app->tracker().covered_lines());
+      next_sample += config.sample_interval;
+    }
+    clock.advance(config.think_time);
+    const std::size_t interactions_before = browser.interactions();
+    const std::size_t links_before = crawler->links_discovered();
+    crawler->step(browser);
+    ++step_index;
+    if (config.trace != nullptr) {
+      core::TraceEvent event;
+      event.kind = browser.interactions() > interactions_before
+                       ? core::TraceEvent::Kind::kInteraction
+                       : core::TraceEvent::Kind::kRecovery;
+      event.time = clock.now();
+      event.step = step_index;
+      event.action = crawler->last_action();
+      event.url = browser.page().url.to_string();
+      event.status = browser.page().status;
+      event.new_links = crawler->links_discovered() - links_before;
+      event.covered_lines = app->tracker().covered_lines();
+      config.trace->record(std::move(event));
+    }
+  }
+  result.series.record(config.budget, app->tracker().covered_lines());
+
+  result.final_covered_lines = app->tracker().covered_lines();
+  result.interactions = browser.interactions();
+  result.navigations = browser.navigations();
+  result.links_discovered = crawler->links_discovered();
+  result.covered = app->tracker().lines();
+  MAK_LOG_INFO << app_info.name << " / " << result.crawler << ": covered "
+               << result.final_covered_lines << "/" << result.total_lines
+               << " lines in " << result.interactions << " interactions";
+  return result;
+}
+
+namespace {
+
+std::size_t worker_count(std::size_t repetitions) {
+  const char* env = std::getenv("MAK_THREADS");
+  std::size_t workers = 0;
+  if (env != nullptr && *env != '\0') {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) workers = static_cast<std::size_t>(parsed);
+  }
+  if (workers == 0) {
+    workers = std::min<std::size_t>(std::thread::hardware_concurrency(), 8);
+    if (workers == 0) workers = 1;
+  }
+  return std::min(workers, repetitions);
+}
+
+}  // namespace
+
+std::vector<RunResult> run_repeated(const apps::AppInfo& app_info,
+                                    CrawlerKind kind, const RunConfig& config,
+                                    std::size_t repetitions) {
+  std::vector<RunResult> results(repetitions);
+  if (repetitions == 0) return results;
+
+  auto seeded_config = [&](std::size_t rep) {
+    RunConfig rep_config = config;
+    rep_config.seed = support::mix64(config.seed ^ (0xabcd0000 + rep));
+    return rep_config;
+  };
+
+  const std::size_t workers = worker_count(repetitions);
+  if (workers <= 1 || config.trace != nullptr) {
+    // Serial (also whenever a shared trace sink is attached).
+    for (std::size_t rep = 0; rep < repetitions; ++rep) {
+      results[rep] = run_once(app_info, kind, seeded_config(rep));
+    }
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t rep = next.fetch_add(1);
+        if (rep >= repetitions) return;
+        RunConfig rep_config = seeded_config(rep);
+        rep_config.trace = nullptr;  // no shared sink across threads
+        results[rep] = run_once(app_info, kind, rep_config);
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+  return results;
+}
+
+namespace {
+std::size_t env_or(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const long parsed = std::strtol(value, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+}  // namespace
+
+Protocol protocol_from_env() {
+  Protocol p;
+  p.repetitions = env_or("MAK_REPS", 10);
+  p.run.budget = static_cast<support::VirtualMillis>(
+                     env_or("MAK_BUDGET_MINUTES", 30)) *
+                 support::kMillisPerMinute;
+  p.run.sample_interval = static_cast<support::VirtualMillis>(
+                              env_or("MAK_SAMPLE_SECONDS", 30)) *
+                          support::kMillisPerSecond;
+  return p;
+}
+
+}  // namespace mak::harness

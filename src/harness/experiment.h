@@ -1,0 +1,93 @@
+// Experiment harness: runs crawlers against testbed apps under the paper's
+// protocol — 30 virtual minutes per run, N repetitions, coverage sampled
+// over time (Section V-A.4).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/catalog.h"
+#include "core/crawler.h"
+#include "core/trace.h"
+#include "core/mak.h"
+#include "coverage/coverage.h"
+#include "support/clock.h"
+
+namespace mak::harness {
+
+// The crawler line-up of the paper plus the ablation variants.
+enum class CrawlerKind {
+  kMak,        // the paper's crawler
+  kWebExplor,  // Q-learning baseline
+  kQExplore,   // Q-learning baseline
+  kBfs,        // static Head
+  kDfs,        // static Tail
+  kRandom,     // static Random
+  // Ablations (Section 5 of DESIGN.md):
+  kMakRawReward,       // no standardization
+  kMakCuriosityReward, // curiosity instead of link coverage
+  kMakFlatDeque,       // single-level deque
+  kMakExp3Fixed,       // fixed-gamma Exp3
+  kMakEpsilonGreedy,   // epsilon-greedy policy
+  kMakUcb1,            // UCB1 (stochastic MAB) policy
+  kMakDomNovelty,      // DOM-structural-novelty reward
+  kMakThompson,        // Thompson-sampling policy
+};
+
+std::string_view to_string(CrawlerKind kind);
+std::unique_ptr<core::Crawler> make_crawler(CrawlerKind kind,
+                                            support::Rng rng);
+
+struct RunConfig {
+  support::VirtualMillis budget = 30 * support::kMillisPerMinute;
+  support::VirtualMillis sample_interval = 30 * support::kMillisPerSecond;
+  // Client-side cost of one crawl step (decide + locate element + drive the
+  // browser); identical for every crawler, so differences in interaction
+  // counts reflect only page weights.
+  support::VirtualMillis think_time = 700;
+  std::uint64_t seed = 0x5eed;
+  // Optional step-by-step event log (not owned; may be nullptr).
+  core::CrawlTrace* trace = nullptr;
+  // How the browser fills empty form fields.
+  core::FormFillStrategy fill_strategy = core::FormFillStrategy::kCounter;
+};
+
+// Everything one crawl run produces.
+struct RunResult {
+  std::string app;
+  std::string crawler;
+  apps::Platform platform = apps::Platform::kPhp;
+  coverage::CoverageSeries series;       // sampled coverage over time
+  std::size_t final_covered_lines = 0;
+  std::size_t total_lines = 0;           // app's declared total
+  std::size_t interactions = 0;          // atomic element interactions
+  std::size_t navigations = 0;           // seed (re)loads
+  std::size_t links_discovered = 0;      // crawler's link coverage
+  coverage::LineSet covered;             // exact covered set (for unions)
+};
+
+// Run one crawler once against a fresh instance of `app_info`'s app.
+RunResult run_once(const apps::AppInfo& app_info, CrawlerKind kind,
+                   const RunConfig& config);
+
+// Run `repetitions` runs with derived seeds; returns one result per run.
+// Repetitions are independent (each owns its app instance, network and
+// clock), so they execute on a small thread pool when MAK_THREADS > 1
+// (default: hardware concurrency, capped at 8). Results are ordered by
+// repetition index and bit-identical to a serial execution.
+std::vector<RunResult> run_repeated(const apps::AppInfo& app_info,
+                                    CrawlerKind kind, const RunConfig& config,
+                                    std::size_t repetitions);
+
+// Repetitions/budget scaling for quick CI runs: reads MAK_REPS,
+// MAK_BUDGET_MINUTES and MAK_SAMPLE_SECONDS environment variables, falling
+// back to the paper's protocol (10 reps, 30 min, 30 s).
+struct Protocol {
+  std::size_t repetitions = 10;
+  RunConfig run;
+};
+Protocol protocol_from_env();
+
+}  // namespace mak::harness

@@ -1,0 +1,53 @@
+#include "harness/json_report.h"
+
+#include <ostream>
+
+#include "core/trace.h"  // json_escape
+
+namespace mak::harness {
+
+std::string run_to_json(const RunResult& run, bool include_series) {
+  std::string out = "{";
+  out += "\"app\":\"" + core::json_escape(run.app) + "\"";
+  out += ",\"crawler\":\"" + core::json_escape(run.crawler) + "\"";
+  out += ",\"platform\":\"";
+  out += to_string(run.platform);
+  out += "\"";
+  out += ",\"covered_lines\":" + std::to_string(run.final_covered_lines);
+  out += ",\"total_lines\":" + std::to_string(run.total_lines);
+  out += ",\"interactions\":" + std::to_string(run.interactions);
+  out += ",\"navigations\":" + std::to_string(run.navigations);
+  out += ",\"links\":" + std::to_string(run.links_discovered);
+  if (include_series) {
+    out += ",\"series\":[";
+    bool first = true;
+    for (const auto& point : run.series.points()) {
+      if (!first) out += ',';
+      first = false;
+      out += "[" + std::to_string(point.time) + "," +
+             std::to_string(point.covered_lines) + "]";
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+void write_experiment_json(std::ostream& os, const std::string& app,
+                           std::size_t ground_truth,
+                           const std::vector<std::vector<RunResult>>& runs,
+                           bool include_series) {
+  os << "{\"app\":\"" << core::json_escape(app)
+     << "\",\"ground_truth\":" << ground_truth << ",\"runs\":[";
+  bool first = true;
+  for (const auto& crawler_runs : runs) {
+    for (const auto& run : crawler_runs) {
+      if (!first) os << ',';
+      first = false;
+      os << run_to_json(run, include_series);
+    }
+  }
+  os << "]}\n";
+}
+
+}  // namespace mak::harness

@@ -1,0 +1,25 @@
+// JSON export of experiment results for downstream analysis (plotting,
+// statistics, regression tracking between versions).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace mak::harness {
+
+// Serialize one run as a JSON object (single line, no trailing newline).
+std::string run_to_json(const RunResult& run, bool include_series = true);
+
+// Serialize a whole experiment (several crawlers x repetitions on one app)
+// as a JSON document:
+//   {"app": ..., "ground_truth": N, "runs": [...]}
+void write_experiment_json(std::ostream& os,
+                           const std::string& app,
+                           std::size_t ground_truth,
+                           const std::vector<std::vector<RunResult>>& runs,
+                           bool include_series = false);
+
+}  // namespace mak::harness

@@ -1,0 +1,76 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+
+namespace mak::harness {
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  for (char c : cell) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '-' && c != '+' && c != '%' && c != ',') {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const std::size_t pad = widths[i] - row[i].size();
+      const bool right = r > 0 && looks_numeric(row[i]);
+      if (i > 0) os << "  ";
+      if (right) os << std::string(pad, ' ');
+      os << row[i];
+      if (!right && i + 1 < row.size()) os << std::string(pad, ' ');
+    }
+    os << '\n';
+    if (r == 0) {
+      std::size_t total = 0;
+      for (std::size_t w : widths) total += w;
+      os << std::string(total + 2 * (widths.size() - 1), '-') << '\n';
+    }
+  }
+}
+
+std::string to_csv_row(const std::vector<std::string>& cells) {
+  std::string out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out += ',';
+    const std::string& cell = cells[i];
+    if (cell.find_first_of(",\"\n") != std::string::npos) {
+      out += '"';
+      for (char c : cell) {
+        if (c == '"') out += '"';
+        out += c;
+      }
+      out += '"';
+    } else {
+      out += cell;
+    }
+  }
+  return out;
+}
+
+}  // namespace mak::harness

@@ -1,0 +1,26 @@
+// Plain-text table and CSV emission for the bench binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mak::harness {
+
+// A simple fixed-width text table: first row is the header.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  // Render with column auto-sizing; numeric-looking cells right-aligned.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// CSV with proper quoting.
+std::string to_csv_row(const std::vector<std::string>& cells);
+
+}  // namespace mak::harness

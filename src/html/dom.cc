@@ -1,0 +1,146 @@
+#include "html/dom.h"
+
+#include "html/entities.h"
+
+namespace mak::html {
+
+namespace {
+// Void elements never have children and serialize without an end tag.
+bool is_void_element(std::string_view tag) noexcept {
+  return tag == "area" || tag == "base" || tag == "br" || tag == "col" ||
+         tag == "embed" || tag == "hr" || tag == "img" || tag == "input" ||
+         tag == "link" || tag == "meta" || tag == "source" ||
+         tag == "track" || tag == "wbr";
+}
+}  // namespace
+
+bool Node::has_attribute(std::string_view name) const noexcept {
+  for (const auto& [k, v] : attributes_) {
+    if (k == name) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> Node::attribute(std::string_view name) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == name) return v;
+  }
+  return std::nullopt;
+}
+
+std::string Node::attribute_or(std::string_view name,
+                               std::string_view fallback) const {
+  if (auto v = attribute(name)) return *v;
+  return std::string(fallback);
+}
+
+Node* Node::append_child(NodePtr child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+std::string Node::text_content() const {
+  std::string out;
+  walk([&out](const Node& n) {
+    if (n.is_text()) out += n.text();
+  });
+  return out;
+}
+
+void Node::walk(const std::function<void(const Node&)>& visit) const {
+  visit(*this);
+  for (const auto& child : children_) child->walk(visit);
+}
+
+std::vector<const Node*> Node::find_all(std::string_view tag) const {
+  std::vector<const Node*> out;
+  walk([&](const Node& n) {
+    if (n.is_element() && n.tag() == tag && &n != this) out.push_back(&n);
+  });
+  // Include self if it matches? No: find_all searches descendants only when
+  // called on the node itself... but crawlers call it on the document root,
+  // which is never an element, so include matching self for generality.
+  if (is_element() && this->tag() == tag) out.insert(out.begin(), this);
+  return out;
+}
+
+const Node* Node::find_first(std::string_view tag) const {
+  const Node* found = nullptr;
+  // walk() has no early exit; fine for page-sized trees.
+  walk([&](const Node& n) {
+    if (found == nullptr && n.is_element() && n.tag() == tag) found = &n;
+  });
+  return found;
+}
+
+std::vector<const Node*> Node::all_elements() const {
+  std::vector<const Node*> out;
+  walk([&](const Node& n) {
+    if (n.is_element()) out.push_back(&n);
+  });
+  return out;
+}
+
+const Node* Node::closest_ancestor(std::string_view tag) const {
+  for (const Node* p = parent_; p != nullptr; p = p->parent()) {
+    if (p->is_element() && p->tag() == tag) return p;
+  }
+  return nullptr;
+}
+
+std::string Document::title() const {
+  const Node* t = root_->find_first("title");
+  return t != nullptr ? t->text_content() : std::string();
+}
+
+namespace {
+void serialize_into(const Node& node, std::string& out) {
+  switch (node.type()) {
+    case NodeType::kText:
+      out += escape(node.text());
+      return;
+    case NodeType::kComment:
+      out += "<!--";
+      out += node.text();
+      out += "-->";
+      return;
+    case NodeType::kDocument:
+      for (const auto& child : node.children()) serialize_into(*child, out);
+      return;
+    case NodeType::kElement:
+      break;
+  }
+  out += '<';
+  out += node.tag();
+  for (const auto& [k, v] : node.attributes()) {
+    out += ' ';
+    out += k;
+    out += "=\"";
+    out += escape(v);
+    out += '"';
+  }
+  out += '>';
+  if (is_void_element(node.tag())) return;
+  if (node.tag() == "script" || node.tag() == "style") {
+    // Raw-text elements: the tokenizer reads their content verbatim, so the
+    // serializer must not entity-escape it (round-trip symmetry).
+    for (const auto& child : node.children()) {
+      if (child->is_text()) out += child->text();
+    }
+  } else {
+    for (const auto& child : node.children()) serialize_into(*child, out);
+  }
+  out += "</";
+  out += node.tag();
+  out += '>';
+}
+}  // namespace
+
+std::string serialize(const Node& node) {
+  std::string out;
+  serialize_into(node, out);
+  return out;
+}
+
+}  // namespace mak::html

@@ -1,0 +1,106 @@
+// DOM tree built by the parser.
+//
+// Nodes are owned through std::unique_ptr along parent->child edges; parents
+// are back-referenced with raw non-owning pointers. The tree is immutable
+// after parsing in all crawler code paths.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mak::html {
+
+enum class NodeType { kElement, kText, kComment, kDocument };
+
+class Node;
+using NodePtr = std::unique_ptr<Node>;
+
+class Node {
+ public:
+  explicit Node(NodeType type) : type_(type) {}
+
+  NodeType type() const noexcept { return type_; }
+  bool is_element() const noexcept { return type_ == NodeType::kElement; }
+  bool is_text() const noexcept { return type_ == NodeType::kText; }
+
+  // --- element-only accessors (return empty defaults otherwise) ---
+  const std::string& tag() const noexcept { return tag_; }
+  void set_tag(std::string tag) { tag_ = std::move(tag); }
+
+  const std::vector<std::pair<std::string, std::string>>& attributes()
+      const noexcept {
+    return attributes_;
+  }
+  void set_attributes(std::vector<std::pair<std::string, std::string>> attrs) {
+    attributes_ = std::move(attrs);
+  }
+  bool has_attribute(std::string_view name) const noexcept;
+  std::optional<std::string> attribute(std::string_view name) const;
+  // Attribute value or empty string.
+  std::string attribute_or(std::string_view name,
+                           std::string_view fallback = "") const;
+
+  // --- text/comment-only ---
+  const std::string& text() const noexcept { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  // --- tree structure ---
+  Node* parent() const noexcept { return parent_; }
+  const std::vector<NodePtr>& children() const noexcept { return children_; }
+  Node* append_child(NodePtr child);
+
+  // Concatenated text of all descendant text nodes.
+  std::string text_content() const;
+
+  // Depth-first pre-order walk over this node and all descendants.
+  void walk(const std::function<void(const Node&)>& visit) const;
+
+  // All descendant elements (pre-order) with the given lowercase tag name.
+  std::vector<const Node*> find_all(std::string_view tag) const;
+  // First such element or nullptr.
+  const Node* find_first(std::string_view tag) const;
+  // All descendant elements in pre-order.
+  std::vector<const Node*> all_elements() const;
+
+  // Nearest ancestor (excluding self) with the given tag, or nullptr.
+  const Node* closest_ancestor(std::string_view tag) const;
+
+ private:
+  NodeType type_;
+  std::string tag_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::string text_;
+  Node* parent_ = nullptr;
+  std::vector<NodePtr> children_;
+};
+
+// A parsed document: a kDocument root owning the tree.
+class Document {
+ public:
+  Document() : root_(std::make_unique<Node>(NodeType::kDocument)) {}
+
+  Node& root() noexcept { return *root_; }
+  const Node& root() const noexcept { return *root_; }
+
+  // Convenience passthroughs.
+  std::vector<const Node*> find_all(std::string_view tag) const {
+    return root_->find_all(tag);
+  }
+  const Node* find_first(std::string_view tag) const {
+    return root_->find_first(tag);
+  }
+  std::string title() const;
+
+ private:
+  NodePtr root_;
+};
+
+// Serialize a subtree back to HTML (for debugging and round-trip tests).
+std::string serialize(const Node& node);
+
+}  // namespace mak::html

@@ -1,0 +1,111 @@
+#include "html/entities.h"
+
+#include <cctype>
+
+namespace mak::html {
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&#39;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Try to decode the entity starting at text[pos] (which is '&'). On success
+// appends the decoded character(s) to out and returns the index one past the
+// ';'. On failure returns pos (caller copies the '&' verbatim).
+std::size_t decode_entity(std::string_view text, std::size_t pos,
+                          std::string& out) {
+  const std::size_t semi = text.find(';', pos + 1);
+  if (semi == std::string_view::npos || semi - pos > 12) return pos;
+  const std::string_view body = text.substr(pos + 1, semi - pos - 1);
+  if (body == "amp") {
+    out += '&';
+  } else if (body == "lt") {
+    out += '<';
+  } else if (body == "gt") {
+    out += '>';
+  } else if (body == "quot") {
+    out += '"';
+  } else if (body == "apos") {
+    out += '\'';
+  } else if (body == "nbsp") {
+    out += ' ';
+  } else if (!body.empty() && body[0] == '#') {
+    std::string_view digits = body.substr(1);
+    int base = 10;
+    if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+      base = 16;
+      digits = digits.substr(1);
+    }
+    if (digits.empty()) return pos;
+    unsigned long value = 0;
+    for (char c : digits) {
+      int v;
+      if (c >= '0' && c <= '9') {
+        v = c - '0';
+      } else if (base == 16 && c >= 'a' && c <= 'f') {
+        v = c - 'a' + 10;
+      } else if (base == 16 && c >= 'A' && c <= 'F') {
+        v = c - 'A' + 10;
+      } else {
+        return pos;
+      }
+      value = value * static_cast<unsigned long>(base) +
+              static_cast<unsigned long>(v);
+      if (value > 0x10ffff) return pos;
+    }
+    if (value == 0 || value > 0x7f) {
+      // Keep it simple: only ASCII numeric references decode; others pass
+      // through untouched (our synthetic apps emit ASCII only).
+      return pos;
+    }
+    out += static_cast<char>(value);
+  } else {
+    return pos;
+  }
+  return semi + 1;
+}
+
+}  // namespace
+
+std::string unescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size();) {
+    if (text[i] == '&') {
+      const std::size_t next = decode_entity(text, i, out);
+      if (next != i) {
+        i = next;
+        continue;
+      }
+    }
+    out += text[i];
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace mak::html

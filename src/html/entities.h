@@ -1,0 +1,16 @@
+// HTML entity encoding/decoding (the subset real templates emit).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace mak::html {
+
+// Escape &, <, >, ", ' for safe embedding in HTML text or attributes.
+std::string escape(std::string_view text);
+
+// Decode named entities (&amp; &lt; &gt; &quot; &apos; &nbsp;) and numeric
+// references (&#NN; &#xNN;, ASCII range). Unknown entities pass through.
+std::string unescape(std::string_view text);
+
+}  // namespace mak::html

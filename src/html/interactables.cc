@@ -1,0 +1,229 @@
+#include "html/interactables.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace mak::html {
+
+using support::contains;
+using support::starts_with;
+using support::to_lower;
+using support::to_upper;
+
+std::string_view to_string(InteractableKind kind) noexcept {
+  switch (kind) {
+    case InteractableKind::kLink:
+      return "link";
+    case InteractableKind::kButton:
+      return "button";
+    case InteractableKind::kForm:
+      return "form";
+  }
+  return "?";
+}
+
+std::string Interactable::describe() const {
+  std::string out(to_string(kind));
+  out += " target=";
+  out += target;
+  if (!method.empty()) {
+    out += " method=";
+    out += method;
+  }
+  if (!text.empty()) {
+    out += " text=\"";
+    out += text;
+    out += '"';
+  }
+  if (kind == InteractableKind::kForm) {
+    out += " fields=" + std::to_string(fields.size());
+  }
+  return out;
+}
+
+std::string Interactable::attribute_digest() const {
+  // Concatenate the attribute values that identify the element, as QExplore
+  // abstracts pages by "the sequence of attribute values of the unique
+  // interactable elements of the page".
+  std::string out(to_string(kind));
+  out += '|';
+  out += target;
+  out += '|';
+  out += method;
+  out += '|';
+  out += id;
+  out += '|';
+  out += name;
+  out += '|';
+  out += text;
+  for (const auto& field : fields) {
+    out += '|';
+    out += field.name;
+    out += ':';
+    out += field.type;
+  }
+  return out;
+}
+
+namespace {
+
+bool is_invisible(const Node& element) {
+  if (element.has_attribute("hidden")) return true;
+  const std::string style = to_lower(element.attribute_or("style"));
+  return contains(style, "display:none") || contains(style, "display: none");
+}
+
+bool any_invisible_ancestor_or_self(const Node& element) {
+  if (is_invisible(element)) return true;
+  for (const Node* p = element.parent(); p != nullptr; p = p->parent()) {
+    if (p->is_element() && is_invisible(*p)) return true;
+  }
+  return false;
+}
+
+bool usable_href(std::string_view href) noexcept {
+  if (href.empty()) return false;
+  if (href[0] == '#') return false;
+  const std::string lower = to_lower(href);
+  return !starts_with(lower, "javascript:") && !starts_with(lower, "mailto:") &&
+         !starts_with(lower, "tel:") && !starts_with(lower, "data:");
+}
+
+FormField field_from(const Node& element) {
+  FormField field;
+  field.name = element.attribute_or("name");
+  if (element.tag() == "input") {
+    field.type = to_lower(element.attribute_or("type", "text"));
+    field.value = element.attribute_or("value");
+  } else if (element.tag() == "textarea") {
+    field.type = "textarea";
+    field.value = element.text_content();
+  } else if (element.tag() == "select") {
+    field.type = "select";
+    for (const Node* option : element.find_all("option")) {
+      std::string value = option->attribute_or("value");
+      if (value.empty()) value = option->text_content();
+      field.options.push_back(std::move(value));
+      if (option->has_attribute("selected") && field.value.empty()) {
+        field.value = field.options.back();
+      }
+    }
+    if (field.value.empty() && !field.options.empty()) {
+      field.value = field.options.front();
+    }
+  }
+  return field;
+}
+
+Interactable form_from(const Node& form) {
+  Interactable item;
+  item.kind = InteractableKind::kForm;
+  item.target = form.attribute_or("action");
+  item.method = to_upper(form.attribute_or("method", "GET"));
+  if (item.method != "POST") item.method = "GET";
+  item.id = form.attribute_or("id");
+  item.name = form.attribute_or("name");
+  form.walk([&item, &form](const Node& n) {
+    if (!n.is_element() || &n == &form) return;
+    if (n.tag() == "input" || n.tag() == "select" || n.tag() == "textarea") {
+      if (any_invisible_ancestor_or_self(n) &&
+          to_lower(n.attribute_or("type")) != "hidden") {
+        return;  // invisible, non-hidden controls don't get filled
+      }
+      item.fields.push_back(field_from(n));
+    } else if (n.tag() == "button") {
+      // A submit button contributes its label (and name=value on submission).
+      if (item.text.empty()) item.text = n.text_content();
+      if (!n.attribute_or("name").empty()) {
+        FormField button;
+        button.name = n.attribute_or("name");
+        button.type = "submit";
+        button.value = n.attribute_or("value");
+        item.fields.push_back(std::move(button));
+      }
+    }
+  });
+  return item;
+}
+
+}  // namespace
+
+std::vector<Interactable> extract_interactables(const Document& doc) {
+  std::vector<Interactable> out;
+  doc.root().walk([&out](const Node& n) {
+    if (!n.is_element()) return;
+    if (n.tag() == "a") {
+      const std::string href = n.attribute_or("href");
+      if (!usable_href(href) || any_invisible_ancestor_or_self(n)) return;
+      Interactable item;
+      item.kind = InteractableKind::kLink;
+      item.target = href;
+      item.method = "GET";
+      item.id = n.attribute_or("id");
+      item.name = n.attribute_or("name");
+      item.text = std::string(support::trim(n.text_content()));
+      out.push_back(std::move(item));
+    } else if (n.tag() == "form") {
+      if (any_invisible_ancestor_or_self(n)) return;
+      out.push_back(form_from(n));
+    } else if (n.tag() == "button") {
+      if (n.closest_ancestor("form") != nullptr) return;  // submit control
+      if (any_invisible_ancestor_or_self(n)) return;
+      std::string target = n.attribute_or("formaction");
+      if (target.empty()) target = n.attribute_or("data-href");
+      if (target.empty()) return;  // inert standalone button
+      Interactable item;
+      item.kind = InteractableKind::kButton;
+      item.target = std::move(target);
+      item.method = to_upper(n.attribute_or("formmethod", "POST"));
+      if (item.method != "GET") item.method = "POST";
+      item.id = n.attribute_or("id");
+      item.name = n.attribute_or("name");
+      item.text = std::string(support::trim(n.text_content()));
+      out.push_back(std::move(item));
+    }
+  });
+  return out;
+}
+
+std::vector<std::string> tag_sequence(const Document& doc) {
+  std::vector<std::string> out;
+  doc.root().walk([&out](const Node& n) {
+    if (n.is_element()) out.push_back(n.tag());
+  });
+  return out;
+}
+
+double sequence_similarity(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b,
+                           std::size_t cap) {
+  const std::size_t n = std::min(a.size(), cap);
+  const std::size_t m = std::min(b.size(), cap);
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+  std::vector<std::size_t> prev(m + 1, 0);
+  std::vector<std::size_t> curr(m + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        curr[j] = prev[j - 1] + 1;
+      } else {
+        curr[j] = std::max(prev[j], curr[j - 1]);
+      }
+    }
+    std::swap(prev, curr);
+  }
+  return 2.0 * static_cast<double>(prev[m]) / static_cast<double>(n + m);
+}
+
+std::uint64_t qexplore_state_hash(const Document& doc) {
+  std::string combined;
+  for (const auto& item : extract_interactables(doc)) {
+    combined += item.attribute_digest();
+    combined += '\n';
+  }
+  return support::fnv1a(combined);
+}
+
+}  // namespace mak::html

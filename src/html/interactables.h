@@ -1,0 +1,80 @@
+// Interactable-element extraction and the state-abstraction digests used by
+// the Q-learning baselines.
+//
+// Following the paper's unified-framework assumptions (Section V-A.2),
+// interactable elements are the *visible* links, buttons and forms of a page.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "html/dom.h"
+
+namespace mak::html {
+
+enum class InteractableKind { kLink, kButton, kForm };
+
+std::string_view to_string(InteractableKind kind) noexcept;
+
+// One field of a form (input/select/textarea).
+struct FormField {
+  std::string name;
+  std::string type;   // "text", "password", "hidden", "select", ...
+  std::string value;  // default/current value
+  std::vector<std::string> options;  // select options (values)
+
+  bool operator==(const FormField&) const = default;
+};
+
+// A single interactable element lifted out of a DOM.
+struct Interactable {
+  InteractableKind kind = InteractableKind::kLink;
+  std::string target;  // link href / form action / button formaction (raw)
+  std::string method;  // "GET" or "POST" (forms/buttons)
+  std::string id;      // element id attribute (may be empty)
+  std::string name;    // element name attribute (may be empty)
+  std::string text;    // rendered text (anchor/button label)
+  std::vector<FormField> fields;  // form fields (kForm only)
+
+  bool operator==(const Interactable&) const = default;
+
+  // Human-readable one-liner for logs.
+  std::string describe() const;
+
+  // Stable digest of the element's attribute values; the QExplore state
+  // abstraction is the hash of the concatenation of these digests over the
+  // page's interactables (Section III-A of the paper).
+  std::string attribute_digest() const;
+};
+
+// Extract all visible interactables from a document, in document order.
+//
+// Rules (mirroring the paper's framework assumptions):
+//  * <a href=...> with a non-empty href that is not a pure fragment and not
+//    a javascript: URL is a link.
+//  * <form> is a form; its action defaults to "" (self), method to GET;
+//    fields are its input/select/textarea descendants. Buttons inside a form
+//    are submit controls of that form, not separate interactables.
+//  * <button> outside any form with a formaction/data-href attribute is a
+//    button (navigates to its target, default method POST).
+//  * Elements with a `hidden` attribute or display:none style, and anything
+//    inside such an element, are invisible and skipped.
+std::vector<Interactable> extract_interactables(const Document& doc);
+
+// WebExplor state ingredient: the sequence of HTML tag names in pre-order.
+std::vector<std::string> tag_sequence(const Document& doc);
+
+// QExplore state digest: hash of the attribute-value sequence of the page's
+// interactable elements.
+std::uint64_t qexplore_state_hash(const Document& doc);
+
+// Normalized longest-common-subsequence similarity of two string sequences
+// in [0, 1]: 2*LCS / (|a|+|b|), inputs truncated to `cap` items. Used by
+// WebExplor's pattern matching and the DOM-novelty reward ablation.
+double sequence_similarity(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b,
+                           std::size_t cap = 256);
+
+}  // namespace mak::html

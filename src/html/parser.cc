@@ -1,0 +1,84 @@
+#include "html/parser.h"
+
+#include <vector>
+
+#include "html/tokenizer.h"
+
+namespace mak::html {
+
+namespace {
+
+bool is_void_element(std::string_view tag) noexcept {
+  return tag == "area" || tag == "base" || tag == "br" || tag == "col" ||
+         tag == "embed" || tag == "hr" || tag == "img" || tag == "input" ||
+         tag == "link" || tag == "meta" || tag == "source" ||
+         tag == "track" || tag == "wbr";
+}
+
+// Tags that implicitly close an open element of the same tag (simplified
+// HTML5 "implied end tag" rules; enough for template-generated markup).
+bool closes_same_tag(std::string_view tag) noexcept {
+  return tag == "p" || tag == "li" || tag == "tr" || tag == "td" ||
+         tag == "th" || tag == "option" || tag == "dt" || tag == "dd";
+}
+
+}  // namespace
+
+Document parse(std::string_view markup) {
+  Document doc;
+  std::vector<Node*> stack;
+  stack.push_back(&doc.root());
+
+  auto open_tags_contain = [&stack](std::string_view tag) {
+    for (const Node* n : stack) {
+      if (n->is_element() && n->tag() == tag) return true;
+    }
+    return false;
+  };
+
+  for (auto& token : tokenize(markup)) {
+    switch (token.type) {
+      case TokenType::kDoctype:
+        break;  // not represented in the tree
+      case TokenType::kComment: {
+        auto node = std::make_unique<Node>(NodeType::kComment);
+        node->set_text(std::move(token.text));
+        stack.back()->append_child(std::move(node));
+        break;
+      }
+      case TokenType::kText: {
+        auto node = std::make_unique<Node>(NodeType::kText);
+        node->set_text(std::move(token.text));
+        stack.back()->append_child(std::move(node));
+        break;
+      }
+      case TokenType::kStartTag: {
+        if (closes_same_tag(token.name) && stack.back()->is_element() &&
+            stack.back()->tag() == token.name) {
+          stack.pop_back();
+        }
+        auto node = std::make_unique<Node>(NodeType::kElement);
+        node->set_tag(token.name);
+        node->set_attributes(std::move(token.attributes));
+        Node* raw = stack.back()->append_child(std::move(node));
+        if (!token.self_closing && !is_void_element(token.name)) {
+          stack.push_back(raw);
+        }
+        break;
+      }
+      case TokenType::kEndTag: {
+        if (!open_tags_contain(token.name)) break;  // unmatched: drop
+        // Pop (and thereby implicitly close) up to and including the match.
+        while (stack.size() > 1) {
+          Node* top = stack.back();
+          stack.pop_back();
+          if (top->is_element() && top->tag() == token.name) break;
+        }
+        break;
+      }
+    }
+  }
+  return doc;
+}
+
+}  // namespace mak::html

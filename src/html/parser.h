@@ -1,0 +1,15 @@
+// Tree construction: token stream -> DOM.
+#pragma once
+
+#include <string_view>
+
+#include "html/dom.h"
+
+namespace mak::html {
+
+// Parse a document. Browser-lenient: void elements never nest, unmatched end
+// tags are dropped, unclosed elements are closed at end of input, and <p>/
+// <li>/<tr>/<td>/<option> auto-close their previous sibling of the same kind.
+Document parse(std::string_view markup);
+
+}  // namespace mak::html

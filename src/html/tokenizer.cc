@@ -1,0 +1,257 @@
+#include "html/tokenizer.h"
+
+#include <cctype>
+
+#include "html/entities.h"
+#include "support/strings.h"
+
+namespace mak::html {
+
+namespace {
+
+bool is_name_start(unsigned char c) noexcept { return std::isalpha(c); }
+bool is_name_char(unsigned char c) noexcept {
+  return std::isalnum(c) || c == '-' || c == '_' || c == ':';
+}
+bool is_space(unsigned char c) noexcept { return std::isspace(c); }
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view input) : input_(input) {}
+
+  std::vector<Token> run() {
+    while (pos_ < input_.size()) {
+      const std::size_t lt = input_.find('<', pos_);
+      if (lt == std::string_view::npos) {
+        emit_text(input_.substr(pos_));
+        break;
+      }
+      if (lt > pos_) emit_text(input_.substr(pos_, lt - pos_));
+      pos_ = lt;
+      if (!consume_markup()) {
+        // Stray '<': treat as text and move on.
+        emit_text("<");
+        ++pos_;
+      }
+    }
+    return std::move(tokens_);
+  }
+
+ private:
+  void emit_text(std::string_view raw) {
+    if (raw.empty()) return;
+    Token t;
+    t.type = TokenType::kText;
+    t.text = unescape(raw);
+    tokens_.push_back(std::move(t));
+  }
+
+  // pos_ points at '<'. Returns false if this is not valid markup.
+  bool consume_markup() {
+    if (pos_ + 1 >= input_.size()) return false;
+    const char next = input_[pos_ + 1];
+    if (next == '!') return consume_comment_or_doctype();
+    if (next == '/') return consume_end_tag();
+    if (is_name_start(static_cast<unsigned char>(next))) {
+      return consume_start_tag();
+    }
+    return false;
+  }
+
+  bool consume_comment_or_doctype() {
+    if (input_.compare(pos_, 4, "<!--") == 0) {
+      const std::size_t end = input_.find("-->", pos_ + 4);
+      Token t;
+      t.type = TokenType::kComment;
+      if (end == std::string_view::npos) {
+        t.text = std::string(input_.substr(pos_ + 4));
+        pos_ = input_.size();
+      } else {
+        t.text = std::string(input_.substr(pos_ + 4, end - pos_ - 4));
+        pos_ = end + 3;
+      }
+      tokens_.push_back(std::move(t));
+      return true;
+    }
+    // <!DOCTYPE ...> or any other <!...> construct.
+    const std::size_t end = input_.find('>', pos_);
+    Token t;
+    t.type = TokenType::kDoctype;
+    if (end == std::string_view::npos) {
+      t.text = std::string(input_.substr(pos_ + 2));
+      pos_ = input_.size();
+    } else {
+      t.text = std::string(input_.substr(pos_ + 2, end - pos_ - 2));
+      pos_ = end + 1;
+    }
+    tokens_.push_back(std::move(t));
+    return true;
+  }
+
+  bool consume_end_tag() {
+    std::size_t i = pos_ + 2;
+    if (i >= input_.size() ||
+        !is_name_start(static_cast<unsigned char>(input_[i]))) {
+      return false;
+    }
+    const std::size_t name_start = i;
+    while (i < input_.size() &&
+           is_name_char(static_cast<unsigned char>(input_[i]))) {
+      ++i;
+    }
+    const std::string name =
+        support::to_lower(input_.substr(name_start, i - name_start));
+    // Skip anything up to '>' (attributes on end tags are ignored).
+    const std::size_t end = input_.find('>', i);
+    pos_ = end == std::string_view::npos ? input_.size() : end + 1;
+    Token t;
+    t.type = TokenType::kEndTag;
+    t.name = name;
+    tokens_.push_back(std::move(t));
+    return true;
+  }
+
+  bool consume_start_tag() {
+    std::size_t i = pos_ + 1;
+    const std::size_t name_start = i;
+    while (i < input_.size() &&
+           is_name_char(static_cast<unsigned char>(input_[i]))) {
+      ++i;
+    }
+    Token t;
+    t.type = TokenType::kStartTag;
+    t.name = support::to_lower(input_.substr(name_start, i - name_start));
+
+    // Attributes.
+    while (i < input_.size()) {
+      while (i < input_.size() &&
+             is_space(static_cast<unsigned char>(input_[i]))) {
+        ++i;
+      }
+      if (i >= input_.size()) break;
+      if (input_[i] == '>') {
+        ++i;
+        break;
+      }
+      if (input_[i] == '/') {
+        // Possibly self-closing.
+        std::size_t j = i + 1;
+        while (j < input_.size() &&
+               is_space(static_cast<unsigned char>(input_[j]))) {
+          ++j;
+        }
+        if (j < input_.size() && input_[j] == '>') {
+          t.self_closing = true;
+          i = j + 1;
+          break;
+        }
+        ++i;  // stray '/': skip
+        continue;
+      }
+      // Attribute name.
+      const std::size_t attr_start = i;
+      while (i < input_.size() && !is_space(static_cast<unsigned char>(
+                                      input_[i])) &&
+             input_[i] != '=' && input_[i] != '>' && input_[i] != '/') {
+        ++i;
+      }
+      if (i == attr_start) {
+        ++i;  // defensive: avoid infinite loop on weird bytes
+        continue;
+      }
+      std::string attr_name =
+          support::to_lower(input_.substr(attr_start, i - attr_start));
+      std::string attr_value;
+      // Optional "=value".
+      std::size_t j = i;
+      while (j < input_.size() &&
+             is_space(static_cast<unsigned char>(input_[j]))) {
+        ++j;
+      }
+      if (j < input_.size() && input_[j] == '=') {
+        ++j;
+        while (j < input_.size() &&
+               is_space(static_cast<unsigned char>(input_[j]))) {
+          ++j;
+        }
+        if (j < input_.size() && (input_[j] == '"' || input_[j] == '\'')) {
+          const char quote = input_[j];
+          const std::size_t vstart = ++j;
+          const std::size_t vend = input_.find(quote, vstart);
+          if (vend == std::string_view::npos) {
+            attr_value = unescape(input_.substr(vstart));
+            j = input_.size();
+          } else {
+            attr_value = unescape(input_.substr(vstart, vend - vstart));
+            j = vend + 1;
+          }
+        } else {
+          const std::size_t vstart = j;
+          while (j < input_.size() &&
+                 !is_space(static_cast<unsigned char>(input_[j])) &&
+                 input_[j] != '>') {
+            ++j;
+          }
+          attr_value = unescape(input_.substr(vstart, j - vstart));
+        }
+        i = j;
+      }
+      t.attributes.emplace_back(std::move(attr_name), std::move(attr_value));
+    }
+    pos_ = i;
+
+    // Raw-text elements: script/style content is opaque until the matching
+    // close tag.
+    if (!t.self_closing && (t.name == "script" || t.name == "style")) {
+      const std::string close = "</" + t.name;
+      const std::string tag_name = t.name;
+      tokens_.push_back(std::move(t));
+      std::size_t end = pos_;
+      for (;;) {
+        end = input_.find(close, end);
+        if (end == std::string_view::npos) {
+          end = input_.size();
+          break;
+        }
+        const std::size_t after = end + close.size();
+        if (after >= input_.size() || input_[after] == '>' ||
+            is_space(static_cast<unsigned char>(input_[after]))) {
+          break;
+        }
+        ++end;
+      }
+      if (end > pos_) {
+        Token text;
+        text.type = TokenType::kText;
+        text.text = std::string(input_.substr(pos_, end - pos_));
+        tokens_.push_back(std::move(text));
+      }
+      if (end < input_.size()) {
+        const std::size_t gt = input_.find('>', end);
+        pos_ = gt == std::string_view::npos ? input_.size() : gt + 1;
+        Token close_tok;
+        close_tok.type = TokenType::kEndTag;
+        close_tok.name = tag_name;
+        tokens_.push_back(std::move(close_tok));
+      } else {
+        pos_ = input_.size();
+      }
+      return true;
+    }
+
+    tokens_.push_back(std::move(t));
+    return true;
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view markup) {
+  return Tokenizer(markup).run();
+}
+
+}  // namespace mak::html

@@ -1,0 +1,35 @@
+// HTML tokenizer: turns markup into a flat token stream.
+//
+// Covers the HTML subset real server-side templates produce: tags with
+// quoted/unquoted/valueless attributes, text, comments, doctype, and raw-text
+// elements (script/style whose content is opaque). Lenient on errors the way
+// browsers are: stray '<' becomes text, unterminated constructs are closed at
+// end of input.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mak::html {
+
+enum class TokenType { kStartTag, kEndTag, kText, kComment, kDoctype };
+
+struct Token {
+  TokenType type = TokenType::kText;
+  // kStartTag/kEndTag: lowercase tag name. kText/kComment/kDoctype: unused.
+  std::string name;
+  // kText: decoded text. kComment/kDoctype: raw content.
+  std::string text;
+  // kStartTag only: attributes in document order, names lowercase, values
+  // entity-decoded. A valueless attribute has an empty value.
+  std::vector<std::pair<std::string, std::string>> attributes;
+  // kStartTag only: "<br/>" style self-closing marker.
+  bool self_closing = false;
+};
+
+// Tokenize an entire document. Never throws on malformed markup.
+std::vector<Token> tokenize(std::string_view markup);
+
+}  // namespace mak::html

@@ -1,0 +1,42 @@
+#include "httpsim/cookies.h"
+
+#include "support/strings.h"
+
+namespace mak::httpsim {
+
+void CookieJar::store(std::string_view origin_host,
+                      const std::vector<SetCookie>& cookies) {
+  if (cookies.empty()) return;
+  auto& host_jar = jar_[std::string(origin_host)];
+  for (const auto& cookie : cookies) {
+    if (cookie.name.empty()) continue;
+    if (cookie.value.empty()) {
+      host_jar.erase(cookie.name);  // empty value = deletion
+      continue;
+    }
+    host_jar[cookie.name] =
+        StoredCookie{cookie.value, cookie.path.empty() ? "/" : cookie.path};
+  }
+}
+
+std::map<std::string, std::string> CookieJar::cookies_for(
+    const url::Url& target) const {
+  std::map<std::string, std::string> out;
+  const auto host_it = jar_.find(target.host);
+  if (host_it == jar_.end()) return out;
+  const std::string path = target.path.empty() ? "/" : target.path;
+  for (const auto& [name, cookie] : host_it->second) {
+    if (support::starts_with(path, cookie.path)) {
+      out[name] = cookie.value;
+    }
+  }
+  return out;
+}
+
+std::size_t CookieJar::size() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [host, cookies] : jar_) n += cookies.size();
+  return n;
+}
+
+}  // namespace mak::httpsim

@@ -1,0 +1,35 @@
+// Client-side cookie jar (host + path scoped, simplified).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "httpsim/message.h"
+#include "url/url.h"
+
+namespace mak::httpsim {
+
+class CookieJar {
+ public:
+  // Record cookies set by a response from `origin_host`.
+  void store(std::string_view origin_host,
+             const std::vector<SetCookie>& cookies);
+
+  // Cookies applicable to a request to `target` (host match + path prefix).
+  std::map<std::string, std::string> cookies_for(const url::Url& target) const;
+
+  void clear() { jar_.clear(); }
+  std::size_t size() const noexcept;
+
+ private:
+  struct StoredCookie {
+    std::string value;
+    std::string path;
+  };
+  // host -> name -> cookie
+  std::map<std::string, std::map<std::string, StoredCookie>> jar_;
+};
+
+}  // namespace mak::httpsim

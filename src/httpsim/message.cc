@@ -1,0 +1,61 @@
+#include "httpsim/message.h"
+
+#include "html/entities.h"
+
+namespace mak::httpsim {
+
+std::string_view to_string(Method method) noexcept {
+  switch (method) {
+    case Method::kGet:
+      return "GET";
+    case Method::kPost:
+      return "POST";
+  }
+  return "?";
+}
+
+std::string Request::param(std::string_view key,
+                           std::string_view fallback) const {
+  if (auto v = query.get(key)) return *v;
+  return std::string(fallback);
+}
+
+std::string Request::form_value(std::string_view key,
+                                std::string_view fallback) const {
+  if (auto v = form.get(key)) return *v;
+  return std::string(fallback);
+}
+
+Response Response::html(std::string body, int status) {
+  Response r;
+  r.status = status;
+  r.body = std::move(body);
+  return r;
+}
+
+Response Response::redirect(std::string location, int status) {
+  Response r;
+  r.status = status;
+  r.location = std::move(location);
+  return r;
+}
+
+Response Response::not_found(std::string_view what) {
+  Response r;
+  r.status = 404;
+  r.body = "<html><head><title>404 Not Found</title></head><body>"
+           "<h1>Not Found</h1><p>" +
+           html::escape(what) + "</p></body></html>";
+  return r;
+}
+
+Response Response::server_error(std::string_view what) {
+  Response r;
+  r.status = 500;
+  r.body = "<html><head><title>500 Internal Server Error</title></head>"
+           "<body><h1>Internal Server Error</h1><p>" +
+           html::escape(what) + "</p></body></html>";
+  return r;
+}
+
+}  // namespace mak::httpsim

@@ -1,0 +1,67 @@
+// HTTP request/response value types for the in-process web stack.
+//
+// This is a simulation of the transport layer only: requests and responses
+// are plain values handed between the crawler's Browser and a VirtualHost,
+// with no sockets involved. Semantics (methods, status codes, redirects,
+// cookies, form encoding) follow HTTP closely enough that the crawlers
+// behave exactly as they would against a real server.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "support/clock.h"
+#include "url/url.h"
+
+namespace mak::httpsim {
+
+enum class Method { kGet, kPost };
+
+std::string_view to_string(Method method) noexcept;
+
+struct Request {
+  Method method = Method::kGet;
+  url::Url url;                         // absolute, fragment stripped
+  url::QueryMap query;                  // parsed from url.query
+  url::QueryMap form;                   // POST body (x-www-form-urlencoded)
+  std::map<std::string, std::string> cookies;
+
+  // Path of the request target, decoded.
+  std::string decoded_path() const { return url::decode(url.path); }
+
+  // First query parameter value, or fallback.
+  std::string param(std::string_view key, std::string_view fallback = "") const;
+  // First form field value, or fallback.
+  std::string form_value(std::string_view key,
+                         std::string_view fallback = "") const;
+};
+
+struct SetCookie {
+  std::string name;
+  std::string value;
+  std::string path = "/";
+};
+
+struct Response {
+  int status = 200;
+  std::string content_type = "text/html; charset=utf-8";
+  std::string body;
+  std::optional<std::string> location;  // redirect target (relative ok)
+  std::vector<SetCookie> set_cookies;
+  // Virtual latency of producing + transferring this response. If zero the
+  // network charges a default derived from the body size.
+  support::VirtualMillis cost_ms = 0;
+
+  bool is_redirect() const noexcept {
+    return status == 301 || status == 302 || status == 303 || status == 307;
+  }
+
+  static Response html(std::string body, int status = 200);
+  static Response redirect(std::string location, int status = 302);
+  static Response not_found(std::string_view what = "");
+  static Response server_error(std::string_view what = "");
+};
+
+}  // namespace mak::httpsim

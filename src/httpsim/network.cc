@@ -1,0 +1,88 @@
+#include "httpsim/network.h"
+
+#include <stdexcept>
+
+#include "support/log.h"
+
+namespace mak::httpsim {
+
+void Network::register_host(std::string host, VirtualHost& handler) {
+  hosts_[std::move(host)] = &handler;
+}
+
+bool Network::knows_host(std::string_view host) const noexcept {
+  return hosts_.find(host) != hosts_.end();
+}
+
+Response Network::dispatch(const Request& request) {
+  ++request_count_;
+  const auto it = hosts_.find(request.url.host);
+  if (it == hosts_.end()) {
+    Response r;
+    r.status = 502;
+    r.body = "<html><head><title>Bad Gateway</title></head>"
+             "<body><h1>Unknown host</h1></body></html>";
+    return r;
+  }
+  return it->second->handle(request);
+}
+
+FetchResult Network::fetch(Method method, const url::Url& target,
+                           const url::QueryMap& form, CookieJar& jar) {
+  constexpr int kMaxRedirects = 8;
+  FetchResult result;
+  url::Url current = url::normalized(target);
+  Method current_method = method;
+  url::QueryMap current_form = form;
+
+  for (int hop = 0; hop <= kMaxRedirects; ++hop) {
+    Request request;
+    request.method = current_method;
+    request.url = current;
+    request.url.fragment.clear();
+    request.query = current.query_map();
+    request.form = current_form;
+    request.cookies = jar.cookies_for(current);
+
+    Response response = dispatch(request);
+    support::VirtualMillis cost =
+        response.cost_ms > 0 ? response.cost_ms
+                             : latency_.cost(response.body.size());
+    // Redirect hops are cheap: an empty 3xx response with no page to render.
+    if (response.is_redirect()) cost /= 3;
+    clock_->advance(cost);
+    jar.store(current.host, response.set_cookies);
+
+    if (response.is_redirect() && response.location.has_value()) {
+      const auto next = url::resolve(current, *response.location);
+      if (!next.has_value()) {
+        MAK_LOG_WARN << "unresolvable redirect from " << current.to_string()
+                     << " to " << *response.location;
+        result.final_url = current;
+        result.response = std::move(response);
+        return result;
+      }
+      current = url::normalized(*next);
+      // 303 (and our 302, browser-style) demote POST to GET and drop the body.
+      if (response.status == 303 || response.status == 302 ||
+          response.status == 301) {
+        current_method = Method::kGet;
+        current_form = url::QueryMap{};
+      }
+      ++result.redirects;
+      continue;
+    }
+
+    result.final_url = current;
+    result.response = std::move(response);
+    return result;
+  }
+
+  MAK_LOG_WARN << "redirect loop at " << current.to_string();
+  result.network_error = true;
+  result.final_url = current;
+  result.response = Response::server_error("redirect loop");
+  return result;
+}
+
+}  // namespace mak::httpsim

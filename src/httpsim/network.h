@@ -1,0 +1,69 @@
+// The virtual network: dispatches requests to registered hosts, follows
+// redirects, persists cookies, and charges virtual latency to the clock.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "httpsim/cookies.h"
+#include "httpsim/message.h"
+#include "support/clock.h"
+
+namespace mak::httpsim {
+
+// Anything that answers HTTP requests (the synthetic web applications).
+class VirtualHost {
+ public:
+  virtual ~VirtualHost() = default;
+  virtual Response handle(const Request& request) = 0;
+};
+
+// Latency model: virtual cost of a round trip carrying `body_bytes`.
+struct LatencyModel {
+  support::VirtualMillis base_ms = 120;      // connection + server think time
+  support::VirtualMillis per_kilobyte_ms = 8;  // transfer + client parse
+
+  support::VirtualMillis cost(std::size_t body_bytes) const noexcept {
+    return base_ms + per_kilobyte_ms *
+                         static_cast<support::VirtualMillis>(body_bytes / 1024);
+  }
+};
+
+// A fetch as observed by the client after redirects.
+struct FetchResult {
+  url::Url final_url;   // URL of the page actually landed on
+  Response response;    // final (non-redirect) response
+  int redirects = 0;    // redirect hops followed
+  bool network_error = false;  // unknown host / redirect loop
+};
+
+class Network {
+ public:
+  explicit Network(support::SimClock& clock) : clock_(&clock) {}
+
+  // Register a host (non-owning; the app outlives the network).
+  void register_host(std::string host, VirtualHost& handler);
+  bool knows_host(std::string_view host) const noexcept;
+
+  LatencyModel& latency() noexcept { return latency_; }
+
+  // Perform a request with redirect following (limit 8) and cookie handling
+  // through `jar`. Charges the clock for every hop.
+  FetchResult fetch(Method method, const url::Url& target,
+                    const url::QueryMap& form, CookieJar& jar);
+
+  // Total requests dispatched (including redirect hops).
+  std::size_t request_count() const noexcept { return request_count_; }
+
+ private:
+  Response dispatch(const Request& request);
+
+  support::SimClock* clock_;
+  LatencyModel latency_;
+  std::map<std::string, VirtualHost*, std::less<>> hosts_;
+  std::size_t request_count_ = 0;
+};
+
+}  // namespace mak::httpsim

@@ -1,0 +1,88 @@
+#include "httpsim/session.h"
+
+#include "support/strings.h"
+
+namespace mak::httpsim {
+
+bool Session::has(std::string_view key) const noexcept {
+  return values_.find(key) != values_.end();
+}
+
+std::string Session::get(std::string_view key, std::string_view fallback) const {
+  const auto it = values_.find(key);
+  return it != values_.end() ? it->second : std::string(fallback);
+}
+
+void Session::set(std::string_view key, std::string value) {
+  values_[std::string(key)] = std::move(value);
+}
+
+void Session::erase(std::string_view key) {
+  values_.erase(std::string(key));
+}
+
+std::int64_t Session::get_int(std::string_view key,
+                              std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+void Session::set_int(std::string_view key, std::int64_t value) {
+  set(key, std::to_string(value));
+}
+
+std::int64_t Session::increment(std::string_view key, std::int64_t by) {
+  const std::int64_t next = get_int(key) + by;
+  set_int(key, next);
+  return next;
+}
+
+bool Session::get_flag(std::string_view key) const {
+  return get(key) == "1";
+}
+
+void Session::set_flag(std::string_view key, bool value) {
+  set(key, value ? "1" : "0");
+}
+
+const std::vector<std::string>& Session::get_list(std::string_view key) const {
+  static const std::vector<std::string> kEmpty;
+  const auto it = lists_.find(key);
+  return it != lists_.end() ? it->second : kEmpty;
+}
+
+void Session::push_list(std::string_view key, std::string value) {
+  lists_[std::string(key)].push_back(std::move(value));
+}
+
+void Session::clear_list(std::string_view key) {
+  lists_.erase(std::string(key));
+}
+
+Session* SessionStore::find(std::string_view id) {
+  const auto it = sessions_.find(id);
+  return it != sessions_.end() ? it->second.get() : nullptr;
+}
+
+Session& SessionStore::create() {
+  // Deterministic ids: sequence number hashed for realism but reproducible.
+  const std::uint64_t seq = next_id_++;
+  std::string id = "s" + std::to_string(seq) + "h" +
+                   std::to_string(support::fnv1a(std::to_string(seq)) & 0xffffff);
+  auto session = std::make_unique<Session>(id);
+  Session& ref = *session;
+  sessions_[id] = std::move(session);
+  return ref;
+}
+
+void SessionStore::clear() {
+  sessions_.clear();
+  next_id_ = 1;
+}
+
+}  // namespace mak::httpsim

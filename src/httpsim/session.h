@@ -1,0 +1,71 @@
+// Server-side session storage (the PHP $_SESSION analogue).
+//
+// Apps store per-visitor state here: login identity, shopping carts, wizard
+// progress, user-created content. Sessions are keyed by a generated session
+// id carried in a cookie.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mak::httpsim {
+
+// One visitor's server-side state: a string key/value store with typed
+// helpers plus string-list values (e.g. cart contents).
+class Session {
+ public:
+  explicit Session(std::string id) : id_(std::move(id)) {}
+
+  const std::string& id() const noexcept { return id_; }
+
+  bool has(std::string_view key) const noexcept;
+  std::string get(std::string_view key, std::string_view fallback = "") const;
+  void set(std::string_view key, std::string value);
+  void erase(std::string_view key);
+
+  std::int64_t get_int(std::string_view key, std::int64_t fallback = 0) const;
+  void set_int(std::string_view key, std::int64_t value);
+  // Increment and return the new value.
+  std::int64_t increment(std::string_view key, std::int64_t by = 1);
+
+  bool get_flag(std::string_view key) const;
+  void set_flag(std::string_view key, bool value);
+
+  const std::vector<std::string>& get_list(std::string_view key) const;
+  void push_list(std::string_view key, std::string value);
+  void clear_list(std::string_view key);
+
+ private:
+  std::string id_;
+  std::map<std::string, std::string, std::less<>> values_;
+  std::map<std::string, std::vector<std::string>, std::less<>> lists_;
+};
+
+// Owns all sessions of one application instance.
+class SessionStore {
+ public:
+  explicit SessionStore(std::string cookie_name = "SESSIONID")
+      : cookie_name_(std::move(cookie_name)) {}
+
+  const std::string& cookie_name() const noexcept { return cookie_name_; }
+
+  // Look up the session for the given session id; nullptr if unknown.
+  Session* find(std::string_view id);
+
+  // Create a fresh session with a unique id.
+  Session& create();
+
+  std::size_t size() const noexcept { return sessions_.size(); }
+  void clear();
+
+ private:
+  std::string cookie_name_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::string, std::unique_ptr<Session>, std::less<>> sessions_;
+};
+
+}  // namespace mak::httpsim

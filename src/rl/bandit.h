@@ -1,0 +1,33 @@
+// Multi-armed bandit policy interface.
+//
+// MAK's policy (Exp3.1) and the ablation policies (fixed-gamma Exp3,
+// epsilon-greedy) implement this interface so the crawler and the benches
+// can swap them freely.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace mak::rl {
+
+class BanditPolicy {
+ public:
+  virtual ~BanditPolicy() = default;
+
+  virtual std::size_t arm_count() const noexcept = 0;
+
+  // Sample an arm according to the current policy.
+  virtual std::size_t choose(support::Rng& rng) = 0;
+
+  // Feed back the reward (in [0, 1]) for the arm chosen last.
+  virtual void update(std::size_t arm, double reward01) = 0;
+
+  // Current per-arm selection probabilities (sums to 1).
+  virtual std::vector<double> probabilities() const = 0;
+
+  virtual void reset() = 0;
+};
+
+}  // namespace mak::rl

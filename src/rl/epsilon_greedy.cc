@@ -1,0 +1,53 @@
+#include "rl/epsilon_greedy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mak::rl {
+
+EpsilonGreedy::EpsilonGreedy(std::size_t arms, double epsilon)
+    : epsilon_(epsilon) {
+  if (arms == 0) throw std::invalid_argument("EpsilonGreedy: zero arms");
+  if (!(epsilon >= 0.0 && epsilon <= 1.0)) {
+    throw std::invalid_argument("EpsilonGreedy: epsilon must be in [0, 1]");
+  }
+  means_.assign(arms, 0.0);
+  counts_.assign(arms, 0);
+}
+
+std::size_t EpsilonGreedy::best_arm() const noexcept {
+  // Unvisited arms first (optimistic), then highest empirical mean.
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) return i;
+  }
+  return static_cast<std::size_t>(
+      std::max_element(means_.begin(), means_.end()) - means_.begin());
+}
+
+std::size_t EpsilonGreedy::choose(support::Rng& rng) {
+  if (rng.chance(epsilon_)) return rng.next_below(means_.size());
+  return best_arm();
+}
+
+void EpsilonGreedy::update(std::size_t arm, double reward01) {
+  if (arm >= means_.size()) throw std::out_of_range("EpsilonGreedy: bad arm");
+  if (!(reward01 >= 0.0 && reward01 <= 1.0)) {
+    throw std::invalid_argument("EpsilonGreedy: reward must be in [0, 1]");
+  }
+  ++counts_[arm];
+  means_[arm] += (reward01 - means_[arm]) / static_cast<double>(counts_[arm]);
+}
+
+std::vector<double> EpsilonGreedy::probabilities() const {
+  const std::size_t k = means_.size();
+  std::vector<double> probs(k, epsilon_ / static_cast<double>(k));
+  probs[best_arm()] += 1.0 - epsilon_;
+  return probs;
+}
+
+void EpsilonGreedy::reset() {
+  std::fill(means_.begin(), means_.end(), 0.0);
+  std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+}  // namespace mak::rl

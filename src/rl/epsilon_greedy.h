@@ -1,0 +1,34 @@
+// Epsilon-greedy bandit (ablation baseline for Exp3.1).
+//
+// Tracks empirical mean reward per arm; with probability epsilon explores
+// uniformly, otherwise exploits the best empirical arm. Assumes stationary
+// rewards — exactly the assumption the paper argues against — which is what
+// makes it a useful ablation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rl/bandit.h"
+
+namespace mak::rl {
+
+class EpsilonGreedy final : public BanditPolicy {
+ public:
+  EpsilonGreedy(std::size_t arms, double epsilon);
+
+  std::size_t arm_count() const noexcept override { return means_.size(); }
+  std::size_t choose(support::Rng& rng) override;
+  void update(std::size_t arm, double reward01) override;
+  std::vector<double> probabilities() const override;
+  void reset() override;
+
+ private:
+  std::size_t best_arm() const noexcept;
+
+  double epsilon_;
+  std::vector<double> means_;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace mak::rl

@@ -1,0 +1,137 @@
+#include "rl/exp3.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mak::rl {
+
+namespace {
+
+void check_reward(double reward01) {
+  if (!(reward01 >= 0.0 && reward01 <= 1.0)) {
+    throw std::invalid_argument("Exp3: reward must be in [0, 1]");
+  }
+}
+
+std::vector<double> exp3_probabilities(const std::vector<double>& weights,
+                                       double gamma) {
+  const std::size_t k = weights.size();
+  double total = 0.0;
+  for (double w : weights) total += w;
+  std::vector<double> probs(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    probs[i] = (1.0 - gamma) * (weights[i] / total) +
+               gamma / static_cast<double>(k);
+  }
+  return probs;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- Exp3
+
+Exp3::Exp3(std::size_t arms, double gamma) : gamma_(gamma) {
+  if (arms == 0) throw std::invalid_argument("Exp3: zero arms");
+  if (!(gamma > 0.0 && gamma <= 1.0)) {
+    throw std::invalid_argument("Exp3: gamma must be in (0, 1]");
+  }
+  weights_.assign(arms, 1.0);
+}
+
+std::size_t Exp3::choose(support::Rng& rng) {
+  return rng.weighted_index(exp3_probabilities(weights_, gamma_));
+}
+
+void Exp3::update(std::size_t arm, double reward01) {
+  if (arm >= weights_.size()) throw std::out_of_range("Exp3: bad arm");
+  check_reward(reward01);
+  const auto probs = exp3_probabilities(weights_, gamma_);
+  const double estimated = reward01 / probs[arm];
+  weights_[arm] *=
+      std::exp(gamma_ * estimated / static_cast<double>(weights_.size()));
+  // Keep weights bounded (scaling all weights leaves the policy unchanged).
+  const double max_w = *std::max_element(weights_.begin(), weights_.end());
+  if (max_w > 1e100) {
+    for (double& w : weights_) w /= max_w;
+  }
+}
+
+std::vector<double> Exp3::probabilities() const {
+  return exp3_probabilities(weights_, gamma_);
+}
+
+void Exp3::reset() { std::fill(weights_.begin(), weights_.end(), 1.0); }
+
+// ------------------------------------------------------------------ Exp3.1
+
+Exp31::Exp31(std::size_t arms) {
+  if (arms == 0) throw std::invalid_argument("Exp31: zero arms");
+  weights_.assign(arms, 1.0);
+  gains_.assign(arms, 0.0);
+  configure_epoch(0);
+  advance_epochs();
+}
+
+void Exp31::configure_epoch(std::size_t m) noexcept {
+  epoch_ = m;
+  const double k = static_cast<double>(weights_.size());
+  const double k_ln_k = k * std::log(k);
+  // g_m = (K ln K / (e - 1)) * 4^m        (Algorithm 1, line 6)
+  gain_target_ =
+      k_ln_k / (std::numbers::e - 1.0) * std::pow(4.0, static_cast<double>(m));
+  // gamma_m = min(1, sqrt(K ln K / ((e - 1) g_m)))   (line 7)
+  gamma_ = std::min(
+      1.0, std::sqrt(k_ln_k / ((std::numbers::e - 1.0) * gain_target_)));
+  std::fill(weights_.begin(), weights_.end(), 1.0);  // line 8
+}
+
+void Exp31::advance_epochs() noexcept {
+  // Line 9: the epoch runs while max_i G_i <= g_m - K/gamma_m. If the bound
+  // already fails (as it does for small m, where g_m - K/gamma_m < 0), move
+  // to the next epoch.
+  const double k = static_cast<double>(weights_.size());
+  for (;;) {
+    const double max_gain = *std::max_element(gains_.begin(), gains_.end());
+    if (max_gain <= gain_target_ - k / gamma_) return;
+    configure_epoch(epoch_ + 1);
+  }
+}
+
+std::size_t Exp31::choose(support::Rng& rng) {
+  return rng.weighted_index(exp3_probabilities(weights_, gamma_));
+}
+
+void Exp31::update(std::size_t arm, double reward01) {
+  if (arm >= weights_.size()) throw std::out_of_range("Exp31: bad arm");
+  check_reward(reward01);
+  const std::size_t k = weights_.size();
+  const auto probs = exp3_probabilities(weights_, gamma_);
+  // Lines 13-15: importance-weighted reward estimate, weight update, gain
+  // accumulation (only the chosen arm has a non-zero estimate).
+  const double estimated = reward01 / probs[arm];
+  weights_[arm] *= std::exp(gamma_ * estimated / static_cast<double>(k));
+  gains_[arm] += estimated;
+  renormalize_weights();
+  advance_epochs();
+}
+
+void Exp31::renormalize_weights() noexcept {
+  const double max_w = *std::max_element(weights_.begin(), weights_.end());
+  if (max_w > 1e100) {
+    for (double& w : weights_) w /= max_w;
+  }
+}
+
+std::vector<double> Exp31::probabilities() const {
+  return exp3_probabilities(weights_, gamma_);
+}
+
+void Exp31::reset() {
+  std::fill(gains_.begin(), gains_.end(), 0.0);
+  configure_epoch(0);
+  advance_epochs();
+}
+
+}  // namespace mak::rl

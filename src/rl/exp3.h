@@ -1,0 +1,70 @@
+// Exp3 and Exp3.1 for the adversarial multi-armed bandit problem
+// (Auer, Cesa-Bianchi, Freund, Schapire — "The Nonstochastic Multiarmed
+// Bandit Problem", SIAM J. Comput. 2002).
+//
+// Exp3.1 is Algorithm 1 of the MAK paper: it runs Exp3 in epochs with a
+// per-epoch gain target g_m = (K ln K / (e-1)) 4^m and learning rate
+// gamma_m = min(1, sqrt(K ln K / ((e-1) g_m))), resetting the arm weights at
+// every epoch boundary. The weight resets let the policy track
+// non-stationary (adversarial) reward distributions — the property the paper
+// relies on for crawling modular web applications.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rl/bandit.h"
+
+namespace mak::rl {
+
+// Plain Exp3 with a fixed exploration rate gamma in (0, 1].
+class Exp3 final : public BanditPolicy {
+ public:
+  Exp3(std::size_t arms, double gamma);
+
+  std::size_t arm_count() const noexcept override { return weights_.size(); }
+  std::size_t choose(support::Rng& rng) override;
+  void update(std::size_t arm, double reward01) override;
+  std::vector<double> probabilities() const override;
+  void reset() override;
+
+  double gamma() const noexcept { return gamma_; }
+
+ private:
+  double gamma_;
+  std::vector<double> weights_;
+};
+
+// Exp3.1: Exp3 with the doubling-epoch schedule (Algorithm 1 of the paper).
+class Exp31 final : public BanditPolicy {
+ public:
+  explicit Exp31(std::size_t arms);
+
+  std::size_t arm_count() const noexcept override { return weights_.size(); }
+  std::size_t choose(support::Rng& rng) override;
+  void update(std::size_t arm, double reward01) override;
+  std::vector<double> probabilities() const override;
+  void reset() override;
+
+  // Introspection (tests, benches).
+  std::size_t epoch() const noexcept { return epoch_; }
+  double gamma() const noexcept { return gamma_; }
+  double gain_target() const noexcept { return gain_target_; }
+  const std::vector<double>& estimated_gains() const noexcept {
+    return gains_;
+  }
+
+ private:
+  void configure_epoch(std::size_t m) noexcept;
+  // Enter the first epoch whose termination condition does not already hold.
+  void advance_epochs() noexcept;
+  void renormalize_weights() noexcept;
+
+  std::size_t epoch_ = 0;
+  double gamma_ = 1.0;
+  double gain_target_ = 0.0;
+  std::vector<double> weights_;
+  std::vector<double> gains_;  // \hat{G}_i — persists across epochs
+};
+
+}  // namespace mak::rl

@@ -1,0 +1,111 @@
+#include "rl/qlearning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mak::rl {
+
+void QTable::touch(StateId state, std::size_t action_count) {
+  row(state, action_count);
+}
+
+bool QTable::knows(StateId state) const noexcept {
+  return table_.find(state) != table_.end();
+}
+
+std::size_t QTable::action_count(StateId state) const {
+  const auto it = table_.find(state);
+  return it != table_.end() ? it->second.size() : 0;
+}
+
+std::vector<double>& QTable::row(StateId state, std::size_t action_count) {
+  auto& values = table_[state];
+  if (values.size() < action_count) {
+    values.resize(action_count, config_.initial_q);
+  }
+  return values;
+}
+
+double QTable::q(StateId state, std::size_t action) const {
+  const auto it = table_.find(state);
+  if (it == table_.end() || action >= it->second.size()) {
+    return config_.initial_q;
+  }
+  return it->second[action];
+}
+
+void QTable::set_q(StateId state, std::size_t action, double value) {
+  row(state, action + 1)[action] = value;
+}
+
+double QTable::max_q(StateId state) const {
+  const auto it = table_.find(state);
+  if (it == table_.end() || it->second.empty()) return config_.initial_q;
+  return *std::max_element(it->second.begin(), it->second.end());
+}
+
+void QTable::bellman_update(StateId s, std::size_t a, double reward,
+                            StateId s_next) {
+  auto& values = row(s, a + 1);
+  const double target = reward + config_.gamma * max_q(s_next);
+  values[a] += config_.alpha * (target - values[a]);
+}
+
+void QTable::action_guided_update(StateId s, std::size_t a, double reward,
+                                  StateId s_next,
+                                  std::size_t next_action_count) {
+  auto& values = row(s, a + 1);
+  const double n = static_cast<double>(next_action_count);
+  const double richness = n / (n + 5.0);
+  const double target = reward + config_.gamma * richness * max_q(s_next);
+  values[a] += config_.alpha * (target - values[a]);
+}
+
+std::size_t QTable::argmax_action(StateId state, std::size_t action_count,
+                                  support::Rng& rng) {
+  if (action_count == 0) {
+    throw std::invalid_argument("QTable::argmax_action: no actions");
+  }
+  const auto& values = row(state, action_count);
+  double best = values[0];
+  for (std::size_t i = 1; i < action_count; ++i) {
+    best = std::max(best, values[i]);
+  }
+  // Reservoir-style uniform pick among the (near-)ties.
+  constexpr double kTieEpsilon = 1e-12;
+  std::size_t chosen = 0;
+  std::size_t ties = 0;
+  for (std::size_t i = 0; i < action_count; ++i) {
+    if (values[i] >= best - kTieEpsilon) {
+      ++ties;
+      if (rng.next_below(ties) == 0) chosen = i;
+    }
+  }
+  return chosen;
+}
+
+std::size_t gumbel_softmax_choice(const std::vector<double>& q_values,
+                                  double temperature, support::Rng& rng) {
+  if (q_values.empty()) {
+    throw std::invalid_argument("gumbel_softmax_choice: no actions");
+  }
+  if (temperature <= 0.0) {
+    throw std::invalid_argument("gumbel_softmax_choice: temperature <= 0");
+  }
+  std::size_t best = 0;
+  double best_score = -1e300;
+  for (std::size_t i = 0; i < q_values.size(); ++i) {
+    double u = rng.uniform01();
+    if (u <= 0.0) u = 0x1.0p-53;
+    const double gumbel = -std::log(-std::log(u));
+    const double score = q_values[i] + temperature * gumbel;
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace mak::rl

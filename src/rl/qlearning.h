@@ -1,0 +1,80 @@
+// Tabular Q-learning over dynamically discovered states with per-state
+// action sets — the machinery behind the WebExplor and QExplore baselines.
+//
+// States are opaque 64-bit ids produced by the crawlers' state abstractions.
+// Each state has its own action list (the interactables visible on the
+// page), so the table stores a vector of Q-values per state, grown on
+// demand and initialized to `initial_q`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace mak::rl {
+
+using StateId = std::uint64_t;
+
+struct QLearningConfig {
+  double alpha = 0.5;      // learning rate
+  double gamma = 0.6;      // discount factor
+  double initial_q = 3.0;  // optimistic: above r_max/(1-gamma), so unseen beats tried
+};
+
+class QTable {
+ public:
+  explicit QTable(QLearningConfig config = {}) : config_(config) {}
+
+  const QLearningConfig& config() const noexcept { return config_; }
+
+  // Ensure `state` exists with at least `action_count` actions.
+  void touch(StateId state, std::size_t action_count);
+
+  bool knows(StateId state) const noexcept;
+  std::size_t state_count() const noexcept { return table_.size(); }
+  std::size_t action_count(StateId state) const;
+
+  double q(StateId state, std::size_t action) const;
+  void set_q(StateId state, std::size_t action, double value);
+
+  // Max over the state's actions (initial_q if the state is unknown/empty:
+  // an unseen state is worth exploring).
+  double max_q(StateId state) const;
+
+  // Standard Bellman update:
+  //   Q(s,a) += alpha * (r + gamma * max_a' Q(s',a') - Q(s,a))
+  void bellman_update(StateId s, std::size_t a, double reward, StateId s_next);
+
+  // QExplore-style modified update: the future-value term is scaled by an
+  // action-richness factor in [0, 1) that grows with the number of actions
+  // available in the successor state, steering the crawler toward
+  // action-rich pages while keeping the contraction property of the
+  // Bellman operator (gamma * richness < 1):
+  //   richness = |A(s')| / (|A(s')| + 5)
+  //   Q(s,a) += alpha * (r + gamma * richness * max Q(s') - Q(s,a))
+  void action_guided_update(StateId s, std::size_t a, double reward,
+                            StateId s_next, std::size_t next_action_count);
+
+  // Index of the highest-Q action, ties broken uniformly at random (with
+  // optimistic initialization every unseen action ties at initial_q, so the
+  // tie-break IS the exploration mechanism). `action_count` must be > 0.
+  std::size_t argmax_action(StateId state, std::size_t action_count,
+                            support::Rng& rng);
+
+ private:
+  std::vector<double>& row(StateId state, std::size_t action_count);
+
+  QLearningConfig config_;
+  std::unordered_map<StateId, std::vector<double>> table_;
+};
+
+// Gumbel-softmax action selection over a state's Q-values (WebExplor's
+// CHOOSE_ACTION): sample G_i ~ Gumbel(0,1), pick argmax_i (Q_i + tau * G_i).
+// Equivalent to sampling from softmax(Q / tau).
+std::size_t gumbel_softmax_choice(const std::vector<double>& q_values,
+                                  double temperature, support::Rng& rng);
+
+}  // namespace mak::rl

@@ -1,0 +1,31 @@
+#include "rl/reward.h"
+
+#include <cmath>
+
+namespace mak::rl {
+
+double StandardizedReward::shape(double raw_increment) noexcept {
+  history_.add(raw_increment);
+  const double sigma = history_.stddev();
+  double standardized;
+  if (sigma > 0.0) {
+    standardized = (raw_increment - history_.mean()) / sigma;
+  } else {
+    // Degenerate history (all increments identical so far, including the
+    // very first step): a positive increment is good news, zero is neutral.
+    standardized = raw_increment > 0.0 ? 1.0 : 0.0;
+  }
+  return support::logistic(standardized);
+}
+
+double CuriosityReward::visit(std::uint64_t key) {
+  const std::size_t n = ++counts_[key];
+  return 1.0 / std::sqrt(static_cast<double>(n));
+}
+
+std::size_t CuriosityReward::count(std::uint64_t key) const noexcept {
+  const auto it = counts_.find(key);
+  return it != counts_.end() ? it->second : 0;
+}
+
+}  // namespace mak::rl

@@ -1,0 +1,53 @@
+// Reward shaping for the crawlers.
+//
+// MAK (Section IV-C): the reward for a step is the increment in link
+// coverage, standardized against the running history of increments
+// ((r_t - mean_t) / std_t) and squashed into [0, 1] with the logistic
+// function, as Exp3.1 requires bounded rewards.
+//
+// WebExplor/QExplore (Section III-B): curiosity — count how often each
+// state-action (or element) has been executed and reward rarity.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "support/stats.h"
+
+namespace mak::rl {
+
+// Standardized-increment reward with logistic normalization.
+class StandardizedReward {
+ public:
+  // Feed the raw increment (e.g. newly discovered links this step); returns
+  // the shaped reward in [0, 1].
+  double shape(double raw_increment) noexcept;
+
+  std::size_t observations() const noexcept { return history_.count(); }
+  double mean() const noexcept { return history_.mean(); }
+  double stddev() const noexcept { return history_.stddev(); }
+
+  void reset() noexcept { history_.reset(); }
+
+ private:
+  support::RunningStats history_;
+};
+
+// Count-based curiosity: reward(key) = 1 / sqrt(times key was executed).
+// First execution yields 1; repeats decay toward zero regardless of their
+// server-side effect — the short-sightedness the paper criticizes.
+class CuriosityReward {
+ public:
+  // Record an execution of `key` and return its curiosity reward.
+  double visit(std::uint64_t key);
+
+  std::size_t count(std::uint64_t key) const noexcept;
+  std::size_t distinct_keys() const noexcept { return counts_.size(); }
+
+  void reset() { counts_.clear(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::size_t> counts_;
+};
+
+}  // namespace mak::rl

@@ -1,0 +1,107 @@
+#include "rl/thompson.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mak::rl {
+
+ThompsonSampling::ThompsonSampling(std::size_t arms) {
+  if (arms == 0) throw std::invalid_argument("ThompsonSampling: zero arms");
+  alpha_.assign(arms, 1.0);
+  beta_.assign(arms, 1.0);
+}
+
+double ThompsonSampling::sample_gamma(double shape, support::Rng& rng) {
+  // Marsaglia-Tsang for shape >= 1; boost smaller shapes via the
+  // Gamma(shape) = Gamma(shape+1) * U^(1/shape) identity.
+  if (shape < 1.0) {
+    const double u = std::max(rng.uniform01(), 0x1.0p-53);
+    return sample_gamma(shape + 1.0, rng) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = rng.gaussian();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.uniform01();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(std::max(u, 0x1.0p-53)) <
+        0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+double ThompsonSampling::sample_beta(double a, double b, support::Rng& rng) {
+  const double x = sample_gamma(a, rng);
+  const double y = sample_gamma(b, rng);
+  return x / (x + y);
+}
+
+std::size_t ThompsonSampling::choose(support::Rng& rng) {
+  std::size_t best = 0;
+  double best_draw = -1.0;
+  for (std::size_t i = 0; i < alpha_.size(); ++i) {
+    const double draw = sample_beta(alpha_[i], beta_[i], rng);
+    if (draw > best_draw) {
+      best_draw = draw;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void ThompsonSampling::update(std::size_t arm, double reward01) {
+  if (arm >= alpha_.size()) {
+    throw std::out_of_range("ThompsonSampling: bad arm");
+  }
+  if (!(reward01 >= 0.0 && reward01 <= 1.0)) {
+    throw std::invalid_argument("ThompsonSampling: reward must be in [0, 1]");
+  }
+  // Fractional Bernoulli update: credit reward01 success mass and
+  // (1 - reward01) failure mass (equivalent in expectation to the
+  // probabilistic coin-flip trick, but deterministic).
+  alpha_[arm] += reward01;
+  beta_[arm] += 1.0 - reward01;
+}
+
+double ThompsonSampling::posterior_mean(std::size_t arm) const {
+  return alpha_.at(arm) / (alpha_.at(arm) + beta_.at(arm));
+}
+
+std::vector<double> ThompsonSampling::probabilities() const {
+  // Monte-Carlo estimate of P(arm is the argmax draw) with a fixed scratch
+  // stream (diagnostic only).
+  constexpr int kSamples = 512;
+  support::Rng rng(0xbe7a);
+  std::vector<std::size_t> wins(alpha_.size(), 0);
+  for (int s = 0; s < kSamples; ++s) {
+    std::size_t best = 0;
+    double best_draw = -1.0;
+    for (std::size_t i = 0; i < alpha_.size(); ++i) {
+      const double draw = sample_beta(alpha_[i], beta_[i], rng);
+      if (draw > best_draw) {
+        best_draw = draw;
+        best = i;
+      }
+    }
+    ++wins[best];
+  }
+  std::vector<double> probs(alpha_.size());
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    probs[i] = static_cast<double>(wins[i]) / kSamples;
+  }
+  return probs;
+}
+
+void ThompsonSampling::reset() {
+  std::fill(alpha_.begin(), alpha_.end(), 1.0);
+  std::fill(beta_.begin(), beta_.end(), 1.0);
+}
+
+}  // namespace mak::rl

@@ -1,0 +1,42 @@
+// Thompson sampling with Beta-Bernoulli posteriors — the Bayesian
+// stochastic-bandit baseline.
+//
+// Like UCB1, Thompson sampling assumes stationary reward distributions; its
+// posteriors concentrate permanently as evidence accumulates, so it adapts
+// poorly when the best arm drifts mid-crawl. Completes the policy-ablation
+// line-up (adversarial Exp3.1 vs the two classic stochastic designs).
+// Rewards in [0,1] update the posterior via the standard Bernoulli trick:
+// count a success with probability r.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rl/bandit.h"
+
+namespace mak::rl {
+
+class ThompsonSampling final : public BanditPolicy {
+ public:
+  explicit ThompsonSampling(std::size_t arms);
+
+  std::size_t arm_count() const noexcept override { return alpha_.size(); }
+  std::size_t choose(support::Rng& rng) override;
+  void update(std::size_t arm, double reward01) override;
+  std::vector<double> probabilities() const override;
+  void reset() override;
+
+  double posterior_mean(std::size_t arm) const;
+
+ private:
+  // Sample Beta(a, b) via two Gamma draws (Marsaglia-Tsang).
+  static double sample_beta(double a, double b, support::Rng& rng);
+  static double sample_gamma(double shape, support::Rng& rng);
+
+  std::vector<double> alpha_;  // successes + 1
+  std::vector<double> beta_;   // failures + 1
+  // choose() needs randomness for probabilities(); keep a scratch stream so
+  // the diagnostic accessor stays const-friendly and deterministic.
+};
+
+}  // namespace mak::rl

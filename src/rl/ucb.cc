@@ -1,0 +1,73 @@
+#include "rl/ucb.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mak::rl {
+
+Ucb1::Ucb1(std::size_t arms, double exploration_scale)
+    : exploration_scale_(exploration_scale) {
+  if (arms == 0) throw std::invalid_argument("Ucb1: zero arms");
+  if (exploration_scale <= 0.0) {
+    throw std::invalid_argument("Ucb1: non-positive exploration scale");
+  }
+  means_.assign(arms, 0.0);
+  counts_.assign(arms, 0);
+}
+
+std::size_t Ucb1::best_upper_bound(support::Rng& rng) const {
+  // Unpulled arms first (infinite bound), ties at random.
+  std::size_t chosen = means_.size();
+  std::size_t unpulled_ties = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      ++unpulled_ties;
+      if (rng.next_below(unpulled_ties) == 0) chosen = i;
+    }
+  }
+  if (chosen != means_.size()) return chosen;
+
+  double best = -1e300;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double radius =
+        exploration_scale_ *
+        std::sqrt(2.0 * std::log(static_cast<double>(total_pulls_)) /
+                  static_cast<double>(counts_[i]));
+    const double bound = means_[i] + radius;
+    if (bound > best) {
+      best = bound;
+      chosen = i;
+    }
+  }
+  return chosen;
+}
+
+std::size_t Ucb1::choose(support::Rng& rng) { return best_upper_bound(rng); }
+
+void Ucb1::update(std::size_t arm, double reward01) {
+  if (arm >= means_.size()) throw std::out_of_range("Ucb1: bad arm");
+  if (!(reward01 >= 0.0 && reward01 <= 1.0)) {
+    throw std::invalid_argument("Ucb1: reward must be in [0, 1]");
+  }
+  ++total_pulls_;
+  ++counts_[arm];
+  means_[arm] +=
+      (reward01 - means_[arm]) / static_cast<double>(counts_[arm]);
+}
+
+std::vector<double> Ucb1::probabilities() const {
+  // UCB1 is deterministic given history; report a point mass on the arm a
+  // fresh choose() would pick (modulo unpulled-arm tie-breaking).
+  std::vector<double> probs(means_.size(), 0.0);
+  support::Rng rng(0);
+  probs[best_upper_bound(rng)] = 1.0;
+  return probs;
+}
+
+void Ucb1::reset() {
+  std::fill(means_.begin(), means_.end(), 0.0);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_pulls_ = 0;
+}
+
+}  // namespace mak::rl

@@ -1,0 +1,42 @@
+// UCB1 (Auer, Cesa-Bianchi, Fischer 2002) — the classic *stochastic*
+// multi-armed bandit policy.
+//
+// UCB1 assumes each arm's rewards are i.i.d. draws from a fixed
+// distribution; its confidence bounds shrink permanently as an arm is
+// sampled. In the crawling setting the reward distribution drifts as the
+// frontier moves through the application (the paper's argument for the
+// adversarial formulation), so UCB1 serves as the natural "wrong
+// assumptions" baseline next to epsilon-greedy in the policy ablation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rl/bandit.h"
+
+namespace mak::rl {
+
+class Ucb1 final : public BanditPolicy {
+ public:
+  // exploration_scale multiplies the confidence radius (1.0 = textbook).
+  explicit Ucb1(std::size_t arms, double exploration_scale = 1.0);
+
+  std::size_t arm_count() const noexcept override { return means_.size(); }
+  std::size_t choose(support::Rng& rng) override;
+  void update(std::size_t arm, double reward01) override;
+  std::vector<double> probabilities() const override;
+  void reset() override;
+
+  std::size_t pulls(std::size_t arm) const { return counts_.at(arm); }
+  double mean(std::size_t arm) const { return means_.at(arm); }
+
+ private:
+  std::size_t best_upper_bound(support::Rng& rng) const;
+
+  double exploration_scale_;
+  std::vector<double> means_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_pulls_ = 0;
+};
+
+}  // namespace mak::rl

@@ -1,0 +1,181 @@
+#include "scanner/scanner.h"
+
+#include "support/log.h"
+#include "support/strings.h"
+
+namespace mak::scanner {
+
+std::string_view to_string(VulnerabilityKind kind) noexcept {
+  switch (kind) {
+    case VulnerabilityKind::kReflectedXss:
+      return "reflected-xss";
+    case VulnerabilityKind::kSqlError:
+      return "sql-error";
+  }
+  return "?";
+}
+
+std::string InjectionPoint::key() const {
+  std::string out = method;
+  out += ' ';
+  out += endpoint.scheme;
+  out += "://";
+  out += endpoint.host;
+  out += endpoint.path;
+  out += '#';
+  out += parameter;
+  out += kind == Kind::kQueryParam ? "?q" : "?f";
+  return out;
+}
+
+void Scanner::harvest(const core::Page& page, AttackSurface& surface,
+                      std::set<std::string>& seen_points) const {
+  auto add_point = [&](InjectionPoint point) {
+    if (seen_points.insert(point.key()).second) {
+      surface.points.push_back(std::move(point));
+    }
+  };
+
+  surface.endpoints.insert(page.url.path);
+  for (const auto& action : page.actions) {
+    surface.endpoints.insert(action.target.path);
+    switch (action.element.kind) {
+      case html::InteractableKind::kLink: {
+        // Every query parameter of a discovered link is injectable.
+        const url::QueryMap query = action.target.query_map();
+        for (const auto& [key, value] : query.items()) {
+          InjectionPoint point;
+          point.kind = InjectionPoint::Kind::kQueryParam;
+          point.endpoint = action.target;
+          point.method = "GET";
+          point.parameter = key;
+          add_point(std::move(point));
+        }
+        break;
+      }
+      case html::InteractableKind::kForm: {
+        for (const auto& field : action.element.fields) {
+          if (field.name.empty() || field.type == "hidden" ||
+              field.type == "submit" || field.type == "select") {
+            continue;  // only text-like fields carry attacker strings
+          }
+          InjectionPoint point;
+          point.kind = InjectionPoint::Kind::kFormField;
+          point.endpoint = action.target;
+          point.method = action.element.method;
+          point.parameter = field.name;
+          point.form = action.element;
+          add_point(std::move(point));
+        }
+        break;
+      }
+      case html::InteractableKind::kButton:
+        break;  // no parameters
+    }
+  }
+}
+
+bool Scanner::reflects_unescaped(const std::string& body,
+                                 const std::string& payload) const {
+  return body.find(payload) != std::string::npos;
+}
+
+void Scanner::probe(const InjectionPoint& point, core::Browser& browser,
+                    ScanReport& report) const {
+  struct Payload {
+    VulnerabilityKind kind;
+    std::string value;
+  };
+  const Payload payloads[] = {
+      {VulnerabilityKind::kReflectedXss,
+       config_.xss_marker + "\"><xss>" + config_.xss_marker},
+      {VulnerabilityKind::kSqlError, "1' OR '1"},
+  };
+
+  for (const auto& payload : payloads) {
+    core::ResolvedAction action;
+    if (point.kind == InjectionPoint::Kind::kQueryParam) {
+      action.element.kind = html::InteractableKind::kLink;
+      action.element.method = "GET";
+      action.target = point.endpoint;
+      auto query = action.target.query_map();
+      query.set(point.parameter, payload.value);
+      action.target.query = query.to_string();
+    } else {
+      action.element = point.form;
+      action.element.kind = html::InteractableKind::kForm;
+      action.target = point.endpoint;
+      // Prefill the probed field with the payload; the browser keeps
+      // non-empty values verbatim.
+      for (auto& field : action.element.fields) {
+        if (field.name == point.parameter) field.value = payload.value;
+      }
+    }
+
+    const auto result = browser.interact(action);
+    ++report.probes_sent;
+    const std::string& body_markup = html::serialize(browser.page().dom.root());
+
+    switch (payload.kind) {
+      case VulnerabilityKind::kReflectedXss: {
+        // The raw payload (including "<xss>") surviving into the DOM means
+        // the application echoed it without escaping. Serialization
+        // re-escapes text nodes, so a match can only come from a real
+        // element that the parser built out of the injected markup.
+        if (browser.page().dom.find_first("xss") != nullptr) {
+          Finding finding;
+          finding.kind = payload.kind;
+          finding.point = point;
+          finding.evidence = "payload parsed as markup: <xss> element present";
+          report.findings.push_back(std::move(finding));
+        }
+        break;
+      }
+      case VulnerabilityKind::kSqlError: {
+        if (result.status >= 500 &&
+            support::contains(body_markup, "SQL syntax")) {
+          Finding finding;
+          finding.kind = payload.kind;
+          finding.point = point;
+          finding.evidence = "database error page on quote payload";
+          report.findings.push_back(std::move(finding));
+        }
+        break;
+      }
+    }
+  }
+}
+
+ScanReport Scanner::scan(core::Crawler& crawler, core::Browser& browser,
+                         support::SimClock& clock) {
+  ScanReport report;
+  std::set<std::string> seen_points;
+
+  // Phase 1: crawl for coverage, harvesting the surface from every page.
+  const support::Deadline deadline(clock, config_.crawl_budget);
+  crawler.start(browser);
+  harvest(browser.page(), report.surface, seen_points);
+  while (!deadline.expired()) {
+    crawler.step(browser);
+    harvest(browser.page(), report.surface, seen_points);
+  }
+  report.crawl_interactions = browser.interactions();
+
+  // Phase 2: probe every discovered injection point.
+  for (const auto& point : report.surface.points) {
+    probe(point, browser, report);
+  }
+
+  // Deduplicate findings per (point, kind).
+  std::set<std::string> unique;
+  std::vector<Finding> deduped;
+  for (auto& finding : report.findings) {
+    const std::string key =
+        std::string(to_string(finding.kind)) + "|" + finding.point.key();
+    if (unique.insert(key).second) deduped.push_back(std::move(finding));
+  }
+  report.findings = std::move(deduped);
+  return report;
+}
+
+}  // namespace mak::scanner

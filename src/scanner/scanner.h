@@ -1,0 +1,96 @@
+// Black-box web vulnerability scanner built on the crawler framework.
+//
+// The paper motivates crawling as the coverage engine of black-box security
+// testing and names "integrating MAK within web scanners" as future work
+// (Section VII). This module implements that integration: a scanner that
+// uses ANY framework crawler to discover the attack surface (endpoints,
+// forms, parameters) and then probes each injection point with lightweight
+// payloads:
+//   * reflected XSS — a marker payload that must not come back unescaped;
+//   * SQL-error injection — a quote payload that must not surface a
+//     database error page.
+// Better crawler coverage directly translates into more injection points
+// probed — the bench/scanner_comparison binary quantifies exactly that.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/browser.h"
+#include "core/crawler.h"
+#include "support/clock.h"
+
+namespace mak::scanner {
+
+// One place where attacker-controlled input enters the application.
+struct InjectionPoint {
+  enum class Kind { kQueryParam, kFormField };
+
+  Kind kind = Kind::kQueryParam;
+  url::Url endpoint;          // URL without the probed parameter's value
+  std::string method;         // "GET" or "POST"
+  std::string parameter;      // parameter / field name
+  html::Interactable form;    // the form (kFormField only)
+
+  // Stable identity for deduplication.
+  std::string key() const;
+};
+
+enum class VulnerabilityKind { kReflectedXss, kSqlError };
+
+std::string_view to_string(VulnerabilityKind kind) noexcept;
+
+struct Finding {
+  VulnerabilityKind kind = VulnerabilityKind::kReflectedXss;
+  InjectionPoint point;
+  std::string evidence;  // the matched response excerpt
+};
+
+// The discovered attack surface of one crawl.
+struct AttackSurface {
+  std::set<std::string> endpoints;        // distinct URL paths (no query)
+  std::vector<InjectionPoint> points;     // deduplicated injection points
+
+  std::size_t size() const noexcept { return points.size(); }
+};
+
+struct ScanReport {
+  AttackSurface surface;
+  std::vector<Finding> findings;
+  std::size_t crawl_interactions = 0;
+  std::size_t probes_sent = 0;
+  std::size_t covered_lines = 0;  // server coverage achieved by the crawl
+};
+
+struct ScannerConfig {
+  support::VirtualMillis crawl_budget = 30 * support::kMillisPerMinute;
+  std::size_t max_probes_per_point = 2;  // one payload per vulnerability kind
+  std::string xss_marker = "x55MARKERz";
+};
+
+// Drives `crawler` against the app behind `browser` for the crawl budget,
+// harvesting injection points from every visited page, then probes them.
+class Scanner {
+ public:
+  explicit Scanner(ScannerConfig config = {}) : config_(config) {}
+
+  // `clock` must be the clock the browser's network charges.
+  ScanReport scan(core::Crawler& crawler, core::Browser& browser,
+                  support::SimClock& clock);
+
+ private:
+  void harvest(const core::Page& page, AttackSurface& surface,
+               std::set<std::string>& seen_points) const;
+  void probe(const InjectionPoint& point, core::Browser& browser,
+             ScanReport& report) const;
+  bool reflects_unescaped(const std::string& body,
+                          const std::string& payload) const;
+
+  ScannerConfig config_;
+};
+
+}  // namespace mak::scanner

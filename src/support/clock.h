@@ -1,0 +1,61 @@
+// Virtual time for crawl experiments.
+//
+// The paper runs each crawler for 30 wall-clock minutes against a live web
+// application. We replace wall-clock time with a deterministic virtual clock:
+// every simulated network fetch, parse and interaction charges the clock a
+// cost in virtual milliseconds. Experiments then run in milliseconds of real
+// time while preserving the paper's "fixed time budget" semantics.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace mak::support {
+
+// A duration/instant in virtual milliseconds.
+using VirtualMillis = std::int64_t;
+
+constexpr VirtualMillis kMillisPerSecond = 1000;
+constexpr VirtualMillis kMillisPerMinute = 60 * kMillisPerSecond;
+
+// Monotonic virtual clock. Not thread-safe; each experiment owns one.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  // Current virtual time since the start of the experiment.
+  VirtualMillis now() const noexcept { return now_; }
+
+  // Charge a non-negative cost to the clock.
+  void advance(VirtualMillis cost) {
+    if (cost < 0) throw std::invalid_argument("SimClock::advance: negative");
+    now_ += cost;
+  }
+
+  void reset() noexcept { now_ = 0; }
+
+ private:
+  VirtualMillis now_ = 0;
+};
+
+// A deadline wrapper: "run until the 30-minute budget is exhausted".
+class Deadline {
+ public:
+  Deadline(const SimClock& clock, VirtualMillis budget)
+      : clock_(&clock), budget_(budget) {
+    if (budget < 0) throw std::invalid_argument("Deadline: negative budget");
+  }
+
+  bool expired() const noexcept { return clock_->now() >= budget_; }
+  VirtualMillis remaining() const noexcept {
+    const VirtualMillis left = budget_ - clock_->now();
+    return left > 0 ? left : 0;
+  }
+  VirtualMillis budget() const noexcept { return budget_; }
+
+ private:
+  const SimClock* clock_;
+  VirtualMillis budget_;
+};
+
+}  // namespace mak::support

@@ -1,0 +1,56 @@
+// Minimal leveled logger.
+//
+// The harness binaries print their tables to stdout; diagnostics go through
+// this logger to stderr so output stays machine-parsable. Level is set
+// programmatically or via the MAK_LOG environment variable
+// (error|warn|info|debug|trace).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mak::support {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+// Global log level. Reads MAK_LOG once on first use; defaults to kWarn.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+bool log_enabled(LogLevel level) noexcept;
+
+// Internal sink; prefer the MAK_LOG_* macros.
+void log_write(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace mak::support
+
+#define MAK_LOG(level)                            \
+  if (!::mak::support::log_enabled(level)) {      \
+  } else                                          \
+    ::mak::support::detail::LogLine(level)
+
+#define MAK_LOG_ERROR MAK_LOG(::mak::support::LogLevel::kError)
+#define MAK_LOG_WARN MAK_LOG(::mak::support::LogLevel::kWarn)
+#define MAK_LOG_INFO MAK_LOG(::mak::support::LogLevel::kInfo)
+#define MAK_LOG_DEBUG MAK_LOG(::mak::support::LogLevel::kDebug)
+#define MAK_LOG_TRACE MAK_LOG(::mak::support::LogLevel::kTrace)

@@ -1,0 +1,89 @@
+// Deterministic random number generation for the whole project.
+//
+// Every stochastic decision in the simulator and the crawlers flows through
+// support::Rng so that a run is a pure function of its seed. The generator is
+// xoshiro256** seeded via splitmix64, which gives high-quality streams from
+// arbitrary 64-bit seeds and supports cheap forking of independent
+// sub-streams (one per repetition, one per app instance, ...).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace mak::support {
+
+// splitmix64 step; used for seeding and for hashing small integers.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+// Stateless mixing of a 64-bit value (one splitmix64 round).
+std::uint64_t mix64(std::uint64_t value) noexcept;
+
+// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+  result_type next() noexcept;
+
+  // Fork an independent generator; deterministic given this generator's
+  // current state. Advances this generator.
+  Rng fork() noexcept;
+
+  // Uniform integer in [0, bound). Requires bound > 0. Unbiased (rejection).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  // Bernoulli trial with probability p of returning true (p clamped to
+  // [0, 1]).
+  bool chance(double p) noexcept;
+
+  // Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double gaussian() noexcept;
+  double gaussian(double mean, double stddev) noexcept;
+
+  // Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  // Sample an index according to non-negative weights (at least one > 0).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  // Pick a uniformly random element of a non-empty container.
+  template <typename Container>
+  const typename Container::value_type& choice(const Container& items) {
+    if (items.empty()) throw std::invalid_argument("Rng::choice: empty");
+    return items[next_below(items.size())];
+  }
+
+  // In-place Fisher-Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& items) {
+    if (items.size() < 2) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      using std::swap;
+      swap(items[i], items[next_below(i + 1)]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace mak::support

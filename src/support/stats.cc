@@ -1,0 +1,74 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mak::support {
+
+void RunningStats::add(double x) noexcept {
+  ++count_;
+  total_ += x;
+  if (count_ == 1) {
+    mean_ = x;
+    m2_ = 0.0;
+    min_ = x;
+    max_ = x;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::reset() noexcept { *this = RunningStats{}; }
+
+double RunningStats::variance() const noexcept {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double logistic(double x) noexcept {
+  // Branch on sign for numerical stability at large |x|.
+  if (x >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-x));
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+double mean_of(const std::vector<double>& xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev_of(const std::vector<double>& xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean_of(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double median_of(std::vector<double> xs) noexcept {
+  return percentile_of(std::move(xs), 50.0);
+}
+
+double percentile_of(std::vector<double> xs, double p) noexcept {
+  if (xs.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(xs.begin(), xs.end());
+  // Linear interpolation between closest ranks.
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+}  // namespace mak::support

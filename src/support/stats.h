@@ -1,0 +1,47 @@
+// Streaming and batch statistics used by reward shaping and the harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mak::support {
+
+// Numerically stable streaming mean/variance (Welford's algorithm).
+//
+// MAK standardizes link-coverage increments against the full history of
+// observed increments; this class is that history.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void reset() noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+  // Population variance/stddev (the paper standardizes against "all the
+  // observed increments up to t", i.e. the population, not a sample).
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+  double total() const noexcept { return total_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double total_ = 0.0;
+};
+
+// Logistic squash 1 / (1 + e^-x): maps the standardized reward from
+// (-inf, inf) into [0, 1] as required by Exp3.1 (Section IV-D of the paper).
+double logistic(double x) noexcept;
+
+// Batch helpers for the harness.
+double mean_of(const std::vector<double>& xs) noexcept;
+double stddev_of(const std::vector<double>& xs) noexcept;  // population
+double median_of(std::vector<double> xs) noexcept;
+double percentile_of(std::vector<double> xs, double p) noexcept;  // p in [0,100]
+
+}  // namespace mak::support

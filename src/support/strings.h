@@ -1,0 +1,39 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mak::support {
+
+// Split on a single character. Keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+// Split on a character, dropping empty fields.
+std::vector<std::string> split_nonempty(std::string_view text, char sep);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string_view trim(std::string_view text) noexcept;
+std::string to_lower(std::string_view text);
+std::string to_upper(std::string_view text);
+
+bool iequals(std::string_view a, std::string_view b) noexcept;
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+bool ends_with(std::string_view text, std::string_view suffix) noexcept;
+bool contains(std::string_view text, std::string_view needle) noexcept;
+
+// Replace every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to);
+
+// FNV-1a 64-bit hash; stable across platforms (used for state digests).
+std::uint64_t fnv1a(std::string_view text) noexcept;
+
+// Format helpers for harness output.
+std::string format_thousands(std::int64_t value);  // 50445 -> "50,445"
+std::string format_fixed(double value, int decimals);
+
+}  // namespace mak::support

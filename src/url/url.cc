@@ -1,0 +1,351 @@
+#include "url/url.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/strings.h"
+
+namespace mak::url {
+
+namespace {
+
+bool is_unreserved(unsigned char c) noexcept {
+  return std::isalnum(c) || c == '-' || c == '.' || c == '_' || c == '~';
+}
+
+int hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+char hex_digit(int v) noexcept {
+  return static_cast<char>(v < 10 ? '0' + v : 'A' + (v - 10));
+}
+
+bool is_scheme_char(unsigned char c) noexcept {
+  return std::isalnum(c) || c == '+' || c == '-' || c == '.';
+}
+
+}  // namespace
+
+std::string encode_component(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    if (is_unreserved(c)) {
+      out += static_cast<char>(c);
+    } else {
+      out += '%';
+      out += hex_digit(c >> 4);
+      out += hex_digit(c & 0xf);
+    }
+  }
+  return out;
+}
+
+std::string decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%' && i + 2 < text.size()) {
+      const int hi = hex_value(text[i + 1]);
+      const int lo = hex_value(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>((hi << 4) | lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += text[i];
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- QueryMap
+
+QueryMap QueryMap::parse(std::string_view query) {
+  QueryMap out;
+  if (query.empty()) return out;
+  for (const auto& pair : support::split(query, '&')) {
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    std::string key;
+    std::string value;
+    if (eq == std::string::npos) {
+      key = pair;
+    } else {
+      key = pair.substr(0, eq);
+      value = pair.substr(eq + 1);
+    }
+    // application/x-www-form-urlencoded: '+' means space.
+    key = decode(support::replace_all(key, "+", " "));
+    value = decode(support::replace_all(value, "+", " "));
+    out.add(std::move(key), std::move(value));
+  }
+  return out;
+}
+
+void QueryMap::add(std::string key, std::string value) {
+  params_.emplace_back(std::move(key), std::move(value));
+}
+
+void QueryMap::set(std::string_view key, std::string value) {
+  for (auto& [k, v] : params_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  add(std::string(key), std::move(value));
+}
+
+void QueryMap::remove(std::string_view key) {
+  std::erase_if(params_, [&](const auto& kv) { return kv.first == key; });
+}
+
+bool QueryMap::has(std::string_view key) const noexcept {
+  return std::any_of(params_.begin(), params_.end(),
+                     [&](const auto& kv) { return kv.first == key; });
+}
+
+std::optional<std::string> QueryMap::get(std::string_view key) const {
+  for (const auto& [k, v] : params_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> QueryMap::get_all(std::string_view key) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : params_) {
+    if (k == key) out.push_back(v);
+  }
+  return out;
+}
+
+std::string QueryMap::to_string() const {
+  std::string out;
+  for (const auto& [k, v] : params_) {
+    if (!out.empty()) out += '&';
+    out += encode_component(k);
+    if (!v.empty() || true) {  // always keep '=' for round-trip stability
+      out += '=';
+      out += encode_component(v);
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------- Url
+
+std::uint16_t Url::effective_port() const noexcept {
+  if (port != 0) return port;
+  if (scheme == "http") return 80;
+  if (scheme == "https") return 443;
+  return 0;
+}
+
+std::string Url::to_string() const {
+  std::string out = without_fragment();
+  if (!fragment.empty()) {
+    out += '#';
+    out += fragment;
+  }
+  return out;
+}
+
+std::string Url::without_fragment() const {
+  std::string out;
+  if (!scheme.empty()) {
+    out += scheme;
+    out += ':';
+  }
+  if (!host.empty()) {
+    out += "//";
+    out += host;
+    if (port != 0) {
+      out += ':';
+      out += std::to_string(port);
+    }
+  }
+  out += path;
+  if (!query.empty()) {
+    out += '?';
+    out += query;
+  }
+  return out;
+}
+
+std::string Url::origin() const {
+  if (scheme.empty() || host.empty()) return {};
+  std::string out = scheme + "://" + host;
+  if (port != 0) {
+    out += ':';
+    out += std::to_string(port);
+  }
+  return out;
+}
+
+std::optional<Url> parse(std::string_view text) {
+  Url u;
+  // Fragment first: everything after the first '#'.
+  if (const std::size_t hash = text.find('#'); hash != std::string_view::npos) {
+    u.fragment = std::string(text.substr(hash + 1));
+    text = text.substr(0, hash);
+  }
+  // Scheme: letters then alnum/+/-/. followed by ':' (and not a single-char
+  // Windows-drive false positive; irrelevant here).
+  std::size_t scheme_end = std::string_view::npos;
+  if (!text.empty() && std::isalpha(static_cast<unsigned char>(text[0]))) {
+    for (std::size_t i = 1; i < text.size(); ++i) {
+      if (text[i] == ':') {
+        scheme_end = i;
+        break;
+      }
+      if (!is_scheme_char(static_cast<unsigned char>(text[i]))) break;
+    }
+  }
+  if (scheme_end != std::string_view::npos) {
+    u.scheme = support::to_lower(text.substr(0, scheme_end));
+    text = text.substr(scheme_end + 1);
+  }
+  // Authority.
+  if (support::starts_with(text, "//")) {
+    text = text.substr(2);
+    std::size_t auth_end = text.find_first_of("/?");
+    std::string_view authority =
+        auth_end == std::string_view::npos ? text : text.substr(0, auth_end);
+    text = auth_end == std::string_view::npos ? std::string_view{}
+                                              : text.substr(auth_end);
+    // Strip (ignored) userinfo.
+    if (const std::size_t at = authority.rfind('@');
+        at != std::string_view::npos) {
+      authority = authority.substr(at + 1);
+    }
+    std::string_view host = authority;
+    if (const std::size_t colon = authority.rfind(':');
+        colon != std::string_view::npos) {
+      const std::string_view port_text = authority.substr(colon + 1);
+      host = authority.substr(0, colon);
+      if (!port_text.empty()) {
+        std::uint32_t port = 0;
+        for (char c : port_text) {
+          if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+          port = port * 10 + static_cast<std::uint32_t>(c - '0');
+          if (port > 65535) return std::nullopt;
+        }
+        u.port = static_cast<std::uint16_t>(port);
+      }
+    }
+    u.host = support::to_lower(host);
+  }
+  // Query.
+  if (const std::size_t q = text.find('?'); q != std::string_view::npos) {
+    u.query = std::string(text.substr(q + 1));
+    text = text.substr(0, q);
+  }
+  u.path = std::string(text);
+  return u;
+}
+
+std::string remove_dot_segments(std::string_view path) {
+  std::vector<std::string_view> output;
+  std::string_view input = path;
+  const bool absolute = support::starts_with(path, "/");
+  while (!input.empty()) {
+    if (support::starts_with(input, "../")) {
+      input = input.substr(3);
+    } else if (support::starts_with(input, "./")) {
+      input = input.substr(2);
+    } else if (input == "/." || support::starts_with(input, "/./")) {
+      input = input == "/." ? std::string_view("/") : input.substr(2);
+    } else if (input == "/.." || support::starts_with(input, "/../")) {
+      input = input == "/.." ? std::string_view("/") : input.substr(3);
+      if (!output.empty()) output.pop_back();
+    } else if (input == "." || input == "..") {
+      input = {};
+    } else {
+      // Move the first segment (up to but excluding the next '/') to output.
+      std::size_t next = input.find('/', input[0] == '/' ? 1 : 0);
+      if (next == std::string_view::npos) next = input.size();
+      output.push_back(input.substr(0, next));
+      input = input.substr(next);
+    }
+  }
+  std::string result;
+  for (const auto& seg : output) result.append(seg);
+  if (absolute && result.empty()) result = "/";
+  return result;
+}
+
+Url resolve(const Url& base, const Url& ref) {
+  Url target;
+  if (ref.is_absolute()) {
+    target = ref;
+    target.path = remove_dot_segments(target.path);
+    return target;
+  }
+  target.scheme = base.scheme;
+  if (ref.has_authority()) {
+    target.host = ref.host;
+    target.port = ref.port;
+    target.path = remove_dot_segments(ref.path);
+    target.query = ref.query;
+  } else {
+    target.host = base.host;
+    target.port = base.port;
+    if (ref.path.empty()) {
+      target.path = base.path;
+      target.query = ref.query.empty() ? base.query : ref.query;
+    } else {
+      if (support::starts_with(ref.path, "/")) {
+        target.path = remove_dot_segments(ref.path);
+      } else {
+        // Merge: base path up to its last '/', then the reference.
+        std::string merged;
+        if (base.has_authority() && base.path.empty()) {
+          merged = "/" + ref.path;
+        } else {
+          const std::size_t slash = base.path.rfind('/');
+          merged = (slash == std::string::npos
+                        ? std::string()
+                        : base.path.substr(0, slash + 1)) +
+                   ref.path;
+        }
+        target.path = remove_dot_segments(merged);
+      }
+      target.query = ref.query;
+    }
+  }
+  target.fragment = ref.fragment;
+  return target;
+}
+
+std::optional<Url> resolve(const Url& base, std::string_view ref) {
+  const auto parsed = parse(ref);
+  if (!parsed) return std::nullopt;
+  return resolve(base, *parsed);
+}
+
+Url normalized(const Url& u) {
+  Url out = u;
+  out.scheme = support::to_lower(out.scheme);
+  out.host = support::to_lower(out.host);
+  if ((out.scheme == "http" && out.port == 80) ||
+      (out.scheme == "https" && out.port == 443)) {
+    out.port = 0;
+  }
+  out.path = remove_dot_segments(out.path);
+  if (out.has_authority() && out.path.empty()) out.path = "/";
+  out.fragment.clear();
+  return out;
+}
+
+bool same_origin(const Url& a, const Url& b) noexcept {
+  return a.scheme == b.scheme && a.host == b.host &&
+         a.effective_port() == b.effective_port();
+}
+
+}  // namespace mak::url

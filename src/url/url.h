@@ -1,0 +1,107 @@
+// URL parsing, serialization, relative resolution and normalization.
+//
+// A trimmed-down RFC 3986 implementation covering everything web crawling
+// needs: absolute and relative references, query strings, fragments,
+// percent-encoding, dot-segment removal and origin comparison. The WebExplor
+// baseline performs *exact URL matching* for its state abstraction (Section
+// III-A of the paper), so faithful query-string handling matters here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mak::url {
+
+// Percent-encoding. `encode_component` escapes everything outside the
+// unreserved set; `decode` resolves %XX escapes (invalid escapes are kept
+// verbatim, matching lenient browser behaviour).
+std::string encode_component(std::string_view text);
+std::string decode(std::string_view text);
+
+// An ordered multimap of query parameters. Order is preserved because exact
+// URL matching (WebExplor) is order-sensitive.
+class QueryMap {
+ public:
+  QueryMap() = default;
+
+  // Parse "a=1&b=2&b=3". Keys/values are percent-decoded. '+' decodes to ' '.
+  static QueryMap parse(std::string_view query);
+
+  void add(std::string key, std::string value);
+  void set(std::string_view key, std::string value);  // replace or add
+  void remove(std::string_view key);
+
+  bool has(std::string_view key) const noexcept;
+  // First value for key, if any.
+  std::optional<std::string> get(std::string_view key) const;
+  std::vector<std::string> get_all(std::string_view key) const;
+
+  std::size_t size() const noexcept { return params_.size(); }
+  bool empty() const noexcept { return params_.empty(); }
+
+  const std::vector<std::pair<std::string, std::string>>& items()
+      const noexcept {
+    return params_;
+  }
+
+  // Serialize back to "a=1&b=2" with percent-encoding.
+  std::string to_string() const;
+
+  bool operator==(const QueryMap&) const = default;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> params_;
+};
+
+// A parsed URL. Components are stored decoded except `path` (kept in its
+// encoded wire form so round-tripping is lossless) and `query` (wire form;
+// use QueryMap for structured access).
+struct Url {
+  std::string scheme;    // lowercase, e.g. "http"; empty for relative refs
+  std::string host;      // lowercase; empty for relative refs
+  std::uint16_t port = 0;  // 0 = no explicit port
+  std::string path;      // encoded form, e.g. "/paper/8"
+  std::string query;     // encoded form without '?', e.g. "r=23&m=rea"
+  std::string fragment;  // without '#'
+
+  bool is_absolute() const noexcept { return !scheme.empty(); }
+  bool has_authority() const noexcept { return !host.empty(); }
+
+  // Effective port (explicit, or scheme default: http=80, https=443, else 0).
+  std::uint16_t effective_port() const noexcept;
+
+  QueryMap query_map() const { return QueryMap::parse(query); }
+
+  // Serialize. Includes the fragment.
+  std::string to_string() const;
+  // Serialize without the fragment (fragments never reach the server).
+  std::string without_fragment() const;
+  // "scheme://host[:port]" (empty for relative refs).
+  std::string origin() const;
+
+  bool operator==(const Url&) const = default;
+};
+
+// Parse an absolute URL or a relative reference. Returns nullopt on
+// irrecoverably malformed input (e.g. bad port). Lenient elsewhere.
+std::optional<Url> parse(std::string_view text);
+
+// RFC 3986 §5.2 relative resolution: resolve `ref` against absolute `base`.
+Url resolve(const Url& base, const Url& ref);
+std::optional<Url> resolve(const Url& base, std::string_view ref);
+
+// Remove "." and ".." segments from a path (RFC 3986 §5.2.4).
+std::string remove_dot_segments(std::string_view path);
+
+// Normalize for comparison: lowercase scheme/host, drop default port,
+// remove dot segments, collapse empty path to "/", drop fragment.
+Url normalized(const Url& u);
+
+// Same scheme + host + effective port.
+bool same_origin(const Url& a, const Url& b) noexcept;
+
+}  // namespace mak::url

@@ -1,0 +1,168 @@
+#include "webapp/app_base.h"
+
+#include <stdexcept>
+
+#include "html/entities.h"
+#include "webapp/page_builder.h"
+
+namespace mak::webapp {
+
+WebApp::WebApp(std::string name, std::string host)
+    : name_(std::move(name)), host_(std::move(host)) {
+  // Framework skeleton: a front controller file whose regions execute on
+  // every request, mirroring the fixed cost of a PHP app's bootstrap.
+  arena_.file("framework/bootstrap.php");
+  boot_region_ = arena_.region(60);
+  session_region_ = arena_.region(35);
+  notfound_region_ = arena_.region(18);
+  home_region_ = arena_.region(25);
+}
+
+url::Url WebApp::seed_url() const {
+  url::Url u;
+  u.scheme = "http";
+  u.host = host_;
+  u.path = "/";
+  return u;
+}
+
+void WebApp::add_home_link(std::string href, std::string label) {
+  home_links_.emplace_back(std::move(href), std::move(label));
+}
+
+void WebApp::set_framework_overhead(std::size_t lines) {
+  if (tracker_ != nullptr) {
+    throw std::logic_error("WebApp::set_framework_overhead after finalize()");
+  }
+  if (overhead_region_.valid()) {
+    throw std::logic_error("WebApp::set_framework_overhead called twice");
+  }
+  const coverage::FileId vendor = arena_.file("framework/vendor.php");
+  overhead_region_ = arena_.region(vendor, lines);
+}
+
+void WebApp::cover(const CodeRegion& region) {
+  if (tracker_ == nullptr) {
+    throw std::logic_error("WebApp::cover before finalize()");
+  }
+  if (region.valid()) {
+    tracker_->hit(region.file, region.first_line, region.last_line);
+  }
+}
+
+void WebApp::cover_prefix(const CodeRegion& region, std::size_t lines) {
+  if (!region.valid() || lines == 0) return;
+  CodeRegion prefix = region;
+  prefix.last_line =
+      std::min(region.last_line, region.first_line + lines - 1);
+  cover(prefix);
+}
+
+void WebApp::finalize() {
+  if (tracker_ != nullptr) {
+    throw std::logic_error("WebApp::finalize called twice");
+  }
+  model_ = arena_.build();
+  tracker_ = std::make_unique<coverage::CoverageTracker>(*model_);
+
+  // Site-wide navigation chrome, injected into every HTML response: real
+  // applications render the same header/menu on every page (including error
+  // pages), which is what lets page-local crawlers move around the site.
+  nav_html_ = "<div id=\"navbar\"><a href=\"/\">Home</a>";
+  std::size_t shown = 0;
+  for (const auto& [href, label] : home_links_) {
+    if (++shown > 6) break;
+    nav_html_ += " <a href=\"" + mak::html::escape(href) + "\">" +
+                 mak::html::escape(label) + "</a>";
+  }
+  nav_html_ += "</div>";
+}
+
+const coverage::CodeModel& WebApp::code_model() const {
+  if (!model_.has_value()) {
+    throw std::logic_error("WebApp::code_model before finalize()");
+  }
+  return *model_;
+}
+
+coverage::CoverageTracker& WebApp::tracker() {
+  if (tracker_ == nullptr) {
+    throw std::logic_error("WebApp::tracker before finalize()");
+  }
+  return *tracker_;
+}
+
+const coverage::CoverageTracker& WebApp::tracker() const {
+  if (tracker_ == nullptr) {
+    throw std::logic_error("WebApp::tracker before finalize()");
+  }
+  return *tracker_;
+}
+
+httpsim::Response WebApp::handle(const httpsim::Request& request) {
+  if (tracker_ == nullptr) {
+    throw std::logic_error("WebApp::handle before finalize()");
+  }
+  cover(boot_region_);
+  cover(overhead_region_);
+
+  // Session resolution (every request runs the session middleware).
+  cover(session_region_);
+  httpsim::Session* session = nullptr;
+  bool fresh_session = false;
+  const auto cookie = request.cookies.find(sessions_.cookie_name());
+  if (cookie != request.cookies.end()) {
+    session = sessions_.find(cookie->second);
+  }
+  if (session == nullptr) {
+    session = &sessions_.create();
+    fresh_session = true;
+  }
+
+  RequestContext ctx;
+  ctx.request = &request;
+  ctx.session = session;
+
+  httpsim::Response response;
+  const std::string path = request.decoded_path();
+  if (path.empty() || path == "/") {
+    cover(home_region_);
+    response = home_page(ctx);
+  } else if (const Handler* handler =
+                 router_.match(request.method, path, ctx)) {
+    response = (*handler)(ctx);
+  } else {
+    cover(notfound_region_);
+    response = httpsim::Response::not_found(path);
+  }
+
+  if (fresh_session) {
+    response.set_cookies.push_back(
+        httpsim::SetCookie{sessions_.cookie_name(), session->id(), "/"});
+  }
+  // Inject the navigation chrome into every HTML page.
+  if (!response.body.empty()) {
+    const std::size_t body_tag = response.body.find("<body>");
+    if (body_tag != std::string::npos) {
+      response.body.insert(body_tag + 6, nav_html_);
+    }
+  }
+  if (response.cost_ms == 0) {
+    response.cost_ms = latency_.cost(response.body.size());
+  }
+  return response;
+}
+
+httpsim::Response WebApp::home_page(RequestContext&) {
+  PageBuilder page(name_ + " — Home");
+  page.heading(name_);
+  page.paragraph("Welcome to " + name_ + ".");
+  page.list_begin();
+  for (const auto& [href, label] : home_links_) {
+    page.nav_link(href, label);
+  }
+  page.list_end();
+  return httpsim::Response::html(page.build());
+}
+
+}  // namespace mak::webapp

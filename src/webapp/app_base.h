@@ -1,0 +1,106 @@
+// Base class for synthetic web applications.
+//
+// A WebApp is a VirtualHost with routing, sessions, per-request framework
+// code accounting and a latency profile. Concrete applications (src/apps)
+// register code regions and routes in their constructors and call
+// finalize() once construction is complete.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "coverage/coverage.h"
+#include "httpsim/network.h"
+#include "httpsim/session.h"
+#include "url/url.h"
+#include "webapp/code_arena.h"
+#include "webapp/router.h"
+
+namespace mak::webapp {
+
+// Per-response latency profile (big apps serve slower pages).
+struct LatencyProfile {
+  support::VirtualMillis base_ms = 120;
+  support::VirtualMillis per_kilobyte_ms = 8;
+
+  support::VirtualMillis cost(std::size_t body_bytes) const noexcept {
+    return base_ms + per_kilobyte_ms *
+                         static_cast<support::VirtualMillis>(body_bytes / 1024);
+  }
+};
+
+class WebApp : public httpsim::VirtualHost {
+ public:
+  WebApp(std::string name, std::string host);
+  ~WebApp() override = default;
+
+  const std::string& name() const noexcept { return name_; }
+  const std::string& host() const noexcept { return host_; }
+  url::Url seed_url() const;
+
+  // --- construction-time API (before finalize) ---
+  CodeArena& arena() noexcept { return arena_; }
+  Router& router() noexcept { return router_; }
+  LatencyProfile& latency() noexcept { return latency_; }
+  void add_home_link(std::string href, std::string label);
+
+  // Framework/vendor code executed on every request (autoloader, DI
+  // container, routing, templating). In real applications this dwarfs the
+  // per-page code — a Drupal request runs tens of thousands of framework
+  // lines — and it sets the coverage floor any crawler reaches after a
+  // single request. Must be called before finalize().
+  void set_framework_overhead(std::size_t lines);
+
+  // Mark a region executed; valid only while handling a request (handlers
+  // capture the app and call this).
+  void cover(const CodeRegion& region);
+  // Cover the first `lines` lines of the region (partial execution).
+  void cover_prefix(const CodeRegion& region, std::size_t lines);
+
+  // Must be called exactly once after all regions/routes are registered.
+  void finalize();
+  bool finalized() const noexcept { return tracker_ != nullptr; }
+
+  // --- run-time API ---
+  const coverage::CodeModel& code_model() const;
+  coverage::CoverageTracker& tracker();
+  const coverage::CoverageTracker& tracker() const;
+  httpsim::SessionStore& sessions() noexcept { return sessions_; }
+
+  httpsim::Response handle(const httpsim::Request& request) final;
+
+ protected:
+  // Renders the home page ("/"); default shows the registered home links.
+  virtual httpsim::Response home_page(RequestContext& ctx);
+
+  const std::vector<std::pair<std::string, std::string>>& home_links()
+      const noexcept {
+    return home_links_;
+  }
+
+ private:
+  std::string name_;
+  std::string host_;
+  CodeArena arena_;
+  Router router_;
+  LatencyProfile latency_;
+  std::vector<std::pair<std::string, std::string>> home_links_;
+
+  // Framework code regions (every request executes these).
+  CodeRegion boot_region_;
+  CodeRegion session_region_;
+  CodeRegion notfound_region_;
+  CodeRegion home_region_;
+  CodeRegion overhead_region_;  // optional, see set_framework_overhead()
+
+  std::optional<coverage::CodeModel> model_;
+  std::unique_ptr<coverage::CoverageTracker> tracker_;
+  httpsim::SessionStore sessions_;
+  std::string nav_html_;  // site-wide chrome, built at finalize()
+};
+
+}  // namespace mak::webapp

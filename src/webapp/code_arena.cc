@@ -1,0 +1,64 @@
+#include "webapp/code_arena.h"
+
+#include <stdexcept>
+
+namespace mak::webapp {
+
+coverage::FileId CodeArena::file(std::string name) {
+  files_.push_back(PendingFile{std::move(name), 0});
+  return static_cast<coverage::FileId>(files_.size() - 1);
+}
+
+CodeRegion CodeArena::region(coverage::FileId id, std::size_t lines) {
+  if (id >= files_.size()) {
+    throw std::out_of_range("CodeArena::region: bad file id");
+  }
+  if (lines == 0) {
+    throw std::invalid_argument("CodeArena::region: zero lines");
+  }
+  PendingFile& f = files_[id];
+  CodeRegion r;
+  r.file = id;
+  r.first_line = f.lines + 1;
+  r.last_line = f.lines + lines;
+  f.lines += lines;
+  return r;
+}
+
+CodeRegion CodeArena::region(std::size_t lines) {
+  return region(require_current_file(), lines);
+}
+
+void CodeArena::dead_code(coverage::FileId id, std::size_t lines) {
+  if (id >= files_.size()) {
+    throw std::out_of_range("CodeArena::dead_code: bad file id");
+  }
+  files_[id].lines += lines;
+}
+
+void CodeArena::dead_code(std::size_t lines) {
+  dead_code(require_current_file(), lines);
+}
+
+std::size_t CodeArena::total_lines() const noexcept {
+  std::size_t total = 0;
+  for (const auto& f : files_) total += f.lines;
+  return total;
+}
+
+coverage::FileId CodeArena::require_current_file() const {
+  if (files_.empty()) {
+    throw std::logic_error("CodeArena: no file started");
+  }
+  return static_cast<coverage::FileId>(files_.size() - 1);
+}
+
+coverage::CodeModel CodeArena::build() const {
+  coverage::CodeModel model;
+  for (const auto& f : files_) {
+    model.add_file(f.name, f.lines == 0 ? 1 : f.lines);
+  }
+  return model;
+}
+
+}  // namespace mak::webapp

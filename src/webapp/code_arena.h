@@ -1,0 +1,65 @@
+// Line accounting for synthetic server-side code.
+//
+// A synthetic application describes its "server-side code base" by carving
+// line regions out of named files. Handlers then mark regions executed on a
+// CoverageTracker, exactly like an instrumented PHP file reports the line
+// ranges it ran. CodeArena is the builder; it hands out CodeRegions during
+// app construction and produces the immutable CodeModel at the end.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "coverage/coverage.h"
+
+namespace mak::webapp {
+
+// A contiguous, 1-based inclusive span of lines in one file.
+struct CodeRegion {
+  coverage::FileId file = 0;
+  std::size_t first_line = 0;
+  std::size_t last_line = 0;
+
+  std::size_t lines() const noexcept {
+    return first_line == 0 ? 0 : last_line - first_line + 1;
+  }
+  bool valid() const noexcept { return first_line != 0; }
+
+  bool operator==(const CodeRegion&) const = default;
+};
+
+class CodeArena {
+ public:
+  // Start a new file; subsequent regions are carved from it sequentially.
+  coverage::FileId file(std::string name);
+
+  // Allocate `lines` lines (> 0) in file `id`.
+  CodeRegion region(coverage::FileId id, std::size_t lines);
+
+  // Allocate in the most recently created file.
+  CodeRegion region(std::size_t lines);
+
+  // Allocate lines that no handler will ever execute (dead code: admin
+  // scripts, cron jobs, vendored code paths the app never links to).
+  void dead_code(coverage::FileId id, std::size_t lines);
+  void dead_code(std::size_t lines);
+
+  std::size_t file_count() const noexcept { return files_.size(); }
+  std::size_t total_lines() const noexcept;
+
+  // Finalize: produces the CodeModel with exactly the allocated line counts.
+  // The arena must not be used afterwards.
+  coverage::CodeModel build() const;
+
+ private:
+  struct PendingFile {
+    std::string name;
+    std::size_t lines = 0;
+  };
+  coverage::FileId require_current_file() const;
+
+  std::vector<PendingFile> files_;
+};
+
+}  // namespace mak::webapp

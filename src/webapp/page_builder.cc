@@ -1,0 +1,163 @@
+#include "webapp/page_builder.h"
+
+#include "html/entities.h"
+
+namespace mak::webapp {
+
+using html::escape;
+
+FormSpec& FormSpec::text_field(std::string name, std::string value) {
+  fields.push_back(Field{std::move(name), "text", std::move(value), {}});
+  return *this;
+}
+
+FormSpec& FormSpec::password_field(std::string name, std::string value) {
+  fields.push_back(Field{std::move(name), "password", std::move(value), {}});
+  return *this;
+}
+
+FormSpec& FormSpec::hidden_field(std::string name, std::string value) {
+  fields.push_back(Field{std::move(name), "hidden", std::move(value), {}});
+  return *this;
+}
+
+FormSpec& FormSpec::select_field(std::string name,
+                                 std::vector<std::string> options) {
+  fields.push_back(Field{std::move(name), "select", "", std::move(options)});
+  return *this;
+}
+
+FormSpec& FormSpec::textarea(std::string name, std::string value) {
+  fields.push_back(Field{std::move(name), "textarea", std::move(value), {}});
+  return *this;
+}
+
+PageBuilder::PageBuilder(std::string title) : title_(std::move(title)) {}
+
+PageBuilder& PageBuilder::heading(std::string_view text, int level) {
+  if (level < 1) level = 1;
+  if (level > 6) level = 6;
+  const std::string tag = "h" + std::to_string(level);
+  body_ += "<" + tag + ">" + escape(text) + "</" + tag + ">\n";
+  return *this;
+}
+
+PageBuilder& PageBuilder::paragraph(std::string_view text) {
+  body_ += "<p>" + escape(text) + "</p>\n";
+  return *this;
+}
+
+PageBuilder& PageBuilder::link(std::string_view href, std::string_view text) {
+  body_ += "<a href=\"" + escape(href) + "\">" + escape(text) + "</a>\n";
+  return *this;
+}
+
+PageBuilder& PageBuilder::nav_link(std::string_view href,
+                                   std::string_view text) {
+  body_ += "<li><a href=\"" + escape(href) + "\">" + escape(text) +
+           "</a></li>\n";
+  return *this;
+}
+
+PageBuilder& PageBuilder::button(std::string_view target,
+                                 std::string_view label,
+                                 std::string_view method) {
+  body_ += "<button formaction=\"" + escape(target) + "\" formmethod=\"" +
+           escape(method) + "\">" + escape(label) + "</button>\n";
+  return *this;
+}
+
+PageBuilder& PageBuilder::form(const FormSpec& spec) {
+  body_ += "<form action=\"" + escape(spec.action) + "\" method=\"" +
+           escape(spec.method) + "\"";
+  if (!spec.id.empty()) body_ += " id=\"" + escape(spec.id) + "\"";
+  body_ += ">\n";
+  for (const auto& field : spec.fields) {
+    if (field.type == "select") {
+      body_ += "  <select name=\"" + escape(field.name) + "\">\n";
+      for (const auto& option : field.options) {
+        body_ += "    <option value=\"" + escape(option) + "\">" +
+                 escape(option) + "</option>\n";
+      }
+      body_ += "  </select>\n";
+    } else if (field.type == "textarea") {
+      body_ += "  <textarea name=\"" + escape(field.name) + "\">" +
+               escape(field.value) + "</textarea>\n";
+    } else {
+      body_ += "  <input type=\"" + escape(field.type) + "\" name=\"" +
+               escape(field.name) + "\" value=\"" + escape(field.value) +
+               "\">\n";
+    }
+  }
+  body_ += "  <input type=\"submit\" value=\"" + escape(spec.submit_label) +
+           "\">\n</form>\n";
+  return *this;
+}
+
+PageBuilder& PageBuilder::list_begin() {
+  body_ += "<ul>\n";
+  return *this;
+}
+
+PageBuilder& PageBuilder::list_item(std::string_view text) {
+  body_ += "<li>" + escape(text) + "</li>\n";
+  return *this;
+}
+
+PageBuilder& PageBuilder::list_end() {
+  body_ += "</ul>\n";
+  return *this;
+}
+
+PageBuilder& PageBuilder::table_begin() {
+  body_ += "<table>\n";
+  return *this;
+}
+
+PageBuilder& PageBuilder::table_row(const std::vector<std::string>& cells,
+                                    bool header) {
+  const char* cell_tag = header ? "th" : "td";
+  body_ += "<tr>";
+  for (const auto& cell : cells) {
+    body_ += "<";
+    body_ += cell_tag;
+    body_ += ">";
+    body_ += escape(cell);
+    body_ += "</";
+    body_ += cell_tag;
+    body_ += ">";
+  }
+  body_ += "</tr>\n";
+  return *this;
+}
+
+PageBuilder& PageBuilder::table_end() {
+  body_ += "</table>\n";
+  return *this;
+}
+
+PageBuilder& PageBuilder::raw(std::string_view html) {
+  body_ += html;
+  body_ += '\n';
+  return *this;
+}
+
+PageBuilder& PageBuilder::hidden_block(std::string_view html) {
+  body_ += "<div style=\"display:none\">";
+  body_ += html;
+  body_ += "</div>\n";
+  return *this;
+}
+
+std::string PageBuilder::build() const {
+  std::string out;
+  out.reserve(body_.size() + 256);
+  out += "<!DOCTYPE html>\n<html>\n<head><title>";
+  out += escape(title_);
+  out += "</title></head>\n<body>\n";
+  out += body_;
+  out += "</body>\n</html>\n";
+  return out;
+}
+
+}  // namespace mak::webapp

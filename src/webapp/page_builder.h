@@ -1,0 +1,65 @@
+// Fluent HTML page assembly for the synthetic applications.
+//
+// Produces genuine HTML that the crawler-side parser consumes; everything
+// user-visible is entity-escaped.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mak::webapp {
+
+// A form under construction; finished by PageBuilder::form().
+struct FormSpec {
+  std::string action;
+  std::string method = "get";          // "get" or "post"
+  std::string id;
+  std::string submit_label = "Submit";
+  // name, type, default value
+  struct Field {
+    std::string name;
+    std::string type = "text";
+    std::string value;
+    std::vector<std::string> options;  // for type == "select"
+  };
+  std::vector<Field> fields;
+
+  FormSpec& text_field(std::string name, std::string value = "");
+  FormSpec& password_field(std::string name, std::string value = "");
+  FormSpec& hidden_field(std::string name, std::string value);
+  FormSpec& select_field(std::string name, std::vector<std::string> options);
+  FormSpec& textarea(std::string name, std::string value = "");
+};
+
+class PageBuilder {
+ public:
+  explicit PageBuilder(std::string title);
+
+  PageBuilder& heading(std::string_view text, int level = 1);
+  PageBuilder& paragraph(std::string_view text);
+  PageBuilder& link(std::string_view href, std::string_view text);
+  // Link wrapped in a list item inside the current nav list.
+  PageBuilder& nav_link(std::string_view href, std::string_view text);
+  PageBuilder& button(std::string_view target, std::string_view label,
+                      std::string_view method = "post");
+  PageBuilder& form(const FormSpec& spec);
+  PageBuilder& list_begin();
+  PageBuilder& list_item(std::string_view text);
+  PageBuilder& list_end();
+  PageBuilder& table_row(const std::vector<std::string>& cells,
+                         bool header = false);
+  PageBuilder& table_begin();
+  PageBuilder& table_end();
+  PageBuilder& raw(std::string_view html);
+  PageBuilder& hidden_block(std::string_view html);  // display:none wrapper
+
+  std::string build() const;
+
+ private:
+  std::string title_;
+  std::string body_;
+};
+
+}  // namespace mak::webapp

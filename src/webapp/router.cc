@@ -1,0 +1,69 @@
+#include "webapp/router.h"
+
+#include "support/strings.h"
+
+namespace mak::webapp {
+
+void Router::any(std::string pattern, Handler handler) {
+  add(httpsim::Method::kGet, pattern, handler);
+  add(httpsim::Method::kPost, std::move(pattern), std::move(handler));
+}
+
+void Router::add(httpsim::Method method, std::string pattern,
+                 Handler handler) {
+  Route route;
+  route.method = method;
+  route.handler = std::move(handler);
+  auto segments = support::split_nonempty(pattern, '/');
+  if (!segments.empty() && segments.back().starts_with('*')) {
+    route.trailing_wildcard = true;
+    route.wildcard_name = segments.back().substr(1);
+    segments.pop_back();
+  }
+  route.segments = std::move(segments);
+  routes_.push_back(std::move(route));
+}
+
+bool Router::match_route(const Route& route, std::string_view path,
+                         std::map<std::string, std::string>& params) {
+  const auto parts = support::split_nonempty(path, '/');
+  if (route.trailing_wildcard) {
+    if (parts.size() < route.segments.size()) return false;
+  } else {
+    if (parts.size() != route.segments.size()) return false;
+  }
+  std::map<std::string, std::string> captured;
+  for (std::size_t i = 0; i < route.segments.size(); ++i) {
+    const std::string& seg = route.segments[i];
+    if (!seg.empty() && seg[0] == ':') {
+      captured[seg.substr(1)] = parts[i];
+    } else if (seg != parts[i]) {
+      return false;
+    }
+  }
+  if (route.trailing_wildcard) {
+    std::vector<std::string> rest(parts.begin() +
+                                      static_cast<std::ptrdiff_t>(
+                                          route.segments.size()),
+                                  parts.end());
+    captured[route.wildcard_name] = support::join(rest, "/");
+  }
+  params = std::move(captured);
+  return true;
+}
+
+const Handler* Router::match(httpsim::Method method,
+                             std::string_view decoded_path,
+                             RequestContext& ctx) const {
+  for (const auto& route : routes_) {
+    if (route.method != method) continue;
+    std::map<std::string, std::string> params;
+    if (match_route(route, decoded_path, params)) {
+      ctx.params = std::move(params);
+      return &route.handler;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace mak::webapp

@@ -1,0 +1,71 @@
+// Path routing for synthetic applications.
+//
+// Patterns are '/'-separated; a segment ":name" captures one path segment,
+// and a trailing "*rest" captures the remainder (possibly empty). Routes are
+// matched in registration order; method must match too.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "httpsim/message.h"
+#include "httpsim/session.h"
+
+namespace mak::webapp {
+
+// Everything a handler needs.
+struct RequestContext {
+  const httpsim::Request* request = nullptr;
+  httpsim::Session* session = nullptr;  // always non-null inside handlers
+  std::map<std::string, std::string> params;  // pattern captures
+
+  const httpsim::Request& req() const { return *request; }
+  httpsim::Session& sess() const { return *session; }
+  std::string param(std::string_view name,
+                    std::string_view fallback = "") const {
+    const auto it = params.find(std::string(name));
+    return it != params.end() ? it->second : std::string(fallback);
+  }
+};
+
+using Handler = std::function<httpsim::Response(RequestContext&)>;
+
+class Router {
+ public:
+  void get(std::string pattern, Handler handler) {
+    add(httpsim::Method::kGet, std::move(pattern), std::move(handler));
+  }
+  void post(std::string pattern, Handler handler) {
+    add(httpsim::Method::kPost, std::move(pattern), std::move(handler));
+  }
+  // Register for both methods (PHP-style scripts often accept either).
+  void any(std::string pattern, Handler handler);
+
+  void add(httpsim::Method method, std::string pattern, Handler handler);
+
+  // Find the first matching route; fills ctx.params on success.
+  const Handler* match(httpsim::Method method, std::string_view decoded_path,
+                       RequestContext& ctx) const;
+
+  std::size_t route_count() const noexcept { return routes_.size(); }
+
+ private:
+  struct Route {
+    httpsim::Method method;
+    std::vector<std::string> segments;  // pre-split pattern
+    bool trailing_wildcard = false;     // last segment was "*name"
+    std::string wildcard_name;
+    Handler handler;
+  };
+
+  static bool match_route(const Route& route, std::string_view path,
+                          std::map<std::string, std::string>& params);
+
+  std::vector<Route> routes_;
+};
+
+}  // namespace mak::webapp

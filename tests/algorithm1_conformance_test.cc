@@ -1,0 +1,132 @@
+// Conformance test: rl::Exp31 against an independent, line-by-line
+// transliteration of Algorithm 1 (Exp3.1) from the paper.
+//
+// The oracle below is written to mirror the pseudocode's structure (outer
+// epoch loop with its termination condition re-evaluated per step) rather
+// than the incremental structure of the production class. Both are driven
+// with IDENTICAL (arm, reward) sequences; their policies, gains, epochs and
+// learning rates must agree step for step.
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rl/exp3.h"
+#include "support/rng.h"
+
+namespace mak::rl {
+namespace {
+
+// Direct transliteration of Algorithm 1, lines 1-16.
+class Exp31Oracle {
+ public:
+  explicit Exp31Oracle(std::size_t k) : k_(k), gains_(k, 0.0), weights_(k, 1.0) {
+    // Lines 5-8: enter epoch m = 0 and initialize; the while-condition on
+    // line 9 is checked before every draw, so epochs with an already-
+    // violated bound pass through immediately.
+    enter_epoch(0);
+    skip_exhausted_epochs();
+  }
+
+  // Policy pi(i) per line 10.
+  std::vector<double> policy() const {
+    double total = 0.0;
+    for (double w : weights_) total += w;
+    std::vector<double> pi(k_);
+    for (std::size_t i = 0; i < k_; ++i) {
+      pi[i] = (1.0 - gamma_) * weights_[i] / total + gamma_ / static_cast<double>(k_);
+    }
+    return pi;
+  }
+
+  // Lines 12-16 for an externally chosen action a with reward r.
+  void observe(std::size_t a, double r) {
+    const auto pi = policy();
+    // Line 13: estimated reward (non-chosen arms get 0).
+    const double r_hat = r / pi[a];
+    // Line 14: weight update (only arm a changes since others' r_hat = 0).
+    weights_[a] *= std::exp(gamma_ * r_hat / static_cast<double>(k_));
+    // Line 15: gain accumulation.
+    gains_[a] += r_hat;
+    // Line 9 re-check: epoch ends when max gain exceeds g_m - K/gamma_m.
+    skip_exhausted_epochs();
+  }
+
+  std::size_t epoch() const { return m_; }
+  double gamma() const { return gamma_; }
+  const std::vector<double>& gains() const { return gains_; }
+
+ private:
+  void enter_epoch(std::size_t m) {
+    m_ = m;
+    const double k = static_cast<double>(k_);
+    // Line 6: g_m = (K ln K)/(e-1) * 4^m.
+    g_ = k * std::log(k) / (std::numbers::e - 1.0) *
+         std::pow(4.0, static_cast<double>(m));
+    // Line 7: gamma_m = min(1, sqrt(K ln K / ((e-1) g_m))).
+    gamma_ = std::min(1.0, std::sqrt(k * std::log(k) /
+                                     ((std::numbers::e - 1.0) * g_)));
+    // Line 8: w_i = 1.
+    std::fill(weights_.begin(), weights_.end(), 1.0);
+  }
+
+  void skip_exhausted_epochs() {
+    for (;;) {
+      double max_gain = 0.0;
+      for (double g : gains_) max_gain = std::max(max_gain, g);
+      if (max_gain <= g_ - static_cast<double>(k_) / gamma_) return;
+      enter_epoch(m_ + 1);
+    }
+  }
+
+  std::size_t k_;
+  std::size_t m_ = 0;
+  double g_ = 0.0;
+  double gamma_ = 1.0;
+  std::vector<double> gains_;
+  std::vector<double> weights_;
+};
+
+class Algorithm1ConformanceTest : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(Algorithm1ConformanceTest, PolicyMatchesOracleStepForStep) {
+  const std::size_t k = GetParam();
+  Exp31 production(k);
+  Exp31Oracle oracle(k);
+  support::Rng rng(0xa190 % 97 + k);
+
+  EXPECT_EQ(production.epoch(), oracle.epoch());
+  EXPECT_NEAR(production.gamma(), oracle.gamma(), 1e-12);
+
+  for (int step = 0; step < 5000; ++step) {
+    const auto expected = oracle.policy();
+    const auto actual = production.probabilities();
+    ASSERT_EQ(expected.size(), actual.size());
+    for (std::size_t i = 0; i < k; ++i) {
+      ASSERT_NEAR(actual[i], expected[i], 1e-9)
+          << "step " << step << " arm " << i;
+    }
+
+    // Drive BOTH with the same externally sampled action and reward.
+    const std::size_t arm = rng.weighted_index(expected);
+    const double reward = rng.chance(arm == 0 ? 0.7 : 0.3) ? 1.0 : 0.0;
+    production.update(arm, reward);
+    oracle.observe(arm, reward);
+
+    ASSERT_EQ(production.epoch(), oracle.epoch()) << "step " << step;
+    ASSERT_NEAR(production.gamma(), oracle.gamma(), 1e-12) << "step " << step;
+    for (std::size_t i = 0; i < k; ++i) {
+      ASSERT_NEAR(production.estimated_gains()[i], oracle.gains()[i],
+                  1e-6 * (1.0 + oracle.gains()[i]))
+          << "step " << step << " arm " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ArmCounts, Algorithm1ConformanceTest,
+                         ::testing::Values(2u, 3u, 5u));
+
+}  // namespace
+}  // namespace mak::rl

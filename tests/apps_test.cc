@@ -1,0 +1,384 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "apps/catalog.h"
+#include "apps/variant_set.h"
+#include "support/strings.h"
+#include "core/browser.h"
+#include "httpsim/network.h"
+#include "webapp/code_arena.h"
+
+namespace mak::apps {
+namespace {
+
+// Test driver: a browser wired to a fresh instance of one app.
+class AppDriver {
+ public:
+  explicit AppDriver(std::unique_ptr<SyntheticApp> app)
+      : app_(std::move(app)), network_(clock_) {
+    network_.register_host(app_->host(), *app_);
+    browser_.emplace(network_, app_->seed_url(), support::Rng(1234));
+  }
+
+  SyntheticApp& app() { return *app_; }
+  core::Browser& browser() { return *browser_; }
+
+  const core::Page& get(const std::string& path_and_query) {
+    core::ResolvedAction action;
+    action.element.kind = html::InteractableKind::kLink;
+    action.element.method = "GET";
+    action.target = *url::parse("http://" + app_->host() + path_and_query);
+    browser_->interact(action);
+    return browser_->page();
+  }
+
+  // Submit the first form on the current page whose action path contains
+  // `needle`; returns false if absent.
+  bool submit_form(const std::string& needle) {
+    for (const auto& action : browser_->page().actions) {
+      if (action.element.kind == html::InteractableKind::kForm &&
+          support::contains(action.target.path, needle)) {
+        browser_->interact(action);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::unique_ptr<SyntheticApp> app_;
+  support::SimClock clock_;
+  httpsim::Network network_;
+  std::optional<core::Browser> browser_;
+};
+
+// ----------------------------------------------------------------- catalog
+
+TEST(CatalogTest, HasTheElevenTestbedApps) {
+  const auto& catalog = app_catalog();
+  ASSERT_EQ(catalog.size(), 11u);
+  std::size_t php = 0;
+  for (const auto& info : catalog) {
+    if (info.platform == Platform::kPhp) ++php;
+  }
+  EXPECT_EQ(php, 8u);
+  EXPECT_EQ(php_apps().size(), 8u);
+  EXPECT_EQ(catalog.front().name, "AddressBook");
+  EXPECT_EQ(catalog.back().name, "Retro-board");
+}
+
+TEST(CatalogTest, MakeAppByName) {
+  const auto app = make_app("HotCRP");
+  EXPECT_EQ(app->name(), "HotCRP");
+  EXPECT_TRUE(app->finalized());
+  EXPECT_THROW(make_app("NotAnApp"), std::invalid_argument);
+}
+
+TEST(CatalogTest, PlatformNames) {
+  EXPECT_EQ(to_string(Platform::kPhp), "PHP");
+  EXPECT_EQ(to_string(Platform::kNode), "Node.js");
+}
+
+// Parameterized over every app: structural sanity.
+class EveryAppTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryAppTest, SeedPageServesAndHasActions) {
+  AppDriver driver(make_app(GetParam()));
+  driver.browser().navigate_seed();
+  EXPECT_TRUE(driver.browser().page().ok());
+  EXPECT_FALSE(driver.browser().page().actions.empty());
+}
+
+TEST_P(EveryAppTest, TotalLinesInPlausibleBand) {
+  const auto app = make_app(GetParam());
+  const auto total = app->code_model().total_lines();
+  EXPECT_GT(total, 2000u) << GetParam();
+  EXPECT_LT(total, 60000u) << GetParam();
+}
+
+TEST_P(EveryAppTest, FreshInstancesAreIdentical) {
+  const auto a = make_app(GetParam());
+  const auto b = make_app(GetParam());
+  EXPECT_EQ(a->code_model().total_lines(), b->code_model().total_lines());
+  EXPECT_EQ(a->code_model().file_count(), b->code_model().file_count());
+}
+
+TEST_P(EveryAppTest, ShortCrawlCoversFrameworkCode) {
+  AppDriver driver(make_app(GetParam()));
+  driver.browser().navigate_seed();
+  // One request covers bootstrap + overhead: a solid coverage floor.
+  EXPECT_GT(driver.app().tracker().covered_lines(), 100u);
+}
+
+TEST_P(EveryAppTest, UnknownPathIs404) {
+  AppDriver driver(make_app(GetParam()));
+  const auto& page = driver.get("/definitely/not/a/route");
+  EXPECT_EQ(page.status, 404);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Testbed, EveryAppTest,
+    ::testing::Values("AddressBook", "Drupal", "HotCRP", "Matomo",
+                      "OsCommerce2", "PhpBB2", "Vanilla", "WordPress",
+                      "Actual", "Docmost", "Retro-board"));
+
+// ------------------------------------------------------------- VariantSet
+
+TEST(VariantSetTest, AllocatesRegions) {
+  webapp::CodeArena arena;
+  arena.file("x.php");
+  VariantSet set;
+  set.allocate(arena, 50, 10, 20, 3);
+  EXPECT_EQ(set.entity_count(), 50u);
+  EXPECT_EQ(set.variant_count(), 10u);
+  EXPECT_EQ(set.total_lines(), 10u * 20u + 50u * 3u);
+  EXPECT_EQ(arena.total_lines(), set.total_lines());
+}
+
+TEST(VariantSetTest, VariantAssignmentDeterministic) {
+  webapp::CodeArena arena;
+  arena.file("x.php");
+  VariantSet set;
+  set.allocate(arena, 100, 10, 5, 0);
+  for (std::size_t e = 0; e < 100; ++e) {
+    EXPECT_EQ(set.variant_of(e), set.variant_of(e));
+    EXPECT_LT(set.variant_of(e), 10u);
+  }
+}
+
+TEST(VariantSetTest, ZipfHeadIsHeavy) {
+  webapp::CodeArena arena;
+  arena.file("x.php");
+  VariantSet set;
+  set.allocate(arena, 10000, 20, 5, 0);
+  std::vector<std::size_t> counts(20, 0);
+  for (std::size_t e = 0; e < 10000; ++e) ++counts[set.variant_of(e)];
+  // Variant 0 must be by far the most common; the tail thin but present.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 1500u);  // ~ 1/H(20) = 28%
+  std::size_t tail = 0;
+  for (std::size_t k = 10; k < 20; ++k) tail += counts[k];
+  EXPECT_GT(tail, 100u);   // the tail exists...
+  EXPECT_LT(tail, 3000u);  // ...but is thin
+}
+
+TEST(VariantSetTest, ZeroEntityLinesGiveInvalidEntityRegions) {
+  webapp::CodeArena arena;
+  arena.file("x.php");
+  VariantSet set;
+  set.allocate(arena, 5, 3, 10, 0);
+  EXPECT_FALSE(set.entity_region(0).valid());
+  EXPECT_TRUE(set.variant_region(0).valid());
+}
+
+TEST(VariantSetTest, RejectsZeroVariants) {
+  webapp::CodeArena arena;
+  arena.file("x.php");
+  VariantSet set;
+  EXPECT_THROW(set.allocate(arena, 5, 0, 10, 1), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- features
+
+TEST(LoginAreaTest, LoginUnlocksPrivatePages) {
+  AppDriver driver(make_app("AddressBook"));
+  // Unauthenticated access redirects to the login form.
+  const auto& bounced = driver.get("/admin/home");
+  EXPECT_EQ(bounced.url.path, "/admin/login");
+  // Submit the prefilled login form (browser generates the password).
+  ASSERT_TRUE(driver.submit_form("/admin/login"));
+  EXPECT_EQ(driver.browser().page().url.path, "/admin/home");
+  // Private pages now reachable.
+  const auto& page = driver.get("/admin/page/0");
+  EXPECT_EQ(page.status, 200);
+  EXPECT_EQ(page.url.path, "/admin/page/0");
+  // Logout locks it again.
+  driver.get("/admin/logout");
+  EXPECT_EQ(driver.get("/admin/page/0").url.path, "/admin/login");
+}
+
+TEST(CartFlowTest, CheckoutBranchesOnCartState) {
+  AppDriver driver(make_app("OsCommerce2"));
+  const auto before = driver.app().tracker().covered_lines();
+
+  // Checkout with an empty cart: error path.
+  driver.get("/shop/cart");
+  core::ResolvedAction checkout;
+  checkout.element.kind = html::InteractableKind::kButton;
+  checkout.element.method = "POST";
+  checkout.target = *url::parse("http://oscommerce.test/shop/checkout");
+  driver.browser().interact(checkout);
+  const auto after_empty = driver.app().tracker().covered_lines();
+  EXPECT_GT(after_empty, before);
+
+  // Add an item, checkout again: the paper's example — the SAME action now
+  // executes NEW server code (the purchase path).
+  driver.get("/shop/product/0");
+  ASSERT_TRUE(driver.submit_form("/cart/add"));
+  driver.browser().interact(checkout);
+  EXPECT_GT(driver.app().tracker().covered_lines(), after_empty);
+  EXPECT_EQ(driver.browser().page().url.path, "/shop/order/confirm");
+}
+
+TEST(SearchBoxTest, RepeatedSearchesCoverNothingNew) {
+  AppDriver driver(make_app("AddressBook"));
+  driver.get("/search?q=first");
+  const auto after_first = driver.app().tracker().covered_lines();
+  driver.get("/search?q=second");
+  driver.get("/search?q=third");
+  EXPECT_EQ(driver.app().tracker().covered_lines(), after_first);
+}
+
+TEST(AliasedReviewsTest, AliasesShareServerCode) {
+  AppDriver driver(make_app("HotCRP"));
+  driver.get("/review?p=3&r=3B23");
+  const auto after_first_alias = driver.app().tracker().covered_lines();
+  driver.get("/review?p=3&m=rea");
+  // The second alias executes exactly the same lines.
+  EXPECT_EQ(driver.app().tracker().covered_lines(), after_first_alias);
+}
+
+TEST(MutableShortcutsTest, SubmissionsAddLinksThat404) {
+  AppDriver driver(make_app("Drupal"));
+  driver.get("/dashboard/shortcuts");
+  const auto links_before = driver.browser().page().actions.size();
+  ASSERT_TRUE(driver.submit_form("/add"));
+  // After the redirect back to the panel, one more link is present.
+  EXPECT_EQ(driver.browser().page().url.path, "/dashboard/shortcuts");
+  EXPECT_EQ(driver.browser().page().actions.size(), links_before + 1);
+  // The new shortcut link 404s.
+  for (const auto& action : driver.browser().page().actions) {
+    if (support::contains(action.target.path, "/dashboard/go/")) {
+      const auto result = driver.browser().interact(action);
+      EXPECT_TRUE(result.navigation_error);
+      return;
+    }
+  }
+  FAIL() << "no shortcut link found";
+}
+
+TEST(DeepWizardTest, SequentialUnlockAndResume) {
+  AppDriver driver(make_app("HotCRP"));
+  // Jumping ahead without starting bounces to the start page.
+  EXPECT_EQ(driver.get("/submit/step/5").url.path, "/submit/start");
+  // Walk the first three steps.
+  driver.get("/submit/step/1");
+  ASSERT_TRUE(driver.submit_form("/complete"));
+  EXPECT_EQ(driver.browser().page().url.path, "/submit/step/2");
+  ASSERT_TRUE(driver.submit_form("/complete"));
+  EXPECT_EQ(driver.browser().page().url.path, "/submit/step/3");
+  // Jumping ahead resumes at the furthest unlocked step, not the start.
+  EXPECT_EQ(driver.get("/submit/step/9").url.path, "/submit/step/3");
+  // Revisiting the start page does not reset progress.
+  driver.get("/submit/start");
+  EXPECT_EQ(driver.get("/submit/step/3").url.path, "/submit/step/3");
+}
+
+TEST(DeepWizardTest, DoneRequiresAllSteps) {
+  AppDriver driver(make_app("Vanilla"));
+  EXPECT_EQ(driver.get("/onboarding/done").url.path, "/onboarding/start");
+  driver.get("/onboarding/start");
+  for (int i = 1; i <= 10; ++i) {
+    driver.get("/onboarding/step/" + std::to_string(i));
+    ASSERT_TRUE(driver.submit_form("/complete")) << "step " << i;
+  }
+  EXPECT_EQ(driver.browser().page().url.path, "/onboarding/done");
+}
+
+TEST(ModuleRouterTest, QueryParametersSelectCode) {
+  AppDriver driver(make_app("Matomo"));
+  driver.get("/index.php?module=CoreHome&action=index");
+  const auto after_one = driver.app().tracker().covered_lines();
+  // A different module executes different code (the Matomo argument
+  // against ignoring the query string, Section III-A).
+  driver.get("/index.php?module=Dashboard&action=index");
+  EXPECT_GT(driver.app().tracker().covered_lines(), after_one);
+  // Unknown module is a 404.
+  EXPECT_EQ(driver.get("/index.php?module=Bogus&action=index").status, 404);
+}
+
+TEST(CalendarTrapTest, MonthsShareCodeAndStayInBounds) {
+  AppDriver driver(make_app("Matomo"));
+  driver.get("/period?month=360");
+  const auto after_first = driver.app().tracker().covered_lines();
+  driver.get("/period?month=361");
+  driver.get("/period?month=359");
+  EXPECT_EQ(driver.app().tracker().covered_lines(), after_first);
+  // Out-of-range months fall back to the start month.
+  const auto& page = driver.get("/period?month=99999");
+  EXPECT_EQ(page.status, 200);
+}
+
+TEST(CalendarTrapTest, DayGridFloodsJunkLinks) {
+  AppDriver driver(make_app("WordPress"));
+  const auto& month = driver.get("/archive?month=300");
+  std::size_t day_links = 0;
+  for (const auto& action : month.actions) {
+    if (support::contains(action.target.path, "/archive/day")) ++day_links;
+  }
+  EXPECT_EQ(day_links, 30u);
+  // Day pages execute nothing new.
+  const auto before = driver.app().tracker().covered_lines();
+  driver.get("/archive/day?month=300&d=15");
+  EXPECT_EQ(driver.app().tracker().covered_lines(), before);
+}
+
+TEST(PaginatedForumTest, PaginationAndReplies) {
+  AppDriver driver(make_app("PhpBB2"));
+  const auto& board = driver.get("/forum/board/0");
+  EXPECT_EQ(board.status, 200);
+  const auto& page2 = driver.get("/forum/board/0?page=1");
+  EXPECT_EQ(page2.status, 200);
+  // Topic pages exist and replies post back.
+  driver.get("/forum/topic/3");
+  ASSERT_TRUE(driver.submit_form("/reply"));
+  EXPECT_EQ(driver.browser().page().url.path, "/forum/topic/3");
+  EXPECT_EQ(driver.get("/forum/topic/99999").status, 404);
+}
+
+TEST(NewsArchiveTest, ChunkedIndexCoversArticles) {
+  AppDriver driver(make_app("WordPress"));
+  const auto& index = driver.get("/posts");
+  std::size_t article_links = 0;
+  for (const auto& action : index.actions) {
+    if (support::contains(action.target.path, "/posts/a/")) ++article_links;
+  }
+  EXPECT_EQ(article_links, 10u);  // index_page_size
+  const auto before = driver.app().tracker().covered_lines();
+  driver.get("/posts/a/0");
+  EXPECT_GT(driver.app().tracker().covered_lines(), before);
+  EXPECT_EQ(driver.get("/posts/a/999999").status, 404);
+}
+
+TEST(StaticSectionTest, TreePagesLinkChildren) {
+  AppDriver driver(make_app("HotCRP"));
+  const auto& root = driver.get("/help/p/0");
+  EXPECT_EQ(root.status, 200);
+  std::size_t child_links = 0;
+  for (const auto& action : root.actions) {
+    if (support::contains(action.target.path, "/help/p/")) ++child_links;
+  }
+  EXPECT_GE(child_links, 4u);  // fanout
+  EXPECT_EQ(driver.get("/help/p/xyz").status, 404);
+  EXPECT_EQ(driver.get("/help/p/99999").status, 404);
+}
+
+TEST(NodeAppsTest, DeadCodeIsNeverCoverable) {
+  // Crawl Retro-board heavily; the websocket engine must stay uncovered.
+  AppDriver driver(make_app("Retro-board"));
+  driver.browser().navigate_seed();
+  const auto& model = driver.app().code_model();
+  std::size_t dead_lines = 0;
+  for (coverage::FileId f = 0; f < model.file_count(); ++f) {
+    if (support::contains(model.file_name(f), "game-ws")) {
+      dead_lines = model.file_lines(f);
+    }
+  }
+  EXPECT_GT(dead_lines, 1000u);
+  EXPECT_LE(driver.app().tracker().covered_lines(),
+            model.total_lines() - dead_lines);
+}
+
+}  // namespace
+}  // namespace mak::apps

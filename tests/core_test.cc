@@ -1,0 +1,469 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/browser.h"
+#include "core/frontier.h"
+#include "core/link_ledger.h"
+#include "core/mak.h"
+#include "core/types.h"
+#include "httpsim/network.h"
+#include "webapp/app_base.h"
+#include "webapp/page_builder.h"
+
+namespace mak::core {
+namespace {
+
+ResolvedAction link_to(const std::string& target) {
+  ResolvedAction action;
+  action.element.kind = html::InteractableKind::kLink;
+  action.element.method = "GET";
+  action.target = *url::parse(target);
+  return action;
+}
+
+// ------------------------------------------------------------------ types
+
+TEST(ResolvedActionTest, KeyIgnoresFragmentAndText) {
+  auto a = link_to("http://h.test/x");
+  auto b = link_to("http://h.test/x");
+  b.element.text = "different label";
+  b.target.fragment = "frag";
+  EXPECT_EQ(a.key(), b.key());
+}
+
+TEST(ResolvedActionTest, KeyDistinguishesTargetMethodKind) {
+  const auto base = link_to("http://h.test/x");
+  auto other_target = link_to("http://h.test/y");
+  EXPECT_NE(base.key(), other_target.key());
+
+  auto post = base;
+  post.element.method = "POST";
+  EXPECT_NE(base.key(), post.key());
+
+  auto form = base;
+  form.element.kind = html::InteractableKind::kForm;
+  EXPECT_NE(base.key(), form.key());
+}
+
+TEST(ResolvedActionTest, KeyIncludesFormFieldSignature) {
+  auto f1 = link_to("http://h.test/s");
+  f1.element.kind = html::InteractableKind::kForm;
+  f1.element.fields.push_back({"q", "text", "", {}});
+  auto f2 = f1;
+  f2.element.fields.push_back({"extra", "hidden", "v", {}});
+  EXPECT_NE(f1.key(), f2.key());
+}
+
+TEST(ResolvedActionTest, DescribeMentionsKindAndTarget) {
+  const auto a = link_to("http://h.test/x");
+  const std::string text = a.describe();
+  EXPECT_NE(text.find("link"), std::string::npos);
+  EXPECT_NE(text.find("http://h.test/x"), std::string::npos);
+}
+
+// ------------------------------------------------------------ LinkLedger
+
+TEST(LinkLedgerTest, CountsDistinctTargets) {
+  LinkLedger ledger;
+  EXPECT_TRUE(ledger.absorb_url(*url::parse("http://h/a")));
+  EXPECT_FALSE(ledger.absorb_url(*url::parse("http://h/a")));
+  EXPECT_TRUE(ledger.absorb_url(*url::parse("http://h/b")));
+  EXPECT_EQ(ledger.distinct_links(), 2u);
+  ledger.reset();
+  EXPECT_EQ(ledger.distinct_links(), 0u);
+}
+
+TEST(LinkLedgerTest, FragmentDoesNotSplitLinks) {
+  LinkLedger ledger;
+  auto u = *url::parse("http://h/a");
+  ledger.absorb_url(u);
+  u.fragment = "part2";
+  EXPECT_FALSE(ledger.absorb_url(u));
+}
+
+TEST(LinkLedgerTest, AbsorbPageReturnsIncrement) {
+  LinkLedger ledger;
+  Page page;
+  page.actions.push_back(link_to("http://h/1"));
+  page.actions.push_back(link_to("http://h/2"));
+  page.actions.push_back(link_to("http://h/1"));  // duplicate on page
+  EXPECT_EQ(ledger.absorb(page), 2u);
+  EXPECT_EQ(ledger.absorb(page), 0u);
+}
+
+// ----------------------------------------------------------- LeveledDeque
+
+TEST(LeveledDequeTest, PushDeduplicatesByActionKey) {
+  LeveledDeque deque;
+  EXPECT_TRUE(deque.push(link_to("http://h/a")));
+  EXPECT_FALSE(deque.push(link_to("http://h/a")));
+  EXPECT_EQ(deque.size(), 1u);
+}
+
+TEST(LeveledDequeTest, HeadIsFifoTailIsLifo) {
+  LeveledDeque deque;
+  support::Rng rng(1);
+  deque.push(link_to("http://h/1"));
+  deque.push(link_to("http://h/2"));
+  deque.push(link_to("http://h/3"));
+  EXPECT_EQ(deque.take(Arm::kHead, rng)->target.path, "/1");
+  EXPECT_EQ(deque.take(Arm::kTail, rng)->target.path, "/3");
+  EXPECT_EQ(deque.take(Arm::kHead, rng)->target.path, "/2");
+  EXPECT_TRUE(deque.empty());
+  EXPECT_FALSE(deque.take(Arm::kHead, rng).has_value());
+}
+
+TEST(LeveledDequeTest, RandomDrawsFromAllPositions) {
+  support::Rng rng(2);
+  std::set<std::string> seen;
+  for (int trial = 0; trial < 100; ++trial) {
+    LeveledDeque deque;
+    for (int i = 0; i < 5; ++i) {
+      deque.push(link_to("http://h/" + std::to_string(i)));
+    }
+    seen.insert(deque.take(Arm::kRandom, rng)->target.path);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(LeveledDequeTest, RequeuePromotesOneLevel) {
+  LeveledDeque deque;
+  support::Rng rng(3);
+  deque.push(link_to("http://h/a"));
+  auto taken = deque.take(Arm::kHead, rng);
+  ASSERT_TRUE(taken.has_value());
+  deque.requeue(*taken);
+  EXPECT_EQ(deque.level_size(0), 0u);
+  EXPECT_EQ(deque.level_size(1), 1u);
+  EXPECT_EQ(deque.interactions_of(taken->key()), 1u);
+
+  taken = deque.take(Arm::kHead, rng);
+  deque.requeue(*taken);
+  EXPECT_EQ(deque.level_size(2), 1u);
+  EXPECT_EQ(deque.interactions_of(taken->key()), 2u);
+}
+
+TEST(LeveledDequeTest, TakeDrawsFromLowestNonEmptyLevel) {
+  LeveledDeque deque;
+  support::Rng rng(4);
+  deque.push(link_to("http://h/old"));
+  auto taken = deque.take(Arm::kHead, rng);
+  deque.requeue(*taken);  // old now at level 1
+  deque.push(link_to("http://h/fresh"));  // level 0
+  // Any arm must prefer the level-0 element.
+  EXPECT_EQ(deque.take(Arm::kTail, rng)->target.path, "/fresh");
+  EXPECT_EQ(deque.take(Arm::kTail, rng)->target.path, "/old");
+}
+
+TEST(LeveledDequeTest, PushOfKnownElementNeverDuplicates) {
+  LeveledDeque deque;
+  support::Rng rng(5);
+  deque.push(link_to("http://h/a"));
+  auto taken = deque.take(Arm::kHead, rng);
+  deque.requeue(*taken);
+  // Re-discovering the same link (level 1) must not re-add at level 0.
+  EXPECT_FALSE(deque.push(link_to("http://h/a")));
+  EXPECT_EQ(deque.size(), 1u);
+  EXPECT_EQ(deque.level_size(0), 0u);
+}
+
+TEST(LeveledDequeTest, RequeueFlatReturnsToLevelZero) {
+  LeveledDeque deque;
+  support::Rng rng(6);
+  deque.push(link_to("http://h/a"));
+  auto taken = deque.take(Arm::kHead, rng);
+  deque.requeue_flat(*taken);
+  EXPECT_EQ(deque.level_size(0), 1u);
+  EXPECT_EQ(deque.interactions_of(taken->key()), 0u);
+}
+
+TEST(LeveledDequeTest, RequeueUnknownThrows) {
+  LeveledDeque deque;
+  EXPECT_THROW(deque.requeue(link_to("http://h/unknown")), std::logic_error);
+  EXPECT_THROW(deque.requeue_flat(link_to("http://h/unknown")),
+               std::logic_error);
+}
+
+// Property: under random operations, size always equals pushes minus
+// outstanding takes and no element is ever lost.
+class LeveledDequePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeveledDequePropertyTest, SizeInvariantUnderRandomOps) {
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  LeveledDeque deque;
+  std::size_t expected = 0;
+  int next_id = 0;
+  for (int step = 0; step < 2000; ++step) {
+    const double dice = rng.uniform01();
+    if (dice < 0.5) {
+      if (deque.push(link_to("http://h/p" + std::to_string(next_id++)))) {
+        ++expected;
+      }
+    } else {
+      const Arm arm = static_cast<Arm>(rng.next_below(kArmCount));
+      auto taken = deque.take(arm, rng);
+      EXPECT_EQ(taken.has_value(), expected > 0);
+      if (taken.has_value()) {
+        --expected;
+        if (rng.chance(0.8)) {
+          deque.requeue(*taken);
+          ++expected;
+        }
+      }
+    }
+    ASSERT_EQ(deque.size(), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeveledDequePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------- Browser
+
+// A small in-line app for browser tests.
+class FixtureApp : public webapp::WebApp {
+ public:
+  FixtureApp() : WebApp("Fixture", "fix.test") {
+    arena().file("fix/app.php");
+    region_ = arena().region(10);
+    add_home_link("/page", "Page");
+    router().get("/page", [this](webapp::RequestContext&) {
+      cover(region_);
+      webapp::PageBuilder page("Page");
+      page.link("/page2", "Next");
+      page.link("http://external.test/away", "External");
+      page.link("/page#section", "Fragment link");
+      webapp::FormSpec form;
+      form.action = "/echo";
+      form.method = "post";
+      form.text_field("typed");
+      form.hidden_field("secret", "s3cr3t");
+      form.text_field("prefilled", "keep-me");
+      page.form(form);
+      return httpsim::Response::html(page.build());
+    });
+    router().get("/page2", [](webapp::RequestContext&) {
+      webapp::PageBuilder page("Page 2");
+      page.paragraph("dead end");
+      return httpsim::Response::html(page.build());
+    });
+    router().post("/echo", [this](webapp::RequestContext& ctx) {
+      last_form = ctx.req().form;
+      return httpsim::Response::redirect("/page2");
+    });
+    finalize();
+  }
+
+  webapp::CodeRegion region_;
+  url::QueryMap last_form;
+};
+
+class BrowserTest : public ::testing::Test {
+ protected:
+  FixtureApp app_;
+  support::SimClock clock_;
+  httpsim::Network network_{clock_};
+
+  BrowserTest() { network_.register_host("fix.test", app_); }
+
+  Browser make_browser() {
+    return Browser(network_, app_.seed_url(), support::Rng(77));
+  }
+
+  const ResolvedAction& find_action(const Browser& browser,
+                                    html::InteractableKind kind,
+                                    const std::string& path) {
+    for (const auto& action : browser.page().actions) {
+      if (action.element.kind == kind && action.target.path == path) {
+        return action;
+      }
+    }
+    throw std::runtime_error("action not found: " + path);
+  }
+};
+
+TEST_F(BrowserTest, NavigateSeedLoadsAndParses) {
+  auto browser = make_browser();
+  browser.navigate_seed();
+  EXPECT_TRUE(browser.page().ok());
+  EXPECT_EQ(browser.page().url.to_string(), "http://fix.test/");
+  EXPECT_FALSE(browser.page().actions.empty());
+  EXPECT_EQ(browser.navigations(), 1u);
+  EXPECT_EQ(browser.interactions(), 0u);
+}
+
+TEST_F(BrowserTest, ExternalLinksAreFilteredOut) {
+  auto browser = make_browser();
+  browser.navigate_seed();
+  browser.interact(find_action(browser, html::InteractableKind::kLink, "/page"));
+  for (const auto& action : browser.page().actions) {
+    EXPECT_EQ(action.target.host, "fix.test") << action.describe();
+  }
+}
+
+TEST_F(BrowserTest, FragmentStrippedFromTargets) {
+  auto browser = make_browser();
+  browser.navigate_seed();
+  browser.interact(find_action(browser, html::InteractableKind::kLink, "/page"));
+  for (const auto& action : browser.page().actions) {
+    EXPECT_TRUE(action.target.fragment.empty());
+  }
+}
+
+TEST_F(BrowserTest, ClickLinkNavigates) {
+  auto browser = make_browser();
+  browser.navigate_seed();
+  const auto result = browser.interact(
+      find_action(browser, html::InteractableKind::kLink, "/page"));
+  EXPECT_EQ(result.status, 200);
+  EXPECT_FALSE(result.navigation_error);
+  EXPECT_EQ(browser.page().url.path, "/page");
+  EXPECT_EQ(browser.interactions(), 1u);
+}
+
+TEST_F(BrowserTest, FormFillRespectsFieldKinds) {
+  auto browser = make_browser();
+  browser.navigate_seed();
+  browser.interact(find_action(browser, html::InteractableKind::kLink, "/page"));
+  const auto& form = find_action(browser, html::InteractableKind::kForm, "/echo");
+  const auto result = browser.interact(form);
+  EXPECT_FALSE(result.navigation_error);
+  EXPECT_EQ(browser.page().url.path, "/page2");  // redirect followed
+  EXPECT_EQ(app_.last_form.get("secret"), "s3cr3t");       // hidden kept
+  EXPECT_EQ(app_.last_form.get("prefilled"), "keep-me");   // prefilled kept
+  const auto typed = app_.last_form.get("typed");
+  ASSERT_TRUE(typed.has_value());
+  EXPECT_FALSE(typed->empty());  // generated value
+}
+
+TEST_F(BrowserTest, GeneratedFormValuesAreDistinctAcrossFills) {
+  auto browser = make_browser();
+  browser.navigate_seed();
+  browser.interact(find_action(browser, html::InteractableKind::kLink, "/page"));
+  const auto form = find_action(browser, html::InteractableKind::kForm, "/echo");
+  browser.interact(form);
+  const auto first = app_.last_form.get("typed");
+  browser.navigate_seed();
+  browser.interact(find_action(browser, html::InteractableKind::kLink, "/page"));
+  browser.interact(find_action(browser, html::InteractableKind::kForm, "/echo"));
+  const auto second = app_.last_form.get("typed");
+  EXPECT_NE(first, second);
+}
+
+TEST_F(BrowserTest, NavigationErrorOn404) {
+  auto browser = make_browser();
+  browser.navigate_seed();
+  auto missing = link_to("http://fix.test/missing");
+  const auto result = browser.interact(missing);
+  EXPECT_TRUE(result.navigation_error);
+  EXPECT_EQ(result.status, 404);
+}
+
+TEST(BuildPageTest, ResolvesRelativeAndFiltersByOrigin) {
+  const auto origin = *url::parse("http://app.test/");
+  const auto page = build_page(
+      *url::parse("http://app.test/dir/current"), 200,
+      "<a href=\"sibling\">s</a>"
+      "<a href=\"/rooted\">r</a>"
+      "<a href=\"http://evil.test/x\">e</a>"
+      "<form action=\"\"><input name=\"q\"></form>",
+      origin);
+  ASSERT_EQ(page.actions.size(), 3u);
+  EXPECT_EQ(page.actions[0].target.to_string(), "http://app.test/dir/sibling");
+  EXPECT_EQ(page.actions[1].target.to_string(), "http://app.test/rooted");
+  // Empty form action submits to the current page.
+  EXPECT_EQ(page.actions[2].target.to_string(), "http://app.test/dir/current");
+}
+
+// -------------------------------------------------------------------- MAK
+
+class MakOnFixtureTest : public ::testing::Test {
+ protected:
+  FixtureApp app_;
+  support::SimClock clock_;
+  httpsim::Network network_{clock_};
+
+  MakOnFixtureTest() { network_.register_host("fix.test", app_); }
+};
+
+TEST_F(MakOnFixtureTest, CrawlsAndLearnsWithoutErrors) {
+  Browser browser(network_, app_.seed_url(), support::Rng(5));
+  MakCrawler crawler((support::Rng(6)));
+  crawler.start(browser);
+  for (int i = 0; i < 60; ++i) crawler.step(browser);
+  EXPECT_EQ(crawler.steps(), 60u);
+  EXPECT_GT(crawler.links_discovered(), 2u);
+  EXPECT_GT(app_.tracker().covered_lines(), 0u);
+  // All three arms exist in the count array; with Exp3.1 all get tried.
+  std::size_t total_arms = 0;
+  for (std::size_t c : crawler.arm_counts()) total_arms += c;
+  EXPECT_EQ(total_arms, 60u);
+}
+
+TEST_F(MakOnFixtureTest, StatelessAbstraction) {
+  Browser browser(network_, app_.seed_url(), support::Rng(7));
+  MakCrawler crawler((support::Rng(8)));
+  crawler.start(browser);
+  crawler.step(browser);
+  // The frontier dedups: repeated crawling never grows beyond the app's
+  // distinct action set.
+  for (int i = 0; i < 50; ++i) crawler.step(browser);
+  EXPECT_LE(crawler.frontier().size(), 12u);
+}
+
+TEST_F(MakOnFixtureTest, ForcedArmBehavesStatically) {
+  Browser browser(network_, app_.seed_url(), support::Rng(9));
+  auto bfs = make_static_bfs(support::Rng(10));
+  bfs->start(browser);
+  for (int i = 0; i < 20; ++i) bfs->step(browser);
+  EXPECT_EQ(bfs->arm_counts()[static_cast<std::size_t>(Arm::kHead)], 20u);
+  EXPECT_EQ(bfs->arm_counts()[static_cast<std::size_t>(Arm::kTail)], 0u);
+  EXPECT_EQ(std::string(bfs->name()), "BFS");
+
+  auto dfs = make_static_dfs(support::Rng(11));
+  EXPECT_EQ(std::string(dfs->name()), "DFS");
+  auto random = make_static_random(support::Rng(12));
+  EXPECT_EQ(std::string(random->name()), "Random");
+}
+
+TEST_F(MakOnFixtureTest, NameOverride) {
+  MakConfig config;
+  config.name_override = "Custom";
+  MakCrawler crawler(support::Rng(13), config);
+  EXPECT_EQ(std::string(crawler.name()), "Custom");
+}
+
+// A dead-end app: the seed page has no interactables at all; the crawler
+// must recover (re-navigate the seed) instead of crashing.
+class DeadEndApp : public webapp::WebApp {
+ public:
+  DeadEndApp() : WebApp("Dead", "dead.test") {
+    finalize();
+  }
+
+ protected:
+  httpsim::Response home_page(webapp::RequestContext&) override {
+    // No <body> tag: the chrome injector leaves the page alone, so the
+    // page genuinely has zero interactables.
+    return httpsim::Response::html("<html><p>nothing</p></html>");
+  }
+};
+
+TEST(MakRecoveryTest, SurvivesActionlessApp) {
+  DeadEndApp app;
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  network.register_host("dead.test", app);
+  Browser browser(network, app.seed_url(), support::Rng(14));
+  MakCrawler crawler((support::Rng(15)));
+  crawler.start(browser);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NO_THROW(crawler.step(browser));
+  }
+  EXPECT_EQ(browser.interactions(), 0u);
+  EXPECT_GT(browser.navigations(), 1u);  // recovery reloads
+}
+
+}  // namespace
+}  // namespace mak::core

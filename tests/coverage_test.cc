@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "coverage/coverage.h"
+
+namespace mak::coverage {
+namespace {
+
+CodeModel two_file_model() {
+  CodeModel model;
+  model.add_file("a.php", 100);
+  model.add_file("b.php", 70);
+  return model;
+}
+
+TEST(CodeModelTest, TotalsAndAccessors) {
+  const auto model = two_file_model();
+  EXPECT_EQ(model.file_count(), 2u);
+  EXPECT_EQ(model.total_lines(), 170u);
+  EXPECT_EQ(model.file_name(0), "a.php");
+  EXPECT_EQ(model.file_lines(1), 70u);
+}
+
+TEST(CodeModelTest, RejectsEmptyFile) {
+  CodeModel model;
+  EXPECT_THROW(model.add_file("x", 0), std::invalid_argument);
+}
+
+TEST(LineSetTest, MarkCountsOnce) {
+  LineSet set(two_file_model());
+  set.mark(0, 1, 10);
+  EXPECT_EQ(set.count(), 10u);
+  set.mark(0, 5, 15);  // overlaps 5-10
+  EXPECT_EQ(set.count(), 15u);
+  set.mark(0, 1, 15);  // fully covered already
+  EXPECT_EQ(set.count(), 15u);
+}
+
+TEST(LineSetTest, ContainsIsExact) {
+  LineSet set(two_file_model());
+  set.mark(1, 3, 5);
+  EXPECT_FALSE(set.contains(1, 2));
+  EXPECT_TRUE(set.contains(1, 3));
+  EXPECT_TRUE(set.contains(1, 5));
+  EXPECT_FALSE(set.contains(1, 6));
+  EXPECT_FALSE(set.contains(0, 3));
+  EXPECT_FALSE(set.contains(1, 0));    // lines are 1-based
+  EXPECT_FALSE(set.contains(1, 999));  // out of range
+  EXPECT_FALSE(set.contains(9, 1));    // bad file
+}
+
+TEST(LineSetTest, ClampsToFileBounds) {
+  LineSet set(two_file_model());
+  set.mark(1, 60, 1000);
+  EXPECT_EQ(set.count(), 11u);  // 60..70
+  set.mark(1, 0, 2);            // first_line 0 clamps to 1
+  EXPECT_EQ(set.count(), 13u);
+}
+
+TEST(LineSetTest, InvertedRangeIsNoop) {
+  LineSet set(two_file_model());
+  set.mark(0, 10, 5);
+  EXPECT_EQ(set.count(), 0u);
+}
+
+TEST(LineSetTest, BadFileThrows) {
+  LineSet set(two_file_model());
+  EXPECT_THROW(set.mark(7, 1, 2), std::out_of_range);
+}
+
+TEST(LineSetTest, WordBoundarySpans) {
+  CodeModel model;
+  model.add_file("big.php", 200);
+  LineSet set(model);
+  set.mark(0, 60, 70);  // crosses the 64-bit word boundary
+  EXPECT_EQ(set.count(), 11u);
+  for (std::size_t line = 60; line <= 70; ++line) {
+    EXPECT_TRUE(set.contains(0, line)) << line;
+  }
+  EXPECT_FALSE(set.contains(0, 59));
+  EXPECT_FALSE(set.contains(0, 71));
+}
+
+TEST(LineSetTest, UnionCombines) {
+  const auto model = two_file_model();
+  LineSet a(model);
+  LineSet b(model);
+  a.mark(0, 1, 10);
+  b.mark(0, 5, 20);
+  b.mark(1, 1, 5);
+  a.union_with(b);
+  EXPECT_EQ(a.count(), 25u);  // 1..20 + 5
+  EXPECT_TRUE(a.contains(1, 3));
+  // b unchanged.
+  EXPECT_EQ(b.count(), 21u);
+}
+
+TEST(LineSetTest, UnionRejectsModelMismatch) {
+  LineSet a(two_file_model());
+  CodeModel other;
+  other.add_file("x", 10);
+  LineSet b(other);
+  EXPECT_THROW(a.union_with(b), std::invalid_argument);
+}
+
+TEST(LineSetTest, CountNotIn) {
+  const auto model = two_file_model();
+  LineSet a(model);
+  LineSet b(model);
+  a.mark(0, 1, 10);
+  b.mark(0, 6, 10);
+  EXPECT_EQ(a.count_not_in(b), 5u);
+  EXPECT_EQ(b.count_not_in(a), 0u);
+}
+
+TEST(LineSetTest, Clear) {
+  LineSet set(two_file_model());
+  set.mark(0, 1, 50);
+  set.clear();
+  EXPECT_EQ(set.count(), 0u);
+  EXPECT_TRUE(set.empty());
+  set.mark(0, 1, 3);
+  EXPECT_EQ(set.count(), 3u);
+}
+
+TEST(CoverageTrackerTest, HitAndFraction) {
+  const auto model = two_file_model();
+  CoverageTracker tracker(model);
+  EXPECT_EQ(tracker.covered_lines(), 0u);
+  tracker.hit(0, 1, 17);
+  EXPECT_EQ(tracker.covered_lines(), 17u);
+  EXPECT_NEAR(tracker.covered_fraction(), 17.0 / 170.0, 1e-12);
+  tracker.reset();
+  EXPECT_EQ(tracker.covered_lines(), 0u);
+}
+
+TEST(CoverageSeriesTest, RecordsAndQueries) {
+  CoverageSeries series;
+  EXPECT_TRUE(series.empty());
+  series.record(0, 10);
+  series.record(1000, 50);
+  series.record(2000, 80);
+  EXPECT_EQ(series.points().size(), 3u);
+  EXPECT_EQ(series.at(-5), 0u);
+  EXPECT_EQ(series.at(0), 10u);
+  EXPECT_EQ(series.at(1500), 50u);
+  EXPECT_EQ(series.at(99999), 80u);
+}
+
+TEST(CoverageSeriesTest, MonotoneWhenFedMonotone) {
+  CoverageSeries series;
+  std::size_t value = 0;
+  for (int i = 0; i < 20; ++i) {
+    value += static_cast<std::size_t>(i % 3);
+    series.record(i * 100, value);
+  }
+  std::size_t prev = 0;
+  for (const auto& p : series.points()) {
+    EXPECT_GE(p.covered_lines, prev);
+    prev = p.covered_lines;
+  }
+}
+
+}  // namespace
+}  // namespace mak::coverage

@@ -1,0 +1,178 @@
+// Tests for the WebExplor DFA guidance, the DOM-novelty reward, the shared
+// sequence-similarity utility, the JSON report writer and parallel
+// repetition determinism.
+#include <cstdlib>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "apps/catalog.h"
+#include "baselines/webexplor.h"
+#include "core/browser.h"
+#include "harness/json_report.h"
+#include "html/interactables.h"
+#include "httpsim/network.h"
+
+namespace mak {
+namespace {
+
+// ------------------------------------------------- sequence similarity
+
+TEST(SequenceSimilarityTest, IdenticalAndDisjoint) {
+  const std::vector<std::string> a = {"div", "p", "a"};
+  EXPECT_DOUBLE_EQ(html::sequence_similarity(a, a), 1.0);
+  const std::vector<std::string> b = {"table", "tr", "td"};
+  EXPECT_DOUBLE_EQ(html::sequence_similarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(html::sequence_similarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(html::sequence_similarity(a, {}), 0.0);
+}
+
+TEST(SequenceSimilarityTest, PartialOverlap) {
+  const std::vector<std::string> a = {"div", "p", "a", "span"};
+  const std::vector<std::string> b = {"div", "p", "img", "span"};
+  // LCS = 3 of 4+4 -> 0.75.
+  EXPECT_DOUBLE_EQ(html::sequence_similarity(a, b), 0.75);
+}
+
+TEST(SequenceSimilarityTest, Symmetric) {
+  const std::vector<std::string> a = {"a", "b", "c", "d", "e"};
+  const std::vector<std::string> b = {"b", "d", "x"};
+  EXPECT_DOUBLE_EQ(html::sequence_similarity(a, b),
+                   html::sequence_similarity(b, a));
+}
+
+TEST(SequenceSimilarityTest, CapBoundsWork) {
+  std::vector<std::string> a(1000, "p");
+  std::vector<std::string> b(1000, "p");
+  b.push_back("div");
+  EXPECT_GT(html::sequence_similarity(a, b, 64), 0.9);
+}
+
+// ------------------------------------------------------- DFA guidance
+
+TEST(WebExplorDfaTest, DisabledByDefault) {
+  baselines::WebExplorConfig config;
+  EXPECT_FALSE(config.enable_dfa);
+}
+
+TEST(WebExplorDfaTest, GuidanceActivatesOnStagnation) {
+  auto app = apps::make_app("AddressBook");
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  network.register_host(app->host(), *app);
+  support::Rng master(42);
+  core::Browser browser(network, app->seed_url(), master.fork());
+  baselines::WebExplorConfig config;
+  config.enable_dfa = true;
+  config.stagnation_threshold = 5;
+  baselines::WebExplorCrawler crawler(master.fork(), config);
+  crawler.start(browser);
+  for (int i = 0; i < 400; ++i) crawler.step(browser);
+  // On a small app the crawler stagnates quickly; the DFA must have fired.
+  EXPECT_GT(crawler.guidance_activations(), 0u);
+  EXPECT_GE(crawler.guided_steps(), crawler.guidance_activations());
+}
+
+TEST(WebExplorDfaTest, CoverageComparableWithAndWithout) {
+  auto run = [](bool with_dfa) {
+    auto app = apps::make_app("Vanilla");
+    support::SimClock clock;
+    httpsim::Network network(clock);
+    network.register_host(app->host(), *app);
+    support::Rng master(7);
+    core::Browser browser(network, app->seed_url(), master.fork());
+    baselines::WebExplorConfig config;
+    config.enable_dfa = with_dfa;
+    baselines::WebExplorCrawler crawler(master.fork(), config);
+    crawler.start(browser);
+    for (int i = 0; i < 600; ++i) crawler.step(browser);
+    return app->tracker().covered_lines();
+  };
+  const auto without = run(false);
+  const auto with_dfa = run(true);
+  // The paper's assumption (iii): the DFA does not change 30-minute
+  // coverage much. Accept a generous 25% band at this reduced scale.
+  EXPECT_GT(static_cast<double>(with_dfa), 0.75 * static_cast<double>(without));
+  EXPECT_LT(static_cast<double>(with_dfa), 1.25 * static_cast<double>(without));
+}
+
+// ---------------------------------------------------- DOM-novelty mode
+
+TEST(DomNoveltyRewardTest, RunsEndToEnd) {
+  harness::RunConfig config;
+  config.budget = 4 * support::kMillisPerMinute;
+  const auto result = harness::run_once(apps::app_catalog().front(),
+                                        harness::CrawlerKind::kMakDomNovelty,
+                                        config);
+  EXPECT_EQ(result.crawler, "MAK-dom-novelty");
+  EXPECT_GT(result.final_covered_lines, 500u);
+}
+
+// ------------------------------------------------------- JSON reports
+
+TEST(JsonReportTest, RunSerialization) {
+  harness::RunResult run;
+  run.app = "App \"quoted\"";
+  run.crawler = "MAK";
+  run.platform = apps::Platform::kNode;
+  run.final_covered_lines = 123;
+  run.total_lines = 456;
+  run.interactions = 7;
+  run.navigations = 1;
+  run.links_discovered = 89;
+  run.series.record(0, 10);
+  run.series.record(1000, 123);
+  const std::string json = harness::run_to_json(run);
+  EXPECT_NE(json.find("\"app\":\"App \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"platform\":\"Node.js\""), std::string::npos);
+  EXPECT_NE(json.find("\"covered_lines\":123"), std::string::npos);
+  EXPECT_NE(json.find("\"series\":[[0,10],[1000,123]]"), std::string::npos);
+  const std::string no_series = harness::run_to_json(run, false);
+  EXPECT_EQ(no_series.find("series"), std::string::npos);
+}
+
+TEST(JsonReportTest, ExperimentDocument) {
+  harness::RunResult run;
+  run.app = "X";
+  run.crawler = "MAK";
+  std::vector<std::vector<harness::RunResult>> runs = {{run, run}, {run}};
+  std::ostringstream out;
+  harness::write_experiment_json(out, "X", 999, runs);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"ground_truth\":999"), std::string::npos);
+  // Three runs, comma-separated.
+  std::size_t count = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"crawler\":\"MAK\"", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+// ------------------------------------------- parallel run determinism
+
+TEST(ParallelRunsTest, ThreadCountDoesNotChangeResults) {
+  const auto& info = apps::app_catalog().front();
+  harness::RunConfig config;
+  config.budget = 2 * support::kMillisPerMinute;
+
+  setenv("MAK_THREADS", "1", 1);
+  const auto serial =
+      harness::run_repeated(info, harness::CrawlerKind::kMak, config, 4);
+  setenv("MAK_THREADS", "4", 1);
+  const auto parallel =
+      harness::run_repeated(info, harness::CrawlerKind::kMak, config, 4);
+  unsetenv("MAK_THREADS");
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].final_covered_lines, parallel[i].final_covered_lines);
+    EXPECT_EQ(serial[i].interactions, parallel[i].interactions);
+    EXPECT_EQ(serial[i].links_discovered, parallel[i].links_discovered);
+  }
+}
+
+}  // namespace
+}  // namespace mak

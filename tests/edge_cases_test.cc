@@ -1,0 +1,210 @@
+// Edge cases and stress tests across modules, complementing the per-module
+// suites.
+#include <gtest/gtest.h>
+
+#include "apps/catalog.h"
+#include "core/browser.h"
+#include "html/parser.h"
+#include "core/frontier.h"
+#include "core/mak_team.h"
+#include "httpsim/network.h"
+#include "support/strings.h"
+#include "url/url.h"
+#include "webapp/app_base.h"
+#include "webapp/page_builder.h"
+#include "webapp/router.h"
+
+namespace mak {
+namespace {
+
+// ----------------------------------------------------------------- router
+
+TEST(RouterEdgeTest, RootPatternNeverMatchesNonRoot) {
+  webapp::Router router;
+  router.get("/", [](webapp::RequestContext&) {
+    return httpsim::Response::html("root");
+  });
+  webapp::RequestContext ctx;
+  // "/" splits into zero segments; so does "": both match the empty pattern.
+  EXPECT_NE(router.match(httpsim::Method::kGet, "/", ctx), nullptr);
+  EXPECT_EQ(router.match(httpsim::Method::kGet, "/x", ctx), nullptr);
+}
+
+TEST(RouterEdgeTest, EncodedSegmentsMatchDecodedPattern) {
+  webapp::Router router;
+  router.get("/go/:label", [](webapp::RequestContext&) {
+    return httpsim::Response::html("x");
+  });
+  webapp::RequestContext ctx;
+  // The app base decodes the path before routing; simulate that.
+  const std::string decoded = url::decode("/go/hello%20world");
+  ASSERT_NE(router.match(httpsim::Method::kGet, decoded, ctx), nullptr);
+  EXPECT_EQ(ctx.param("label"), "hello world");
+}
+
+TEST(RouterEdgeTest, ConsecutiveSlashesCollapse) {
+  webapp::Router router;
+  router.get("/a/b", [](webapp::RequestContext&) {
+    return httpsim::Response::html("x");
+  });
+  webapp::RequestContext ctx;
+  EXPECT_NE(router.match(httpsim::Method::kGet, "//a///b", ctx), nullptr);
+}
+
+// ------------------------------------------------------------ page builder
+
+TEST(PageBuilderEdgeTest, EmptyPageIsValidHtml) {
+  webapp::PageBuilder page("");
+  const std::string markup = page.build();
+  const auto doc = html::parse(markup);
+  EXPECT_NE(doc.find_first("body"), nullptr);
+  EXPECT_TRUE(html::extract_interactables(doc).empty());
+}
+
+TEST(PageBuilderEdgeTest, FormWithNoFieldsStillSubmits) {
+  webapp::FormSpec form;
+  form.action = "/submit";
+  webapp::PageBuilder page("t");
+  page.form(form);
+  const auto doc = html::parse(page.build());
+  const auto items = html::extract_interactables(doc);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].kind, html::InteractableKind::kForm);
+}
+
+// --------------------------------------------------------------- frontier
+
+TEST(FrontierStressTest, ManyLevelsStayConsistent) {
+  core::LeveledDeque deque;
+  support::Rng rng(1);
+  core::ResolvedAction action;
+  action.element.kind = html::InteractableKind::kLink;
+  action.element.method = "GET";
+  action.target = *url::parse("http://h/x");
+  deque.push(action);
+  // Cycle one element through 50 levels.
+  for (int i = 0; i < 50; ++i) {
+    auto taken = deque.take(core::Arm::kHead, rng);
+    ASSERT_TRUE(taken.has_value());
+    deque.requeue(*taken);
+  }
+  EXPECT_EQ(deque.interactions_of(action.key()), 50u);
+  EXPECT_EQ(deque.level_size(50), 1u);
+  EXPECT_EQ(deque.size(), 1u);
+}
+
+TEST(FrontierStressTest, LargeFlatPopulation) {
+  core::LeveledDeque deque;
+  support::Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    core::ResolvedAction action;
+    action.element.kind = html::InteractableKind::kLink;
+    action.element.method = "GET";
+    action.target = *url::parse("http://h/p" + std::to_string(i));
+    deque.push(action);
+  }
+  EXPECT_EQ(deque.size(), 5000u);
+  std::size_t taken_count = 0;
+  while (auto taken = deque.take(core::Arm::kRandom, rng)) {
+    ++taken_count;
+  }
+  EXPECT_EQ(taken_count, 5000u);
+  EXPECT_TRUE(deque.empty());
+}
+
+// ---------------------------------------------------------------- network
+
+TEST(NetworkEdgeTest, FetchAcrossTwoHosts) {
+  // Two apps registered on one network: cookies stay per-host.
+  auto a = apps::make_app("Vanilla");
+  auto b = apps::make_app("AddressBook");
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  network.register_host(a->host(), *a);
+  network.register_host(b->host(), *b);
+  httpsim::CookieJar jar;
+  network.fetch(httpsim::Method::kGet, a->seed_url(), url::QueryMap{}, jar);
+  network.fetch(httpsim::Method::kGet, b->seed_url(), url::QueryMap{}, jar);
+  EXPECT_EQ(a->sessions().size(), 1u);
+  EXPECT_EQ(b->sessions().size(), 1u);
+  // Each host sees exactly its own cookie (host-scoped jars; the VALUES can
+  // coincide because each store numbers its sessions independently).
+  EXPECT_EQ(jar.cookies_for(a->seed_url()).size(), 1u);
+  EXPECT_EQ(jar.cookies_for(b->seed_url()).size(), 1u);
+}
+
+// --------------------------------------------------------------- MakTeam
+
+TEST(MakTeamEdgeTest, SingleAgentTeamMatchesMakBehaviourShape) {
+  auto app = apps::make_app("Vanilla");
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  network.register_host(app->host(), *app);
+  core::MakTeam team(network, app->seed_url(), support::Rng(3),
+                     core::MakTeamConfig{.agent_count = 1});
+  team.start();
+  for (int i = 0; i < 120; ++i) team.step();
+  EXPECT_EQ(team.interactions(), 120u);
+  EXPECT_GT(app->tracker().covered_lines(), 1500u);
+}
+
+TEST(MakTeamEdgeTest, PerAgentRewardHistoryOption) {
+  auto app = apps::make_app("Vanilla");
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  network.register_host(app->host(), *app);
+  core::MakTeamConfig config;
+  config.agent_count = 2;
+  config.shared_reward_history = false;
+  core::MakTeam team(network, app->seed_url(), support::Rng(4), config);
+  team.start();
+  for (int i = 0; i < 60; ++i) team.step();
+  EXPECT_GT(team.links_discovered(), 10u);
+}
+
+// ---------------------------------------------------------------- browser
+
+TEST(BrowserEdgeTest, RandomFillStrategyProducesNonEmptyValues) {
+  auto app = apps::make_app("PhpBB2");
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  network.register_host(app->host(), *app);
+  core::Browser browser(network, app->seed_url(), support::Rng(6),
+                        core::FormFillStrategy::kRandom);
+  core::ResolvedAction topic;
+  topic.element.kind = html::InteractableKind::kLink;
+  topic.element.method = "GET";
+  topic.target = *url::parse("http://phpbb.test/forum/topic/1");
+  browser.interact(topic);
+  bool submitted = false;
+  for (const auto& action : browser.page().actions) {
+    if (action.element.kind == html::InteractableKind::kForm &&
+        support::contains(action.target.path, "/reply")) {
+      browser.interact(action);
+      submitted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(submitted);
+  // The stored reply (random junk) is rendered on the topic page (PhpBB2's
+  // reply rendering is the raw '<div class="reply">' variant).
+  browser.interact(topic);
+  const std::string markup = html::serialize(browser.page().dom.root());
+  EXPECT_NE(markup.find("class=\"reply\""), std::string::npos);
+}
+
+TEST(BrowserEdgeTest, SeedNormalization) {
+  auto app = apps::make_app("Vanilla");
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  network.register_host(app->host(), *app);
+  auto seed = app->seed_url();
+  seed.fragment = "frag";
+  core::Browser browser(network, seed, support::Rng(7));
+  EXPECT_TRUE(browser.seed().fragment.empty());
+  browser.navigate_seed();
+  EXPECT_TRUE(browser.page().ok());
+}
+
+}  // namespace
+}  // namespace mak

@@ -1,0 +1,333 @@
+// Tests for the extension modules: UCB1, MakTeam (multi-agent) and the
+// crawl trace.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "apps/catalog.h"
+#include "core/mak_team.h"
+#include "core/trace.h"
+#include "harness/experiment.h"
+#include "httpsim/network.h"
+#include "coverage/coverage.h"
+#include "rl/thompson.h"
+#include "rl/ucb.h"
+
+namespace mak {
+namespace {
+
+// -------------------------------------------------------------------- UCB1
+
+TEST(Ucb1Test, PullsEveryArmOnce) {
+  rl::Ucb1 policy(4);
+  support::Rng rng(1);
+  std::set<std::size_t> first_pulls;
+  for (int i = 0; i < 4; ++i) {
+    const std::size_t arm = policy.choose(rng);
+    first_pulls.insert(arm);
+    policy.update(arm, 0.5);
+  }
+  EXPECT_EQ(first_pulls.size(), 4u);
+}
+
+TEST(Ucb1Test, ConvergesToBestArmOnStationaryBandit) {
+  rl::Ucb1 policy(3);
+  support::Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t arm = policy.choose(rng);
+    const double reward = arm == 2 ? (rng.chance(0.8) ? 1.0 : 0.0)
+                                   : (rng.chance(0.2) ? 1.0 : 0.0);
+    policy.update(arm, reward);
+  }
+  EXPECT_GT(policy.pulls(2), 3000u);
+  EXPECT_GT(policy.mean(2), policy.mean(0));
+}
+
+TEST(Ucb1Test, ConfidenceRadiusShrinks) {
+  rl::Ucb1 policy(2);
+  support::Rng rng(3);
+  // Arm 0: consistently mediocre; arm 1: consistently bad. After enough
+  // pulls UCB stops revisiting arm 1 often.
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t arm = policy.choose(rng);
+    policy.update(arm, arm == 0 ? 0.6 : 0.2);
+  }
+  EXPECT_GT(policy.pulls(0), policy.pulls(1) * 3);
+}
+
+TEST(Ucb1Test, Validation) {
+  EXPECT_THROW(rl::Ucb1(0), std::invalid_argument);
+  EXPECT_THROW(rl::Ucb1(2, 0.0), std::invalid_argument);
+  rl::Ucb1 policy(2);
+  EXPECT_THROW(policy.update(5, 0.5), std::out_of_range);
+  EXPECT_THROW(policy.update(0, 1.5), std::invalid_argument);
+}
+
+TEST(Ucb1Test, ProbabilitiesArePointMass) {
+  rl::Ucb1 policy(3);
+  support::Rng rng(4);
+  for (int i = 0; i < 30; ++i) {
+    const auto arm = policy.choose(rng);
+    policy.update(arm, 0.5);
+  }
+  const auto probs = policy.probabilities();
+  double sum = 0.0;
+  for (double p : probs) sum += p;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(Ucb1Test, ResetClearsState) {
+  rl::Ucb1 policy(2);
+  policy.update(0, 1.0);
+  policy.reset();
+  EXPECT_EQ(policy.pulls(0), 0u);
+  EXPECT_EQ(policy.mean(0), 0.0);
+}
+
+TEST(Ucb1Test, WorksInsideMak) {
+  const auto& info = apps::app_catalog().front();
+  harness::RunConfig config;
+  config.budget = 5 * support::kMillisPerMinute;
+  const auto result =
+      harness::run_once(info, harness::CrawlerKind::kMakUcb1, config);
+  EXPECT_EQ(result.crawler, "MAK-ucb1");
+  EXPECT_GT(result.final_covered_lines, 500u);
+}
+
+// ----------------------------------------------------------------- MakTeam
+
+class MakTeamTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<apps::SyntheticApp> app_ = apps::make_app("Vanilla");
+  support::SimClock clock_;
+  httpsim::Network network_{clock_};
+
+  void SetUp() override { network_.register_host(app_->host(), *app_); }
+};
+
+TEST_F(MakTeamTest, RejectsZeroAgents) {
+  EXPECT_THROW(core::MakTeam(network_, app_->seed_url(), support::Rng(1),
+                             core::MakTeamConfig{.agent_count = 0}),
+               std::invalid_argument);
+}
+
+TEST_F(MakTeamTest, AgentsShareTheFrontier) {
+  core::MakTeam team(network_, app_->seed_url(), support::Rng(2),
+                     core::MakTeamConfig{.agent_count = 3});
+  team.start();
+  EXPECT_EQ(team.agent_count(), 3u);
+  const std::size_t frontier_after_start = team.frontier().size();
+  EXPECT_GT(frontier_after_start, 0u);
+  for (int i = 0; i < 60; ++i) team.step();
+  EXPECT_EQ(team.interactions(), 60u);
+  EXPECT_GT(team.links_discovered(), 10u);
+}
+
+TEST_F(MakTeamTest, RoundRobinDistributesWork) {
+  core::MakTeam team(network_, app_->seed_url(), support::Rng(3),
+                     core::MakTeamConfig{.agent_count = 2});
+  team.start();
+  for (int i = 0; i < 40; ++i) team.step();
+  std::size_t agent0 = 0;
+  std::size_t agent1 = 0;
+  for (std::size_t arm = 0; arm < core::kArmCount; ++arm) {
+    agent0 += team.arm_counts(0)[arm];
+    agent1 += team.arm_counts(1)[arm];
+  }
+  EXPECT_EQ(agent0, 20u);
+  EXPECT_EQ(agent1, 20u);
+}
+
+TEST_F(MakTeamTest, AgentsHaveIndependentSessions) {
+  core::MakTeam team(network_, app_->seed_url(), support::Rng(4),
+                     core::MakTeamConfig{.agent_count = 2});
+  team.start();
+  for (int i = 0; i < 30; ++i) team.step();
+  // Two agents = two distinct server-side sessions (plus none shared).
+  EXPECT_GE(app_->sessions().size(), 2u);
+}
+
+TEST_F(MakTeamTest, MoreAgentsNeverLoseLinkCoverage) {
+  auto run_team = [](std::size_t agents, std::size_t steps) {
+    auto app = apps::make_app("Vanilla");
+    support::SimClock clock;
+    httpsim::Network network(clock);
+    network.register_host(app->host(), *app);
+    core::MakTeam team(network, app->seed_url(), support::Rng(5),
+                       core::MakTeamConfig{.agent_count = agents});
+    team.start();
+    for (std::size_t i = 0; i < steps; ++i) team.step();
+    return team.links_discovered();
+  };
+  // Same TOTAL step count: a team should discover a comparable link set
+  // (shared frontier means no duplicated first visits).
+  const auto solo = run_team(1, 200);
+  const auto duo = run_team(2, 200);
+  EXPECT_GT(static_cast<double>(duo), 0.8 * static_cast<double>(solo));
+}
+
+// ------------------------------------------------------------------- trace
+
+TEST(TraceTest, RecordsAndSummarizes) {
+  core::CrawlTrace trace;
+  EXPECT_TRUE(trace.empty());
+  trace.record({core::TraceEvent::Kind::kSeedLoad, 0, 0, "", "http://h/", 200,
+                3, 100});
+  trace.record({core::TraceEvent::Kind::kInteraction, 10, 1, "Head",
+                "http://h/a", 200, 2, 150});
+  trace.record({core::TraceEvent::Kind::kInteraction, 20, 2, "Tail",
+                "http://h/x", 404, 0, 150});
+  trace.record({core::TraceEvent::Kind::kRecovery, 30, 3, "", "http://h/",
+                200, 0, 150});
+  const auto summary = trace.summarize();
+  EXPECT_EQ(summary.interactions, 2u);
+  EXPECT_EQ(summary.recoveries, 1u);
+  EXPECT_EQ(summary.errors, 1u);
+  EXPECT_EQ(summary.total_new_links, 5u);
+  trace.clear();
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(TraceTest, JsonlIsWellFormed) {
+  core::CrawlTrace trace;
+  trace.record({core::TraceEvent::Kind::kInteraction, 5, 1, "Head",
+                "http://h/p?q=\"quoted\"\n", 200, 1, 42});
+  std::ostringstream out;
+  trace.write_jsonl(out);
+  const std::string line = out.str();
+  EXPECT_NE(line.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(line.find("\\n"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), line.size() - 1);  // single line + newline
+  EXPECT_NE(line.find("\"covered_lines\":42"), std::string::npos);
+}
+
+TEST(TraceTest, JsonEscape) {
+  EXPECT_EQ(core::json_escape("plain"), "plain");
+  EXPECT_EQ(core::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(core::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(core::json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(TraceTest, HarnessFillsTrace) {
+  core::CrawlTrace trace;
+  harness::RunConfig config;
+  config.budget = 3 * support::kMillisPerMinute;
+  config.trace = &trace;
+  const auto result = harness::run_once(
+      apps::app_catalog().front(), harness::CrawlerKind::kMak, config);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.events().front().kind, core::TraceEvent::Kind::kSeedLoad);
+  const auto summary = trace.summarize();
+  EXPECT_EQ(summary.interactions, result.interactions);
+  // Coverage in the trace is monotone.
+  std::size_t prev = 0;
+  for (const auto& event : trace.events()) {
+    EXPECT_GE(event.covered_lines, prev);
+    prev = event.covered_lines;
+  }
+  // Total new links across the trace equals the crawler's link coverage.
+  EXPECT_EQ(summary.total_new_links + trace.events().front().new_links -
+                trace.events().front().new_links,
+            summary.total_new_links);
+  EXPECT_EQ(summary.total_new_links, result.links_discovered);
+}
+
+// -------------------------------------------------------------- Thompson
+
+TEST(ThompsonTest, ConvergesToBestArm) {
+  rl::ThompsonSampling policy(3);
+  support::Rng rng(21);
+  std::size_t best_pulls = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const std::size_t arm = policy.choose(rng);
+    if (arm == 1) ++best_pulls;
+    const double reward = arm == 1 ? (rng.chance(0.8) ? 1.0 : 0.0)
+                                   : (rng.chance(0.2) ? 1.0 : 0.0);
+    policy.update(arm, reward);
+  }
+  EXPECT_GT(best_pulls, 2500u);
+  EXPECT_GT(policy.posterior_mean(1), policy.posterior_mean(0));
+}
+
+TEST(ThompsonTest, PosteriorMeansTrackRewards) {
+  rl::ThompsonSampling policy(2);
+  for (int i = 0; i < 100; ++i) {
+    policy.update(0, 0.9);
+    policy.update(1, 0.1);
+  }
+  EXPECT_NEAR(policy.posterior_mean(0), 0.9, 0.05);
+  EXPECT_NEAR(policy.posterior_mean(1), 0.1, 0.05);
+}
+
+TEST(ThompsonTest, ProbabilitiesFavourBetterArm) {
+  rl::ThompsonSampling policy(2);
+  for (int i = 0; i < 50; ++i) {
+    policy.update(0, 1.0);
+    policy.update(1, 0.0);
+  }
+  const auto probs = policy.probabilities();
+  EXPECT_GT(probs[0], 0.95);
+  double sum = probs[0] + probs[1];
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ThompsonTest, ValidationAndReset) {
+  EXPECT_THROW(rl::ThompsonSampling(0), std::invalid_argument);
+  rl::ThompsonSampling policy(2);
+  EXPECT_THROW(policy.update(5, 0.5), std::out_of_range);
+  EXPECT_THROW(policy.update(0, -0.1), std::invalid_argument);
+  policy.update(0, 1.0);
+  policy.reset();
+  EXPECT_DOUBLE_EQ(policy.posterior_mean(0), 0.5);  // Beta(1,1)
+}
+
+TEST(ThompsonTest, WorksInsideMak) {
+  harness::RunConfig config;
+  config.budget = 4 * support::kMillisPerMinute;
+  const auto result = harness::run_once(apps::app_catalog().front(),
+                                        harness::CrawlerKind::kMakThompson,
+                                        config);
+  EXPECT_EQ(result.crawler, "MAK-thompson");
+  EXPECT_GT(result.final_covered_lines, 500u);
+}
+
+// --------------------------------------------------------- file breakdown
+
+TEST(FileBreakdownTest, SplitsByFile) {
+  coverage::CodeModel model;
+  const auto a = model.add_file("a.php", 10);
+  const auto b = model.add_file("b.php", 20);
+  coverage::LineSet covered(model);
+  covered.mark(a, 1, 10);
+  covered.mark(b, 1, 5);
+  const auto breakdown = coverage::file_breakdown(model, covered);
+  ASSERT_EQ(breakdown.size(), 2u);
+  EXPECT_EQ(breakdown[0].file, "a.php");
+  EXPECT_EQ(breakdown[0].covered, 10u);
+  EXPECT_DOUBLE_EQ(breakdown[0].fraction(), 1.0);
+  EXPECT_EQ(breakdown[1].covered, 5u);
+  EXPECT_EQ(breakdown[1].total, 20u);
+  EXPECT_DOUBLE_EQ(breakdown[1].fraction(), 0.25);
+}
+
+TEST(FileBreakdownTest, SumsToTotalCoverage) {
+  auto app = apps::make_app("Vanilla");
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  network.register_host(app->host(), *app);
+  httpsim::CookieJar jar;
+  network.fetch(httpsim::Method::kGet, app->seed_url(), url::QueryMap{}, jar);
+  const auto breakdown = coverage::file_breakdown(app->code_model(),
+                                                  app->tracker().lines());
+  std::size_t sum = 0;
+  std::size_t total = 0;
+  for (const auto& fc : breakdown) {
+    sum += fc.covered;
+    total += fc.total;
+  }
+  EXPECT_EQ(sum, app->tracker().covered_lines());
+  EXPECT_EQ(total, app->code_model().total_lines());
+}
+
+}  // namespace
+}  // namespace mak

@@ -1,0 +1,354 @@
+// Unit tests for the structural feature generators, each installed into a
+// bare WebApp (independent of the catalog compositions).
+#include <gtest/gtest.h>
+
+#include "apps/features/aliased_reviews.h"
+#include "apps/features/calendar_trap.h"
+#include "apps/features/cart_flow.h"
+#include "apps/features/deep_wizard.h"
+#include "apps/features/login_area.h"
+#include "apps/features/module_router.h"
+#include "apps/features/mutable_shortcuts.h"
+#include "apps/features/paginated_forum.h"
+#include "apps/features/search_box.h"
+#include "apps/features/static_section.h"
+#include "apps/features/validated_signup.h"
+#include "apps/synthetic_app.h"
+#include "core/browser.h"
+#include "httpsim/network.h"
+#include "support/strings.h"
+
+namespace mak::apps {
+namespace {
+
+// Build a minimal app hosting exactly one feature.
+template <typename FeatureT, typename ParamsT>
+std::unique_ptr<SyntheticApp> bare_app(ParamsT params) {
+  auto app = std::make_unique<SyntheticApp>("FeatureApp", "feature.test",
+                                            Platform::kPhp);
+  app->add_feature(std::make_unique<FeatureT>(std::move(params)));
+  app->finalize();
+  return app;
+}
+
+struct Driver {
+  explicit Driver(std::unique_ptr<SyntheticApp> owned)
+      : app(std::move(owned)), network(clock) {
+    network.register_host(app->host(), *app);
+    browser.emplace(network, app->seed_url(), support::Rng(321));
+  }
+
+  const core::Page& get(const std::string& path_and_query) {
+    core::ResolvedAction action;
+    action.element.kind = html::InteractableKind::kLink;
+    action.element.method = "GET";
+    action.target =
+        *url::parse("http://" + app->host() + path_and_query);
+    browser->interact(action);
+    return browser->page();
+  }
+
+  bool submit_form(const std::string& needle) {
+    for (const auto& action : browser->page().actions) {
+      if (action.element.kind == html::InteractableKind::kForm &&
+          support::contains(action.target.path, needle)) {
+        browser->interact(action);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t covered() { return app->tracker().covered_lines(); }
+
+  std::unique_ptr<SyntheticApp> app;
+  support::SimClock clock;
+  httpsim::Network network;
+  std::optional<core::Browser> browser;
+};
+
+TEST(StaticSectionFeature, TreeStructureAndCoverage) {
+  StaticSectionParams params;
+  params.page_count = 10;
+  params.fanout = 3;
+  Driver d(bare_app<StaticSection>(params));
+  const auto& root = d.get("/docs/p/0");
+  EXPECT_EQ(root.status, 200);
+  const auto after_root = d.covered();
+  // Visiting a second page adds (at most variant+entity) more lines.
+  d.get("/docs/p/1");
+  EXPECT_GT(d.covered(), after_root);
+  // Re-visiting adds nothing.
+  const auto before = d.covered();
+  d.get("/docs/p/1");
+  EXPECT_EQ(d.covered(), before);
+}
+
+TEST(StaticSectionFeature, RejectsOutOfRangeIds) {
+  StaticSectionParams params;
+  params.page_count = 5;
+  Driver d(bare_app<StaticSection>(params));
+  EXPECT_EQ(d.get("/docs/p/99").status, 404);
+  EXPECT_EQ(d.get("/docs/p/notanumber").status, 404);
+}
+
+TEST(NewsArchiveFeature, ChunkNavigation) {
+  NewsArchiveParams params;
+  params.article_count = 25;
+  params.index_page_size = 10;
+  Driver d(bare_app<NewsArchive>(params));
+  const auto& chunk0 = d.get("/news");
+  std::size_t stories = 0;
+  bool has_older = false;
+  for (const auto& action : chunk0.actions) {
+    if (support::contains(action.target.path, "/news/a/")) ++stories;
+    if (support::contains(action.element.text, "Older")) has_older = true;
+  }
+  EXPECT_EQ(stories, 10u);
+  EXPECT_TRUE(has_older);
+  // Last chunk has fewer stories and no "older".
+  const auto& chunk2 = d.get("/news?chunk=2");
+  stories = 0;
+  for (const auto& action : chunk2.actions) {
+    if (support::contains(action.target.path, "/news/a/")) ++stories;
+  }
+  EXPECT_EQ(stories, 5u);
+  // Out-of-range chunk falls back to chunk 0.
+  EXPECT_EQ(d.get("/news?chunk=99").status, 200);
+}
+
+TEST(ModuleRouterFeature, ActionRoutingAndNames) {
+  ModuleRouterParams params;
+  params.module_count = 3;
+  params.actions_per_module = 2;
+  Driver d(bare_app<ModuleRouter>(params));
+  EXPECT_EQ(d.get("/index.php?module=CoreHome&action=index").status, 200);
+  const auto after_one = d.covered();
+  EXPECT_EQ(d.get("/index.php?module=CoreHome&action=manage").status, 200);
+  EXPECT_GT(d.covered(), after_one);  // second action = new region
+  EXPECT_EQ(d.get("/index.php?module=CoreHome&action=bogus").status, 404);
+  EXPECT_EQ(d.get("/index.php?module=Nope&action=index").status, 404);
+  // Default module/action resolve.
+  EXPECT_EQ(d.get("/index.php").status, 200);
+}
+
+TEST(AliasedReviewsFeature, ReviewSubmitRoundTrip) {
+  AliasedReviewsParams params;
+  params.paper_count = 5;
+  Driver d(bare_app<AliasedReviews>(params));
+  d.get("/review?p=2&r=2B23");
+  ASSERT_TRUE(d.submit_form("/review/submit"));
+  // The redirect lands back on the paper page.
+  EXPECT_EQ(d.browser->page().url.path, "/paper/2");
+  EXPECT_EQ(d.get("/review?p=99").status, 404);
+}
+
+TEST(MutableShortcutsFeature, ServerSideCap) {
+  MutableShortcutsParams params;
+  params.max_shortcuts = 3;
+  Driver d(bare_app<MutableShortcuts>(params));
+  for (int i = 0; i < 6; ++i) {
+    d.get("/dashboard/shortcuts");
+    ASSERT_TRUE(d.submit_form("/add"));
+  }
+  const auto& panel = d.get("/dashboard/shortcuts");
+  std::size_t shortcuts = 0;
+  for (const auto& action : panel.actions) {
+    if (support::contains(action.target.path, "/dashboard/go/")) ++shortcuts;
+  }
+  EXPECT_EQ(shortcuts, 3u);  // capped
+}
+
+TEST(SearchBoxFeature, EmptyQueryShowsFormOnly) {
+  SearchBoxParams params;
+  params.result_paths = {"/a", "/b"};
+  Driver d(bare_app<SearchBox>(params));
+  const auto& form_page = d.get("/search");
+  std::size_t results = 0;
+  for (const auto& action : form_page.actions) {
+    if (action.target.path == "/a" || action.target.path == "/b") ++results;
+  }
+  EXPECT_EQ(results, 0u);
+  const auto& results_page = d.get("/search?q=hello");
+  results = 0;
+  for (const auto& action : results_page.actions) {
+    if (action.target.path == "/a" || action.target.path == "/b") ++results;
+  }
+  EXPECT_EQ(results, 2u);
+}
+
+TEST(SearchBoxFeature, ReflectionToggle) {
+  SearchBoxParams safe;
+  safe.result_paths = {"/a"};
+  Driver safe_driver(bare_app<SearchBox>(safe));
+  const auto& escaped = safe_driver.get("/search?q=%3Cxss%3E");
+  EXPECT_EQ(escaped.dom.find_first("xss"), nullptr);
+
+  SearchBoxParams vulnerable = safe;
+  vulnerable.reflect_unescaped = true;
+  Driver vuln_driver(bare_app<SearchBox>(vulnerable));
+  const auto& reflected = vuln_driver.get("/search?q=%3Cxss%3E");
+  EXPECT_NE(reflected.dom.find_first("xss"), nullptr);
+}
+
+TEST(DeepWizardFeature, FullWalkthrough) {
+  DeepWizardParams params;
+  params.slug = "wiz";
+  params.steps = 3;
+  Driver d(bare_app<DeepWizard>(params));
+  d.get("/wiz/start");
+  for (int i = 1; i <= 3; ++i) {
+    d.get("/wiz/step/" + std::to_string(i));
+    ASSERT_TRUE(d.submit_form("/complete")) << i;
+  }
+  EXPECT_EQ(d.browser->page().url.path, "/wiz/done");
+  // Re-submitting an old step keeps progress (redirects to the last step).
+  d.get("/wiz/step/1");
+  EXPECT_NE(d.browser->page().url.path, "/wiz/start");
+}
+
+TEST(CartFlowFeature, QuantitySelectAndCartPersistence) {
+  CartFlowParams params;
+  params.product_count = 4;
+  Driver d(bare_app<CartFlow>(params));
+  d.get("/shop/product/1");
+  ASSERT_TRUE(d.submit_form("/cart/add"));
+  d.get("/shop/product/2");
+  ASSERT_TRUE(d.submit_form("/cart/add"));
+  const auto& cart = d.get("/shop/cart");
+  EXPECT_NE(cart.dom.root().text_content().find("Product 1"),
+            std::string::npos);
+  EXPECT_NE(cart.dom.root().text_content().find("Product 2"),
+            std::string::npos);
+}
+
+TEST(LoginAreaFeature, WrongUsernameFails) {
+  LoginAreaParams params;
+  params.username = "admin";
+  Driver d(bare_app<LoginArea>(params));
+  // Build a login POST with the wrong username by hand.
+  core::ResolvedAction login;
+  login.element.kind = html::InteractableKind::kForm;
+  login.element.method = "POST";
+  login.element.fields.push_back({"username", "text", "intruder", {}});
+  login.element.fields.push_back({"password", "password", "", {}});
+  login.target = *url::parse("http://feature.test/account/login");
+  d.browser->interact(login);
+  EXPECT_NE(d.browser->page().dom.root().text_content().find(
+                "Invalid credentials"),
+            std::string::npos);
+  // Private pages remain locked.
+  EXPECT_EQ(d.get("/account/home").url.path, "/account/login");
+}
+
+TEST(PaginatedForumFeature, SqliToggle) {
+  PaginatedForumParams safe;
+  safe.board_count = 2;
+  safe.topics_per_board = 4;
+  Driver safe_driver(bare_app<PaginatedForum>(safe));
+  EXPECT_EQ(safe_driver.get("/forum/board/0?page=1%27").status, 200);
+
+  PaginatedForumParams vulnerable = safe;
+  vulnerable.sqli_page_param = true;
+  Driver vuln_driver(bare_app<PaginatedForum>(vulnerable));
+  const auto& error = vuln_driver.get("/forum/board/0?page=1%27");
+  EXPECT_EQ(error.status, 500);
+  EXPECT_NE(error.dom.root().text_content().find("SQL syntax"),
+            std::string::npos);
+}
+
+TEST(PaginatedForumFeature, StoredXssToggle) {
+  PaginatedForumParams params;
+  params.board_count = 1;
+  params.topics_per_board = 2;
+  params.stored_xss_replies = true;
+  Driver d(bare_app<PaginatedForum>(params));
+  d.get("/forum/topic/0");
+  // Post a reply containing markup by hand.
+  core::ResolvedAction reply;
+  reply.element.kind = html::InteractableKind::kForm;
+  reply.element.method = "POST";
+  reply.element.fields.push_back({"message", "textarea", "<xss>hi</xss>", {}});
+  reply.target = *url::parse("http://feature.test/forum/topic/0/reply");
+  d.browser->interact(reply);
+  EXPECT_NE(d.browser->page().dom.find_first("xss"), nullptr);
+}
+
+TEST(CalendarTrapFeature, DayGridToggle) {
+  CalendarTrapParams no_days;
+  no_days.month_count = 10;
+  no_days.start_month = 5;
+  Driver plain(bare_app<CalendarTrap>(no_days));
+  const auto& month = plain.get("/calendar?month=5");
+  for (const auto& action : month.actions) {
+    EXPECT_EQ(action.target.path.find("/calendar/day"), std::string::npos);
+  }
+  EXPECT_EQ(plain.get("/calendar/day?month=5&d=1").status, 404);
+
+  CalendarTrapParams with_days = no_days;
+  with_days.days_per_month = 7;
+  Driver grid(bare_app<CalendarTrap>(with_days));
+  const auto& gridded = grid.get("/calendar?month=5");
+  std::size_t days = 0;
+  for (const auto& action : gridded.actions) {
+    if (support::contains(action.target.path, "/calendar/day")) ++days;
+  }
+  EXPECT_EQ(days, 7u);
+  EXPECT_EQ(grid.get("/calendar/day?month=5&d=3").status, 200);
+}
+
+TEST(ValidatedSignupFeature, JunkInputBouncesValidInputUnlocks) {
+  ValidatedSignupParams params;
+  params.slug = "join";
+  Driver d(bare_app<ValidatedSignup>(params));
+  const auto form_lines = d.covered();
+
+  // Junk submission (counter strategy generates "input-N" for everything).
+  d.get("/join");
+  ASSERT_TRUE(d.submit_form("/join"));
+  EXPECT_NE(d.browser->page().dom.root().text_content().find(
+                "fix the errors"),
+            std::string::npos);
+  // Member area stays locked.
+  EXPECT_EQ(d.get("/join/welcome").url.path, "/join");
+
+  // Valid submission by hand.
+  core::ResolvedAction signup;
+  signup.element.kind = html::InteractableKind::kForm;
+  signup.element.method = "POST";
+  signup.element.fields.push_back({"username", "text", "alice7", {}});
+  signup.element.fields.push_back({"email", "email", "a@b.test", {}});
+  signup.element.fields.push_back({"age", "number", "42", {}});
+  signup.target = *url::parse("http://feature.test/join");
+  d.browser->interact(signup);
+  EXPECT_EQ(d.browser->page().url.path, "/join/welcome");
+  EXPECT_GT(d.covered(), form_lines + 150);  // success region executed
+  EXPECT_EQ(d.get("/join/member/0").status, 200);
+}
+
+TEST(ValidatedSignupFeature, DictionaryFillPassesValidation) {
+  ValidatedSignupParams params;
+  params.slug = "join";
+  auto app = bare_app<ValidatedSignup>(params);
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  network.register_host(app->host(), *app);
+  core::Browser browser(network, app->seed_url(), support::Rng(5),
+                        core::FormFillStrategy::kDictionary);
+  core::ResolvedAction nav;
+  nav.element.kind = html::InteractableKind::kLink;
+  nav.element.method = "GET";
+  nav.target = *url::parse("http://feature.test/join");
+  browser.interact(nav);
+  for (const auto& action : browser.page().actions) {
+    if (action.element.kind == html::InteractableKind::kForm) {
+      browser.interact(action);
+      break;
+    }
+  }
+  // Dictionary fill produced a valid email/age/username -> welcome page.
+  EXPECT_EQ(browser.page().url.path, "/join/welcome");
+}
+
+}  // namespace
+}  // namespace mak::apps

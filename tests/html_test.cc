@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include "html/entities.h"
+#include "html/interactables.h"
+#include "html/parser.h"
+#include "html/tokenizer.h"
+
+namespace mak::html {
+namespace {
+
+// -------------------------------------------------------------- entities
+
+TEST(EntitiesTest, EscapeAll) {
+  EXPECT_EQ(escape("<a href=\"x\">&'"), "&lt;a href=&quot;x&quot;&gt;&amp;&#39;");
+  EXPECT_EQ(escape("plain"), "plain");
+}
+
+TEST(EntitiesTest, UnescapeNamed) {
+  EXPECT_EQ(unescape("&lt;b&gt; &amp; &quot;q&quot; &apos; &nbsp;"),
+            "<b> & \"q\" '  ");
+}
+
+TEST(EntitiesTest, UnescapeNumeric) {
+  EXPECT_EQ(unescape("&#65;&#x42;&#x63;"), "ABc");
+}
+
+TEST(EntitiesTest, UnknownEntitiesPassThrough) {
+  EXPECT_EQ(unescape("&unknown; &; &#zz; & x"), "&unknown; &; &#zz; & x");
+}
+
+TEST(EntitiesTest, RoundTrip) {
+  const std::string original = "a < b && c > \"d\" '";
+  EXPECT_EQ(unescape(escape(original)), original);
+}
+
+// ------------------------------------------------------------- tokenizer
+
+TEST(TokenizerTest, SimpleTagsAndText) {
+  const auto tokens = tokenize("<p>Hello</p>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kStartTag);
+  EXPECT_EQ(tokens[0].name, "p");
+  EXPECT_EQ(tokens[1].type, TokenType::kText);
+  EXPECT_EQ(tokens[1].text, "Hello");
+  EXPECT_EQ(tokens[2].type, TokenType::kEndTag);
+  EXPECT_EQ(tokens[2].name, "p");
+}
+
+TEST(TokenizerTest, AttributesQuotedUnquotedValueless) {
+  const auto tokens =
+      tokenize("<input type=\"text\" name='user' disabled value=abc>");
+  ASSERT_EQ(tokens.size(), 1u);
+  const auto& attrs = tokens[0].attributes;
+  ASSERT_EQ(attrs.size(), 4u);
+  EXPECT_EQ(attrs[0], (std::pair<std::string, std::string>{"type", "text"}));
+  EXPECT_EQ(attrs[1], (std::pair<std::string, std::string>{"name", "user"}));
+  EXPECT_EQ(attrs[2].first, "disabled");
+  EXPECT_EQ(attrs[2].second, "");
+  EXPECT_EQ(attrs[3].second, "abc");
+}
+
+TEST(TokenizerTest, AttributeValuesEntityDecoded) {
+  const auto tokens = tokenize("<a href=\"/x?a=1&amp;b=2\">t</a>");
+  EXPECT_EQ(tokens[0].attributes[0].second, "/x?a=1&b=2");
+}
+
+TEST(TokenizerTest, TagNamesLowercased) {
+  const auto tokens = tokenize("<DIV CLASS=\"x\"></DIV>");
+  EXPECT_EQ(tokens[0].name, "div");
+  EXPECT_EQ(tokens[0].attributes[0].first, "class");
+  EXPECT_EQ(tokens[1].name, "div");
+}
+
+TEST(TokenizerTest, SelfClosing) {
+  const auto tokens = tokenize("<br/><img src=\"a.png\" />");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[0].self_closing);
+  EXPECT_TRUE(tokens[1].self_closing);
+}
+
+TEST(TokenizerTest, CommentsAndDoctype) {
+  const auto tokens = tokenize("<!DOCTYPE html><!-- a comment -->text");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kDoctype);
+  EXPECT_EQ(tokens[1].type, TokenType::kComment);
+  EXPECT_EQ(tokens[1].text, " a comment ");
+  EXPECT_EQ(tokens[2].text, "text");
+}
+
+TEST(TokenizerTest, ScriptContentIsOpaque) {
+  const auto tokens =
+      tokenize("<script>if (a < b) { x = \"<div>\"; }</script><p>t</p>");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].name, "script");
+  EXPECT_EQ(tokens[1].type, TokenType::kText);
+  EXPECT_EQ(tokens[1].text, "if (a < b) { x = \"<div>\"; }");
+  EXPECT_EQ(tokens[2].type, TokenType::kEndTag);
+}
+
+TEST(TokenizerTest, StrayLessThanIsText) {
+  const auto tokens = tokenize("a < b");
+  std::string text;
+  for (const auto& t : tokens) {
+    ASSERT_EQ(t.type, TokenType::kText);
+    text += t.text;
+  }
+  EXPECT_EQ(text, "a < b");
+}
+
+TEST(TokenizerTest, UnterminatedConstructsDontCrash) {
+  EXPECT_NO_THROW(tokenize("<div class=\"unclosed"));
+  EXPECT_NO_THROW(tokenize("<!-- unterminated"));
+  EXPECT_NO_THROW(tokenize("<script>never closed"));
+  EXPECT_NO_THROW(tokenize("<"));
+  EXPECT_NO_THROW(tokenize("</"));
+}
+
+TEST(TokenizerTest, TextEntityDecoded) {
+  const auto tokens = tokenize("<p>a &amp; b</p>");
+  EXPECT_EQ(tokens[1].text, "a & b");
+}
+
+// ----------------------------------------------------------------- parser
+
+TEST(ParserTest, BuildsNestedTree) {
+  const auto doc = parse("<div><p>one</p><p>two</p></div>");
+  const auto divs = doc.find_all("div");
+  ASSERT_EQ(divs.size(), 1u);
+  const auto ps = doc.find_all("p");
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps[0]->text_content(), "one");
+  EXPECT_EQ(ps[1]->text_content(), "two");
+  EXPECT_EQ(ps[0]->parent(), divs[0]);
+}
+
+TEST(ParserTest, VoidElementsDontNest) {
+  const auto doc = parse("<p>a<br>b<input name=\"x\">c</p>");
+  const auto ps = doc.find_all("p");
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(ps[0]->text_content(), "abc");
+  const auto br = doc.find_first("br");
+  ASSERT_NE(br, nullptr);
+  EXPECT_TRUE(br->children().empty());
+}
+
+TEST(ParserTest, ImpliedEndTags) {
+  const auto doc = parse("<ul><li>a<li>b<li>c</ul>");
+  const auto lis = doc.find_all("li");
+  ASSERT_EQ(lis.size(), 3u);
+  // Siblings, not nested.
+  EXPECT_EQ(lis[0]->parent(), lis[1]->parent());
+  EXPECT_EQ(lis[0]->text_content(), "a");
+}
+
+TEST(ParserTest, UnmatchedEndTagDropped) {
+  const auto doc = parse("<div>a</span>b</div>");
+  EXPECT_EQ(doc.find_first("div")->text_content(), "ab");
+}
+
+TEST(ParserTest, UnclosedElementsClosedAtEof) {
+  const auto doc = parse("<div><p>text");
+  EXPECT_NE(doc.find_first("p"), nullptr);
+  EXPECT_EQ(doc.find_first("p")->text_content(), "text");
+}
+
+TEST(ParserTest, Title) {
+  const auto doc =
+      parse("<html><head><title>My Page</title></head><body></body></html>");
+  EXPECT_EQ(doc.title(), "My Page");
+  EXPECT_EQ(parse("<p>no title</p>").title(), "");
+}
+
+TEST(ParserTest, AttributeAccessors) {
+  const auto doc = parse("<a id=\"link1\" href=\"/x\">t</a>");
+  const auto* a = doc.find_first("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->has_attribute("id"));
+  EXPECT_FALSE(a->has_attribute("class"));
+  EXPECT_EQ(a->attribute("href"), "/x");
+  EXPECT_EQ(a->attribute("missing"), std::nullopt);
+  EXPECT_EQ(a->attribute_or("missing", "dflt"), "dflt");
+}
+
+TEST(ParserTest, ClosestAncestor) {
+  const auto doc = parse("<form id=\"f\"><div><button>go</button></div></form>");
+  const auto* button = doc.find_first("button");
+  ASSERT_NE(button, nullptr);
+  const auto* form = button->closest_ancestor("form");
+  ASSERT_NE(form, nullptr);
+  EXPECT_EQ(form->attribute_or("id"), "f");
+  EXPECT_EQ(button->closest_ancestor("table"), nullptr);
+}
+
+TEST(ParserTest, SerializeRoundTripsStructure) {
+  const std::string markup =
+      "<div class=\"a\"><p>x &amp; y</p><br><a href=\"/z\">link</a></div>";
+  const auto doc = parse(markup);
+  const std::string serialized = serialize(doc.root());
+  // Re-parse of the serialization must be structurally identical.
+  const auto doc2 = parse(serialized);
+  EXPECT_EQ(serialize(doc2.root()), serialized);
+  EXPECT_EQ(doc2.find_first("p")->text_content(), "x & y");
+}
+
+TEST(ParserTest, AllElementsPreOrder) {
+  const auto doc = parse("<a><b></b><c><d></d></c></a>");
+  const auto all = doc.root().all_elements();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0]->tag(), "a");
+  EXPECT_EQ(all[1]->tag(), "b");
+  EXPECT_EQ(all[2]->tag(), "c");
+  EXPECT_EQ(all[3]->tag(), "d");
+}
+
+// ---------------------------------------------------------- interactables
+
+TEST(InteractablesTest, ExtractsLinks) {
+  const auto doc = parse(
+      "<a href=\"/one\">One</a>"
+      "<a href=\"#frag\">skip</a>"
+      "<a href=\"javascript:void(0)\">skip</a>"
+      "<a href=\"mailto:x@y\">skip</a>"
+      "<a>no href</a>"
+      "<a href=\"/two\" id=\"l2\">  Two  </a>");
+  const auto items = extract_interactables(doc);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].kind, InteractableKind::kLink);
+  EXPECT_EQ(items[0].target, "/one");
+  EXPECT_EQ(items[0].text, "One");
+  EXPECT_EQ(items[1].target, "/two");
+  EXPECT_EQ(items[1].id, "l2");
+  EXPECT_EQ(items[1].text, "Two");  // trimmed
+}
+
+TEST(InteractablesTest, ExtractsFormWithFields) {
+  const auto doc = parse(
+      "<form action=\"/submit\" method=\"post\" id=\"f1\">"
+      "<input type=\"text\" name=\"user\" value=\"admin\">"
+      "<input type=\"hidden\" name=\"csrf\" value=\"tok\">"
+      "<select name=\"color\"><option value=\"r\">red</option>"
+      "<option value=\"g\" selected>green</option></select>"
+      "<textarea name=\"bio\">hi</textarea>"
+      "<button name=\"do\" value=\"save\">Save</button>"
+      "</form>");
+  const auto items = extract_interactables(doc);
+  ASSERT_EQ(items.size(), 1u);
+  const auto& form = items[0];
+  EXPECT_EQ(form.kind, InteractableKind::kForm);
+  EXPECT_EQ(form.target, "/submit");
+  EXPECT_EQ(form.method, "POST");
+  EXPECT_EQ(form.id, "f1");
+  ASSERT_EQ(form.fields.size(), 5u);
+  EXPECT_EQ(form.fields[0].name, "user");
+  EXPECT_EQ(form.fields[0].value, "admin");
+  EXPECT_EQ(form.fields[1].type, "hidden");
+  EXPECT_EQ(form.fields[2].type, "select");
+  EXPECT_EQ(form.fields[2].value, "g");  // selected option
+  ASSERT_EQ(form.fields[2].options.size(), 2u);
+  EXPECT_EQ(form.fields[3].type, "textarea");
+  EXPECT_EQ(form.fields[3].value, "hi");
+  EXPECT_EQ(form.fields[4].type, "submit");  // named button
+  EXPECT_EQ(form.text, "Save");
+}
+
+TEST(InteractablesTest, FormMethodDefaultsToGet) {
+  const auto doc = parse("<form action=\"/s\"><input name=\"q\"></form>");
+  const auto items = extract_interactables(doc);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].method, "GET");
+}
+
+TEST(InteractablesTest, ButtonInsideFormIsNotSeparate) {
+  const auto doc =
+      parse("<form action=\"/s\"><button>Go</button></form>");
+  const auto items = extract_interactables(doc);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].kind, InteractableKind::kForm);
+}
+
+TEST(InteractablesTest, StandaloneButtonWithFormaction) {
+  const auto doc = parse(
+      "<button formaction=\"/checkout\" formmethod=\"post\">Buy</button>"
+      "<button>inert</button>");
+  const auto items = extract_interactables(doc);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].kind, InteractableKind::kButton);
+  EXPECT_EQ(items[0].target, "/checkout");
+  EXPECT_EQ(items[0].method, "POST");
+  EXPECT_EQ(items[0].text, "Buy");
+}
+
+TEST(InteractablesTest, HiddenElementsSkipped) {
+  const auto doc = parse(
+      "<a href=\"/visible\">v</a>"
+      "<a href=\"/hidden\" hidden>h</a>"
+      "<div style=\"display:none\"><a href=\"/nested\">n</a></div>"
+      "<div style=\"display: none\"><form action=\"/f\"></form></div>");
+  const auto items = extract_interactables(doc);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].target, "/visible");
+}
+
+TEST(InteractablesTest, DocumentOrderPreserved) {
+  const auto doc = parse(
+      "<a href=\"/1\">1</a><form action=\"/2\"></form><a href=\"/3\">3</a>");
+  const auto items = extract_interactables(doc);
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].target, "/1");
+  EXPECT_EQ(items[1].target, "/2");
+  EXPECT_EQ(items[2].target, "/3");
+}
+
+TEST(InteractablesTest, TagSequence) {
+  const auto doc = parse("<div><p>a</p><a href=\"/x\">b</a></div>");
+  const auto tags = tag_sequence(doc);
+  ASSERT_EQ(tags.size(), 3u);
+  EXPECT_EQ(tags[0], "div");
+  EXPECT_EQ(tags[1], "p");
+  EXPECT_EQ(tags[2], "a");
+}
+
+TEST(InteractablesTest, QExploreHashStableForSameInteractables) {
+  // Different text content, same interactables -> same state hash.
+  const auto a = parse("<p>alpha</p><a href=\"/x\" id=\"l\">go</a>");
+  const auto b = parse("<p>beta beta</p><a href=\"/x\" id=\"l\">go</a>");
+  EXPECT_EQ(qexplore_state_hash(a), qexplore_state_hash(b));
+}
+
+TEST(InteractablesTest, QExploreHashChangesWhenInteractablesChange) {
+  const auto a = parse("<a href=\"/x\">go</a>");
+  const auto b = parse("<a href=\"/x\">go</a><a href=\"/y\">new</a>");
+  EXPECT_NE(qexplore_state_hash(a), qexplore_state_hash(b));
+}
+
+TEST(InteractablesTest, AttributeDigestDiffersByTarget) {
+  Interactable x;
+  x.kind = InteractableKind::kLink;
+  x.target = "/a";
+  Interactable y = x;
+  y.target = "/b";
+  EXPECT_NE(x.attribute_digest(), y.attribute_digest());
+  EXPECT_EQ(x.attribute_digest(), x.attribute_digest());
+}
+
+}  // namespace
+}  // namespace mak::html

@@ -1,0 +1,139 @@
+// End-to-end integration tests: whole experiments at reduced scale,
+// asserting the paper's qualitative claims hold on this build.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "harness/aggregate.h"
+#include "harness/experiment.h"
+
+namespace mak::harness {
+namespace {
+
+const apps::AppInfo& info_of(const std::string& name) {
+  for (const auto& info : apps::app_catalog()) {
+    if (info.name == name) return info;
+  }
+  throw std::runtime_error("unknown app " + name);
+}
+
+RunConfig ten_minute_config(std::uint64_t seed) {
+  RunConfig config;
+  config.budget = 10 * support::kMillisPerMinute;
+  config.sample_interval = 30 * support::kMillisPerSecond;
+  config.seed = seed;
+  return config;
+}
+
+// Mean covered lines over `reps` runs.
+double mean_lines(const std::string& app, CrawlerKind kind, std::size_t reps,
+                  std::uint64_t seed = 0xfeed) {
+  return mean_covered(
+      run_repeated(info_of(app), kind, ten_minute_config(seed), reps));
+}
+
+TEST(IntegrationTest, MakBeatsQLearningBaselinesOnSmallApp) {
+  const double mak = mean_lines("AddressBook", CrawlerKind::kMak, 3);
+  const double webexplor = mean_lines("AddressBook", CrawlerKind::kWebExplor, 3);
+  const double qexplore = mean_lines("AddressBook", CrawlerKind::kQExplore, 3);
+  EXPECT_GT(mak, webexplor);
+  EXPECT_GT(mak, qexplore);
+}
+
+TEST(IntegrationTest, MakBeatsQLearningBaselinesOnLargeApp) {
+  const double mak = mean_lines("Drupal", CrawlerKind::kMak, 2);
+  const double webexplor = mean_lines("Drupal", CrawlerKind::kWebExplor, 2);
+  const double qexplore = mean_lines("Drupal", CrawlerKind::kQExplore, 2);
+  EXPECT_GT(mak, webexplor);
+  EXPECT_GT(mak, qexplore);
+}
+
+TEST(IntegrationTest, DfsIsTheWorstStaticStrategyOnTrapApps) {
+  // Matomo's calendar and module mesh punish pure depth-first chaining.
+  const double dfs = mean_lines("Matomo", CrawlerKind::kDfs, 2);
+  const double bfs = mean_lines("Matomo", CrawlerKind::kBfs, 2);
+  EXPECT_GT(bfs, dfs);
+}
+
+TEST(IntegrationTest, MakIsCloseToTheBestStaticArm) {
+  // On any app, MAK must land within 20% of its best static arm even at a
+  // reduced 10-minute budget (the full-budget gap is much smaller).
+  for (const char* app : {"Vanilla", "OsCommerce2"}) {
+    const double mak = mean_lines(app, CrawlerKind::kMak, 2);
+    double best_static = 0.0;
+    for (const CrawlerKind kind :
+         {CrawlerKind::kBfs, CrawlerKind::kDfs, CrawlerKind::kRandom}) {
+      best_static = std::max(best_static, mean_lines(app, kind, 2));
+    }
+    EXPECT_GT(mak, 0.8 * best_static) << app;
+  }
+}
+
+TEST(IntegrationTest, StandardizedRewardBeatsCuriosityRewardOnTrapApp) {
+  // WordPress: search + calendar traps make curiosity-guided arm choice
+  // inferior to the link-coverage reward.
+  const double standardized = mean_lines("WordPress", CrawlerKind::kMak, 2);
+  const double curiosity =
+      mean_lines("WordPress", CrawlerKind::kMakCuriosityReward, 2);
+  // Soft assertion: allow a small margin for noise at reduced scale.
+  EXPECT_GT(standardized, 0.9 * curiosity);
+}
+
+TEST(IntegrationTest, LeveledDequeBeatsFlatDeque) {
+  const double leveled = mean_lines("Drupal", CrawlerKind::kMak, 2);
+  const double flat = mean_lines("Drupal", CrawlerKind::kMakFlatDeque, 2);
+  EXPECT_GT(leveled, 0.95 * flat);
+}
+
+TEST(IntegrationTest, InteractionCountsAreComparable) {
+  // Section V-D: the coverage advantage must not come from doing many more
+  // interactions.
+  const auto mak =
+      run_repeated(info_of("HotCRP"), CrawlerKind::kMak,
+                   ten_minute_config(0xabc), 2);
+  const auto webexplor =
+      run_repeated(info_of("HotCRP"), CrawlerKind::kWebExplor,
+                   ten_minute_config(0xabc), 2);
+  const double mak_mean = mean_interactions(mak);
+  const double webexplor_mean = mean_interactions(webexplor);
+  EXPECT_LT(std::abs(mak_mean - webexplor_mean),
+            0.35 * std::max(mak_mean, webexplor_mean));
+}
+
+TEST(IntegrationTest, GroundTruthUnionDominatesEveryRun) {
+  std::vector<std::vector<RunResult>> all;
+  for (const CrawlerKind kind :
+       {CrawlerKind::kMak, CrawlerKind::kWebExplor}) {
+    all.push_back(
+        run_repeated(info_of("Vanilla"), kind, ten_minute_config(0x77), 2));
+  }
+  const std::size_t truth = estimate_ground_truth(all);
+  for (const auto& runs : all) {
+    for (const auto& run : runs) {
+      EXPECT_LE(run.final_covered_lines, truth);
+    }
+  }
+}
+
+TEST(IntegrationTest, NodeAppCoverageIsBoundedByReachableCode) {
+  const auto run = run_once(info_of("Actual"), CrawlerKind::kMak,
+                            ten_minute_config(0x99));
+  // coverage-node semantics: the declared total includes unreachable dead
+  // code, so coverage stays clearly below 100%.
+  EXPECT_LT(static_cast<double>(run.final_covered_lines),
+            0.8 * static_cast<double>(run.total_lines));
+}
+
+TEST(IntegrationTest, LongerBudgetsNeverReduceCoverage) {
+  RunConfig short_config = ten_minute_config(5);
+  short_config.budget = 3 * support::kMillisPerMinute;
+  RunConfig long_config = ten_minute_config(5);
+  const auto short_run =
+      run_once(info_of("PhpBB2"), CrawlerKind::kBfs, short_config);
+  const auto long_run =
+      run_once(info_of("PhpBB2"), CrawlerKind::kBfs, long_config);
+  EXPECT_GE(long_run.final_covered_lines, short_run.final_covered_lines);
+}
+
+}  // namespace
+}  // namespace mak::harness

@@ -1,0 +1,237 @@
+// Randomized property tests: generated inputs, seeded and deterministic.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "apps/catalog.h"
+#include "core/site_mapper.h"
+#include "harness/experiment.h"
+#include "html/entities.h"
+#include "html/interactables.h"
+#include "html/parser.h"
+#include "httpsim/network.h"
+#include "support/rng.h"
+#include "url/url.h"
+
+namespace mak {
+namespace {
+
+// ------------------------------------------------------------- URL fuzzing
+
+std::string random_url_text(support::Rng& rng) {
+  static const char* kSchemes[] = {"http", "https", ""};
+  static const char* kHosts[] = {"a.test", "x.example.com", "localhost", ""};
+  static const char* kSegments[] = {"a", "b", "index.php", "p%20q", ".",
+                                    "..", "very-long-segment-name", "0"};
+  std::string out;
+  const char* scheme = kSchemes[rng.next_below(3)];
+  const char* host = kHosts[rng.next_below(4)];
+  if (*scheme != '\0' && *host != '\0') {
+    out += scheme;
+    out += "://";
+    out += host;
+    if (rng.chance(0.3)) out += ":" + std::to_string(rng.next_below(65536));
+  }
+  const std::size_t segments = rng.next_below(5);
+  for (std::size_t i = 0; i < segments; ++i) {
+    out += "/";
+    out += kSegments[rng.next_below(8)];
+  }
+  if (rng.chance(0.5)) {
+    out += "?";
+    const std::size_t params = 1 + rng.next_below(3);
+    for (std::size_t i = 0; i < params; ++i) {
+      if (i > 0) out += "&";
+      out += "k" + std::to_string(i) + "=v" + std::to_string(rng.next_below(10));
+    }
+  }
+  if (rng.chance(0.3)) out += "#frag" + std::to_string(rng.next_below(5));
+  return out;
+}
+
+class UrlFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UrlFuzzTest, ParseSerializeIsIdempotent) {
+  support::Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const std::string text = random_url_text(rng);
+    const auto parsed = url::parse(text);
+    if (!parsed.has_value()) continue;
+    const std::string serialized = parsed->to_string();
+    const auto reparsed = url::parse(serialized);
+    ASSERT_TRUE(reparsed.has_value()) << serialized;
+    // Fixpoint: serialize(parse(serialize(u))) == serialize(u).
+    EXPECT_EQ(reparsed->to_string(), serialized) << "from " << text;
+  }
+}
+
+TEST_P(UrlFuzzTest, NormalizationIsIdempotent) {
+  support::Rng rng(GetParam() ^ 0x1111);
+  for (int i = 0; i < 500; ++i) {
+    const auto parsed = url::parse(random_url_text(rng));
+    if (!parsed.has_value()) continue;
+    const auto once = url::normalized(*parsed);
+    const auto twice = url::normalized(once);
+    EXPECT_EQ(once, twice);
+  }
+}
+
+TEST_P(UrlFuzzTest, ResolutionProducesAbsoluteUrls) {
+  support::Rng rng(GetParam() ^ 0x2222);
+  const url::Url base = *url::parse("http://base.test/dir/page?x=1");
+  for (int i = 0; i < 500; ++i) {
+    const auto resolved = url::resolve(base, random_url_text(rng));
+    if (!resolved.has_value()) continue;
+    EXPECT_TRUE(resolved->is_absolute());
+    EXPECT_FALSE(resolved->host.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UrlFuzzTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+// ------------------------------------------------------------ HTML fuzzing
+
+std::string random_markup(support::Rng& rng, std::size_t length) {
+  static const char* kChunks[] = {
+      "<div>",  "</div>",  "<p>",       "</p>",      "<a href=\"/x\">",
+      "</a>",   "<br>",    "<input ",   "name=\"n\"", ">",
+      "<",      ">",       "&amp;",     "&#65;",     "&bogus;",
+      "text ",  "\"",      "'",         "<form action=\"/f\">", "</form>",
+      "<!---",  "-->",     "<script>",  "</script>", "<ul><li>x",
+      "=",      "attr",    " ",         "</",        "<!DOCTYPE html>",
+  };
+  std::string out;
+  for (std::size_t i = 0; i < length; ++i) {
+    out += kChunks[rng.next_below(sizeof(kChunks) / sizeof(kChunks[0]))];
+  }
+  return out;
+}
+
+class HtmlFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HtmlFuzzTest, ParserNeverCrashesOnTagSoup) {
+  support::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const std::string markup = random_markup(rng, 1 + rng.next_below(60));
+    ASSERT_NO_THROW({
+      const auto doc = html::parse(markup);
+      (void)html::extract_interactables(doc);
+      (void)html::tag_sequence(doc);
+      (void)html::qexplore_state_hash(doc);
+    }) << markup;
+  }
+}
+
+TEST_P(HtmlFuzzTest, SerializeParseReachesFixpoint) {
+  support::Rng rng(GetParam() ^ 0x3333);
+  for (int i = 0; i < 200; ++i) {
+    const std::string markup = random_markup(rng, 1 + rng.next_below(40));
+    const auto doc = html::parse(markup);
+    const std::string once = html::serialize(doc.root());
+    const std::string twice = html::serialize(html::parse(once).root());
+    EXPECT_EQ(once, twice) << "from " << markup;
+  }
+}
+
+TEST_P(HtmlFuzzTest, EntityRoundTripOnRandomText) {
+  support::Rng rng(GetParam() ^ 0x4444);
+  for (int i = 0; i < 500; ++i) {
+    std::string text;
+    const std::size_t length = rng.next_below(50);
+    for (std::size_t c = 0; c < length; ++c) {
+      text += static_cast<char>(32 + rng.next_below(95));  // printable ASCII
+    }
+    EXPECT_EQ(html::unescape(html::escape(text)), text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HtmlFuzzTest,
+                         ::testing::Values(7u, 17u, 27u));
+
+// ----------------------------------------------------------- site mapping
+
+TEST(SiteMapperTest, MapsSmallAppCompletely) {
+  auto app = apps::make_app("AddressBook");
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  network.register_host(app->host(), *app);
+  const auto site = core::map_site(network, app->seed_url());
+  EXPECT_FALSE(site.reached_cap);
+  EXPECT_GT(site.pages_visited, 50u);
+  EXPECT_GT(site.forms_seen, 0u);
+  EXPECT_EQ(site.error_pages, 0u);
+  // Depth histogram accounts for every visited page.
+  std::size_t total = 0;
+  for (const auto& [depth, count] : site.pages_per_depth) total += count;
+  EXPECT_EQ(total, site.pages_visited);
+}
+
+TEST(SiteMapperTest, CapStopsTrapSites) {
+  auto app = apps::make_app("WordPress");  // unbounded calendar URLs
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  network.register_host(app->host(), *app);
+  core::SiteMapperConfig config;
+  config.max_pages = 300;
+  const auto site = core::map_site(network, app->seed_url(), config);
+  EXPECT_TRUE(site.reached_cap);
+  EXPECT_EQ(site.pages_visited, 300u);
+}
+
+TEST(SiteMapperTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    auto app = apps::make_app("Vanilla");
+    support::SimClock clock;
+    httpsim::Network network(clock);
+    network.register_host(app->host(), *app);
+    return core::map_site(network, app->seed_url());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.pages_visited, b.pages_visited);
+  EXPECT_EQ(a.max_depth, b.max_depth);
+  EXPECT_EQ(a.coverable_lines, b.coverable_lines);
+}
+
+// ---------------------------------------- determinism across all crawlers
+
+struct DeterminismCase {
+  const char* app;
+  harness::CrawlerKind kind;
+};
+
+class CrawlDeterminismTest
+    : public ::testing::TestWithParam<DeterminismCase> {};
+
+TEST_P(CrawlDeterminismTest, SameSeedSameOutcome) {
+  harness::RunConfig config;
+  config.budget = 4 * support::kMillisPerMinute;
+  config.seed = 0xd5ee;
+  const apps::AppInfo* info = nullptr;
+  for (const auto& candidate : apps::app_catalog()) {
+    if (candidate.name == GetParam().app) info = &candidate;
+  }
+  ASSERT_NE(info, nullptr);
+  const auto a = harness::run_once(*info, GetParam().kind, config);
+  const auto b = harness::run_once(*info, GetParam().kind, config);
+  EXPECT_EQ(a.final_covered_lines, b.final_covered_lines);
+  EXPECT_EQ(a.interactions, b.interactions);
+  EXPECT_EQ(a.links_discovered, b.links_discovered);
+  EXPECT_EQ(a.series.points().size(), b.series.points().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CrawlDeterminismTest,
+    ::testing::Values(
+        DeterminismCase{"Vanilla", harness::CrawlerKind::kMak},
+        DeterminismCase{"Vanilla", harness::CrawlerKind::kWebExplor},
+        DeterminismCase{"Vanilla", harness::CrawlerKind::kQExplore},
+        DeterminismCase{"HotCRP", harness::CrawlerKind::kBfs},
+        DeterminismCase{"HotCRP", harness::CrawlerKind::kDfs},
+        DeterminismCase{"HotCRP", harness::CrawlerKind::kRandom},
+        DeterminismCase{"PhpBB2", harness::CrawlerKind::kMakUcb1},
+        DeterminismCase{"PhpBB2", harness::CrawlerKind::kMakFlatDeque}));
+
+}  // namespace
+}  // namespace mak

@@ -1,0 +1,402 @@
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "rl/epsilon_greedy.h"
+#include "rl/exp3.h"
+#include "rl/qlearning.h"
+#include "rl/reward.h"
+#include "support/stats.h"
+
+namespace mak::rl {
+namespace {
+
+// ------------------------------------------------------------------- Exp3
+
+TEST(Exp3Test, InitialPolicyIsUniform) {
+  Exp3 policy(4, 0.2);
+  const auto probs = policy.probabilities();
+  ASSERT_EQ(probs.size(), 4u);
+  for (double p : probs) EXPECT_NEAR(p, 0.25, 1e-12);
+}
+
+TEST(Exp3Test, ProbabilitiesSumToOne) {
+  Exp3 policy(3, 0.1);
+  support::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    policy.update(policy.choose(rng), rng.uniform01());
+    double sum = 0.0;
+    for (double p : policy.probabilities()) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Exp3Test, ExplorationFloor) {
+  Exp3 policy(3, 0.3);
+  // Hammer one arm with max reward; the others keep the gamma/K floor.
+  for (int i = 0; i < 500; ++i) policy.update(0, 1.0);
+  const auto probs = policy.probabilities();
+  EXPECT_GE(probs[1], 0.3 / 3 - 1e-12);
+  EXPECT_GE(probs[2], 0.3 / 3 - 1e-12);
+  // The dominant arm converges to its cap (1 - gamma) + gamma/K = 0.8.
+  EXPECT_NEAR(probs[0], 0.8, 1e-6);
+}
+
+TEST(Exp3Test, RewardValidation) {
+  Exp3 policy(2, 0.1);
+  EXPECT_THROW(policy.update(0, -0.1), std::invalid_argument);
+  EXPECT_THROW(policy.update(0, 1.1), std::invalid_argument);
+  EXPECT_THROW(policy.update(5, 0.5), std::out_of_range);
+  EXPECT_THROW(Exp3(0, 0.1), std::invalid_argument);
+  EXPECT_THROW(Exp3(2, 0.0), std::invalid_argument);
+  EXPECT_THROW(Exp3(2, 1.5), std::invalid_argument);
+}
+
+TEST(Exp3Test, WeightsStayFiniteUnderLongRuns) {
+  Exp3 policy(2, 0.5);
+  for (int i = 0; i < 200000; ++i) policy.update(0, 1.0);
+  const auto probs = policy.probabilities();
+  EXPECT_TRUE(std::isfinite(probs[0]));
+  EXPECT_TRUE(std::isfinite(probs[1]));
+}
+
+TEST(Exp3Test, ResetRestoresUniform) {
+  Exp3 policy(3, 0.1);
+  for (int i = 0; i < 50; ++i) policy.update(0, 1.0);
+  policy.reset();
+  for (double p : policy.probabilities()) EXPECT_NEAR(p, 1.0 / 3, 1e-12);
+}
+
+// ------------------------------------------------------------------ Exp3.1
+
+TEST(Exp31Test, StartsInEpochWithPositiveBound) {
+  Exp31 policy(3);
+  // Epoch m must satisfy g_m - K/gamma_m >= max G = 0.
+  const double k = 3.0;
+  EXPECT_GE(policy.gain_target() - k / policy.gamma(), 0.0);
+  EXPECT_GT(policy.epoch(), 0u);  // epochs 0 (and possibly 1) are skipped
+}
+
+TEST(Exp31Test, GammaFollowsSchedule) {
+  Exp31 policy(3);
+  const double k = 3.0;
+  const double k_ln_k = k * std::log(k);
+  const double expected_g = k_ln_k / (std::numbers::e - 1.0) *
+                            std::pow(4.0, static_cast<double>(policy.epoch()));
+  EXPECT_NEAR(policy.gain_target(), expected_g, 1e-9);
+  const double expected_gamma =
+      std::min(1.0, std::sqrt(k_ln_k / ((std::numbers::e - 1.0) * expected_g)));
+  EXPECT_NEAR(policy.gamma(), expected_gamma, 1e-12);
+}
+
+TEST(Exp31Test, EpochsAdvanceAsGainsAccumulate) {
+  Exp31 policy(3);
+  support::Rng rng(2);
+  const std::size_t initial_epoch = policy.epoch();
+  for (int i = 0; i < 5000; ++i) {
+    policy.update(policy.choose(rng), 1.0);
+  }
+  EXPECT_GT(policy.epoch(), initial_epoch);
+  // Invariant: the epoch's while-condition holds after every update.
+  const double max_gain = *std::max_element(policy.estimated_gains().begin(),
+                                            policy.estimated_gains().end());
+  EXPECT_LE(max_gain, policy.gain_target() - 3.0 / policy.gamma());
+}
+
+TEST(Exp31Test, EpochBoundaryResetsWeightsToUniformPolicy) {
+  Exp31 policy(2);
+  support::Rng rng(3);
+  const std::size_t epoch_before = policy.epoch();
+  std::size_t updates = 0;
+  // Push arm 0 until an epoch boundary fires.
+  while (policy.epoch() == epoch_before && updates < 100000) {
+    policy.update(0, 1.0);
+    ++updates;
+  }
+  ASSERT_GT(policy.epoch(), epoch_before);
+  // Weights were reset: the policy is uniform again (weights all 1).
+  const auto probs = policy.probabilities();
+  EXPECT_NEAR(probs[0], probs[1], 1e-9);
+}
+
+TEST(Exp31Test, ConvergesToBestArmOnStationaryBandit) {
+  Exp31 policy(3);
+  support::Rng rng(4);
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t arm = policy.choose(rng);
+    const double reward = arm == 1 ? (rng.chance(0.8) ? 1.0 : 0.0)
+                                   : (rng.chance(0.2) ? 1.0 : 0.0);
+    policy.update(arm, reward);
+  }
+  const auto probs = policy.probabilities();
+  EXPECT_GT(probs[1], 0.55);
+}
+
+TEST(Exp31Test, AdaptsToRewardShift) {
+  // Arm 0 good for the first half, arm 2 good for the second: the final
+  // policy must favour arm 2 (adversarial tracking via epoch resets).
+  Exp31 policy(3);
+  support::Rng rng(5);
+  for (int i = 0; i < 30000; ++i) {
+    const std::size_t arm = policy.choose(rng);
+    const std::size_t good = i < 15000 ? 0u : 2u;
+    const double reward = arm == good ? (rng.chance(0.9) ? 1.0 : 0.0)
+                                      : (rng.chance(0.1) ? 1.0 : 0.0);
+    policy.update(arm, reward);
+  }
+  const auto probs = policy.probabilities();
+  EXPECT_GT(probs[2], probs[0]);
+}
+
+TEST(Exp31Test, RewardValidation) {
+  Exp31 policy(3);
+  EXPECT_THROW(policy.update(0, 2.0), std::invalid_argument);
+  EXPECT_THROW(policy.update(9, 0.5), std::out_of_range);
+  EXPECT_THROW(Exp31(0), std::invalid_argument);
+}
+
+TEST(Exp31Test, ResetClearsGainsAndEpoch) {
+  Exp31 policy(3);
+  support::Rng rng(6);
+  for (int i = 0; i < 1000; ++i) policy.update(policy.choose(rng), 1.0);
+  const Exp31 fresh(3);
+  policy.reset();
+  EXPECT_EQ(policy.epoch(), fresh.epoch());
+  for (double g : policy.estimated_gains()) EXPECT_EQ(g, 0.0);
+}
+
+// Parameterized: basic invariants across arm counts.
+class Exp31ArmCountTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Exp31ArmCountTest, PoliciesAreValidDistributions) {
+  Exp31 policy(GetParam());
+  support::Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const std::size_t arm = policy.choose(rng);
+    EXPECT_LT(arm, GetParam());
+    policy.update(arm, rng.uniform01());
+    double sum = 0.0;
+    for (double p : policy.probabilities()) {
+      EXPECT_GT(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ArmCounts, Exp31ArmCountTest,
+                         ::testing::Values(2u, 3u, 5u, 8u, 16u));
+
+// ---------------------------------------------------------- EpsilonGreedy
+
+TEST(EpsilonGreedyTest, ExploitsBestArm) {
+  EpsilonGreedy policy(3, 0.0);
+  support::Rng rng(8);
+  policy.update(0, 0.2);
+  policy.update(1, 0.9);
+  policy.update(2, 0.1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(policy.choose(rng), 1u);
+    policy.update(1, 0.9);
+  }
+}
+
+TEST(EpsilonGreedyTest, TriesUnvisitedArmsFirst) {
+  EpsilonGreedy policy(3, 0.0);
+  support::Rng rng(9);
+  EXPECT_EQ(policy.choose(rng), 0u);
+  policy.update(0, 1.0);
+  EXPECT_EQ(policy.choose(rng), 1u);
+  policy.update(1, 0.0);
+  EXPECT_EQ(policy.choose(rng), 2u);
+}
+
+TEST(EpsilonGreedyTest, ProbabilitiesReflectEpsilon) {
+  EpsilonGreedy policy(4, 0.2);
+  policy.update(2, 1.0);
+  policy.update(0, 0.1);
+  policy.update(1, 0.1);
+  policy.update(3, 0.1);
+  const auto probs = policy.probabilities();
+  EXPECT_NEAR(probs[2], 0.8 + 0.05, 1e-12);
+  EXPECT_NEAR(probs[0], 0.05, 1e-12);
+}
+
+TEST(EpsilonGreedyTest, Validation) {
+  EXPECT_THROW(EpsilonGreedy(0, 0.1), std::invalid_argument);
+  EXPECT_THROW(EpsilonGreedy(2, -0.1), std::invalid_argument);
+  EpsilonGreedy policy(2, 0.1);
+  EXPECT_THROW(policy.update(0, 1.5), std::invalid_argument);
+  EXPECT_THROW(policy.update(7, 0.5), std::out_of_range);
+}
+
+// --------------------------------------------------------------- QTable
+
+TEST(QTableTest, DefaultsToInitialQ) {
+  QTable table({.alpha = 0.5, .gamma = 0.6, .initial_q = 3.0});
+  EXPECT_EQ(table.q(1, 0), 3.0);
+  EXPECT_EQ(table.max_q(99), 3.0);
+  EXPECT_FALSE(table.knows(1));
+  table.touch(1, 4);
+  EXPECT_TRUE(table.knows(1));
+  EXPECT_EQ(table.action_count(1), 4u);
+}
+
+TEST(QTableTest, BellmanUpdateExact) {
+  QTable table({.alpha = 0.5, .gamma = 0.6, .initial_q = 1.0});
+  table.touch(2, 1);
+  table.set_q(2, 0, 2.0);  // max_q(s') = 2
+  table.touch(1, 1);
+  table.bellman_update(1, 0, 0.5, 2);
+  // Q = 1 + 0.5 * (0.5 + 0.6*2 - 1) = 1.35
+  EXPECT_NEAR(table.q(1, 0), 1.35, 1e-12);
+}
+
+TEST(QTableTest, ActionGuidedUpdateIsContractive) {
+  QTable table({.alpha = 1.0, .gamma = 0.9, .initial_q = 1.0});
+  // Self-loop with maximum action richness: the fixed point must stay
+  // finite because gamma * richness < 1.
+  for (int i = 0; i < 10000; ++i) {
+    table.action_guided_update(1, 0, 1.0, 1, 1000000);
+  }
+  EXPECT_LT(table.q(1, 0), 20.0);
+  EXPECT_TRUE(std::isfinite(table.q(1, 0)));
+}
+
+TEST(QTableTest, ActionGuidedPrefersActionRichSuccessors) {
+  QTable table({.alpha = 1.0, .gamma = 0.6, .initial_q = 1.0});
+  table.touch(10, 1);
+  table.touch(20, 1);
+  table.action_guided_update(1, 0, 0.0, 10, 1);   // poor successor
+  table.action_guided_update(1, 1, 0.0, 20, 50);  // rich successor
+  EXPECT_GT(table.q(1, 1), table.q(1, 0));
+}
+
+TEST(QTableTest, RowGrowsOnDemand) {
+  QTable table;
+  table.touch(5, 2);
+  table.touch(5, 6);
+  EXPECT_EQ(table.action_count(5), 6u);
+  table.touch(5, 3);  // never shrinks
+  EXPECT_EQ(table.action_count(5), 6u);
+}
+
+TEST(QTableTest, ArgmaxPicksHighest) {
+  QTable table({.alpha = 0.5, .gamma = 0.6, .initial_q = 0.0});
+  support::Rng rng(10);
+  table.set_q(1, 0, 0.2);
+  table.set_q(1, 1, 0.9);
+  table.set_q(1, 2, 0.5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(table.argmax_action(1, 3, rng), 1u);
+  }
+  EXPECT_THROW(table.argmax_action(1, 0, rng), std::invalid_argument);
+}
+
+TEST(QTableTest, ArgmaxBreaksTiesUniformly) {
+  QTable table({.alpha = 0.5, .gamma = 0.6, .initial_q = 1.0});
+  support::Rng rng(11);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 3000; ++i) {
+    ++counts[table.argmax_action(7, 3, rng)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+// --------------------------------------------------------- Gumbel-softmax
+
+TEST(GumbelSoftmaxTest, LowTemperatureIsGreedy) {
+  support::Rng rng(12);
+  const std::vector<double> q = {0.1, 2.0, 0.3};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gumbel_softmax_choice(q, 0.01, rng), 1u);
+  }
+}
+
+TEST(GumbelSoftmaxTest, MatchesSoftmaxDistribution) {
+  support::Rng rng(13);
+  const std::vector<double> q = {0.0, 1.0};
+  const double tau = 1.0;
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (gumbel_softmax_choice(q, tau, rng) == 1u) ++ones;
+  }
+  const double expected = std::exp(1.0) / (1.0 + std::exp(1.0));  // ~0.731
+  EXPECT_NEAR(static_cast<double>(ones) / n, expected, 0.02);
+}
+
+TEST(GumbelSoftmaxTest, Validation) {
+  support::Rng rng(14);
+  EXPECT_THROW(gumbel_softmax_choice({}, 1.0, rng), std::invalid_argument);
+  EXPECT_THROW(gumbel_softmax_choice({1.0}, 0.0, rng), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- rewards
+
+TEST(StandardizedRewardTest, OutputsInUnitInterval) {
+  StandardizedReward reward;
+  support::Rng rng(15);
+  for (int i = 0; i < 1000; ++i) {
+    const double r = reward.shape(rng.uniform(0, 50));
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(StandardizedRewardTest, FirstPositiveIncrementIsOptimistic) {
+  StandardizedReward reward;
+  EXPECT_NEAR(reward.shape(5.0), support::logistic(1.0), 1e-12);
+}
+
+TEST(StandardizedRewardTest, FirstZeroIncrementIsNeutral) {
+  StandardizedReward reward;
+  EXPECT_NEAR(reward.shape(0.0), 0.5, 1e-12);
+}
+
+TEST(StandardizedRewardTest, AboveMeanBeatsBelowMean) {
+  StandardizedReward reward;
+  for (int i = 0; i < 50; ++i) reward.shape(10.0);
+  const double high = reward.shape(30.0);
+  const double low = reward.shape(1.0);
+  EXPECT_GT(high, 0.5);
+  EXPECT_LT(low, 0.5);
+}
+
+TEST(StandardizedRewardTest, StagnationMakesSmallGainsValuable) {
+  // After a long run of zeros, even +1 is far above the mean.
+  StandardizedReward reward;
+  for (int i = 0; i < 200; ++i) reward.shape(0.0);
+  EXPECT_GT(reward.shape(1.0), 0.9);
+}
+
+TEST(StandardizedRewardTest, TracksHistory) {
+  StandardizedReward reward;
+  reward.shape(2.0);
+  reward.shape(4.0);
+  EXPECT_EQ(reward.observations(), 2u);
+  EXPECT_NEAR(reward.mean(), 3.0, 1e-12);
+  reward.reset();
+  EXPECT_EQ(reward.observations(), 0u);
+}
+
+TEST(CuriosityRewardTest, DecaysWithVisits) {
+  CuriosityReward curiosity;
+  EXPECT_DOUBLE_EQ(curiosity.visit(7), 1.0);
+  EXPECT_NEAR(curiosity.visit(7), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(curiosity.visit(7), 1.0 / std::sqrt(3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(curiosity.visit(8), 1.0);  // independent keys
+  EXPECT_EQ(curiosity.count(7), 3u);
+  EXPECT_EQ(curiosity.count(99), 0u);
+  EXPECT_EQ(curiosity.distinct_keys(), 2u);
+  curiosity.reset();
+  EXPECT_DOUBLE_EQ(curiosity.visit(7), 1.0);
+}
+
+}  // namespace
+}  // namespace mak::rl

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "apps/catalog.h"
+#include "core/browser.h"
+#include "harness/experiment.h"
+#include "httpsim/network.h"
+#include "scanner/scanner.h"
+
+namespace mak::scanner {
+namespace {
+
+ScanReport scan_app(const char* app_name, std::uint64_t seed,
+                    support::VirtualMillis budget =
+                        10 * support::kMillisPerMinute) {
+  auto app = apps::make_app(app_name);
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  network.register_host(app->host(), *app);
+  support::Rng master(seed);
+  core::Browser browser(network, app->seed_url(), master.fork());
+  auto crawler = harness::make_crawler(harness::CrawlerKind::kMak,
+                                       master.fork());
+  ScannerConfig config;
+  config.crawl_budget = budget;
+  Scanner engine(config);
+  return engine.scan(*crawler, browser, clock);
+}
+
+TEST(InjectionPointTest, KeyIdentity) {
+  InjectionPoint a;
+  a.kind = InjectionPoint::Kind::kQueryParam;
+  a.endpoint = *url::parse("http://h.test/x?q=1");
+  a.method = "GET";
+  a.parameter = "q";
+  InjectionPoint b = a;
+  EXPECT_EQ(a.key(), b.key());
+  b.parameter = "other";
+  EXPECT_NE(a.key(), b.key());
+  InjectionPoint c = a;
+  c.kind = InjectionPoint::Kind::kFormField;
+  EXPECT_NE(a.key(), c.key());
+}
+
+TEST(VulnerabilityKindTest, Names) {
+  EXPECT_EQ(to_string(VulnerabilityKind::kReflectedXss), "reflected-xss");
+  EXPECT_EQ(to_string(VulnerabilityKind::kSqlError), "sql-error");
+}
+
+TEST(ScannerTest, DiscoversSurfaceOnAnyApp) {
+  const auto report = scan_app("AddressBook", 1);
+  EXPECT_GT(report.surface.endpoints.size(), 10u);
+  EXPECT_GT(report.surface.size(), 2u);  // search form + login form at least
+  EXPECT_EQ(report.probes_sent, report.surface.size() * 2);
+  EXPECT_GT(report.crawl_interactions, 50u);
+}
+
+TEST(ScannerTest, FindsReflectedXssInVulnerableSearch) {
+  const auto report = scan_app("WordPress", 2);
+  bool found = false;
+  for (const auto& finding : report.findings) {
+    if (finding.kind == VulnerabilityKind::kReflectedXss &&
+        finding.point.parameter == "q") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "XSS in the WordPress search echo must be detected";
+}
+
+TEST(ScannerTest, FindsSqlErrorInVulnerableForum) {
+  const auto report = scan_app("PhpBB2", 3);
+  bool found = false;
+  for (const auto& finding : report.findings) {
+    if (finding.kind == VulnerabilityKind::kSqlError &&
+        finding.point.parameter == "page") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "SQLi via the board page parameter must be detected";
+}
+
+TEST(ScannerTest, NoFalsePositivesOnSafeApps) {
+  // Drupal/HotCRP escape everything; the scanner must stay silent.
+  for (const char* app : {"Drupal", "HotCRP", "Docmost"}) {
+    const auto report = scan_app(app, 4);
+    EXPECT_TRUE(report.findings.empty())
+        << app << " produced " << report.findings.size() << " findings";
+  }
+}
+
+TEST(ScannerTest, FindingsAreDeduplicated) {
+  const auto report = scan_app("PhpBB2", 5);
+  std::set<std::string> keys;
+  for (const auto& finding : report.findings) {
+    const std::string key =
+        std::string(to_string(finding.kind)) + finding.point.key();
+    EXPECT_TRUE(keys.insert(key).second) << "duplicate finding " << key;
+  }
+}
+
+TEST(ScannerTest, DeterministicForSeed) {
+  const auto a = scan_app("OsCommerce2", 6);
+  const auto b = scan_app("OsCommerce2", 6);
+  EXPECT_EQ(a.surface.size(), b.surface.size());
+  EXPECT_EQ(a.findings.size(), b.findings.size());
+}
+
+TEST(ScannerTest, BiggerBudgetNeverShrinksSurface) {
+  const auto small = scan_app("PhpBB2", 7, 2 * support::kMillisPerMinute);
+  const auto large = scan_app("PhpBB2", 7, 12 * support::kMillisPerMinute);
+  EXPECT_GE(large.surface.size(), small.surface.size());
+  EXPECT_GE(large.surface.endpoints.size(), small.surface.endpoints.size());
+}
+
+}  // namespace
+}  // namespace mak::scanner

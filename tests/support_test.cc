@@ -1,0 +1,389 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/clock.h"
+#include "support/log.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/strings.h"
+
+namespace mak::support {
+namespace {
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(7);
+  Rng fork = a.fork();
+  // The fork must not mirror the parent.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == fork.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowRejectsZero) {
+  Rng rng(3);
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.next_below(7));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntRejectsInvertedBounds) {
+  Rng rng(9);
+  EXPECT_THROW(rng.uniform_int(3, -3), std::invalid_argument);
+}
+
+TEST(RngTest, Uniform01InHalfOpenRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanIsAboutHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(15);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceFrequencyTracksProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(21);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.3);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(23);
+  std::vector<double> weights = {1.0, 3.0, 0.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, WeightedIndexRejectsBadInput) {
+  Rng rng(25);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index({-1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index({}), std::invalid_argument);
+}
+
+TEST(RngTest, ChoiceAndShuffle) {
+  Rng rng(27);
+  const std::vector<int> items = {10, 20, 30};
+  for (int i = 0; i < 50; ++i) {
+    const int c = rng.choice(items);
+    EXPECT_TRUE(c == 10 || c == 20 || c == 30);
+  }
+  std::vector<int> perm = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = perm;
+  rng.shuffle(perm);
+  std::sort(perm.begin(), perm.end());
+  EXPECT_EQ(perm, sorted);
+  const std::vector<int> empty_ok;
+  EXPECT_THROW(rng.choice(empty_ok), std::invalid_argument);
+}
+
+TEST(RngTest, Mix64IsStable) {
+  EXPECT_EQ(mix64(0), mix64(0));
+  EXPECT_NE(mix64(1), mix64(2));
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchComputation) {
+  RunningStats s;
+  const std::vector<double> xs = {1.5, -2.0, 3.25, 0.0, 7.75, -1.25};
+  for (double x : xs) s.add(x);
+  EXPECT_NEAR(s.mean(), mean_of(xs), 1e-12);
+  EXPECT_NEAR(s.stddev(), stddev_of(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.75);
+  EXPECT_NEAR(s.total(), 9.25, 1e-12);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableOnLargeOffsets) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    s.add(1e9 + (i % 2));  // variance 0.25 around 1e9
+  }
+  EXPECT_NEAR(s.variance(), 0.25, 1e-6);
+}
+
+TEST(LogisticTest, StandardValues) {
+  EXPECT_DOUBLE_EQ(logistic(0.0), 0.5);
+  EXPECT_NEAR(logistic(1.0), 1.0 / (1.0 + std::exp(-1.0)), 1e-12);
+  EXPECT_NEAR(logistic(-1.0), 1.0 - logistic(1.0), 1e-12);
+}
+
+TEST(LogisticTest, SaturatesWithoutOverflow) {
+  EXPECT_NEAR(logistic(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(logistic(-1000.0), 0.0, 1e-12);
+}
+
+TEST(LogisticTest, MonotonicallyIncreasing) {
+  double prev = logistic(-10.0);
+  for (double x = -9.5; x <= 10.0; x += 0.5) {
+    const double y = logistic(x);
+    EXPECT_GT(y, prev);
+    prev = y;
+  }
+}
+
+TEST(BatchStatsTest, MedianAndPercentiles) {
+  const std::vector<double> xs = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(median_of(xs), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_of({}, 50), 0.0);
+}
+
+// --------------------------------------------------------------- strings
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, SplitNonemptyDropsEmptyFields) {
+  const auto parts = split_nonempty("/a//b/", '/');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  EXPECT_EQ(join({"x", "y", "z"}, "/"), "x/y/z");
+  EXPECT_EQ(join({}, "/"), "");
+  EXPECT_EQ(join({"only"}, ", "), "only");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("nospace"), "nospace");
+}
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(to_lower("AbC-9"), "abc-9");
+  EXPECT_EQ(to_upper("AbC-9"), "ABC-9");
+  EXPECT_TRUE(iequals("Hello", "hELLO"));
+  EXPECT_FALSE(iequals("Hello", "Hello!"));
+}
+
+TEST(StringsTest, PrefixSuffixContains) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("ar", "bar"));
+  EXPECT_TRUE(contains("foobar", "oba"));
+  EXPECT_FALSE(contains("foobar", "xyz"));
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replace_all("none", "x", "y"), "none");
+  EXPECT_EQ(replace_all("a+b+c", "+", " "), "a b c");
+  EXPECT_EQ(replace_all("abc", "", "x"), "abc");  // empty needle no-op
+}
+
+TEST(StringsTest, Fnv1aIsStableAndSensitive) {
+  EXPECT_EQ(fnv1a("hello"), fnv1a("hello"));
+  EXPECT_NE(fnv1a("hello"), fnv1a("hellp"));
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+}
+
+TEST(StringsTest, FormatThousands) {
+  EXPECT_EQ(format_thousands(0), "0");
+  EXPECT_EQ(format_thousands(999), "999");
+  EXPECT_EQ(format_thousands(1000), "1,000");
+  EXPECT_EQ(format_thousands(50445), "50,445");
+  EXPECT_EQ(format_thousands(-1234567), "-1,234,567");
+}
+
+TEST(StringsTest, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(87.25, 1), "87.2");  // round-to-even banker-ish
+  EXPECT_EQ(format_fixed(-0.5, 0), "-0");
+}
+
+// ----------------------------------------------------------------- clock
+
+TEST(SimClockTest, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.advance(100);
+  clock.advance(0);
+  clock.advance(50);
+  EXPECT_EQ(clock.now(), 150);
+}
+
+TEST(SimClockTest, RejectsNegativeAdvance) {
+  SimClock clock;
+  EXPECT_THROW(clock.advance(-1), std::invalid_argument);
+}
+
+TEST(SimClockTest, Reset) {
+  SimClock clock;
+  clock.advance(10);
+  clock.reset();
+  EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(DeadlineTest, ExpiresAtBudget) {
+  SimClock clock;
+  Deadline deadline(clock, 100);
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.remaining(), 100);
+  clock.advance(99);
+  EXPECT_FALSE(deadline.expired());
+  clock.advance(1);
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.remaining(), 0);
+  clock.advance(1000);
+  EXPECT_EQ(deadline.remaining(), 0);
+}
+
+TEST(DeadlineTest, RejectsNegativeBudget) {
+  SimClock clock;
+  EXPECT_THROW(Deadline(clock, -1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- log
+
+TEST(LogTest, LevelGating) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  EXPECT_FALSE(log_enabled(LogLevel::kWarn));
+  set_log_level(LogLevel::kTrace);
+  EXPECT_TRUE(log_enabled(LogLevel::kDebug));
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace mak::support

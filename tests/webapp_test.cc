@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include "webapp/app_base.h"
+#include "webapp/code_arena.h"
+#include "webapp/page_builder.h"
+#include "webapp/router.h"
+
+namespace mak::webapp {
+namespace {
+
+// -------------------------------------------------------------- CodeArena
+
+TEST(CodeArenaTest, SequentialRegions) {
+  CodeArena arena;
+  const auto f = arena.file("x.php");
+  const auto r1 = arena.region(f, 10);
+  const auto r2 = arena.region(f, 5);
+  EXPECT_EQ(r1.first_line, 1u);
+  EXPECT_EQ(r1.last_line, 10u);
+  EXPECT_EQ(r1.lines(), 10u);
+  EXPECT_EQ(r2.first_line, 11u);
+  EXPECT_EQ(r2.last_line, 15u);
+  EXPECT_EQ(arena.total_lines(), 15u);
+}
+
+TEST(CodeArenaTest, CurrentFileShortcut) {
+  CodeArena arena;
+  arena.file("a.php");
+  const auto r1 = arena.region(7);
+  arena.file("b.php");
+  const auto r2 = arena.region(3);
+  EXPECT_EQ(r1.file, 0u);
+  EXPECT_EQ(r2.file, 1u);
+  EXPECT_EQ(r2.first_line, 1u);
+}
+
+TEST(CodeArenaTest, DeadCodeCountsTowardTotal) {
+  CodeArena arena;
+  arena.file("live.php");
+  arena.region(10);
+  arena.dead_code(90);
+  EXPECT_EQ(arena.total_lines(), 100u);
+  const auto model = arena.build();
+  EXPECT_EQ(model.total_lines(), 100u);
+}
+
+TEST(CodeArenaTest, Validation) {
+  CodeArena arena;
+  EXPECT_THROW(arena.region(5), std::logic_error);  // no file yet
+  const auto f = arena.file("x.php");
+  EXPECT_THROW(arena.region(f, 0), std::invalid_argument);
+  EXPECT_THROW(arena.region(99, 5), std::out_of_range);
+  EXPECT_THROW(arena.dead_code(99, 5), std::out_of_range);
+}
+
+TEST(CodeArenaTest, BuildMatchesAllocations) {
+  CodeArena arena;
+  arena.file("a.php");
+  arena.region(25);
+  arena.file("b.php");
+  arena.region(13);
+  const auto model = arena.build();
+  EXPECT_EQ(model.file_count(), 2u);
+  EXPECT_EQ(model.file_lines(0), 25u);
+  EXPECT_EQ(model.file_lines(1), 13u);
+}
+
+TEST(CodeRegionTest, Defaults) {
+  CodeRegion region;
+  EXPECT_FALSE(region.valid());
+  EXPECT_EQ(region.lines(), 0u);
+}
+
+// ----------------------------------------------------------------- Router
+
+httpsim::Response dummy(RequestContext&) { return httpsim::Response::html("x"); }
+
+TEST(RouterTest, ExactMatch) {
+  Router router;
+  router.get("/a/b", dummy);
+  RequestContext ctx;
+  EXPECT_NE(router.match(httpsim::Method::kGet, "/a/b", ctx), nullptr);
+  EXPECT_EQ(router.match(httpsim::Method::kGet, "/a", ctx), nullptr);
+  EXPECT_EQ(router.match(httpsim::Method::kGet, "/a/b/c", ctx), nullptr);
+  EXPECT_EQ(router.match(httpsim::Method::kPost, "/a/b", ctx), nullptr);
+}
+
+TEST(RouterTest, ParamCapture) {
+  Router router;
+  router.get("/paper/:id/review/:rid", dummy);
+  RequestContext ctx;
+  ASSERT_NE(router.match(httpsim::Method::kGet, "/paper/8/review/8B23", ctx),
+            nullptr);
+  EXPECT_EQ(ctx.param("id"), "8");
+  EXPECT_EQ(ctx.param("rid"), "8B23");
+  EXPECT_EQ(ctx.param("missing", "d"), "d");
+}
+
+TEST(RouterTest, TrailingWildcard) {
+  Router router;
+  router.get("/files/*rest", dummy);
+  RequestContext ctx;
+  ASSERT_NE(router.match(httpsim::Method::kGet, "/files/a/b/c", ctx), nullptr);
+  EXPECT_EQ(ctx.param("rest"), "a/b/c");
+  ASSERT_NE(router.match(httpsim::Method::kGet, "/files", ctx), nullptr);
+  EXPECT_EQ(ctx.param("rest"), "");
+}
+
+TEST(RouterTest, RegistrationOrderWins) {
+  Router router;
+  int hit = 0;
+  router.get("/x/:p", [&hit](RequestContext&) {
+    hit = 1;
+    return httpsim::Response::html("1");
+  });
+  router.get("/x/specific", [&hit](RequestContext&) {
+    hit = 2;
+    return httpsim::Response::html("2");
+  });
+  RequestContext ctx;
+  const Handler* handler =
+      router.match(httpsim::Method::kGet, "/x/specific", ctx);
+  ASSERT_NE(handler, nullptr);
+  (*handler)(ctx);
+  EXPECT_EQ(hit, 1);  // the param route was registered first
+}
+
+TEST(RouterTest, AnyRegistersBothMethods) {
+  Router router;
+  router.any("/both", dummy);
+  RequestContext ctx;
+  EXPECT_NE(router.match(httpsim::Method::kGet, "/both", ctx), nullptr);
+  EXPECT_NE(router.match(httpsim::Method::kPost, "/both", ctx), nullptr);
+  EXPECT_EQ(router.route_count(), 2u);
+}
+
+// ------------------------------------------------------------ PageBuilder
+
+TEST(PageBuilderTest, BasicStructure) {
+  PageBuilder page("Title & co");
+  page.heading("Head").paragraph("Body text").link("/x", "Link");
+  const std::string html = page.build();
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("<title>Title &amp; co</title>"), std::string::npos);
+  EXPECT_NE(html.find("<h1>Head</h1>"), std::string::npos);
+  EXPECT_NE(html.find("<a href=\"/x\">Link</a>"), std::string::npos);
+}
+
+TEST(PageBuilderTest, EscapesUserText) {
+  PageBuilder page("t");
+  page.paragraph("<script>alert(1)</script>");
+  EXPECT_EQ(page.build().find("<script>"), std::string::npos);
+}
+
+TEST(PageBuilderTest, HeadingLevelsClamped) {
+  PageBuilder page("t");
+  page.heading("a", 0).heading("b", 9);
+  const std::string html = page.build();
+  EXPECT_NE(html.find("<h1>a</h1>"), std::string::npos);
+  EXPECT_NE(html.find("<h6>b</h6>"), std::string::npos);
+}
+
+TEST(PageBuilderTest, FormRendering) {
+  FormSpec form;
+  form.action = "/submit";
+  form.method = "post";
+  form.id = "f1";
+  form.text_field("user", "admin");
+  form.password_field("pw");
+  form.hidden_field("csrf", "tok");
+  form.select_field("color", {"red", "green"});
+  form.textarea("bio", "hello");
+  form.submit_label = "Go";
+  PageBuilder page("t");
+  page.form(form);
+  const std::string html = page.build();
+  EXPECT_NE(html.find("action=\"/submit\""), std::string::npos);
+  EXPECT_NE(html.find("method=\"post\""), std::string::npos);
+  EXPECT_NE(html.find("name=\"user\" value=\"admin\""), std::string::npos);
+  EXPECT_NE(html.find("type=\"password\""), std::string::npos);
+  EXPECT_NE(html.find("type=\"hidden\" name=\"csrf\""), std::string::npos);
+  EXPECT_NE(html.find("<select name=\"color\">"), std::string::npos);
+  EXPECT_NE(html.find("<option value=\"green\">"), std::string::npos);
+  EXPECT_NE(html.find("<textarea name=\"bio\">hello</textarea>"),
+            std::string::npos);
+  EXPECT_NE(html.find("value=\"Go\""), std::string::npos);
+}
+
+TEST(PageBuilderTest, ButtonAndHiddenBlock) {
+  PageBuilder page("t");
+  page.button("/checkout", "Buy", "post");
+  page.hidden_block("<a href=\"/secret\">s</a>");
+  const std::string html = page.build();
+  EXPECT_NE(html.find("formaction=\"/checkout\""), std::string::npos);
+  EXPECT_NE(html.find("display:none"), std::string::npos);
+}
+
+TEST(PageBuilderTest, ListsAndTables) {
+  PageBuilder page("t");
+  page.list_begin().list_item("one").nav_link("/x", "x").list_end();
+  page.table_begin()
+      .table_row({"h1", "h2"}, true)
+      .table_row({"a", "b"})
+      .table_end();
+  const std::string html = page.build();
+  EXPECT_NE(html.find("<li>one</li>"), std::string::npos);
+  EXPECT_NE(html.find("<th>h1</th>"), std::string::npos);
+  EXPECT_NE(html.find("<td>b</td>"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- WebApp
+
+class TinyApp : public WebApp {
+ public:
+  TinyApp() : WebApp("Tiny", "tiny.test") {
+    arena().file("tiny/app.php");
+    page_region_ = arena().region(40);
+    add_home_link("/hello", "Hello");
+    router().get("/hello", [this](RequestContext& ctx) {
+      cover(page_region_);
+      ctx.sess().increment("visits");
+      PageBuilder page("Hello");
+      page.paragraph("visits: " + ctx.sess().get("visits"));
+      return httpsim::Response::html(page.build());
+    });
+    set_framework_overhead(500);
+    finalize();
+  }
+
+  CodeRegion page_region_;
+};
+
+class WebAppTest : public ::testing::Test {
+ protected:
+  TinyApp app_;
+  support::SimClock clock_;
+  httpsim::Network network_{clock_};
+  httpsim::CookieJar jar_;
+
+  void SetUp() override { network_.register_host("tiny.test", app_); }
+
+  httpsim::FetchResult get(const std::string& url_text) {
+    return network_.fetch(httpsim::Method::kGet, *url::parse(url_text),
+                          url::QueryMap{}, jar_);
+  }
+};
+
+TEST_F(WebAppTest, HomePageListsHomeLinks) {
+  const auto result = get("http://tiny.test/");
+  EXPECT_EQ(result.response.status, 200);
+  EXPECT_NE(result.response.body.find("href=\"/hello\""), std::string::npos);
+}
+
+TEST_F(WebAppTest, SessionsPersistAcrossRequests) {
+  get("http://tiny.test/hello");
+  const auto second = get("http://tiny.test/hello");
+  EXPECT_NE(second.response.body.find("visits: 2"), std::string::npos);
+  EXPECT_EQ(app_.sessions().size(), 1u);
+}
+
+TEST_F(WebAppTest, FreshVisitorGetsSessionCookie) {
+  const auto result = get("http://tiny.test/");
+  const auto cookies = jar_.cookies_for(*url::parse("http://tiny.test/"));
+  EXPECT_TRUE(cookies.count("SESSIONID"));
+  (void)result;
+}
+
+TEST_F(WebAppTest, UnknownPathIs404WithChrome) {
+  const auto result = get("http://tiny.test/nope");
+  EXPECT_EQ(result.response.status, 404);
+  // The nav chrome is injected even into error pages.
+  EXPECT_NE(result.response.body.find("id=\"navbar\""), std::string::npos);
+}
+
+TEST_F(WebAppTest, CoverageAccounting) {
+  EXPECT_EQ(app_.tracker().covered_lines(), 0u);
+  get("http://tiny.test/hello");
+  // framework skeleton (60+35) + overhead 500 + handler 40.
+  EXPECT_EQ(app_.tracker().covered_lines(), 60u + 35u + 500u + 40u);
+  get("http://tiny.test/hello");
+  EXPECT_EQ(app_.tracker().covered_lines(), 635u);  // idempotent
+}
+
+TEST_F(WebAppTest, NotFoundCoversErrorRegion) {
+  get("http://tiny.test/hello");
+  const auto before = app_.tracker().covered_lines();
+  get("http://tiny.test/missing");
+  EXPECT_EQ(app_.tracker().covered_lines(), before + 18u);  // notfound region
+}
+
+TEST_F(WebAppTest, ResponseCostReflectsLatencyProfile) {
+  const auto result = get("http://tiny.test/hello");
+  EXPECT_GE(result.response.cost_ms, app_.latency().base_ms);
+}
+
+TEST(WebAppLifecycleTest, GuardsAgainstMisuse) {
+  WebApp app("X", "x.test");
+  EXPECT_THROW(app.tracker(), std::logic_error);
+  EXPECT_THROW(app.code_model(), std::logic_error);
+  httpsim::Request request;
+  request.url = *url::parse("http://x.test/");
+  EXPECT_THROW(app.handle(request), std::logic_error);
+  app.finalize();
+  EXPECT_THROW(app.finalize(), std::logic_error);
+  EXPECT_THROW(app.set_framework_overhead(10), std::logic_error);
+  EXPECT_NO_THROW(app.handle(request));
+}
+
+TEST(WebAppTest2, CoverPrefix) {
+  TinyApp app;
+  app.cover_prefix(app.page_region_, 10);
+  EXPECT_EQ(app.tracker().covered_lines(), 10u);
+  app.cover_prefix(app.page_region_, 9999);  // clamps to the region
+  EXPECT_EQ(app.tracker().covered_lines(), 40u);
+}
+
+TEST(WebAppTest2, SeedUrl) {
+  TinyApp app;
+  EXPECT_EQ(app.seed_url().to_string(), "http://tiny.test/");
+}
+
+}  // namespace
+}  // namespace mak::webapp

@@ -1,0 +1,222 @@
+// mak_crawl — command-line front end for the crawler framework.
+//
+//   mak_crawl --app Drupal --crawler MAK --minutes 30 --seed 7
+//   mak_crawl --app PhpBB2 --crawler BFS --csv series.csv
+//   mak_crawl --list
+//
+// Runs one crawl under the paper's protocol and prints a summary; with
+// --csv it also writes the coverage-over-time series for plotting.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/json_report.h"
+#include "harness/report.h"
+#include "support/strings.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--app NAME] [--crawler NAME] [--minutes N] [--seed N]\n"
+      "          [--sample-seconds N] [--csv FILE] [--trace FILE] [--json FILE]\n"
+      "          [--list]\n"
+      "defaults: --app AddressBook --crawler MAK --minutes 30 --seed 23501\n",
+      argv0);
+}
+
+struct Options {
+  std::string app = "AddressBook";
+  std::string crawler = "MAK";
+  long minutes = 30;
+  long sample_seconds = 30;
+  unsigned long long seed = 0x5bcd;
+  std::string csv_path;
+  std::string trace_path;
+  std::string json_path;
+  bool list = false;
+};
+
+bool parse_args(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--app") {
+      const char* value = next_value("--app");
+      if (value == nullptr) return false;
+      options.app = value;
+    } else if (arg == "--crawler") {
+      const char* value = next_value("--crawler");
+      if (value == nullptr) return false;
+      options.crawler = value;
+    } else if (arg == "--minutes") {
+      const char* value = next_value("--minutes");
+      if (value == nullptr) return false;
+      options.minutes = std::strtol(value, nullptr, 10);
+    } else if (arg == "--sample-seconds") {
+      const char* value = next_value("--sample-seconds");
+      if (value == nullptr) return false;
+      options.sample_seconds = std::strtol(value, nullptr, 10);
+    } else if (arg == "--seed") {
+      const char* value = next_value("--seed");
+      if (value == nullptr) return false;
+      options.seed = std::strtoull(value, nullptr, 0);
+    } else if (arg == "--csv") {
+      const char* value = next_value("--csv");
+      if (value == nullptr) return false;
+      options.csv_path = value;
+    } else if (arg == "--trace") {
+      const char* value = next_value("--trace");
+      if (value == nullptr) return false;
+      options.trace_path = value;
+    } else if (arg == "--json") {
+      const char* value = next_value("--json");
+      if (value == nullptr) return false;
+      options.json_path = value;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage(argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mak;
+
+  Options options;
+  if (!parse_args(argc, argv, options)) return 2;
+
+  if (options.list) {
+    std::printf("applications:\n");
+    for (const auto& info : apps::app_catalog()) {
+      std::printf("  %-12s v%-10s %s\n", info.name.c_str(),
+                  info.version.c_str(), to_string(info.platform).data());
+    }
+    std::printf("crawlers:\n");
+    for (const auto kind :
+         {harness::CrawlerKind::kMak, harness::CrawlerKind::kWebExplor,
+          harness::CrawlerKind::kQExplore, harness::CrawlerKind::kBfs,
+          harness::CrawlerKind::kDfs, harness::CrawlerKind::kRandom,
+          harness::CrawlerKind::kMakRawReward,
+          harness::CrawlerKind::kMakCuriosityReward,
+          harness::CrawlerKind::kMakFlatDeque,
+          harness::CrawlerKind::kMakExp3Fixed,
+          harness::CrawlerKind::kMakEpsilonGreedy,
+          harness::CrawlerKind::kMakUcb1}) {
+      std::printf("  %s\n", std::string(to_string(kind)).c_str());
+    }
+    return 0;
+  }
+
+  const apps::AppInfo* info = nullptr;
+  for (const auto& candidate : apps::app_catalog()) {
+    if (candidate.name == options.app) info = &candidate;
+  }
+  if (info == nullptr) {
+    std::fprintf(stderr, "unknown app '%s' (try --list)\n",
+                 options.app.c_str());
+    return 2;
+  }
+  std::optional<harness::CrawlerKind> kind;
+  for (const auto candidate :
+       {harness::CrawlerKind::kMak, harness::CrawlerKind::kWebExplor,
+        harness::CrawlerKind::kQExplore, harness::CrawlerKind::kBfs,
+        harness::CrawlerKind::kDfs, harness::CrawlerKind::kRandom,
+        harness::CrawlerKind::kMakRawReward,
+        harness::CrawlerKind::kMakCuriosityReward,
+        harness::CrawlerKind::kMakFlatDeque,
+        harness::CrawlerKind::kMakExp3Fixed,
+        harness::CrawlerKind::kMakEpsilonGreedy,
+        harness::CrawlerKind::kMakUcb1}) {
+    if (options.crawler == std::string(to_string(candidate))) kind = candidate;
+  }
+  if (!kind.has_value()) {
+    std::fprintf(stderr, "unknown crawler '%s' (try --list)\n",
+                 options.crawler.c_str());
+    return 2;
+  }
+
+  harness::RunConfig config;
+  config.budget = options.minutes * support::kMillisPerMinute;
+  config.sample_interval = options.sample_seconds * support::kMillisPerSecond;
+  config.seed = options.seed;
+  core::CrawlTrace trace;
+  if (!options.trace_path.empty()) config.trace = &trace;
+
+  const auto result = harness::run_once(*info, *kind, config);
+
+  std::printf("%s on %s (%s), %ld virtual minutes, seed %llu\n",
+              result.crawler.c_str(), result.app.c_str(),
+              to_string(result.platform).data(), options.minutes,
+              options.seed);
+  std::printf("  covered lines:     %s / %s (%.1f%%)\n",
+              support::format_thousands(
+                  static_cast<std::int64_t>(result.final_covered_lines))
+                  .c_str(),
+              support::format_thousands(
+                  static_cast<std::int64_t>(result.total_lines))
+                  .c_str(),
+              100.0 * static_cast<double>(result.final_covered_lines) /
+                  static_cast<double>(result.total_lines));
+  std::printf("  links discovered:  %zu\n", result.links_discovered);
+  std::printf("  interactions:      %zu (+%zu seed navigations)\n",
+              result.interactions, result.navigations);
+
+  if (!options.csv_path.empty()) {
+    std::ofstream csv(options.csv_path);
+    if (!csv) {
+      std::fprintf(stderr, "cannot write %s\n", options.csv_path.c_str());
+      return 1;
+    }
+    csv << harness::to_csv_row({"time_s", "covered_lines"}) << '\n';
+    for (const auto& point : result.series.points()) {
+      csv << harness::to_csv_row(
+                 {std::to_string(point.time / support::kMillisPerSecond),
+                  std::to_string(point.covered_lines)})
+          << '\n';
+    }
+    std::printf("  series written to: %s\n", options.csv_path.c_str());
+  }
+  if (!options.json_path.empty()) {
+    std::ofstream out(options.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", options.json_path.c_str());
+      return 1;
+    }
+    out << harness::run_to_json(result) << '\n';
+    std::printf("  json written to:   %s\n", options.json_path.c_str());
+  }
+  if (!options.trace_path.empty()) {
+    std::ofstream out(options.trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", options.trace_path.c_str());
+      return 1;
+    }
+    trace.write_jsonl(out);
+    const auto summary = trace.summarize();
+    std::printf(
+        "  trace written to:  %s (%zu events, %zu errors, %zu recoveries)\n",
+        options.trace_path.c_str(), trace.size(), summary.errors,
+        summary.recoveries);
+  }
+  return 0;
+}
