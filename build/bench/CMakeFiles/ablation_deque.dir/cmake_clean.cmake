@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_deque.dir/ablation_deque.cc.o"
+  "CMakeFiles/ablation_deque.dir/ablation_deque.cc.o.d"
+  "ablation_deque"
+  "ablation_deque.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deque.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_regret.dir/ablation_regret.cc.o"
+  "CMakeFiles/ablation_regret.dir/ablation_regret.cc.o.d"
+  "ablation_regret"
+  "ablation_regret.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regret.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

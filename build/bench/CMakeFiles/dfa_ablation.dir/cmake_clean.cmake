@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfa_ablation.dir/dfa_ablation.cc.o"
+  "CMakeFiles/dfa_ablation.dir/dfa_ablation.cc.o.d"
+  "dfa_ablation"
+  "dfa_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfa_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

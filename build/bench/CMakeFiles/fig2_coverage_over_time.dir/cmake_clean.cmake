@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_coverage_over_time.dir/fig2_coverage_over_time.cc.o"
+  "CMakeFiles/fig2_coverage_over_time.dir/fig2_coverage_over_time.cc.o.d"
+  "fig2_coverage_over_time"
+  "fig2_coverage_over_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_coverage_over_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/input_strategies.dir/input_strategies.cc.o"
+  "CMakeFiles/input_strategies.dir/input_strategies.cc.o.d"
+  "input_strategies"
+  "input_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/input_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_interactions.dir/perf_interactions.cc.o"
+  "CMakeFiles/perf_interactions.dir/perf_interactions.cc.o.d"
+  "perf_interactions"
+  "perf_interactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

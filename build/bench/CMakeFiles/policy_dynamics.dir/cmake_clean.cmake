@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_dynamics.dir/policy_dynamics.cc.o"
+  "CMakeFiles/policy_dynamics.dir/policy_dynamics.cc.o.d"
+  "policy_dynamics"
+  "policy_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanner_comparison.dir/scanner_comparison.cc.o"
+  "CMakeFiles/scanner_comparison.dir/scanner_comparison.cc.o.d"
+  "scanner_comparison"
+  "scanner_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanner_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_explosion.dir/state_explosion.cc.o"
+  "CMakeFiles/state_explosion.dir/state_explosion.cc.o.d"
+  "state_explosion"
+  "state_explosion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_explosion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_mean_coverage.dir/table2_mean_coverage.cc.o"
+  "CMakeFiles/table2_mean_coverage.dir/table2_mean_coverage.cc.o.d"
+  "table2_mean_coverage"
+  "table2_mean_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_mean_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

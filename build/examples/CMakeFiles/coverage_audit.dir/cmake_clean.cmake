@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_audit.dir/coverage_audit.cpp.o"
+  "CMakeFiles/coverage_audit.dir/coverage_audit.cpp.o.d"
+  "coverage_audit"
+  "coverage_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_crawler.dir/custom_crawler.cpp.o"
+  "CMakeFiles/custom_crawler.dir/custom_crawler.cpp.o.d"
+  "custom_crawler"
+  "custom_crawler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_crawler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_scan.dir/security_scan.cpp.o"
+  "CMakeFiles/security_scan.dir/security_scan.cpp.o.d"
+  "security_scan"
+  "security_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

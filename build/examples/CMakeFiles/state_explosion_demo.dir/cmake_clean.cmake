@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_explosion_demo.dir/state_explosion_demo.cpp.o"
+  "CMakeFiles/state_explosion_demo.dir/state_explosion_demo.cpp.o.d"
+  "state_explosion_demo"
+  "state_explosion_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_explosion_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

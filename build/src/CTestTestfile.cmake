@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("url")
+subdirs("html")
+subdirs("httpsim")
+subdirs("coverage")
+subdirs("webapp")
+subdirs("apps")
+subdirs("rl")
+subdirs("core")
+subdirs("baselines")
+subdirs("scanner")
+subdirs("harness")

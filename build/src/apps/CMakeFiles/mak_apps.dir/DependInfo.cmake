@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/catalog.cc" "src/apps/CMakeFiles/mak_apps.dir/catalog.cc.o" "gcc" "src/apps/CMakeFiles/mak_apps.dir/catalog.cc.o.d"
+  "/root/repo/src/apps/features/aliased_reviews.cc" "src/apps/CMakeFiles/mak_apps.dir/features/aliased_reviews.cc.o" "gcc" "src/apps/CMakeFiles/mak_apps.dir/features/aliased_reviews.cc.o.d"
+  "/root/repo/src/apps/features/calendar_trap.cc" "src/apps/CMakeFiles/mak_apps.dir/features/calendar_trap.cc.o" "gcc" "src/apps/CMakeFiles/mak_apps.dir/features/calendar_trap.cc.o.d"
+  "/root/repo/src/apps/features/cart_flow.cc" "src/apps/CMakeFiles/mak_apps.dir/features/cart_flow.cc.o" "gcc" "src/apps/CMakeFiles/mak_apps.dir/features/cart_flow.cc.o.d"
+  "/root/repo/src/apps/features/deep_wizard.cc" "src/apps/CMakeFiles/mak_apps.dir/features/deep_wizard.cc.o" "gcc" "src/apps/CMakeFiles/mak_apps.dir/features/deep_wizard.cc.o.d"
+  "/root/repo/src/apps/features/login_area.cc" "src/apps/CMakeFiles/mak_apps.dir/features/login_area.cc.o" "gcc" "src/apps/CMakeFiles/mak_apps.dir/features/login_area.cc.o.d"
+  "/root/repo/src/apps/features/module_router.cc" "src/apps/CMakeFiles/mak_apps.dir/features/module_router.cc.o" "gcc" "src/apps/CMakeFiles/mak_apps.dir/features/module_router.cc.o.d"
+  "/root/repo/src/apps/features/mutable_shortcuts.cc" "src/apps/CMakeFiles/mak_apps.dir/features/mutable_shortcuts.cc.o" "gcc" "src/apps/CMakeFiles/mak_apps.dir/features/mutable_shortcuts.cc.o.d"
+  "/root/repo/src/apps/features/paginated_forum.cc" "src/apps/CMakeFiles/mak_apps.dir/features/paginated_forum.cc.o" "gcc" "src/apps/CMakeFiles/mak_apps.dir/features/paginated_forum.cc.o.d"
+  "/root/repo/src/apps/features/search_box.cc" "src/apps/CMakeFiles/mak_apps.dir/features/search_box.cc.o" "gcc" "src/apps/CMakeFiles/mak_apps.dir/features/search_box.cc.o.d"
+  "/root/repo/src/apps/features/static_section.cc" "src/apps/CMakeFiles/mak_apps.dir/features/static_section.cc.o" "gcc" "src/apps/CMakeFiles/mak_apps.dir/features/static_section.cc.o.d"
+  "/root/repo/src/apps/features/validated_signup.cc" "src/apps/CMakeFiles/mak_apps.dir/features/validated_signup.cc.o" "gcc" "src/apps/CMakeFiles/mak_apps.dir/features/validated_signup.cc.o.d"
+  "/root/repo/src/apps/synthetic_app.cc" "src/apps/CMakeFiles/mak_apps.dir/synthetic_app.cc.o" "gcc" "src/apps/CMakeFiles/mak_apps.dir/synthetic_app.cc.o.d"
+  "/root/repo/src/apps/variant_set.cc" "src/apps/CMakeFiles/mak_apps.dir/variant_set.cc.o" "gcc" "src/apps/CMakeFiles/mak_apps.dir/variant_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/webapp/CMakeFiles/mak_webapp.dir/DependInfo.cmake"
+  "/root/repo/build/src/httpsim/CMakeFiles/mak_httpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/url/CMakeFiles/mak_url.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/mak_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/mak_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mak_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mak_apps.dir/catalog.cc.o"
+  "CMakeFiles/mak_apps.dir/catalog.cc.o.d"
+  "CMakeFiles/mak_apps.dir/features/aliased_reviews.cc.o"
+  "CMakeFiles/mak_apps.dir/features/aliased_reviews.cc.o.d"
+  "CMakeFiles/mak_apps.dir/features/calendar_trap.cc.o"
+  "CMakeFiles/mak_apps.dir/features/calendar_trap.cc.o.d"
+  "CMakeFiles/mak_apps.dir/features/cart_flow.cc.o"
+  "CMakeFiles/mak_apps.dir/features/cart_flow.cc.o.d"
+  "CMakeFiles/mak_apps.dir/features/deep_wizard.cc.o"
+  "CMakeFiles/mak_apps.dir/features/deep_wizard.cc.o.d"
+  "CMakeFiles/mak_apps.dir/features/login_area.cc.o"
+  "CMakeFiles/mak_apps.dir/features/login_area.cc.o.d"
+  "CMakeFiles/mak_apps.dir/features/module_router.cc.o"
+  "CMakeFiles/mak_apps.dir/features/module_router.cc.o.d"
+  "CMakeFiles/mak_apps.dir/features/mutable_shortcuts.cc.o"
+  "CMakeFiles/mak_apps.dir/features/mutable_shortcuts.cc.o.d"
+  "CMakeFiles/mak_apps.dir/features/paginated_forum.cc.o"
+  "CMakeFiles/mak_apps.dir/features/paginated_forum.cc.o.d"
+  "CMakeFiles/mak_apps.dir/features/search_box.cc.o"
+  "CMakeFiles/mak_apps.dir/features/search_box.cc.o.d"
+  "CMakeFiles/mak_apps.dir/features/static_section.cc.o"
+  "CMakeFiles/mak_apps.dir/features/static_section.cc.o.d"
+  "CMakeFiles/mak_apps.dir/features/validated_signup.cc.o"
+  "CMakeFiles/mak_apps.dir/features/validated_signup.cc.o.d"
+  "CMakeFiles/mak_apps.dir/synthetic_app.cc.o"
+  "CMakeFiles/mak_apps.dir/synthetic_app.cc.o.d"
+  "CMakeFiles/mak_apps.dir/variant_set.cc.o"
+  "CMakeFiles/mak_apps.dir/variant_set.cc.o.d"
+  "libmak_apps.a"
+  "libmak_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mak_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mak_baselines.dir/qexplore.cc.o"
+  "CMakeFiles/mak_baselines.dir/qexplore.cc.o.d"
+  "CMakeFiles/mak_baselines.dir/webexplor.cc.o"
+  "CMakeFiles/mak_baselines.dir/webexplor.cc.o.d"
+  "libmak_baselines.a"
+  "libmak_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mak_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmak_baselines.a"
+)

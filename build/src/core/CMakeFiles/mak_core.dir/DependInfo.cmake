@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/browser.cc" "src/core/CMakeFiles/mak_core.dir/browser.cc.o" "gcc" "src/core/CMakeFiles/mak_core.dir/browser.cc.o.d"
+  "/root/repo/src/core/crawler.cc" "src/core/CMakeFiles/mak_core.dir/crawler.cc.o" "gcc" "src/core/CMakeFiles/mak_core.dir/crawler.cc.o.d"
+  "/root/repo/src/core/frontier.cc" "src/core/CMakeFiles/mak_core.dir/frontier.cc.o" "gcc" "src/core/CMakeFiles/mak_core.dir/frontier.cc.o.d"
+  "/root/repo/src/core/link_ledger.cc" "src/core/CMakeFiles/mak_core.dir/link_ledger.cc.o" "gcc" "src/core/CMakeFiles/mak_core.dir/link_ledger.cc.o.d"
+  "/root/repo/src/core/mak.cc" "src/core/CMakeFiles/mak_core.dir/mak.cc.o" "gcc" "src/core/CMakeFiles/mak_core.dir/mak.cc.o.d"
+  "/root/repo/src/core/mak_team.cc" "src/core/CMakeFiles/mak_core.dir/mak_team.cc.o" "gcc" "src/core/CMakeFiles/mak_core.dir/mak_team.cc.o.d"
+  "/root/repo/src/core/site_mapper.cc" "src/core/CMakeFiles/mak_core.dir/site_mapper.cc.o" "gcc" "src/core/CMakeFiles/mak_core.dir/site_mapper.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/core/CMakeFiles/mak_core.dir/trace.cc.o" "gcc" "src/core/CMakeFiles/mak_core.dir/trace.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/core/CMakeFiles/mak_core.dir/types.cc.o" "gcc" "src/core/CMakeFiles/mak_core.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mak_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/url/CMakeFiles/mak_url.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/mak_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/httpsim/CMakeFiles/mak_httpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/mak_rl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mak_core.dir/browser.cc.o"
+  "CMakeFiles/mak_core.dir/browser.cc.o.d"
+  "CMakeFiles/mak_core.dir/crawler.cc.o"
+  "CMakeFiles/mak_core.dir/crawler.cc.o.d"
+  "CMakeFiles/mak_core.dir/frontier.cc.o"
+  "CMakeFiles/mak_core.dir/frontier.cc.o.d"
+  "CMakeFiles/mak_core.dir/link_ledger.cc.o"
+  "CMakeFiles/mak_core.dir/link_ledger.cc.o.d"
+  "CMakeFiles/mak_core.dir/mak.cc.o"
+  "CMakeFiles/mak_core.dir/mak.cc.o.d"
+  "CMakeFiles/mak_core.dir/mak_team.cc.o"
+  "CMakeFiles/mak_core.dir/mak_team.cc.o.d"
+  "CMakeFiles/mak_core.dir/site_mapper.cc.o"
+  "CMakeFiles/mak_core.dir/site_mapper.cc.o.d"
+  "CMakeFiles/mak_core.dir/trace.cc.o"
+  "CMakeFiles/mak_core.dir/trace.cc.o.d"
+  "CMakeFiles/mak_core.dir/types.cc.o"
+  "CMakeFiles/mak_core.dir/types.cc.o.d"
+  "libmak_core.a"
+  "libmak_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mak_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

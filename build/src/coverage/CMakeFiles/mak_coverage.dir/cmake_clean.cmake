@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mak_coverage.dir/coverage.cc.o"
+  "CMakeFiles/mak_coverage.dir/coverage.cc.o.d"
+  "libmak_coverage.a"
+  "libmak_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mak_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mak_harness.dir/aggregate.cc.o"
+  "CMakeFiles/mak_harness.dir/aggregate.cc.o.d"
+  "CMakeFiles/mak_harness.dir/experiment.cc.o"
+  "CMakeFiles/mak_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/mak_harness.dir/json_report.cc.o"
+  "CMakeFiles/mak_harness.dir/json_report.cc.o.d"
+  "CMakeFiles/mak_harness.dir/report.cc.o"
+  "CMakeFiles/mak_harness.dir/report.cc.o.d"
+  "libmak_harness.a"
+  "libmak_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mak_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

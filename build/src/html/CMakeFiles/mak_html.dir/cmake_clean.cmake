@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mak_html.dir/dom.cc.o"
+  "CMakeFiles/mak_html.dir/dom.cc.o.d"
+  "CMakeFiles/mak_html.dir/entities.cc.o"
+  "CMakeFiles/mak_html.dir/entities.cc.o.d"
+  "CMakeFiles/mak_html.dir/interactables.cc.o"
+  "CMakeFiles/mak_html.dir/interactables.cc.o.d"
+  "CMakeFiles/mak_html.dir/parser.cc.o"
+  "CMakeFiles/mak_html.dir/parser.cc.o.d"
+  "CMakeFiles/mak_html.dir/tokenizer.cc.o"
+  "CMakeFiles/mak_html.dir/tokenizer.cc.o.d"
+  "libmak_html.a"
+  "libmak_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mak_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/httpsim/cookies.cc" "src/httpsim/CMakeFiles/mak_httpsim.dir/cookies.cc.o" "gcc" "src/httpsim/CMakeFiles/mak_httpsim.dir/cookies.cc.o.d"
+  "/root/repo/src/httpsim/message.cc" "src/httpsim/CMakeFiles/mak_httpsim.dir/message.cc.o" "gcc" "src/httpsim/CMakeFiles/mak_httpsim.dir/message.cc.o.d"
+  "/root/repo/src/httpsim/network.cc" "src/httpsim/CMakeFiles/mak_httpsim.dir/network.cc.o" "gcc" "src/httpsim/CMakeFiles/mak_httpsim.dir/network.cc.o.d"
+  "/root/repo/src/httpsim/session.cc" "src/httpsim/CMakeFiles/mak_httpsim.dir/session.cc.o" "gcc" "src/httpsim/CMakeFiles/mak_httpsim.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mak_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/url/CMakeFiles/mak_url.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/mak_html.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mak_httpsim.dir/cookies.cc.o"
+  "CMakeFiles/mak_httpsim.dir/cookies.cc.o.d"
+  "CMakeFiles/mak_httpsim.dir/message.cc.o"
+  "CMakeFiles/mak_httpsim.dir/message.cc.o.d"
+  "CMakeFiles/mak_httpsim.dir/network.cc.o"
+  "CMakeFiles/mak_httpsim.dir/network.cc.o.d"
+  "CMakeFiles/mak_httpsim.dir/session.cc.o"
+  "CMakeFiles/mak_httpsim.dir/session.cc.o.d"
+  "libmak_httpsim.a"
+  "libmak_httpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mak_httpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

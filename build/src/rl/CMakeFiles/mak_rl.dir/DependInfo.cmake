@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/epsilon_greedy.cc" "src/rl/CMakeFiles/mak_rl.dir/epsilon_greedy.cc.o" "gcc" "src/rl/CMakeFiles/mak_rl.dir/epsilon_greedy.cc.o.d"
+  "/root/repo/src/rl/exp3.cc" "src/rl/CMakeFiles/mak_rl.dir/exp3.cc.o" "gcc" "src/rl/CMakeFiles/mak_rl.dir/exp3.cc.o.d"
+  "/root/repo/src/rl/qlearning.cc" "src/rl/CMakeFiles/mak_rl.dir/qlearning.cc.o" "gcc" "src/rl/CMakeFiles/mak_rl.dir/qlearning.cc.o.d"
+  "/root/repo/src/rl/reward.cc" "src/rl/CMakeFiles/mak_rl.dir/reward.cc.o" "gcc" "src/rl/CMakeFiles/mak_rl.dir/reward.cc.o.d"
+  "/root/repo/src/rl/thompson.cc" "src/rl/CMakeFiles/mak_rl.dir/thompson.cc.o" "gcc" "src/rl/CMakeFiles/mak_rl.dir/thompson.cc.o.d"
+  "/root/repo/src/rl/ucb.cc" "src/rl/CMakeFiles/mak_rl.dir/ucb.cc.o" "gcc" "src/rl/CMakeFiles/mak_rl.dir/ucb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mak_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mak_rl.dir/epsilon_greedy.cc.o"
+  "CMakeFiles/mak_rl.dir/epsilon_greedy.cc.o.d"
+  "CMakeFiles/mak_rl.dir/exp3.cc.o"
+  "CMakeFiles/mak_rl.dir/exp3.cc.o.d"
+  "CMakeFiles/mak_rl.dir/qlearning.cc.o"
+  "CMakeFiles/mak_rl.dir/qlearning.cc.o.d"
+  "CMakeFiles/mak_rl.dir/reward.cc.o"
+  "CMakeFiles/mak_rl.dir/reward.cc.o.d"
+  "CMakeFiles/mak_rl.dir/thompson.cc.o"
+  "CMakeFiles/mak_rl.dir/thompson.cc.o.d"
+  "CMakeFiles/mak_rl.dir/ucb.cc.o"
+  "CMakeFiles/mak_rl.dir/ucb.cc.o.d"
+  "libmak_rl.a"
+  "libmak_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mak_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

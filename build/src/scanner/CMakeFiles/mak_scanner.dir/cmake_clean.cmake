@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mak_scanner.dir/scanner.cc.o"
+  "CMakeFiles/mak_scanner.dir/scanner.cc.o.d"
+  "libmak_scanner.a"
+  "libmak_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mak_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mak_support.dir/log.cc.o"
+  "CMakeFiles/mak_support.dir/log.cc.o.d"
+  "CMakeFiles/mak_support.dir/rng.cc.o"
+  "CMakeFiles/mak_support.dir/rng.cc.o.d"
+  "CMakeFiles/mak_support.dir/stats.cc.o"
+  "CMakeFiles/mak_support.dir/stats.cc.o.d"
+  "CMakeFiles/mak_support.dir/strings.cc.o"
+  "CMakeFiles/mak_support.dir/strings.cc.o.d"
+  "libmak_support.a"
+  "libmak_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mak_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mak_url.dir/url.cc.o"
+  "CMakeFiles/mak_url.dir/url.cc.o.d"
+  "libmak_url.a"
+  "libmak_url.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mak_url.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

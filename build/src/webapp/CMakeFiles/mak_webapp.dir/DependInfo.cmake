@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/webapp/app_base.cc" "src/webapp/CMakeFiles/mak_webapp.dir/app_base.cc.o" "gcc" "src/webapp/CMakeFiles/mak_webapp.dir/app_base.cc.o.d"
+  "/root/repo/src/webapp/code_arena.cc" "src/webapp/CMakeFiles/mak_webapp.dir/code_arena.cc.o" "gcc" "src/webapp/CMakeFiles/mak_webapp.dir/code_arena.cc.o.d"
+  "/root/repo/src/webapp/page_builder.cc" "src/webapp/CMakeFiles/mak_webapp.dir/page_builder.cc.o" "gcc" "src/webapp/CMakeFiles/mak_webapp.dir/page_builder.cc.o.d"
+  "/root/repo/src/webapp/router.cc" "src/webapp/CMakeFiles/mak_webapp.dir/router.cc.o" "gcc" "src/webapp/CMakeFiles/mak_webapp.dir/router.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mak_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/url/CMakeFiles/mak_url.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/mak_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/httpsim/CMakeFiles/mak_httpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/mak_coverage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

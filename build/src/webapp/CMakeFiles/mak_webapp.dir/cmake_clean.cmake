@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mak_webapp.dir/app_base.cc.o"
+  "CMakeFiles/mak_webapp.dir/app_base.cc.o.d"
+  "CMakeFiles/mak_webapp.dir/code_arena.cc.o"
+  "CMakeFiles/mak_webapp.dir/code_arena.cc.o.d"
+  "CMakeFiles/mak_webapp.dir/page_builder.cc.o"
+  "CMakeFiles/mak_webapp.dir/page_builder.cc.o.d"
+  "CMakeFiles/mak_webapp.dir/router.cc.o"
+  "CMakeFiles/mak_webapp.dir/router.cc.o.d"
+  "libmak_webapp.a"
+  "libmak_webapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mak_webapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

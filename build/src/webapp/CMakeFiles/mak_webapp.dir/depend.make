@@ -1,0 +1,2 @@
+# Empty dependencies file for mak_webapp.
+# This may be replaced when dependencies are built.

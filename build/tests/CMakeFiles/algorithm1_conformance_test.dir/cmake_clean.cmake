@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm1_conformance_test.dir/algorithm1_conformance_test.cc.o"
+  "CMakeFiles/algorithm1_conformance_test.dir/algorithm1_conformance_test.cc.o.d"
+  "algorithm1_conformance_test"
+  "algorithm1_conformance_test.pdb"
+  "algorithm1_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm1_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/baselines_test.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/mak_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mak_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mak_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/mak_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mak_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/webapp/CMakeFiles/mak_webapp.dir/DependInfo.cmake"
+  "/root/repo/build/src/httpsim/CMakeFiles/mak_httpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/url/CMakeFiles/mak_url.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/mak_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/mak_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mak_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfa_and_reports_test.dir/dfa_and_reports_test.cc.o"
+  "CMakeFiles/dfa_and_reports_test.dir/dfa_and_reports_test.cc.o.d"
+  "dfa_and_reports_test"
+  "dfa_and_reports_test.pdb"
+  "dfa_and_reports_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfa_and_reports_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

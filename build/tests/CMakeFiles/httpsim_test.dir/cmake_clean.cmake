@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/httpsim_test.dir/httpsim_test.cc.o"
+  "CMakeFiles/httpsim_test.dir/httpsim_test.cc.o.d"
+  "httpsim_test"
+  "httpsim_test.pdb"
+  "httpsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/httpsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_stats.dir/app_stats.cc.o"
+  "CMakeFiles/app_stats.dir/app_stats.cc.o.d"
+  "app_stats"
+  "app_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

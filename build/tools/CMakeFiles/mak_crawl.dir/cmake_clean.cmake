@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mak_crawl.dir/mak_crawl.cc.o"
+  "CMakeFiles/mak_crawl.dir/mak_crawl.cc.o.d"
+  "mak_crawl"
+  "mak_crawl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mak_crawl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
