@@ -1,0 +1,191 @@
+// Fault-robustness sweep: does the adversarial-bandit choice earn its keep
+// when the environment actually misbehaves?
+//
+// The paper argues (Section II-A.2, IV) that crawl rewards are adversarial,
+// which is why MAK runs Exp3.1 rather than a stochastic bandit. This bench
+// makes the environment genuinely adversarial — escalating fault profiles
+// from a clean network up to heavy 5xx bursts, connection drops, latency
+// spikes and scheduled degradation windows — and compares MAK against the
+// stochastic-bandit ablations (UCB1, Thompson sampling, epsilon-greedy)
+// under each profile.
+//
+// Output: a per-profile coverage table on stdout and a JSON document with
+// every run (including fault/retry counters) written to
+// results/fault_robustness.json (override with MAK_FAULT_OUT).
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/trace.h"  // json_escape
+#include "harness/aggregate.h"
+#include "harness/experiment.h"
+#include "harness/json_report.h"
+#include "harness/report.h"
+#include "support/strings.h"
+
+namespace {
+
+struct ProfileCase {
+  const char* name;
+  const char* spec;  // empty = fault-free baseline
+};
+
+constexpr ProfileCase kProfiles[] = {
+    {"none", ""},
+    {"light", "light"},
+    {"moderate", "moderate"},
+    {"heavy", "heavy"},
+};
+
+constexpr const char* kApps[] = {"AddressBook", "PhpBB2", "HotCRP"};
+
+}  // namespace
+
+int main() {
+  using namespace mak;
+  using harness::CrawlerKind;
+
+  const harness::Protocol protocol = harness::protocol_from_env();
+  const CrawlerKind crawlers[] = {
+      CrawlerKind::kMak, CrawlerKind::kMakUcb1, CrawlerKind::kMakThompson,
+      CrawlerKind::kMakEpsilonGreedy};
+
+  std::printf(
+      "Fault robustness: MAK (Exp3.1) vs stochastic-bandit ablations under\n"
+      "escalating fault profiles\n"
+      "protocol: %zu repetitions, %lld virtual minutes per run\n\n",
+      protocol.repetitions,
+      static_cast<long long>(protocol.run.budget /
+                             support::kMillisPerMinute));
+
+  // app -> crawler -> profile -> runs
+  std::vector<std::vector<std::vector<std::vector<harness::RunResult>>>> all;
+  std::vector<const apps::AppInfo*> infos;
+  for (const char* app_name : kApps) {
+    for (const auto& info : apps::app_catalog()) {
+      if (info.name == app_name) infos.push_back(&info);
+    }
+  }
+
+  for (const apps::AppInfo* info : infos) {
+    all.emplace_back();
+    for (const CrawlerKind kind : crawlers) {
+      all.back().emplace_back();
+      for (const ProfileCase& profile : kProfiles) {
+        harness::RunConfig config = protocol.run;
+        if (*profile.spec != '\0') {
+          config.fault = *httpsim::FaultProfile::parse(profile.spec);
+        }
+        all.back().back().push_back(harness::run_repeated(
+            *info, kind, config, protocol.repetitions));
+      }
+    }
+  }
+
+  // Ground truth per app: union over every crawler, profile and run — the
+  // fault-free runs dominate it, so percentages are comparable across
+  // profiles ("how much of the reachable app survives the faults").
+  std::vector<std::size_t> ground_truth;
+  for (std::size_t a = 0; a < all.size(); ++a) {
+    std::vector<std::vector<harness::RunResult>> flat;
+    for (const auto& by_profile : all[a]) {
+      for (const auto& runs : by_profile) flat.push_back(runs);
+    }
+    ground_truth.push_back(harness::estimate_ground_truth(flat));
+  }
+
+  for (std::size_t p = 0; p < std::size(kProfiles); ++p) {
+    std::printf("profile '%s'%s%s\n", kProfiles[p].name,
+                *kProfiles[p].spec != '\0' ? ": " : "",
+                *kProfiles[p].spec != '\0'
+                    ? httpsim::FaultProfile::parse(kProfiles[p].spec)
+                          ->describe()
+                          .c_str()
+                    : "");
+    harness::TextTable table({"Application", "MAK", "MAK-ucb1",
+                              "MAK-thompson", "MAK-eps-greedy",
+                              "mean retries (MAK)"});
+    for (std::size_t a = 0; a < all.size(); ++a) {
+      std::vector<std::string> row = {infos[a]->name};
+      for (std::size_t c = 0; c < std::size(crawlers); ++c) {
+        row.push_back(
+            support::format_fixed(harness::mean_coverage_percent(
+                                      all[a][c][p], ground_truth[a]),
+                                  1) +
+            "%");
+      }
+      double retries = 0.0;
+      for (const auto& run : all[a][0][p]) {
+        retries += static_cast<double>(run.retries);
+      }
+      retries /= static_cast<double>(all[a][0][p].size());
+      row.push_back(support::format_fixed(retries, 1));
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+
+  // Coverage retention: mean coverage under 'heavy' as a fraction of the
+  // same crawler's fault-free coverage, averaged over apps. The headline
+  // number: how gracefully each policy degrades.
+  std::printf("coverage retention under 'heavy' (vs own fault-free run):\n");
+  for (std::size_t c = 0; c < std::size(crawlers); ++c) {
+    double retention = 0.0;
+    for (std::size_t a = 0; a < all.size(); ++a) {
+      const double clean = harness::mean_covered(all[a][c][0]);
+      const double heavy =
+          harness::mean_covered(all[a][c][std::size(kProfiles) - 1]);
+      retention += clean > 0.0 ? heavy / clean : 0.0;
+    }
+    retention /= static_cast<double>(all.size());
+    std::printf("  %-16s %s%%\n",
+                std::string(to_string(crawlers[c])).c_str(),
+                support::format_fixed(100.0 * retention, 1).c_str());
+  }
+
+  const char* out_env = std::getenv("MAK_FAULT_OUT");
+  const std::string out_path =
+      out_env != nullptr && *out_env != '\0' ? out_env
+                                             : "results/fault_robustness.json";
+  std::filesystem::path path(out_path);
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\"bench\":\"fault_robustness\",\"repetitions\":"
+      << protocol.repetitions << ",\"budget_minutes\":"
+      << protocol.run.budget / support::kMillisPerMinute << ",\"profiles\":[";
+  for (std::size_t p = 0; p < std::size(kProfiles); ++p) {
+    if (p > 0) out << ',';
+    out << "{\"name\":\"" << kProfiles[p].name << "\",\"spec\":\""
+        << kProfiles[p].spec << "\",\"apps\":[";
+    for (std::size_t a = 0; a < all.size(); ++a) {
+      if (a > 0) out << ',';
+      out << "{\"app\":\"" << core::json_escape(infos[a]->name)
+          << "\",\"ground_truth\":" << ground_truth[a] << ",\"runs\":[";
+      bool first = true;
+      for (std::size_t c = 0; c < std::size(crawlers); ++c) {
+        for (const auto& run : all[a][c][p]) {
+          if (!first) out << ',';
+          first = false;
+          out << harness::run_to_json(run, /*include_series=*/false);
+        }
+      }
+      out << "]}";
+    }
+    out << "]}";
+  }
+  out << "]}\n";
+  std::printf("\njson written to: %s\n", out_path.c_str());
+  return 0;
+}

@@ -37,8 +37,11 @@ core::InteractionResult QExploreCrawler::execute(core::Browser& browser,
 }
 
 double QExploreCrawler::get_reward(rl::StateId state, std::size_t,
-                                   const core::InteractionResult&,
+                                   const core::InteractionResult& result,
                                    rl::StateId, const core::Page&) {
+  // Transport fault: the action never executed, so it earns nothing and
+  // stays as novel as it was.
+  if (result.transport_error) return 0.0;
   const std::uint64_t key =
       support::mix64(state * 0x9e3779b97f4a7c15ULL ^ executed_key_);
   return curiosity_.visit(key);

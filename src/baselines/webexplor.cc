@@ -136,8 +136,11 @@ core::InteractionResult WebExplorCrawler::execute(core::Browser& browser,
 }
 
 double WebExplorCrawler::get_reward(rl::StateId state, std::size_t,
-                                    const core::InteractionResult&,
+                                    const core::InteractionResult& result,
                                     rl::StateId, const core::Page&) {
+  // Transport fault: the action never executed, so it earns nothing and
+  // stays as novel as it was.
+  if (result.transport_error) return 0.0;
   // Curiosity over (state, action) execution counts.
   const std::uint64_t key =
       support::mix64(state * 0x9e3779b97f4a7c15ULL ^ executed_key_);

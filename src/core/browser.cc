@@ -45,11 +45,45 @@ void Browser::navigate_seed() {
 
 Page Browser::fetch(httpsim::Method method, const url::Url& target,
                     const url::QueryMap& form, InteractionResult* result) {
-  httpsim::FetchResult fetched = network_->fetch(method, target, form, jar_);
+  // A fetch outcome worth retrying: the transport failed (drop, timeout) or
+  // the fault layer shed the request with a transient 5xx. Genuine
+  // application error pages are final — retrying them would only replay the
+  // same server-side state.
+  const auto transport_failed = [](const httpsim::FetchResult& fetched) {
+    return fetched.dropped || fetched.timed_out ||
+           (fetched.injected_fault && fetched.response.status >= 500);
+  };
+
+  httpsim::FetchResult fetched;
+  int attempt = 0;
+  for (;;) {
+    fetched = network_->fetch(method, target, form, jar_, retry_.timeout_ms);
+    if (fetched.timed_out) ++timeouts_;
+    if (!transport_failed(fetched) || attempt >= retry_.max_retries) break;
+    // Exponential backoff with jitter, charged as virtual time: waiting out
+    // a degraded origin competes with crawling for the run's time budget.
+    ++attempt;
+    ++retries_;
+    support::VirtualMillis delay = retry_.backoff_for(attempt);
+    if (retry_.jitter > 0.0) {
+      const double factor =
+          1.0 + retry_.jitter * (2.0 * rng_.uniform01() - 1.0);
+      delay = static_cast<support::VirtualMillis>(
+          static_cast<double>(delay) * factor);
+      if (delay < 0) delay = 0;
+    }
+    network_->clock().advance(delay);
+    backoff_ms_ += delay;
+  }
+
+  const bool transport_error = transport_failed(fetched);
+  if (transport_error) ++transport_failures_;
   if (result != nullptr) {
     result->status = fetched.response.status;
-    result->navigation_error =
-        fetched.network_error || fetched.response.status >= 400;
+    result->transport_error = transport_error;
+    result->retries = attempt;
+    result->navigation_error = fetched.network_error || transport_error ||
+                               fetched.response.status >= 400;
     result->redirects = fetched.redirects;
   }
   return build_page(fetched.final_url, fetched.response.status,

@@ -28,12 +28,20 @@ enum class FormFillStrategy {
 
 class Browser {
  public:
-  // `rng` drives form-value generation only.
+  // `rng` drives form-value generation and retry-backoff jitter.
   Browser(httpsim::Network& network, url::Url seed, support::Rng rng,
           FormFillStrategy fill_strategy = FormFillStrategy::kCounter);
 
   const url::Url& seed() const noexcept { return seed_; }
   const Page& page() const noexcept { return page_; }
+
+  // Client-side resilience: transport failures (drops, timeouts, injected
+  // transient 5xx) are retried up to `max_retries` times with exponential
+  // backoff charged as virtual time. Inactive by default.
+  void set_retry_policy(const httpsim::RetryPolicy& policy) noexcept {
+    retry_ = policy;
+  }
+  const httpsim::RetryPolicy& retry_policy() const noexcept { return retry_; }
 
   // (Re)load the seed URL. Counts as a navigation, not an interaction.
   void navigate_seed();
@@ -47,6 +55,14 @@ class Browser {
   // Counters for the performance evaluation (Section V-D).
   std::size_t interactions() const noexcept { return interactions_; }
   std::size_t navigations() const noexcept { return navigations_; }
+
+  // Resilience accounting (fault-injection experiments).
+  std::size_t retries() const noexcept { return retries_; }
+  std::size_t transport_failures() const noexcept {
+    return transport_failures_;
+  }
+  std::size_t timeouts() const noexcept { return timeouts_; }
+  support::VirtualMillis backoff_ms() const noexcept { return backoff_ms_; }
 
   httpsim::CookieJar& cookies() noexcept { return jar_; }
   FormFillStrategy fill_strategy() const noexcept { return fill_strategy_; }
@@ -63,11 +79,16 @@ class Browser {
   url::Url seed_;
   support::Rng rng_;
   FormFillStrategy fill_strategy_;
+  httpsim::RetryPolicy retry_;
   httpsim::CookieJar jar_;
   Page page_;
   std::size_t interactions_ = 0;
   std::size_t navigations_ = 0;
   std::size_t fill_counter_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t transport_failures_ = 0;
+  std::size_t timeouts_ = 0;
+  support::VirtualMillis backoff_ms_ = 0;
 };
 
 // Build a Page from a fetched body: parse, extract, resolve, filter to the

@@ -77,6 +77,17 @@ void LeveledDeque::requeue(const ResolvedAction& action) {
   ++size_;
 }
 
+void LeveledDeque::requeue_same(const ResolvedAction& action) {
+  const auto it = level_of_.find(action.key());
+  if (it == level_of_.end()) {
+    throw std::logic_error("LeveledDeque::requeue_same: unknown element");
+  }
+  // take() already promoted the element; undo that — the attempt failed.
+  if (it->second > 0) --it->second;
+  level(it->second).push_back(action);
+  ++size_;
+}
+
 void LeveledDeque::requeue_flat(const ResolvedAction& action) {
   const auto it = level_of_.find(action.key());
   if (it == level_of_.end()) {

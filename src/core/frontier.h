@@ -42,6 +42,11 @@ class LeveledDeque {
   // Re-insert an element previously returned by take() one level higher.
   void requeue(const ResolvedAction& action);
 
+  // Re-insert an element previously returned by take() at the level it was
+  // taken from: a failed interaction (transport fault) must not count as an
+  // execution, and the element must never be lost.
+  void requeue_same(const ResolvedAction& action);
+
   // Re-insert at level 0 regardless of history (flat-deque ablation: the
   // structure degenerates to a single deque).
   void requeue_flat(const ResolvedAction& action);

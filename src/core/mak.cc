@@ -80,7 +80,10 @@ InteractionResult MakCrawler::execute(Browser& browser, std::size_t action) {
   }
   set_last_action(std::string(to_string(arm)) + " -> " +
                   in_flight_->describe());
-  return browser.interact(*in_flight_);
+  const InteractionResult result = browser.interact(*in_flight_);
+  in_flight_failed_ = result.transport_error;
+  if (in_flight_failed_) ++failed_interactions_;
+  return result;
 }
 
 void MakCrawler::on_page(const Page& page) {
@@ -90,8 +93,11 @@ void MakCrawler::on_page(const Page& page) {
 }
 
 double MakCrawler::get_reward(rl::StateId, std::size_t,
-                              const InteractionResult&, rl::StateId,
+                              const InteractionResult& result, rl::StateId,
                               const Page& next_page) {
+  // A failed interaction (transport fault) yields nothing by definition —
+  // reward 0, without polluting the reward shaper's running statistics.
+  if (result.transport_error) return 0.0;
   switch (config_.reward_mode) {
     case MakConfig::RewardMode::kStandardizedLinks:
       return standardized_.shape(static_cast<double>(last_link_increment()));
@@ -120,7 +126,12 @@ void MakCrawler::update_policy(rl::StateId, std::size_t action, double reward,
   // Re-queue the interacted element one level up (or back into the single
   // flat deque for the ablation), keeping every element available.
   if (in_flight_.has_value()) {
-    if (config_.leveled_deque) {
+    if (in_flight_failed_) {
+      // The interaction never reached the application: put the element back
+      // at its current level so the attempt does not count against it.
+      frontier_.requeue_same(*in_flight_);
+      in_flight_failed_ = false;
+    } else if (config_.leveled_deque) {
       frontier_.requeue(*in_flight_);
     } else {
       // Flat-deque ablation: behave as one deque — the element returns to

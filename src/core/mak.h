@@ -59,6 +59,9 @@ class MakCrawler final : public RlCrawlerBase {
   const LeveledDeque& frontier() const noexcept { return frontier_; }
   const rl::BanditPolicy& policy() const noexcept { return *policy_; }
   std::size_t steps() const noexcept { return steps_; }
+  std::size_t failed_interactions() const noexcept {
+    return failed_interactions_;
+  }
   const std::array<std::size_t, kArmCount>& arm_counts() const noexcept {
     return arm_counts_;
   }
@@ -85,7 +88,9 @@ class MakCrawler final : public RlCrawlerBase {
   rl::CuriosityReward curiosity_;
   std::vector<std::string> previous_tags_;  // for kDomNovelty
   std::optional<ResolvedAction> in_flight_;  // element taken this step
+  bool in_flight_failed_ = false;  // last interaction was a transport fault
   std::size_t steps_ = 0;
+  std::size_t failed_interactions_ = 0;
   std::array<std::size_t, kArmCount> arm_counts_{};
 };
 

@@ -57,7 +57,8 @@ void CrawlTrace::write_jsonl(std::ostream& os) const {
        << json_escape(event.action) << "\",\"url\":\""
        << json_escape(event.url) << "\",\"status\":" << event.status
        << ",\"new_links\":" << event.new_links
-       << ",\"covered_lines\":" << event.covered_lines << "}\n";
+       << ",\"covered_lines\":" << event.covered_lines
+       << ",\"retries\":" << event.retries << "}\n";
   }
 }
 
@@ -76,6 +77,7 @@ CrawlTrace::Summary CrawlTrace::summarize() const noexcept {
     }
     if (event.status >= 400) ++summary.errors;
     summary.total_new_links += event.new_links;
+    summary.total_retries += event.retries;
   }
   return summary;
 }

@@ -26,6 +26,7 @@ struct TraceEvent {
   int status = 0;           // HTTP status
   std::size_t new_links = 0;
   std::size_t covered_lines = 0;  // server-side coverage after the step
+  std::size_t retries = 0;        // retry attempts spent during the step
 };
 
 std::string_view to_string(TraceEvent::Kind kind) noexcept;
@@ -48,6 +49,7 @@ class CrawlTrace {
     std::size_t recoveries = 0;
     std::size_t errors = 0;         // events with status >= 400
     std::size_t total_new_links = 0;
+    std::size_t total_retries = 0;  // retry attempts across all steps
   };
   Summary summarize() const noexcept;
 

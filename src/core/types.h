@@ -40,6 +40,11 @@ struct Page {
 struct InteractionResult {
   int status = 0;
   bool navigation_error = false;  // status >= 400 or transport failure
+  // The transport layer failed (connection drop, client timeout, or an
+  // injected transient 5xx) even after any configured retries. Distinct from
+  // an application-level error page, which still carries real content.
+  bool transport_error = false;
+  int retries = 0;  // retry attempts spent on this interaction
   int redirects = 0;
 };
 

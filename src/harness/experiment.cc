@@ -133,6 +133,19 @@ RunResult run_once(const apps::AppInfo& app_info, CrawlerKind kind,
                         config.fill_strategy);
   auto crawler = make_crawler(kind, master.fork());
 
+  // Fault injection: a per-run injector with its own RNG stream (forked
+  // after the browser/crawler streams, so a disabled profile leaves those
+  // streams — and therefore the whole run — bit-identical to a build
+  // without fault injection).
+  std::optional<httpsim::FaultInjector> injector;
+  if (config.fault.enabled()) {
+    injector.emplace(config.fault, master.fork().next(), clock);
+    network.set_fault_injector(&*injector);
+  }
+  if (config.fault.retry.active()) {
+    browser.set_retry_policy(config.fault.retry);
+  }
+
   RunResult result;
   result.app = app_info.name;
   result.crawler = std::string(crawler->name());
@@ -163,6 +176,7 @@ RunResult run_once(const apps::AppInfo& app_info, CrawlerKind kind,
     clock.advance(config.think_time);
     const std::size_t interactions_before = browser.interactions();
     const std::size_t links_before = crawler->links_discovered();
+    const std::size_t retries_before = browser.retries();
     crawler->step(browser);
     ++step_index;
     if (config.trace != nullptr) {
@@ -177,6 +191,7 @@ RunResult run_once(const apps::AppInfo& app_info, CrawlerKind kind,
       event.status = browser.page().status;
       event.new_links = crawler->links_discovered() - links_before;
       event.covered_lines = app->tracker().covered_lines();
+      event.retries = browser.retries() - retries_before;
       config.trace->record(std::move(event));
     }
   }
@@ -187,6 +202,18 @@ RunResult run_once(const apps::AppInfo& app_info, CrawlerKind kind,
   result.navigations = browser.navigations();
   result.links_discovered = crawler->links_discovered();
   result.covered = app->tracker().lines();
+  result.fault_active = injector.has_value() || config.fault.retry.active();
+  result.retries = browser.retries();
+  result.transport_failures = browser.transport_failures();
+  result.timeouts = browser.timeouts();
+  result.backoff_ms = browser.backoff_ms();
+  if (injector.has_value()) {
+    const auto& counters = injector->counters();
+    result.injected_errors = counters.injected_errors;
+    result.injected_drops = counters.injected_drops;
+    result.latency_spikes = counters.latency_spikes;
+    result.degraded_requests = counters.window_requests;
+  }
   MAK_LOG_INFO << app_info.name << " / " << result.crawler << ": covered "
                << result.final_covered_lines << "/" << result.total_lines
                << " lines in " << result.interactions << " interactions";
@@ -268,6 +295,12 @@ Protocol protocol_from_env() {
   p.run.sample_interval = static_cast<support::VirtualMillis>(
                               env_or("MAK_SAMPLE_SECONDS", 30)) *
                           support::kMillisPerSecond;
+  if (const auto fault = httpsim::FaultProfile::from_env()) {
+    p.run.fault = *fault;
+  } else if (const char* spec = std::getenv("MAK_FAULT_PROFILE");
+             spec != nullptr && *spec != '\0') {
+    MAK_LOG_WARN << "ignoring unparsable MAK_FAULT_PROFILE: " << spec;
+  }
   return p;
 }
 

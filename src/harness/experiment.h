@@ -13,6 +13,7 @@
 #include "core/trace.h"
 #include "core/mak.h"
 #include "coverage/coverage.h"
+#include "httpsim/fault.h"
 #include "support/clock.h"
 
 namespace mak::harness {
@@ -52,6 +53,11 @@ struct RunConfig {
   core::CrawlTrace* trace = nullptr;
   // How the browser fills empty form fields.
   core::FormFillStrategy fill_strategy = core::FormFillStrategy::kCounter;
+  // Adversarial-network profile (disabled by default: the run behaves
+  // exactly as a fault-free run). Set explicitly or via MAK_FAULT_PROFILE
+  // (see protocol_from_env). The profile's RetryPolicy configures the
+  // browser's client-side resilience.
+  httpsim::FaultProfile fault;
 };
 
 // Everything one crawl run produces.
@@ -66,6 +72,17 @@ struct RunResult {
   std::size_t navigations = 0;           // seed (re)loads
   std::size_t links_discovered = 0;      // crawler's link coverage
   coverage::LineSet covered;             // exact covered set (for unions)
+
+  // Fault-injection accounting (all zero when the profile is disabled).
+  bool fault_active = false;
+  std::size_t retries = 0;               // client retry attempts
+  std::size_t transport_failures = 0;    // fetches that failed after retries
+  std::size_t timeouts = 0;              // client timeout expirations
+  support::VirtualMillis backoff_ms = 0; // virtual time spent backing off
+  std::size_t injected_errors = 0;       // server-side injected 5xx
+  std::size_t injected_drops = 0;        // injected connection drops
+  std::size_t latency_spikes = 0;        // injected latency spikes
+  std::size_t degraded_requests = 0;     // requests inside degradation windows
 };
 
 // Run one crawler once against a fresh instance of `app_info`'s app.

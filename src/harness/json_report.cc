@@ -18,6 +18,20 @@ std::string run_to_json(const RunResult& run, bool include_series) {
   out += ",\"interactions\":" + std::to_string(run.interactions);
   out += ",\"navigations\":" + std::to_string(run.navigations);
   out += ",\"links\":" + std::to_string(run.links_discovered);
+  if (run.fault_active) {
+    // Only present on fault-injection runs, so fault-free reports stay
+    // byte-identical to builds without the fault layer.
+    out += ",\"faults\":{";
+    out += "\"retries\":" + std::to_string(run.retries);
+    out += ",\"transport_failures\":" + std::to_string(run.transport_failures);
+    out += ",\"timeouts\":" + std::to_string(run.timeouts);
+    out += ",\"backoff_ms\":" + std::to_string(run.backoff_ms);
+    out += ",\"injected_errors\":" + std::to_string(run.injected_errors);
+    out += ",\"injected_drops\":" + std::to_string(run.injected_drops);
+    out += ",\"latency_spikes\":" + std::to_string(run.latency_spikes);
+    out += ",\"degraded_requests\":" + std::to_string(run.degraded_requests);
+    out += "}";
+  }
   if (include_series) {
     out += ",\"series\":[";
     bool first = true;

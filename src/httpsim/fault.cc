@@ -1,0 +1,259 @@
+#include "httpsim/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "support/strings.h"
+
+namespace mak::httpsim {
+
+support::VirtualMillis RetryPolicy::backoff_for(int attempt) const noexcept {
+  if (attempt <= 0) return 0;
+  double delay = static_cast<double>(backoff_base_ms);
+  for (int i = 1; i < attempt; ++i) delay *= backoff_multiplier;
+  // Cap at a minute: a crawler never sleeps longer than that on one request.
+  return static_cast<support::VirtualMillis>(
+      std::min(delay, 60.0 * 1000.0));
+}
+
+bool FaultProfile::enabled() const noexcept {
+  if (error_rate > 0.0 || drop_rate > 0.0 || spike_rate > 0.0) return true;
+  return has_windows() && (window_error_rate > 0.0 || window_drop_rate > 0.0);
+}
+
+FaultProfile fault_profile_light() {
+  FaultProfile p;
+  p.error_rate = 0.03;
+  p.drop_rate = 0.01;
+  p.spike_rate = 0.05;
+  p.retry.max_retries = 2;
+  return p;
+}
+
+FaultProfile fault_profile_moderate() {
+  FaultProfile p;
+  p.error_rate = 0.08;
+  p.drop_rate = 0.03;
+  p.spike_rate = 0.10;
+  p.window_period_ms = 5 * support::kMillisPerMinute;
+  p.window_duration_ms = 45 * support::kMillisPerSecond;
+  p.window_offset_ms = 2 * support::kMillisPerMinute;
+  p.window_error_rate = 0.5;
+  p.window_drop_rate = 0.15;
+  p.retry.max_retries = 3;
+  p.retry.timeout_ms = 8000;
+  return p;
+}
+
+FaultProfile fault_profile_heavy() {
+  FaultProfile p;
+  p.error_rate = 0.15;
+  p.drop_rate = 0.08;
+  p.spike_rate = 0.20;
+  p.spike_min_ms = 1500;
+  p.spike_max_ms = 8000;
+  p.window_period_ms = 3 * support::kMillisPerMinute;
+  p.window_duration_ms = 60 * support::kMillisPerSecond;
+  p.window_offset_ms = 1 * support::kMillisPerMinute;
+  p.window_error_rate = 0.7;
+  p.window_drop_rate = 0.35;
+  p.retry.max_retries = 3;
+  p.retry.backoff_base_ms = 750;
+  p.retry.timeout_ms = 6000;
+  return p;
+}
+
+namespace {
+
+bool parse_rate(const std::string& text, double& out) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return false;
+  if (!(value >= 0.0 && value <= 1.0)) return false;
+  out = value;
+  return true;
+}
+
+bool parse_millis(const std::string& text, support::VirtualMillis& out) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || value < 0) return false;
+  out = static_cast<support::VirtualMillis>(value);
+  return true;
+}
+
+bool parse_positive_double(const std::string& text, double& out) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || !(value >= 1.0)) return false;
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+std::optional<FaultProfile> FaultProfile::parse(std::string_view spec) {
+  FaultProfile profile;
+  bool first = true;
+  for (std::string_view token : support::split(spec, ',')) {
+    const std::string item(support::trim(token));
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      // Bare token: a preset name, only meaningful as the first token so
+      // overrides always win.
+      if (!first) return std::nullopt;
+      if (item == "off" || item == "none") {
+        profile = FaultProfile{};
+      } else if (item == "light") {
+        profile = fault_profile_light();
+      } else if (item == "moderate") {
+        profile = fault_profile_moderate();
+      } else if (item == "heavy") {
+        profile = fault_profile_heavy();
+      } else {
+        return std::nullopt;
+      }
+      first = false;
+      continue;
+    }
+    first = false;
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    bool ok = true;
+    if (key == "error") {
+      ok = parse_rate(value, profile.error_rate);
+    } else if (key == "drop") {
+      ok = parse_rate(value, profile.drop_rate);
+    } else if (key == "spike") {
+      ok = parse_rate(value, profile.spike_rate);
+    } else if (key == "spike_ms") {
+      // MIN:MAX or a single value.
+      const auto colon = value.find(':');
+      if (colon == std::string::npos) {
+        ok = parse_millis(value, profile.spike_min_ms);
+        profile.spike_max_ms = profile.spike_min_ms;
+      } else {
+        ok = parse_millis(value.substr(0, colon), profile.spike_min_ms) &&
+             parse_millis(value.substr(colon + 1), profile.spike_max_ms) &&
+             profile.spike_min_ms <= profile.spike_max_ms;
+      }
+    } else if (key == "window_period_ms") {
+      ok = parse_millis(value, profile.window_period_ms);
+    } else if (key == "window_duration_ms") {
+      ok = parse_millis(value, profile.window_duration_ms);
+    } else if (key == "window_offset_ms") {
+      ok = parse_millis(value, profile.window_offset_ms);
+    } else if (key == "window_error") {
+      ok = parse_rate(value, profile.window_error_rate);
+    } else if (key == "window_drop") {
+      ok = parse_rate(value, profile.window_drop_rate);
+    } else if (key == "retries") {
+      support::VirtualMillis n = 0;
+      ok = parse_millis(value, n) && n <= 16;
+      profile.retry.max_retries = static_cast<int>(n);
+    } else if (key == "backoff_ms") {
+      ok = parse_millis(value, profile.retry.backoff_base_ms);
+    } else if (key == "backoff_mult") {
+      ok = parse_positive_double(value, profile.retry.backoff_multiplier);
+    } else if (key == "jitter") {
+      ok = parse_rate(value, profile.retry.jitter);
+    } else if (key == "timeout_ms") {
+      ok = parse_millis(value, profile.retry.timeout_ms);
+    } else {
+      ok = false;
+    }
+    if (!ok) return std::nullopt;
+  }
+  return profile;
+}
+
+std::optional<FaultProfile> FaultProfile::from_env() {
+  const char* spec = std::getenv("MAK_FAULT_PROFILE");
+  if (spec == nullptr || *spec == '\0') return std::nullopt;
+  return parse(spec);
+}
+
+std::string FaultProfile::describe() const {
+  std::string out;
+  const auto add = [&out](const std::string& item) {
+    if (!out.empty()) out += ',';
+    out += item;
+  };
+  const auto rate = [](double r) { return support::format_fixed(r, 3); };
+  if (error_rate > 0) add("error=" + rate(error_rate));
+  if (drop_rate > 0) add("drop=" + rate(drop_rate));
+  if (spike_rate > 0) {
+    add("spike=" + rate(spike_rate));
+    add("spike_ms=" + std::to_string(spike_min_ms) + ":" +
+        std::to_string(spike_max_ms));
+  }
+  if (has_windows()) {
+    add("window_period_ms=" + std::to_string(window_period_ms));
+    add("window_duration_ms=" + std::to_string(window_duration_ms));
+    if (window_offset_ms > 0) {
+      add("window_offset_ms=" + std::to_string(window_offset_ms));
+    }
+    if (window_error_rate > 0) add("window_error=" + rate(window_error_rate));
+    if (window_drop_rate > 0) add("window_drop=" + rate(window_drop_rate));
+  }
+  if (retry.max_retries > 0) {
+    add("retries=" + std::to_string(retry.max_retries));
+    add("backoff_ms=" + std::to_string(retry.backoff_base_ms));
+  }
+  if (retry.timeout_ms > 0) add("timeout_ms=" + std::to_string(retry.timeout_ms));
+  return out.empty() ? "off" : out;
+}
+
+FaultInjector::FaultInjector(FaultProfile profile, std::uint64_t seed,
+                             const support::SimClock& clock)
+    : profile_(std::move(profile)),
+      rng_(support::mix64(seed ^ 0xfa017ab1e5ULL)),
+      clock_(&clock) {}
+
+bool FaultInjector::in_degradation_window() const noexcept {
+  if (!profile_.has_windows()) return false;
+  const support::VirtualMillis now = clock_->now();
+  if (now < profile_.window_offset_ms) return false;
+  const support::VirtualMillis phase =
+      (now - profile_.window_offset_ms) % profile_.window_period_ms;
+  return phase < profile_.window_duration_ms;
+}
+
+FaultDecision FaultInjector::decide(const Request&) {
+  ++counters_.requests_seen;
+  const bool degraded = in_degradation_window();
+  if (degraded) ++counters_.window_requests;
+
+  const double drop_rate =
+      degraded ? std::max(profile_.drop_rate, profile_.window_drop_rate)
+               : profile_.drop_rate;
+  const double error_rate =
+      degraded ? std::max(profile_.error_rate, profile_.window_error_rate)
+               : profile_.error_rate;
+
+  FaultDecision decision;
+  if (profile_.spike_rate > 0.0 && rng_.chance(profile_.spike_rate)) {
+    decision.extra_latency_ms = rng_.uniform_int(
+        profile_.spike_min_ms, profile_.spike_max_ms);
+    ++counters_.latency_spikes;
+    counters_.spike_ms_total += decision.extra_latency_ms;
+  }
+  if (drop_rate > 0.0 && rng_.chance(drop_rate)) {
+    decision.kind = FaultDecision::Kind::kDrop;
+    ++counters_.injected_drops;
+    return decision;
+  }
+  if (error_rate > 0.0 && rng_.chance(error_rate)) {
+    decision.kind = FaultDecision::Kind::kServerError;
+    // Mostly 503 (overload shed) with occasional 500 (transient crash).
+    decision.status = rng_.chance(0.75) ? 503 : 500;
+    ++counters_.injected_errors;
+    return decision;
+  }
+  return decision;
+}
+
+}  // namespace mak::httpsim

@@ -1,0 +1,132 @@
+// Adversarial fault injection for the virtual network.
+//
+// The paper's case for Exp3.1 over stochastic bandits rests on crawl rewards
+// being adversarial/non-stationary (Section II-A.2; Auer et al.'s AdvMAB
+// setting). A perfectly reliable simulated web never stresses that claim, and
+// a production crawler faces timeouts, 5xx bursts and slow origins. The
+// FaultInjector turns the httpsim substrate into a genuinely adversarial
+// environment: transient 500/503 responses, connection drops, latency spikes
+// charged to the virtual clock, and scheduled "degradation windows" during
+// which a whole host goes flaky. All decisions are drawn from a dedicated
+// per-run RNG stream, so a run with a given (seed, profile) pair replays
+// bit-identically regardless of thread count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "httpsim/message.h"
+#include "support/clock.h"
+#include "support/rng.h"
+
+namespace mak::httpsim {
+
+struct Request;
+
+// Client-side resilience policy, configured alongside the fault profile: how
+// the browser reacts when the network misbehaves. All delays are charged as
+// virtual time, so retries compete with crawling for the run's time budget.
+struct RetryPolicy {
+  int max_retries = 0;  // additional attempts after the first (0 = fail fast)
+  support::VirtualMillis backoff_base_ms = 500;  // first retry delay
+  double backoff_multiplier = 2.0;               // exponential growth factor
+  double jitter = 0.2;           // +/- fraction applied to each backoff
+  support::VirtualMillis timeout_ms = 0;  // per-fetch budget (0 = unlimited)
+
+  // Nominal (jitter-free) backoff before retry `attempt` (1-based).
+  support::VirtualMillis backoff_for(int attempt) const noexcept;
+
+  bool active() const noexcept { return max_retries > 0 || timeout_ms > 0; }
+};
+
+// Declarative description of an adversarial network. Rates are per-request
+// probabilities; windows describe scheduled host-wide degradation.
+struct FaultProfile {
+  // Steady-state faults, active on every request.
+  double error_rate = 0.0;  // transient 500/503 response
+  double drop_rate = 0.0;   // connection dropped before reaching the host
+  double spike_rate = 0.0;  // latency spike added to the response cost
+  support::VirtualMillis spike_min_ms = 800;
+  support::VirtualMillis spike_max_ms = 4000;
+
+  // Degradation windows: every `period` the host goes flaky for `duration`,
+  // starting at `offset`. Inside a window the window rates apply (combined
+  // with the steady-state rates via max).
+  support::VirtualMillis window_period_ms = 0;  // 0 = no windows
+  support::VirtualMillis window_duration_ms = 0;
+  support::VirtualMillis window_offset_ms = 0;
+  double window_error_rate = 0.0;
+  double window_drop_rate = 0.0;
+
+  // The client-side policy that rides along with the profile.
+  RetryPolicy retry;
+
+  // True if any server-side fault can ever fire.
+  bool enabled() const noexcept;
+  bool has_windows() const noexcept {
+    return window_period_ms > 0 && window_duration_ms > 0;
+  }
+
+  // Parse a profile spec: either a preset name ("off", "light", "moderate",
+  // "heavy") or/and comma-separated key=value overrides, e.g.
+  //   "moderate,error=0.1,retries=3,timeout_ms=6000"
+  //   "drop=0.05,spike=0.2,spike_ms=1000:8000,window_period_ms=180000,
+  //    window_duration_ms=30000,window_error=0.8"
+  // Returns nullopt on a malformed spec.
+  static std::optional<FaultProfile> parse(std::string_view spec);
+
+  // Profile from the MAK_FAULT_PROFILE environment variable; nullopt when
+  // unset, empty, or unparsable.
+  static std::optional<FaultProfile> from_env();
+
+  // Canonical spec string (round-trips through parse()).
+  std::string describe() const;
+};
+
+// Preset profiles used by the robustness bench.
+FaultProfile fault_profile_light();
+FaultProfile fault_profile_moderate();
+FaultProfile fault_profile_heavy();
+
+// What the injector decided for one request.
+struct FaultDecision {
+  enum class Kind { kPass, kServerError, kDrop };
+  Kind kind = Kind::kPass;
+  int status = 0;  // 500 or 503 when kind == kServerError
+  support::VirtualMillis extra_latency_ms = 0;  // spike (any kind)
+};
+
+// Draws fault decisions from a dedicated RNG stream. Owned per run (never
+// shared across threads); the virtual clock determines window membership.
+class FaultInjector {
+ public:
+  FaultInjector(FaultProfile profile, std::uint64_t seed,
+                const support::SimClock& clock);
+
+  // Decide the fate of one request (consumes RNG; updates counters).
+  FaultDecision decide(const Request& request);
+
+  // Whether the clock currently sits inside a degradation window.
+  bool in_degradation_window() const noexcept;
+
+  struct Counters {
+    std::size_t requests_seen = 0;
+    std::size_t injected_errors = 0;
+    std::size_t injected_drops = 0;
+    std::size_t latency_spikes = 0;
+    std::size_t window_requests = 0;  // requests issued inside a window
+    support::VirtualMillis spike_ms_total = 0;
+  };
+  const Counters& counters() const noexcept { return counters_; }
+  const FaultProfile& profile() const noexcept { return profile_; }
+
+ private:
+  FaultProfile profile_;
+  support::Rng rng_;
+  const support::SimClock* clock_;
+  Counters counters_;
+};
+
+}  // namespace mak::httpsim

@@ -6,6 +6,31 @@
 
 namespace mak::httpsim {
 
+namespace {
+
+// Synthetic transient-failure page produced by the fault injector. The body
+// is intentionally minimal: a degraded origin does not render navigation.
+Response injected_error_response(int status) {
+  Response r;
+  r.status = status;
+  r.body = status == 503
+               ? "<html><head><title>503 Service Unavailable</title></head>"
+                 "<body><h1>Service Unavailable</h1></body></html>"
+               : "<html><head><title>500 Internal Server Error</title></head>"
+                 "<body><h1>Internal Server Error</h1></body></html>";
+  return r;
+}
+
+// A dropped connection yields no response at all: status 0, empty body.
+Response dropped_response() {
+  Response r;
+  r.status = 0;
+  r.body.clear();
+  return r;
+}
+
+}  // namespace
+
 void Network::register_host(std::string host, VirtualHost& handler) {
   hosts_[std::move(host)] = &handler;
 }
@@ -28,12 +53,28 @@ Response Network::dispatch(const Request& request) {
 }
 
 FetchResult Network::fetch(Method method, const url::Url& target,
-                           const url::QueryMap& form, CookieJar& jar) {
+                           const url::QueryMap& form, CookieJar& jar,
+                           support::VirtualMillis timeout_ms) {
   constexpr int kMaxRedirects = 8;
   FetchResult result;
   url::Url current = url::normalized(target);
   Method current_method = method;
   url::QueryMap current_form = form;
+
+  // Virtual time consumed by this fetch so far (for the client timeout).
+  support::VirtualMillis spent = 0;
+  // Charge `cost` against the clock, capped by the timeout budget. Returns
+  // false when the budget ran out (the timeout itself is charged exactly).
+  const auto charge = [&](support::VirtualMillis cost) {
+    if (timeout_ms > 0 && spent + cost >= timeout_ms) {
+      clock_->advance(timeout_ms - spent);
+      spent = timeout_ms;
+      return false;
+    }
+    clock_->advance(cost);
+    spent += cost;
+    return true;
+  };
 
   for (int hop = 0; hop <= kMaxRedirects; ++hop) {
     Request request;
@@ -44,13 +85,48 @@ FetchResult Network::fetch(Method method, const url::Url& target,
     request.form = current_form;
     request.cookies = jar.cookies_for(current);
 
-    Response response = dispatch(request);
+    FaultDecision fault;
+    if (injector_ != nullptr) fault = injector_->decide(request);
+
+    if (fault.kind == FaultDecision::Kind::kDrop) {
+      // Connection reset before the host sees the request: the client pays
+      // the connection latency (plus any spike) and observes no response.
+      result.injected_fault = true;
+      result.final_url = current;
+      result.response = dropped_response();
+      if (charge(latency_.base_ms + fault.extra_latency_ms)) {
+        result.dropped = true;
+      } else {
+        result.timed_out = true;
+      }
+      result.network_error = true;
+      return result;
+    }
+
+    Response response;
+    bool injected = false;
+    if (fault.kind == FaultDecision::Kind::kServerError) {
+      response = injected_error_response(fault.status);
+      injected = true;
+    } else {
+      response = dispatch(request);
+    }
+
     support::VirtualMillis cost =
         response.cost_ms > 0 ? response.cost_ms
                              : latency_.cost(response.body.size());
     // Redirect hops are cheap: an empty 3xx response with no page to render.
     if (response.is_redirect()) cost /= 3;
-    clock_->advance(cost);
+    cost += fault.extra_latency_ms;
+    if (!charge(cost)) {
+      // Client timeout: the response never finished arriving.
+      result.timed_out = true;
+      result.network_error = true;
+      result.injected_fault = fault.extra_latency_ms > 0 || injected;
+      result.final_url = current;
+      result.response = dropped_response();
+      return result;
+    }
     jar.store(current.host, response.set_cookies);
 
     if (response.is_redirect() && response.location.has_value()) {
@@ -75,6 +151,7 @@ FetchResult Network::fetch(Method method, const url::Url& target,
 
     result.final_url = current;
     result.response = std::move(response);
+    result.injected_fault = injected;
     return result;
   }
 

@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "httpsim/cookies.h"
+#include "httpsim/fault.h"
 #include "httpsim/message.h"
 #include "support/clock.h"
 
@@ -36,7 +37,10 @@ struct FetchResult {
   url::Url final_url;   // URL of the page actually landed on
   Response response;    // final (non-redirect) response
   int redirects = 0;    // redirect hops followed
-  bool network_error = false;  // unknown host / redirect loop
+  bool network_error = false;  // redirect loop / drop / timeout
+  bool dropped = false;        // connection dropped by fault injection
+  bool timed_out = false;      // client timeout budget exhausted
+  bool injected_fault = false;  // final outcome produced by the injector
 };
 
 class Network {
@@ -48,13 +52,25 @@ class Network {
   bool knows_host(std::string_view host) const noexcept;
 
   LatencyModel& latency() noexcept { return latency_; }
+  support::SimClock& clock() noexcept { return *clock_; }
+
+  // Attach a fault injector (non-owning; nullptr disables injection). The
+  // injector vets every request before it reaches the host.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+  FaultInjector* fault_injector() const noexcept { return injector_; }
 
   // Perform a request with redirect following (limit 8) and cookie handling
-  // through `jar`. Charges the clock for every hop.
+  // through `jar`. Charges the clock for every hop. A non-zero `timeout_ms`
+  // caps the virtual time this fetch may consume: once the budget is spent
+  // the client aborts (exactly `timeout_ms` is charged in total).
   FetchResult fetch(Method method, const url::Url& target,
-                    const url::QueryMap& form, CookieJar& jar);
+                    const url::QueryMap& form, CookieJar& jar,
+                    support::VirtualMillis timeout_ms = 0);
 
-  // Total requests dispatched (including redirect hops).
+  // Total requests dispatched to hosts (including redirect hops; requests
+  // swallowed by the fault injector are not dispatched).
   std::size_t request_count() const noexcept { return request_count_; }
 
  private:
@@ -63,6 +79,7 @@ class Network {
   support::SimClock* clock_;
   LatencyModel latency_;
   std::map<std::string, VirtualHost*, std::less<>> hosts_;
+  FaultInjector* injector_ = nullptr;
   std::size_t request_count_ = 0;
 };
 

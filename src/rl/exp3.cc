@@ -85,6 +85,7 @@ void Exp31::configure_epoch(std::size_t m) noexcept {
   gamma_ = std::min(
       1.0, std::sqrt(k_ln_k / ((std::numbers::e - 1.0) * gain_target_)));
   std::fill(weights_.begin(), weights_.end(), 1.0);  // line 8
+  ++weight_resets_;
 }
 
 void Exp31::advance_epochs() noexcept {

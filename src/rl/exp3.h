@@ -53,6 +53,10 @@ class Exp31 final : public BanditPolicy {
   const std::vector<double>& estimated_gains() const noexcept {
     return gains_;
   }
+  // Number of weight resets since construction (one per epoch entered,
+  // including resets triggered by reset()). Lets tests assert that epoch
+  // resets fire exactly when the gain target is exceeded.
+  std::size_t weight_resets() const noexcept { return weight_resets_; }
 
  private:
   void configure_epoch(std::size_t m) noexcept;
@@ -63,6 +67,7 @@ class Exp31 final : public BanditPolicy {
   std::size_t epoch_ = 0;
   double gamma_ = 1.0;
   double gain_target_ = 0.0;
+  std::size_t weight_resets_ = 0;
   std::vector<double> weights_;
   std::vector<double> gains_;  // \hat{G}_i — persists across epochs
 };

@@ -1,0 +1,636 @@
+// Fault-injection layer: profile parsing, injector determinism, browser
+// retry/backoff accounting against the virtual clock, bit-identical replay
+// of faulty runs, and no-element-loss guarantees in the MAK frontier.
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "apps/catalog.h"
+#include "core/browser.h"
+#include "core/mak.h"
+#include "core/trace.h"
+#include "harness/experiment.h"
+#include "httpsim/fault.h"
+#include "httpsim/network.h"
+#include "support/rng.h"
+
+namespace mak {
+namespace {
+
+using httpsim::FaultDecision;
+using httpsim::FaultInjector;
+using httpsim::FaultProfile;
+using httpsim::RetryPolicy;
+
+// Saves and restores an environment variable around a test body.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+// ------------------------------------------------------------ FaultProfile
+
+TEST(FaultProfileTest, DefaultIsDisabled) {
+  const FaultProfile p;
+  EXPECT_FALSE(p.enabled());
+  EXPECT_FALSE(p.has_windows());
+  EXPECT_FALSE(p.retry.active());
+  EXPECT_EQ(p.describe(), "off");
+}
+
+TEST(FaultProfileTest, PresetsMatchFactories) {
+  const auto light = FaultProfile::parse("light");
+  ASSERT_TRUE(light.has_value());
+  EXPECT_EQ(light->describe(), httpsim::fault_profile_light().describe());
+  EXPECT_DOUBLE_EQ(light->error_rate, 0.03);
+  EXPECT_EQ(light->retry.max_retries, 2);
+
+  const auto moderate = FaultProfile::parse("moderate");
+  ASSERT_TRUE(moderate.has_value());
+  EXPECT_EQ(moderate->describe(),
+            httpsim::fault_profile_moderate().describe());
+  EXPECT_TRUE(moderate->has_windows());
+
+  const auto heavy = FaultProfile::parse("heavy");
+  ASSERT_TRUE(heavy.has_value());
+  EXPECT_EQ(heavy->describe(), httpsim::fault_profile_heavy().describe());
+  EXPECT_EQ(heavy->spike_min_ms, 1500);
+  EXPECT_EQ(heavy->spike_max_ms, 8000);
+
+  const auto off = FaultProfile::parse("off");
+  ASSERT_TRUE(off.has_value());
+  EXPECT_FALSE(off->enabled());
+}
+
+TEST(FaultProfileTest, OverridesWinOverPreset) {
+  const auto p =
+      FaultProfile::parse("moderate,error=0.5,retries=5,timeout_ms=1234");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->error_rate, 0.5);
+  EXPECT_EQ(p->retry.max_retries, 5);
+  EXPECT_EQ(p->retry.timeout_ms, 1234);
+  // Untouched fields keep the preset values.
+  EXPECT_DOUBLE_EQ(p->drop_rate, 0.03);
+  EXPECT_TRUE(p->has_windows());
+}
+
+TEST(FaultProfileTest, KeyValueOnlySpec) {
+  const auto p = FaultProfile::parse(
+      "drop=0.05,spike=0.2,spike_ms=1000:8000,window_period_ms=180000,"
+      "window_duration_ms=30000,window_error=0.8,jitter=0.1,backoff_mult=3");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->drop_rate, 0.05);
+  EXPECT_EQ(p->spike_min_ms, 1000);
+  EXPECT_EQ(p->spike_max_ms, 8000);
+  EXPECT_EQ(p->window_period_ms, 180000);
+  EXPECT_DOUBLE_EQ(p->window_error_rate, 0.8);
+  EXPECT_DOUBLE_EQ(p->retry.jitter, 0.1);
+  EXPECT_DOUBLE_EQ(p->retry.backoff_multiplier, 3.0);
+}
+
+TEST(FaultProfileTest, SingleSpikeValueSetsBothBounds) {
+  const auto p = FaultProfile::parse("spike=0.1,spike_ms=2500");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->spike_min_ms, 2500);
+  EXPECT_EQ(p->spike_max_ms, 2500);
+}
+
+TEST(FaultProfileTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(FaultProfile::parse("bogus").has_value());
+  EXPECT_FALSE(FaultProfile::parse("error=2.0").has_value());
+  EXPECT_FALSE(FaultProfile::parse("error=-0.1").has_value());
+  EXPECT_FALSE(FaultProfile::parse("error=abc").has_value());
+  EXPECT_FALSE(FaultProfile::parse("spike_ms=9:1").has_value());
+  EXPECT_FALSE(FaultProfile::parse("light,junk").has_value());
+  EXPECT_FALSE(FaultProfile::parse("error=0.1,light").has_value());
+  EXPECT_FALSE(FaultProfile::parse("retries=99").has_value());
+  EXPECT_FALSE(FaultProfile::parse("backoff_mult=0.5").has_value());
+  EXPECT_FALSE(FaultProfile::parse("nonsense=1").has_value());
+}
+
+TEST(FaultProfileTest, DescribeRoundTripsThroughParse) {
+  for (const char* spec : {"light", "moderate", "heavy",
+                           "error=0.25,retries=4,timeout_ms=5000"}) {
+    const auto p = FaultProfile::parse(spec);
+    ASSERT_TRUE(p.has_value()) << spec;
+    const auto reparsed = FaultProfile::parse(p->describe());
+    ASSERT_TRUE(reparsed.has_value()) << p->describe();
+    EXPECT_EQ(reparsed->describe(), p->describe());
+  }
+}
+
+TEST(FaultProfileTest, FromEnvReadsMakFaultProfile) {
+  {
+    ScopedEnv env("MAK_FAULT_PROFILE", "light");
+    const auto p = FaultProfile::from_env();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->describe(), httpsim::fault_profile_light().describe());
+  }
+  {
+    ScopedEnv env("MAK_FAULT_PROFILE", "not-a-profile");
+    EXPECT_FALSE(FaultProfile::from_env().has_value());
+  }
+  {
+    ScopedEnv env("MAK_FAULT_PROFILE", nullptr);
+    EXPECT_FALSE(FaultProfile::from_env().has_value());
+  }
+}
+
+TEST(FaultProfileTest, RetryOnlyProfileIsNotServerSideEnabled) {
+  const auto p = FaultProfile::parse("retries=3,timeout_ms=4000");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_FALSE(p->enabled());     // nothing injected server-side
+  EXPECT_TRUE(p->retry.active());  // but the client policy is live
+}
+
+TEST(RetryPolicyTest, BackoffIsExponentialAndCapped) {
+  RetryPolicy policy;
+  policy.backoff_base_ms = 500;
+  policy.backoff_multiplier = 2.0;
+  EXPECT_EQ(policy.backoff_for(0), 0);
+  EXPECT_EQ(policy.backoff_for(1), 500);
+  EXPECT_EQ(policy.backoff_for(2), 1000);
+  EXPECT_EQ(policy.backoff_for(3), 2000);
+  EXPECT_EQ(policy.backoff_for(30), 60000);  // capped at one minute
+}
+
+// ----------------------------------------------------------- FaultInjector
+
+TEST(FaultInjectorTest, SameSeedSameDecisionStream) {
+  const FaultProfile profile = httpsim::fault_profile_heavy();
+  support::SimClock clock;
+  FaultInjector a(profile, 0xfeed, clock);
+  FaultInjector b(profile, 0xfeed, clock);
+  httpsim::Request request;
+  for (int i = 0; i < 500; ++i) {
+    const FaultDecision da = a.decide(request);
+    const FaultDecision db = b.decide(request);
+    ASSERT_EQ(da.kind, db.kind) << "at request " << i;
+    ASSERT_EQ(da.status, db.status);
+    ASSERT_EQ(da.extra_latency_ms, db.extra_latency_ms);
+    clock.advance(250);
+  }
+  EXPECT_EQ(a.counters().injected_errors, b.counters().injected_errors);
+  EXPECT_EQ(a.counters().injected_drops, b.counters().injected_drops);
+  EXPECT_EQ(a.counters().latency_spikes, b.counters().latency_spikes);
+  EXPECT_EQ(a.counters().spike_ms_total, b.counters().spike_ms_total);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  const FaultProfile profile = httpsim::fault_profile_heavy();
+  support::SimClock clock;
+  FaultInjector a(profile, 1, clock);
+  FaultInjector b(profile, 2, clock);
+  httpsim::Request request;
+  bool diverged = false;
+  for (int i = 0; i < 500 && !diverged; ++i) {
+    const FaultDecision da = a.decide(request);
+    const FaultDecision db = b.decide(request);
+    diverged = da.kind != db.kind || da.extra_latency_ms != db.extra_latency_ms;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjectorTest, DegradationWindowSchedule) {
+  FaultProfile profile;
+  profile.window_period_ms = 10000;
+  profile.window_duration_ms = 2000;
+  profile.window_offset_ms = 5000;
+  profile.window_error_rate = 1.0;
+  support::SimClock clock;
+  FaultInjector injector(profile, 3, clock);
+
+  const auto at = [&](support::VirtualMillis t) {
+    clock.advance(t - clock.now());
+    return injector.in_degradation_window();
+  };
+  EXPECT_FALSE(at(0));
+  EXPECT_FALSE(at(4999));
+  EXPECT_TRUE(at(5000));    // window opens at the offset
+  EXPECT_TRUE(at(6999));
+  EXPECT_FALSE(at(7000));   // closes after `duration`
+  EXPECT_TRUE(at(15000));   // reopens one period later
+  EXPECT_FALSE(at(17500));
+}
+
+TEST(FaultInjectorTest, WindowRatesOnlyApplyInsideWindow) {
+  FaultProfile profile;
+  profile.window_period_ms = 10000;
+  profile.window_duration_ms = 1000;
+  profile.window_drop_rate = 1.0;  // drops only inside the window
+  support::SimClock clock;
+  FaultInjector injector(profile, 4, clock);
+  httpsim::Request request;
+
+  // Inside the window every request drops.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(injector.decide(request).kind, FaultDecision::Kind::kDrop);
+  }
+  EXPECT_EQ(injector.counters().window_requests, 10u);
+  EXPECT_EQ(injector.counters().injected_drops, 10u);
+
+  // Outside the window the steady-state (zero) rates apply.
+  clock.advance(1500);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(injector.decide(request).kind, FaultDecision::Kind::kPass);
+  }
+  EXPECT_EQ(injector.counters().window_requests, 10u);
+  EXPECT_EQ(injector.counters().injected_drops, 10u);
+  EXPECT_EQ(injector.counters().requests_seen, 20u);
+}
+
+TEST(FaultInjectorTest, CertainErrorsAreTransient5xx) {
+  FaultProfile profile;
+  profile.error_rate = 1.0;
+  support::SimClock clock;
+  FaultInjector injector(profile, 5, clock);
+  httpsim::Request request;
+  for (int i = 0; i < 200; ++i) {
+    const FaultDecision d = injector.decide(request);
+    ASSERT_EQ(d.kind, FaultDecision::Kind::kServerError);
+    ASSERT_TRUE(d.status == 503 || d.status == 500) << d.status;
+  }
+  EXPECT_EQ(injector.counters().injected_errors, 200u);
+  EXPECT_EQ(injector.counters().requests_seen, 200u);
+}
+
+TEST(FaultInjectorTest, SpikesStayWithinConfiguredRange) {
+  FaultProfile profile;
+  profile.spike_rate = 1.0;
+  profile.spike_min_ms = 100;
+  profile.spike_max_ms = 200;
+  support::SimClock clock;
+  FaultInjector injector(profile, 6, clock);
+  httpsim::Request request;
+  support::VirtualMillis total = 0;
+  for (int i = 0; i < 200; ++i) {
+    const FaultDecision d = injector.decide(request);
+    ASSERT_GE(d.extra_latency_ms, 100);
+    ASSERT_LE(d.extra_latency_ms, 200);
+    total += d.extra_latency_ms;
+  }
+  EXPECT_EQ(injector.counters().latency_spikes, 200u);
+  EXPECT_EQ(injector.counters().spike_ms_total, total);
+}
+
+// ----------------------------------------------------- browser retry logic
+
+// Minimal host: every path renders a small page.
+class StaticHost : public httpsim::VirtualHost {
+ public:
+  httpsim::Response handle(const httpsim::Request& request) override {
+    ++requests;
+    return httpsim::Response::html("<p>" + request.decoded_path() + "</p>");
+  }
+  int requests = 0;
+};
+
+// Host whose pages are genuine application 5xx errors (not transient).
+class BrokenHost : public httpsim::VirtualHost {
+ public:
+  httpsim::Response handle(const httpsim::Request&) override {
+    ++requests;
+    return httpsim::Response::server_error("persistent app bug");
+  }
+  int requests = 0;
+};
+
+class BrowserRetryTest : public ::testing::Test {
+ protected:
+  core::Browser make_browser(httpsim::Network& network) {
+    return core::Browser(network, *url::parse("http://h.test/"),
+                         support::Rng(0x1234));
+  }
+};
+
+TEST_F(BrowserRetryTest, BackoffChargedToVirtualClockExactly) {
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  StaticHost host;
+  network.register_host("h.test", host);
+
+  FaultProfile profile;
+  profile.drop_rate = 1.0;  // every attempt fails
+  FaultInjector injector(profile, 9, clock);
+  network.set_fault_injector(&injector);
+
+  RetryPolicy retry;
+  retry.max_retries = 2;
+  retry.backoff_base_ms = 400;
+  retry.backoff_multiplier = 2.0;
+  retry.jitter = 0.0;
+
+  core::Browser browser = make_browser(network);
+  browser.set_retry_policy(retry);
+  browser.navigate_seed();
+
+  // 3 attempts x 120 ms connection cost, plus backoffs of 400 and 800 ms.
+  EXPECT_EQ(clock.now(), 3 * 120 + 400 + 800);
+  EXPECT_EQ(browser.retries(), 2u);
+  EXPECT_EQ(browser.backoff_ms(), 1200);
+  EXPECT_EQ(browser.transport_failures(), 1u);
+  EXPECT_EQ(browser.timeouts(), 0u);
+  EXPECT_EQ(host.requests, 0);  // the host never saw a request
+}
+
+TEST_F(BrowserRetryTest, JitterStaysWithinConfiguredBounds) {
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  StaticHost host;
+  network.register_host("h.test", host);
+
+  FaultProfile profile;
+  profile.drop_rate = 1.0;
+  FaultInjector injector(profile, 10, clock);
+  network.set_fault_injector(&injector);
+
+  RetryPolicy retry;
+  retry.max_retries = 3;
+  retry.backoff_base_ms = 1000;
+  retry.backoff_multiplier = 1.0;  // constant nominal delay
+  retry.jitter = 0.2;
+
+  core::Browser browser = make_browser(network);
+  browser.set_retry_policy(retry);
+  browser.navigate_seed();
+
+  // Each of the 3 backoffs is 1000 ms +/- 20%.
+  EXPECT_GE(browser.backoff_ms(), 3 * 800);
+  EXPECT_LE(browser.backoff_ms(), 3 * 1200);
+  EXPECT_EQ(browser.retries(), 3u);
+}
+
+TEST_F(BrowserRetryTest, TimeoutChargesExactlyTheBudget) {
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  StaticHost host;
+  network.register_host("h.test", host);
+
+  FaultProfile profile;
+  profile.spike_rate = 1.0;  // every response 10 s late
+  profile.spike_min_ms = 10000;
+  profile.spike_max_ms = 10000;
+  FaultInjector injector(profile, 11, clock);
+  network.set_fault_injector(&injector);
+
+  RetryPolicy retry;
+  retry.timeout_ms = 2000;  // no retries: fail fast after the timeout
+
+  core::Browser browser = make_browser(network);
+  browser.set_retry_policy(retry);
+  browser.navigate_seed();
+
+  EXPECT_EQ(clock.now(), 2000);  // exactly the per-fetch budget
+  EXPECT_EQ(browser.timeouts(), 1u);
+  EXPECT_EQ(browser.transport_failures(), 1u);
+  EXPECT_EQ(browser.retries(), 0u);
+}
+
+TEST_F(BrowserRetryTest, BackoffPushesRetryPastDegradationWindow) {
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  StaticHost host;
+  network.register_host("h.test", host);
+
+  // Drops only during the window [0, 1000); clean afterwards.
+  FaultProfile profile;
+  profile.window_period_ms = 1000000;
+  profile.window_duration_ms = 1000;
+  profile.window_drop_rate = 1.0;
+  FaultInjector injector(profile, 12, clock);
+  network.set_fault_injector(&injector);
+
+  RetryPolicy retry;
+  retry.max_retries = 3;
+  retry.backoff_base_ms = 1000;
+  retry.jitter = 0.0;
+
+  core::Browser browser = make_browser(network);
+  browser.set_retry_policy(retry);
+  browser.navigate_seed();
+
+  // Attempt 1 at t=0 drops; the 1 s backoff lands attempt 2 outside the
+  // window, which succeeds.
+  EXPECT_EQ(browser.retries(), 1u);
+  EXPECT_EQ(browser.transport_failures(), 0u);
+  EXPECT_EQ(browser.page().status, 200);
+  EXPECT_EQ(host.requests, 1);
+}
+
+TEST_F(BrowserRetryTest, GenuineApplicationErrorsAreNotRetried) {
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  BrokenHost host;
+  network.register_host("h.test", host);
+
+  RetryPolicy retry;
+  retry.max_retries = 5;
+
+  core::Browser browser = make_browser(network);
+  browser.set_retry_policy(retry);
+  browser.navigate_seed();
+
+  // A real 500 page from the application is final: retrying would only
+  // replay the same server-side state.
+  EXPECT_EQ(browser.page().status, 500);
+  EXPECT_EQ(browser.retries(), 0u);
+  EXPECT_EQ(browser.transport_failures(), 0u);
+  EXPECT_EQ(host.requests, 1);
+}
+
+// ------------------------------------------------------------ replay tests
+
+harness::RunConfig faulty_config(core::CrawlTrace* trace) {
+  harness::RunConfig config;
+  config.budget = 4 * support::kMillisPerMinute;
+  config.seed = 0xfa57;
+  config.fault = *FaultProfile::parse("heavy");
+  config.trace = trace;
+  return config;
+}
+
+const apps::AppInfo& app_info(const char* name) {
+  for (const auto& info : apps::app_catalog()) {
+    if (info.name == name) return info;
+  }
+  throw std::logic_error("unknown app");
+}
+
+TEST(FaultReplayTest, SameSeedAndProfileReplaysIdenticalTrace) {
+  core::CrawlTrace first;
+  core::CrawlTrace second;
+  const auto a =
+      harness::run_once(app_info("AddressBook"), harness::CrawlerKind::kMak,
+                        faulty_config(&first));
+  const auto b =
+      harness::run_once(app_info("AddressBook"), harness::CrawlerKind::kMak,
+                        faulty_config(&second));
+
+  EXPECT_EQ(a.final_covered_lines, b.final_covered_lines);
+  EXPECT_EQ(a.interactions, b.interactions);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.transport_failures, b.transport_failures);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.backoff_ms, b.backoff_ms);
+  EXPECT_EQ(a.injected_errors, b.injected_errors);
+  EXPECT_EQ(a.injected_drops, b.injected_drops);
+  EXPECT_EQ(a.latency_spikes, b.latency_spikes);
+
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_FALSE(first.empty());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    const auto& x = first.events()[i];
+    const auto& y = second.events()[i];
+    ASSERT_EQ(x.kind, y.kind) << "event " << i;
+    ASSERT_EQ(x.time, y.time) << "event " << i;
+    ASSERT_EQ(x.step, y.step) << "event " << i;
+    ASSERT_EQ(x.action, y.action) << "event " << i;
+    ASSERT_EQ(x.url, y.url) << "event " << i;
+    ASSERT_EQ(x.status, y.status) << "event " << i;
+    ASSERT_EQ(x.new_links, y.new_links) << "event " << i;
+    ASSERT_EQ(x.covered_lines, y.covered_lines) << "event " << i;
+    ASSERT_EQ(x.retries, y.retries) << "event " << i;
+  }
+  // The heavy profile actually exercised the fault machinery.
+  EXPECT_GT(a.injected_errors + a.injected_drops + a.latency_spikes, 0u);
+  EXPECT_TRUE(a.fault_active);
+}
+
+TEST(FaultReplayTest, RunRepeatedIsThreadCountInvariant) {
+  harness::RunConfig config;
+  config.budget = 3 * support::kMillisPerMinute;
+  config.seed = 0xbead;
+  config.fault = *FaultProfile::parse("heavy");
+  const auto& info = app_info("AddressBook");
+
+  std::vector<harness::RunResult> serial;
+  std::vector<harness::RunResult> threaded;
+  {
+    ScopedEnv env("MAK_THREADS", "1");
+    serial = harness::run_repeated(info, harness::CrawlerKind::kMak, config, 4);
+  }
+  {
+    ScopedEnv env("MAK_THREADS", "8");
+    threaded =
+        harness::run_repeated(info, harness::CrawlerKind::kMak, config, 4);
+  }
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t rep = 0; rep < serial.size(); ++rep) {
+    EXPECT_EQ(serial[rep].final_covered_lines,
+              threaded[rep].final_covered_lines)
+        << "rep " << rep;
+    EXPECT_EQ(serial[rep].interactions, threaded[rep].interactions);
+    EXPECT_EQ(serial[rep].links_discovered, threaded[rep].links_discovered);
+    EXPECT_EQ(serial[rep].retries, threaded[rep].retries);
+    EXPECT_EQ(serial[rep].backoff_ms, threaded[rep].backoff_ms);
+    EXPECT_EQ(serial[rep].injected_errors, threaded[rep].injected_errors);
+    EXPECT_EQ(serial[rep].injected_drops, threaded[rep].injected_drops);
+    EXPECT_EQ(serial[rep].latency_spikes, threaded[rep].latency_spikes);
+  }
+}
+
+TEST(FaultReplayTest, DisabledProfileReportsNoFaultActivity) {
+  harness::RunConfig config;
+  config.budget = 2 * support::kMillisPerMinute;
+  config.seed = 0x9;
+  const auto result = harness::run_once(
+      app_info("AddressBook"), harness::CrawlerKind::kMak, config);
+  EXPECT_FALSE(result.fault_active);
+  EXPECT_EQ(result.retries, 0u);
+  EXPECT_EQ(result.transport_failures, 0u);
+  EXPECT_EQ(result.timeouts, 0u);
+  EXPECT_EQ(result.backoff_ms, 0);
+  EXPECT_EQ(result.injected_errors, 0u);
+  EXPECT_EQ(result.injected_drops, 0u);
+}
+
+// ------------------------------------------------- frontier under failure
+
+TEST(NoElementLossTest, DroppedInteractionsNeverShrinkTheFrontier) {
+  auto app = apps::make_app("AddressBook");
+  support::SimClock clock;
+  httpsim::Network network(clock);
+  network.register_host(app->host(), *app);
+  support::Rng master(0x10ad);
+  core::Browser browser(network, app->seed_url(), master.fork());
+  core::MakCrawler crawler(master.fork());
+
+  crawler.start(browser);  // clean seed load populates the frontier
+  const std::size_t frontier_size = crawler.frontier().size();
+  const std::size_t links_before = crawler.links_discovered();
+  ASSERT_GT(frontier_size, 0u);
+
+  // Total outage: every request drops, no retries configured.
+  FaultProfile profile;
+  profile.drop_rate = 1.0;
+  FaultInjector injector(profile, 0xdead, clock);
+  network.set_fault_injector(&injector);
+
+  for (int i = 0; i < 20; ++i) {
+    crawler.step(browser);
+    // The element taken this step went back to the level it came from:
+    // nothing is lost and nothing is promoted.
+    ASSERT_EQ(crawler.frontier().size(), frontier_size) << "step " << i;
+    ASSERT_EQ(crawler.frontier().lowest_level(), 0u) << "step " << i;
+  }
+  EXPECT_EQ(crawler.failed_interactions(), 20u);
+  EXPECT_EQ(crawler.links_discovered(), links_before);
+
+  // Outage ends: crawling resumes and makes progress again.
+  network.set_fault_injector(nullptr);
+  const std::size_t covered_before = app->tracker().covered_lines();
+  for (int i = 0; i < 30; ++i) crawler.step(browser);
+  EXPECT_EQ(crawler.failed_interactions(), 20u);
+  EXPECT_GT(app->tracker().covered_lines(), covered_before);
+  EXPECT_GT(crawler.links_discovered(), links_before);
+}
+
+TEST(NoElementLossTest, FailedAttemptDoesNotCountAsInteraction) {
+  core::LeveledDeque deque;
+  support::Rng rng(1);
+  core::ResolvedAction action;
+  action.element.kind = html::InteractableKind::kLink;
+  action.element.target = "/a";
+  action.target = *url::parse("http://h.test/a");
+
+  ASSERT_TRUE(deque.push(action));
+  const auto taken = deque.take(core::Arm::kHead, rng);
+  ASSERT_TRUE(taken.has_value());
+
+  deque.requeue_same(*taken);
+  EXPECT_EQ(deque.size(), 1u);
+  EXPECT_EQ(deque.lowest_level(), 0u);
+  EXPECT_EQ(deque.interactions_of(action.key()), 0u);
+
+  // A successful interaction then promotes as usual.
+  const auto again = deque.take(core::Arm::kHead, rng);
+  ASSERT_TRUE(again.has_value());
+  deque.requeue(*again);
+  EXPECT_EQ(deque.lowest_level(), 1u);
+  EXPECT_EQ(deque.interactions_of(action.key()), 1u);
+}
+
+}  // namespace
+}  // namespace mak

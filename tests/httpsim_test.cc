@@ -263,5 +263,117 @@ TEST_F(NetworkTest, RequestCountIncludesRedirectHops) {
   EXPECT_EQ(network_.request_count(), 2u);
 }
 
+// ------------------------------------------------ network under injection
+
+TEST_F(NetworkTest, InjectedErrorPreemptsRedirectLoopDuringWindow) {
+  // The host's /loop endpoint redirects forever, but while the degradation
+  // window is open the injector sheds the request before the host sees it.
+  FaultProfile profile;
+  profile.window_period_ms = 1000000;
+  profile.window_duration_ms = 1000;
+  profile.window_error_rate = 1.0;
+  FaultInjector injector(profile, 7, clock_);
+  network_.set_fault_injector(&injector);
+
+  const auto degraded = network_.fetch(
+      Method::kGet, *url::parse("http://h.test/loop"), url::QueryMap{}, jar_);
+  EXPECT_TRUE(degraded.injected_fault);
+  EXPECT_GE(degraded.response.status, 500);
+  EXPECT_EQ(degraded.redirects, 0);
+  EXPECT_EQ(host_.requests, 0);  // shed before dispatch
+  EXPECT_EQ(network_.request_count(), 0u);
+
+  // After the window closes the loop is the host's own pathology again.
+  clock_.advance(1500);
+  const auto looping = network_.fetch(
+      Method::kGet, *url::parse("http://h.test/loop"), url::QueryMap{}, jar_);
+  EXPECT_FALSE(looping.injected_fault);
+  EXPECT_TRUE(looping.network_error);
+  EXPECT_GE(looping.redirects, 8);
+}
+
+TEST_F(NetworkTest, CookiesPersistAcrossDroppedAndRetriedRequests) {
+  // Drops only inside the window [0, 1000).
+  FaultProfile profile;
+  profile.window_period_ms = 1000000;
+  profile.window_duration_ms = 1000;
+  profile.window_drop_rate = 1.0;
+  FaultInjector injector(profile, 8, clock_);
+  network_.set_fault_injector(&injector);
+
+  // The dropped attempt never reaches the host, so no cookie is set...
+  const auto dropped = network_.fetch(
+      Method::kGet, *url::parse("http://h.test/redirect"), url::QueryMap{},
+      jar_);
+  EXPECT_TRUE(dropped.dropped);
+  EXPECT_EQ(jar_.size(), 0u);
+
+  // ...the manual retry after the window succeeds and stores it...
+  clock_.advance(2000);
+  const auto retried = network_.fetch(
+      Method::kGet, *url::parse("http://h.test/redirect"), url::QueryMap{},
+      jar_);
+  EXPECT_EQ(retried.response.status, 200);
+  EXPECT_EQ(jar_.cookies_for(*url::parse("http://h.test/")).at("hop"), "1");
+
+  // ...and subsequent requests carry it: the jar survived the fault.
+  network_.fetch(Method::kGet, *url::parse("http://h.test/x"),
+                 url::QueryMap{}, jar_);
+  EXPECT_EQ(host_.last.cookies.at("hop"), "1");
+}
+
+// Host with server-side session state keyed on a sid cookie.
+class SessionCounterHost : public VirtualHost {
+ public:
+  Response handle(const Request& request) override {
+    ++requests;
+    if (request.cookies.find("sid") == request.cookies.end()) {
+      Response r = Response::html("<p>welcome</p>");
+      r.set_cookies.push_back({"sid", "s-1", "/"});
+      return r;
+    }
+    ++counter;
+    return Response::html("<p>count " + std::to_string(counter) + "</p>");
+  }
+  int requests = 0;
+  int counter = 0;  // session-scoped state
+};
+
+TEST_F(NetworkTest, SessionSurvivesInjected503ThenRecovers) {
+  SessionCounterHost session_host;
+  network_.register_host("s.test", session_host);
+
+  // Establish the session on a clean network.
+  const auto hello = network_.fetch(
+      Method::kGet, *url::parse("http://s.test/"), url::QueryMap{}, jar_);
+  EXPECT_EQ(hello.response.status, 200);
+  ASSERT_EQ(jar_.cookies_for(*url::parse("http://s.test/")).at("sid"), "s-1");
+
+  // The origin degrades: every request answered with an injected 503 while
+  // the window (opening now) is live.
+  FaultProfile profile;
+  profile.window_period_ms = 1000000;
+  profile.window_duration_ms = 1000;
+  profile.window_offset_ms = clock_.now();
+  profile.window_error_rate = 1.0;
+  FaultInjector injector(profile, 9, clock_);
+  network_.set_fault_injector(&injector);
+
+  const auto shed = network_.fetch(
+      Method::kGet, *url::parse("http://s.test/"), url::QueryMap{}, jar_);
+  EXPECT_EQ(shed.response.status, 503);
+  EXPECT_TRUE(shed.injected_fault);
+  EXPECT_EQ(session_host.requests, 1);  // the 503 never hit the app
+
+  // Recovery: same jar, same session — the server-side counter picks up
+  // where the session left off.
+  clock_.advance(1500);
+  const auto recovered = network_.fetch(
+      Method::kGet, *url::parse("http://s.test/"), url::QueryMap{}, jar_);
+  EXPECT_EQ(recovered.response.status, 200);
+  EXPECT_NE(recovered.response.body.find("count 1"), std::string::npos);
+  EXPECT_EQ(session_host.requests, 2);
+}
+
 }  // namespace
 }  // namespace mak::httpsim

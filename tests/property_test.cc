@@ -1,4 +1,6 @@
 // Randomized property tests: generated inputs, seeded and deterministic.
+#include <algorithm>
+#include <cmath>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -10,6 +12,7 @@
 #include "html/interactables.h"
 #include "html/parser.h"
 #include "httpsim/network.h"
+#include "rl/exp3.h"
 #include "support/rng.h"
 #include "url/url.h"
 
@@ -192,6 +195,97 @@ TEST(SiteMapperTest, DeterministicAcrossRuns) {
   EXPECT_EQ(a.pages_visited, b.pages_visited);
   EXPECT_EQ(a.max_depth, b.max_depth);
   EXPECT_EQ(a.coverable_lines, b.coverable_lines);
+}
+
+// --------------------------------------- Exp3.1 under adversarial rewards
+
+// Exp3.1 is the paper's policy precisely because crawl rewards are
+// adversarial; these properties must hold for *every* reward stream, so we
+// drive the policy with a phase-shifting adversary (the best arm rotates
+// every 100 steps, and every third phase is a total reward drought) and
+// check the Algorithm 1 invariants after each update.
+class Exp31AdversarialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Exp31AdversarialTest, InvariantsHoldOnPhaseShiftingStream) {
+  constexpr std::size_t kArms = 3;
+  const double k = static_cast<double>(kArms);
+  rl::Exp31 policy(kArms);
+
+  // Construction auto-advances out of epoch 0 (whose termination bound is
+  // already violated at zero gain): gamma_1 = min(1, sqrt(1/4)) = 1/2.
+  EXPECT_EQ(policy.epoch(), 1u);
+  EXPECT_DOUBLE_EQ(policy.gamma(), 0.5);
+
+  support::Rng rng(GetParam());
+  const std::size_t resets_at_start = policy.weight_resets();
+  const std::size_t epoch_at_start = policy.epoch();
+
+  for (int t = 0; t < 4000; ++t) {
+    const std::size_t phase = static_cast<std::size_t>(t / 100);
+    const std::size_t best = phase % kArms;
+    const bool drought = phase % 3 == 2;
+
+    const std::size_t arm = policy.choose(rng);
+    double reward = 0.0;
+    if (!drought) {
+      reward = arm == best ? 1.0 : (rng.chance(0.1) ? 0.5 : 0.0);
+    }
+
+    const std::size_t resets_before = policy.weight_resets();
+    const double target_before = policy.gain_target();
+    const double gamma_before = policy.gamma();
+    policy.update(arm, reward);
+
+    // Probabilities form a distribution with the Exp3 exploration floor.
+    const auto probs = policy.probabilities();
+    double sum = 0.0;
+    for (double p : probs) {
+      ASSERT_TRUE(std::isfinite(p)) << "step " << t;
+      ASSERT_GE(p, policy.gamma() / k - 1e-12) << "step " << t;
+      sum += p;
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-9) << "step " << t;
+
+    // Algorithm 1 line 9: after advance_epochs() the current epoch's
+    // termination bound holds for the estimated gains.
+    const double max_gain = *std::max_element(
+        policy.estimated_gains().begin(), policy.estimated_gains().end());
+    ASSERT_LE(max_gain, policy.gain_target() - k / policy.gamma() + 1e-9)
+        << "step " << t;
+
+    // A weight reset fires exactly when the gain target of the epoch the
+    // update ran under was exceeded — never spuriously.
+    if (policy.weight_resets() > resets_before) {
+      ASSERT_GT(max_gain, target_before - k / gamma_before) << "step " << t;
+    } else {
+      ASSERT_EQ(policy.gain_target(), target_before) << "step " << t;
+    }
+  }
+
+  // Epochs advance one at a time, so resets and epoch moves match up, and
+  // 4000 adversarial steps are enough to leave the starting epoch.
+  EXPECT_EQ(policy.epoch() - epoch_at_start,
+            policy.weight_resets() - resets_at_start);
+  EXPECT_GT(policy.weight_resets(), resets_at_start);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Exp31AdversarialTest,
+                         ::testing::Values(5u, 55u, 555u));
+
+TEST(Exp31AdversarialTest, AllZeroRewardsNeverProduceNaN) {
+  rl::Exp31 policy(3);
+  for (int t = 0; t < 10000; ++t) {
+    policy.update(static_cast<std::size_t>(t % 3), 0.0);
+  }
+  // Zero reward means zero importance-weighted estimate: weights stay at 1,
+  // the distribution stays uniform, and no epoch ever terminates.
+  const auto probs = policy.probabilities();
+  for (double p : probs) {
+    ASSERT_TRUE(std::isfinite(p));
+    EXPECT_NEAR(p, 1.0 / 3.0, 1e-12);
+  }
+  EXPECT_EQ(policy.epoch(), 1u);
+  for (double g : policy.estimated_gains()) EXPECT_EQ(g, 0.0);
 }
 
 // ---------------------------------------- determinism across all crawlers

@@ -24,8 +24,13 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--app NAME] [--crawler NAME] [--minutes N] [--seed N]\n"
       "          [--sample-seconds N] [--csv FILE] [--trace FILE] [--json FILE]\n"
-      "          [--list]\n"
-      "defaults: --app AddressBook --crawler MAK --minutes 30 --seed 23501\n",
+      "          [--fault PROFILE] [--list]\n"
+      "defaults: --app AddressBook --crawler MAK --minutes 30 --seed 23501\n"
+      "fault profiles: off | light | moderate | heavy, optionally followed by\n"
+      "  key=value overrides (error=, drop=, spike=, spike_ms=MIN:MAX,\n"
+      "  window_period_ms=, window_duration_ms=, window_offset_ms=,\n"
+      "  window_error=, window_drop=, retries=, backoff_ms=, backoff_mult=,\n"
+      "  jitter=, timeout_ms=); also read from MAK_FAULT_PROFILE\n",
       argv0);
 }
 
@@ -38,6 +43,7 @@ struct Options {
   std::string csv_path;
   std::string trace_path;
   std::string json_path;
+  std::string fault_spec;
   bool list = false;
 };
 
@@ -85,6 +91,10 @@ bool parse_args(int argc, char** argv, Options& options) {
       const char* value = next_value("--json");
       if (value == nullptr) return false;
       options.json_path = value;
+    } else if (arg == "--fault") {
+      const char* value = next_value("--fault");
+      if (value == nullptr) return false;
+      options.fault_spec = value;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return false;
@@ -121,7 +131,9 @@ int main(int argc, char** argv) {
           harness::CrawlerKind::kMakFlatDeque,
           harness::CrawlerKind::kMakExp3Fixed,
           harness::CrawlerKind::kMakEpsilonGreedy,
-          harness::CrawlerKind::kMakUcb1}) {
+          harness::CrawlerKind::kMakUcb1,
+          harness::CrawlerKind::kMakDomNovelty,
+          harness::CrawlerKind::kMakThompson}) {
       std::printf("  %s\n", std::string(to_string(kind)).c_str());
     }
     return 0;
@@ -146,7 +158,9 @@ int main(int argc, char** argv) {
         harness::CrawlerKind::kMakFlatDeque,
         harness::CrawlerKind::kMakExp3Fixed,
         harness::CrawlerKind::kMakEpsilonGreedy,
-        harness::CrawlerKind::kMakUcb1}) {
+        harness::CrawlerKind::kMakUcb1,
+        harness::CrawlerKind::kMakDomNovelty,
+        harness::CrawlerKind::kMakThompson}) {
     if (options.crawler == std::string(to_string(candidate))) kind = candidate;
   }
   if (!kind.has_value()) {
@@ -159,6 +173,21 @@ int main(int argc, char** argv) {
   config.budget = options.minutes * support::kMillisPerMinute;
   config.sample_interval = options.sample_seconds * support::kMillisPerSecond;
   config.seed = options.seed;
+  if (!options.fault_spec.empty()) {
+    const auto fault = httpsim::FaultProfile::parse(options.fault_spec);
+    if (!fault.has_value()) {
+      std::fprintf(stderr, "unparsable --fault spec '%s'\n",
+                   options.fault_spec.c_str());
+      return 2;
+    }
+    config.fault = *fault;
+  } else if (const auto fault = httpsim::FaultProfile::from_env()) {
+    config.fault = *fault;
+  } else if (const char* spec = std::getenv("MAK_FAULT_PROFILE");
+             spec != nullptr && *spec != '\0') {
+    std::fprintf(stderr, "warning: ignoring unparsable MAK_FAULT_PROFILE '%s'\n",
+                 spec);
+  }
   core::CrawlTrace trace;
   if (!options.trace_path.empty()) config.trace = &trace;
 
@@ -180,6 +209,20 @@ int main(int argc, char** argv) {
   std::printf("  links discovered:  %zu\n", result.links_discovered);
   std::printf("  interactions:      %zu (+%zu seed navigations)\n",
               result.interactions, result.navigations);
+  if (result.fault_active) {
+    std::printf("  fault profile:     %s\n",
+                config.fault.describe().c_str());
+    std::printf(
+        "  faults injected:   %zu errors, %zu drops, %zu latency spikes"
+        " (%zu requests in degradation windows)\n",
+        result.injected_errors, result.injected_drops, result.latency_spikes,
+        result.degraded_requests);
+    std::printf(
+        "  client resilience: %zu retries, %zu transport failures, %zu "
+        "timeouts, %lld ms backed off\n",
+        result.retries, result.transport_failures, result.timeouts,
+        static_cast<long long>(result.backoff_ms));
+  }
 
   if (!options.csv_path.empty()) {
     std::ofstream csv(options.csv_path);
