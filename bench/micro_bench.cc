@@ -1,9 +1,19 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the framework:
 // Exp3.1 steps, leveled-deque operations, HTML tokenize/parse/extract, URL
 // parsing/resolution, and a full simulated crawl step.
+//
+// Besides the usual console output, the run is captured as a machine-
+// readable artifact (default results/BENCH_micro.json, overridable /
+// disableable via MAK_BENCH_JSON — see docs/observability.md) so later PRs
+// can gate performance with tools/metrics_diff.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <vector>
+
 #include "apps/catalog.h"
+#include "harness/bench_json.h"
 #include "core/browser.h"
 #include "core/frontier.h"
 #include "core/mak.h"
@@ -100,6 +110,51 @@ void BM_FullCrawlStep(benchmark::State& state) {
 }
 BENCHMARK(BM_FullCrawlStep);
 
+// Console reporter that also captures each benchmark's adjusted real time
+// for the JSON artifact. Output options replicate what BENCHMARK_MAIN's
+// default reporter picks (color only on a terminal), keeping the text
+// output byte-identical to the stock main.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(OutputOptions options)
+      : benchmark::ConsoleReporter(options) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      mak::harness::BenchEntry entry;
+      entry.name = run.benchmark_name();
+      entry.value = run.GetAdjustedRealTime();
+      entry.unit = benchmark::GetTimeUnitString(run.time_unit);
+      entry.higher_is_better = false;  // time per iteration
+      entries_.push_back(std::move(entry));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<mak::harness::BenchEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<mak::harness::BenchEntry> entries_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter(
+      isatty(fileno(stdout)) != 0
+          ? benchmark::ConsoleReporter::OO_Color
+          : benchmark::ConsoleReporter::OO_None);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  const auto snapshot = mak::support::MetricsRegistry::global().snapshot();
+  mak::harness::write_bench_json_file("MAK_BENCH_JSON",
+                                      "results/BENCH_micro.json",
+                                      "micro_bench", reporter.entries(),
+                                      &snapshot);
+  return 0;
+}

@@ -6,11 +6,16 @@
 // crawlers across all runs (PHP / Xdebug) or the declared total line count
 // (Node.js / coverage-node). Override the protocol with MAK_REPS,
 // MAK_BUDGET_MINUTES, MAK_SAMPLE_SECONDS.
+// Besides the text table, the run is captured as a machine-readable artifact
+// (default results/BENCH_coverage.json, overridable / disableable via
+// MAK_BENCH_JSON — see docs/observability.md): one entry per app/crawler
+// pair plus the full metrics-registry snapshot, for tools/metrics_diff.
 #include <cstdio>
 #include <iostream>
 #include <map>
 
 #include "harness/aggregate.h"
+#include "harness/bench_json.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
 #include "support/strings.h"
@@ -32,6 +37,7 @@ int main() {
 
   harness::TextTable table(
       {"Application", "MAK", "WebExplor", "QExplore", "ground truth"});
+  std::vector<harness::BenchEntry> entries;
 
   for (const auto& info : apps::app_catalog()) {
     std::vector<std::vector<harness::RunResult>> all_runs;
@@ -41,11 +47,17 @@ int main() {
     }
     const std::size_t ground_truth = harness::estimate_ground_truth(all_runs);
     std::vector<std::string> row = {info.name};
-    for (const auto& runs : all_runs) {
-      row.push_back(support::format_fixed(
-                        harness::mean_coverage_percent(runs, ground_truth), 1) +
-                    "%");
+    for (std::size_t i = 0; i < all_runs.size(); ++i) {
+      const double percent =
+          harness::mean_coverage_percent(all_runs[i], ground_truth);
+      row.push_back(support::format_fixed(percent, 1) + "%");
+      entries.push_back({std::string(info.name) + "/" +
+                             std::string(to_string(crawlers[i])),
+                         percent, "percent", /*higher_is_better=*/true});
     }
+    entries.push_back({std::string(info.name) + "/ground_truth",
+                       static_cast<double>(ground_truth), "lines",
+                       /*higher_is_better=*/true});
     row.push_back(support::format_thousands(
         static_cast<std::int64_t>(ground_truth)));
     table.add_row(std::move(row));
@@ -56,5 +68,10 @@ int main() {
   std::printf(
       "\npaper (Table II): MAK wins on every application; e.g. HotCRP "
       "87.3%% vs 77.2%% (WebExplor) vs 71.2%% (QExplore).\n");
+
+  const auto snapshot = support::MetricsRegistry::global().snapshot();
+  harness::write_bench_json_file("MAK_BENCH_JSON",
+                                 "results/BENCH_coverage.json",
+                                 "coverage_bench", entries, &snapshot);
   return 0;
 }

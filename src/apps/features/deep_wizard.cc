@@ -85,14 +85,15 @@ void DeepWizard::install(WebApp& app) {
                       if (progress < 0 || i > params_.steps) {
                         return Response::redirect(base + "/start");
                       }
-                      if (i != static_cast<std::size_t>(progress) + 1) {
+                      const auto next =
+                          static_cast<std::size_t>(progress) + 1;
+                      if (i != next) {
                         // Re-submitting a completed step keeps the session
                         // where it is; it does not rewind progress.
                         return Response::redirect(
                             base + "/step/" +
-                            std::to_string(progress + 1 > params_.steps
-                                               ? params_.steps
-                                               : progress + 1));
+                            std::to_string(next > params_.steps ? params_.steps
+                                                                : next));
                       }
                       ctx.sess().set_int(progress_key(),
                                          static_cast<std::int64_t>(i));

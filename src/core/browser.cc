@@ -4,6 +4,8 @@
 
 #include "html/parser.h"
 #include "support/log.h"
+#include "support/metric_names.h"
+#include "support/metrics.h"
 #include "support/strings.h"
 
 namespace mak::core {
@@ -39,6 +41,10 @@ Browser::Browser(httpsim::Network& network, url::Url seed, support::Rng rng,
       fill_strategy_(fill_strategy) {}
 
 void Browser::navigate_seed() {
+  static support::Counter& navigations = support::MetricsRegistry::global()
+                                             .counter(
+                                                 support::metric::kBrowserNavigations);
+  navigations.add();
   ++navigations_;
   page_ = fetch(httpsim::Method::kGet, seed_, url::QueryMap{}, nullptr);
 }
@@ -64,6 +70,10 @@ Page Browser::fetch(httpsim::Method method, const url::Url& target,
     // a degraded origin competes with crawling for the run's time budget.
     ++attempt;
     ++retries_;
+    static support::Counter& retries = support::MetricsRegistry::global()
+                                           .counter(
+                                               support::metric::kBrowserRetries);
+    retries.add();
     support::VirtualMillis delay = retry_.backoff_for(attempt);
     if (retry_.jitter > 0.0) {
       const double factor =
@@ -77,7 +87,13 @@ Page Browser::fetch(httpsim::Method method, const url::Url& target,
   }
 
   const bool transport_error = transport_failed(fetched);
-  if (transport_error) ++transport_failures_;
+  if (transport_error) {
+    ++transport_failures_;
+    static support::Counter& transport_failures =
+        support::MetricsRegistry::global().counter(
+            support::metric::kBrowserTransportFailures);
+    transport_failures.add();
+  }
   if (result != nullptr) {
     result->status = fetched.response.status;
     result->transport_error = transport_error;
@@ -165,6 +181,10 @@ url::QueryMap Browser::fill_form(const html::Interactable& form) {
 }
 
 InteractionResult Browser::interact(ResolvedAction action) {
+  static support::Counter& interactions = support::MetricsRegistry::global()
+                                              .counter(
+                                                  support::metric::kBrowserInteractions);
+  interactions.add();
   ++interactions_;
   InteractionResult result;
   switch (action.element.kind) {

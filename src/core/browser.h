@@ -67,6 +67,11 @@ class Browser {
   httpsim::CookieJar& cookies() noexcept { return jar_; }
   FormFillStrategy fill_strategy() const noexcept { return fill_strategy_; }
 
+  // The run's virtual clock (owned by the network; see support/clock.h for
+  // the single-thread ownership rule). Exposed so callers can attach timing
+  // spans that attribute virtual cost to crawl phases.
+  const support::SimClock& clock() const noexcept { return network_->clock(); }
+
  private:
   Page fetch(httpsim::Method method, const url::Url& target,
              const url::QueryMap& form, InteractionResult* result);

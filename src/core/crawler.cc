@@ -1,6 +1,39 @@
 #include "core/crawler.h"
 
+#include "support/metric_names.h"
+#include "support/metrics.h"
+
 namespace mak::core {
+
+namespace {
+
+// Cached registry handles for the loop's hot path (see support/metrics.h:
+// references are stable for the process lifetime).
+struct StepMetrics {
+  support::Counter& steps;
+  support::Counter& recoveries;
+  support::Histogram& reward;
+  support::Histogram& wall_us;
+  support::Histogram& virtual_ms;
+
+  static StepMetrics& instance() {
+    namespace metric = support::metric;
+    auto& registry = support::MetricsRegistry::global();
+    static StepMetrics metrics{
+        registry.counter(metric::kCrawlerSteps),
+        registry.counter(metric::kCrawlerRecoveries),
+        registry.histogram(metric::kCrawlerReward,
+                           support::unit_interval_bounds()),
+        registry.histogram(metric::kCrawlerStepWallUs,
+                           support::duration_bounds_us()),
+        registry.histogram(metric::kCrawlerStepVirtualMs,
+                           support::latency_bounds_ms()),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 void RlCrawlerBase::absorb(const Page& page) {
   last_increment_ = ledger_.absorb(page);
@@ -13,9 +46,14 @@ void RlCrawlerBase::start(Browser& browser) {
 }
 
 void RlCrawlerBase::step(Browser& browser) {
+  StepMetrics& metrics = StepMetrics::instance();
+  const support::MetricSpan span(metrics.wall_us, &metrics.virtual_ms,
+                                 &browser.clock());
+  metrics.steps.add();
   const rl::StateId state = get_state(browser.page());
   const std::size_t n_actions = action_count(browser.page());
   if (n_actions == 0) {
+    metrics.recoveries.add();
     recover(browser);
     return;
   }
@@ -25,6 +63,7 @@ void RlCrawlerBase::step(Browser& browser) {
   const rl::StateId next_state = get_state(browser.page());
   const double reward =
       get_reward(state, action, result, next_state, browser.page());
+  metrics.reward.record(reward);
   update_policy(state, action, reward, next_state, browser.page());
 }
 

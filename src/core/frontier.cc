@@ -1,8 +1,52 @@
 #include "core/frontier.h"
 
+#include <array>
 #include <stdexcept>
 
+#include "support/metric_names.h"
+#include "support/metrics.h"
+
 namespace mak::core {
+
+namespace {
+
+// Frontier gauges are process-wide: with several concurrent runs they show
+// "some run's current frontier" (last writer wins), which is what a single
+// profiling run — the intended consumer — needs.
+struct FrontierMetrics {
+  support::Counter& pushes;
+  support::Counter& duplicates;
+  support::Counter& takes;
+  support::Counter& requeues;
+  support::Gauge& size;
+  support::Gauge& lowest_level;
+  support::Histogram& take_level;
+  std::array<support::Gauge*, 4> depth;  // levels 0..3
+  support::Gauge& depth_rest;            // everything above level 3
+
+  static FrontierMetrics& instance() {
+    namespace metric = support::metric;
+    auto& registry = support::MetricsRegistry::global();
+    static FrontierMetrics metrics{
+        registry.counter(metric::kFrontierPushes),
+        registry.counter(metric::kFrontierDuplicates),
+        registry.counter(metric::kFrontierTakes),
+        registry.counter(metric::kFrontierRequeues),
+        registry.gauge(metric::kFrontierSize),
+        registry.gauge(metric::kFrontierLowestLevel),
+        registry.histogram(metric::kFrontierTakeLevel,
+                           support::small_count_bounds()),
+        {&registry.gauge(metric::kFrontierDepthL0),
+         &registry.gauge(metric::kFrontierDepthL1),
+         &registry.gauge(metric::kFrontierDepthL2),
+         &registry.gauge(metric::kFrontierDepthL3)},
+        registry.gauge(metric::kFrontierDepthRest),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 std::string_view to_string(Arm arm) noexcept {
   switch (arm) {
@@ -23,10 +67,14 @@ std::deque<ResolvedAction>& LeveledDeque::level(std::size_t i) {
 
 bool LeveledDeque::push(const ResolvedAction& action) {
   const std::uint64_t key = action.key();
-  if (level_of_.find(key) != level_of_.end()) return false;
+  if (level_of_.find(key) != level_of_.end()) {
+    FrontierMetrics::instance().duplicates.add();
+    return false;
+  }
   level_of_[key] = 0;
   level(0).push_back(action);
   ++size_;
+  FrontierMetrics::instance().pushes.add();
   return true;
 }
 
@@ -43,7 +91,28 @@ std::size_t LeveledDeque::lowest_level() const noexcept {
 
 std::optional<ResolvedAction> LeveledDeque::take(Arm arm, support::Rng& rng) {
   if (size_ == 0) return std::nullopt;
-  auto& deque = levels_[lowest_level()];
+  const std::size_t taken_level = lowest_level();
+  // Publish frontier shape once per take (i.e. once per crawl step): depth
+  // per level, total size and the level the element is drawn from.
+  {
+    FrontierMetrics& metrics = FrontierMetrics::instance();
+    metrics.takes.add();
+    metrics.take_level.record(static_cast<double>(taken_level));
+    metrics.size.set(static_cast<double>(size_));
+    metrics.lowest_level.set(static_cast<double>(taken_level));
+    double rest = 0.0;
+    for (std::size_t i = 0; i < levels_.size() || i < metrics.depth.size();
+         ++i) {
+      const double depth = static_cast<double>(level_size(i));
+      if (i < metrics.depth.size()) {
+        metrics.depth[i]->set(depth);
+      } else {
+        rest += depth;
+      }
+    }
+    metrics.depth_rest.set(rest);
+  }
+  auto& deque = levels_[taken_level];
   ResolvedAction out;
   switch (arm) {
     case Arm::kHead:
@@ -75,6 +144,7 @@ void LeveledDeque::requeue(const ResolvedAction& action) {
   }
   level(it->second).push_back(action);
   ++size_;
+  FrontierMetrics::instance().requeues.add();
 }
 
 void LeveledDeque::requeue_same(const ResolvedAction& action) {
@@ -86,6 +156,7 @@ void LeveledDeque::requeue_same(const ResolvedAction& action) {
   if (it->second > 0) --it->second;
   level(it->second).push_back(action);
   ++size_;
+  FrontierMetrics::instance().requeues.add();
 }
 
 void LeveledDeque::requeue_flat(const ResolvedAction& action) {
@@ -96,6 +167,7 @@ void LeveledDeque::requeue_flat(const ResolvedAction& action) {
   it->second = 0;
   level(0).push_back(action);
   ++size_;
+  FrontierMetrics::instance().requeues.add();
 }
 
 std::size_t LeveledDeque::interactions_of(std::uint64_t key) const noexcept {

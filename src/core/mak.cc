@@ -7,6 +7,8 @@
 #include "rl/exp3.h"
 #include "rl/thompson.h"
 #include "rl/ucb.h"
+#include "support/metric_names.h"
+#include "support/metrics.h"
 
 #include "html/interactables.h"
 
@@ -71,7 +73,15 @@ std::size_t MakCrawler::choose_action(rl::StateId, const Page&,
 }
 
 InteractionResult MakCrawler::execute(Browser& browser, std::size_t action) {
+  namespace metric = support::metric;
+  auto& registry = support::MetricsRegistry::global();
+  static const std::array<support::Counter*, kArmCount> arm_metrics = {
+      &registry.counter(metric::kMakArmHead),
+      &registry.counter(metric::kMakArmTail),
+      &registry.counter(metric::kMakArmRandom)};
+
   const Arm arm = static_cast<Arm>(action);
+  arm_metrics[action]->add();
   ++arm_counts_[action];
   ++steps_;
   in_flight_ = frontier_.take(arm, rng());
@@ -82,7 +92,12 @@ InteractionResult MakCrawler::execute(Browser& browser, std::size_t action) {
                   in_flight_->describe());
   const InteractionResult result = browser.interact(*in_flight_);
   in_flight_failed_ = result.transport_error;
-  if (in_flight_failed_) ++failed_interactions_;
+  if (in_flight_failed_) {
+    ++failed_interactions_;
+    static support::Counter& failed = registry.counter(
+        metric::kMakFailedInteractions);
+    failed.add();
+  }
   return result;
 }
 

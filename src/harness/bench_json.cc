@@ -1,0 +1,141 @@
+#include "harness/bench_json.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "harness/json_report.h"
+#include "support/json.h"
+
+namespace mak::harness {
+
+void write_bench_json(std::ostream& os, std::string_view kind,
+                      const std::vector<BenchEntry>& entries,
+                      const support::MetricsSnapshot* metrics) {
+  using support::json::escape;
+  using support::json::format_double;
+  os << "{\"schema_version\":" << kBenchSchemaVersion << ",\"kind\":\""
+     << escape(kind) << "\",\"entries\":[";
+  bool first = true;
+  for (const auto& entry : entries) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << escape(entry.name) << "\",\"value\":"
+       << format_double(entry.value) << ",\"unit\":\"" << escape(entry.unit)
+       << "\",\"higher_is_better\":"
+       << (entry.higher_is_better ? "true" : "false") << "}";
+  }
+  os << "]";
+  if (metrics != nullptr) {
+    os << ",\"metrics\":" << metrics_to_json(*metrics);
+  }
+  os << "}\n";
+}
+
+bool write_bench_json_file(const char* env_var,
+                           const std::string& default_path,
+                           std::string_view kind,
+                           const std::vector<BenchEntry>& entries,
+                           const support::MetricsSnapshot* metrics) {
+  std::string path = default_path;
+  if (const char* override_path = std::getenv(env_var);
+      override_path != nullptr) {
+    path = override_path;
+  }
+  if (path.empty() || path == "-") return false;  // explicitly disabled
+
+  std::error_code ec;
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_json: cannot write " << path << "\n";
+    return false;
+  }
+  write_bench_json(out, kind, entries, metrics);
+  return out.good();
+}
+
+std::optional<BenchDoc> parse_bench_json(std::string_view text) {
+  const auto root = support::json::parse(text);
+  if (!root.has_value() || !root->is_object()) return std::nullopt;
+
+  BenchDoc doc;
+  const auto version = root->number_at("schema_version");
+  if (!version.has_value() || *version != kBenchSchemaVersion) {
+    return std::nullopt;
+  }
+  doc.schema_version = static_cast<int>(*version);
+  doc.kind = root->string_at("kind").value_or("");
+
+  const support::json::Value* entries = root->find("entries");
+  if (entries == nullptr || !entries->is_array()) return std::nullopt;
+  for (const auto& item : entries->as_array()) {
+    if (!item.is_object()) return std::nullopt;
+    BenchEntry entry;
+    const auto name = item.string_at("name");
+    const auto value = item.number_at("value");
+    if (!name.has_value() || !value.has_value()) return std::nullopt;
+    entry.name = *name;
+    entry.value = *value;
+    entry.unit = item.string_at("unit").value_or("");
+    entry.higher_is_better = item.bool_at("higher_is_better").value_or(false);
+    doc.entries.push_back(std::move(entry));
+  }
+  return doc;
+}
+
+std::vector<BenchDelta> compare_bench(const BenchDoc& baseline,
+                                      const BenchDoc& candidate,
+                                      double threshold_percent) {
+  std::map<std::string, const BenchEntry*> candidate_by_name;
+  for (const auto& entry : candidate.entries) {
+    candidate_by_name.emplace(entry.name, &entry);
+  }
+
+  std::vector<BenchDelta> deltas;
+  for (const auto& base : baseline.entries) {
+    BenchDelta delta;
+    delta.name = base.name;
+    delta.unit = base.unit;
+    delta.baseline = base.value;
+    const auto it = candidate_by_name.find(base.name);
+    if (it == candidate_by_name.end()) {
+      delta.only_in_baseline = true;
+      deltas.push_back(std::move(delta));
+      continue;
+    }
+    const BenchEntry& cand = *it->second;
+    candidate_by_name.erase(it);
+    delta.candidate = cand.value;
+    if (base.value != 0.0) {
+      delta.percent_change =
+          (cand.value - base.value) / std::fabs(base.value) * 100.0;
+    } else {
+      delta.percent_change = cand.value == 0.0 ? 0.0 : 1e9;
+    }
+    const double bad_change = base.higher_is_better ? -delta.percent_change
+                                                    : delta.percent_change;
+    delta.regression = bad_change > threshold_percent;
+    deltas.push_back(std::move(delta));
+  }
+  for (const auto& [name, entry] : candidate_by_name) {
+    BenchDelta delta;
+    delta.name = name;
+    delta.unit = entry->unit;
+    delta.candidate = entry->value;
+    delta.only_in_candidate = true;
+    deltas.push_back(std::move(delta));
+  }
+  return deltas;
+}
+
+}  // namespace mak::harness

@@ -1,0 +1,86 @@
+// Machine-readable bench artifacts (results/BENCH_*.json) and the
+// comparison logic behind tools/metrics_diff.
+//
+// Every bench artifact shares one frozen schema (schema_version 1):
+//
+//   {"schema_version":1,
+//    "kind":"micro_bench",              // which bench produced it
+//    "entries":[{"name":"BM_Exp31Step", // stable comparison key
+//                "value":123.4,
+//                "unit":"ns",
+//                "higher_is_better":false}, ...],
+//    "metrics":{...}}                   // optional registry snapshot
+//                                       // (harness::metrics_to_json schema)
+//
+// `higher_is_better` encodes the regression direction: time-like entries
+// regress upward, coverage-like entries regress downward. metrics_diff uses
+// it so one tool gates both artifact kinds.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/metrics.h"
+
+namespace mak::harness {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+struct BenchEntry {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+  bool higher_is_better = false;
+};
+
+// Serialize an artifact. `metrics` may be null (no "metrics" block).
+void write_bench_json(std::ostream& os, std::string_view kind,
+                      const std::vector<BenchEntry>& entries,
+                      const support::MetricsSnapshot* metrics);
+
+// Write an artifact to a file. The path is `env_var`'s value when set
+// ("-" or "" disables writing entirely), else `default_path`; parent
+// directories are created as needed. Returns true when a file was written;
+// failures warn on stderr and return false — bench stdout is never touched.
+bool write_bench_json_file(const char* env_var,
+                           const std::string& default_path,
+                           std::string_view kind,
+                           const std::vector<BenchEntry>& entries,
+                           const support::MetricsSnapshot* metrics);
+
+// Parsed artifact (the "metrics" block is not needed for diffing and is
+// ignored on read).
+struct BenchDoc {
+  int schema_version = 0;
+  std::string kind;
+  std::vector<BenchEntry> entries;
+};
+
+// Parse an artifact; nullopt on malformed JSON, wrong schema_version, or a
+// structurally invalid document.
+std::optional<BenchDoc> parse_bench_json(std::string_view text);
+
+// One entry's baseline-vs-candidate comparison.
+struct BenchDelta {
+  std::string name;
+  std::string unit;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double percent_change = 0.0;  // signed; +inf style values clamped to 1e9
+  bool regression = false;      // beyond threshold in the bad direction
+  bool only_in_baseline = false;
+  bool only_in_candidate = false;
+};
+
+// Compare two artifacts entry-by-entry. An entry regresses when its value
+// moved more than `threshold_percent` against its `higher_is_better`
+// direction (the baseline's direction flag wins on disagreement). Entries
+// present on only one side are reported but never counted as regressions.
+std::vector<BenchDelta> compare_bench(const BenchDoc& baseline,
+                                      const BenchDoc& candidate,
+                                      double threshold_percent);
+
+}  // namespace mak::harness

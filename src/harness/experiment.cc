@@ -11,6 +11,8 @@
 #include "core/browser.h"
 #include "httpsim/network.h"
 #include "support/log.h"
+#include "support/metric_names.h"
+#include "support/metrics.h"
 #include "support/rng.h"
 
 namespace mak::harness {
@@ -119,11 +121,28 @@ std::unique_ptr<core::Crawler> make_crawler(CrawlerKind kind,
 
 RunResult run_once(const apps::AppInfo& app_info, CrawlerKind kind,
                    const RunConfig& config) {
+  namespace metric = support::metric;
+  auto& registry = support::MetricsRegistry::global();
+  static support::Counter& runs_counter = registry.counter(metric::kHarnessRuns);
+  static support::Histogram& run_wall_us = registry.histogram(
+      metric::kHarnessRunWallUs, support::duration_bounds_us());
+  // Runs last whole virtual minutes, so the default latency buckets would
+  // lump them all into overflow; bucket by minutes up to an hour instead.
+  static support::Histogram& run_virtual_ms = registry.histogram(
+      metric::kHarnessRunVirtualMs,
+      {60000, 120000, 300000, 600000, 900000, 1200000, 1800000, 2700000,
+       3600000});
+  runs_counter.add();
+
   // Fresh application instance per run: sessions, user content and coverage
   // all start clean, like restarting the container between runs.
   auto app = app_info.factory();
 
+  // The run owns its clock (see the ownership rule in support/clock.h); the
+  // span below is destroyed before the clock, charging the whole run's wall
+  // and virtual cost.
   support::SimClock clock;
+  const support::MetricSpan run_span(run_wall_us, &run_virtual_ms, &clock);
   support::Deadline deadline(clock, config.budget);
   httpsim::Network network(clock);
   network.register_host(app->host(), *app);

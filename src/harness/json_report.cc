@@ -3,8 +3,64 @@
 #include <ostream>
 
 #include "core/trace.h"  // json_escape
+#include "support/json.h"
 
 namespace mak::harness {
+
+namespace {
+
+// Observability JSON schema version. Bump ONLY with a corresponding section
+// in docs/observability.md describing the migration; consumers hard-match
+// this value.
+constexpr int kMetricsSchemaVersion = 1;
+
+}  // namespace
+
+std::string metrics_to_json(const support::MetricsSnapshot& snapshot) {
+  using support::json::escape;
+  using support::json::format_double;
+  std::string out = "{\"schema_version\":";
+  out += std::to_string(kMetricsSchemaVersion);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + escape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + escape(name) + "\":" + format_double(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + escape(name) + "\":{";
+    out += "\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + format_double(h.sum);
+    out += ",\"min\":" + format_double(h.min);
+    out += ",\"max\":" + format_double(h.max);
+    out += ",\"p50\":" + format_double(h.p50);
+    out += ",\"p90\":" + format_double(h.p90);
+    out += ",\"p99\":" + format_double(h.p99);
+    out += ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out += ',';
+      const bool overflow = i + 1 == h.buckets.size();
+      out += "[";
+      out += overflow ? "null" : format_double(h.buckets[i].first);
+      out += "," + std::to_string(h.buckets[i].second) + "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
 
 std::string run_to_json(const RunResult& run, bool include_series) {
   std::string out = "{";
@@ -50,7 +106,8 @@ std::string run_to_json(const RunResult& run, bool include_series) {
 void write_experiment_json(std::ostream& os, const std::string& app,
                            std::size_t ground_truth,
                            const std::vector<std::vector<RunResult>>& runs,
-                           bool include_series) {
+                           bool include_series,
+                           const support::MetricsSnapshot* metrics) {
   os << "{\"app\":\"" << core::json_escape(app)
      << "\",\"ground_truth\":" << ground_truth << ",\"runs\":[";
   bool first = true;
@@ -61,7 +118,11 @@ void write_experiment_json(std::ostream& os, const std::string& app,
       os << run_to_json(run, include_series);
     }
   }
-  os << "]}\n";
+  os << "]";
+  if (metrics != nullptr) {
+    os << ",\"metrics\":" << metrics_to_json(*metrics);
+  }
+  os << "}\n";
 }
 
 }  // namespace mak::harness

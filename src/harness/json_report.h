@@ -7,19 +7,37 @@
 #include <vector>
 
 #include "harness/experiment.h"
+#include "support/metrics.h"
 
 namespace mak::harness {
 
 // Serialize one run as a JSON object (single line, no trailing newline).
 std::string run_to_json(const RunResult& run, bool include_series = true);
 
+// Serialize a metrics snapshot under the frozen observability schema
+// (schema_version 1 — see docs/observability.md for the full annotated
+// layout):
+//   {"schema_version":1,
+//    "counters":{"name":N,...},
+//    "gauges":{"name":x,...},
+//    "histograms":{"name":{"count":N,"sum":x,"min":x,"max":x,
+//                          "p50":x,"p90":x,"p99":x,
+//                          "buckets":[[upper_bound,count],...,[null,count]]}}}
+// Keys are sorted (snapshot maps are ordered), so output is deterministic
+// for a given snapshot. The final bucket's bound serializes as null: it is
+// the overflow bucket (+inf has no JSON literal).
+std::string metrics_to_json(const support::MetricsSnapshot& snapshot);
+
 // Serialize a whole experiment (several crawlers x repetitions on one app)
 // as a JSON document:
 //   {"app": ..., "ground_truth": N, "runs": [...]}
+// When `metrics` is non-null, a trailing `"metrics"` block (schema above) is
+// appended; the default keeps pre-observability reports byte-identical.
 void write_experiment_json(std::ostream& os,
                            const std::string& app,
                            std::size_t ground_truth,
                            const std::vector<std::vector<RunResult>>& runs,
-                           bool include_series = false);
+                           bool include_series = false,
+                           const support::MetricsSnapshot* metrics = nullptr);
 
 }  // namespace mak::harness

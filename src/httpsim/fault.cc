@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "support/metric_names.h"
+#include "support/metrics.h"
 #include "support/strings.h"
 
 namespace mak::httpsim {
@@ -223,9 +225,23 @@ bool FaultInjector::in_degradation_window() const noexcept {
 }
 
 FaultDecision FaultInjector::decide(const Request&) {
+  namespace metric = support::metric;
+  auto& registry = support::MetricsRegistry::global();
+  static support::Counter& injected_errors =
+      registry.counter(metric::kHttpsimFaultInjectedErrors);
+  static support::Counter& injected_drops =
+      registry.counter(metric::kHttpsimFaultInjectedDrops);
+  static support::Counter& latency_spikes =
+      registry.counter(metric::kHttpsimFaultLatencySpikes);
+  static support::Counter& window_requests =
+      registry.counter(metric::kHttpsimFaultWindowRequests);
+
   ++counters_.requests_seen;
   const bool degraded = in_degradation_window();
-  if (degraded) ++counters_.window_requests;
+  if (degraded) {
+    ++counters_.window_requests;
+    window_requests.add();
+  }
 
   const double drop_rate =
       degraded ? std::max(profile_.drop_rate, profile_.window_drop_rate)
@@ -239,11 +255,13 @@ FaultDecision FaultInjector::decide(const Request&) {
     decision.extra_latency_ms = rng_.uniform_int(
         profile_.spike_min_ms, profile_.spike_max_ms);
     ++counters_.latency_spikes;
+    latency_spikes.add();
     counters_.spike_ms_total += decision.extra_latency_ms;
   }
   if (drop_rate > 0.0 && rng_.chance(drop_rate)) {
     decision.kind = FaultDecision::Kind::kDrop;
     ++counters_.injected_drops;
+    injected_drops.add();
     return decision;
   }
   if (error_rate > 0.0 && rng_.chance(error_rate)) {
@@ -251,6 +269,7 @@ FaultDecision FaultInjector::decide(const Request&) {
     // Mostly 503 (overload shed) with occasional 500 (transient crash).
     decision.status = rng_.chance(0.75) ? 503 : 500;
     ++counters_.injected_errors;
+    injected_errors.add();
     return decision;
   }
   return decision;

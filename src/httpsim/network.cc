@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "support/log.h"
+#include "support/metric_names.h"
+#include "support/metrics.h"
 
 namespace mak::httpsim {
 
@@ -40,6 +42,10 @@ bool Network::knows_host(std::string_view host) const noexcept {
 }
 
 Response Network::dispatch(const Request& request) {
+  static support::Counter& requests = support::MetricsRegistry::global()
+                                          .counter(
+                                              support::metric::kHttpsimRequests);
+  requests.add();
   ++request_count_;
   const auto it = hosts_.find(request.url.host);
   if (it == hosts_.end()) {
@@ -55,6 +61,30 @@ Response Network::dispatch(const Request& request) {
 FetchResult Network::fetch(Method method, const url::Url& target,
                            const url::QueryMap& form, CookieJar& jar,
                            support::VirtualMillis timeout_ms) {
+  namespace metric = support::metric;
+  auto& registry = support::MetricsRegistry::global();
+  static support::Counter& fetches = registry.counter(metric::kHttpsimFetches);
+  static support::Counter& redirects =
+      registry.counter(metric::kHttpsimRedirects);
+  static support::Counter& network_errors =
+      registry.counter(metric::kHttpsimNetworkErrors);
+  static support::Histogram& virtual_ms = registry.histogram(
+      metric::kHttpsimFetchVirtualMs, support::latency_bounds_ms());
+
+  const support::VirtualMillis start = clock_->now();
+  FetchResult result = fetch_impl(method, target, form, jar, timeout_ms);
+  fetches.add();
+  if (result.redirects > 0) {
+    redirects.add(static_cast<std::uint64_t>(result.redirects));
+  }
+  if (result.network_error) network_errors.add();
+  virtual_ms.record(static_cast<double>(clock_->now() - start));
+  return result;
+}
+
+FetchResult Network::fetch_impl(Method method, const url::Url& target,
+                                const url::QueryMap& form, CookieJar& jar,
+                                support::VirtualMillis timeout_ms) {
   constexpr int kMaxRedirects = 8;
   FetchResult result;
   url::Url current = url::normalized(target);

@@ -74,6 +74,11 @@ class Network {
   std::size_t request_count() const noexcept { return request_count_; }
 
  private:
+  // fetch() body; the public wrapper charges the metrics registry
+  // (fetch/redirect/error counters, virtual-latency histogram).
+  FetchResult fetch_impl(Method method, const url::Url& target,
+                         const url::QueryMap& form, CookieJar& jar,
+                         support::VirtualMillis timeout_ms);
   Response dispatch(const Request& request);
 
   support::SimClock* clock_;

@@ -1,13 +1,45 @@
 #include "rl/exp3.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
 
+#include "support/metric_names.h"
+#include "support/metrics.h"
+
 namespace mak::rl {
 
 namespace {
+
+// Exp3.1 policy internals (Algorithm 1 of the paper / Auer et al. 2002).
+// Gauges reflect the most recent update across all live policies; with one
+// profiled run (the intended consumer) that is the run's policy state.
+struct Exp31Metrics {
+  support::Counter& updates;
+  support::Counter& weight_resets;
+  support::Gauge& epoch;
+  support::Gauge& gamma;
+  // Pre-update sampling probabilities of the first three arms — for MAK
+  // these are exactly Head, Tail and Random.
+  std::array<support::Gauge*, 3> arm_probability;
+
+  static Exp31Metrics& instance() {
+    namespace metric = support::metric;
+    auto& registry = support::MetricsRegistry::global();
+    static Exp31Metrics metrics{
+        registry.counter(metric::kExp31Updates),
+        registry.counter(metric::kExp31WeightResets),
+        registry.gauge(metric::kExp31Epoch),
+        registry.gauge(metric::kExp31Gamma),
+        {&registry.gauge(metric::kExp31ProbArm0),
+         &registry.gauge(metric::kExp31ProbArm1),
+         &registry.gauge(metric::kExp31ProbArm2)},
+    };
+    return metrics;
+  }
+};
 
 void check_reward(double reward01) {
   if (!(reward01 >= 0.0 && reward01 <= 1.0)) {
@@ -47,6 +79,10 @@ std::size_t Exp3::choose(support::Rng& rng) {
 void Exp3::update(std::size_t arm, double reward01) {
   if (arm >= weights_.size()) throw std::out_of_range("Exp3: bad arm");
   check_reward(reward01);
+  static support::Counter& updates = support::MetricsRegistry::global()
+                                         .counter(
+                                             support::metric::kExp3Updates);
+  updates.add();
   const auto probs = exp3_probabilities(weights_, gamma_);
   const double estimated = reward01 / probs[arm];
   weights_[arm] *=
@@ -86,6 +122,10 @@ void Exp31::configure_epoch(std::size_t m) noexcept {
       1.0, std::sqrt(k_ln_k / ((std::numbers::e - 1.0) * gain_target_)));
   std::fill(weights_.begin(), weights_.end(), 1.0);  // line 8
   ++weight_resets_;
+  Exp31Metrics& metrics = Exp31Metrics::instance();
+  metrics.weight_resets.add();
+  metrics.epoch.set(static_cast<double>(epoch_));
+  metrics.gamma.set(gamma_);
 }
 
 void Exp31::advance_epochs() noexcept {
@@ -109,6 +149,13 @@ void Exp31::update(std::size_t arm, double reward01) {
   check_reward(reward01);
   const std::size_t k = weights_.size();
   const auto probs = exp3_probabilities(weights_, gamma_);
+  {
+    Exp31Metrics& metrics = Exp31Metrics::instance();
+    metrics.updates.add();
+    for (std::size_t i = 0; i < metrics.arm_probability.size() && i < k; ++i) {
+      metrics.arm_probability[i]->set(probs[i]);
+    }
+  }
   // Lines 13-15: importance-weighted reward estimate, weight update, gain
   // accumulation (only the chosen arm has a non-zero estimate).
   const double estimated = reward01 / probs[arm];

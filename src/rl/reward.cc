@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "support/metric_names.h"
+#include "support/metrics.h"
+
 namespace mak::rl {
 
 double StandardizedReward::shape(double raw_increment) noexcept {
@@ -15,7 +18,23 @@ double StandardizedReward::shape(double raw_increment) noexcept {
     // very first step): a positive increment is good news, zero is neutral.
     standardized = raw_increment > 0.0 ? 1.0 : 0.0;
   }
-  return support::logistic(standardized);
+  const double shaped = support::logistic(standardized);
+  {
+    // Section IV-C standardization state, observable per step.
+    namespace metric = support::metric;
+    auto& registry = support::MetricsRegistry::global();
+    static support::Counter& observations =
+        registry.counter(metric::kRewardObservations);
+    static support::Gauge& mean = registry.gauge(metric::kRewardMean);
+    static support::Gauge& stddev = registry.gauge(metric::kRewardStddev);
+    static support::Histogram& shaped_hist = registry.histogram(
+        metric::kRewardShaped, support::unit_interval_bounds());
+    observations.add();
+    mean.set(history_.mean());
+    stddev.set(history_.stddev());
+    shaped_hist.record(shaped);
+  }
+  return shaped;
 }
 
 double CuriosityReward::visit(std::uint64_t key) {

@@ -18,7 +18,17 @@ using VirtualMillis = std::int64_t;
 constexpr VirtualMillis kMillisPerSecond = 1000;
 constexpr VirtualMillis kMillisPerMinute = 60 * kMillisPerSecond;
 
-// Monotonic virtual clock. Not thread-safe; each experiment owns one.
+// Monotonic virtual clock.
+//
+// Ownership rule: NOT thread-safe — every run owns exactly one SimClock and
+// never shares it across threads. `harness::run_once` constructs the clock,
+// network, app instance and crawler together on its calling thread; the
+// MAK_THREADS>1 pool in `harness::run_repeated` parallelizes across whole
+// runs, so each worker only ever touches clocks it created itself
+// (tests/harness_test.cc:RunRepeatedTest.ParallelMatchesSerial locks this
+// in by asserting bit-identical results at any thread count). Observers may
+// hold `const SimClock&` (Deadline, FaultInjector, support::MetricSpan) but
+// must live on the owning run's thread too.
 class SimClock {
  public:
   SimClock() = default;

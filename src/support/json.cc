@@ -1,0 +1,306 @@
+#include "support/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mak::support::json {
+
+const Value* Value::find(std::string_view key) const noexcept {
+  if (!is_object()) return nullptr;
+  const auto& object = as_object();
+  const auto it = object.find(std::string(key));
+  return it != object.end() ? &it->second : nullptr;
+}
+
+std::optional<double> Value::number_at(std::string_view key) const noexcept {
+  const Value* v = find(key);
+  if (v == nullptr || !v->is_number()) return std::nullopt;
+  return v->as_number();
+}
+
+std::optional<std::string> Value::string_at(
+    std::string_view key) const noexcept {
+  const Value* v = find(key);
+  if (v == nullptr || !v->is_string()) return std::nullopt;
+  return v->as_string();
+}
+
+std::optional<bool> Value::bool_at(std::string_view key) const noexcept {
+  const Value* v = find(key);
+  if (v == nullptr || !v->is_bool()) return std::nullopt;
+  return v->as_bool();
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> run() {
+    skip_whitespace();
+    auto value = parse_value();
+    if (!value.has_value()) return std::nullopt;
+    skip_whitespace();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Value> parse_value() {
+    if (depth_ > kMaxDepth) return std::nullopt;
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s.has_value()) return std::nullopt;
+        return Value(std::move(*s));
+      }
+      case 't':
+        return consume_literal("true") ? std::optional<Value>(Value(true))
+                                       : std::nullopt;
+      case 'f':
+        return consume_literal("false") ? std::optional<Value>(Value(false))
+                                        : std::nullopt;
+      case 'n':
+        return consume_literal("null") ? std::optional<Value>(Value(nullptr))
+                                       : std::nullopt;
+      default:
+        return parse_number();
+    }
+  }
+
+  std::optional<Value> parse_object() {
+    ++depth_;
+    if (!consume('{')) return std::nullopt;
+    Object object;
+    skip_whitespace();
+    if (consume('}')) {
+      --depth_;
+      return Value(std::move(object));
+    }
+    for (;;) {
+      skip_whitespace();
+      auto key = parse_string();
+      if (!key.has_value()) return std::nullopt;
+      skip_whitespace();
+      if (!consume(':')) return std::nullopt;
+      skip_whitespace();
+      auto value = parse_value();
+      if (!value.has_value()) return std::nullopt;
+      object.insert_or_assign(std::move(*key), std::move(*value));
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume('}')) {
+        --depth_;
+        return Value(std::move(object));
+      }
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Value> parse_array() {
+    ++depth_;
+    if (!consume('[')) return std::nullopt;
+    Array array;
+    skip_whitespace();
+    if (consume(']')) {
+      --depth_;
+      return Value(std::move(array));
+    }
+    for (;;) {
+      skip_whitespace();
+      auto value = parse_value();
+      if (!value.has_value()) return std::nullopt;
+      array.push_back(std::move(*value));
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume(']')) {
+        --depth_;
+        return Value(std::move(array));
+      }
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char escape_char = text_[pos_++];
+        switch (escape_char) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else return std::nullopt;
+            }
+            // Encode the code point as UTF-8 (surrogate pairs untreated:
+            // our writers only emit \u00XX escapes below U+0080).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;
+      out += c;
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const std::size_t digits_start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == digits_start) return std::nullopt;
+    // RFC 8259: no leading zeros ("01" is invalid, "0.1" is fine).
+    if (text_[digits_start] == '0' && pos_ - digits_start > 1) {
+      return std::nullopt;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      const std::size_t fraction_start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == fraction_start) return std::nullopt;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      const std::size_t exponent_start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == exponent_start) return std::nullopt;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return std::nullopt;
+    return Value(parsed);
+  }
+
+  static constexpr int kMaxDepth = 64;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "null";
+  if (std::isinf(v)) return v > 0 ? "1e999" : "-1e999";  // schema-local inf
+  // Integral values (the common case: counts, milliseconds) print exactly.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", v);
+    return buffer;
+  }
+  // Shortest representation that round-trips.
+  char buffer[40];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, v);
+    if (std::strtod(buffer, nullptr) == v) break;
+  }
+  return buffer;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace mak::support::json

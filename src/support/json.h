@@ -1,0 +1,71 @@
+// Minimal JSON: a parsed value tree and a strict recursive-descent parser.
+//
+// The repo emits JSON in several places (harness/json_report, bench
+// artifacts) but until now never read it back; tools/metrics_diff needs to.
+// This is deliberately small: UTF-8 pass-through, no comments, no trailing
+// commas, doubles for all numbers (adequate for the bench schema, where
+// counts fit in 2^53).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace mak::support::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double d) : data_(d) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const noexcept { return std::holds_alternative<bool>(data_); }
+  bool is_number() const noexcept { return std::holds_alternative<double>(data_); }
+  bool is_string() const noexcept { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const noexcept { return std::holds_alternative<Array>(data_); }
+  bool is_object() const noexcept { return std::holds_alternative<Object>(data_); }
+
+  // Checked accessors: throw std::bad_variant_access on kind mismatch.
+  bool as_bool() const { return std::get<bool>(data_); }
+  double as_number() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  const Array& as_array() const { return std::get<Array>(data_); }
+  const Object& as_object() const { return std::get<Object>(data_); }
+
+  // Object member lookup; nullptr when not an object or key absent.
+  const Value* find(std::string_view key) const noexcept;
+  // Convenience typed lookups for the flat schemas we consume.
+  std::optional<double> number_at(std::string_view key) const noexcept;
+  std::optional<std::string> string_at(std::string_view key) const noexcept;
+  std::optional<bool> bool_at(std::string_view key) const noexcept;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+// Parse a complete JSON document (surrounding whitespace allowed). Returns
+// nullopt on any syntax error or trailing garbage.
+std::optional<Value> parse(std::string_view text);
+
+// Serialize a double the way all JSON writers in this repo do: shortest
+// form via %.17g that still round-trips, with integral values printed
+// without an exponent or trailing ".0" noise where possible.
+std::string format_double(double v);
+
+// Escape a string for embedding in a JSON document (no surrounding quotes).
+std::string escape(std::string_view s);
+
+}  // namespace mak::support::json

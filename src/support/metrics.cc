@@ -1,0 +1,268 @@
+#include "support/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace mak::support {
+
+namespace {
+
+bool enabled_from_env() {
+  const char* value = std::getenv("MAK_METRICS");
+  if (value == nullptr || *value == '\0') return true;
+  return !(std::strcmp(value, "0") == 0 || std::strcmp(value, "off") == 0 ||
+           std::strcmp(value, "false") == 0);
+}
+
+std::atomic<bool> g_enabled{enabled_from_env()};
+
+void atomic_add(std::atomic<double>& target, double v) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double v) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (v < current && !target.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (v > current && !target.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool metrics_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) noexcept {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: empty bounds");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("Histogram: bounds must strictly increase");
+  }
+}
+
+void Histogram::record(double v) noexcept {
+  if (!metrics_enabled()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t index =
+      static_cast<std::size_t>(it - bounds_.begin());  // overflow when end()
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+double Histogram::min() const noexcept {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? 0.0 : v;
+}
+
+double Histogram::max() const noexcept {
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? 0.0 : v;
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const noexcept {
+  return i < buckets_.size() ? buckets_[i].load(std::memory_order_relaxed)
+                             : 0;
+}
+
+double Histogram::percentile(double p) const noexcept {
+  p = std::clamp(p, 0.0, 100.0);
+  std::uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  if (total == 0) return 0.0;
+
+  const double observed_min = min();
+  const double observed_max = max();
+  const double rank = p / 100.0 * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t in_bucket =
+        buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      // Interpolate inside bucket i, clamped to the observed range so a
+      // sparse histogram never reports a value outside [min, max].
+      double lo = i == 0 ? observed_min : bounds_[i - 1];
+      double hi = i < bounds_.size() ? bounds_[i] : observed_max;
+      lo = std::max(lo, observed_min);
+      hi = std::min(hi, observed_max);
+      if (hi < lo) hi = lo;
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lo + std::clamp(fraction, 0.0, 1.0) * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return observed_max;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count();
+  s.sum = sum();
+  s.min = min();
+  s.max = max();
+  s.p50 = percentile(50.0);
+  s.p90 = percentile(90.0);
+  s.p99 = percentile(99.0);
+  s.buckets.reserve(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double bound = i < bounds_.size()
+                             ? bounds_[i]
+                             : std::numeric_limits<double>::infinity();
+    s.buckets.emplace_back(bound,
+                           buckets_[i].load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------ bucket layouts
+
+std::vector<double> latency_bounds_ms() {
+  return {1,    2,    5,    10,   20,    50,    100,   200,
+          500,  1000, 2000, 5000, 10000, 20000, 50000, 100000};
+}
+
+std::vector<double> duration_bounds_us() {
+  return {1,     2,     5,     10,    20,     50,     100,    200,    500,
+          1000,  2000,  5000,  10000, 20000,  50000,  100000, 200000, 500000,
+          1000000, 2000000, 5000000, 10000000};
+}
+
+std::vector<double> unit_interval_bounds() {
+  std::vector<double> bounds;
+  for (int i = 1; i <= 20; ++i) bounds.push_back(0.05 * i);
+  return bounds;
+}
+
+std::vector<double> small_count_bounds() {
+  return {0, 1, 2, 3, 4, 5, 6, 7, 8};
+}
+
+// ------------------------------------------------------------------ Registry
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_
+              .emplace(std::string(name),
+                       std::make_unique<Histogram>(std::move(upper_bounds)))
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return histogram(name, latency_bounds_ms());
+}
+
+void MetricsRegistry::reset_values() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot s;
+  for (const auto& [name, counter] : counters_) {
+    s.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    s.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    s.histograms.emplace(name, histogram->snapshot());
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------- MetricSpan
+
+MetricSpan::MetricSpan(Histogram& wall_us, Histogram* virtual_ms,
+                       const SimClock* clock) noexcept
+    : wall_us_(&wall_us), virtual_ms_(virtual_ms), clock_(clock) {
+  if (!metrics_enabled()) return;
+  active_ = true;
+  wall_start_ = std::chrono::steady_clock::now();
+  if (clock_ != nullptr) virtual_start_ = clock_->now();
+}
+
+MetricSpan::~MetricSpan() {
+  if (!active_) return;
+  const auto wall_end = std::chrono::steady_clock::now();
+  const double elapsed_us =
+      std::chrono::duration<double, std::micro>(wall_end - wall_start_)
+          .count();
+  wall_us_->record(elapsed_us);
+  if (virtual_ms_ != nullptr && clock_ != nullptr) {
+    virtual_ms_->record(
+        static_cast<double>(clock_->now() - virtual_start_));
+  }
+}
+
+}  // namespace mak::support

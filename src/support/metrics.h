@@ -1,0 +1,195 @@
+// Process-wide metrics: counters, gauges, fixed-bucket histograms and RAII
+// timing spans.
+//
+// The paper's claims are quantitative (coverage over time, regret, per-arm
+// dynamics), so the framework exposes its internals through one registry
+// instead of ad-hoc prints. Design constraints, in order:
+//
+//   1. Observation must never perturb an experiment. Instrumentation only
+//      reads the virtual clock and bumps atomics — it never consumes RNG,
+//      never advances time, never writes to stdout. A run with metrics
+//      enabled is bit-identical to a run with metrics disabled.
+//   2. Thread-safe recording. `harness::run_repeated` executes repetitions
+//      on a thread pool; counter/histogram recording uses relaxed atomics,
+//      so cross-run sums are exact regardless of interleaving. Gauges are
+//      last-writer-wins (documented per-gauge in docs/observability.md).
+//   3. Cheap when off. MAK_METRICS=0 turns every record operation into a
+//      single relaxed atomic load and branch.
+//
+// Metric objects are created on first use and live for the process lifetime;
+// references returned by the registry never dangle, so hot paths cache them
+// in function-local statics. reset_values() zeroes values but keeps the
+// objects (and any cached references) valid.
+//
+// All metric names come from support/metric_names.h; docs/observability.md
+// is the authoritative catalog (enforced by tools/check_docs.sh).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/clock.h"
+
+namespace mak::support {
+
+// Global kill switch (initialized from MAK_METRICS; "0"/"off"/"false"
+// disable). Checked by every record operation.
+bool metrics_enabled() noexcept;
+void set_metrics_enabled(bool enabled) noexcept;
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (!metrics_enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Point-in-time value; concurrent writers race benignly (last writer wins).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (!metrics_enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram with percentile estimation.
+//
+// Buckets are defined by a sorted list of inclusive upper bounds; a value v
+// lands in the first bucket with v <= bound, or in the implicit overflow
+// bucket. Percentiles interpolate linearly inside the target bucket, clamped
+// to the observed [min, max], so they are estimates whose error is bounded
+// by the bucket width — pick bounds to match the quantity's scale.
+class Histogram {
+ public:
+  // `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void record(double v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double min() const noexcept;  // 0 when empty
+  double max() const noexcept;  // 0 when empty
+  // p in [0, 100]. Returns 0 when empty.
+  double percentile(double p) const noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  // Count in bucket `i` (0..bounds().size(); the last index is overflow).
+  std::uint64_t bucket_count(std::size_t i) const noexcept;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    // Pairs of (inclusive upper bound, count); the final entry is the
+    // overflow bucket and carries an infinite bound.
+    std::vector<std::pair<double, std::uint64_t>> buckets;
+  };
+  Snapshot snapshot() const;
+
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;  // +inf when empty
+  std::atomic<double> max_;  // -inf when empty
+};
+
+// Commonly used bucket layouts.
+std::vector<double> latency_bounds_ms();   // 1 ms .. 100 s, roughly 1-2-5
+std::vector<double> duration_bounds_us();  // 1 us .. 10 s, roughly 1-2-5
+std::vector<double> unit_interval_bounds();  // [0, 1] in 0.05 steps
+std::vector<double> small_count_bounds();    // 0..8 (deque levels, hops)
+
+// Everything the registry holds, copied at one point in time. Maps are
+// ordered by name so serialization is deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Snapshot> histograms;
+};
+
+// Name -> metric map. Creation takes a mutex; the returned references are
+// stable for the process lifetime.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  // `upper_bounds` applies on first registration only; later calls with the
+  // same name return the existing histogram unchanged.
+  Histogram& histogram(std::string_view name, std::vector<double> upper_bounds);
+  Histogram& histogram(std::string_view name);  // latency_bounds_ms()
+
+  // Zero every value, keeping the registered objects (and cached references)
+  // alive. Benches call this between configurations.
+  void reset_values();
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// RAII timing span charging two histograms on destruction: elapsed wall
+// clock (microseconds) into `wall_us`, and — when a SimClock is attached —
+// elapsed virtual time (milliseconds) into `virtual_ms`. Wall and virtual
+// cost are separately attributable: a fetch that charges 5000 virtual ms of
+// simulated latency may cost 40 real microseconds. Spans nest freely; each
+// records its own window.
+class MetricSpan {
+ public:
+  MetricSpan(Histogram& wall_us, Histogram* virtual_ms,
+             const SimClock* clock) noexcept;
+  ~MetricSpan();
+
+  MetricSpan(const MetricSpan&) = delete;
+  MetricSpan& operator=(const MetricSpan&) = delete;
+
+ private:
+  Histogram* wall_us_;
+  Histogram* virtual_ms_;
+  const SimClock* clock_;
+  std::chrono::steady_clock::time_point wall_start_;
+  VirtualMillis virtual_start_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace mak::support

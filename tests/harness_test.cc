@@ -90,6 +90,31 @@ TEST(RunRepeatedTest, ProducesIndependentRuns) {
                runs[1].final_covered_lines == runs[2].final_covered_lines);
 }
 
+// Locks in the clock-ownership rule documented in support/clock.h: each
+// repetition owns its SimClock (plus network and app), so a parallel pool
+// (MAK_THREADS=4) must produce bit-identical results to a serial one.
+TEST(RunRepeatedTest, ParallelMatchesSerial) {
+  setenv("MAK_THREADS", "1", 1);
+  const auto serial =
+      run_repeated(info_of("Vanilla"), CrawlerKind::kMak, quick_config(), 4);
+  setenv("MAK_THREADS", "4", 1);
+  const auto parallel =
+      run_repeated(info_of("Vanilla"), CrawlerKind::kMak, quick_config(), 4);
+  unsetenv("MAK_THREADS");
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].final_covered_lines, parallel[i].final_covered_lines);
+    EXPECT_EQ(serial[i].interactions, parallel[i].interactions);
+    EXPECT_EQ(serial[i].links_discovered, parallel[i].links_discovered);
+    ASSERT_EQ(serial[i].series.points().size(),
+              parallel[i].series.points().size());
+    for (std::size_t j = 0; j < serial[i].series.points().size(); ++j) {
+      EXPECT_EQ(serial[i].series.points()[j].covered_lines,
+                parallel[i].series.points()[j].covered_lines);
+    }
+  }
+}
+
 // All crawler kinds must run without crashing.
 class AllCrawlerKindsTest : public ::testing::TestWithParam<CrawlerKind> {};
 

@@ -1,0 +1,474 @@
+// Tests for the observability layer: support/metrics (registry, counters,
+// gauges, histograms, timing spans), support/json (parser used to validate
+// emitted documents), harness::metrics_to_json (schema_version 1) and
+// harness bench artifacts + the comparison logic behind tools/metrics_diff.
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/bench_json.h"
+#include "harness/json_report.h"
+#include "support/json.h"
+#include "support/metrics.h"
+
+namespace mak {
+namespace {
+
+using support::Counter;
+using support::Gauge;
+using support::Histogram;
+using support::MetricSpan;
+using support::MetricsRegistry;
+
+// Every test runs with metrics on and restores the prior switch state, so
+// ordering (and a future MAK_METRICS=0 environment) cannot leak between
+// tests.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = support::metrics_enabled();
+    support::set_metrics_enabled(true);
+  }
+  void TearDown() override { support::set_metrics_enabled(was_enabled_); }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+// ------------------------------------------------------ counters / gauges
+
+TEST_F(MetricsTest, CounterAddsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST_F(MetricsTest, GaugeHoldsLastValue) {
+  Gauge gauge;
+  gauge.set(1.5);
+  gauge.set(-3.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), -3.0);
+  gauge.reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST_F(MetricsTest, DisabledRecordingIsANoOp) {
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram({1.0, 2.0});
+  support::set_metrics_enabled(false);
+  counter.add(5);
+  gauge.set(9.0);
+  histogram.record(1.5);
+  support::set_metrics_enabled(true);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.count(), 0u);
+}
+
+// -------------------------------------------------------------- histogram
+
+TEST_F(MetricsTest, HistogramBucketBoundsAreInclusive) {
+  Histogram histogram({1.0, 5.0, 10.0});
+  histogram.record(0.5);   // <= 1       -> bucket 0
+  histogram.record(1.0);   // == 1       -> bucket 0 (inclusive upper bound)
+  histogram.record(1.001);  // (1, 5]    -> bucket 1
+  histogram.record(5.0);   // == 5       -> bucket 1
+  histogram.record(10.0);  // == 10      -> bucket 2
+  histogram.record(10.5);  // > 10       -> overflow
+  EXPECT_EQ(histogram.bucket_count(0), 2u);
+  EXPECT_EQ(histogram.bucket_count(1), 2u);
+  EXPECT_EQ(histogram.bucket_count(2), 1u);
+  EXPECT_EQ(histogram.bucket_count(3), 1u);  // overflow
+  EXPECT_EQ(histogram.count(), 6u);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.max(), 10.5);
+}
+
+TEST_F(MetricsTest, HistogramRejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST_F(MetricsTest, HistogramEmptyAndSingleValueEdges) {
+  Histogram histogram({1.0, 10.0});
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.percentile(50.0), 0.0);
+
+  histogram.record(4.0);
+  // With one observation every percentile collapses to it: interpolation is
+  // clamped to the observed [min, max].
+  EXPECT_DOUBLE_EQ(histogram.percentile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(histogram.percentile(50.0), 4.0);
+  EXPECT_DOUBLE_EQ(histogram.percentile(100.0), 4.0);
+}
+
+TEST_F(MetricsTest, HistogramPercentilesOnKnownData) {
+  // 100 observations 1..100 against decade-ish bounds: percentiles must
+  // land within one bucket width of the exact answer.
+  Histogram histogram({10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0,
+                       100.0});
+  for (int v = 1; v <= 100; ++v) histogram.record(v);
+  EXPECT_EQ(histogram.count(), 100u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 5050.0);
+  EXPECT_NEAR(histogram.percentile(50.0), 50.0, 10.0);
+  EXPECT_NEAR(histogram.percentile(90.0), 90.0, 10.0);
+  EXPECT_NEAR(histogram.percentile(99.0), 99.0, 10.0);
+  // Estimates never escape the observed range.
+  EXPECT_GE(histogram.percentile(0.0), 1.0);
+  EXPECT_LE(histogram.percentile(100.0), 100.0);
+}
+
+TEST_F(MetricsTest, HistogramSnapshotAndReset) {
+  Histogram histogram({1.0, 2.0});
+  histogram.record(0.5);
+  histogram.record(1.5);
+  histogram.record(99.0);
+  const auto snapshot = histogram.snapshot();
+  EXPECT_EQ(snapshot.count, 3u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 101.0);
+  ASSERT_EQ(snapshot.buckets.size(), 3u);  // 2 bounds + overflow
+  EXPECT_DOUBLE_EQ(snapshot.buckets[0].first, 1.0);
+  EXPECT_EQ(snapshot.buckets[0].second, 1u);
+  EXPECT_TRUE(std::isinf(snapshot.buckets[2].first));
+  EXPECT_EQ(snapshot.buckets[2].second, 1u);
+
+  histogram.reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.0);
+  EXPECT_EQ(histogram.bucket_count(2), 0u);
+}
+
+TEST_F(MetricsTest, BucketLayoutsAreStrictlyIncreasing) {
+  for (const auto& bounds :
+       {support::latency_bounds_ms(), support::duration_bounds_us(),
+        support::unit_interval_bounds(), support::small_count_bounds()}) {
+    ASSERT_FALSE(bounds.empty());
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+  }
+}
+
+// ------------------------------------------------------ concurrent writers
+
+TEST_F(MetricsTest, ConcurrentWritersProduceExactTotals) {
+  Counter counter;
+  Histogram histogram(support::unit_interval_bounds());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&counter, &histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add();
+        histogram.record(0.5);
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(histogram.sum(), kThreads * kPerThread * 0.5);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST_F(MetricsTest, RegistryReturnsStableReferences) {
+  auto& registry = MetricsRegistry::global();
+  Counter& a = registry.counter("test.registry.stable");
+  Counter& b = registry.counter("test.registry.stable");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  Histogram& h1 = registry.histogram("test.registry.hist", {1.0, 2.0});
+  // Later registrations with different bounds return the existing object.
+  Histogram& h2 = registry.histogram("test.registry.hist", {99.0});
+  EXPECT_EQ(&h1, &h2);
+  ASSERT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST_F(MetricsTest, ResetValuesKeepsObjectsAlive) {
+  auto& registry = MetricsRegistry::global();
+  Counter& counter = registry.counter("test.registry.reset");
+  Gauge& gauge = registry.gauge("test.registry.reset_gauge");
+  Histogram& histogram = registry.histogram("test.registry.reset_hist");
+  counter.add(7);
+  gauge.set(2.5);
+  histogram.record(12.0);
+  registry.reset_values();
+  // Cached references stay valid and read zero.
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.count(), 0u);
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counters.at("test.registry.reset"), 0u);
+}
+
+TEST_F(MetricsTest, SnapshotIsOrderedByName) {
+  auto& registry = MetricsRegistry::global();
+  registry.counter("test.order.b").add();
+  registry.counter("test.order.a").add();
+  const auto snapshot = registry.snapshot();
+  std::string prev;
+  for (const auto& [name, value] : snapshot.counters) {
+    EXPECT_LT(prev, name);
+    prev = name;
+  }
+  EXPECT_EQ(snapshot.counters.count("test.order.a"), 1u);
+  EXPECT_EQ(snapshot.counters.count("test.order.b"), 1u);
+}
+
+// -------------------------------------------------------------- MetricSpan
+
+TEST_F(MetricsTest, SpanChargesWallAndVirtualTime) {
+  Histogram wall(support::duration_bounds_us());
+  Histogram virt(support::latency_bounds_ms());
+  support::SimClock clock;
+  {
+    const MetricSpan span(wall, &virt, &clock);
+    clock.advance(250);
+  }
+  EXPECT_EQ(wall.count(), 1u);
+  EXPECT_EQ(virt.count(), 1u);
+  EXPECT_DOUBLE_EQ(virt.sum(), 250.0);
+  EXPECT_GE(wall.sum(), 0.0);
+}
+
+TEST_F(MetricsTest, NestedSpansRecordTheirOwnVirtualWindows) {
+  Histogram wall(support::duration_bounds_us());
+  Histogram outer_virt(support::latency_bounds_ms());
+  Histogram inner_virt(support::latency_bounds_ms());
+  support::SimClock clock;
+  clock.advance(1000);  // spans measure deltas, not absolute time
+  {
+    const MetricSpan outer(wall, &outer_virt, &clock);
+    clock.advance(100);
+    {
+      const MetricSpan inner(wall, &inner_virt, &clock);
+      clock.advance(40);
+    }
+    clock.advance(60);
+  }
+  EXPECT_DOUBLE_EQ(inner_virt.sum(), 40.0);   // inner window only
+  EXPECT_DOUBLE_EQ(outer_virt.sum(), 200.0);  // 100 + 40 + 60
+  EXPECT_EQ(wall.count(), 2u);
+}
+
+TEST_F(MetricsTest, SpanWithoutClockSkipsVirtualHistogram) {
+  Histogram wall(support::duration_bounds_us());
+  Histogram virt(support::latency_bounds_ms());
+  {
+    const MetricSpan span(wall, &virt, nullptr);
+  }
+  EXPECT_EQ(wall.count(), 1u);
+  EXPECT_EQ(virt.count(), 0u);
+}
+
+TEST_F(MetricsTest, SpanOpenedWhileDisabledRecordsNothing) {
+  Histogram wall(support::duration_bounds_us());
+  support::SimClock clock;
+  support::set_metrics_enabled(false);
+  {
+    const MetricSpan span(wall, nullptr, &clock);
+    clock.advance(5);
+  }
+  support::set_metrics_enabled(true);
+  EXPECT_EQ(wall.count(), 0u);
+}
+
+// ------------------------------------------------------------ JSON parser
+
+TEST(JsonTest, ParsesScalarsArraysObjects) {
+  const auto value = support::json::parse(
+      R"({"a": 1.5, "b": [true, false, null], "c": {"d": "x\ny"}})");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->number_at("a"), 1.5);
+  const auto* b = value->find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->as_array().size(), 3u);
+  EXPECT_TRUE(b->as_array()[0].as_bool());
+  EXPECT_TRUE(b->as_array()[2].is_null());
+  const auto* c = value->find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->string_at("d"), "x\ny");
+}
+
+TEST(JsonTest, ParsesEscapesAndNumbers) {
+  const auto value = support::json::parse(
+      R"(["A\"\\\/\b\f\n\r\t", -1e-3, 2E+2, 0.25, -0])");
+  ASSERT_TRUE(value.has_value());
+  const auto& array = value->as_array();
+  ASSERT_EQ(array.size(), 5u);
+  EXPECT_EQ(array[0].as_string(), "A\"\\/\b\f\n\r\t");
+  EXPECT_DOUBLE_EQ(array[1].as_number(), -0.001);
+  EXPECT_DOUBLE_EQ(array[2].as_number(), 200.0);
+  EXPECT_DOUBLE_EQ(array[3].as_number(), 0.25);
+  EXPECT_DOUBLE_EQ(array[4].as_number(), 0.0);
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "nul", "01", "1 2", "\"unterminated",
+        "{\"a\" 1}", "[1] trailing", "{'a': 1}", "\"bad\\q\""}) {
+    EXPECT_FALSE(support::json::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(JsonTest, FormatDoubleRoundTrips) {
+  for (const double v : {0.0, 1.0, -2.5, 0.1, 1e-9, 12345678.25, 1e300}) {
+    const std::string text = support::json::format_double(v);
+    const auto parsed = support::json::parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(parsed->as_number(), v) << text;
+  }
+  EXPECT_EQ(support::json::format_double(42.0), "42");
+  EXPECT_EQ(support::json::format_double(std::nan("")), "null");
+}
+
+TEST(JsonTest, EscapeHandlesControlCharacters) {
+  EXPECT_EQ(support::json::escape("a\"b\\c\nd\x01"), "a\\\"b\\\\c\\nd\\u0001");
+}
+
+// --------------------------------------------- metrics_to_json (schema v1)
+
+TEST_F(MetricsTest, MetricsJsonFollowsSchemaVersion1) {
+  support::MetricsSnapshot snapshot;
+  snapshot.counters["test.counter"] = 3;
+  snapshot.gauges["test.gauge"] = 1.5;
+  Histogram histogram({1.0, 2.0});
+  histogram.record(0.5);
+  histogram.record(42.0);
+  snapshot.histograms["test.hist"] = histogram.snapshot();
+
+  const std::string text = harness::metrics_to_json(snapshot);
+  const auto doc = support::json::parse(text);
+  ASSERT_TRUE(doc.has_value()) << text;
+  EXPECT_EQ(doc->number_at("schema_version"), 1.0);
+  EXPECT_EQ(doc->find("counters")->number_at("test.counter"), 3.0);
+  EXPECT_EQ(doc->find("gauges")->number_at("test.gauge"), 1.5);
+  const auto* hist = doc->find("histograms")->find("test.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->number_at("count"), 2.0);
+  EXPECT_EQ(hist->number_at("sum"), 42.5);
+  const auto* buckets = hist->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->as_array().size(), 3u);
+  // The overflow bucket's bound serializes as null (JSON has no Infinity).
+  const auto& overflow = buckets->as_array()[2].as_array();
+  EXPECT_TRUE(overflow[0].is_null());
+  EXPECT_DOUBLE_EQ(overflow[1].as_number(), 1.0);
+}
+
+// --------------------------------------------------------- bench artifacts
+
+harness::BenchDoc make_doc(double time_value, double coverage_value) {
+  harness::BenchDoc doc;
+  doc.schema_version = harness::kBenchSchemaVersion;
+  doc.kind = "test_bench";
+  doc.entries.push_back({"step_time", time_value, "ns", false});
+  doc.entries.push_back({"coverage", coverage_value, "percent", true});
+  return doc;
+}
+
+TEST(BenchJsonTest, WriteThenParseRoundTrips) {
+  const auto doc = make_doc(100.0, 80.0);
+  std::ostringstream out;
+  harness::write_bench_json(out, doc.kind, doc.entries, nullptr);
+  const auto parsed = harness::parse_bench_json(out.str());
+  ASSERT_TRUE(parsed.has_value()) << out.str();
+  EXPECT_EQ(parsed->schema_version, harness::kBenchSchemaVersion);
+  EXPECT_EQ(parsed->kind, "test_bench");
+  ASSERT_EQ(parsed->entries.size(), 2u);
+  EXPECT_EQ(parsed->entries[0].name, "step_time");
+  EXPECT_DOUBLE_EQ(parsed->entries[0].value, 100.0);
+  EXPECT_EQ(parsed->entries[0].unit, "ns");
+  EXPECT_FALSE(parsed->entries[0].higher_is_better);
+  EXPECT_TRUE(parsed->entries[1].higher_is_better);
+}
+
+TEST(BenchJsonTest, WriteIncludesMetricsBlock) {
+  support::MetricsSnapshot snapshot;
+  snapshot.counters["test.bench.counter"] = 9;
+  std::ostringstream out;
+  harness::write_bench_json(out, "test_bench", {}, &snapshot);
+  const auto doc = support::json::parse(out.str());
+  ASSERT_TRUE(doc.has_value());
+  const auto* metrics = doc->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->number_at("schema_version"), 1.0);
+  EXPECT_EQ(metrics->find("counters")->number_at("test.bench.counter"), 9.0);
+}
+
+TEST(BenchJsonTest, ParseRejectsWrongSchemaVersion) {
+  EXPECT_FALSE(harness::parse_bench_json(
+                   R"({"schema_version":2,"kind":"x","entries":[]})")
+                   .has_value());
+  EXPECT_FALSE(harness::parse_bench_json("not json").has_value());
+  EXPECT_FALSE(harness::parse_bench_json("[]").has_value());
+}
+
+TEST(BenchJsonTest, CompareFlagsRegressionsDirectionally) {
+  // Time up 50% and coverage down 25%: both regress at a 10% threshold.
+  const auto deltas =
+      harness::compare_bench(make_doc(100.0, 80.0), make_doc(150.0, 60.0),
+                             10.0);
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_TRUE(deltas[0].regression);
+  EXPECT_NEAR(deltas[0].percent_change, 50.0, 1e-9);
+  EXPECT_TRUE(deltas[1].regression);
+  EXPECT_NEAR(deltas[1].percent_change, -25.0, 1e-9);
+}
+
+TEST(BenchJsonTest, CompareIgnoresImprovementsAndSmallDrift) {
+  // Time down (good) and coverage up (good): no regressions.
+  const auto improved =
+      harness::compare_bench(make_doc(100.0, 80.0), make_doc(50.0, 99.0),
+                             10.0);
+  EXPECT_FALSE(improved[0].regression);
+  EXPECT_FALSE(improved[1].regression);
+  // 5% drift stays under a 10% threshold.
+  const auto drift =
+      harness::compare_bench(make_doc(100.0, 80.0), make_doc(105.0, 76.0),
+                             10.0);
+  EXPECT_FALSE(drift[0].regression);
+  EXPECT_FALSE(drift[1].regression);
+}
+
+TEST(BenchJsonTest, CompareReportsOneSidedEntriesWithoutRegressing) {
+  auto baseline = make_doc(100.0, 80.0);
+  auto candidate = make_doc(100.0, 80.0);
+  baseline.entries.push_back({"removed", 1.0, "ns", false});
+  candidate.entries.push_back({"added", 2.0, "ns", false});
+  const auto deltas = harness::compare_bench(baseline, candidate, 10.0);
+  int one_sided = 0;
+  for (const auto& delta : deltas) {
+    EXPECT_FALSE(delta.regression);
+    if (delta.only_in_baseline) {
+      ++one_sided;
+      EXPECT_EQ(delta.name, "removed");
+    }
+    if (delta.only_in_candidate) {
+      ++one_sided;
+      EXPECT_EQ(delta.name, "added");
+    }
+  }
+  EXPECT_EQ(one_sided, 2);
+}
+
+}  // namespace
+}  // namespace mak

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Documentation consistency checks, run by the `docs` CI job.
+#
+#   1. Every relative markdown link in the repo's .md files resolves to an
+#      existing file or directory.
+#   2. The metric catalog in docs/observability.md and the canonical name
+#      list in src/support/metric_names.h agree exactly, in both
+#      directions: every registered name is documented, and every
+#      documented name exists in source.
+#
+# Exit 0 when everything is consistent, 1 otherwise (each problem printed).
+set -u
+
+cd "$(dirname "$0")/.."
+failures=0
+
+fail() {
+  echo "check_docs: $1" >&2
+  failures=$((failures + 1))
+}
+
+# --- 1. relative markdown links ------------------------------------------
+
+while IFS= read -r file; do
+  # Pull out ](target) occurrences; keep relative targets only.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"            # drop any #anchor
+    [ -n "$path" ] || continue
+    if [ ! -e "$(dirname "$file")/$path" ]; then
+      fail "$file: broken relative link '$target'"
+    fi
+  done < <(grep -o ']([^)]*)' "$file" | sed 's/^](//; s/)$//')
+done < <(find . -name '*.md' -not -path './build/*' -not -path './.git/*')
+
+# --- 2. metric catalog <-> metric_names.h --------------------------------
+
+names_header=src/support/metric_names.h
+catalog=docs/observability.md
+
+if [ ! -f "$names_header" ] || [ ! -f "$catalog" ]; then
+  fail "missing $names_header or $catalog"
+  exit 1
+fi
+
+# Registered names: every quoted string literal in the header.
+registered=$(grep -o '"[a-z0-9_.]*"' "$names_header" | tr -d '"' | sort -u)
+
+# Documented names: first backticked cell of catalog table rows, restricted
+# to dot-separated lower-case identifiers so prose tables (env vars, CLI
+# flags) are not picked up.
+documented=$(sed -n 's/^| `\([a-z0-9_]*\(\.[a-z0-9_]*\)\{1,\}\)` .*/\1/p' \
+    "$catalog" | sort -u)
+
+for name in $registered; do
+  if ! printf '%s\n' $documented | grep -qx "$name"; then
+    fail "$catalog: metric '$name' (from $names_header) has no catalog row"
+  fi
+done
+for name in $documented; do
+  if ! printf '%s\n' $registered | grep -qx "$name"; then
+    fail "$catalog: catalog row '$name' not found in $names_header"
+  fi
+done
+
+# ------------------------------------------------------------------------
+
+if [ "$failures" -gt 0 ]; then
+  echo "check_docs: $failures problem(s)" >&2
+  exit 1
+fi
+echo "check_docs: OK ($(printf '%s\n' $registered | wc -l) metrics cataloged)"

@@ -1,0 +1,127 @@
+// metrics_diff — compare two bench JSON artifacts and flag regressions.
+//
+// Usage:
+//   metrics_diff <baseline.json> <candidate.json> [--threshold <percent>]
+//
+// Both files must follow the BENCH schema (schema_version 1, see
+// docs/observability.md). An entry regresses when its value moved more than
+// the threshold (default 10%) against its higher_is_better direction:
+// time-like entries (ns per iteration) regress upward, coverage-like entries
+// regress downward. Exit codes:
+//   0  no regressions
+//   1  at least one regression beyond the threshold
+//   2  usage or parse error (missing file, wrong schema_version, bad flag)
+//
+// CI gating (docs/observability.md): regenerate the candidate artifact with
+// the bench binary, then `metrics_diff results/BENCH_micro.json fresh.json`.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/bench_json.h"
+
+namespace {
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::optional<mak::harness::BenchDoc> load(const std::string& path) {
+  const auto text = read_file(path);
+  if (!text.has_value()) {
+    std::fprintf(stderr, "metrics_diff: cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  auto doc = mak::harness::parse_bench_json(*text);
+  if (!doc.has_value()) {
+    std::fprintf(stderr,
+                 "metrics_diff: %s is not a schema_version-%d bench artifact\n",
+                 path.c_str(), mak::harness::kBenchSchemaVersion);
+  }
+  return doc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string candidate_path;
+  double threshold = 10.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "metrics_diff: --threshold needs a value\n");
+        return 2;
+      }
+      char* end = nullptr;
+      threshold = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || threshold < 0.0) {
+        std::fprintf(stderr, "metrics_diff: bad threshold '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (candidate_path.empty()) {
+      candidate_path = arg;
+    } else {
+      std::fprintf(stderr, "metrics_diff: unexpected argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || candidate_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: metrics_diff <baseline.json> <candidate.json> "
+                 "[--threshold <percent>]\n");
+    return 2;
+  }
+
+  const auto baseline = load(baseline_path);
+  const auto candidate = load(candidate_path);
+  if (!baseline.has_value() || !candidate.has_value()) return 2;
+  if (baseline->kind != candidate->kind) {
+    std::fprintf(stderr, "metrics_diff: kind mismatch ('%s' vs '%s')\n",
+                 baseline->kind.c_str(), candidate->kind.c_str());
+    return 2;
+  }
+
+  const auto deltas =
+      mak::harness::compare_bench(*baseline, *candidate, threshold);
+
+  std::printf("metrics_diff: %s (threshold %.1f%%)\n",
+              baseline->kind.c_str(), threshold);
+  std::printf("%-44s %14s %14s %9s\n", "entry", "baseline", "candidate",
+              "change");
+  int regressions = 0;
+  for (const auto& delta : deltas) {
+    if (delta.only_in_baseline) {
+      std::printf("%-44s %14g %14s %9s  (removed)\n", delta.name.c_str(),
+                  delta.baseline, "-", "-");
+      continue;
+    }
+    if (delta.only_in_candidate) {
+      std::printf("%-44s %14s %14g %9s  (new)\n", delta.name.c_str(), "-",
+                  delta.candidate, "-");
+      continue;
+    }
+    std::printf("%-44s %14g %14g %+8.2f%%%s\n", delta.name.c_str(),
+                delta.baseline, delta.candidate, delta.percent_change,
+                delta.regression ? "  REGRESSION" : "");
+    if (delta.regression) ++regressions;
+  }
+  if (regressions > 0) {
+    std::printf("%d regression(s) beyond %.1f%%\n", regressions, threshold);
+    return 1;
+  }
+  std::printf("no regressions\n");
+  return 0;
+}
