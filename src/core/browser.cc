@@ -2,10 +2,12 @@
 
 #include <utility>
 
+#include "core/state_codec.h"
 #include "html/parser.h"
 #include "support/log.h"
 #include "support/metric_names.h"
 #include "support/metrics.h"
+#include "support/snapshot.h"
 #include "support/strings.h"
 
 namespace mak::core {
@@ -15,7 +17,8 @@ Page build_page(const url::Url& final_url, int status, std::string body,
   Page page;
   page.url = url::normalized(final_url);
   page.status = status;
-  page.dom = html::parse(body);
+  page.body = std::move(body);
+  page.dom = html::parse(page.body);
   page.title = page.dom.title();
   for (auto& element : html::extract_interactables(page.dom)) {
     std::string raw_target = element.target;
@@ -215,6 +218,58 @@ InteractionResult Browser::interact(ResolvedAction action) {
   }
   MAK_LOG_TRACE << "interact " << action.describe() << " -> " << result.status;
   return result;
+}
+
+support::json::Value Browser::save_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state("core.browser", 1);
+  state.emplace("rng", snapshot::rng_to_json(rng_));
+  state.emplace("cookies", jar_.save_state());
+  support::json::Object page;
+  page.emplace("url", url_to_json(page_.url));
+  page.emplace("status", static_cast<double>(page_.status));
+  page.emplace("body", page_.body);
+  state.emplace("page", support::json::Value(std::move(page)));
+  state.emplace("interactions", static_cast<double>(interactions_));
+  state.emplace("navigations", static_cast<double>(navigations_));
+  state.emplace("fill_counter", static_cast<double>(fill_counter_));
+  state.emplace("retries", static_cast<double>(retries_));
+  state.emplace("transport_failures",
+                static_cast<double>(transport_failures_));
+  state.emplace("timeouts", static_cast<double>(timeouts_));
+  state.emplace("backoff_ms", static_cast<double>(backoff_ms_));
+  return support::json::Value(std::move(state));
+}
+
+void Browser::load_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, "core.browser", 1);
+  const auto& page = snapshot::require(state, "page");
+  const url::Url page_url = url_from_json(snapshot::require(page, "url"));
+  const auto status = snapshot::require_int(page, "status");
+  if (status < 0 || status > 999) {
+    throw support::SnapshotError("Browser: bad page status in checkpoint");
+  }
+  snapshot::rng_from_json(rng_, snapshot::require(state, "rng"));
+  jar_.load_state(snapshot::require(state, "cookies"));
+  // Rebuild the parsed page from the stored body; build_page is a pure
+  // function of (url, status, body, origin), so the restored DOM and action
+  // list match the originals exactly.
+  page_ = build_page(page_url, static_cast<int>(status),
+                     snapshot::require_string(page, "body"), seed_);
+  interactions_ = static_cast<std::size_t>(
+      snapshot::require_index(state, "interactions"));
+  navigations_ = static_cast<std::size_t>(
+      snapshot::require_index(state, "navigations"));
+  fill_counter_ = static_cast<std::size_t>(
+      snapshot::require_index(state, "fill_counter"));
+  retries_ = static_cast<std::size_t>(snapshot::require_index(state, "retries"));
+  transport_failures_ = static_cast<std::size_t>(
+      snapshot::require_index(state, "transport_failures"));
+  timeouts_ = static_cast<std::size_t>(
+      snapshot::require_index(state, "timeouts"));
+  backoff_ms_ = static_cast<support::VirtualMillis>(
+      snapshot::require_index(state, "backoff_ms"));
 }
 
 }  // namespace mak::core

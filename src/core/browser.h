@@ -72,6 +72,12 @@ class Browser {
   // spans that attribute virtual cost to crawl phases.
   const support::SimClock& clock() const noexcept { return network_->clock(); }
 
+  // Checkpointing: RNG, cookie jar, current page (as its raw body, re-parsed
+  // on load — build_page is deterministic) and all counters. The network,
+  // seed and fill strategy are configuration, recreated by the harness.
+  support::json::Value save_state() const;
+  void load_state(const support::json::Value& state);
+
  private:
   Page fetch(httpsim::Method method, const url::Url& target,
              const url::QueryMap& form, InteractionResult* result);

@@ -72,4 +72,24 @@ void RlCrawlerBase::recover(Browser& browser) {
   absorb(browser.page());
 }
 
+support::json::Value RlCrawlerBase::save_base_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state("core.rl_crawler_base", 1);
+  state.emplace("rng", snapshot::rng_to_json(rng_));
+  state.emplace("ledger", ledger_.save_state());
+  state.emplace("last_increment", static_cast<double>(last_increment_));
+  state.emplace("last_action", last_action_);
+  return support::json::Value(std::move(state));
+}
+
+void RlCrawlerBase::load_base_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, "core.rl_crawler_base", 1);
+  snapshot::rng_from_json(rng_, snapshot::require(state, "rng"));
+  ledger_.load_state(snapshot::require(state, "ledger"));
+  last_increment_ = static_cast<std::size_t>(
+      snapshot::require_index(state, "last_increment"));
+  last_action_ = snapshot::require_string(state, "last_action");
+}
+
 }  // namespace mak::core

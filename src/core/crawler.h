@@ -25,6 +25,7 @@
 #include "core/types.h"
 #include "rl/qlearning.h"
 #include "support/rng.h"
+#include "support/snapshot.h"
 
 namespace mak::core {
 
@@ -47,6 +48,11 @@ class Crawler {
   // Human-readable description of the most recent step's choice (for
   // tracing); empty if the crawler does not report one.
   virtual std::string last_action() const { return {}; }
+
+  // Step-level checkpointing support. Crawlers that can capture and restore
+  // their full mid-run state return themselves; the harness falls back to
+  // repetition-level restarts for the rest (docs/robustness.md).
+  virtual support::Snapshotable* snapshotable() noexcept { return nullptr; }
 };
 
 class RlCrawlerBase : public Crawler {
@@ -94,6 +100,12 @@ class RlCrawlerBase : public Crawler {
   void set_last_action(std::string description) {
     last_action_ = std::move(description);
   }
+
+  // Checkpoint codec for the loop state every RL crawler shares (RNG,
+  // ledger, last increment and trace label). Subclasses embed this object
+  // under a "base" key of their own state.
+  support::json::Value save_base_state() const;
+  void load_base_state(const support::json::Value& state);
 
  private:
   void absorb(const Page& page);

@@ -1,10 +1,14 @@
 #include "core/frontier.h"
 
+#include <algorithm>
 #include <array>
 #include <stdexcept>
+#include <utility>
 
+#include "core/state_codec.h"
 #include "support/metric_names.h"
 #include "support/metrics.h"
+#include "support/snapshot.h"
 
 namespace mak::core {
 
@@ -173,6 +177,80 @@ void LeveledDeque::requeue_flat(const ResolvedAction& action) {
 std::size_t LeveledDeque::interactions_of(std::uint64_t key) const noexcept {
   const auto it = level_of_.find(key);
   return it != level_of_.end() ? it->second : 0;
+}
+
+support::json::Value LeveledDeque::save_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state("core.frontier", 1);
+  support::json::Array levels;
+  levels.reserve(levels_.size());
+  for (const auto& deque : levels_) {
+    support::json::Array level_json;
+    level_json.reserve(deque.size());
+    for (const auto& action : deque) {
+      level_json.emplace_back(action_to_json(action));
+    }
+    levels.emplace_back(std::move(level_json));
+  }
+  state.emplace("levels", support::json::Value(std::move(levels)));
+  // Sorted by key so equal frontiers serialize to equal bytes.
+  std::vector<std::pair<std::uint64_t, std::size_t>> entries(level_of_.begin(),
+                                                             level_of_.end());
+  std::sort(entries.begin(), entries.end());
+  support::json::Array level_of;
+  level_of.reserve(entries.size());
+  for (const auto& [key, level] : entries) {
+    support::json::Array pair;
+    pair.emplace_back(snapshot::u64_to_hex(key));
+    pair.emplace_back(static_cast<double>(level));
+    level_of.emplace_back(std::move(pair));
+  }
+  state.emplace("level_of", support::json::Value(std::move(level_of)));
+  return support::json::Value(std::move(state));
+}
+
+void LeveledDeque::load_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, "core.frontier", 1);
+  std::unordered_map<std::uint64_t, std::size_t> level_of;
+  for (const auto& pair : snapshot::require_array(state, "level_of")) {
+    if (!pair.is_array() || pair.as_array().size() != 2 ||
+        !pair.as_array()[0].is_string() || !pair.as_array()[1].is_number()) {
+      throw support::SnapshotError(
+          "LeveledDeque: level_of entries must be [hex key, level] pairs");
+    }
+    const double level = pair.as_array()[1].as_number();
+    if (!(level >= 0.0) || level != static_cast<double>(
+                                        static_cast<std::size_t>(level))) {
+      throw support::SnapshotError("LeveledDeque: bad level value");
+    }
+    const std::uint64_t key =
+        snapshot::hex_to_u64(pair.as_array()[0].as_string());
+    if (!level_of.emplace(key, static_cast<std::size_t>(level)).second) {
+      throw support::SnapshotError("LeveledDeque: duplicate level_of key");
+    }
+  }
+  std::vector<std::deque<ResolvedAction>> levels;
+  std::size_t size = 0;
+  for (const auto& level_json : snapshot::require_array(state, "levels")) {
+    if (!level_json.is_array()) {
+      throw support::SnapshotError("LeveledDeque: levels must be arrays");
+    }
+    auto& deque = levels.emplace_back();
+    for (const auto& action_json : level_json.as_array()) {
+      ResolvedAction action = action_from_json(action_json);
+      const auto it = level_of.find(action.key());
+      if (it == level_of.end() || it->second != levels.size() - 1) {
+        throw support::SnapshotError(
+            "LeveledDeque: queued element disagrees with level_of");
+      }
+      deque.push_back(std::move(action));
+      ++size;
+    }
+  }
+  levels_ = std::move(levels);
+  level_of_ = std::move(level_of);
+  size_ = size;
 }
 
 }  // namespace mak::core

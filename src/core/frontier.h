@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/types.h"
+#include "support/json.h"
 #include "support/rng.h"
 
 namespace mak::core {
@@ -59,6 +60,12 @@ class LeveledDeque {
   std::size_t lowest_level() const noexcept;
   // Interaction count of a known element's action key (0 if unknown).
   std::size_t interactions_of(std::uint64_t key) const noexcept;
+
+  // Checkpointing: every queued element (in deque order, per level) plus the
+  // key->level table, which also covers the in-flight element take() has
+  // already promoted. load_state cross-checks the two and rebuilds size_.
+  support::json::Value save_state() const;
+  void load_state(const support::json::Value& state);
 
  private:
   std::deque<ResolvedAction>& level(std::size_t i);

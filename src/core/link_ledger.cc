@@ -1,5 +1,10 @@
 #include "core/link_ledger.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "support/snapshot.h"
+
 namespace mak::core {
 
 std::size_t LinkLedger::absorb(const Page& page) {
@@ -12,6 +17,31 @@ std::size_t LinkLedger::absorb(const Page& page) {
 
 bool LinkLedger::absorb_url(const url::Url& target) {
   return links_.insert(target.without_fragment()).second;
+}
+
+support::json::Value LinkLedger::save_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state("core.link_ledger", 1);
+  std::vector<std::string> sorted(links_.begin(), links_.end());
+  std::sort(sorted.begin(), sorted.end());
+  support::json::Array links;
+  links.reserve(sorted.size());
+  for (auto& link : sorted) links.emplace_back(std::move(link));
+  state.emplace("links", support::json::Value(std::move(links)));
+  return support::json::Value(std::move(state));
+}
+
+void LinkLedger::load_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, "core.link_ledger", 1);
+  std::unordered_set<std::string> links;
+  for (const auto& link : snapshot::require_array(state, "links")) {
+    if (!link.is_string()) {
+      throw support::SnapshotError("LinkLedger: links must be strings");
+    }
+    links.insert(link.as_string());
+  }
+  links_ = std::move(links);
 }
 
 }  // namespace mak::core

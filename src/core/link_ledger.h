@@ -11,6 +11,7 @@
 #include <unordered_set>
 
 #include "core/types.h"
+#include "support/json.h"
 
 namespace mak::core {
 
@@ -25,6 +26,11 @@ class LinkLedger {
   std::size_t distinct_links() const noexcept { return links_.size(); }
 
   void reset() { links_.clear(); }
+
+  // Checkpointing: the gathered link set (sorted, so equal sets serialize
+  // to equal bytes regardless of hash-table insertion history).
+  support::json::Value save_state() const;
+  void load_state(const support::json::Value& state);
 
  private:
   std::unordered_set<std::string> links_;

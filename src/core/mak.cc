@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/state_codec.h"
 #include "rl/epsilon_greedy.h"
 #include "rl/exp3.h"
 #include "rl/thompson.h"
 #include "rl/ucb.h"
 #include "support/metric_names.h"
 #include "support/metrics.h"
+#include "support/snapshot.h"
 
 #include "html/interactables.h"
 
@@ -159,6 +161,66 @@ void MakCrawler::update_policy(rl::StateId, std::size_t action, double reward,
   if (!config_.forced_arm.has_value()) {
     policy_->update(action, reward);
   }
+}
+
+support::json::Value MakCrawler::save_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state(snapshot_id(), snapshot_version());
+  state.emplace("base", save_base_state());
+  state.emplace("frontier", frontier_.save_state());
+  state.emplace("policy", policy_->save_state());
+  state.emplace("standardized", standardized_.save_state());
+  state.emplace("curiosity", curiosity_.save_state());
+  support::json::Array tags;
+  tags.reserve(previous_tags_.size());
+  for (const auto& tag : previous_tags_) tags.emplace_back(tag);
+  state.emplace("previous_tags", support::json::Value(std::move(tags)));
+  if (in_flight_.has_value()) {
+    state.emplace("in_flight", action_to_json(*in_flight_));
+  }
+  state.emplace("in_flight_failed", support::json::Value(in_flight_failed_));
+  state.emplace("steps", static_cast<double>(steps_));
+  state.emplace("failed_interactions",
+                static_cast<double>(failed_interactions_));
+  support::json::Array arm_counts;
+  for (const std::size_t count : arm_counts_) {
+    arm_counts.emplace_back(static_cast<double>(count));
+  }
+  state.emplace("arm_counts", support::json::Value(std::move(arm_counts)));
+  return support::json::Value(std::move(state));
+}
+
+void MakCrawler::load_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, snapshot_id(), snapshot_version());
+  load_base_state(snapshot::require(state, "base"));
+  frontier_.load_state(snapshot::require(state, "frontier"));
+  policy_->load_state(snapshot::require(state, "policy"));
+  standardized_.load_state(snapshot::require(state, "standardized"));
+  curiosity_.load_state(snapshot::require(state, "curiosity"));
+  std::vector<std::string> tags;
+  for (const auto& tag : snapshot::require_array(state, "previous_tags")) {
+    if (!tag.is_string()) {
+      throw support::SnapshotError("MakCrawler: previous_tags must be strings");
+    }
+    tags.push_back(tag.as_string());
+  }
+  previous_tags_ = std::move(tags);
+  if (const auto* in_flight = state.find("in_flight"); in_flight != nullptr) {
+    in_flight_ = action_from_json(*in_flight);
+  } else {
+    in_flight_.reset();
+  }
+  in_flight_failed_ = snapshot::require_bool(state, "in_flight_failed");
+  steps_ = static_cast<std::size_t>(snapshot::require_index(state, "steps"));
+  failed_interactions_ = static_cast<std::size_t>(
+      snapshot::require_index(state, "failed_interactions"));
+  const auto counts = snapshot::indices_from_json(
+      snapshot::require(state, "arm_counts"), "arm_counts");
+  if (counts.size() != arm_counts_.size()) {
+    throw support::SnapshotError("MakCrawler: arm_counts size mismatch");
+  }
+  std::copy(counts.begin(), counts.end(), arm_counts_.begin());
 }
 
 std::unique_ptr<MakCrawler> make_mak(support::Rng rng) {

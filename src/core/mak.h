@@ -49,11 +49,21 @@ struct MakConfig {
   std::string name_override;  // display name (defaults derived from config)
 };
 
-class MakCrawler final : public RlCrawlerBase {
+class MakCrawler final : public RlCrawlerBase, public support::Snapshotable {
  public:
   MakCrawler(support::Rng rng, MakConfig config = {});
 
   std::string_view name() const override { return name_; }
+
+  // Step-level checkpointing: the full mid-run crawler state (frontier,
+  // policy, reward shapers, in-flight element, counters).
+  support::Snapshotable* snapshotable() noexcept override { return this; }
+  std::string_view snapshot_id() const noexcept override {
+    return "core.mak_crawler";
+  }
+  int snapshot_version() const noexcept override { return 1; }
+  support::json::Value save_state() const override;
+  void load_state(const support::json::Value& state) override;
 
   // Introspection for tests and benches.
   const LeveledDeque& frontier() const noexcept { return frontier_; }

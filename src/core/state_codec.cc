@@ -1,0 +1,113 @@
+#include "core/state_codec.h"
+
+#include "support/snapshot.h"
+
+namespace mak::core {
+
+namespace snapshot = support::snapshot;
+
+support::json::Value url_to_json(const url::Url& url) {
+  // Component-wise (not via to_string/parse) so the round-trip is exact by
+  // construction, including corner cases like explicit default ports.
+  support::json::Object object;
+  object.emplace("scheme", url.scheme);
+  object.emplace("host", url.host);
+  object.emplace("port", static_cast<double>(url.port));
+  object.emplace("path", url.path);
+  object.emplace("query", url.query);
+  object.emplace("fragment", url.fragment);
+  return support::json::Value(std::move(object));
+}
+
+url::Url url_from_json(const support::json::Value& value) {
+  url::Url url;
+  url.scheme = snapshot::require_string(value, "scheme");
+  url.host = snapshot::require_string(value, "host");
+  const std::uint64_t port = snapshot::require_index(value, "port");
+  if (port > 0xffff) {
+    throw support::SnapshotError("snapshot: url port out of range");
+  }
+  url.port = static_cast<std::uint16_t>(port);
+  url.path = snapshot::require_string(value, "path");
+  url.query = snapshot::require_string(value, "query");
+  url.fragment = snapshot::require_string(value, "fragment");
+  return url;
+}
+
+support::json::Value form_field_to_json(const html::FormField& field) {
+  support::json::Object object;
+  object.emplace("name", field.name);
+  object.emplace("type", field.type);
+  object.emplace("value", field.value);
+  support::json::Array options;
+  options.reserve(field.options.size());
+  for (const auto& option : field.options) options.emplace_back(option);
+  object.emplace("options", support::json::Value(std::move(options)));
+  return support::json::Value(std::move(object));
+}
+
+html::FormField form_field_from_json(const support::json::Value& value) {
+  html::FormField field;
+  field.name = snapshot::require_string(value, "name");
+  field.type = snapshot::require_string(value, "type");
+  field.value = snapshot::require_string(value, "value");
+  for (const auto& option : snapshot::require_array(value, "options")) {
+    if (!option.is_string()) {
+      throw support::SnapshotError("snapshot: form options must be strings");
+    }
+    field.options.push_back(option.as_string());
+  }
+  return field;
+}
+
+support::json::Value interactable_to_json(const html::Interactable& element) {
+  support::json::Object object;
+  object.emplace("kind", static_cast<double>(element.kind));
+  object.emplace("target", element.target);
+  object.emplace("method", element.method);
+  object.emplace("eid", element.id);
+  object.emplace("name", element.name);
+  object.emplace("text", element.text);
+  support::json::Array fields;
+  fields.reserve(element.fields.size());
+  for (const auto& field : element.fields) {
+    fields.emplace_back(form_field_to_json(field));
+  }
+  object.emplace("fields", support::json::Value(std::move(fields)));
+  return support::json::Value(std::move(object));
+}
+
+html::Interactable interactable_from_json(const support::json::Value& value) {
+  html::Interactable element;
+  const std::uint64_t kind = snapshot::require_index(value, "kind");
+  if (kind > static_cast<std::uint64_t>(html::InteractableKind::kForm)) {
+    throw support::SnapshotError("snapshot: bad interactable kind");
+  }
+  element.kind = static_cast<html::InteractableKind>(kind);
+  element.target = snapshot::require_string(value, "target");
+  element.method = snapshot::require_string(value, "method");
+  element.id = snapshot::require_string(value, "eid");
+  element.name = snapshot::require_string(value, "name");
+  element.text = snapshot::require_string(value, "text");
+  for (const auto& field : snapshot::require_array(value, "fields")) {
+    element.fields.push_back(form_field_from_json(field));
+  }
+  return element;
+}
+
+support::json::Value action_to_json(const ResolvedAction& action) {
+  support::json::Object object;
+  object.emplace("element", interactable_to_json(action.element));
+  object.emplace("target", url_to_json(action.target));
+  return support::json::Value(std::move(object));
+}
+
+ResolvedAction action_from_json(const support::json::Value& value) {
+  ResolvedAction action;
+  action.element =
+      interactable_from_json(snapshot::require(value, "element"));
+  action.target = url_from_json(snapshot::require(value, "target"));
+  return action;
+}
+
+}  // namespace mak::core

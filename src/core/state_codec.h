@@ -1,0 +1,26 @@
+// JSON codecs for the core value types that appear inside checkpoints
+// (docs/robustness.md): URLs, interactable elements and resolved actions.
+//
+// These are exact round-trips: decoding the encoded form reproduces a value
+// that compares equal to (and hashes identically with) the original. All
+// decoders throw support::SnapshotError on malformed input.
+#pragma once
+
+#include "core/types.h"
+#include "support/json.h"
+
+namespace mak::core {
+
+support::json::Value url_to_json(const url::Url& url);
+url::Url url_from_json(const support::json::Value& value);
+
+support::json::Value form_field_to_json(const html::FormField& field);
+html::FormField form_field_from_json(const support::json::Value& value);
+
+support::json::Value interactable_to_json(const html::Interactable& element);
+html::Interactable interactable_from_json(const support::json::Value& value);
+
+support::json::Value action_to_json(const ResolvedAction& action);
+ResolvedAction action_from_json(const support::json::Value& value);
+
+}  // namespace mak::core

@@ -30,6 +30,7 @@ struct Page {
   url::Url url;       // final URL after redirects, normalized
   int status = 0;     // HTTP status of the final response
   std::string title;
+  std::string body;   // raw response body (checkpoints re-parse it on resume)
   html::Document dom;
   std::vector<ResolvedAction> actions;  // valid interactables, page order
 

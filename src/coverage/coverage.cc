@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "support/snapshot.h"
+
 namespace mak::coverage {
 
 FileId CodeModel::add_file(std::string name, std::size_t line_count) {
@@ -84,6 +86,75 @@ void LineSet::clear() {
     std::fill(words.begin(), words.end(), 0);
   }
   covered_ = 0;
+}
+
+support::json::Value LineSet::save_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state("coverage.line_set", 1);
+  state.emplace("lines", snapshot::indices_to_json(file_lines_));
+  support::json::Array files;
+  files.reserve(bits_.size());
+  for (const auto& words : bits_) {
+    support::json::Array file;
+    file.reserve(words.size());
+    for (const std::uint64_t word : words) {
+      file.emplace_back(snapshot::u64_to_hex(word));
+    }
+    files.emplace_back(std::move(file));
+  }
+  state.emplace("bits", support::json::Value(std::move(files)));
+  return support::json::Value(std::move(state));
+}
+
+void LineSet::load_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, "coverage.line_set", 1);
+  const auto file_lines = snapshot::indices_from_json(
+      snapshot::require(state, "lines"), "lines");
+  // A default-constructed set adopts the stored shape (used when restoring
+  // archived run results); a model-backed set requires an exact match.
+  if (!file_lines_.empty() && file_lines != file_lines_) {
+    throw support::SnapshotError("LineSet: model mismatch with checkpoint");
+  }
+  const auto& files = snapshot::require_array(state, "bits");
+  if (files.size() != file_lines.size()) {
+    throw support::SnapshotError("LineSet: bits/lines file count mismatch");
+  }
+  std::vector<std::vector<std::uint64_t>> bits;
+  std::size_t covered = 0;
+  bits.reserve(files.size());
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    if (!files[f].is_array()) {
+      throw support::SnapshotError("LineSet: per-file bits must be arrays");
+    }
+    const auto& words_json = files[f].as_array();
+    const std::size_t expected_words = (file_lines[f] + 63) / 64;
+    if (words_json.size() != expected_words) {
+      throw support::SnapshotError("LineSet: word count mismatch");
+    }
+    std::vector<std::uint64_t> words;
+    words.reserve(words_json.size());
+    for (const auto& word_json : words_json) {
+      if (!word_json.is_string()) {
+        throw support::SnapshotError("LineSet: bit words must be hex strings");
+      }
+      const std::uint64_t word = snapshot::hex_to_u64(word_json.as_string());
+      covered += static_cast<std::size_t>(std::popcount(word));
+      words.push_back(word);
+    }
+    // Bits beyond the file's line count can never be marked; their presence
+    // means the payload was corrupted.
+    if (!words.empty() && file_lines[f] % 64 != 0) {
+      const std::uint64_t stray = words.back() >> (file_lines[f] % 64);
+      if (stray != 0) {
+        throw support::SnapshotError("LineSet: stray bits past end of file");
+      }
+    }
+    bits.push_back(std::move(words));
+  }
+  file_lines_ = file_lines;
+  bits_ = std::move(bits);
+  covered_ = covered;
 }
 
 std::vector<FileCoverage> file_breakdown(const CodeModel& model,

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "support/clock.h"
+#include "support/json.h"
 
 namespace mak::coverage {
 
@@ -59,6 +60,12 @@ class LineSet {
 
   void clear();
 
+  // Checkpointing: per-file bit words as hex strings. load_state validates
+  // that the file count and per-file word counts match this set's model and
+  // recomputes the covered counter from the restored bits.
+  support::json::Value save_state() const;
+  void load_state(const support::json::Value& state);
+
  private:
   // Per file: packed bit words; sizes fixed by the model at construction.
   std::vector<std::vector<std::uint64_t>> bits_;
@@ -89,6 +96,12 @@ class CoverageTracker {
   const LineSet& lines() const noexcept { return lines_; }
 
   void reset() { lines_.clear(); }
+
+  // Checkpointing: delegates to the underlying LineSet.
+  support::json::Value save_state() const { return lines_.save_state(); }
+  void load_state(const support::json::Value& state) {
+    lines_.load_state(state);
+  }
 
  private:
   const CodeModel* model_;

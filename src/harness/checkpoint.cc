@@ -1,0 +1,382 @@
+#include "harness/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "support/log.h"
+#include "support/metric_names.h"
+#include "support/metrics.h"
+#include "support/snapshot.h"
+
+namespace mak::harness {
+
+namespace fs = std::filesystem;
+namespace snapshot = mak::support::snapshot;
+using support::SnapshotError;
+using support::json::Value;
+
+namespace {
+
+constexpr std::string_view kMagic = "mak-ckpt";
+constexpr int kFormat = 1;
+constexpr std::string_view kPayloadId = "harness.checkpoint";
+constexpr int kPayloadVersion = 1;
+
+std::string crc_hex(std::uint32_t crc) {
+  char buffer[9];
+  std::snprintf(buffer, sizeof(buffer), "%08x", crc);
+  return std::string(buffer);
+}
+
+apps::Platform platform_from_int(std::int64_t value) {
+  switch (value) {
+    case 0:
+      return apps::Platform::kPhp;
+    case 1:
+      return apps::Platform::kNode;
+    default:
+      throw SnapshotError("RunResult: unknown platform in checkpoint");
+  }
+}
+
+}  // namespace
+
+support::json::Value result_to_state(const RunResult& result) {
+  auto state = snapshot::make_state("harness.run_result", 1);
+  state.emplace("app", result.app);
+  state.emplace("crawler", result.crawler);
+  state.emplace("platform", static_cast<double>(result.platform));
+  support::json::Array series;
+  series.reserve(result.series.points().size());
+  for (const auto& point : result.series.points()) {
+    support::json::Array pair;
+    pair.emplace_back(static_cast<double>(point.time));
+    pair.emplace_back(static_cast<double>(point.covered_lines));
+    series.emplace_back(std::move(pair));
+  }
+  state.emplace("series", Value(std::move(series)));
+  state.emplace("final_covered_lines",
+                static_cast<double>(result.final_covered_lines));
+  state.emplace("total_lines", static_cast<double>(result.total_lines));
+  state.emplace("interactions", static_cast<double>(result.interactions));
+  state.emplace("navigations", static_cast<double>(result.navigations));
+  state.emplace("links_discovered",
+                static_cast<double>(result.links_discovered));
+  state.emplace("covered", result.covered.save_state());
+  state.emplace("fault_active", Value(result.fault_active));
+  state.emplace("retries", static_cast<double>(result.retries));
+  state.emplace("transport_failures",
+                static_cast<double>(result.transport_failures));
+  state.emplace("timeouts", static_cast<double>(result.timeouts));
+  state.emplace("backoff_ms", static_cast<double>(result.backoff_ms));
+  state.emplace("injected_errors", static_cast<double>(result.injected_errors));
+  state.emplace("injected_drops", static_cast<double>(result.injected_drops));
+  state.emplace("latency_spikes", static_cast<double>(result.latency_spikes));
+  state.emplace("degraded_requests",
+                static_cast<double>(result.degraded_requests));
+  state.emplace("steps", static_cast<double>(result.steps));
+  state.emplace("aborted", Value(result.aborted));
+  state.emplace("abort_reason", result.abort_reason);
+  return Value(std::move(state));
+}
+
+RunResult result_from_state(const support::json::Value& state) {
+  snapshot::check_header(state, "harness.run_result", 1);
+  RunResult result;
+  result.app = snapshot::require_string(state, "app");
+  result.crawler = snapshot::require_string(state, "crawler");
+  result.platform = platform_from_int(snapshot::require_int(state, "platform"));
+  for (const auto& entry : snapshot::require_array(state, "series")) {
+    if (!entry.is_array() || entry.as_array().size() != 2 ||
+        !entry.as_array()[0].is_number() || !entry.as_array()[1].is_number()) {
+      throw SnapshotError("RunResult: malformed series point");
+    }
+    const double time = entry.as_array()[0].as_number();
+    const double covered = entry.as_array()[1].as_number();
+    if (time < 0 || time != static_cast<double>(static_cast<std::int64_t>(time)) ||
+        covered < 0 ||
+        covered != static_cast<double>(static_cast<std::uint64_t>(covered))) {
+      throw SnapshotError("RunResult: non-integer series point");
+    }
+    result.series.record(static_cast<support::VirtualMillis>(time),
+                         static_cast<std::size_t>(covered));
+  }
+  result.final_covered_lines = static_cast<std::size_t>(
+      snapshot::require_index(state, "final_covered_lines"));
+  result.total_lines =
+      static_cast<std::size_t>(snapshot::require_index(state, "total_lines"));
+  result.interactions =
+      static_cast<std::size_t>(snapshot::require_index(state, "interactions"));
+  result.navigations =
+      static_cast<std::size_t>(snapshot::require_index(state, "navigations"));
+  result.links_discovered = static_cast<std::size_t>(
+      snapshot::require_index(state, "links_discovered"));
+  result.covered.load_state(snapshot::require(state, "covered"));
+  result.fault_active = snapshot::require_bool(state, "fault_active");
+  result.retries =
+      static_cast<std::size_t>(snapshot::require_index(state, "retries"));
+  result.transport_failures = static_cast<std::size_t>(
+      snapshot::require_index(state, "transport_failures"));
+  result.timeouts =
+      static_cast<std::size_t>(snapshot::require_index(state, "timeouts"));
+  result.backoff_ms = static_cast<support::VirtualMillis>(
+      snapshot::require_index(state, "backoff_ms"));
+  result.injected_errors = static_cast<std::size_t>(
+      snapshot::require_index(state, "injected_errors"));
+  result.injected_drops = static_cast<std::size_t>(
+      snapshot::require_index(state, "injected_drops"));
+  result.latency_spikes = static_cast<std::size_t>(
+      snapshot::require_index(state, "latency_spikes"));
+  result.degraded_requests = static_cast<std::size_t>(
+      snapshot::require_index(state, "degraded_requests"));
+  result.steps =
+      static_cast<std::size_t>(snapshot::require_index(state, "steps"));
+  result.aborted = snapshot::require_bool(state, "aborted");
+  result.abort_reason = snapshot::require_string(state, "abort_reason");
+  return result;
+}
+
+std::string run_digest(const apps::AppInfo& app_info, CrawlerKind kind,
+                       const RunConfig& config, std::size_t repetitions) {
+  // Everything that determines the run's trajectory goes in; CLI/env paths
+  // and supervisor budgets stay out (resuming with a different wall limit is
+  // legitimate). Collisions are caught later by the per-component config
+  // checks in load_state (app name, fault spec, policy parameters).
+  std::ostringstream identity;
+  identity << app_info.name << '\n'
+           << app_info.version << '\n'
+           << to_string(kind) << '\n'
+           << snapshot::u64_to_hex(config.seed) << '\n'
+           << config.budget << '\n'
+           << config.sample_interval << '\n'
+           << config.think_time << '\n'
+           << static_cast<int>(config.fill_strategy) << '\n'
+           << config.fault.describe() << '\n'
+           << repetitions;
+  return crc_hex(snapshot::crc32(identity.str()));
+}
+
+ExperimentCheckpoint read_checkpoint_file(const std::string& path,
+                                          const std::string& expected_digest) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SnapshotError("checkpoint: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw SnapshotError("checkpoint: read error on " + path);
+  }
+  const std::string text = buffer.str();
+
+  const auto outer = support::json::parse(text);
+  if (!outer.has_value() || !outer->is_object()) {
+    throw SnapshotError("checkpoint: not a JSON object: " + path);
+  }
+  if (snapshot::require_string(*outer, "magic") != kMagic) {
+    throw SnapshotError("checkpoint: bad magic in " + path);
+  }
+  if (snapshot::require_int(*outer, "format") != kFormat) {
+    throw SnapshotError("checkpoint: unsupported format in " + path);
+  }
+  const std::string& digest = snapshot::require_string(*outer, "digest");
+  if (!expected_digest.empty() && digest != expected_digest) {
+    throw SnapshotError("checkpoint: digest mismatch in " + path +
+                        " (file belongs to a different experiment)");
+  }
+  const std::string& payload = snapshot::require_string(*outer, "payload");
+  const std::string& crc = snapshot::require_string(*outer, "crc32");
+  if (crc != crc_hex(snapshot::crc32(payload))) {
+    throw SnapshotError("checkpoint: CRC mismatch in " + path);
+  }
+
+  const auto state = support::json::parse(payload);
+  if (!state.has_value()) {
+    throw SnapshotError("checkpoint: unparsable payload in " + path);
+  }
+  snapshot::check_header(*state, kPayloadId, kPayloadVersion);
+
+  ExperimentCheckpoint checkpoint;
+  checkpoint.repetitions =
+      static_cast<std::size_t>(snapshot::require_index(*state, "repetitions"));
+  for (const auto& entry : snapshot::require_array(*state, "completed")) {
+    checkpoint.completed.push_back(result_from_state(entry));
+  }
+  checkpoint.complete = snapshot::require_bool(*state, "complete");
+  if (state->find("in_flight_rep") != nullptr) {
+    checkpoint.in_flight_rep = static_cast<std::size_t>(
+        snapshot::require_index(*state, "in_flight_rep"));
+  }
+  if (const Value* run = state->find("run"); run != nullptr) {
+    if (!run->is_object()) {
+      throw SnapshotError("checkpoint: run state must be an object: " + path);
+    }
+    checkpoint.run = *run;
+  }
+  if (checkpoint.run.has_value() != checkpoint.in_flight_rep.has_value()) {
+    throw SnapshotError(
+        "checkpoint: run state and in_flight_rep must come together: " + path);
+  }
+  if (checkpoint.completed.size() > checkpoint.repetitions) {
+    throw SnapshotError("checkpoint: more results than repetitions: " + path);
+  }
+  return checkpoint;
+}
+
+namespace {
+
+// Matches "ckpt-<digest>-<seq>.json" for this manager's digest; returns the
+// sequence number.
+std::optional<std::uint64_t> parse_seq(const std::string& file_name,
+                                       const std::string& digest) {
+  const std::string prefix = "ckpt-" + digest + "-";
+  const std::string suffix = ".json";
+  if (file_name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (file_name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (file_name.compare(file_name.size() - suffix.size(), suffix.size(),
+                        suffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits = file_name.substr(
+      prefix.size(), file_name.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return std::nullopt;
+  std::uint64_t seq = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    if (seq > (UINT64_MAX - 9) / 10) return std::nullopt;
+    seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+// All checkpoint files for `digest` in `dir`, newest (highest seq) first.
+std::vector<std::pair<std::uint64_t, fs::path>> list_checkpoints(
+    const std::string& dir, const std::string& digest) {
+  std::vector<std::pair<std::uint64_t, fs::path>> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const auto seq = parse_seq(entry.path().filename().string(), digest);
+    if (seq.has_value()) files.emplace_back(*seq, entry.path());
+  }
+  std::sort(files.begin(), files.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return files;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(CheckpointConfig config,
+                                     std::string digest)
+    : config_(std::move(config)), digest_(std::move(digest)) {
+  if (!config_.enabled()) {
+    throw std::invalid_argument("CheckpointManager: empty checkpoint dir");
+  }
+  if (config_.keep == 0) config_.keep = 1;
+  // Never reuse an existing sequence number, even when resume is off: a
+  // crashed run's files must not be silently overwritten mid-prune.
+  for (const auto& [seq, path] : list_checkpoints(config_.dir, digest_)) {
+    next_seq_ = std::max(next_seq_, seq + 1);
+  }
+}
+
+std::string CheckpointManager::file_path(std::uint64_t seq) const {
+  char digits[21];
+  std::snprintf(digits, sizeof(digits), "%08llu",
+                static_cast<unsigned long long>(seq));
+  return (fs::path(config_.dir) /
+          ("ckpt-" + digest_ + "-" + digits + ".json"))
+      .string();
+}
+
+std::optional<ExperimentCheckpoint> CheckpointManager::restore() {
+  auto& registry = support::MetricsRegistry::global();
+  static support::Counter& restores =
+      registry.counter(support::metric::kCheckpointRestores);
+  static support::Counter& invalid =
+      registry.counter(support::metric::kCheckpointInvalidFiles);
+  for (const auto& [seq, path] : list_checkpoints(config_.dir, digest_)) {
+    try {
+      ExperimentCheckpoint checkpoint =
+          read_checkpoint_file(path.string(), digest_);
+      restores.add();
+      MAK_LOG_INFO << "checkpoint: resuming from " << path.string() << " ("
+                   << checkpoint.completed.size() << "/"
+                   << checkpoint.repetitions << " repetitions done)";
+      return checkpoint;
+    } catch (const SnapshotError& error) {
+      invalid.add();
+      MAK_LOG_WARN << "checkpoint: skipping invalid file " << path.string()
+                   << ": " << error.what();
+    }
+  }
+  return std::nullopt;
+}
+
+void CheckpointManager::write(const ExperimentCheckpoint& checkpoint) {
+  auto& registry = support::MetricsRegistry::global();
+  static support::Counter& writes =
+      registry.counter(support::metric::kCheckpointWrites);
+  static support::Histogram& write_wall_us = registry.histogram(
+      support::metric::kCheckpointWriteWallUs, support::duration_bounds_us());
+  const support::MetricSpan span(write_wall_us, nullptr, nullptr);
+
+  auto state = snapshot::make_state(kPayloadId, kPayloadVersion);
+  state.emplace("repetitions", static_cast<double>(checkpoint.repetitions));
+  support::json::Array completed;
+  completed.reserve(checkpoint.completed.size());
+  for (const auto& result : checkpoint.completed) {
+    completed.push_back(result_to_state(result));
+  }
+  state.emplace("completed", Value(std::move(completed)));
+  state.emplace("complete", Value(checkpoint.complete));
+  if (checkpoint.in_flight_rep.has_value()) {
+    state.emplace("in_flight_rep",
+                  static_cast<double>(*checkpoint.in_flight_rep));
+  }
+  if (checkpoint.run.has_value()) {
+    state.emplace("run", *checkpoint.run);
+  }
+  const std::string payload = support::json::dump(Value(std::move(state)));
+
+  support::json::Object outer;
+  outer.emplace("magic", std::string(kMagic));
+  outer.emplace("format", static_cast<double>(kFormat));
+  outer.emplace("digest", digest_);
+  outer.emplace("seq", static_cast<double>(next_seq_));
+  outer.emplace("crc32", crc_hex(snapshot::crc32(payload)));
+  outer.emplace("payload", payload);
+  const std::string text = support::json::dump(Value(std::move(outer)));
+
+  fs::create_directories(config_.dir);
+  const std::string path = file_path(next_seq_);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << text << '\n';
+    out.flush();
+    if (!out) {
+      throw SnapshotError("checkpoint: write failed: " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw SnapshotError("checkpoint: rename failed: " + path);
+  }
+  ++next_seq_;
+  writes.add();
+
+  // Prune: keep the newest `keep` files (including the one just written).
+  const auto files = list_checkpoints(config_.dir, digest_);
+  for (std::size_t i = config_.keep; i < files.size(); ++i) {
+    fs::remove(files[i].second, ec);  // best effort
+  }
+}
+
+}  // namespace mak::harness

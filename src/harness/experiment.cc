@@ -3,17 +3,22 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 
 #include "baselines/qexplore.h"
 #include "baselines/webexplor.h"
 #include "core/browser.h"
+#include "harness/checkpoint.h"
 #include "httpsim/network.h"
 #include "support/log.h"
 #include "support/metric_names.h"
 #include "support/metrics.h"
 #include "support/rng.h"
+#include "support/snapshot.h"
 
 namespace mak::harness {
 
@@ -119,8 +124,24 @@ std::unique_ptr<core::Crawler> make_crawler(CrawlerKind kind,
   throw std::logic_error("unknown crawler kind");
 }
 
-RunResult run_once(const apps::AppInfo& app_info, CrawlerKind kind,
-                   const RunConfig& config) {
+namespace {
+
+// Checkpoint wiring for one run inside a (possibly repeated) experiment.
+// Null manager = no checkpointing; `restore_run` carries the mid-run state
+// to resume from (already digest- and CRC-validated by the manager).
+struct CheckpointContext {
+  CheckpointManager* manager = nullptr;
+  std::size_t repetitions = 1;
+  std::size_t rep_index = 0;
+  const std::vector<RunResult>* completed = nullptr;
+  const support::json::Value* restore_run = nullptr;
+};
+
+constexpr std::string_view kRunStateId = "harness.run";
+constexpr int kRunStateVersion = 1;
+
+RunResult run_one(const apps::AppInfo& app_info, CrawlerKind kind,
+                  const RunConfig& config, const CheckpointContext* ckpt) {
   namespace metric = support::metric;
   auto& registry = support::MetricsRegistry::global();
   static support::Counter& runs_counter = registry.counter(metric::kHarnessRuns);
@@ -171,21 +192,121 @@ RunResult run_once(const apps::AppInfo& app_info, CrawlerKind kind,
   result.platform = app_info.platform;
   result.total_lines = app->code_model().total_lines();
 
-  crawler->start(browser);
-  if (config.trace != nullptr) {
-    core::TraceEvent event;
-    event.kind = core::TraceEvent::Kind::kSeedLoad;
-    event.time = clock.now();
-    event.url = browser.page().url.to_string();
-    event.status = browser.page().status;
-    event.new_links = crawler->links_discovered();
-    event.covered_lines = app->tracker().covered_lines();
-    config.trace->record(std::move(event));
-  }
-
+  namespace snapshot = support::snapshot;
   support::VirtualMillis next_sample = 0;
   std::size_t step_index = 0;
+
+  // Mid-run resume is only possible when the crawler can snapshot itself;
+  // Q-learning baselines restart the repetition instead (bit-identical
+  // anyway, because every repetition is a pure function of its seed).
+  const support::json::Value* restore_run =
+      ckpt != nullptr ? ckpt->restore_run : nullptr;
+  if (restore_run != nullptr && crawler->snapshotable() == nullptr) {
+    restore_run = nullptr;
+  }
+
+  if (restore_run == nullptr) {
+    crawler->start(browser);
+    if (config.trace != nullptr) {
+      core::TraceEvent event;
+      event.kind = core::TraceEvent::Kind::kSeedLoad;
+      event.time = clock.now();
+      event.url = browser.page().url.to_string();
+      event.status = browser.page().status;
+      event.new_links = crawler->links_discovered();
+      event.covered_lines = app->tracker().covered_lines();
+      config.trace->record(std::move(event));
+    }
+  } else {
+    // Restore every mutable component. Construction above ran in the exact
+    // order of a fresh run, so the RNG fork topology matches; load_state
+    // then overwrites each stream with its checkpointed position.
+    const support::json::Value& run_state = *restore_run;
+    snapshot::check_header(run_state, kRunStateId, kRunStateVersion);
+    clock.restore(static_cast<support::VirtualMillis>(
+        snapshot::require_index(run_state, "clock_ms")));
+    next_sample = static_cast<support::VirtualMillis>(
+        snapshot::require_index(run_state, "next_sample"));
+    step_index =
+        static_cast<std::size_t>(snapshot::require_index(run_state, "step"));
+    for (const auto& entry : snapshot::require_array(run_state, "series")) {
+      if (!entry.is_array() || entry.as_array().size() != 2 ||
+          !entry.as_array()[0].is_number() ||
+          !entry.as_array()[1].is_number()) {
+        throw support::SnapshotError("run state: malformed series point");
+      }
+      result.series.record(static_cast<support::VirtualMillis>(
+                               entry.as_array()[0].as_number()),
+                           static_cast<std::size_t>(
+                               entry.as_array()[1].as_number()));
+    }
+    app->load_state(snapshot::require(run_state, "app"));
+    browser.load_state(snapshot::require(run_state, "browser"));
+    crawler->snapshotable()->load_state(snapshot::require(run_state, "crawler"));
+    if (injector.has_value()) {
+      injector->load_state(snapshot::require(run_state, "injector"));
+    }
+    MAK_LOG_INFO << app_info.name << " / " << result.crawler
+                 << ": resumed at step " << step_index << ", t="
+                 << clock.now() << " ms";
+  }
+
+  // Periodic mid-run checkpoints on a virtual-time (and optional step)
+  // cadence. Captured state is "top of loop": the next iteration after a
+  // resume sees exactly what the uninterrupted run saw.
+  CheckpointManager* manager =
+      ckpt != nullptr && crawler->snapshotable() != nullptr ? ckpt->manager
+                                                            : nullptr;
+  support::VirtualMillis last_checkpoint = clock.now();
+  const auto write_checkpoint = [&]() {
+    auto run_state = snapshot::make_state(kRunStateId, kRunStateVersion);
+    run_state.emplace("clock_ms", static_cast<double>(clock.now()));
+    run_state.emplace("next_sample", static_cast<double>(next_sample));
+    run_state.emplace("step", static_cast<double>(step_index));
+    support::json::Array series;
+    series.reserve(result.series.points().size());
+    for (const auto& point : result.series.points()) {
+      support::json::Array pair;
+      pair.emplace_back(static_cast<double>(point.time));
+      pair.emplace_back(static_cast<double>(point.covered_lines));
+      series.emplace_back(std::move(pair));
+    }
+    run_state.emplace("series", support::json::Value(std::move(series)));
+    run_state.emplace("app", app->save_state());
+    run_state.emplace("browser", browser.save_state());
+    run_state.emplace("crawler", crawler->snapshotable()->save_state());
+    if (injector.has_value()) {
+      run_state.emplace("injector", injector->save_state());
+    }
+    ExperimentCheckpoint out;
+    out.repetitions = ckpt->repetitions;
+    out.completed = *ckpt->completed;
+    out.in_flight_rep = ckpt->rep_index;
+    out.run = support::json::Value(std::move(run_state));
+    manager->write(out);
+    last_checkpoint = clock.now();
+  };
+  const auto checkpoint_due = [&]() {
+    const CheckpointConfig& cc = manager->config();
+    if (cc.every_steps > 0 && step_index % cc.every_steps == 0) return true;
+    return cc.interval > 0 && clock.now() - last_checkpoint >= cc.interval;
+  };
+
+  std::optional<RunSupervisor> supervisor;
+  if (config.supervisor.enabled()) supervisor.emplace(config.supervisor);
+
   while (!deadline.expired()) {
+    if (supervisor.has_value()) {
+      std::string reason = supervisor->should_abort(step_index);
+      if (!reason.empty()) {
+        result.aborted = true;
+        result.abort_reason = std::move(reason);
+        MAK_LOG_WARN << app_info.name << " / " << result.crawler
+                     << ": aborted (" << result.abort_reason << ") after "
+                     << step_index << " steps";
+        break;
+      }
+    }
     // Xdebug-style any-time sampling: record coverage at interval
     // boundaries that have passed.
     while (clock.now() >= next_sample) {
@@ -198,6 +319,7 @@ RunResult run_once(const apps::AppInfo& app_info, CrawlerKind kind,
     const std::size_t retries_before = browser.retries();
     crawler->step(browser);
     ++step_index;
+    if (supervisor.has_value()) supervisor->heartbeat();
     if (config.trace != nullptr) {
       core::TraceEvent event;
       event.kind = browser.interactions() > interactions_before
@@ -213,8 +335,20 @@ RunResult run_once(const apps::AppInfo& app_info, CrawlerKind kind,
       event.retries = browser.retries() - retries_before;
       config.trace->record(std::move(event));
     }
+    if (config.step_hook) config.step_hook(step_index);
+    if (manager != nullptr && checkpoint_due()) write_checkpoint();
+    if (config.crash_at_step != 0 && step_index >= config.crash_at_step) {
+      throw InjectedCrash();
+    }
   }
-  result.series.record(config.budget, app->tracker().covered_lines());
+  result.steps = step_index;
+  if (result.aborted) {
+    // Partial final sample at the cancellation instant (the budget-boundary
+    // sample of a completed run would misrepresent an aborted one).
+    result.series.record(clock.now(), app->tracker().covered_lines());
+  } else {
+    result.series.record(config.budget, app->tracker().covered_lines());
+  }
 
   result.final_covered_lines = app->tracker().covered_lines();
   result.interactions = browser.interactions();
@@ -239,7 +373,63 @@ RunResult run_once(const apps::AppInfo& app_info, CrawlerKind kind,
   return result;
 }
 
+}  // namespace
+
+RunResult run_once(const apps::AppInfo& app_info, CrawlerKind kind,
+                   const RunConfig& config) {
+  return run_one(app_info, kind, config, nullptr);
+}
+
 namespace {
+
+RunConfig seeded_config(const RunConfig& config, std::size_t rep) {
+  RunConfig rep_config = config;
+  rep_config.seed = support::mix64(config.seed ^ (0xabcd0000 + rep));
+  return rep_config;
+}
+
+// Serial checkpointed execution: one checkpoint after every completed
+// repetition (plus the mid-run cadence inside run_one), resume skipping
+// everything already done.
+std::vector<RunResult> run_repeated_checkpointed(const apps::AppInfo& app_info,
+                                                 CrawlerKind kind,
+                                                 const RunConfig& config,
+                                                 std::size_t repetitions) {
+  CheckpointManager manager(config.checkpoint,
+                            run_digest(app_info, kind, config, repetitions));
+  std::vector<RunResult> results;
+  std::optional<support::json::Value> run_state;
+  std::size_t start_rep = 0;
+  if (config.checkpoint.resume) {
+    if (auto restored = manager.restore();
+        restored.has_value() && restored->repetitions == repetitions &&
+        restored->completed.size() <= repetitions) {
+      results = std::move(restored->completed);
+      start_rep = results.size();
+      if (restored->complete || start_rep == repetitions) return results;
+      if (restored->run.has_value() && restored->in_flight_rep == start_rep) {
+        run_state = std::move(restored->run);
+      }
+    }
+  }
+  for (std::size_t rep = start_rep; rep < repetitions; ++rep) {
+    CheckpointContext ctx;
+    ctx.manager = &manager;
+    ctx.repetitions = repetitions;
+    ctx.rep_index = rep;
+    ctx.completed = &results;
+    ctx.restore_run = (rep == start_rep && run_state.has_value())
+                          ? &*run_state
+                          : nullptr;
+    results.push_back(run_one(app_info, kind, seeded_config(config, rep), &ctx));
+    ExperimentCheckpoint boundary;
+    boundary.repetitions = repetitions;
+    boundary.completed = results;
+    boundary.complete = rep + 1 == repetitions;
+    manager.write(boundary);
+  }
+  return results;
+}
 
 std::size_t worker_count(std::size_t repetitions) {
   const char* env = std::getenv("MAK_THREADS");
@@ -260,20 +450,17 @@ std::size_t worker_count(std::size_t repetitions) {
 std::vector<RunResult> run_repeated(const apps::AppInfo& app_info,
                                     CrawlerKind kind, const RunConfig& config,
                                     std::size_t repetitions) {
+  if (repetitions == 0) return {};
+  if (config.checkpoint.enabled()) {
+    return run_repeated_checkpointed(app_info, kind, config, repetitions);
+  }
   std::vector<RunResult> results(repetitions);
-  if (repetitions == 0) return results;
-
-  auto seeded_config = [&](std::size_t rep) {
-    RunConfig rep_config = config;
-    rep_config.seed = support::mix64(config.seed ^ (0xabcd0000 + rep));
-    return rep_config;
-  };
 
   const std::size_t workers = worker_count(repetitions);
   if (workers <= 1 || config.trace != nullptr) {
     // Serial (also whenever a shared trace sink is attached).
     for (std::size_t rep = 0; rep < repetitions; ++rep) {
-      results[rep] = run_once(app_info, kind, seeded_config(rep));
+      results[rep] = run_once(app_info, kind, seeded_config(config, rep));
     }
     return results;
   }
@@ -286,7 +473,7 @@ std::vector<RunResult> run_repeated(const apps::AppInfo& app_info,
       for (;;) {
         const std::size_t rep = next.fetch_add(1);
         if (rep >= repetitions) return;
-        RunConfig rep_config = seeded_config(rep);
+        RunConfig rep_config = seeded_config(config, rep);
         rep_config.trace = nullptr;  // no shared sink across threads
         results[rep] = run_once(app_info, kind, rep_config);
       }
@@ -294,6 +481,41 @@ std::vector<RunResult> run_repeated(const apps::AppInfo& app_info,
   }
   for (auto& thread : pool) thread.join();
   return results;
+}
+
+RunResult run_resumable(const apps::AppInfo& app_info, CrawlerKind kind,
+                        const RunConfig& config) {
+  if (!config.checkpoint.enabled()) return run_once(app_info, kind, config);
+  // Single run under the RAW config seed (unlike run_repeated's per-rep
+  // mixing), so `mak_crawl --seed S` resumes exactly the run it started.
+  CheckpointManager manager(config.checkpoint,
+                            run_digest(app_info, kind, config, 1));
+  std::optional<support::json::Value> run_state;
+  if (config.checkpoint.resume) {
+    if (auto restored = manager.restore();
+        restored.has_value() && restored->repetitions == 1) {
+      if (restored->complete && !restored->completed.empty()) {
+        return std::move(restored->completed.front());
+      }
+      if (restored->run.has_value() && restored->in_flight_rep == 0u) {
+        run_state = std::move(restored->run);
+      }
+    }
+  }
+  const std::vector<RunResult> completed;
+  CheckpointContext ctx;
+  ctx.manager = &manager;
+  ctx.repetitions = 1;
+  ctx.rep_index = 0;
+  ctx.completed = &completed;
+  ctx.restore_run = run_state.has_value() ? &*run_state : nullptr;
+  RunResult result = run_one(app_info, kind, config, &ctx);
+  ExperimentCheckpoint final_state;
+  final_state.repetitions = 1;
+  final_state.completed.push_back(result);
+  final_state.complete = true;
+  manager.write(final_state);
+  return result;
 }
 
 namespace {
@@ -320,6 +542,22 @@ Protocol protocol_from_env() {
              spec != nullptr && *spec != '\0') {
     MAK_LOG_WARN << "ignoring unparsable MAK_FAULT_PROFILE: " << spec;
   }
+  if (const char* dir = std::getenv("MAK_CHECKPOINT_DIR");
+      dir != nullptr && *dir != '\0') {
+    p.run.checkpoint.dir = dir;
+  }
+  p.run.checkpoint.interval = static_cast<support::VirtualMillis>(
+                                  env_or("MAK_CHECKPOINT_SECONDS", 120)) *
+                              support::kMillisPerSecond;
+  if (const char* resume = std::getenv("MAK_RESUME");
+      resume != nullptr && std::string_view(resume) == "0") {
+    p.run.checkpoint.resume = false;
+  }
+  p.run.supervisor.heartbeat_ms =
+      static_cast<long>(env_or("MAK_HEARTBEAT_SEC", 0)) * 1000;
+  p.run.supervisor.wall_limit_ms =
+      static_cast<long>(env_or("MAK_WALL_LIMIT_SEC", 0)) * 1000;
+  p.run.supervisor.max_steps = env_or("MAK_MAX_STEPS", 0);
   return p;
 }
 

@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "core/trace.h"
 #include "core/mak.h"
 #include "coverage/coverage.h"
+#include "harness/supervisor.h"
 #include "httpsim/fault.h"
 #include "support/clock.h"
 
@@ -41,6 +43,28 @@ std::string_view to_string(CrawlerKind kind);
 std::unique_ptr<core::Crawler> make_crawler(CrawlerKind kind,
                                             support::Rng rng);
 
+// Crash-resilient checkpointing (docs/robustness.md). With a non-empty
+// `dir`, run_repeated/run_resumable write an atomic checkpoint file after
+// every completed repetition and periodically mid-run (on a virtual-time
+// cadence), and resume from the newest valid file instead of starting over.
+struct CheckpointConfig {
+  std::string dir;  // empty = checkpointing disabled
+  // Mid-run cadence in virtual time (matches the run's budget semantics;
+  // a 30-minute run with the default writes ~15 mid-run checkpoints).
+  support::VirtualMillis interval = 2 * support::kMillisPerMinute;
+  std::size_t every_steps = 0;  // also write every N crawl steps (0 = off)
+  std::size_t keep = 3;         // checkpoint files retained per experiment
+  bool resume = true;           // restore from the newest valid checkpoint
+
+  bool enabled() const noexcept { return !dir.empty(); }
+};
+
+// Thrown by the run loop when RunConfig::crash_at_step fires: the in-process
+// stand-in for a SIGKILL in crash-recovery tests.
+struct InjectedCrash : std::runtime_error {
+  InjectedCrash() : std::runtime_error("injected crash") {}
+};
+
 struct RunConfig {
   support::VirtualMillis budget = 30 * support::kMillisPerMinute;
   support::VirtualMillis sample_interval = 30 * support::kMillisPerSecond;
@@ -58,6 +82,17 @@ struct RunConfig {
   // (see protocol_from_env). The profile's RetryPolicy configures the
   // browser's client-side resilience.
   httpsim::FaultProfile fault;
+  // Checkpoint/resume (used by run_repeated and run_resumable; a plain
+  // run_once ignores it).
+  CheckpointConfig checkpoint;
+  // Budgets and stall detection; disabled by default.
+  SupervisorConfig supervisor;
+  // Test-only crash injection: throw InjectedCrash after completing this
+  // many crawl steps (0 = never). Together with checkpointing this proves
+  // resume reproduces the uninterrupted run bit-for-bit.
+  std::size_t crash_at_step = 0;
+  // Test hook invoked after every completed crawl step (may be empty).
+  std::function<void(std::size_t step)> step_hook;
 };
 
 // Everything one crawl run produces.
@@ -83,6 +118,13 @@ struct RunResult {
   std::size_t injected_drops = 0;        // injected connection drops
   std::size_t latency_spikes = 0;        // injected latency spikes
   std::size_t degraded_requests = 0;     // requests inside degradation windows
+
+  // Supervisor outcome. A completed run leaves these at their defaults; an
+  // aborted run carries partial coverage up to the cancellation point.
+  std::size_t steps = 0;                 // crawl steps executed
+  bool aborted = false;                  // supervisor cancelled the run
+  std::string abort_reason;              // kAbortStalled / kAbortWallLimit /
+                                         // kAbortStepLimit
 };
 
 // Run one crawler once against a fresh instance of `app_info`'s app.
@@ -94,13 +136,28 @@ RunResult run_once(const apps::AppInfo& app_info, CrawlerKind kind,
 // clock), so they execute on a small thread pool when MAK_THREADS > 1
 // (default: hardware concurrency, capped at 8). Results are ordered by
 // repetition index and bit-identical to a serial execution.
+// When config.checkpoint is enabled, repetitions run serially instead: a
+// checkpoint is written after each one (plus mid-run for snapshotable
+// crawlers) and a restart resumes from the newest valid checkpoint, skipping
+// completed repetitions. The resumed results are bit-identical to an
+// uninterrupted execution.
 std::vector<RunResult> run_repeated(const apps::AppInfo& app_info,
                                     CrawlerKind kind, const RunConfig& config,
                                     std::size_t repetitions);
 
+// Run one crawler once with checkpoint/resume support (the single-run
+// analogue of run_repeated's checkpoint path; used by tools/mak_crawl).
+// Resumes mid-run when the crawler is snapshotable, from scratch otherwise;
+// with checkpointing disabled this is exactly run_once.
+RunResult run_resumable(const apps::AppInfo& app_info, CrawlerKind kind,
+                        const RunConfig& config);
+
 // Repetitions/budget scaling for quick CI runs: reads MAK_REPS,
 // MAK_BUDGET_MINUTES and MAK_SAMPLE_SECONDS environment variables, falling
-// back to the paper's protocol (10 reps, 30 min, 30 s).
+// back to the paper's protocol (10 reps, 30 min, 30 s). Robustness knobs
+// ride along: MAK_CHECKPOINT_DIR, MAK_CHECKPOINT_SECONDS (virtual cadence),
+// MAK_RESUME=0 (disable restore), MAK_HEARTBEAT_SEC, MAK_WALL_LIMIT_SEC and
+// MAK_MAX_STEPS.
 struct Protocol {
   std::size_t repetitions = 10;
   RunConfig run;

@@ -88,6 +88,14 @@ std::string run_to_json(const RunResult& run, bool include_series) {
     out += ",\"degraded_requests\":" + std::to_string(run.degraded_requests);
     out += "}";
   }
+  if (run.aborted) {
+    // Only present on supervisor-cancelled runs, so completed-run reports
+    // stay byte-identical to earlier builds (and to resumed runs).
+    out += ",\"aborted\":{";
+    out += "\"reason\":\"" + core::json_escape(run.abort_reason) + "\"";
+    out += ",\"steps\":" + std::to_string(run.steps);
+    out += "}";
+  }
   if (include_series) {
     out += ",\"series\":[";
     bool first = true;

@@ -1,0 +1,75 @@
+#include "harness/supervisor.h"
+
+#include "support/log.h"
+#include "support/metric_names.h"
+#include "support/metrics.h"
+
+namespace mak::harness {
+
+RunSupervisor::RunSupervisor(SupervisorConfig config)
+    : config_(config), start_(std::chrono::steady_clock::now()) {
+  if (config_.heartbeat_ms > 0) {
+    watchdog_ = std::thread([this] { watch(); });
+  }
+}
+
+RunSupervisor::~RunSupervisor() {
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    watchdog_.join();
+  }
+}
+
+long RunSupervisor::elapsed_ms() const noexcept {
+  return static_cast<long>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                               std::chrono::steady_clock::now() - start_)
+                               .count());
+}
+
+void RunSupervisor::heartbeat() noexcept {
+  last_beat_ms_.store(elapsed_ms(), std::memory_order_relaxed);
+}
+
+void RunSupervisor::watch() {
+  static support::Counter& stalls = support::MetricsRegistry::global().counter(
+      support::metric::kSupervisorStalls);
+  // Poll at a quarter of the heartbeat period so a stall is flagged within
+  // ~1.25 heartbeats of the last completed step.
+  const auto poll = std::chrono::milliseconds(
+      std::max<long>(1, config_.heartbeat_ms / 4));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    cv_.wait_for(lock, poll);
+    if (stop_) return;
+    const long since_beat =
+        elapsed_ms() - last_beat_ms_.load(std::memory_order_relaxed);
+    if (since_beat > config_.heartbeat_ms) {
+      stalled_.store(true, std::memory_order_relaxed);
+      stalls.add();
+      MAK_LOG_WARN << "supervisor: no crawl-step progress in " << since_beat
+                   << " ms (heartbeat limit " << config_.heartbeat_ms << " ms)";
+      return;  // the run thread aborts at its next poll
+    }
+  }
+}
+
+std::string RunSupervisor::should_abort(std::size_t steps) {
+  static support::Counter& aborts = support::MetricsRegistry::global().counter(
+      support::metric::kSupervisorAborts);
+  std::string reason;
+  if (stalled_.load(std::memory_order_relaxed)) {
+    reason = kAbortStalled;
+  } else if (config_.wall_limit_ms > 0 && elapsed_ms() >= config_.wall_limit_ms) {
+    reason = kAbortWallLimit;
+  } else if (config_.max_steps > 0 && steps >= config_.max_steps) {
+    reason = kAbortStepLimit;
+  }
+  if (!reason.empty()) aborts.add();
+  return reason;
+}
+
+}  // namespace mak::harness

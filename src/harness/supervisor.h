@@ -1,0 +1,76 @@
+// Run supervisor: wall-clock budgets, step budgets and stall detection.
+//
+// Experiments are meant to finish in milliseconds of real time, so a run
+// that takes minutes is a bug (infinite recovery loop, pathological app
+// model) rather than a slow crawl. The supervisor watches a run from a
+// watchdog thread and asks the run loop to cancel itself; cancellation is
+// cooperative — the loop polls should_abort() between crawl steps — so the
+// run always produces a consistent partial result marked `aborted` instead
+// of being torn down mid-step.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace mak::harness {
+
+struct SupervisorConfig {
+  // Stall detection: flag the run when no crawl step completes within this
+  // many wall-clock milliseconds. 0 disables the watchdog thread.
+  long heartbeat_ms = 0;
+  // Wall-clock budget for the whole run. 0 = unlimited.
+  long wall_limit_ms = 0;
+  // Crawl-step budget. 0 = unlimited.
+  std::size_t max_steps = 0;
+
+  bool enabled() const noexcept {
+    return heartbeat_ms > 0 || wall_limit_ms > 0 || max_steps > 0;
+  }
+};
+
+// Abort reasons returned by RunSupervisor::should_abort (and recorded in
+// RunResult::abort_reason / the experiment JSON `aborted` block).
+inline constexpr const char* kAbortStalled = "stalled";
+inline constexpr const char* kAbortWallLimit = "wall_limit";
+inline constexpr const char* kAbortStepLimit = "step_limit";
+
+// One supervisor per run, owned by the run loop's thread. heartbeat() and
+// should_abort() are called from the run thread; only the internal watchdog
+// thread reads the heartbeat concurrently.
+class RunSupervisor {
+ public:
+  explicit RunSupervisor(SupervisorConfig config);
+  ~RunSupervisor();
+
+  RunSupervisor(const RunSupervisor&) = delete;
+  RunSupervisor& operator=(const RunSupervisor&) = delete;
+
+  // Record crawl-step progress (called after every completed step).
+  void heartbeat() noexcept;
+
+  // Polled at the top of the run loop: empty string = keep going, otherwise
+  // one of the kAbort* reasons. Bumps the supervisor.aborts metric when it
+  // fires (each run aborts at most once).
+  std::string should_abort(std::size_t steps);
+
+ private:
+  void watch();
+  long elapsed_ms() const noexcept;
+
+  SupervisorConfig config_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<long> last_beat_ms_{0};  // ms since start_, watchdog-read
+  std::atomic<bool> stalled_{false};
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread watchdog_;
+};
+
+}  // namespace mak::harness

@@ -1,5 +1,6 @@
 #include "httpsim/cookies.h"
 
+#include "support/snapshot.h"
 #include "support/strings.h"
 
 namespace mak::httpsim {
@@ -37,6 +38,57 @@ std::size_t CookieJar::size() const noexcept {
   std::size_t n = 0;
   for (const auto& [host, cookies] : jar_) n += cookies.size();
   return n;
+}
+
+support::json::Value CookieJar::save_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state("httpsim.cookie_jar", 1);
+  support::json::Array hosts;
+  hosts.reserve(jar_.size());
+  for (const auto& [host, cookies] : jar_) {
+    support::json::Array entry;
+    entry.emplace_back(host);
+    support::json::Array cookie_list;
+    cookie_list.reserve(cookies.size());
+    for (const auto& [name, cookie] : cookies) {
+      support::json::Array triple;
+      triple.emplace_back(name);
+      triple.emplace_back(cookie.value);
+      triple.emplace_back(cookie.path);
+      cookie_list.emplace_back(std::move(triple));
+    }
+    entry.emplace_back(std::move(cookie_list));
+    hosts.emplace_back(std::move(entry));
+  }
+  state.emplace("hosts", support::json::Value(std::move(hosts)));
+  return support::json::Value(std::move(state));
+}
+
+void CookieJar::load_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, "httpsim.cookie_jar", 1);
+  std::map<std::string, std::map<std::string, StoredCookie>> jar;
+  for (const auto& entry : snapshot::require_array(state, "hosts")) {
+    if (!entry.is_array() || entry.as_array().size() != 2 ||
+        !entry.as_array()[0].is_string() || !entry.as_array()[1].is_array()) {
+      throw support::SnapshotError(
+          "CookieJar: hosts entries must be [host, cookies] pairs");
+    }
+    auto& cookies = jar[entry.as_array()[0].as_string()];
+    for (const auto& triple : entry.as_array()[1].as_array()) {
+      if (!triple.is_array() || triple.as_array().size() != 3 ||
+          !triple.as_array()[0].is_string() ||
+          !triple.as_array()[1].is_string() ||
+          !triple.as_array()[2].is_string()) {
+        throw support::SnapshotError(
+            "CookieJar: cookies must be [name, value, path] triples");
+      }
+      cookies[triple.as_array()[0].as_string()] =
+          StoredCookie{triple.as_array()[1].as_string(),
+                       triple.as_array()[2].as_string()};
+    }
+  }
+  jar_ = std::move(jar);
 }
 
 }  // namespace mak::httpsim

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "httpsim/message.h"
+#include "support/json.h"
 #include "url/url.h"
 
 namespace mak::httpsim {
@@ -22,6 +23,10 @@ class CookieJar {
 
   void clear() { jar_.clear(); }
   std::size_t size() const noexcept;
+
+  // Checkpointing: the full jar as [host, [[name, value, path]...]] entries.
+  support::json::Value save_state() const;
+  void load_state(const support::json::Value& state);
 
  private:
   struct StoredCookie {

@@ -7,6 +7,7 @@
 
 #include "support/metric_names.h"
 #include "support/metrics.h"
+#include "support/snapshot.h"
 #include "support/strings.h"
 
 namespace mak::httpsim {
@@ -273,6 +274,53 @@ FaultDecision FaultInjector::decide(const Request&) {
     return decision;
   }
   return decision;
+}
+
+support::json::Value FaultInjector::save_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state("httpsim.fault_injector", 1);
+  state.emplace("profile", profile_.describe());
+  state.emplace("rng", snapshot::rng_to_json(rng_));
+  support::json::Object counters;
+  counters.emplace("requests_seen",
+                   static_cast<double>(counters_.requests_seen));
+  counters.emplace("injected_errors",
+                   static_cast<double>(counters_.injected_errors));
+  counters.emplace("injected_drops",
+                   static_cast<double>(counters_.injected_drops));
+  counters.emplace("latency_spikes",
+                   static_cast<double>(counters_.latency_spikes));
+  counters.emplace("window_requests",
+                   static_cast<double>(counters_.window_requests));
+  counters.emplace("spike_ms_total",
+                   static_cast<double>(counters_.spike_ms_total));
+  state.emplace("counters", support::json::Value(std::move(counters)));
+  return support::json::Value(std::move(state));
+}
+
+void FaultInjector::load_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, "httpsim.fault_injector", 1);
+  if (snapshot::require_string(state, "profile") != profile_.describe()) {
+    throw support::SnapshotError(
+        "FaultInjector: fault profile mismatch with checkpoint");
+  }
+  const auto& counters = snapshot::require(state, "counters");
+  Counters restored;
+  restored.requests_seen = static_cast<std::size_t>(
+      snapshot::require_index(counters, "requests_seen"));
+  restored.injected_errors = static_cast<std::size_t>(
+      snapshot::require_index(counters, "injected_errors"));
+  restored.injected_drops = static_cast<std::size_t>(
+      snapshot::require_index(counters, "injected_drops"));
+  restored.latency_spikes = static_cast<std::size_t>(
+      snapshot::require_index(counters, "latency_spikes"));
+  restored.window_requests = static_cast<std::size_t>(
+      snapshot::require_index(counters, "window_requests"));
+  restored.spike_ms_total = static_cast<support::VirtualMillis>(
+      snapshot::require_index(counters, "spike_ms_total"));
+  snapshot::rng_from_json(rng_, snapshot::require(state, "rng"));
+  counters_ = restored;
 }
 
 }  // namespace mak::httpsim

@@ -19,6 +19,7 @@
 
 #include "httpsim/message.h"
 #include "support/clock.h"
+#include "support/json.h"
 #include "support/rng.h"
 
 namespace mak::httpsim {
@@ -121,6 +122,12 @@ class FaultInjector {
   };
   const Counters& counters() const noexcept { return counters_; }
   const FaultProfile& profile() const noexcept { return profile_; }
+
+  // Checkpointing: the RNG stream and counters. A resumed run replays the
+  // exact fault sequence the uninterrupted run would have seen; the profile
+  // spec is embedded so a checkpoint from a different profile is rejected.
+  support::json::Value save_state() const;
+  void load_state(const support::json::Value& state);
 
  private:
   FaultProfile profile_;

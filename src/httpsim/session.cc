@@ -1,5 +1,6 @@
 #include "httpsim/session.h"
 
+#include "support/snapshot.h"
 #include "support/strings.h"
 
 namespace mak::httpsim {
@@ -83,6 +84,101 @@ Session& SessionStore::create() {
 void SessionStore::clear() {
   sessions_.clear();
   next_id_ = 1;
+}
+
+support::json::Value Session::save_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state("httpsim.session", 1);
+  state.emplace("sid", id_);
+  support::json::Array values;
+  values.reserve(values_.size());
+  for (const auto& [key, value] : values_) {
+    support::json::Array pair;
+    pair.emplace_back(key);
+    pair.emplace_back(value);
+    values.emplace_back(std::move(pair));
+  }
+  state.emplace("values", support::json::Value(std::move(values)));
+  support::json::Array lists;
+  lists.reserve(lists_.size());
+  for (const auto& [key, items] : lists_) {
+    support::json::Array pair;
+    pair.emplace_back(key);
+    support::json::Array item_array;
+    item_array.reserve(items.size());
+    for (const auto& item : items) item_array.emplace_back(item);
+    pair.emplace_back(std::move(item_array));
+    lists.emplace_back(std::move(pair));
+  }
+  state.emplace("lists", support::json::Value(std::move(lists)));
+  return support::json::Value(std::move(state));
+}
+
+void Session::load_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, "httpsim.session", 1);
+  std::map<std::string, std::string, std::less<>> values;
+  for (const auto& pair : snapshot::require_array(state, "values")) {
+    if (!pair.is_array() || pair.as_array().size() != 2 ||
+        !pair.as_array()[0].is_string() || !pair.as_array()[1].is_string()) {
+      throw support::SnapshotError(
+          "Session: values entries must be [key, value] pairs");
+    }
+    values[pair.as_array()[0].as_string()] = pair.as_array()[1].as_string();
+  }
+  std::map<std::string, std::vector<std::string>, std::less<>> lists;
+  for (const auto& pair : snapshot::require_array(state, "lists")) {
+    if (!pair.is_array() || pair.as_array().size() != 2 ||
+        !pair.as_array()[0].is_string() || !pair.as_array()[1].is_array()) {
+      throw support::SnapshotError(
+          "Session: lists entries must be [key, items] pairs");
+    }
+    auto& items = lists[pair.as_array()[0].as_string()];
+    for (const auto& item : pair.as_array()[1].as_array()) {
+      if (!item.is_string()) {
+        throw support::SnapshotError("Session: list items must be strings");
+      }
+      items.push_back(item.as_string());
+    }
+  }
+  id_ = snapshot::require_string(state, "sid");
+  values_ = std::move(values);
+  lists_ = std::move(lists);
+}
+
+support::json::Value SessionStore::save_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state("httpsim.session_store", 1);
+  state.emplace("cookie_name", cookie_name_);
+  state.emplace("next_id", snapshot::u64_to_hex(next_id_));
+  support::json::Array sessions;
+  sessions.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    sessions.emplace_back(session->save_state());
+  }
+  state.emplace("sessions", support::json::Value(std::move(sessions)));
+  return support::json::Value(std::move(state));
+}
+
+void SessionStore::load_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, "httpsim.session_store", 1);
+  if (snapshot::require_string(state, "cookie_name") != cookie_name_) {
+    throw support::SnapshotError(
+        "SessionStore: cookie name mismatch with checkpoint");
+  }
+  std::map<std::string, std::unique_ptr<Session>, std::less<>> sessions;
+  for (const auto& session_state : snapshot::require_array(state, "sessions")) {
+    auto session = std::make_unique<Session>("");
+    session->load_state(session_state);
+    std::string id = session->id();
+    if (id.empty() || sessions.count(id) != 0) {
+      throw support::SnapshotError("SessionStore: bad or duplicate session id");
+    }
+    sessions[std::move(id)] = std::move(session);
+  }
+  next_id_ = snapshot::require_u64_hex(state, "next_id");
+  sessions_ = std::move(sessions);
 }
 
 }  // namespace mak::httpsim

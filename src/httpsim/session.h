@@ -12,6 +12,8 @@
 #include <string_view>
 #include <vector>
 
+#include "support/json.h"
+
 namespace mak::httpsim {
 
 // One visitor's server-side state: a string key/value store with typed
@@ -39,6 +41,10 @@ class Session {
   void push_list(std::string_view key, std::string value);
   void clear_list(std::string_view key);
 
+  // Checkpointing: id, scalar values and list values.
+  support::json::Value save_state() const;
+  void load_state(const support::json::Value& state);
+
  private:
   std::string id_;
   std::map<std::string, std::string, std::less<>> values_;
@@ -61,6 +67,12 @@ class SessionStore {
 
   std::size_t size() const noexcept { return sessions_.size(); }
   void clear();
+
+  // Checkpointing: every live session plus the id-generation counter, so
+  // sessions created after a resume get the same ids the uninterrupted run
+  // would have handed out.
+  support::json::Value save_state() const;
+  void load_state(const support::json::Value& state);
 
  private:
   std::string cookie_name_;

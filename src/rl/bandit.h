@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "support/json.h"
 #include "support/rng.h"
 
 namespace mak::rl {
@@ -28,6 +29,13 @@ class BanditPolicy {
   virtual std::vector<double> probabilities() const = 0;
 
   virtual void reset() = 0;
+
+  // Checkpointing (docs/robustness.md): capture / restore the full policy
+  // state. Each policy self-identifies in the state object, so loading a
+  // checkpoint written by a different policy or configuration raises
+  // support::SnapshotError instead of silently corrupting the run.
+  virtual support::json::Value save_state() const = 0;
+  virtual void load_state(const support::json::Value& state) = 0;
 };
 
 }  // namespace mak::rl

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "support/snapshot.h"
+
 namespace mak::rl {
 
 EpsilonGreedy::EpsilonGreedy(std::size_t arms, double epsilon)
@@ -48,6 +50,34 @@ std::vector<double> EpsilonGreedy::probabilities() const {
 void EpsilonGreedy::reset() {
   std::fill(means_.begin(), means_.end(), 0.0);
   std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+support::json::Value EpsilonGreedy::save_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state("rl.epsilon_greedy", 1);
+  state.emplace("epsilon", epsilon_);
+  state.emplace("means", snapshot::doubles_to_json(means_));
+  state.emplace("counts", snapshot::indices_to_json(counts_));
+  return support::json::Value(std::move(state));
+}
+
+void EpsilonGreedy::load_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, "rl.epsilon_greedy", 1);
+  if (snapshot::require_number(state, "epsilon") != epsilon_) {
+    throw support::SnapshotError(
+        "EpsilonGreedy: epsilon mismatch with checkpoint");
+  }
+  auto means =
+      snapshot::doubles_from_json(snapshot::require(state, "means"), "means");
+  auto counts = snapshot::indices_from_json(snapshot::require(state, "counts"),
+                                            "counts");
+  if (means.size() != means_.size() || counts.size() != counts_.size()) {
+    throw support::SnapshotError(
+        "EpsilonGreedy: arm count mismatch with checkpoint");
+  }
+  means_ = std::move(means);
+  counts_ = std::move(counts);
 }
 
 }  // namespace mak::rl

@@ -22,6 +22,8 @@ class EpsilonGreedy final : public BanditPolicy {
   void update(std::size_t arm, double reward01) override;
   std::vector<double> probabilities() const override;
   void reset() override;
+  support::json::Value save_state() const override;
+  void load_state(const support::json::Value& state) override;
 
  private:
   std::size_t best_arm() const noexcept;

@@ -8,6 +8,7 @@
 
 #include "support/metric_names.h"
 #include "support/metrics.h"
+#include "support/snapshot.h"
 
 namespace mak::rl {
 
@@ -100,6 +101,28 @@ std::vector<double> Exp3::probabilities() const {
 
 void Exp3::reset() { std::fill(weights_.begin(), weights_.end(), 1.0); }
 
+support::json::Value Exp3::save_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state("rl.exp3", 1);
+  state.emplace("gamma", gamma_);
+  state.emplace("weights", snapshot::doubles_to_json(weights_));
+  return support::json::Value(std::move(state));
+}
+
+void Exp3::load_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, "rl.exp3", 1);
+  if (snapshot::require_number(state, "gamma") != gamma_) {
+    throw support::SnapshotError("Exp3: gamma mismatch with checkpoint");
+  }
+  auto weights = snapshot::doubles_from_json(
+      snapshot::require(state, "weights"), "weights");
+  if (weights.size() != weights_.size()) {
+    throw support::SnapshotError("Exp3: arm count mismatch with checkpoint");
+  }
+  weights_ = std::move(weights);
+}
+
 // ------------------------------------------------------------------ Exp3.1
 
 Exp31::Exp31(std::size_t arms) {
@@ -180,6 +203,44 @@ void Exp31::reset() {
   std::fill(gains_.begin(), gains_.end(), 0.0);
   configure_epoch(0);
   advance_epochs();
+}
+
+support::json::Value Exp31::save_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state("rl.exp31", 1);
+  state.emplace("epoch", static_cast<double>(epoch_));
+  // gamma and gain_target are functions of epoch, but serialize them anyway:
+  // restoring by assignment (not configure_epoch) avoids the weight reset
+  // and metric side effects the epoch-entry path performs.
+  state.emplace("gamma", gamma_);
+  state.emplace("gain_target", gain_target_);
+  state.emplace("weight_resets", static_cast<double>(weight_resets_));
+  state.emplace("weights", snapshot::doubles_to_json(weights_));
+  state.emplace("gains", snapshot::doubles_to_json(gains_));
+  return support::json::Value(std::move(state));
+}
+
+void Exp31::load_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, "rl.exp31", 1);
+  auto weights = snapshot::doubles_from_json(
+      snapshot::require(state, "weights"), "weights");
+  auto gains =
+      snapshot::doubles_from_json(snapshot::require(state, "gains"), "gains");
+  if (weights.size() != weights_.size() || gains.size() != gains_.size()) {
+    throw support::SnapshotError("Exp31: arm count mismatch with checkpoint");
+  }
+  const double gamma = snapshot::require_number(state, "gamma");
+  if (!(gamma > 0.0 && gamma <= 1.0)) {
+    throw support::SnapshotError("Exp31: gamma out of range in checkpoint");
+  }
+  epoch_ = static_cast<std::size_t>(snapshot::require_index(state, "epoch"));
+  gamma_ = gamma;
+  gain_target_ = snapshot::require_number(state, "gain_target");
+  weight_resets_ = static_cast<std::size_t>(
+      snapshot::require_index(state, "weight_resets"));
+  weights_ = std::move(weights);
+  gains_ = std::move(gains);
 }
 
 }  // namespace mak::rl

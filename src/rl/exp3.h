@@ -27,6 +27,8 @@ class Exp3 final : public BanditPolicy {
   void update(std::size_t arm, double reward01) override;
   std::vector<double> probabilities() const override;
   void reset() override;
+  support::json::Value save_state() const override;
+  void load_state(const support::json::Value& state) override;
 
   double gamma() const noexcept { return gamma_; }
 
@@ -45,6 +47,8 @@ class Exp31 final : public BanditPolicy {
   void update(std::size_t arm, double reward01) override;
   std::vector<double> probabilities() const override;
   void reset() override;
+  support::json::Value save_state() const override;
+  void load_state(const support::json::Value& state) override;
 
   // Introspection (tests, benches).
   std::size_t epoch() const noexcept { return epoch_; }

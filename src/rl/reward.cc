@@ -2,8 +2,11 @@
 
 #include <cmath>
 
+#include <algorithm>
+
 #include "support/metric_names.h"
 #include "support/metrics.h"
+#include "support/snapshot.h"
 
 namespace mak::rl {
 
@@ -45,6 +48,63 @@ double CuriosityReward::visit(std::uint64_t key) {
 std::size_t CuriosityReward::count(std::uint64_t key) const noexcept {
   const auto it = counts_.find(key);
   return it != counts_.end() ? it->second : 0;
+}
+
+support::json::Value StandardizedReward::save_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state("rl.reward.standardized", 1);
+  state.emplace("history", snapshot::stats_to_json(history_));
+  return support::json::Value(std::move(state));
+}
+
+void StandardizedReward::load_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, "rl.reward.standardized", 1);
+  snapshot::stats_from_json(history_, snapshot::require(state, "history"));
+}
+
+support::json::Value CuriosityReward::save_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state("rl.reward.curiosity", 1);
+  // Sort by key so equal states serialize to equal bytes regardless of the
+  // hash table's insertion history.
+  std::vector<std::pair<std::uint64_t, std::size_t>> entries(counts_.begin(),
+                                                             counts_.end());
+  std::sort(entries.begin(), entries.end());
+  support::json::Array counts;
+  counts.reserve(entries.size());
+  for (const auto& [key, count] : entries) {
+    support::json::Array pair;
+    pair.emplace_back(snapshot::u64_to_hex(key));
+    pair.emplace_back(static_cast<double>(count));
+    counts.emplace_back(std::move(pair));
+  }
+  state.emplace("counts", support::json::Value(std::move(counts)));
+  return support::json::Value(std::move(state));
+}
+
+void CuriosityReward::load_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, "rl.reward.curiosity", 1);
+  const auto& counts = snapshot::require_array(state, "counts");
+  std::unordered_map<std::uint64_t, std::size_t> loaded;
+  loaded.reserve(counts.size());
+  for (const auto& entry : counts) {
+    if (!entry.is_array() || entry.as_array().size() != 2 ||
+        !entry.as_array()[0].is_string() ||
+        !entry.as_array()[1].is_number()) {
+      throw support::SnapshotError(
+          "CuriosityReward: counts entries must be [hex key, count] pairs");
+    }
+    const std::uint64_t key =
+        snapshot::hex_to_u64(entry.as_array()[0].as_string());
+    const double count = entry.as_array()[1].as_number();
+    if (!(count >= 0.0) || count != std::floor(count) || count >= 0x1p53) {
+      throw support::SnapshotError("CuriosityReward: bad visit count");
+    }
+    loaded[key] = static_cast<std::size_t>(count);
+  }
+  counts_ = std::move(loaded);
 }
 
 }  // namespace mak::rl

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "support/json.h"
 #include "support/stats.h"
 
 namespace mak::rl {
@@ -29,6 +30,10 @@ class StandardizedReward {
 
   void reset() noexcept { history_.reset(); }
 
+  // Checkpointing: the full increment history accumulator.
+  support::json::Value save_state() const;
+  void load_state(const support::json::Value& state);
+
  private:
   support::RunningStats history_;
 };
@@ -45,6 +50,10 @@ class CuriosityReward {
   std::size_t distinct_keys() const noexcept { return counts_.size(); }
 
   void reset() { counts_.clear(); }
+
+  // Checkpointing: the visit-count table as [hex key, count] pairs.
+  support::json::Value save_state() const;
+  void load_state(const support::json::Value& state);
 
  private:
   std::unordered_map<std::uint64_t, std::size_t> counts_;

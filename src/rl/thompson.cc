@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "support/snapshot.h"
+
 namespace mak::rl {
 
 ThompsonSampling::ThompsonSampling(std::size_t arms) {
@@ -102,6 +104,29 @@ std::vector<double> ThompsonSampling::probabilities() const {
 void ThompsonSampling::reset() {
   std::fill(alpha_.begin(), alpha_.end(), 1.0);
   std::fill(beta_.begin(), beta_.end(), 1.0);
+}
+
+support::json::Value ThompsonSampling::save_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state("rl.thompson", 1);
+  state.emplace("alpha", snapshot::doubles_to_json(alpha_));
+  state.emplace("beta", snapshot::doubles_to_json(beta_));
+  return support::json::Value(std::move(state));
+}
+
+void ThompsonSampling::load_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, "rl.thompson", 1);
+  auto alpha =
+      snapshot::doubles_from_json(snapshot::require(state, "alpha"), "alpha");
+  auto beta =
+      snapshot::doubles_from_json(snapshot::require(state, "beta"), "beta");
+  if (alpha.size() != alpha_.size() || beta.size() != beta_.size()) {
+    throw support::SnapshotError(
+        "ThompsonSampling: arm count mismatch with checkpoint");
+  }
+  alpha_ = std::move(alpha);
+  beta_ = std::move(beta);
 }
 
 }  // namespace mak::rl

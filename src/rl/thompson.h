@@ -25,6 +25,8 @@ class ThompsonSampling final : public BanditPolicy {
   void update(std::size_t arm, double reward01) override;
   std::vector<double> probabilities() const override;
   void reset() override;
+  support::json::Value save_state() const override;
+  void load_state(const support::json::Value& state) override;
 
   double posterior_mean(std::size_t arm) const;
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "support/snapshot.h"
+
 namespace mak::rl {
 
 Ucb1::Ucb1(std::size_t arms, double exploration_scale)
@@ -68,6 +70,37 @@ void Ucb1::reset() {
   std::fill(means_.begin(), means_.end(), 0.0);
   std::fill(counts_.begin(), counts_.end(), 0);
   total_pulls_ = 0;
+}
+
+support::json::Value Ucb1::save_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state("rl.ucb1", 1);
+  state.emplace("exploration_scale", exploration_scale_);
+  state.emplace("means", snapshot::doubles_to_json(means_));
+  state.emplace("counts", snapshot::indices_to_json(counts_));
+  state.emplace("total_pulls", static_cast<double>(total_pulls_));
+  return support::json::Value(std::move(state));
+}
+
+void Ucb1::load_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, "rl.ucb1", 1);
+  if (snapshot::require_number(state, "exploration_scale") !=
+      exploration_scale_) {
+    throw support::SnapshotError(
+        "Ucb1: exploration scale mismatch with checkpoint");
+  }
+  auto means =
+      snapshot::doubles_from_json(snapshot::require(state, "means"), "means");
+  auto counts = snapshot::indices_from_json(snapshot::require(state, "counts"),
+                                            "counts");
+  if (means.size() != means_.size() || counts.size() != counts_.size()) {
+    throw support::SnapshotError("Ucb1: arm count mismatch with checkpoint");
+  }
+  means_ = std::move(means);
+  counts_ = std::move(counts);
+  total_pulls_ = static_cast<std::size_t>(
+      snapshot::require_index(state, "total_pulls"));
 }
 
 }  // namespace mak::rl

@@ -26,6 +26,8 @@ class Ucb1 final : public BanditPolicy {
   void update(std::size_t arm, double reward01) override;
   std::vector<double> probabilities() const override;
   void reset() override;
+  support::json::Value save_state() const override;
+  void load_state(const support::json::Value& state) override;
 
   std::size_t pulls(std::size_t arm) const { return counts_.at(arm); }
   double mean(std::size_t arm) const { return means_.at(arm); }

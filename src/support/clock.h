@@ -44,6 +44,12 @@ class SimClock {
 
   void reset() noexcept { now_ = 0; }
 
+  // Checkpoint restore: jump to an absolute (non-negative) virtual instant.
+  void restore(VirtualMillis now) {
+    if (now < 0) throw std::invalid_argument("SimClock::restore: negative");
+    now_ = now;
+  }
+
  private:
   VirtualMillis now_ = 0;
 };

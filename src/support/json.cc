@@ -75,7 +75,7 @@ class Parser {
   }
 
   std::optional<Value> parse_value() {
-    if (depth_ > kMaxDepth) return std::nullopt;
+    if (depth_ >= kMaxDepth) return std::nullopt;
     if (pos_ >= text_.size()) return std::nullopt;
     switch (text_[pos_]) {
       case '{':
@@ -249,7 +249,7 @@ class Parser {
     return Value(parsed);
   }
 
-  static constexpr int kMaxDepth = 64;
+  static constexpr int kMaxDepth = kMaxParseDepth;
   std::string_view text_;
   std::size_t pos_ = 0;
   int depth_ = 0;
@@ -259,6 +259,51 @@ class Parser {
 
 std::optional<Value> parse(std::string_view text) {
   return Parser(text).run();
+}
+
+namespace {
+
+void dump_to(const Value& v, std::string& out) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    out += format_double(v.as_number());
+  } else if (v.is_string()) {
+    out += '"';
+    out += escape(v.as_string());
+    out += '"';
+  } else if (v.is_array()) {
+    out += '[';
+    bool first = true;
+    for (const Value& item : v.as_array()) {
+      if (!first) out += ',';
+      first = false;
+      dump_to(item, out);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : v.as_object()) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += escape(key);
+      out += "\":";
+      dump_to(value, out);
+    }
+    out += '}';
+  }
+}
+
+}  // namespace
+
+std::string dump(const Value& v) {
+  std::string out;
+  dump_to(v, out);
+  return out;
 }
 
 std::string format_double(double v) {

@@ -56,9 +56,21 @@ class Value {
   std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
 };
 
+// Maximum container nesting depth parse() accepts. Checkpoints and bench
+// artifacts nest a handful of levels; anything deeper is hostile input and
+// is rejected before it can exhaust the parser's recursion stack.
+inline constexpr int kMaxParseDepth = 64;
+
 // Parse a complete JSON document (surrounding whitespace allowed). Returns
-// nullopt on any syntax error or trailing garbage.
+// nullopt on any syntax error, trailing garbage, nesting beyond
+// kMaxParseDepth, or a document truncated mid-token (strings, escapes and
+// numbers cut at EOF all fail cleanly).
 std::optional<Value> parse(std::string_view text);
+
+// Serialize a value tree to a compact document (no whitespace, object keys
+// in std::map order). parse(dump(v)) reproduces v exactly: numbers go
+// through format_double, which picks the shortest round-tripping form.
+std::string dump(const Value& v);
 
 // Serialize a double the way all JSON writers in this repo do: shortest
 // form via %.17g that still round-trips, with integral values printed

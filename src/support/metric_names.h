@@ -88,4 +88,14 @@ inline constexpr std::string_view kHarnessRunWallUs = "harness.run.wall_us";
 inline constexpr std::string_view kHarnessRunVirtualMs =
     "harness.run.virtual_ms";
 
+// --- harness: checkpoint/recovery and the run supervisor ----------------
+inline constexpr std::string_view kCheckpointWrites = "checkpoint.writes";
+inline constexpr std::string_view kCheckpointRestores = "checkpoint.restores";
+inline constexpr std::string_view kCheckpointInvalidFiles =
+    "checkpoint.invalid_files";
+inline constexpr std::string_view kCheckpointWriteWallUs =
+    "checkpoint.write.wall_us";
+inline constexpr std::string_view kSupervisorStalls = "supervisor.stalls";
+inline constexpr std::string_view kSupervisorAborts = "supervisor.aborts";
+
 }  // namespace mak::support::metric

@@ -42,6 +42,13 @@ Rng::result_type Rng::next() noexcept {
 
 Rng Rng::fork() noexcept { return Rng(next()); }
 
+void Rng::restore(const State& state) {
+  if (state == State{}) {
+    throw std::invalid_argument("Rng::restore: all-zero state");
+  }
+  for (std::size_t i = 0; i < state.size(); ++i) state_[i] = state[i];
+}
+
 std::uint64_t Rng::next_below(std::uint64_t bound) {
   if (bound == 0) throw std::invalid_argument("Rng::next_below: bound == 0");
   // Rejection sampling over the largest multiple of bound.

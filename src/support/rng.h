@@ -7,6 +7,7 @@
 // sub-streams (one per repetition, one per app instance, ...).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <stdexcept>
@@ -38,6 +39,16 @@ class Rng {
   // Fork an independent generator; deterministic given this generator's
   // current state. Advances this generator.
   Rng fork() noexcept;
+
+  // Checkpointing: expose and restore the raw 4x u64 xoshiro256** state so
+  // a stream can be resumed exactly where a crashed run left it.
+  using State = std::array<std::uint64_t, 4>;
+  State state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  // Throws std::invalid_argument on the all-zero state (a xoshiro fixed
+  // point that would emit zeros forever).
+  void restore(const State& state);
 
   // Uniform integer in [0, bound). Requires bound > 0. Unbiased (rejection).
   std::uint64_t next_below(std::uint64_t bound);

@@ -25,6 +25,19 @@ class RunningStats {
   double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
   double total() const noexcept { return total_; }
 
+  // Checkpointing: the raw Welford accumulator, and exact restoration of a
+  // previously observed (count, mean, m2, min, max, total) tuple.
+  double m2() const noexcept { return m2_; }
+  void restore(std::size_t count, double mean, double m2, double min,
+               double max, double total) noexcept {
+    count_ = count;
+    mean_ = mean;
+    m2_ = m2;
+    min_ = min;
+    max_ = max;
+    total_ = total;
+  }
+
  private:
   std::size_t count_ = 0;
   double mean_ = 0.0;

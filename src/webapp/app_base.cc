@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "html/entities.h"
+#include "support/snapshot.h"
 #include "webapp/page_builder.h"
 
 namespace mak::webapp {
@@ -163,6 +164,25 @@ httpsim::Response WebApp::home_page(RequestContext&) {
   }
   page.list_end();
   return httpsim::Response::html(page.build());
+}
+
+support::json::Value WebApp::save_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state("webapp.app", 1);
+  state.emplace("app", name_);
+  state.emplace("tracker", tracker().save_state());
+  state.emplace("sessions", sessions_.save_state());
+  return support::json::Value(std::move(state));
+}
+
+void WebApp::load_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, "webapp.app", 1);
+  if (snapshot::require_string(state, "app") != name_) {
+    throw support::SnapshotError("WebApp: app name mismatch with checkpoint");
+  }
+  tracker().load_state(snapshot::require(state, "tracker"));
+  sessions_.load_state(snapshot::require(state, "sessions"));
 }
 
 }  // namespace mak::webapp

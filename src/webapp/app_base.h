@@ -73,6 +73,12 @@ class WebApp : public httpsim::VirtualHost {
 
   httpsim::Response handle(const httpsim::Request& request) final;
 
+  // Checkpointing: all mutable app state — the coverage tracker and the
+  // session store. Every other member is construction-time configuration;
+  // feature state (carts, logins, wizard progress) lives inside sessions.
+  support::json::Value save_state() const;
+  void load_state(const support::json::Value& state);
+
  protected:
   // Renders the home page ("/"); default shows the registered home links.
   virtual httpsim::Response home_page(RequestContext& ctx);

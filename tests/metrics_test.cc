@@ -344,6 +344,74 @@ TEST(JsonTest, EscapeHandlesControlCharacters) {
   EXPECT_EQ(support::json::escape("a\"b\\c\nd\x01"), "a\\\"b\\\\c\\nd\\u0001");
 }
 
+TEST(JsonTest, DumpParseRoundTripsExactly) {
+  const auto original = support::json::parse(
+      R"({"a": [1, 2.5, -0.001, 1e300], "b": {"nested": [true, null, "x\u0001y"]},)"
+      R"( "c": "", "d": [[[]]]})");
+  ASSERT_TRUE(original.has_value());
+  const std::string text = support::json::dump(*original);
+  const auto reparsed = support::json::parse(text);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(support::json::dump(*reparsed), text);
+}
+
+TEST(JsonTest, RejectsNestingBeyondMaxParseDepth) {
+  // Exactly at the limit parses; one deeper is rejected, not stack-overflowed.
+  std::string at_limit(static_cast<std::size_t>(support::json::kMaxParseDepth),
+                       '[');
+  at_limit.append(static_cast<std::size_t>(support::json::kMaxParseDepth), ']');
+  EXPECT_TRUE(support::json::parse(at_limit).has_value());
+  const std::string too_deep = "[" + at_limit + "]";
+  EXPECT_FALSE(support::json::parse(too_deep).has_value());
+  // Same guard for objects.
+  std::string objects;
+  for (int i = 0; i <= support::json::kMaxParseDepth; ++i) {
+    objects += "{\"k\":";
+  }
+  objects += "1";
+  objects.append(static_cast<std::size_t>(support::json::kMaxParseDepth) + 1,
+                 '}');
+  EXPECT_FALSE(support::json::parse(objects).has_value());
+}
+
+TEST(JsonTest, RejectsTruncatedEscapesAndNumbers) {
+  for (const char* bad :
+       {"\"\\", "\"\\u", "\"\\u00", "\"\\u00zz\"", "\"ab\\", "-", "1e", "1e+",
+        "1.", "0x10", "+1", ".5", "[1", "[1,", "{\"a\"", "{\"a\":", "tru",
+        "fals", "nu", "\"\\ud800\"trunc"}) {
+    EXPECT_FALSE(support::json::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(JsonTest, EveryPrefixFailsCleanly) {
+  // Fuzz-style: no prefix of a valid document may crash, and only the full
+  // document parses (every proper prefix is truncated somewhere).
+  const std::string doc =
+      R"({"series": [[0, 1.5], [15000, 2e3]], "ok": true,)"
+      R"( "name": "a\"b\\c\u0041", "none": null})";
+  ASSERT_TRUE(support::json::parse(doc).has_value());
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    EXPECT_FALSE(support::json::parse(doc.substr(0, len)).has_value())
+        << "prefix length " << len;
+  }
+}
+
+TEST(JsonTest, SingleByteMutationsNeverCrash) {
+  // Flip every position through a handful of hostile bytes; the parser must
+  // return (value or nullopt), never crash or hang. Run under ASan in CI.
+  const std::string doc =
+      R"({"a": [1, -2.5, true], "b": "x\ny", "c": {"d": null}})";
+  const char mutations[] = {'\0', '"', '\\', '{', '[', 'e', '-', '\x80'};
+  for (std::size_t pos = 0; pos < doc.size(); ++pos) {
+    for (const char mutation : mutations) {
+      std::string mutated = doc;
+      mutated[pos] = mutation;
+      (void)support::json::parse(mutated);
+    }
+  }
+  SUCCEED();
+}
+
 // --------------------------------------------- metrics_to_json (schema v1)
 
 TEST_F(MetricsTest, MetricsJsonFollowsSchemaVersion1) {

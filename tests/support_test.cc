@@ -182,6 +182,39 @@ TEST(RngTest, Mix64IsStable) {
   EXPECT_NE(mix64(1), mix64(2));
 }
 
+TEST(RngTest, StateRestoreResumesStreamExactly) {
+  Rng rng(0x51a7e);
+  for (int i = 0; i < 100; ++i) rng.next();
+  const Rng::State saved = rng.state();
+  std::vector<std::uint64_t> expected;
+  for (int i = 0; i < 50; ++i) expected.push_back(rng.next());
+
+  Rng other(999);  // unrelated stream; restore must fully overwrite it
+  other.restore(saved);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(other.next(), expected[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(RngTest, RestoreRejectsAllZeroState) {
+  Rng rng(1);
+  EXPECT_THROW(rng.restore(Rng::State{0, 0, 0, 0}), std::invalid_argument);
+}
+
+TEST(RngTest, StateSurvivesFork) {
+  // fork() advances the parent; a restored state replays the same fork.
+  Rng parent(7);
+  const Rng::State saved = parent.state();
+  Rng child_a = parent.fork();
+  Rng replay(2);
+  replay.restore(saved);
+  Rng child_b = replay.fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(child_a.next(), child_b.next());
+    EXPECT_EQ(parent.next(), replay.next());
+  }
+}
+
 // ----------------------------------------------------------------- stats
 
 TEST(RunningStatsTest, EmptyDefaults) {

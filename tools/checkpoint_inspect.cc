@@ -1,0 +1,78 @@
+// checkpoint_inspect — validate and summarize crash-recovery checkpoints.
+//
+// Usage:
+//   checkpoint_inspect <checkpoint.json>...
+//
+// Runs the same validation chain as resume (magic, format, CRC-32, payload
+// schema) and prints a human-readable summary per file. Exit codes:
+//   0  every file is a valid checkpoint
+//   1  at least one file exists but is invalid (corrupted, truncated, CRC
+//      mismatch, wrong schema)
+//   2  usage error
+//   3  at least one file is missing or unreadable — distinct from 1 so CI
+//      can tell "the checkpoint rotted" from "it was never written"
+// When both kinds of failure occur, the missing-file code (3) wins.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "harness/checkpoint.h"
+#include "support/snapshot.h"
+
+namespace {
+
+// 0 = valid, 1 = invalid, 3 = missing/unreadable.
+int inspect(const std::string& path) {
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) {
+      std::fprintf(stderr, "checkpoint_inspect: cannot open %s\n",
+                   path.c_str());
+      return 3;
+    }
+  }
+  mak::harness::ExperimentCheckpoint checkpoint;
+  try {
+    // Empty expected digest: accept any experiment's checkpoint.
+    checkpoint = mak::harness::read_checkpoint_file(path, "");
+  } catch (const mak::support::SnapshotError& error) {
+    std::fprintf(stderr, "checkpoint_inspect: INVALID %s: %s\n", path.c_str(),
+                 error.what());
+    return 1;
+  }
+  std::printf("%s: valid\n", path.c_str());
+  std::printf("  repetitions: %zu/%zu completed%s\n",
+              checkpoint.completed.size(), checkpoint.repetitions,
+              checkpoint.complete ? " (experiment complete)" : "");
+  for (std::size_t i = 0; i < checkpoint.completed.size(); ++i) {
+    const auto& run = checkpoint.completed[i];
+    std::printf("    rep %zu: %s on %s, %zu/%zu lines, %zu interactions%s\n",
+                i, run.crawler.c_str(), run.app.c_str(),
+                run.final_covered_lines, run.total_lines, run.interactions,
+                run.aborted ? (" [aborted: " + run.abort_reason + "]").c_str()
+                            : "");
+  }
+  if (checkpoint.in_flight_rep.has_value()) {
+    std::printf("  in-flight: repetition %zu (mid-run state present)\n",
+                *checkpoint.in_flight_rep);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: checkpoint_inspect <checkpoint.json>...\n");
+    return 2;
+  }
+  bool any_invalid = false;
+  bool any_missing = false;
+  for (int i = 1; i < argc; ++i) {
+    const int code = inspect(argv[i]);
+    if (code == 1) any_invalid = true;
+    if (code == 3) any_missing = true;
+  }
+  if (any_missing) return 3;
+  return any_invalid ? 1 : 0;
+}

@@ -24,8 +24,18 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--app NAME] [--crawler NAME] [--minutes N] [--seed N]\n"
       "          [--sample-seconds N] [--csv FILE] [--trace FILE] [--json FILE]\n"
-      "          [--fault PROFILE] [--list]\n"
+      "          [--fault PROFILE] [--checkpoint-dir DIR]\n"
+      "          [--checkpoint-seconds N] [--resume | --no-resume]\n"
+      "          [--heartbeat-sec N] [--wall-limit-sec N] [--max-steps N]\n"
+      "          [--list]\n"
       "defaults: --app AddressBook --crawler MAK --minutes 30 --seed 23501\n"
+      "checkpointing: with --checkpoint-dir the run writes periodic crash-safe\n"
+      "  checkpoints (every N virtual seconds, default 120) and --resume\n"
+      "  (default) continues an interrupted run from the newest valid one;\n"
+      "  --no-resume starts over. See docs/robustness.md.\n"
+      "supervisor: --heartbeat-sec aborts a run with no crawl-step progress,\n"
+      "  --wall-limit-sec / --max-steps bound the whole run; aborted runs are\n"
+      "  reported with partial coverage and an abort reason.\n"
       "fault profiles: off | light | moderate | heavy, optionally followed by\n"
       "  key=value overrides (error=, drop=, spike=, spike_ms=MIN:MAX,\n"
       "  window_period_ms=, window_duration_ms=, window_offset_ms=,\n"
@@ -44,6 +54,12 @@ struct Options {
   std::string trace_path;
   std::string json_path;
   std::string fault_spec;
+  std::string checkpoint_dir;
+  long checkpoint_seconds = 120;  // virtual-time cadence
+  bool resume = true;
+  long heartbeat_sec = 0;
+  long wall_limit_sec = 0;
+  unsigned long long max_steps = 0;
   bool list = false;
 };
 
@@ -95,6 +111,30 @@ bool parse_args(int argc, char** argv, Options& options) {
       const char* value = next_value("--fault");
       if (value == nullptr) return false;
       options.fault_spec = value;
+    } else if (arg == "--checkpoint-dir") {
+      const char* value = next_value("--checkpoint-dir");
+      if (value == nullptr) return false;
+      options.checkpoint_dir = value;
+    } else if (arg == "--checkpoint-seconds") {
+      const char* value = next_value("--checkpoint-seconds");
+      if (value == nullptr) return false;
+      options.checkpoint_seconds = std::strtol(value, nullptr, 10);
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg == "--no-resume") {
+      options.resume = false;
+    } else if (arg == "--heartbeat-sec") {
+      const char* value = next_value("--heartbeat-sec");
+      if (value == nullptr) return false;
+      options.heartbeat_sec = std::strtol(value, nullptr, 10);
+    } else if (arg == "--wall-limit-sec") {
+      const char* value = next_value("--wall-limit-sec");
+      if (value == nullptr) return false;
+      options.wall_limit_sec = std::strtol(value, nullptr, 10);
+    } else if (arg == "--max-steps") {
+      const char* value = next_value("--max-steps");
+      if (value == nullptr) return false;
+      options.max_steps = std::strtoull(value, nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return false;
@@ -188,10 +228,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "warning: ignoring unparsable MAK_FAULT_PROFILE '%s'\n",
                  spec);
   }
+  if (!options.checkpoint_dir.empty()) {
+    config.checkpoint.dir = options.checkpoint_dir;
+    if (options.checkpoint_seconds > 0) {
+      config.checkpoint.interval =
+          options.checkpoint_seconds * support::kMillisPerSecond;
+    }
+    config.checkpoint.resume = options.resume;
+  }
+  config.supervisor.heartbeat_ms = options.heartbeat_sec * 1000;
+  config.supervisor.wall_limit_ms = options.wall_limit_sec * 1000;
+  config.supervisor.max_steps = static_cast<std::size_t>(options.max_steps);
   core::CrawlTrace trace;
   if (!options.trace_path.empty()) config.trace = &trace;
 
-  const auto result = harness::run_once(*info, *kind, config);
+  const auto result = harness::run_resumable(*info, *kind, config);
 
   std::printf("%s on %s (%s), %ld virtual minutes, seed %llu\n",
               result.crawler.c_str(), result.app.c_str(),
@@ -209,6 +260,10 @@ int main(int argc, char** argv) {
   std::printf("  links discovered:  %zu\n", result.links_discovered);
   std::printf("  interactions:      %zu (+%zu seed navigations)\n",
               result.interactions, result.navigations);
+  if (result.aborted) {
+    std::printf("  ABORTED:           %s after %zu steps (partial results)\n",
+                result.abort_reason.c_str(), result.steps);
+  }
   if (result.fault_active) {
     std::printf("  fault profile:     %s\n",
                 config.fault.describe().c_str());

@@ -10,7 +10,10 @@
 // regress downward. Exit codes:
 //   0  no regressions
 //   1  at least one regression beyond the threshold
-//   2  usage or parse error (missing file, wrong schema_version, bad flag)
+//   2  usage error (bad flag, missing operand)
+//   3  input error (missing/unreadable file, unparsable artifact, wrong
+//      schema_version, kind mismatch) — distinct from 1 so CI can tell "the
+//      bench regressed" from "the artifact never materialized"
 //
 // CI gating (docs/observability.md): regenerate the candidate artifact with
 // the bench binary, then `metrics_diff results/BENCH_micro.json fresh.json`.
@@ -87,11 +90,11 @@ int main(int argc, char** argv) {
 
   const auto baseline = load(baseline_path);
   const auto candidate = load(candidate_path);
-  if (!baseline.has_value() || !candidate.has_value()) return 2;
+  if (!baseline.has_value() || !candidate.has_value()) return 3;
   if (baseline->kind != candidate->kind) {
     std::fprintf(stderr, "metrics_diff: kind mismatch ('%s' vs '%s')\n",
                  baseline->kind.c_str(), candidate->kind.c_str());
-    return 2;
+    return 3;
   }
 
   const auto deltas =
