@@ -10,19 +10,42 @@
 // (default results/BENCH_coverage.json, overridable / disableable via
 // MAK_BENCH_JSON — see docs/observability.md): one entry per app/crawler
 // pair plus the full metrics-registry snapshot, for tools/metrics_diff.
+// With --workers N (N >= 1) repetitions run in crash-contained worker
+// processes via the orchestrator (docs/robustness.md); completed repetitions
+// are bit-identical to the serial path.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <map>
 
 #include "harness/aggregate.h"
 #include "harness/bench_json.h"
 #include "harness/experiment.h"
+#include "harness/orchestrator.h"
 #include "harness/report.h"
 #include "support/strings.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mak;
   using harness::CrawlerKind;
+
+  // Orchestrator workers re-exec this binary in --worker mode.
+  if (harness::is_worker_invocation(argc, argv)) {
+    return harness::worker_main(argc, argv);
+  }
+
+  std::size_t workers = 0;  // 0 = serial in-process repetitions
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--workers N]\n", argv[0]);
+      return 2;
+    }
+  }
+  harness::OrchestratorConfig orch = harness::orchestrator_from_env();
+  if (workers > 0) orch.workers = workers;
 
   const harness::Protocol protocol = harness::protocol_from_env();
   const CrawlerKind crawlers[] = {CrawlerKind::kMak, CrawlerKind::kWebExplor,
@@ -42,8 +65,11 @@ int main() {
   for (const auto& info : apps::app_catalog()) {
     std::vector<std::vector<harness::RunResult>> all_runs;
     for (const CrawlerKind kind : crawlers) {
-      all_runs.push_back(harness::run_repeated(info, kind, protocol.run,
-                                               protocol.repetitions));
+      all_runs.push_back(
+          workers > 0 ? harness::run_orchestrated(info, kind, protocol.run,
+                                                  protocol.repetitions, orch)
+                      : harness::run_repeated(info, kind, protocol.run,
+                                              protocol.repetitions));
     }
     const std::size_t ground_truth = harness::estimate_ground_truth(all_runs);
     std::vector<std::string> row = {info.name};

@@ -1,11 +1,20 @@
 #include "harness/aggregate.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 #include "support/stats.h"
 
 namespace mak::harness {
+
+namespace {
+
+// Failed placeholders (worker exhausted its retries) carry no data.
+bool usable(const RunResult& run) { return !run.failed; }
+
+}  // namespace
 
 CoverageCurve aggregate_series(const std::vector<RunResult>& runs) {
   CoverageCurve curve;
@@ -13,12 +22,14 @@ CoverageCurve aggregate_series(const std::vector<RunResult>& runs) {
   // All runs share the same sampling grid (same config); use the longest.
   std::size_t grid = 0;
   for (const auto& run : runs) {
+    if (!usable(run)) continue;
     grid = std::max(grid, run.series.points().size());
   }
   for (std::size_t i = 0; i < grid; ++i) {
     std::vector<double> values;
     support::VirtualMillis time = 0;
     for (const auto& run : runs) {
+      if (!usable(run)) continue;
       const auto& points = run.series.points();
       if (i < points.size()) {
         time = points[i].time;
@@ -36,10 +47,13 @@ std::size_t estimate_ground_truth(
     const std::vector<std::vector<RunResult>>& runs_by_crawler) {
   const RunResult* first = nullptr;
   for (const auto& runs : runs_by_crawler) {
-    if (!runs.empty()) {
-      first = &runs.front();
-      break;
+    for (const auto& run : runs) {
+      if (usable(run)) {
+        first = &run;
+        break;
+      }
     }
+    if (first != nullptr) break;
   }
   if (first == nullptr) {
     throw std::invalid_argument("estimate_ground_truth: no runs");
@@ -53,7 +67,7 @@ std::size_t estimate_ground_truth(
   coverage::LineSet unioned = first->covered;
   for (const auto& runs : runs_by_crawler) {
     for (const auto& run : runs) {
-      unioned.union_with(run.covered);
+      if (usable(run)) unioned.union_with(run.covered);
     }
   }
   return unioned.count();
@@ -63,6 +77,7 @@ double mean_covered(const std::vector<RunResult>& runs) {
   std::vector<double> values;
   values.reserve(runs.size());
   for (const auto& run : runs) {
+    if (!usable(run)) continue;
     values.push_back(static_cast<double>(run.final_covered_lines));
   }
   return support::mean_of(values);
@@ -90,9 +105,40 @@ double mean_interactions(const std::vector<RunResult>& runs) {
   std::vector<double> values;
   values.reserve(runs.size());
   for (const auto& run : runs) {
+    if (!usable(run)) continue;
     values.push_back(static_cast<double>(run.interactions));
   }
   return support::mean_of(values);
+}
+
+SummaryStats summarize_covered(const std::vector<RunResult>& runs) {
+  SummaryStats stats;
+  // Exact integer accumulation: counts stay below 2^53, so sum and sum of
+  // squares are order-independent and the derived doubles bit-identical for
+  // any permutation of `runs` (unlike float accumulation, whose rounding
+  // depends on addition order).
+  std::uint64_t sum = 0;
+  std::uint64_t sum_sq = 0;
+  for (const auto& run : runs) {
+    if (!usable(run)) {
+      ++stats.failed;
+      continue;
+    }
+    ++stats.runs;
+    const auto covered = static_cast<std::uint64_t>(run.final_covered_lines);
+    sum += covered;
+    sum_sq += covered * covered;
+  }
+  if (stats.runs == 0) return stats;
+  const double n = static_cast<double>(stats.runs);
+  stats.mean = static_cast<double>(sum) / n;
+  if (stats.runs > 1) {
+    const double variance = std::max(
+        0.0, static_cast<double>(sum_sq) / n - stats.mean * stats.mean);
+    stats.stddev = std::sqrt(variance);
+    stats.ci95 = 1.96 * stats.stddev / std::sqrt(n);
+  }
+  return stats;
 }
 
 }  // namespace mak::harness

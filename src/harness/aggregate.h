@@ -11,6 +11,12 @@ namespace mak::harness {
 
 // Mean and population standard deviation of coverage at each sample time
 // across repetitions (one Figure 2 curve).
+//
+// Every aggregate in this header skips failed placeholder repetitions
+// (RunResult::failed, produced by the orchestrator when a worker exhausts
+// its retries): a placeholder carries no coverage data, so including it
+// would silently drag every statistic toward zero. Aborted runs stay in —
+// they hold real partial coverage.
 struct CoverageCurve {
   std::vector<support::VirtualMillis> times;
   std::vector<double> mean;
@@ -41,5 +47,20 @@ std::map<std::string, double> regrets_percent(
 
 // Mean interactions per run (Section V-D).
 double mean_interactions(const std::vector<RunResult>& runs);
+
+// Order-independent summary of final covered lines across repetitions.
+// Computed from exact integer sums (covered-line counts are integers well
+// inside the 2^53 window), so mean, stddev and the CI are bit-identical for
+// every permutation of `runs` — the property the orchestrator's
+// out-of-order completion relies on. Failed placeholders are counted in
+// `failed` and excluded from the statistics.
+struct SummaryStats {
+  std::size_t runs = 0;    // repetitions included
+  std::size_t failed = 0;  // failed placeholders excluded
+  double mean = 0.0;
+  double stddev = 0.0;     // population
+  double ci95 = 0.0;       // half-width of the normal-approximation 95% CI
+};
+SummaryStats summarize_covered(const std::vector<RunResult>& runs);
 
 }  // namespace mak::harness

@@ -4,13 +4,13 @@
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <map>
 #include <ostream>
 #include <sstream>
 
 #include "harness/json_report.h"
+#include "support/fs.h"
 #include "support/json.h"
 
 namespace mak::harness {
@@ -50,18 +50,21 @@ bool write_bench_json_file(const char* env_var,
   }
   if (path.empty() || path == "-") return false;  // explicitly disabled
 
-  std::error_code ec;
-  const std::filesystem::path parent =
-      std::filesystem::path(path).parent_path();
-  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  auto& disk = support::fs::default_fs();
+  const std::string parent =
+      std::filesystem::path(path).parent_path().string();
+  if (!parent.empty()) disk.create_directories(parent);
 
-  std::ofstream out(path);
-  if (!out) {
+  // Bench artifacts feed the metrics_diff regression gate and the CI chaos
+  // job's byte comparison; a torn artifact would fail both, so write through
+  // the read-back-verified atomic path.
+  std::ostringstream out;
+  write_bench_json(out, kind, entries, metrics);
+  if (!support::fs::write_file_atomic_verified(disk, path, out.str())) {
     std::cerr << "bench_json: cannot write " << path << "\n";
     return false;
   }
-  write_bench_json(out, kind, entries, metrics);
-  return out.good();
+  return true;
 }
 
 std::optional<BenchDoc> parse_bench_json(std::string_view text) {

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <sstream>
 #include <utility>
 
+#include "support/fs.h"
 #include "support/log.h"
 #include "support/metric_names.h"
 #include "support/metrics.h"
@@ -14,7 +13,7 @@
 
 namespace mak::harness {
 
-namespace fs = std::filesystem;
+namespace sfs = mak::support::fs;
 namespace snapshot = mak::support::snapshot;
 using support::SnapshotError;
 using support::json::Value;
@@ -81,6 +80,13 @@ support::json::Value result_to_state(const RunResult& result) {
   state.emplace("steps", static_cast<double>(result.steps));
   state.emplace("aborted", Value(result.aborted));
   state.emplace("abort_reason", result.abort_reason);
+  // Failure annotations are optional so non-failed results keep their exact
+  // pre-orchestrator byte encoding (byte-identity tests depend on it).
+  if (result.failed) {
+    state.emplace("failed", Value(true));
+    state.emplace("failure_class", result.failure_class);
+    state.emplace("attempts", static_cast<double>(result.attempts));
+  }
   return Value(std::move(state));
 }
 
@@ -137,6 +143,12 @@ RunResult result_from_state(const support::json::Value& state) {
       static_cast<std::size_t>(snapshot::require_index(state, "steps"));
   result.aborted = snapshot::require_bool(state, "aborted");
   result.abort_reason = snapshot::require_string(state, "abort_reason");
+  if (state.find("failed") != nullptr) {
+    result.failed = snapshot::require_bool(state, "failed");
+    result.failure_class = snapshot::require_string(state, "failure_class");
+    result.attempts =
+        static_cast<std::size_t>(snapshot::require_index(state, "attempts"));
+  }
   return result;
 }
 
@@ -162,16 +174,11 @@ std::string run_digest(const apps::AppInfo& app_info, CrawlerKind kind,
 
 ExperimentCheckpoint read_checkpoint_file(const std::string& path,
                                           const std::string& expected_digest) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  const auto contents = sfs::default_fs().read_file(path);
+  if (!contents.has_value()) {
     throw SnapshotError("checkpoint: cannot open " + path);
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) {
-    throw SnapshotError("checkpoint: read error on " + path);
-  }
-  const std::string text = buffer.str();
+  const std::string& text = *contents;
 
   const auto outer = support::json::parse(text);
   if (!outer.has_value() || !outer->is_object()) {
@@ -227,6 +234,45 @@ ExperimentCheckpoint read_checkpoint_file(const std::string& path,
   return checkpoint;
 }
 
+std::optional<std::string> peek_checkpoint_digest(const std::string& path) {
+  // Envelope first: valid JSON with a string "digest" field.
+  if (const auto contents = sfs::default_fs().read_file(path);
+      contents.has_value()) {
+    if (const auto outer = support::json::parse(*contents);
+        outer.has_value() && outer->is_object()) {
+      if (const auto* digest = outer->find("digest");
+          digest != nullptr && digest->is_string()) {
+        return digest->as_string();
+      }
+    }
+    // Torn or bit-flipped envelope: the digest field sits near the front of
+    // the file, so a raw byte scan usually survives truncation.
+    static constexpr std::string_view kKey = "\"digest\"";
+    if (const auto key = contents->find(kKey); key != std::string::npos) {
+      auto open = contents->find('"', key + kKey.size());
+      if (open != std::string::npos &&
+          contents->find(':', key + kKey.size()) < open) {
+        const auto close = contents->find('"', open + 1);
+        if (close != std::string::npos) {
+          return contents->substr(open + 1, close - open - 1);
+        }
+      }
+    }
+  }
+  // Last resort: the ckpt-<digest>-<seq>.json naming convention.
+  const auto slash = path.find_last_of('/');
+  const std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  static constexpr std::string_view kPrefix = "ckpt-";
+  if (name.compare(0, kPrefix.size(), kPrefix) == 0) {
+    const auto dash = name.find('-', kPrefix.size());
+    if (dash != std::string::npos && dash > kPrefix.size()) {
+      return name.substr(kPrefix.size(), dash - kPrefix.size());
+    }
+  }
+  return std::nullopt;
+}
+
 namespace {
 
 // Matches "ckpt-<digest>-<seq>.json" for this manager's digest; returns the
@@ -254,14 +300,15 @@ std::optional<std::uint64_t> parse_seq(const std::string& file_name,
 }
 
 // All checkpoint files for `digest` in `dir`, newest (highest seq) first.
-std::vector<std::pair<std::uint64_t, fs::path>> list_checkpoints(
+// The explicit numeric sort is load-bearing: directory listings come back in
+// arbitrary order, and lexicographic order is wrong once sequence numbers
+// outgrow their zero padding ("ckpt-x-9.json" > "ckpt-x-10.json").
+std::vector<std::pair<std::uint64_t, std::string>> list_checkpoints(
     const std::string& dir, const std::string& digest) {
-  std::vector<std::pair<std::uint64_t, fs::path>> files;
-  std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    if (!entry.is_regular_file(ec)) continue;
-    const auto seq = parse_seq(entry.path().filename().string(), digest);
-    if (seq.has_value()) files.emplace_back(*seq, entry.path());
+  std::vector<std::pair<std::uint64_t, std::string>> files;
+  for (const auto& name : sfs::default_fs().list_dir(dir)) {
+    const auto seq = parse_seq(name, digest);
+    if (seq.has_value()) files.emplace_back(*seq, dir + "/" + name);
   }
   std::sort(files.begin(), files.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
@@ -288,9 +335,7 @@ std::string CheckpointManager::file_path(std::uint64_t seq) const {
   char digits[21];
   std::snprintf(digits, sizeof(digits), "%08llu",
                 static_cast<unsigned long long>(seq));
-  return (fs::path(config_.dir) /
-          ("ckpt-" + digest_ + "-" + digits + ".json"))
-      .string();
+  return config_.dir + "/ckpt-" + digest_ + "-" + digits + ".json";
 }
 
 std::optional<ExperimentCheckpoint> CheckpointManager::restore() {
@@ -301,17 +346,16 @@ std::optional<ExperimentCheckpoint> CheckpointManager::restore() {
       registry.counter(support::metric::kCheckpointInvalidFiles);
   for (const auto& [seq, path] : list_checkpoints(config_.dir, digest_)) {
     try {
-      ExperimentCheckpoint checkpoint =
-          read_checkpoint_file(path.string(), digest_);
+      ExperimentCheckpoint checkpoint = read_checkpoint_file(path, digest_);
       restores.add();
-      MAK_LOG_INFO << "checkpoint: resuming from " << path.string() << " ("
+      MAK_LOG_INFO << "checkpoint: resuming from " << path << " ("
                    << checkpoint.completed.size() << "/"
                    << checkpoint.repetitions << " repetitions done)";
       return checkpoint;
     } catch (const SnapshotError& error) {
       invalid.add();
-      MAK_LOG_WARN << "checkpoint: skipping invalid file " << path.string()
-                   << ": " << error.what();
+      MAK_LOG_WARN << "checkpoint: skipping invalid file " << path << ": "
+                   << error.what();
     }
   }
   return std::nullopt;
@@ -352,30 +396,29 @@ void CheckpointManager::write(const ExperimentCheckpoint& checkpoint) {
   outer.emplace("payload", payload);
   const std::string text = support::json::dump(Value(std::move(outer)));
 
-  fs::create_directories(config_.dir);
+  auto& disk = sfs::default_fs();
+  disk.create_directories(config_.dir);
   const std::string path = file_path(next_seq_);
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    out << text << '\n';
-    out.flush();
-    if (!out) {
-      throw SnapshotError("checkpoint: write failed: " + tmp);
-    }
+  // Torn writes that report success land here as a corrupt-but-named file;
+  // the CRC envelope makes restore() skip it, so they cost recompute, not
+  // correctness. Clean failures surface as SnapshotError for the caller.
+  if (!disk.write_file(tmp, text + "\n", /*durable=*/true)) {
+    disk.remove(tmp);  // best effort
+    throw SnapshotError("checkpoint: write failed: " + tmp);
   }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
+  if (!disk.rename(tmp, path)) {
+    disk.remove(tmp);  // best effort
     throw SnapshotError("checkpoint: rename failed: " + path);
   }
   ++next_seq_;
   writes.add();
 
-  // Prune: keep the newest `keep` files (including the one just written).
+  // Prune: keep the newest `keep` files (including the one just written),
+  // by sequence number — list_checkpoints sorts numerically.
   const auto files = list_checkpoints(config_.dir, digest_);
   for (std::size_t i = config_.keep; i < files.size(); ++i) {
-    fs::remove(files[i].second, ec);  // best effort
+    disk.remove(files[i].second);  // best effort
   }
 }
 

@@ -57,6 +57,13 @@ struct ExperimentCheckpoint {
 ExperimentCheckpoint read_checkpoint_file(const std::string& path,
                                           const std::string& expected_digest);
 
+// Best-effort digest recovery from a possibly-corrupt checkpoint file, for
+// triage (tools/checkpoint_inspect, failure bundles): the JSON envelope
+// field when parsable, else a raw byte scan of the (possibly truncated)
+// contents, else the ckpt-<digest>-<seq>.json filename. nullopt only when
+// all three fail. Never throws.
+std::optional<std::string> peek_checkpoint_digest(const std::string& path);
+
 // Owns the checkpoint directory for one experiment: sequence numbering,
 // atomic writes, pruning, and fallback restore across corrupted files.
 class CheckpointManager {

@@ -140,6 +140,22 @@ struct CheckpointContext {
 constexpr std::string_view kRunStateId = "harness.run";
 constexpr int kRunStateVersion = 1;
 
+// A failed checkpoint write (ENOSPC, torn-write detection, failed rename)
+// costs at most recompute — restore-newest-valid falls back to the previous
+// file — so it must never kill the run it's protecting.
+void write_checkpoint_tolerant(CheckpointManager& manager,
+                               const ExperimentCheckpoint& checkpoint) {
+  static support::Counter& failures = support::MetricsRegistry::global().counter(
+      support::metric::kCheckpointWriteFailures);
+  try {
+    manager.write(checkpoint);
+  } catch (const support::SnapshotError& error) {
+    failures.add();
+    MAK_LOG_WARN << "checkpoint: write failed, continuing without it: "
+                 << error.what();
+  }
+}
+
 RunResult run_one(const apps::AppInfo& app_info, CrawlerKind kind,
                   const RunConfig& config, const CheckpointContext* ckpt) {
   namespace metric = support::metric;
@@ -283,7 +299,7 @@ RunResult run_one(const apps::AppInfo& app_info, CrawlerKind kind,
     out.completed = *ckpt->completed;
     out.in_flight_rep = ckpt->rep_index;
     out.run = support::json::Value(std::move(run_state));
-    manager->write(out);
+    write_checkpoint_tolerant(*manager, out);
     last_checkpoint = clock.now();
   };
   const auto checkpoint_due = [&]() {
@@ -380,11 +396,15 @@ RunResult run_once(const apps::AppInfo& app_info, CrawlerKind kind,
   return run_one(app_info, kind, config, nullptr);
 }
 
+std::uint64_t repetition_seed(const RunConfig& config, std::size_t rep) {
+  return support::mix64(config.seed ^ (0xabcd0000 + rep));
+}
+
 namespace {
 
 RunConfig seeded_config(const RunConfig& config, std::size_t rep) {
   RunConfig rep_config = config;
-  rep_config.seed = support::mix64(config.seed ^ (0xabcd0000 + rep));
+  rep_config.seed = repetition_seed(config, rep);
   return rep_config;
 }
 
@@ -426,7 +446,7 @@ std::vector<RunResult> run_repeated_checkpointed(const apps::AppInfo& app_info,
     boundary.repetitions = repetitions;
     boundary.completed = results;
     boundary.complete = rep + 1 == repetitions;
-    manager.write(boundary);
+    write_checkpoint_tolerant(manager, boundary);
   }
   return results;
 }
@@ -514,7 +534,7 @@ RunResult run_resumable(const apps::AppInfo& app_info, CrawlerKind kind,
   final_state.repetitions = 1;
   final_state.completed.push_back(result);
   final_state.complete = true;
-  manager.write(final_state);
+  write_checkpoint_tolerant(manager, final_state);
   return result;
 }
 

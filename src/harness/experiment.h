@@ -125,6 +125,13 @@ struct RunResult {
   bool aborted = false;                  // supervisor cancelled the run
   std::string abort_reason;              // kAbortStalled / kAbortWallLimit /
                                          // kAbortStepLimit
+
+  // Orchestrator outcome (src/harness/orchestrator.h). A repetition whose
+  // worker exhausted its retries is carried as a failed placeholder — never
+  // silently dropped — with the failure class of the final attempt.
+  bool failed = false;
+  std::string failure_class;             // crash / timeout / oom / transient
+  std::size_t attempts = 0;              // worker attempts consumed
 };
 
 // Run one crawler once against a fresh instance of `app_info`'s app.
@@ -163,5 +170,10 @@ struct Protocol {
   RunConfig run;
 };
 Protocol protocol_from_env();
+
+// Seed of repetition `rep` under `config` — the derivation run_repeated uses
+// internally, exported so orchestrator workers running one repetition in
+// their own process reproduce the serial run bit-for-bit.
+std::uint64_t repetition_seed(const RunConfig& config, std::size_t rep);
 
 }  // namespace mak::harness

@@ -96,6 +96,14 @@ std::string run_to_json(const RunResult& run, bool include_series) {
     out += ",\"steps\":" + std::to_string(run.steps);
     out += "}";
   }
+  if (run.failed) {
+    // Only present on repetitions whose orchestrator worker exhausted its
+    // retries; everything else stays byte-identical to a serial run.
+    out += ",\"failed\":{";
+    out += "\"class\":\"" + core::json_escape(run.failure_class) + "\"";
+    out += ",\"attempts\":" + std::to_string(run.attempts);
+    out += "}";
+  }
   if (include_series) {
     out += ",\"series\":[";
     bool first = true;

@@ -1,0 +1,190 @@
+#include "harness/procpool.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+#include "support/log.h"
+#include "support/metric_names.h"
+#include "support/metrics.h"
+
+namespace mak::harness {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void apply_rlimit(int resource, rlim_t value) {
+  struct rlimit limit;
+  limit.rlim_cur = value;
+  limit.rlim_max = value;
+  ::setrlimit(resource, &limit);  // best effort; failure just means no cap
+}
+
+}  // namespace
+
+std::string_view to_string(FailureClass failure) {
+  switch (failure) {
+    case FailureClass::kNone:
+      return "none";
+    case FailureClass::kCrash:
+      return "crash";
+    case FailureClass::kTimeout:
+      return "timeout";
+    case FailureClass::kOom:
+      return "oom";
+    case FailureClass::kTransient:
+      return "transient";
+  }
+  return "?";
+}
+
+FailureClass classify_exit(int status, bool killed_by_deadline) {
+  if (killed_by_deadline) return FailureClass::kTimeout;
+  if (WIFSIGNALED(status)) {
+    switch (WTERMSIG(status)) {
+      case SIGXCPU:
+        return FailureClass::kTimeout;  // RLIMIT_CPU expired
+      case SIGKILL:
+        // Unrequested SIGKILLs are the Linux OOM killer's signature (and
+        // the chaos job's kill -9 stand-in for it).
+        return FailureClass::kOom;
+      default:
+        return FailureClass::kCrash;  // SIGSEGV, SIGBUS, SIGABRT, ...
+    }
+  }
+  if (WIFEXITED(status)) {
+    const int code = WEXITSTATUS(status);
+    if (code == kExitOk) return FailureClass::kNone;
+    if (code == kExitOom) return FailureClass::kOom;
+    return FailureClass::kTransient;
+  }
+  return FailureClass::kCrash;  // stopped/continued should not reach here
+}
+
+struct ProcPool::Worker {
+  pid_t pid = -1;
+  bool running = false;
+  bool deadline_killed = false;
+  bool has_deadline = false;
+  Clock::time_point deadline;
+};
+
+ProcPool::ProcPool(std::string exe_path) : exe_path_(std::move(exe_path)) {}
+
+ProcPool::~ProcPool() {
+  // Never leave orphans: kill and reap anything still running.
+  for (auto& worker : workers_) {
+    if (!worker.running) continue;
+    ::kill(-worker.pid, SIGKILL);  // the whole process group
+    int status = 0;
+    ::waitpid(worker.pid, &status, 0);
+    worker.running = false;
+  }
+}
+
+int ProcPool::spawn(const WorkerSpec& spec, const WorkerLimits& limits) {
+  static support::Counter& spawns =
+      support::MetricsRegistry::global().counter(
+          support::metric::kProcpoolSpawns);
+
+  std::vector<char*> argv;
+  argv.reserve(spec.args.size() + 2);
+  argv.push_back(const_cast<char*>(exe_path_.c_str()));
+  for (const auto& arg : spec.args) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    MAK_LOG_WARN << "procpool: fork failed: errno=" << errno;
+    return -1;
+  }
+  if (pid == 0) {
+    // Child. Only async-signal-safe calls between fork and exec.
+    // Own process group, so a deadline kill takes out any grandchildren the
+    // worker spawns instead of orphaning them with our stdio still open.
+    ::setpgid(0, 0);
+    if (!spec.stderr_path.empty()) {
+      const int fd = ::open(spec.stderr_path.c_str(),
+                            O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, STDERR_FILENO);
+        ::close(fd);
+      }
+    }
+    if (limits.cpu_seconds > 0) {
+      apply_rlimit(RLIMIT_CPU, static_cast<rlim_t>(limits.cpu_seconds));
+    }
+    if (limits.address_space_mb > 0) {
+      apply_rlimit(RLIMIT_AS, static_cast<rlim_t>(limits.address_space_mb) *
+                                  1024 * 1024);
+    }
+    ::execv(exe_path_.c_str(), argv.data());
+    _exit(kExitTransient);  // exec failed; retryable from the parent's view
+  }
+
+  // Both sides set the group to close the fork/exec race; EACCES after the
+  // child has exec'ed just means the child won, which is fine.
+  ::setpgid(pid, pid);
+
+  spawns.add();
+  Worker worker;
+  worker.pid = pid;
+  worker.running = true;
+  if (limits.wall_timeout_ms > 0) {
+    worker.has_deadline = true;
+    worker.deadline =
+        Clock::now() + std::chrono::milliseconds(limits.wall_timeout_ms);
+  }
+  workers_.push_back(worker);
+  ++running_;
+  return static_cast<int>(workers_.size()) - 1;
+}
+
+void ProcPool::kill_overdue() {
+  const auto now = Clock::now();
+  for (auto& worker : workers_) {
+    if (!worker.running || worker.deadline_killed) continue;
+    if (worker.has_deadline && now >= worker.deadline) {
+      worker.deadline_killed = true;
+      ::kill(-worker.pid, SIGKILL);  // the whole process group
+      MAK_LOG_WARN << "procpool: wall deadline expired, killed pid "
+                   << worker.pid;
+    }
+  }
+}
+
+std::vector<ProcPool::Exit> ProcPool::poll(bool block) {
+  std::vector<Exit> exits;
+  for (;;) {
+    kill_overdue();
+    for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+      Worker& worker = workers_[slot];
+      if (!worker.running) continue;
+      int status = 0;
+      const pid_t reaped = ::waitpid(worker.pid, &status, WNOHANG);
+      if (reaped != worker.pid) continue;
+      worker.running = false;
+      --running_;
+      Exit exit;
+      exit.slot = static_cast<int>(slot);
+      exit.outcome.failure = classify_exit(status, worker.deadline_killed);
+      exit.outcome.timed_out = worker.deadline_killed;
+      if (WIFEXITED(status)) exit.outcome.exit_code = WEXITSTATUS(status);
+      if (WIFSIGNALED(status)) exit.outcome.term_signal = WTERMSIG(status);
+      exits.push_back(exit);
+    }
+    if (!exits.empty() || !block || running_ == 0) return exits;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+}  // namespace mak::harness

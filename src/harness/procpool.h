@@ -1,0 +1,100 @@
+// Process pool for crash-contained experiment workers (docs/robustness.md).
+//
+// One repetition = one fork/exec'ed worker process re-running this binary in
+// `--worker` mode, so a SIGSEGV, OOM kill or hang takes down exactly one
+// repetition — never the sweep. The pool applies POSIX rlimits in the child
+// (CPU seconds, address space), enforces a parent-side wall deadline with a
+// SIGKILL, reaps exits, and classifies every abnormal end into one of four
+// failure classes the orchestrator's retry policy can act on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mak::harness {
+
+// Why a worker attempt ended. kNone is the only success.
+enum class FailureClass {
+  kNone,       // clean exit 0 (result file still needs validating)
+  kCrash,      // fatal signal: SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT, ...
+  kTimeout,    // parent wall deadline fired, or the kernel sent SIGXCPU
+  kOom,        // SIGKILL (the Linux OOM killer's signature) or exit kExitOom
+  kTransient,  // nonzero exit: I/O trouble, bad config, anything retryable
+};
+std::string_view to_string(FailureClass failure);
+
+// Worker exit-code convention (the worker side lives in orchestrator.cc):
+// a caught std::bad_alloc reports kExitOom so address-space rlimit hits that
+// surface as exceptions classify like kernel OOM kills; every other failure
+// a worker can detect about itself is kExitTransient (EX_TEMPFAIL).
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitOom = 74;
+inline constexpr int kExitTransient = 75;
+
+// Per-attempt resource limits. Zeros mean unlimited.
+struct WorkerLimits {
+  long cpu_seconds = 0;       // RLIMIT_CPU (soft; the kernel sends SIGXCPU)
+  long address_space_mb = 0;  // RLIMIT_AS
+  long wall_timeout_ms = 0;   // parent-enforced deadline, ends in SIGKILL
+};
+
+// One worker invocation: argv tail (argv[0] is the re-exec'ed binary
+// itself) plus an optional file capturing the child's stderr for failure
+// bundles.
+struct WorkerSpec {
+  std::vector<std::string> args;
+  std::string stderr_path;  // empty = inherit the parent's stderr
+};
+
+// How one attempt ended.
+struct WorkerOutcome {
+  FailureClass failure = FailureClass::kNone;
+  int exit_code = -1;    // valid when the worker exited normally
+  int term_signal = 0;   // valid when it was signaled
+  bool timed_out = false;  // the parent deadline killed it
+};
+
+// Map a waitpid status to a failure class. `killed_by_deadline` forces
+// kTimeout regardless of how the SIGKILL was reported.
+FailureClass classify_exit(int status, bool killed_by_deadline);
+
+// Fork/exec pool. Not thread-safe: one owner drives spawn()/poll() from a
+// single thread (the orchestrator's scheduling loop).
+class ProcPool {
+ public:
+  // `exe_path` is the binary to exec; "/proc/self/exe" re-runs the current
+  // one, which is how workers share the catalog and crawler registry with
+  // the parent without a separate worker binary.
+  explicit ProcPool(std::string exe_path);
+  ~ProcPool();
+
+  ProcPool(const ProcPool&) = delete;
+  ProcPool& operator=(const ProcPool&) = delete;
+
+  // Launch one worker; returns a slot id (>= 0) identifying it in poll()
+  // results, or -1 when fork fails.
+  int spawn(const WorkerSpec& spec, const WorkerLimits& limits);
+
+  std::size_t running() const noexcept { return running_; }
+
+  struct Exit {
+    int slot = -1;
+    WorkerOutcome outcome;
+  };
+  // Reap every worker that has exited and SIGKILL any that blew their wall
+  // deadline. With `block`, waits (polling) until at least one worker exits
+  // or none are running.
+  std::vector<Exit> poll(bool block);
+
+ private:
+  struct Worker;
+  void kill_overdue();
+
+  std::string exe_path_;
+  std::vector<Worker> workers_;  // indexed by slot; exited slots stay
+  std::size_t running_ = 0;
+};
+
+}  // namespace mak::harness

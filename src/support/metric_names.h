@@ -95,7 +95,22 @@ inline constexpr std::string_view kCheckpointInvalidFiles =
     "checkpoint.invalid_files";
 inline constexpr std::string_view kCheckpointWriteWallUs =
     "checkpoint.write.wall_us";
+inline constexpr std::string_view kCheckpointWriteFailures =
+    "checkpoint.write_failures";
 inline constexpr std::string_view kSupervisorStalls = "supervisor.stalls";
 inline constexpr std::string_view kSupervisorAborts = "supervisor.aborts";
+
+// --- support: injectable filesystem / disk-fault layer ------------------
+inline constexpr std::string_view kFsWrites = "fs.writes";
+inline constexpr std::string_view kFsInjectedFaults = "fs.injected_faults";
+
+// --- harness: process pool and run orchestrator -------------------------
+inline constexpr std::string_view kProcpoolSpawns = "procpool.spawns";
+inline constexpr std::string_view kProcpoolFailures = "procpool.failures";
+inline constexpr std::string_view kProcpoolRetries = "procpool.retries";
+inline constexpr std::string_view kOrchestratorFailedRepetitions =
+    "orchestrator.failed_repetitions";
+inline constexpr std::string_view kOrchestratorFailureBundles =
+    "orchestrator.failure_bundles";
 
 }  // namespace mak::support::metric

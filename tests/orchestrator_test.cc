@@ -1,0 +1,671 @@
+// Process-isolated orchestrator (docs/robustness.md): disk-fault injection
+// via FaultFs, checkpoint survival under injected faults, worker failure
+// classification, crash-contained orchestrated runs that stay byte-identical
+// to the serial path, failure bundles and deterministic replay — plus the
+// satellite regressions (keep-N rotation ordering, supervisor budget edges,
+// aggregation over failed placeholders).
+//
+// This binary doubles as the orchestrator's worker executable: main()
+// dispatches --worker before gtest ever sees argv (see the bottom of the
+// file), which is exactly the re-exec contract every orchestrating binary
+// follows.
+#include <signal.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/catalog.h"
+#include "harness/aggregate.h"
+#include "harness/checkpoint.h"
+#include "harness/experiment.h"
+#include "harness/json_report.h"
+#include "harness/orchestrator.h"
+#include "harness/procpool.h"
+#include "harness/supervisor.h"
+#include "support/fs.h"
+#include "support/json.h"
+#include "support/snapshot.h"
+
+namespace mak::harness {
+namespace {
+
+namespace fs = std::filesystem;
+namespace sfs = mak::support::fs;
+using support::json::dump;
+
+RunConfig quick_config(std::uint64_t seed = 0x5eed) {
+  RunConfig config;
+  config.budget = 3 * support::kMillisPerMinute;
+  config.sample_interval = 15 * support::kMillisPerSecond;
+  config.seed = seed;
+  return config;
+}
+
+const apps::AppInfo& info_of(const std::string& name) {
+  for (const auto& info : apps::app_catalog()) {
+    if (info.name == name) return info;
+  }
+  throw std::runtime_error("unknown app " + name);
+}
+
+// Fresh scratch directory per test; removed up front so reruns start clean.
+std::string scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("mak_orch_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string state_bytes(const RunResult& result) {
+  return dump(result_to_state(result));
+}
+
+void expect_identical_runs(const std::vector<RunResult>& actual,
+                           const std::vector<RunResult>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t rep = 0; rep < expected.size(); ++rep) {
+    EXPECT_EQ(state_bytes(actual[rep]), state_bytes(expected[rep]))
+        << "repetition " << rep << " diverged";
+    EXPECT_EQ(run_to_json(actual[rep], true), run_to_json(expected[rep], true))
+        << "repetition " << rep << " report diverged";
+  }
+}
+
+// Restores the environment-driven default Fs even when an ASSERT bails out.
+struct DefaultFsGuard {
+  explicit DefaultFsGuard(sfs::Fs* fs) { sfs::set_default_fs(fs); }
+  ~DefaultFsGuard() { sfs::set_default_fs(nullptr); }
+};
+
+// Linux wait-status encodings (the tests run where the orchestrator runs).
+int exited_status(int code) { return code << 8; }
+int signaled_status(int sig) { return sig; }
+
+// ------------------------------------------------------------ FsFaultProfile
+
+TEST(FaultFsTest, ProfileParsesAndRoundTrips) {
+  const auto profile = sfs::FsFaultProfile::parse(
+      "seed=7,write_fail=0.1,torn=0.05,rename_fail=0.2,remove_fail=0.15,"
+      "sync_fail=0.3");
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_EQ(profile->seed, 7u);
+  EXPECT_DOUBLE_EQ(profile->write_error_rate, 0.1);
+  EXPECT_DOUBLE_EQ(profile->torn_write_rate, 0.05);
+  EXPECT_DOUBLE_EQ(profile->rename_error_rate, 0.2);
+  EXPECT_DOUBLE_EQ(profile->remove_error_rate, 0.15);
+  EXPECT_DOUBLE_EQ(profile->sync_lie_rate, 0.3);
+  EXPECT_TRUE(profile->enabled());
+
+  // describe() is a fixed point through parse().
+  const auto reparsed = sfs::FsFaultProfile::parse(profile->describe());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->describe(), profile->describe());
+
+  EXPECT_FALSE(sfs::FsFaultProfile::parse("write_fail=2").has_value());
+  EXPECT_FALSE(sfs::FsFaultProfile::parse("write_fail=-0.1").has_value());
+  EXPECT_FALSE(sfs::FsFaultProfile::parse("bogus=0.5").has_value());
+  EXPECT_FALSE(sfs::FsFaultProfile::parse("write_fail").has_value());
+  EXPECT_FALSE(sfs::FsFaultProfile{}.enabled());
+}
+
+TEST(FaultFsTest, CleanWriteFailuresLeaveAtMostAPrefix) {
+  const std::string dir = scratch_dir("write_fail");
+  sfs::RealFs real;
+  sfs::FsFaultProfile profile;
+  profile.write_error_rate = 1.0;
+  sfs::FaultFs faulty(real, profile);
+
+  const std::string contents(300, 'x');
+  EXPECT_FALSE(faulty.write_file(dir + "/victim", contents, true));
+  EXPECT_GT(faulty.counters().injected_write_errors, 0u);
+  const auto on_disk = real.read_file(dir + "/victim");
+  if (on_disk.has_value()) {
+    EXPECT_LT(on_disk->size(), contents.size());  // short write, never full
+  }
+}
+
+TEST(FaultFsTest, TornWritesReportSuccess) {
+  const std::string dir = scratch_dir("torn");
+  sfs::RealFs real;
+  sfs::FsFaultProfile profile;
+  profile.torn_write_rate = 1.0;
+  sfs::FaultFs faulty(real, profile);
+
+  const std::string contents(300, 'y');
+  EXPECT_TRUE(faulty.write_file(dir + "/victim", contents, true));  // the lie
+  EXPECT_GT(faulty.counters().torn_writes, 0u);
+  const auto on_disk = real.read_file(dir + "/victim");
+  ASSERT_TRUE(on_disk.has_value());
+  EXPECT_LT(on_disk->size(), contents.size());
+}
+
+TEST(FaultFsTest, SyncLiesTearOnlyAtPowerLoss) {
+  const std::string dir = scratch_dir("sync_lie");
+  sfs::RealFs real;
+  sfs::FsFaultProfile profile;
+  profile.sync_lie_rate = 1.0;
+  sfs::FaultFs faulty(real, profile);
+
+  const std::string contents(200, 'z');
+  EXPECT_TRUE(faulty.write_file(dir + "/victim", contents, true));
+  EXPECT_GT(faulty.counters().sync_lies, 0u);
+  // Until the power actually fails, the data is all there (it just never
+  // reached the platter) — normal operation stays deterministic.
+  EXPECT_EQ(real.read_file(dir + "/victim"), contents);
+  faulty.simulate_power_loss();
+  const auto torn = real.read_file(dir + "/victim");
+  ASSERT_TRUE(torn.has_value());
+  EXPECT_EQ(torn->size(), contents.size() / 2);
+}
+
+TEST(FaultFsTest, AtomicVerifiedWritesDefeatEveryInjectedFault) {
+  const std::string dir = scratch_dir("atomic_verified");
+  sfs::RealFs real;
+  sfs::FsFaultProfile profile;
+  profile.seed = 0x7a57;
+  profile.write_error_rate = 0.3;
+  profile.torn_write_rate = 0.3;
+  profile.rename_error_rate = 0.3;
+  profile.remove_error_rate = 0.3;
+  sfs::FaultFs faulty(real, profile);
+
+  std::size_t succeeded = 0;
+  for (int i = 0; i < 40; ++i) {
+    const std::string path = dir + "/file-" + std::to_string(i);
+    const std::string contents =
+        "payload " + std::to_string(i) + std::string(100 + i, 'p');
+    if (sfs::write_file_atomic_verified(faulty, path, contents)) {
+      ++succeeded;
+      // The whole point: success means the EXACT bytes are on disk, no
+      // matter what the fault injector did along the way.
+      EXPECT_EQ(real.read_file(path), contents) << path;
+    }
+  }
+  EXPECT_GT(succeeded, 30u);  // 8 attempts make failure vanishingly rare
+  EXPECT_GT(faulty.counters().total(), 0u);
+}
+
+// -------------------------------------------------- checkpoints under faults
+
+TEST(FaultFsTest, CheckpointedRunSurvivesDiskFaults) {
+  const std::string dir = scratch_dir("ckpt_faults");
+  sfs::RealFs real;
+  sfs::FsFaultProfile profile;
+  profile.seed = 0xd15c;
+  profile.write_error_rate = 0.2;
+  profile.torn_write_rate = 0.2;
+  profile.rename_error_rate = 0.2;
+  profile.remove_error_rate = 0.2;
+  sfs::FaultFs faulty(real, profile);
+
+  const auto& info = info_of("AddressBook");
+  RunConfig config = quick_config(0xfa17);
+  const auto expected = run_repeated(info, CrawlerKind::kMak, config, 2);
+
+  config.checkpoint.dir = dir;
+  config.checkpoint.every_steps = 5;
+  {
+    DefaultFsGuard guard(&faulty);
+    const auto actual = run_repeated(info, CrawlerKind::kMak, config, 2);
+    expect_identical_runs(actual, expected);
+  }
+  EXPECT_GT(faulty.counters().total(), 0u);
+
+  // Whatever the injector left behind, restore() must come back with a
+  // valid checkpoint or nothing — never throw, never return garbage.
+  CheckpointManager manager(config.checkpoint,
+                            run_digest(info, CrawlerKind::kMak, config, 2));
+  const auto restored = manager.restore();
+  if (restored.has_value()) {
+    EXPECT_EQ(restored->repetitions, 2u);
+  }
+}
+
+TEST(FaultFsTest, RestoreFallsBackPastPowerLossTornCheckpoint) {
+  const std::string dir = scratch_dir("power_loss");
+  const auto& info = info_of("AddressBook");
+  RunConfig config = quick_config(0x9e1);
+  config.checkpoint.dir = dir;
+  const std::string digest = run_digest(info, CrawlerKind::kMak, config, 2);
+
+  // Checkpoint A lands durably through the real filesystem.
+  ExperimentCheckpoint older;
+  older.repetitions = 2;
+  {
+    CheckpointManager manager(config.checkpoint, digest);
+    manager.write(older);
+  }
+  // Checkpoint B is written under a lying fsync, then the power fails.
+  sfs::RealFs real;
+  sfs::FsFaultProfile profile;
+  profile.sync_lie_rate = 1.0;
+  sfs::FaultFs faulty(real, profile);
+  ExperimentCheckpoint newer;
+  newer.repetitions = 2;
+  newer.completed.push_back(RunResult{});
+  {
+    DefaultFsGuard guard(&faulty);
+    CheckpointManager manager(config.checkpoint, digest);
+    manager.write(newer);
+  }
+  faulty.simulate_power_loss();
+
+  // The newest file is torn; restore must fall back to checkpoint A.
+  CheckpointManager manager(config.checkpoint, digest);
+  const auto restored = manager.restore();
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->completed.size(), 0u);
+}
+
+// ----------------------------------------------- satellite: keep-N rotation
+
+TEST(CheckpointRotationTest, OrdersBySequenceNumberNotFilename) {
+  const std::string dir = scratch_dir("rotation");
+  const std::string digest = "feedf00d";
+  CheckpointConfig config;
+  config.dir = dir;
+  config.keep = 2;
+
+  ExperimentCheckpoint older;
+  older.repetitions = 3;
+  ExperimentCheckpoint newer;
+  newer.repetitions = 3;
+  newer.completed.push_back(RunResult{});
+  {
+    CheckpointManager manager(config, digest);
+    manager.write(older);  // seq 1
+    manager.write(newer);  // seq 2
+  }
+  // Rename to UNPADDED sequence numbers where lexicographic order inverts
+  // numeric order ("10" < "9" as strings). A rotation that trusted name
+  // order would restore seq 9 and prune seq 10.
+  const std::string prefix = dir + "/ckpt-" + digest + "-";
+  fs::rename(prefix + "00000001.json", prefix + "9.json");
+  fs::rename(prefix + "00000002.json", prefix + "10.json");
+
+  CheckpointManager manager(config, digest);
+  const auto restored = manager.restore();
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->completed.size(), 1u) << "restored seq 9, not seq 10";
+
+  // The next write must continue past the highest existing sequence and
+  // prune the numerically oldest file.
+  manager.write(newer);
+  EXPECT_TRUE(fs::exists(prefix + "00000011.json"));
+  EXPECT_TRUE(fs::exists(prefix + "10.json"));
+  EXPECT_FALSE(fs::exists(prefix + "9.json"));
+}
+
+// -------------------------------------------------------- exit classification
+
+TEST(ProcPoolTest, ClassifyExitCoversTheTable) {
+  EXPECT_EQ(classify_exit(exited_status(0), false), FailureClass::kNone);
+  EXPECT_EQ(classify_exit(exited_status(kExitOom), false), FailureClass::kOom);
+  EXPECT_EQ(classify_exit(exited_status(kExitTransient), false),
+            FailureClass::kTransient);
+  EXPECT_EQ(classify_exit(exited_status(1), false), FailureClass::kTransient);
+  EXPECT_EQ(classify_exit(signaled_status(SIGSEGV), false),
+            FailureClass::kCrash);
+  EXPECT_EQ(classify_exit(signaled_status(SIGBUS), false),
+            FailureClass::kCrash);
+  EXPECT_EQ(classify_exit(signaled_status(SIGABRT), false),
+            FailureClass::kCrash);
+  EXPECT_EQ(classify_exit(signaled_status(SIGKILL), false),
+            FailureClass::kOom);
+  EXPECT_EQ(classify_exit(signaled_status(SIGXCPU), false),
+            FailureClass::kTimeout);
+  // The parent's deadline kill wins over whatever the status says.
+  EXPECT_EQ(classify_exit(signaled_status(SIGKILL), true),
+            FailureClass::kTimeout);
+  EXPECT_EQ(classify_exit(exited_status(0), true), FailureClass::kTimeout);
+
+  EXPECT_EQ(to_string(FailureClass::kNone), "none");
+  EXPECT_EQ(to_string(FailureClass::kCrash), "crash");
+  EXPECT_EQ(to_string(FailureClass::kTimeout), "timeout");
+  EXPECT_EQ(to_string(FailureClass::kOom), "oom");
+  EXPECT_EQ(to_string(FailureClass::kTransient), "transient");
+}
+
+TEST(ProcPoolTest, SpawnsClassifiesAndEnforcesWallDeadline) {
+  ProcPool pool("/bin/sh");
+  WorkerLimits no_limits;
+
+  struct Case {
+    std::vector<std::string> args;
+    FailureClass expect;
+    long wall_ms = 0;
+  };
+  const std::vector<Case> cases = {
+      {{"-c", "exit 0"}, FailureClass::kNone},
+      {{"-c", "exit 75"}, FailureClass::kTransient},
+      {{"-c", "exit 74"}, FailureClass::kOom},
+      {{"-c", "kill -9 $$"}, FailureClass::kOom},
+      {{"-c", "kill -SEGV $$"}, FailureClass::kCrash},
+      {{"-c", "sleep 30"}, FailureClass::kTimeout, 200},
+  };
+  std::vector<FailureClass> got(cases.size(), FailureClass::kNone);
+  std::vector<int> slot_to_case(cases.size() * 2, -1);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    WorkerSpec spec;
+    spec.args = cases[i].args;
+    WorkerLimits limits = no_limits;
+    limits.wall_timeout_ms = cases[i].wall_ms;
+    const int slot = pool.spawn(spec, limits);
+    ASSERT_GE(slot, 0);
+    slot_to_case[static_cast<std::size_t>(slot)] = static_cast<int>(i);
+  }
+  while (pool.running() > 0) {
+    for (const auto& exit : pool.poll(true)) {
+      const int index = slot_to_case[static_cast<std::size_t>(exit.slot)];
+      ASSERT_GE(index, 0);
+      got[static_cast<std::size_t>(index)] = exit.outcome.failure;
+      if (cases[static_cast<std::size_t>(index)].wall_ms > 0) {
+        EXPECT_TRUE(exit.outcome.timed_out);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    EXPECT_EQ(got[i], cases[i].expect) << "case " << i;
+  }
+}
+
+// ------------------------------------------------------ orchestrated runs
+
+OrchestratorConfig quick_orch(const std::string& name) {
+  OrchestratorConfig orch;
+  orch.workers = 2;
+  orch.backoff_base_ms = 1;
+  orch.scratch_dir = scratch_dir(name + "_scratch");
+  orch.failure_dir = scratch_dir(name + "_failures");
+  return orch;
+}
+
+TEST(OrchestratorTest, MatchesSerialRunByteForByte) {
+  const auto& info = info_of("AddressBook");
+  const RunConfig config = quick_config(0x0c4a);
+  const auto serial = run_repeated(info, CrawlerKind::kMak, config, 3);
+  const auto orchestrated = run_orchestrated(
+      info, CrawlerKind::kMak, config, 3, quick_orch("identity"));
+  expect_identical_runs(orchestrated, serial);
+}
+
+TEST(OrchestratorTest, ChaosKilledWorkerRetriesFromCheckpointAndMatches) {
+  const auto& info = info_of("AddressBook");
+  RunConfig config = quick_config(0xc405);
+  config.checkpoint.every_steps = 4;  // give the victim something to resume
+  const auto serial = run_repeated(info, CrawlerKind::kMak, config, 2);
+
+  OrchestratorConfig orch = quick_orch("chaos");
+  orch.chaos_kill = {std::size_t{1}, std::size_t{10}};
+  const auto orchestrated =
+      run_orchestrated(info, CrawlerKind::kMak, config, 2, orch);
+  expect_identical_runs(orchestrated, serial);
+
+  // Exactly one failure bundle: repetition 1, attempt 1 — and because the
+  // worker checkpointed every 4 steps before dying at step 10, the bundle
+  // carries a resumable checkpoint.
+  std::vector<fs::path> bundles;
+  for (const auto& entry : fs::directory_iterator(orch.failure_dir)) {
+    bundles.push_back(entry.path());
+  }
+  ASSERT_EQ(bundles.size(), 1u);
+  EXPECT_NE(bundles[0].filename().string().find("-rep1-a1"),
+            std::string::npos);
+  const auto manifest_text =
+      sfs::default_fs().read_file((bundles[0] / "bundle.json").string());
+  ASSERT_TRUE(manifest_text.has_value());
+  const auto manifest = support::json::parse(*manifest_text);
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->string_at("failure_class").value_or(""), "oom");
+  EXPECT_FALSE(manifest->string_at("checkpoint").value_or("").empty());
+}
+
+TEST(OrchestratorTest, ExhaustedRetriesYieldFailedPlaceholderNeverDropped) {
+  const auto& info = info_of("AddressBook");
+  const RunConfig config = quick_config(0xdead);
+  const auto serial = run_repeated(info, CrawlerKind::kMak, config, 2);
+
+  OrchestratorConfig orch = quick_orch("exhausted");
+  orch.workers = 1;
+  orch.max_attempts = 1;  // the chaos kill consumes the only attempt
+  orch.chaos_kill = {std::size_t{0}, std::size_t{5}};
+  const auto results =
+      run_orchestrated(info, CrawlerKind::kMak, config, 2, orch);
+  ASSERT_EQ(results.size(), 2u);
+
+  EXPECT_TRUE(results[0].failed);
+  EXPECT_EQ(results[0].failure_class, "oom");
+  EXPECT_EQ(results[0].attempts, 1u);
+  EXPECT_EQ(results[0].app, info.name);
+  const std::string json = run_to_json(results[0], false);
+  EXPECT_NE(json.find("\"failed\":{\"class\":\"oom\",\"attempts\":1}"),
+            std::string::npos)
+      << json;
+
+  // The surviving repetition is still bit-identical to the serial run.
+  EXPECT_FALSE(results[1].failed);
+  EXPECT_EQ(state_bytes(results[1]), state_bytes(serial[1]));
+
+  // Failed placeholders round-trip through the checkpoint codec too.
+  const RunResult reloaded = result_from_state(result_to_state(results[0]));
+  EXPECT_TRUE(reloaded.failed);
+  EXPECT_EQ(reloaded.failure_class, "oom");
+  EXPECT_EQ(reloaded.attempts, 1u);
+}
+
+TEST(OrchestratorTest, ReplayBundleIsDeterministic) {
+  const auto& info = info_of("AddressBook");
+  RunConfig config = quick_config(0x4e91a);
+  config.checkpoint.every_steps = 3;
+
+  OrchestratorConfig orch = quick_orch("replay");
+  orch.workers = 1;
+  orch.max_attempts = 2;
+  orch.chaos_kill = {std::size_t{0}, std::size_t{8}};
+  const auto results =
+      run_orchestrated(info, CrawlerKind::kMak, config, 1, orch);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].failed);  // the retry recovered
+
+  std::vector<fs::path> bundles;
+  for (const auto& entry : fs::directory_iterator(orch.failure_dir)) {
+    bundles.push_back(entry.path());
+  }
+  ASSERT_EQ(bundles.size(), 1u);
+
+  testing::internal::CaptureStdout();
+  const int first = replay_bundle(bundles[0].string());
+  const std::string first_output = testing::internal::GetCapturedStdout();
+  testing::internal::CaptureStdout();
+  const int second = replay_bundle(bundles[0].string());
+  const std::string second_output = testing::internal::GetCapturedStdout();
+
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 0);
+  EXPECT_EQ(first_output, second_output);
+  EXPECT_NE(first_output.find("replay: digest="), std::string::npos);
+  EXPECT_NE(first_output.find("replay: steps="), std::string::npos);
+
+  // A doctored manifest must be rejected, not replayed wrong.
+  EXPECT_EQ(replay_bundle(orch.scratch_dir), 1);  // no bundle.json there
+}
+
+TEST(OrchestratorTest, WorkerInvocationDispatch) {
+  const char* worker_argv[] = {"binary", "--worker", "--app", "X"};
+  const char* normal_argv[] = {"binary", "--app", "X"};
+  EXPECT_TRUE(is_worker_invocation(4, const_cast<char**>(worker_argv)));
+  EXPECT_FALSE(is_worker_invocation(3, const_cast<char**>(normal_argv)));
+  EXPECT_FALSE(is_worker_invocation(1, const_cast<char**>(normal_argv)));
+}
+
+TEST(OrchestratorTest, EnvConfigParsesChaosSpec) {
+  ::setenv("MAK_WORKERS", "5", 1);
+  ::setenv("MAK_ORCH_ATTEMPTS", "7", 1);
+  ::setenv("MAK_ORCH_CHAOS_KILL", "rep=3,step=12", 1);
+  const OrchestratorConfig orch = orchestrator_from_env();
+  ::unsetenv("MAK_WORKERS");
+  ::unsetenv("MAK_ORCH_ATTEMPTS");
+  ::unsetenv("MAK_ORCH_CHAOS_KILL");
+
+  EXPECT_EQ(orch.workers, 5u);
+  EXPECT_EQ(orch.max_attempts, 7u);
+  ASSERT_TRUE(orch.chaos_kill.has_value());
+  EXPECT_EQ(orch.chaos_kill->first, 3u);
+  EXPECT_EQ(orch.chaos_kill->second, 12u);
+
+  ::setenv("MAK_ORCH_CHAOS_KILL", "nonsense", 1);
+  const OrchestratorConfig bad = orchestrator_from_env();
+  ::unsetenv("MAK_ORCH_CHAOS_KILL");
+  EXPECT_FALSE(bad.chaos_kill.has_value());
+}
+
+// ------------------------------------------- satellite: supervisor budgets
+
+TEST(SupervisorEdgeTest, WallLimitFiresOnAHeartbeatTick) {
+  // Heartbeats keep arriving right up to (and past) the wall limit; the
+  // limit must still fire — progress is not a defense against the budget —
+  // and it must report wall_limit, not stalled.
+  SupervisorConfig config;
+  config.heartbeat_ms = 20;
+  config.wall_limit_ms = 60;
+  RunSupervisor supervisor(config);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::string reason;
+  while (reason.empty() && std::chrono::steady_clock::now() < deadline) {
+    supervisor.heartbeat();  // a tick lands exactly when the limit trips
+    reason = supervisor.should_abort(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(reason, kAbortWallLimit);
+}
+
+TEST(SupervisorEdgeTest, StepBudgetZeroMeansUnlimited) {
+  SupervisorConfig config;
+  config.max_steps = 0;
+  EXPECT_FALSE(config.enabled());
+  RunSupervisor supervisor(config);
+  EXPECT_EQ(supervisor.should_abort(0), "");
+  EXPECT_EQ(supervisor.should_abort(1000000), "");
+
+  // And through the run loop: a zero budget never aborts the run...
+  const auto& info = info_of("AddressBook");
+  RunConfig run = quick_config(0x51e9);
+  run.supervisor.max_steps = 0;
+  const auto unlimited = run_once(info, CrawlerKind::kMak, run);
+  EXPECT_FALSE(unlimited.aborted);
+
+  // ...while a budget of 5 aborts after exactly 5 steps.
+  run.supervisor.max_steps = 5;
+  const auto limited = run_once(info, CrawlerKind::kMak, run);
+  EXPECT_TRUE(limited.aborted);
+  EXPECT_EQ(limited.abort_reason, kAbortStepLimit);
+  EXPECT_EQ(limited.steps, 5u);
+}
+
+TEST(SupervisorEdgeTest, AbortDuringCheckpointWriteLeavesValidNewest) {
+  const std::string dir = scratch_dir("abort_ckpt");
+  const auto& info = info_of("AddressBook");
+  RunConfig config = quick_config(0xab0b);
+  config.checkpoint.dir = dir;
+  config.checkpoint.every_steps = 1;  // a write races every step, incl. abort
+  config.supervisor.max_steps = 6;
+
+  sfs::RealFs real;
+  sfs::FsFaultProfile profile;
+  profile.seed = 0xcafe;
+  profile.write_error_rate = 0.25;
+  profile.rename_error_rate = 0.25;
+  sfs::FaultFs faulty(real, profile);
+  RunResult aborted;
+  {
+    DefaultFsGuard guard(&faulty);
+    aborted = run_resumable(info, CrawlerKind::kMak, config);
+  }
+  EXPECT_TRUE(aborted.aborted);
+  EXPECT_EQ(aborted.abort_reason, kAbortStepLimit);
+
+  // Whatever mix of failed and successful writes happened, the newest file
+  // on disk must decode — restore never throws and never returns garbage.
+  CheckpointManager manager(config.checkpoint,
+                            run_digest(info, CrawlerKind::kMak, config, 1));
+  const auto restored = manager.restore();
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->repetitions, 1u);
+}
+
+// -------------------------------------------- satellite: aggregate with gaps
+
+TEST(AggregateGapsTest, StatisticsAreIdenticalAcrossOrderings) {
+  const auto& info = info_of("AddressBook");
+  auto runs = run_repeated(info, CrawlerKind::kMak, quick_config(0xa99), 3);
+  RunResult placeholder;
+  placeholder.app = info.name;
+  placeholder.crawler = "MAK";
+  placeholder.failed = true;
+  placeholder.failure_class = "crash";
+  placeholder.attempts = 3;
+  runs.push_back(placeholder);
+
+  const SummaryStats reference = summarize_covered(runs);
+  EXPECT_EQ(reference.runs, 3u);
+  EXPECT_EQ(reference.failed, 1u);
+  EXPECT_GT(reference.mean, 0.0);
+  const CoverageCurve reference_curve = aggregate_series(runs);
+  const double reference_mean = mean_covered(runs);
+  const double reference_interactions = mean_interactions(runs);
+
+  // Byte-level fingerprint of the aggregate, as the experiment JSON would
+  // carry it; identical across every completion order.
+  const auto fingerprint = [](const SummaryStats& stats) {
+    using support::json::format_double;
+    return format_double(stats.mean) + "|" + format_double(stats.stddev) +
+           "|" + format_double(stats.ci95) + "|" + std::to_string(stats.runs) +
+           "|" + std::to_string(stats.failed);
+  };
+  const std::string reference_bytes = fingerprint(reference);
+
+  std::vector<std::size_t> order(runs.size());
+  std::iota(order.begin(), order.end(), 0);
+  do {
+    std::vector<RunResult> permuted;
+    for (const std::size_t index : order) permuted.push_back(runs[index]);
+    EXPECT_EQ(fingerprint(summarize_covered(permuted)), reference_bytes);
+    EXPECT_EQ(mean_covered(permuted), reference_mean);
+    EXPECT_EQ(mean_interactions(permuted), reference_interactions);
+    const CoverageCurve curve = aggregate_series(permuted);
+    EXPECT_EQ(curve.mean, reference_curve.mean);
+    EXPECT_EQ(curve.stddev, reference_curve.stddev);
+  } while (std::next_permutation(order.begin(), order.end()));
+
+  // All-failed input degrades cleanly instead of dividing by zero.
+  const std::vector<RunResult> all_failed = {placeholder, placeholder};
+  const SummaryStats empty = summarize_covered(all_failed);
+  EXPECT_EQ(empty.runs, 0u);
+  EXPECT_EQ(empty.failed, 2u);
+  EXPECT_EQ(empty.mean, 0.0);
+  EXPECT_EQ(mean_covered(all_failed), 0.0);
+  EXPECT_TRUE(aggregate_series(all_failed).times.empty());
+}
+
+}  // namespace
+}  // namespace mak::harness
+
+// The orchestrator re-execs this binary for its workers, so --worker must be
+// claimed before gtest parses argv (the same dispatch every orchestrating
+// binary performs at the top of main).
+int main(int argc, char** argv) {
+  if (mak::harness::is_worker_invocation(argc, argv)) {
+    return mak::harness::worker_main(argc, argv);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

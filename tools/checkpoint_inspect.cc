@@ -38,9 +38,19 @@ int inspect(const std::string& path) {
   } catch (const mak::support::SnapshotError& error) {
     std::fprintf(stderr, "checkpoint_inspect: INVALID %s: %s\n", path.c_str(),
                  error.what());
+    // Even a corrupt envelope usually still identifies its experiment (from
+    // the envelope text or the ckpt-<digest>-<seq>.json filename). Report it
+    // so an operator can tell WHICH experiment's checkpoint rotted.
+    if (const auto digest = mak::harness::peek_checkpoint_digest(path)) {
+      std::fprintf(stderr, "checkpoint_inspect:   run_digest: %s\n",
+                   digest->c_str());
+    }
     return 1;
   }
   std::printf("%s: valid\n", path.c_str());
+  if (const auto digest = mak::harness::peek_checkpoint_digest(path)) {
+    std::printf("  run_digest: %s\n", digest->c_str());
+  }
   std::printf("  repetitions: %zu/%zu completed%s\n",
               checkpoint.completed.size(), checkpoint.repetitions,
               checkpoint.complete ? " (experiment complete)" : "");

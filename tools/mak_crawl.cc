@@ -14,6 +14,7 @@
 
 #include "harness/experiment.h"
 #include "harness/json_report.h"
+#include "harness/orchestrator.h"
 #include "harness/report.h"
 #include "support/strings.h"
 
@@ -27,7 +28,7 @@ void usage(const char* argv0) {
       "          [--fault PROFILE] [--checkpoint-dir DIR]\n"
       "          [--checkpoint-seconds N] [--resume | --no-resume]\n"
       "          [--heartbeat-sec N] [--wall-limit-sec N] [--max-steps N]\n"
-      "          [--list]\n"
+      "          [--replay-bundle DIR] [--list]\n"
       "defaults: --app AddressBook --crawler MAK --minutes 30 --seed 23501\n"
       "checkpointing: with --checkpoint-dir the run writes periodic crash-safe\n"
       "  checkpoints (every N virtual seconds, default 120) and --resume\n"
@@ -36,6 +37,9 @@ void usage(const char* argv0) {
       "supervisor: --heartbeat-sec aborts a run with no crawl-step progress,\n"
       "  --wall-limit-sec / --max-steps bound the whole run; aborted runs are\n"
       "  reported with partial coverage and an abort reason.\n"
+      "replay: --replay-bundle reruns a failure bundle archived by the\n"
+      "  orchestrator under results/failures/, resuming from the bundled\n"
+      "  checkpoint and verifying the run digest (see docs/robustness.md).\n"
       "fault profiles: off | light | moderate | heavy, optionally followed by\n"
       "  key=value overrides (error=, drop=, spike=, spike_ms=MIN:MAX,\n"
       "  window_period_ms=, window_duration_ms=, window_offset_ms=,\n"
@@ -60,6 +64,7 @@ struct Options {
   long heartbeat_sec = 0;
   long wall_limit_sec = 0;
   unsigned long long max_steps = 0;
+  std::string replay_bundle_dir;
   bool list = false;
 };
 
@@ -135,6 +140,10 @@ bool parse_args(int argc, char** argv, Options& options) {
       const char* value = next_value("--max-steps");
       if (value == nullptr) return false;
       options.max_steps = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--replay-bundle") {
+      const char* value = next_value("--replay-bundle");
+      if (value == nullptr) return false;
+      options.replay_bundle_dir = value;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return false;
@@ -152,8 +161,18 @@ bool parse_args(int argc, char** argv, Options& options) {
 int main(int argc, char** argv) {
   using namespace mak;
 
+  // Orchestrator workers re-exec this binary; hand over before normal
+  // argument parsing ever sees the --worker protocol.
+  if (harness::is_worker_invocation(argc, argv)) {
+    return harness::worker_main(argc, argv);
+  }
+
   Options options;
   if (!parse_args(argc, argv, options)) return 2;
+
+  if (!options.replay_bundle_dir.empty()) {
+    return harness::replay_bundle(options.replay_bundle_dir);
+  }
 
   if (options.list) {
     std::printf("applications:\n");
