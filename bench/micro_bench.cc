@@ -16,6 +16,7 @@
 #include "harness/bench_json.h"
 #include "core/browser.h"
 #include "core/frontier.h"
+#include "core/link_ledger.h"
 #include "core/mak.h"
 #include "html/interactables.h"
 #include "html/parser.h"
@@ -85,6 +86,58 @@ void BM_ExtractInteractables(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExtractInteractables);
+
+// Dedup cost of re-pushing an already-interned frontier: after the first
+// lap every push is a pure duplicate, the steady state of a crawl revisiting
+// a small site.
+void BM_FrontierDedup(benchmark::State& state) {
+  core::LeveledDeque deque;
+  std::vector<core::ResolvedAction> actions;
+  for (std::size_t i = 0; i < 64; ++i) {
+    core::ResolvedAction action;
+    action.element.kind = html::InteractableKind::kLink;
+    action.element.method = "GET";
+    action.target = *url::parse("http://h.test/p/" + std::to_string(i));
+    deque.push(action);
+    actions.push_back(std::move(action));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deque.push(actions[i]));
+    i = (i + 1) % actions.size();
+  }
+}
+BENCHMARK(BM_FrontierDedup);
+
+// Ledger absorb of a fully known page: every action's link is already
+// interned, so this measures the memoized-identity fast path the reward
+// computation takes on each of the crawl's ~tens of thousands of steps.
+void BM_LinkLedgerAbsorb(benchmark::State& state) {
+  const core::Page page = core::build_page(
+      *url::parse("http://addressbook.test/"), 200, sample_page(),
+      *url::parse("http://addressbook.test/"));
+  core::LinkLedger ledger;
+  ledger.absorb(page);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ledger.absorb(page));
+  }
+}
+BENCHMARK(BM_LinkLedgerAbsorb);
+
+// Parse-cache hit: fetching a body the browser has already parsed. This is
+// the ~99% case of a crawl step and what BM_FullCrawlStep's speedup rides on.
+void BM_ParseCacheHit(benchmark::State& state) {
+  core::PageCache cache;
+  const auto origin = *url::parse("http://addressbook.test/");
+  const std::string body = sample_page();
+  auto first = cache.lookup_or_build(origin, 200, body, origin);
+  benchmark::DoNotOptimize(first);
+  for (auto _ : state) {
+    auto page = cache.lookup_or_build(origin, 200, body, origin);
+    benchmark::DoNotOptimize(page);
+  }
+}
+BENCHMARK(BM_ParseCacheHit);
 
 void BM_UrlParseResolve(benchmark::State& state) {
   const auto base = *url::parse("http://app.test/shop/product/7?page=2");

@@ -36,6 +36,61 @@ Page build_page(const url::Url& final_url, int status, std::string body,
   return page;
 }
 
+std::shared_ptr<const Page> PageCache::lookup_or_build(const url::Url& final_url,
+                                                       int status,
+                                                       std::string body,
+                                                       const url::Url& origin) {
+  namespace metric = support::metric;
+  auto& registry = support::MetricsRegistry::global();
+  static support::Counter& hits =
+      registry.counter(metric::kBrowserParseCacheHits);
+  static support::Counter& misses =
+      registry.counter(metric::kBrowserParseCacheMisses);
+  static support::Gauge& entries =
+      registry.gauge(metric::kBrowserParseCacheEntries);
+
+  std::string url_key = final_url.to_string();
+  // hash_bytes, not fnv1a: this key is in-memory only (full comparison
+  // below decides hits) and the body hash dominates the fetch hot path.
+  std::uint64_t hash = support::hash_bytes(body);
+  hash = support::fnv1a_accum(hash, "|");
+  hash = support::fnv1a_accum(hash, url_key);
+  hash = support::fnv1a_accum(hash, "|");
+  hash = support::fnv1a_accum(hash, std::to_string(status));
+
+  // Walk the collision chain with full key comparison: a 64-bit hash match
+  // alone must never serve the wrong page.
+  const std::uint32_t* head = index_.find(hash);
+  std::uint32_t tail = kNil;
+  for (std::uint32_t i = head != nullptr ? *head : kNil; i != kNil;
+       i = entries_[i].next) {
+    const Entry& entry = entries_[i];
+    if (entry.page->status == status && entry.url == url_key &&
+        entry.page->body == body) {
+      hits.add();
+      return entry.page;
+    }
+    tail = i;
+  }
+  misses.add();
+  if (entries_.size() >= kMaxEntries) {
+    index_.clear();
+    entries_.clear();
+    tail = kNil;
+  }
+  auto page = std::make_shared<const Page>(
+      build_page(final_url, status, std::move(body), origin));
+  const auto fresh = static_cast<std::uint32_t>(entries_.size());
+  entries_.push_back(Entry{std::move(url_key), page, kNil});
+  if (tail != kNil) {
+    entries_[tail].next = fresh;
+  } else {
+    index_.insert(hash, fresh);
+  }
+  entries.set(static_cast<double>(entries_.size()));
+  return page;
+}
+
 Browser::Browser(httpsim::Network& network, url::Url seed, support::Rng rng,
                  FormFillStrategy fill_strategy)
     : network_(&network),
@@ -52,8 +107,10 @@ void Browser::navigate_seed() {
   page_ = fetch(httpsim::Method::kGet, seed_, url::QueryMap{}, nullptr);
 }
 
-Page Browser::fetch(httpsim::Method method, const url::Url& target,
-                    const url::QueryMap& form, InteractionResult* result) {
+std::shared_ptr<const Page> Browser::fetch(httpsim::Method method,
+                                           const url::Url& target,
+                                           const url::QueryMap& form,
+                                           InteractionResult* result) {
   // A fetch outcome worth retrying: the transport failed (drop, timeout) or
   // the fault layer shed the request with a transient 5xx. Genuine
   // application error pages are final — retrying them would only replay the
@@ -105,8 +162,8 @@ Page Browser::fetch(httpsim::Method method, const url::Url& target,
                                fetched.response.status >= 400;
     result->redirects = fetched.redirects;
   }
-  return build_page(fetched.final_url, fetched.response.status,
-                    std::move(fetched.response.body), seed_);
+  return cache_.lookup_or_build(fetched.final_url, fetched.response.status,
+                                std::move(fetched.response.body), seed_);
 }
 
 std::string Browser::generate_value(const html::FormField& field) {
@@ -226,9 +283,9 @@ support::json::Value Browser::save_state() const {
   state.emplace("rng", snapshot::rng_to_json(rng_));
   state.emplace("cookies", jar_.save_state());
   support::json::Object page;
-  page.emplace("url", url_to_json(page_.url));
-  page.emplace("status", static_cast<double>(page_.status));
-  page.emplace("body", page_.body);
+  page.emplace("url", url_to_json(page_->url));
+  page.emplace("status", static_cast<double>(page_->status));
+  page.emplace("body", page_->body);
   state.emplace("page", support::json::Value(std::move(page)));
   state.emplace("interactions", static_cast<double>(interactions_));
   state.emplace("navigations", static_cast<double>(navigations_));
@@ -255,8 +312,8 @@ void Browser::load_state(const support::json::Value& state) {
   // Rebuild the parsed page from the stored body; build_page is a pure
   // function of (url, status, body, origin), so the restored DOM and action
   // list match the originals exactly.
-  page_ = build_page(page_url, static_cast<int>(status),
-                     snapshot::require_string(page, "body"), seed_);
+  page_ = cache_.lookup_or_build(page_url, static_cast<int>(status),
+                                 snapshot::require_string(page, "body"), seed_);
   interactions_ = static_cast<std::size_t>(
       snapshot::require_index(state, "interactions"));
   navigations_ = static_cast<std::size_t>(

@@ -7,15 +7,59 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/types.h"
 #include "httpsim/cookies.h"
 #include "httpsim/network.h"
+#include "support/interner.h"
 #include "support/rng.h"
 
 namespace mak::core {
+
+// Memoizes build_page: parsed pages keyed by (final URL, status, body).
+// The synthetic applications serve a small set of distinct pages (a few
+// hundred) while a crawl fetches tens of thousands, so ~99% of fetches can
+// reuse an already-parsed immutable Page instead of re-running the parser,
+// the interactable extractor and per-action URL resolution — the dominant
+// cost of a crawl step. Hash collisions are disarmed by full key comparison;
+// the cache flushes entirely at a fixed capacity so its behaviour is a
+// deterministic function of the fetch sequence.
+//
+// Cached pages are shared as immutable values (every consumer reads
+// Browser::page() through a const reference); their actions' memoized
+// identities (ResolvedAction::key()/link()) are computed once per distinct
+// page and amortized over every revisit.
+class PageCache {
+ public:
+  // Returns the cached page for the key, building (and caching) it via
+  // build_page on miss.
+  std::shared_ptr<const Page> lookup_or_build(const url::Url& final_url,
+                                              int status, std::string body,
+                                              const url::Url& origin);
+
+  std::size_t entries() const noexcept { return entries_.size(); }
+
+ private:
+  // Full flush at capacity: crawls observe a few hundred distinct pages, so
+  // 2048 entries only overflow for pathological hosts; a wholesale flush
+  // keeps occupancy a pure function of the fetch history.
+  static constexpr std::size_t kMaxEntries = 2048;
+  static constexpr std::uint32_t kNil = support::FlatMap64::kNoValue;
+
+  struct Entry {
+    std::string url;  // final URL at build time (pre-normalization form)
+    std::shared_ptr<const Page> page;
+    std::uint32_t next = kNil;  // hash-collision chain
+  };
+
+  support::FlatMap64 index_;  // content hash -> chain head in entries_
+  std::vector<Entry> entries_;
+};
 
 // How empty text-like form fields get filled (Section V-A.2 of the paper
 // notes crawlers differ in "filling inputs in a sophisticated way";
@@ -33,7 +77,7 @@ class Browser {
           FormFillStrategy fill_strategy = FormFillStrategy::kCounter);
 
   const url::Url& seed() const noexcept { return seed_; }
-  const Page& page() const noexcept { return page_; }
+  const Page& page() const noexcept { return *page_; }
 
   // Client-side resilience: transport failures (drops, timeouts, injected
   // transient 5xx) are retried up to `max_retries` times with exponential
@@ -78,9 +122,14 @@ class Browser {
   support::json::Value save_state() const;
   void load_state(const support::json::Value& state);
 
+  // Parsed pages memoized by this browser so far (cache introspection).
+  std::size_t parsed_pages() const noexcept { return cache_.entries(); }
+
  private:
-  Page fetch(httpsim::Method method, const url::Url& target,
-             const url::QueryMap& form, InteractionResult* result);
+  std::shared_ptr<const Page> fetch(httpsim::Method method,
+                                    const url::Url& target,
+                                    const url::QueryMap& form,
+                                    InteractionResult* result);
   // Fill form fields, generating values for empty text-like inputs.
   url::QueryMap fill_form(const html::Interactable& form);
   // One generated value per the active fill strategy.
@@ -92,7 +141,9 @@ class Browser {
   FormFillStrategy fill_strategy_;
   httpsim::RetryPolicy retry_;
   httpsim::CookieJar jar_;
-  Page page_;
+  PageCache cache_;
+  // Always non-null; the current page, shared with the parse cache.
+  std::shared_ptr<const Page> page_ = std::make_shared<Page>();
   std::size_t interactions_ = 0;
   std::size_t navigations_ = 0;
   std::size_t fill_counter_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
 #include "core/state_codec.h"
@@ -24,6 +25,7 @@ struct FrontierMetrics {
   support::Counter& requeues;
   support::Gauge& size;
   support::Gauge& lowest_level;
+  support::Gauge& interned;
   support::Histogram& take_level;
   std::array<support::Gauge*, 4> depth;  // levels 0..3
   support::Gauge& depth_rest;            // everything above level 3
@@ -38,8 +40,9 @@ struct FrontierMetrics {
         registry.counter(metric::kFrontierRequeues),
         registry.gauge(metric::kFrontierSize),
         registry.gauge(metric::kFrontierLowestLevel),
+        registry.gauge(metric::kFrontierInternActions),
         registry.histogram(metric::kFrontierTakeLevel,
-                           support::small_count_bounds()),
+                           support::level_bounds()),
         {&registry.gauge(metric::kFrontierDepthL0),
          &registry.gauge(metric::kFrontierDepthL1),
          &registry.gauge(metric::kFrontierDepthL2),
@@ -64,21 +67,27 @@ std::string_view to_string(Arm arm) noexcept {
   return "?";
 }
 
-std::deque<ResolvedAction>& LeveledDeque::level(std::size_t i) {
+LeveledDeque::Level& LeveledDeque::level(std::size_t i) {
   if (levels_.size() <= i) levels_.resize(i + 1);
   return levels_[i];
 }
 
 bool LeveledDeque::push(const ResolvedAction& action) {
   const std::uint64_t key = action.key();
-  if (level_of_.find(key) != level_of_.end()) {
+  const auto fresh = static_cast<std::uint32_t>(store_.size());
+  if (!id_of_.insert(key, fresh)) {
     FrontierMetrics::instance().duplicates.add();
     return false;
   }
-  level_of_[key] = 0;
-  level(0).push_back(action);
+  store_.push_back(action);
+  has_action_.push_back(1);
+  key_of_.push_back(key);
+  level_of_id_.push_back(0);
+  level(0).push_back(fresh);
   ++size_;
-  FrontierMetrics::instance().pushes.add();
+  FrontierMetrics& metrics = FrontierMetrics::instance();
+  metrics.pushes.add();
+  metrics.interned.set(static_cast<double>(store_.size()));
   return true;
 }
 
@@ -116,67 +125,69 @@ std::optional<ResolvedAction> LeveledDeque::take(Arm arm, support::Rng& rng) {
     }
     metrics.depth_rest.set(rest);
   }
-  auto& deque = levels_[taken_level];
-  ResolvedAction out;
+  Level& deque = levels_[taken_level];
+  std::uint32_t id = 0;
   switch (arm) {
     case Arm::kHead:
-      out = std::move(deque.front());
-      deque.pop_front();
+      id = deque.pop_front();
       break;
     case Arm::kTail:
-      out = std::move(deque.back());
-      deque.pop_back();
+      id = deque.pop_back();
       break;
-    case Arm::kRandom: {
-      const std::size_t index = rng.next_below(deque.size());
-      out = std::move(deque[index]);
-      deque.erase(deque.begin() + static_cast<std::ptrdiff_t>(index));
+    case Arm::kRandom:
+      id = deque.pop_at(rng.next_below(deque.size()));
       break;
-    }
   }
   --size_;
   // Record the level the element will live at when requeued.
-  auto it = level_of_.find(out.key());
-  if (it != level_of_.end()) ++it->second;
-  return out;
+  ++level_of_id_[id];
+  return store_[id];
+}
+
+std::uint32_t LeveledDeque::known_id(const ResolvedAction& action,
+                                     const char* what) const {
+  const std::uint32_t* id = id_of_.find(action.key());
+  if (id == nullptr) throw std::logic_error(what);
+  return *id;
+}
+
+void LeveledDeque::append(std::uint32_t id, const ResolvedAction& action) {
+  // The store lacks the action only right after a checkpoint reload of an
+  // in-flight element (serialized via the key->level table alone); the
+  // requeue that follows carries the bytes to refill the slot.
+  if (!has_action_[id]) {
+    store_[id] = action;
+    has_action_[id] = 1;
+  }
+  level(level_of_id_[id]).push_back(id);
+  ++size_;
+  FrontierMetrics::instance().requeues.add();
 }
 
 void LeveledDeque::requeue(const ResolvedAction& action) {
-  const auto it = level_of_.find(action.key());
-  if (it == level_of_.end()) {
-    throw std::logic_error("LeveledDeque::requeue: unknown element");
-  }
-  level(it->second).push_back(action);
-  ++size_;
-  FrontierMetrics::instance().requeues.add();
+  const std::uint32_t id =
+      known_id(action, "LeveledDeque::requeue: unknown element");
+  append(id, action);
 }
 
 void LeveledDeque::requeue_same(const ResolvedAction& action) {
-  const auto it = level_of_.find(action.key());
-  if (it == level_of_.end()) {
-    throw std::logic_error("LeveledDeque::requeue_same: unknown element");
-  }
+  const std::uint32_t id =
+      known_id(action, "LeveledDeque::requeue_same: unknown element");
   // take() already promoted the element; undo that — the attempt failed.
-  if (it->second > 0) --it->second;
-  level(it->second).push_back(action);
-  ++size_;
-  FrontierMetrics::instance().requeues.add();
+  if (level_of_id_[id] > 0) --level_of_id_[id];
+  append(id, action);
 }
 
 void LeveledDeque::requeue_flat(const ResolvedAction& action) {
-  const auto it = level_of_.find(action.key());
-  if (it == level_of_.end()) {
-    throw std::logic_error("LeveledDeque::requeue_flat: unknown element");
-  }
-  it->second = 0;
-  level(0).push_back(action);
-  ++size_;
-  FrontierMetrics::instance().requeues.add();
+  const std::uint32_t id =
+      known_id(action, "LeveledDeque::requeue_flat: unknown element");
+  level_of_id_[id] = 0;
+  append(id, action);
 }
 
 std::size_t LeveledDeque::interactions_of(std::uint64_t key) const noexcept {
-  const auto it = level_of_.find(key);
-  return it != level_of_.end() ? it->second : 0;
+  const std::uint32_t* id = id_of_.find(key);
+  return id != nullptr ? level_of_id_[*id] : 0;
 }
 
 support::json::Value LeveledDeque::save_state() const {
@@ -187,15 +198,18 @@ support::json::Value LeveledDeque::save_state() const {
   for (const auto& deque : levels_) {
     support::json::Array level_json;
     level_json.reserve(deque.size());
-    for (const auto& action : deque) {
-      level_json.emplace_back(action_to_json(action));
+    for (std::size_t i = deque.head; i < deque.ids.size(); ++i) {
+      level_json.emplace_back(action_to_json(store_[deque.ids[i]]));
     }
     levels.emplace_back(std::move(level_json));
   }
   state.emplace("levels", support::json::Value(std::move(levels)));
   // Sorted by key so equal frontiers serialize to equal bytes.
-  std::vector<std::pair<std::uint64_t, std::size_t>> entries(level_of_.begin(),
-                                                             level_of_.end());
+  std::vector<std::pair<std::uint64_t, std::size_t>> entries;
+  entries.reserve(key_of_.size());
+  for (std::uint32_t id = 0; id < key_of_.size(); ++id) {
+    entries.emplace_back(key_of_[id], level_of_id_[id]);
+  }
   std::sort(entries.begin(), entries.end());
   support::json::Array level_of;
   level_of.reserve(entries.size());
@@ -212,7 +226,12 @@ support::json::Value LeveledDeque::save_state() const {
 void LeveledDeque::load_state(const support::json::Value& state) {
   namespace snapshot = support::snapshot;
   snapshot::check_header(state, "core.frontier", 1);
-  std::unordered_map<std::uint64_t, std::size_t> level_of;
+  // Stage into fresh structures so a malformed payload leaves *this intact.
+  support::FlatMap64 id_of;
+  std::vector<ResolvedAction> store;
+  std::vector<std::uint8_t> has_action;
+  std::vector<std::uint64_t> key_of;
+  std::vector<std::uint32_t> level_of_id;
   for (const auto& pair : snapshot::require_array(state, "level_of")) {
     if (!pair.is_array() || pair.as_array().size() != 2 ||
         !pair.as_array()[0].is_string() || !pair.as_array()[1].is_number()) {
@@ -226,11 +245,16 @@ void LeveledDeque::load_state(const support::json::Value& state) {
     }
     const std::uint64_t key =
         snapshot::hex_to_u64(pair.as_array()[0].as_string());
-    if (!level_of.emplace(key, static_cast<std::size_t>(level)).second) {
+    const auto id = static_cast<std::uint32_t>(store.size());
+    if (!id_of.insert(key, id)) {
       throw support::SnapshotError("LeveledDeque: duplicate level_of key");
     }
+    store.emplace_back();
+    has_action.push_back(0);
+    key_of.push_back(key);
+    level_of_id.push_back(static_cast<std::uint32_t>(level));
   }
-  std::vector<std::deque<ResolvedAction>> levels;
+  std::vector<Level> levels;
   std::size_t size = 0;
   for (const auto& level_json : snapshot::require_array(state, "levels")) {
     if (!level_json.is_array()) {
@@ -239,17 +263,25 @@ void LeveledDeque::load_state(const support::json::Value& state) {
     auto& deque = levels.emplace_back();
     for (const auto& action_json : level_json.as_array()) {
       ResolvedAction action = action_from_json(action_json);
-      const auto it = level_of.find(action.key());
-      if (it == level_of.end() || it->second != levels.size() - 1) {
+      const std::uint32_t* id = id_of.find(action.key());
+      if (id == nullptr || level_of_id[*id] != levels.size() - 1) {
         throw support::SnapshotError(
             "LeveledDeque: queued element disagrees with level_of");
       }
-      deque.push_back(std::move(action));
+      if (!has_action[*id]) {
+        store[*id] = std::move(action);
+        has_action[*id] = 1;
+      }
+      deque.push_back(*id);
       ++size;
     }
   }
+  id_of_ = std::move(id_of);
+  store_ = std::move(store);
+  has_action_ = std::move(has_action);
+  key_of_ = std::move(key_of);
+  level_of_id_ = std::move(level_of_id);
   levels_ = std::move(levels);
-  level_of_ = std::move(level_of);
   size_ = size;
 }
 

@@ -9,16 +9,25 @@
 // After an interaction the element is re-queued one level higher, so
 // everything stays available while rarely-used elements are preferred —
 // the curiosity principle folded into the action definition.
+//
+// Layout (docs/architecture.md, "Id interning & caching"): every action is
+// interned once, at discovery time, into a flat side store and addressed by
+// a dense uint32 id from then on. The levels are rings of ids over plain
+// vectors and the key -> level table is a flat array indexed by id, so the
+// per-step push/take/requeue/dedup churn — the hottest loop of the crawl —
+// moves 4-byte ids instead of re-hashing keys and shuffling deque nodes.
+// Semantics and the save_state/load_state byte format are identical to the
+// historical std::deque-of-actions implementation.
 #pragma once
 
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <optional>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "core/types.h"
+#include "support/interner.h"
 #include "support/json.h"
 #include "support/rng.h"
 
@@ -61,6 +70,10 @@ class LeveledDeque {
   // Interaction count of a known element's action key (0 if unknown).
   std::size_t interactions_of(std::uint64_t key) const noexcept;
 
+  // Distinct actions interned since construction (every element ever
+  // pushed, queued or in flight).
+  std::size_t interned_actions() const noexcept { return store_.size(); }
+
   // Checkpointing: every queued element (in deque order, per level) plus the
   // key->level table, which also covers the in-flight element take() has
   // already promoted. load_state cross-checks the two and rebuilds size_.
@@ -68,11 +81,54 @@ class LeveledDeque {
   void load_state(const support::json::Value& state);
 
  private:
-  std::deque<ResolvedAction>& level(std::size_t i);
+  // One level: a deque of dense ids over a flat vector. pop_front advances
+  // `head` and compacts lazily; the middle erase (Random arm) shifts ids,
+  // preserving exact deque ordering semantics.
+  struct Level {
+    std::vector<std::uint32_t> ids;
+    std::size_t head = 0;
 
-  std::vector<std::deque<ResolvedAction>> levels_;
-  // action key -> level it currently sits at (or will be requeued to).
-  std::unordered_map<std::uint64_t, std::size_t> level_of_;
+    std::size_t size() const noexcept { return ids.size() - head; }
+    bool empty() const noexcept { return head == ids.size(); }
+    void push_back(std::uint32_t id) { ids.push_back(id); }
+    std::uint32_t pop_front() {
+      const std::uint32_t id = ids[head++];
+      if (head >= 32 && head * 2 >= ids.size()) {
+        ids.erase(ids.begin(),
+                  ids.begin() + static_cast<std::ptrdiff_t>(head));
+        head = 0;
+      }
+      return id;
+    }
+    std::uint32_t pop_back() {
+      const std::uint32_t id = ids.back();
+      ids.pop_back();
+      return id;
+    }
+    std::uint32_t pop_at(std::size_t index) {
+      const std::size_t pos = head + index;
+      const std::uint32_t id = ids[pos];
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(pos));
+      return id;
+    }
+  };
+
+  Level& level(std::size_t i);
+  // Dense id of a previously interned action; throws std::logic_error with
+  // `what` when the action was never pushed (requeue contract).
+  std::uint32_t known_id(const ResolvedAction& action, const char* what) const;
+  // Append an already-interned id to its current level.
+  void append(std::uint32_t id, const ResolvedAction& action);
+
+  support::FlatMap64 id_of_;           // action key -> dense id
+  std::vector<ResolvedAction> store_;  // by id; single copy per action
+  // store_[id] holds a real action. False only for ids reconstructed from a
+  // checkpoint's key->level table whose element was in flight at save time;
+  // the first requeue fills the slot.
+  std::vector<std::uint8_t> has_action_;
+  std::vector<std::uint64_t> key_of_;       // by id (serialization order)
+  std::vector<std::uint32_t> level_of_id_;  // by id: level it sits/returns at
+  std::vector<Level> levels_;
   std::size_t size_ = 0;
 };
 

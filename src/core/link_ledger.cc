@@ -4,25 +4,31 @@
 #include <vector>
 
 #include "support/snapshot.h"
+#include "support/strings.h"
 
 namespace mak::core {
 
 std::size_t LinkLedger::absorb(const Page& page) {
   std::size_t fresh = 0;
   for (const auto& action : page.actions) {
-    if (absorb_url(action.target)) ++fresh;
+    const auto before = static_cast<std::uint32_t>(links_.size());
+    if (links_.intern_hashed(action.link(), action.link_hash()) == before) {
+      ++fresh;
+    }
   }
   return fresh;
 }
 
 bool LinkLedger::absorb_url(const url::Url& target) {
-  return links_.insert(target.without_fragment()).second;
+  const std::string link = target.without_fragment();
+  const auto before = static_cast<std::uint32_t>(links_.size());
+  return links_.intern_hashed(link, support::fnv1a(link)) == before;
 }
 
 support::json::Value LinkLedger::save_state() const {
   namespace snapshot = support::snapshot;
   auto state = snapshot::make_state("core.link_ledger", 1);
-  std::vector<std::string> sorted(links_.begin(), links_.end());
+  std::vector<std::string> sorted = links_.strings();
   std::sort(sorted.begin(), sorted.end());
   support::json::Array links;
   links.reserve(sorted.size());
@@ -34,12 +40,14 @@ support::json::Value LinkLedger::save_state() const {
 void LinkLedger::load_state(const support::json::Value& state) {
   namespace snapshot = support::snapshot;
   snapshot::check_header(state, "core.link_ledger", 1);
-  std::unordered_set<std::string> links;
-  for (const auto& link : snapshot::require_array(state, "links")) {
+  support::UrlInterner links;
+  const auto& entries = snapshot::require_array(state, "links");
+  links.reserve(entries.size());
+  for (const auto& link : entries) {
     if (!link.is_string()) {
       throw support::SnapshotError("LinkLedger: links must be strings");
     }
-    links.insert(link.as_string());
+    links.intern(link.as_string());
   }
   links_ = std::move(links);
 }

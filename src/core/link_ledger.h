@@ -4,13 +4,19 @@
 // during the exploration of the web application" (Section IV-C). The ledger
 // records the distinct action targets discovered on every visited page; the
 // per-step increment is the raw reward fed into the standardizer.
+//
+// Links live in a support::UrlInterner rather than a node-based string set:
+// absorb() runs for every action of every visited page, and with the
+// browser's parse cache the page's actions carry memoized link()/link_hash()
+// values — a revisit dedups against the interner without rebuilding or
+// re-hashing a single string.
 #pragma once
 
 #include <cstddef>
 #include <string>
-#include <unordered_set>
 
 #include "core/types.h"
+#include "support/interner.h"
 #include "support/json.h"
 
 namespace mak::core {
@@ -28,12 +34,12 @@ class LinkLedger {
   void reset() { links_.clear(); }
 
   // Checkpointing: the gathered link set (sorted, so equal sets serialize
-  // to equal bytes regardless of hash-table insertion history).
+  // to equal bytes regardless of insertion history).
   support::json::Value save_state() const;
   void load_state(const support::json::Value& state);
 
  private:
-  std::unordered_set<std::string> links_;
+  support::UrlInterner links_;
 };
 
 }  // namespace mak::core

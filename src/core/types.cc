@@ -5,18 +5,39 @@
 namespace mak::core {
 
 std::uint64_t ResolvedAction::key() const {
-  std::string out(html::to_string(element.kind));
-  out += '|';
-  out += element.method;
-  out += '|';
-  out += target.without_fragment();
+  if (cache_.key_cached) return cache_.key;
+  // Streamed FNV-1a over the same byte sequence the original implementation
+  // concatenated, so memoized keys match every key already serialized into
+  // checkpoints: kind|method|target[|name:type...].
+  std::uint64_t hash = support::kFnv1aSeed;
+  hash = support::fnv1a_accum(hash, html::to_string(element.kind));
+  hash = support::fnv1a_accum(hash, "|");
+  hash = support::fnv1a_accum(hash, element.method);
+  hash = support::fnv1a_accum(hash, "|");
+  hash = support::fnv1a_accum(hash, link());
   for (const auto& field : element.fields) {
-    out += '|';
-    out += field.name;
-    out += ':';
-    out += field.type;
+    hash = support::fnv1a_accum(hash, "|");
+    hash = support::fnv1a_accum(hash, field.name);
+    hash = support::fnv1a_accum(hash, ":");
+    hash = support::fnv1a_accum(hash, field.type);
   }
-  return support::fnv1a(out);
+  cache_.key = hash;
+  cache_.key_cached = true;
+  return cache_.key;
+}
+
+const std::string& ResolvedAction::link() const {
+  if (!cache_.link_cached) {
+    cache_.link = target.without_fragment();
+    cache_.link_hash = support::fnv1a(cache_.link);
+    cache_.link_cached = true;
+  }
+  return cache_.link;
+}
+
+std::uint64_t ResolvedAction::link_hash() const {
+  link();
+  return cache_.link_hash;
 }
 
 std::string ResolvedAction::describe() const {
@@ -24,7 +45,7 @@ std::string ResolvedAction::describe() const {
   out += ' ';
   out += element.method;
   out += ' ';
-  out += target.without_fragment();
+  out += link();
   if (!element.text.empty()) {
     out += " \"";
     out += element.text;

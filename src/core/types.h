@@ -14,7 +14,37 @@ namespace mak::core {
 // An interactable element with its target resolved to an absolute,
 // same-origin URL (external and unparsable targets are dropped at page
 // construction, per the paper's framework assumption (ii)).
+//
+// key(), link() and link_hash() are lazily memoized: the frontier and link
+// ledger call them on every push/take/requeue/dedup, and recomputing them
+// meant re-serializing and re-hashing strings in the hottest loop of the
+// crawl. Copies drop the cache (a copy is how callers obtain an action they
+// intend to mutate); moves keep it. An action must not be mutated in place
+// after its first key()/link() call — the big winners are the const actions
+// shared through the browser's parse cache, whose identity is computed once
+// per distinct page and reused every revisit.
 struct ResolvedAction {
+  // Cache slots for the identity accessors. Copying an action resets them,
+  // so copy-then-tweak construction patterns can never observe a stale key.
+  struct IdentityCache {
+    std::string link;
+    std::uint64_t key = 0;
+    std::uint64_t link_hash = 0;
+    bool key_cached = false;
+    bool link_cached = false;
+
+    IdentityCache() = default;
+    IdentityCache(const IdentityCache&) noexcept {}
+    IdentityCache& operator=(const IdentityCache&) noexcept {
+      link.clear();
+      key_cached = false;
+      link_cached = false;
+      return *this;
+    }
+    IdentityCache(IdentityCache&&) = default;
+    IdentityCache& operator=(IdentityCache&&) = default;
+  };
+
   html::Interactable element;
   url::Url target;  // normalized absolute URL, no fragment
 
@@ -22,7 +52,16 @@ struct ResolvedAction {
   // form-field signature. Two pages sharing a nav link share the action.
   std::uint64_t key() const;
 
+  // target.without_fragment(), built once (the ledger's coverage key).
+  const std::string& link() const;
+  // fnv1a(link()), the ledger's probe hash.
+  std::uint64_t link_hash() const;
+
   std::string describe() const;
+
+  // Mutable so const actions shared through the parse cache can populate
+  // the cache on first use (single-threaded per Browser).
+  mutable IdentityCache cache_;
 };
 
 // A fetched, parsed page as the crawler sees it.

@@ -34,13 +34,23 @@ void LineSet::mark(FileId id, std::size_t first_line, std::size_t last_line) {
   last_line = std::min(last_line, file_lines_[id]);
   if (first_line > last_line) return;
   auto& words = bits_[id];
-  for (std::size_t line = first_line; line <= last_line; ++line) {
-    const std::size_t bit = line - 1;
-    std::uint64_t& word = words[bit / 64];
-    const std::uint64_t mask = 1ULL << (bit % 64);
-    if ((word & mask) == 0) {
-      word |= mask;
-      ++covered_;
+  // Whole words at a time: popcount of the newly set bits keeps `covered_`
+  // exactly what the per-line loop would produce.
+  const std::size_t first_bit = first_line - 1;
+  const std::size_t last_bit = last_line - 1;
+  const std::size_t first_word = first_bit / 64;
+  const std::size_t last_word = last_bit / 64;
+  for (std::size_t w = first_word; w <= last_word; ++w) {
+    std::uint64_t mask = ~0ULL;
+    if (w == first_word) mask &= ~0ULL << (first_bit % 64);
+    if (w == last_word) {
+      const std::size_t top = last_bit % 64;
+      if (top != 63) mask &= (1ULL << (top + 1)) - 1;
+    }
+    const std::uint64_t fresh = mask & ~words[w];
+    if (fresh != 0) {
+      words[w] |= fresh;
+      covered_ += static_cast<std::size_t>(std::popcount(fresh));
     }
   }
 }

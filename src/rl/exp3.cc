@@ -48,17 +48,20 @@ void check_reward(double reward01) {
   }
 }
 
-std::vector<double> exp3_probabilities(const std::vector<double>& weights,
-                                       double gamma) {
+// Fill `probs` with the Exp3 sampling distribution. The summation loop and
+// the per-arm expression are the historical ones verbatim: any reordering
+// would change double rounding, hence arm draws, hence every downstream
+// result.
+void exp3_probabilities_into(const std::vector<double>& weights, double gamma,
+                             std::vector<double>& probs) {
   const std::size_t k = weights.size();
   double total = 0.0;
   for (double w : weights) total += w;
-  std::vector<double> probs(k);
+  probs.resize(k);
   for (std::size_t i = 0; i < k; ++i) {
     probs[i] = (1.0 - gamma) * (weights[i] / total) +
                gamma / static_cast<double>(k);
   }
-  return probs;
 }
 
 }  // namespace
@@ -73,8 +76,16 @@ Exp3::Exp3(std::size_t arms, double gamma) : gamma_(gamma) {
   weights_.assign(arms, 1.0);
 }
 
+const std::vector<double>& Exp3::current_probabilities() const {
+  if (!probs_valid_) {
+    exp3_probabilities_into(weights_, gamma_, probs_);
+    probs_valid_ = true;
+  }
+  return probs_;
+}
+
 std::size_t Exp3::choose(support::Rng& rng) {
-  return rng.weighted_index(exp3_probabilities(weights_, gamma_));
+  return rng.weighted_index(current_probabilities());
 }
 
 void Exp3::update(std::size_t arm, double reward01) {
@@ -84,10 +95,11 @@ void Exp3::update(std::size_t arm, double reward01) {
                                          .counter(
                                              support::metric::kExp3Updates);
   updates.add();
-  const auto probs = exp3_probabilities(weights_, gamma_);
+  const std::vector<double>& probs = current_probabilities();
   const double estimated = reward01 / probs[arm];
   weights_[arm] *=
       std::exp(gamma_ * estimated / static_cast<double>(weights_.size()));
+  probs_valid_ = false;
   // Keep weights bounded (scaling all weights leaves the policy unchanged).
   const double max_w = *std::max_element(weights_.begin(), weights_.end());
   if (max_w > 1e100) {
@@ -96,10 +108,13 @@ void Exp3::update(std::size_t arm, double reward01) {
 }
 
 std::vector<double> Exp3::probabilities() const {
-  return exp3_probabilities(weights_, gamma_);
+  return current_probabilities();
 }
 
-void Exp3::reset() { std::fill(weights_.begin(), weights_.end(), 1.0); }
+void Exp3::reset() {
+  std::fill(weights_.begin(), weights_.end(), 1.0);
+  probs_valid_ = false;
+}
 
 support::json::Value Exp3::save_state() const {
   namespace snapshot = support::snapshot;
@@ -121,6 +136,7 @@ void Exp3::load_state(const support::json::Value& state) {
     throw support::SnapshotError("Exp3: arm count mismatch with checkpoint");
   }
   weights_ = std::move(weights);
+  probs_valid_ = false;
 }
 
 // ------------------------------------------------------------------ Exp3.1
@@ -144,6 +160,7 @@ void Exp31::configure_epoch(std::size_t m) noexcept {
   gamma_ = std::min(
       1.0, std::sqrt(k_ln_k / ((std::numbers::e - 1.0) * gain_target_)));
   std::fill(weights_.begin(), weights_.end(), 1.0);  // line 8
+  probs_valid_ = false;
   ++weight_resets_;
   Exp31Metrics& metrics = Exp31Metrics::instance();
   metrics.weight_resets.add();
@@ -163,15 +180,23 @@ void Exp31::advance_epochs() noexcept {
   }
 }
 
+const std::vector<double>& Exp31::current_probabilities() const {
+  if (!probs_valid_) {
+    exp3_probabilities_into(weights_, gamma_, probs_);
+    probs_valid_ = true;
+  }
+  return probs_;
+}
+
 std::size_t Exp31::choose(support::Rng& rng) {
-  return rng.weighted_index(exp3_probabilities(weights_, gamma_));
+  return rng.weighted_index(current_probabilities());
 }
 
 void Exp31::update(std::size_t arm, double reward01) {
   if (arm >= weights_.size()) throw std::out_of_range("Exp31: bad arm");
   check_reward(reward01);
   const std::size_t k = weights_.size();
-  const auto probs = exp3_probabilities(weights_, gamma_);
+  const std::vector<double>& probs = current_probabilities();
   {
     Exp31Metrics& metrics = Exp31Metrics::instance();
     metrics.updates.add();
@@ -183,6 +208,7 @@ void Exp31::update(std::size_t arm, double reward01) {
   // accumulation (only the chosen arm has a non-zero estimate).
   const double estimated = reward01 / probs[arm];
   weights_[arm] *= std::exp(gamma_ * estimated / static_cast<double>(k));
+  probs_valid_ = false;
   gains_[arm] += estimated;
   renormalize_weights();
   advance_epochs();
@@ -192,11 +218,12 @@ void Exp31::renormalize_weights() noexcept {
   const double max_w = *std::max_element(weights_.begin(), weights_.end());
   if (max_w > 1e100) {
     for (double& w : weights_) w /= max_w;
+    probs_valid_ = false;
   }
 }
 
 std::vector<double> Exp31::probabilities() const {
-  return exp3_probabilities(weights_, gamma_);
+  return current_probabilities();
 }
 
 void Exp31::reset() {
@@ -241,6 +268,7 @@ void Exp31::load_state(const support::json::Value& state) {
       snapshot::require_index(state, "weight_resets"));
   weights_ = std::move(weights);
   gains_ = std::move(gains);
+  probs_valid_ = false;
 }
 
 }  // namespace mak::rl

@@ -33,8 +33,16 @@ class Exp3 final : public BanditPolicy {
   double gamma() const noexcept { return gamma_; }
 
  private:
+  const std::vector<double>& current_probabilities() const;
+
   double gamma_;
   std::vector<double> weights_;
+  // Sampling distribution memoized between choose() and update(): the crawl
+  // loop calls them back to back on unchanged weights, so the second
+  // normalization pass (and its heap allocation) is pure waste. Invalidated
+  // by every weight/gamma mutation.
+  mutable std::vector<double> probs_;
+  mutable bool probs_valid_ = false;
 };
 
 // Exp3.1: Exp3 with the doubling-epoch schedule (Algorithm 1 of the paper).
@@ -67,6 +75,7 @@ class Exp31 final : public BanditPolicy {
   // Enter the first epoch whose termination condition does not already hold.
   void advance_epochs() noexcept;
   void renormalize_weights() noexcept;
+  const std::vector<double>& current_probabilities() const;
 
   std::size_t epoch_ = 0;
   double gamma_ = 1.0;
@@ -74,6 +83,10 @@ class Exp31 final : public BanditPolicy {
   std::size_t weight_resets_ = 0;
   std::vector<double> weights_;
   std::vector<double> gains_;  // \hat{G}_i — persists across epochs
+  // See Exp3::probs_ — memoized sampling distribution, invalidated by every
+  // weight/gamma mutation (updates, epoch entries, resets, state loads).
+  mutable std::vector<double> probs_;
+  mutable bool probs_valid_ = false;
 };
 
 }  // namespace mak::rl

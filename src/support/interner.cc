@@ -1,0 +1,174 @@
+#include "support/interner.h"
+
+#include "support/snapshot.h"
+#include "support/strings.h"
+
+namespace mak::support {
+
+namespace {
+
+constexpr std::size_t kInitialSlots = 64;  // power of two
+
+// Grow when the table is 7/10 full; open addressing degrades past that.
+bool over_load_factor(std::size_t size, std::size_t slots) noexcept {
+  return (size + 1) * 10 > slots * 7;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- FlatMap64
+
+FlatMap64::FlatMap64() : slots_(kInitialSlots) {}
+
+const std::uint32_t* FlatMap64::find(std::uint64_t key) const noexcept {
+  const std::size_t mask = slots_.size() - 1;
+  for (std::size_t i = probe_start(key);; i = (i + 1) & mask) {
+    const Slot& slot = slots_[i];
+    if (slot.value == kNoValue) return nullptr;
+    if (slot.key == key) return &slot.value;
+  }
+}
+
+bool FlatMap64::insert(std::uint64_t key, std::uint32_t value) {
+  if (over_load_factor(size_, slots_.size())) grow();
+  const std::size_t mask = slots_.size() - 1;
+  for (std::size_t i = probe_start(key);; i = (i + 1) & mask) {
+    Slot& slot = slots_[i];
+    if (slot.value == kNoValue) {
+      slot.key = key;
+      slot.value = value;
+      ++size_;
+      return true;
+    }
+    if (slot.key == key) return false;
+  }
+}
+
+void FlatMap64::clear() {
+  slots_.assign(kInitialSlots, Slot{});
+  size_ = 0;
+}
+
+void FlatMap64::reserve(std::size_t n) {
+  std::size_t want = kInitialSlots;
+  while (over_load_factor(n, want)) want *= 2;
+  if (want <= slots_.size()) return;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(want, Slot{});
+  size_ = 0;
+  for (const Slot& slot : old) {
+    if (slot.value != kNoValue) insert(slot.key, slot.value);
+  }
+}
+
+void FlatMap64::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  size_ = 0;
+  for (const Slot& slot : old) {
+    if (slot.value != kNoValue) insert(slot.key, slot.value);
+  }
+}
+
+// -------------------------------------------------------------- UrlInterner
+
+UrlInterner::UrlInterner() : slots_(kInitialSlots, kInvalidId) {}
+
+std::uint32_t UrlInterner::intern(std::string_view text) {
+  return intern_hashed(text, fnv1a(text));
+}
+
+std::uint32_t UrlInterner::intern_hashed(std::string_view text,
+                                         std::uint64_t hash) {
+  if (over_load_factor(strings_.size(), slots_.size())) grow();
+  const std::size_t mask = slots_.size() - 1;
+  for (std::size_t i = probe_start(hash);; i = (i + 1) & mask) {
+    const std::uint32_t id = slots_[i];
+    if (id == kInvalidId) {
+      const auto fresh = static_cast<std::uint32_t>(strings_.size());
+      strings_.emplace_back(text);
+      hashes_.push_back(hash);
+      slots_[i] = fresh;
+      return fresh;
+    }
+    if (hashes_[id] == hash && strings_[id] == text) return id;
+  }
+}
+
+std::uint32_t UrlInterner::find(std::string_view text) const noexcept {
+  return find_hashed(text, fnv1a(text));
+}
+
+std::uint32_t UrlInterner::find_hashed(std::string_view text,
+                                       std::uint64_t hash) const noexcept {
+  const std::size_t mask = slots_.size() - 1;
+  for (std::size_t i = probe_start(hash);; i = (i + 1) & mask) {
+    const std::uint32_t id = slots_[i];
+    if (id == kInvalidId) return kInvalidId;
+    if (hashes_[id] == hash && strings_[id] == text) return id;
+  }
+}
+
+void UrlInterner::clear() {
+  slots_.assign(kInitialSlots, kInvalidId);
+  strings_.clear();
+  hashes_.clear();
+}
+
+void UrlInterner::reserve(std::size_t n) {
+  strings_.reserve(n);
+  hashes_.reserve(n);
+  std::size_t want = kInitialSlots;
+  while (over_load_factor(n, want)) want *= 2;
+  if (want <= slots_.size()) return;
+  slots_.assign(want, kInvalidId);
+  for (std::uint32_t id = 0; id < strings_.size(); ++id) {
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = probe_start(hashes_[id]);; i = (i + 1) & mask) {
+      if (slots_[i] == kInvalidId) {
+        slots_[i] = id;
+        break;
+      }
+    }
+  }
+}
+
+void UrlInterner::grow() {
+  slots_.assign(slots_.size() * 2, kInvalidId);
+  const std::size_t mask = slots_.size() - 1;
+  for (std::uint32_t id = 0; id < strings_.size(); ++id) {
+    for (std::size_t i = probe_start(hashes_[id]);; i = (i + 1) & mask) {
+      if (slots_[i] == kInvalidId) {
+        slots_[i] = id;
+        break;
+      }
+    }
+  }
+}
+
+json::Value UrlInterner::save_state() const {
+  auto state = snapshot::make_state("support.url_interner", 1);
+  json::Array strings;
+  strings.reserve(strings_.size());
+  for (const auto& text : strings_) strings.emplace_back(text);
+  state.emplace("strings", json::Value(std::move(strings)));
+  return json::Value(std::move(state));
+}
+
+void UrlInterner::load_state(const json::Value& state) {
+  snapshot::check_header(state, "support.url_interner", 1);
+  clear();
+  const auto& strings = snapshot::require_array(state, "strings");
+  reserve(strings.size());
+  for (const auto& text : strings) {
+    if (!text.is_string()) {
+      throw SnapshotError("UrlInterner: strings must be strings");
+    }
+    const std::uint32_t before = static_cast<std::uint32_t>(size());
+    if (intern(text.as_string()) != before) {
+      throw SnapshotError("UrlInterner: duplicate interned string");
+    }
+  }
+}
+
+}  // namespace mak::support

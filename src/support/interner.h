@@ -1,0 +1,115 @@
+// Dense-id interning for the crawl hot path (docs/architecture.md,
+// "Id interning & caching").
+//
+// The frontier and the link ledger used to identify elements by re-hashing
+// 64-bit composite keys and URL strings through node-based hash tables on
+// every push/take/requeue/dedup — millions of times per run. These two
+// open-addressing structures map such identities to dense uint32 ids once,
+// at discovery time; every later touch is an array index.
+//
+//   FlatMap64    64-bit key -> uint32 value, linear probing, no deletion.
+//                The frontier's action-key -> slot map.
+//   UrlInterner  string -> dense uint32 id with the id-order string store.
+//                The ledger's URL set (ids double as insertion ranks).
+//
+// Both are per-crawl structures: single-threaded, grow-only, and cheap to
+// rebuild from a checkpoint (their owners keep the on-disk byte format they
+// always had and re-intern on load).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/json.h"
+
+namespace mak::support {
+
+// Open-addressing map from arbitrary 64-bit keys to uint32 values.
+// Insertion-only (the crawl never forgets an action); value 0xFFFFFFFF is
+// reserved as the empty-slot marker and must not be stored.
+class FlatMap64 {
+ public:
+  static constexpr std::uint32_t kNoValue = 0xFFFFFFFFu;
+
+  FlatMap64();
+
+  // Pointer to the value for `key`, or nullptr when absent. Stable only
+  // until the next insert.
+  const std::uint32_t* find(std::uint64_t key) const noexcept;
+
+  // Insert key -> value. Returns false (and stores nothing) if the key is
+  // already present. `value` must not be kNoValue.
+  bool insert(std::uint64_t key, std::uint32_t value);
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  void clear();
+  void reserve(std::size_t n);
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint32_t value = kNoValue;  // kNoValue = slot empty
+  };
+
+  std::size_t probe_start(std::uint64_t key) const noexcept {
+    // Multiplicative mix so clustered keys (sorted checkpoint reloads)
+    // still spread; table size is a power of two.
+    return static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ULL) >> 33) &
+           (slots_.size() - 1);
+  }
+  void grow();
+
+  std::vector<Slot> slots_;  // size always a power of two
+  std::size_t size_ = 0;
+};
+
+// Interns strings (normalized URLs in the crawl) to dense uint32 ids in
+// first-seen order. Lookup is hash-probed with full string comparison on
+// candidate hits, so colliding hashes stay correct.
+class UrlInterner {
+ public:
+  static constexpr std::uint32_t kInvalidId = 0xFFFFFFFFu;
+
+  UrlInterner();
+
+  // Id of `text`, interning it if new.
+  std::uint32_t intern(std::string_view text);
+  // Same, with the fnv1a hash already in hand (hot callers memoize it).
+  std::uint32_t intern_hashed(std::string_view text, std::uint64_t hash);
+
+  // Id of `text`, or kInvalidId when never interned.
+  std::uint32_t find(std::string_view text) const noexcept;
+  std::uint32_t find_hashed(std::string_view text,
+                            std::uint64_t hash) const noexcept;
+
+  const std::string& at(std::uint32_t id) const { return strings_[id]; }
+  // All interned strings in id order.
+  const std::vector<std::string>& strings() const noexcept { return strings_; }
+
+  std::size_t size() const noexcept { return strings_.size(); }
+  bool empty() const noexcept { return strings_.empty(); }
+  void clear();
+  void reserve(std::size_t n);
+
+  // Checkpointing: the strings in id order. Loading re-interns them, so a
+  // restored interner assigns identical ids for identical inputs.
+  json::Value save_state() const;
+  void load_state(const json::Value& state);
+
+ private:
+  std::size_t probe_start(std::uint64_t hash) const noexcept {
+    return static_cast<std::size_t>((hash * 0x9e3779b97f4a7c15ULL) >> 33) &
+           (slots_.size() - 1);
+  }
+  void grow();
+
+  std::vector<std::uint32_t> slots_;   // id or kInvalidId; power-of-two size
+  std::vector<std::string> strings_;   // by id
+  std::vector<std::uint64_t> hashes_;  // fnv1a(strings_[id]), by id
+};
+
+}  // namespace mak::support

@@ -32,6 +32,8 @@ inline constexpr std::string_view kHttpsimFaultLatencySpikes =
     "httpsim.fault.latency_spikes";
 inline constexpr std::string_view kHttpsimFaultWindowRequests =
     "httpsim.fault.window_requests";
+inline constexpr std::string_view kHttpsimResponseCacheHits =
+    "httpsim.response_cache.hits";
 
 // --- core: browser, crawl loop, frontier --------------------------------
 inline constexpr std::string_view kBrowserInteractions = "browser.interactions";
@@ -39,6 +41,12 @@ inline constexpr std::string_view kBrowserNavigations = "browser.navigations";
 inline constexpr std::string_view kBrowserRetries = "browser.retries";
 inline constexpr std::string_view kBrowserTransportFailures =
     "browser.transport_failures";
+inline constexpr std::string_view kBrowserParseCacheHits =
+    "browser.parse_cache.hits";
+inline constexpr std::string_view kBrowserParseCacheMisses =
+    "browser.parse_cache.misses";
+inline constexpr std::string_view kBrowserParseCacheEntries =
+    "browser.parse_cache.entries";
 
 inline constexpr std::string_view kCrawlerSteps = "crawler.steps";
 inline constexpr std::string_view kCrawlerRecoveries = "crawler.recoveries";
@@ -60,6 +68,8 @@ inline constexpr std::string_view kFrontierDepthL1 = "frontier.depth.l1";
 inline constexpr std::string_view kFrontierDepthL2 = "frontier.depth.l2";
 inline constexpr std::string_view kFrontierDepthL3 = "frontier.depth.l3";
 inline constexpr std::string_view kFrontierDepthRest = "frontier.depth.rest";
+inline constexpr std::string_view kFrontierInternActions =
+    "frontier.intern.actions";
 
 inline constexpr std::string_view kMakArmHead = "mak.arm.head";
 inline constexpr std::string_view kMakArmTail = "mak.arm.tail";

@@ -181,6 +181,11 @@ std::vector<double> small_count_bounds() {
   return {0, 1, 2, 3, 4, 5, 6, 7, 8};
 }
 
+std::vector<double> level_bounds() {
+  return {0,  1,  2,  3,  4,  5,  6,   7,   8,   12,  16, 24,
+          32, 48, 64, 96, 128, 192, 256, 384, 512};
+}
+
 // ------------------------------------------------------------------ Registry
 
 MetricsRegistry& MetricsRegistry::global() {

@@ -132,7 +132,8 @@ class Histogram {
 std::vector<double> latency_bounds_ms();   // 1 ms .. 100 s, roughly 1-2-5
 std::vector<double> duration_bounds_us();  // 1 us .. 10 s, roughly 1-2-5
 std::vector<double> unit_interval_bounds();  // [0, 1] in 0.05 steps
-std::vector<double> small_count_bounds();    // 0..8 (deque levels, hops)
+std::vector<double> small_count_bounds();    // 0..8 (hops, retries)
+std::vector<double> level_bounds();  // 0..512 (frontier levels reach 100s)
 
 // Everything the registry holds, copied at one point in time. Maps are
 // ordered by name so serialization is deterministic.

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 namespace mak::support {
 
@@ -110,11 +111,39 @@ std::string replace_all(std::string_view text, std::string_view from,
 }
 
 std::uint64_t fnv1a(std::string_view text) noexcept {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  return fnv1a_accum(kFnv1aSeed, text);
+}
+
+std::uint64_t fnv1a_accum(std::uint64_t hash, std::string_view text) noexcept {
   for (unsigned char c : text) {
     hash ^= c;
     hash *= 0x100000001b3ULL;
   }
+  return hash;
+}
+
+std::uint64_t hash_bytes(std::string_view text) noexcept {
+  constexpr std::uint64_t kMul = 0x9e3779b97f4a7c15ULL;
+  // Seed with the length so "a" and "a\0...padding" styles cannot alias.
+  std::uint64_t hash = kFnv1aSeed ^ (text.size() * kMul);
+  const char* cursor = text.data();
+  std::size_t remaining = text.size();
+  while (remaining >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, cursor, 8);
+    hash = (hash ^ chunk) * kMul;
+    hash ^= hash >> 29;
+    cursor += 8;
+    remaining -= 8;
+  }
+  if (remaining > 0) {
+    std::uint64_t tail = 0;
+    std::memcpy(&tail, cursor, remaining);
+    hash = (hash ^ tail) * kMul;
+    hash ^= hash >> 29;
+  }
+  hash *= kMul;
+  hash ^= hash >> 32;
   return hash;
 }
 

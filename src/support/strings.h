@@ -32,6 +32,19 @@ std::string replace_all(std::string_view text, std::string_view from,
 // FNV-1a 64-bit hash; stable across platforms (used for state digests).
 std::uint64_t fnv1a(std::string_view text) noexcept;
 
+// Streaming FNV-1a: feed `text` into a running hash. Folding substrings in
+// sequence yields exactly fnv1a of their concatenation, so hot paths can
+// hash composite keys without materializing the joined string.
+inline constexpr std::uint64_t kFnv1aSeed = 0xcbf29ce484222325ULL;
+std::uint64_t fnv1a_accum(std::uint64_t hash, std::string_view text) noexcept;
+
+// Fast non-cryptographic 64-bit hash: eight bytes per round instead of
+// fnv1a's one. For in-memory keying only (e.g. the browser's parse cache,
+// which verifies candidates by full comparison) — the value is never
+// serialized, so it carries no cross-platform or cross-version stability
+// promise. Checkpoint-visible identities must keep fnv1a.
+std::uint64_t hash_bytes(std::string_view text) noexcept;
+
 // Format helpers for harness output.
 std::string format_thousands(std::int64_t value);  // 50445 -> "50,445"
 std::string format_fixed(double value, int decimals);

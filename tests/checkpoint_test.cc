@@ -235,6 +235,46 @@ TEST(FrontierSnapshotTest, RoundTripsAndReplaysTakeSequence) {
   EXPECT_EQ(dump(original.save_state()), dump(restored.save_state()));
 }
 
+TEST(FrontierSnapshotTest, InFlightRequeueVariantsSurviveReload) {
+  // An element in flight at save time exists only in the key->level table;
+  // its bytes must be re-internable through any of the three requeue paths.
+  for (int variant = 0; variant < 3; ++variant) {
+    core::LeveledDeque original;
+    for (int i = 0; i < 6; ++i) {
+      original.push(make_action("/page" + std::to_string(i)));
+    }
+    support::Rng churn(11);
+    for (int i = 0; i < 9; ++i) {
+      const auto taken = original.take(core::Arm::kTail, churn);
+      ASSERT_TRUE(taken.has_value());
+      original.requeue(*taken);
+    }
+    const auto in_flight = original.take(core::Arm::kHead, churn);
+    ASSERT_TRUE(in_flight.has_value());
+
+    core::LeveledDeque restored;
+    restored.load_state(original.save_state());
+    switch (variant) {
+      case 0:
+        original.requeue(*in_flight);
+        restored.requeue(*in_flight);
+        break;
+      case 1:
+        original.requeue_same(*in_flight);
+        restored.requeue_same(*in_flight);
+        break;
+      default:
+        original.requeue_flat(*in_flight);
+        restored.requeue_flat(*in_flight);
+        break;
+    }
+    EXPECT_EQ(dump(original.save_state()), dump(restored.save_state()))
+        << "variant " << variant;
+    EXPECT_EQ(original.size(), restored.size());
+    EXPECT_EQ(original.interned_actions(), restored.interned_actions());
+  }
+}
+
 TEST(FrontierSnapshotTest, RejectsTamperedLevelTable) {
   core::LeveledDeque frontier;
   frontier.push(make_action("/a"));
@@ -266,6 +306,33 @@ TEST(LinkLedgerSnapshotTest, RoundTrips) {
   restored.load_state(original.save_state());
   EXPECT_EQ(restored.distinct_links(), original.distinct_links());
   EXPECT_EQ(dump(original.save_state()), dump(restored.save_state()));
+}
+
+TEST(LinkLedgerSnapshotTest, LargeLedgerRoundTripsThroughInterner) {
+  // Enough links to force several interner growth cycles; the restored
+  // ledger must dedup exactly like the original and serialize identically.
+  core::LinkLedger original;
+  for (int i = 0; i < 3000; ++i) {
+    url::Url target;
+    target.scheme = "http";
+    target.host = "app.test";
+    target.path = "/deep/link" + std::to_string(i % 2100);
+    target.fragment = "frag" + std::to_string(i);  // must not affect identity
+    original.absorb_url(target);
+  }
+  EXPECT_EQ(original.distinct_links(), 2100u);
+  core::LinkLedger restored;
+  restored.load_state(original.save_state());
+  EXPECT_EQ(restored.distinct_links(), original.distinct_links());
+  EXPECT_EQ(dump(original.save_state()), dump(restored.save_state()));
+  url::Url known;
+  known.scheme = "http";
+  known.host = "app.test";
+  known.path = "/deep/link7";
+  EXPECT_FALSE(restored.absorb_url(known));
+  url::Url fresh = known;
+  fresh.path = "/deep/other";
+  EXPECT_TRUE(restored.absorb_url(fresh));
 }
 
 // ------------------------------------------------ fault injector round-trip
@@ -416,6 +483,33 @@ TEST(CheckpointResumeTest, HeavyFaultProfileReplaysIdenticalFaultSequence) {
               0u)
         << "heavy profile should actually inject faults";
   }
+}
+
+TEST(CheckpointResumeTest, HeavyFaultPerStepCheckpointsRestoreInternedState) {
+  // Checkpoint after every step under the heavy fault profile: each resume
+  // rebuilds the frontier/ledger interners from serialized state (including
+  // in-flight elements) at a different crawl position, so any id-assignment
+  // or re-interning divergence shows up as a state mismatch.
+  const std::string dir = scratch_dir("chaos_interned_state");
+  RunConfig config = quick_config(0x1f2e);
+  config.fault = httpsim::fault_profile_heavy();
+  config.checkpoint.dir = dir;
+  config.checkpoint.every_steps = 1;
+  config.checkpoint.interval = 0;
+
+  RunConfig crashing = config;
+  crashing.crash_at_step = 17;
+  EXPECT_THROW(
+      run_repeated(info_of("AddressBook"), CrawlerKind::kMak, crashing, 1),
+      InjectedCrash);
+  const auto resumed =
+      run_repeated(info_of("AddressBook"), CrawlerKind::kMak, config, 1);
+
+  RunConfig plain = quick_config(0x1f2e);
+  plain.fault = httpsim::fault_profile_heavy();
+  const auto reference =
+      run_repeated(info_of("AddressBook"), CrawlerKind::kMak, plain, 1);
+  expect_identical_runs(resumed, reference);
 }
 
 TEST(CheckpointResumeTest, NonSnapshotableCrawlerRestartsRepetition) {

@@ -293,6 +293,54 @@ TEST_F(BrowserTest, NavigateSeedLoadsAndParses) {
   EXPECT_EQ(browser.interactions(), 0u);
 }
 
+TEST_F(BrowserTest, ParseCacheReusesIdenticalPages) {
+  auto browser = make_browser();
+  browser.navigate_seed();
+  EXPECT_EQ(browser.parsed_pages(), 1u);
+  const auto* first = &browser.page();
+  browser.navigate_seed();
+  // Same URL, same body: the cached parse (same Page object) is reused.
+  EXPECT_EQ(browser.parsed_pages(), 1u);
+  EXPECT_EQ(&browser.page(), first);
+  browser.interact(find_action(browser, html::InteractableKind::kLink, "/page"));
+  EXPECT_EQ(browser.parsed_pages(), 2u);
+}
+
+TEST(PageCacheTest, HitsShareThePageAndKeysAreExact) {
+  PageCache cache;
+  const auto origin = *url::parse("http://fix.test/");
+  const std::string body = "<html><body><a href=\"/a\">a</a></body></html>";
+  const auto first = cache.lookup_or_build(origin, 200, body, origin);
+  const auto again = cache.lookup_or_build(origin, 200, body, origin);
+  EXPECT_EQ(first.get(), again.get());
+  EXPECT_EQ(cache.entries(), 1u);
+  // Any component of the key differing means a distinct page.
+  EXPECT_NE(cache.lookup_or_build(origin, 404, body, origin).get(),
+            first.get());
+  EXPECT_NE(cache.lookup_or_build(*url::parse("http://fix.test/b"), 200, body,
+                                  origin)
+                .get(),
+            first.get());
+  EXPECT_NE(cache.lookup_or_build(origin, 200, body + " ", origin).get(),
+            first.get());
+  EXPECT_EQ(cache.entries(), 4u);
+}
+
+TEST(PageCacheTest, CapacityFlushKeepsServingCorrectPages) {
+  PageCache cache;
+  const auto origin = *url::parse("http://fix.test/");
+  // More distinct bodies than the cache holds; after the wholesale flush
+  // every lookup must still return the right content.
+  for (int i = 0; i < 2200; ++i) {
+    const std::string body = "<p>" + std::to_string(i) + "</p>";
+    const auto page = cache.lookup_or_build(origin, 200, body, origin);
+    ASSERT_EQ(page->body, body);
+  }
+  EXPECT_LE(cache.entries(), 2048u);
+  const auto page = cache.lookup_or_build(origin, 200, "<p>7</p>", origin);
+  EXPECT_EQ(page->body, "<p>7</p>");
+}
+
 TEST_F(BrowserTest, ExternalLinksAreFilteredOut) {
   auto browser = make_browser();
   browser.navigate_seed();

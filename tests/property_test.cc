@@ -1,12 +1,18 @@
 // Randomized property tests: generated inputs, seeded and deterministic.
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <stdexcept>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "apps/catalog.h"
+#include "core/frontier.h"
 #include "core/site_mapper.h"
+#include "support/json.h"
 #include "harness/experiment.h"
 #include "html/entities.h"
 #include "html/interactables.h"
@@ -287,6 +293,188 @@ TEST(Exp31AdversarialTest, AllZeroRewardsNeverProduceNaN) {
   EXPECT_EQ(policy.epoch(), 1u);
   for (double g : policy.estimated_gains()) EXPECT_EQ(g, 0.0);
 }
+
+// ------------------------------- SoA frontier vs. reference LeveledDeque
+
+// Executable specification of the historical frontier: plain deques of
+// actions plus a key -> level map. The production LeveledDeque (interned
+// ids, ring levels) must be observationally equivalent under any operation
+// sequence, including the shared RNG draws of the Random arm.
+class ReferenceFrontier {
+ public:
+  bool push(const core::ResolvedAction& action) {
+    if (level_of_.count(action.key()) != 0) return false;
+    level_of_[action.key()] = 0;
+    level(0).push_back(action);
+    ++size_;
+    return true;
+  }
+
+  std::optional<core::ResolvedAction> take(core::Arm arm, support::Rng& rng) {
+    if (size_ == 0) return std::nullopt;
+    std::size_t lowest = 0;
+    while (levels_[lowest].empty()) ++lowest;
+    auto& deque = levels_[lowest];
+    core::ResolvedAction taken;
+    switch (arm) {
+      case core::Arm::kHead:
+        taken = deque.front();
+        deque.pop_front();
+        break;
+      case core::Arm::kTail:
+        taken = deque.back();
+        deque.pop_back();
+        break;
+      case core::Arm::kRandom: {
+        const auto index =
+            static_cast<std::ptrdiff_t>(rng.next_below(deque.size()));
+        taken = deque[static_cast<std::size_t>(index)];
+        deque.erase(deque.begin() + index);
+        break;
+      }
+    }
+    --size_;
+    ++level_of_[taken.key()];
+    return taken;
+  }
+
+  void requeue(const core::ResolvedAction& action) {
+    level(level_of_.at(action.key())).push_back(action);
+    ++size_;
+  }
+
+  void requeue_same(const core::ResolvedAction& action) {
+    auto& lvl = level_of_.at(action.key());
+    if (lvl > 0) --lvl;
+    level(lvl).push_back(action);
+    ++size_;
+  }
+
+  void requeue_flat(const core::ResolvedAction& action) {
+    level_of_.at(action.key()) = 0;
+    level(0).push_back(action);
+    ++size_;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t level_count() const { return levels_.size(); }
+  std::size_t level_size(std::size_t i) const {
+    return i < levels_.size() ? levels_[i].size() : 0;
+  }
+
+ private:
+  std::deque<core::ResolvedAction>& level(std::size_t i) {
+    if (levels_.size() <= i) levels_.resize(i + 1);
+    return levels_[i];
+  }
+
+  std::vector<std::deque<core::ResolvedAction>> levels_;
+  std::unordered_map<std::uint64_t, std::size_t> level_of_;
+  std::size_t size_ = 0;
+};
+
+core::ResolvedAction frontier_action(std::size_t i) {
+  core::ResolvedAction action;
+  action.element.kind = html::InteractableKind::kLink;
+  action.element.method = "GET";
+  action.target = *url::parse("http://prop.test/p/" + std::to_string(i));
+  return action;
+}
+
+class FrontierEquivalenceTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FrontierEquivalenceTest, MatchesReferenceModelUnderRandomOps) {
+  support::Rng rng(GetParam());
+  core::LeveledDeque soa;
+  ReferenceFrontier reference;
+  // Two identically seeded streams for the Random arm, so a draw mismatch
+  // shows up as a divergence instead of silently desynchronizing the test.
+  support::Rng arm_rng_a(GetParam() ^ 0xa5a5);
+  support::Rng arm_rng_b(GetParam() ^ 0xa5a5);
+
+  std::vector<core::ResolvedAction> in_flight;
+  std::size_t next_id = 0;
+  for (int op = 0; op < 4000; ++op) {
+    switch (rng.next_below(6)) {
+      case 0:
+      case 1: {  // push (fresh or duplicate)
+        const std::size_t i =
+            rng.chance(0.3) && next_id > 0 ? rng.next_below(next_id) : next_id;
+        if (i == next_id) ++next_id;
+        const auto action = frontier_action(i);
+        ASSERT_EQ(soa.push(action), reference.push(action));
+        break;
+      }
+      case 2:
+      case 3: {  // take with a random arm
+        const auto arm = static_cast<core::Arm>(rng.next_below(3));
+        auto a = soa.take(arm, arm_rng_a);
+        auto b = reference.take(arm, arm_rng_b);
+        ASSERT_EQ(a.has_value(), b.has_value());
+        if (a.has_value()) {
+          ASSERT_EQ(a->key(), b->key());
+          ASSERT_EQ(a->link(), b->link());
+          in_flight.push_back(*a);
+        }
+        break;
+      }
+      default: {  // requeue one in-flight element via a random variant
+        if (in_flight.empty()) break;
+        const std::size_t pick = rng.next_below(in_flight.size());
+        const auto action = in_flight[pick];
+        in_flight.erase(in_flight.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+        switch (rng.next_below(3)) {
+          case 0:
+            soa.requeue(action);
+            reference.requeue(action);
+            break;
+          case 1:
+            soa.requeue_same(action);
+            reference.requeue_same(action);
+            break;
+          default:
+            soa.requeue_flat(action);
+            reference.requeue_flat(action);
+            break;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(soa.size(), reference.size());
+    ASSERT_EQ(soa.level_count(), reference.level_count());
+    for (std::size_t i = 0; i < reference.level_count(); ++i) {
+      ASSERT_EQ(soa.level_size(i), reference.level_size(i)) << "level " << i;
+    }
+  }
+
+  // The serialized state round-trips to identical bytes, including with
+  // elements still in flight (taken but not requeued).
+  const auto state = soa.save_state();
+  core::LeveledDeque restored;
+  restored.load_state(state);
+  EXPECT_EQ(support::json::dump(restored.save_state()),
+            support::json::dump(state));
+  EXPECT_EQ(restored.size(), soa.size());
+  // Requeue of in-flight elements works identically after a reload.
+  for (const auto& action : in_flight) {
+    soa.requeue(action);
+    restored.requeue(action);
+  }
+  EXPECT_EQ(support::json::dump(restored.save_state()),
+            support::json::dump(soa.save_state()));
+}
+
+TEST(FrontierEquivalenceTest, RequeueOfUnknownElementThrows) {
+  core::LeveledDeque deque;
+  const auto unknown = frontier_action(999);
+  EXPECT_THROW(deque.requeue(unknown), std::logic_error);
+  EXPECT_THROW(deque.requeue_same(unknown), std::logic_error);
+  EXPECT_THROW(deque.requeue_flat(unknown), std::logic_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrontierEquivalenceTest,
+                         ::testing::Values(1u, 2u, 3u, 0xbeefu, 0xc0ffeeu));
 
 // ---------------------------------------- determinism across all crawlers
 

@@ -1,11 +1,15 @@
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "support/clock.h"
+#include "support/interner.h"
+#include "support/json.h"
 #include "support/log.h"
 #include "support/rng.h"
 #include "support/stats.h"
@@ -404,6 +408,92 @@ TEST(DeadlineTest, ExpiresAtBudget) {
 TEST(DeadlineTest, RejectsNegativeBudget) {
   SimClock clock;
   EXPECT_THROW(Deadline(clock, -1), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- interner
+
+TEST(FlatMap64Test, InsertFindRoundTrip) {
+  FlatMap64 map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(42), nullptr);
+  EXPECT_TRUE(map.insert(42, 7));
+  ASSERT_NE(map.find(42), nullptr);
+  EXPECT_EQ(*map.find(42), 7u);
+  // Re-inserting an existing key is rejected and leaves the value alone.
+  EXPECT_FALSE(map.insert(42, 99));
+  EXPECT_EQ(*map.find(42), 7u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap64Test, SurvivesGrowthWithAdversarialKeys) {
+  FlatMap64 map;
+  // Sequential keys (the checkpoint-reload pattern) plus keys colliding in
+  // the low bits; growth must preserve every mapping.
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(map.insert(i, static_cast<std::uint32_t>(i * 3)));
+    ASSERT_TRUE(
+        map.insert(((i + 1) << 40) | 0xFFu, static_cast<std::uint32_t>(i)));
+  }
+  EXPECT_EQ(map.size(), 10000u);
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_NE(map.find(i), nullptr);
+    EXPECT_EQ(*map.find(i), static_cast<std::uint32_t>(i * 3));
+    ASSERT_NE(map.find(((i + 1) << 40) | 0xFFu), nullptr);
+    EXPECT_EQ(*map.find(((i + 1) << 40) | 0xFFu),
+              static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(map.find(1u << 20), nullptr);
+}
+
+TEST(FlatMap64Test, ClearAndReserve) {
+  FlatMap64 map;
+  map.reserve(1000);
+  for (std::uint64_t i = 0; i < 1000; ++i) map.insert(i ^ 0xdeadbeef, 1);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(0xdeadbeef), nullptr);
+  EXPECT_TRUE(map.insert(0xdeadbeef, 2));
+}
+
+TEST(UrlInternerTest, AssignsDenseIdsInFirstSeenOrder) {
+  UrlInterner interner;
+  EXPECT_EQ(interner.intern("http://a.test/"), 0u);
+  EXPECT_EQ(interner.intern("http://b.test/"), 1u);
+  EXPECT_EQ(interner.intern("http://a.test/"), 0u);  // dedup
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.at(1), "http://b.test/");
+  EXPECT_EQ(interner.find("http://b.test/"), 1u);
+  EXPECT_EQ(interner.find("http://c.test/"), UrlInterner::kInvalidId);
+}
+
+TEST(UrlInternerTest, GrowthKeepsIdsStable) {
+  UrlInterner interner;
+  std::vector<std::string> urls;
+  for (int i = 0; i < 2000; ++i) {
+    urls.push_back("http://h.test/p/" + std::to_string(i));
+    ASSERT_EQ(interner.intern(urls.back()), static_cast<std::uint32_t>(i));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(interner.find(urls[static_cast<std::size_t>(i)]),
+              static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST(UrlInternerTest, SaveLoadRoundTripPreservesIds) {
+  UrlInterner interner;
+  for (int i = 0; i < 300; ++i) {
+    interner.intern("http://h.test/x/" + std::to_string(i * 7));
+  }
+  const auto state = interner.save_state();
+  UrlInterner restored;
+  restored.intern("http://stale.test/");  // must be discarded by load
+  restored.load_state(state);
+  ASSERT_EQ(restored.size(), interner.size());
+  for (std::uint32_t id = 0; id < interner.size(); ++id) {
+    EXPECT_EQ(restored.at(id), interner.at(id));
+  }
+  // Loaded interner serializes to identical bytes.
+  EXPECT_EQ(json::dump(restored.save_state()), json::dump(state));
 }
 
 // ------------------------------------------------------------------- log
