@@ -1,0 +1,254 @@
+// Population-scale evaluation: crawlers x procedurally generated apps.
+//
+// Samples a population of generated AppSpecs (apps/generator), runs each
+// app under several crawlers against its CLOSED-FORM ground truth (the
+// generator's calibrated reachable line count — no union-of-runs estimate
+// needed), and emits coverage-vs-trait surfaces: per trait dial (breadth,
+// depth, alias density, traps, ...) the mean coverage at each dial value
+// plus a least-squares slope per crawler. The slope is the headline number:
+// e.g. how many points of coverage a crawler loses per added trap.
+//
+// Protocol: MAK_REPS / MAK_BUDGET_MINUTES / MAK_SAMPLE_SECONDS override;
+// unset, the sweep defaults to 1 repetition x 6 virtual minutes per
+// app/crawler pair (a population of 1000 apps is ~3000 runs — the paper's
+// 10x30min protocol is meant for the 11-app catalog, not for populations).
+//
+// The artifact (default results/BENCH_population.json, override/disable via
+// MAK_BENCH_JSON) carries per-app entries and the trait surfaces. It
+// deliberately omits the metrics-registry block so a serial run and a
+// --workers N run of the same population are BYTE-IDENTICAL; CI diffs the
+// two with tools/metrics_diff --identical.
+//
+//   population_sweep [--apps N] [--pop-seed S] [--workers N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/catalog.h"
+#include "apps/generator/generator.h"
+#include "harness/aggregate.h"
+#include "harness/bench_json.h"
+#include "harness/experiment.h"
+#include "harness/orchestrator.h"
+#include "harness/report.h"
+#include "support/strings.h"
+
+namespace {
+
+using mak::apps::generator::AppSpec;
+
+struct TraitDial {
+  const char* name;
+  std::size_t (*value)(const AppSpec&);
+  std::string (*label)(std::size_t);
+};
+
+std::string plain_label(std::size_t value) { return std::to_string(value); }
+
+std::string platform_label(std::size_t value) {
+  return value == 0 ? "php" : "node";
+}
+
+std::string budget_label(std::size_t band) {
+  switch (band) {
+    case 0:
+      return "4k-10k";
+    case 1:
+      return "10k-30k";
+    default:
+      return "30k+";
+  }
+}
+
+const TraitDial kDials[] = {
+    {"breadth", [](const AppSpec& s) { return s.breadth; }, plain_label},
+    {"depth", [](const AppSpec& s) { return s.depth; }, plain_label},
+    {"alias", [](const AppSpec& s) { return s.alias_density; }, plain_label},
+    {"traps", [](const AppSpec& s) { return s.traps; }, plain_label},
+    {"logins", [](const AppSpec& s) { return s.login_walls; }, plain_label},
+    {"wizards", [](const AppSpec& s) { return s.wizards; }, plain_label},
+    {"pagination", [](const AppSpec& s) { return s.pagination; },
+     plain_label},
+    {"dead_pct", [](const AppSpec& s) { return s.dead_pct; }, plain_label},
+    {"platform",
+     [](const AppSpec& s) {
+       return static_cast<std::size_t>(
+           s.platform == mak::apps::Platform::kPhp ? 0 : 1);
+     },
+     platform_label},
+    {"budget",
+     [](const AppSpec& s) {
+       return static_cast<std::size_t>(s.line_budget < 10000   ? 0
+                                       : s.line_budget < 30000 ? 1
+                                                               : 2);
+     },
+     budget_label},
+};
+
+// Least-squares slope of y over x; 0 when x has no spread.
+double slope_of(const std::vector<double>& xs, const std::vector<double>& ys) {
+  const double n = static_cast<double>(xs.size());
+  if (n < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denominator = n * sxx - sx * sx;
+  if (denominator == 0.0) return 0.0;
+  return (n * sxy - sx * sy) / denominator;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mak;
+  using harness::CrawlerKind;
+
+  // Orchestrator workers re-exec this binary in --worker mode.
+  if (harness::is_worker_invocation(argc, argv)) {
+    return harness::worker_main(argc, argv);
+  }
+
+  std::size_t app_count = 1000;
+  std::uint64_t population_seed = 1;
+  std::size_t workers = 0;  // 0 = serial in-process runs
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--apps") == 0 && i + 1 < argc) {
+      app_count =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--pop-seed") == 0 && i + 1 < argc) {
+      population_seed =
+          static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--apps N] [--pop-seed S] [--workers N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  harness::OrchestratorConfig orch = harness::orchestrator_from_env();
+  if (workers > 0) orch.workers = workers;
+
+  harness::Protocol protocol = harness::protocol_from_env();
+  if (std::getenv("MAK_REPS") == nullptr) protocol.repetitions = 1;
+  if (std::getenv("MAK_BUDGET_MINUTES") == nullptr) {
+    protocol.run.budget = 6 * support::kMillisPerMinute;
+  }
+
+  const CrawlerKind crawlers[] = {CrawlerKind::kMak, CrawlerKind::kWebExplor,
+                                  CrawlerKind::kBfs};
+
+  const auto described =
+      apps::generator::population(population_seed, app_count);
+  std::printf(
+      "Population sweep: %zu generated apps (seed %llu), %zu reps x %lld "
+      "virtual minutes\n\n",
+      described.size(), static_cast<unsigned long long>(population_seed),
+      protocol.repetitions,
+      static_cast<long long>(protocol.run.budget / support::kMillisPerMinute));
+
+  std::vector<harness::BenchEntry> entries;
+  // percents[c][i]: crawler c's coverage on app i, as % of the app's
+  // calibrated reachable lines.
+  std::vector<std::vector<double>> percents(std::size(crawlers));
+
+  for (std::size_t i = 0; i < described.size(); ++i) {
+    const auto& app = described[i];
+    const auto info = apps::resolve_app(app.name);
+    if (!info.has_value()) {
+      std::fprintf(stderr, "population_sweep: cannot resolve %s\n",
+                   app.name.c_str());
+      return 3;
+    }
+    for (std::size_t c = 0; c < std::size(crawlers); ++c) {
+      const auto runs =
+          workers > 0
+              ? harness::run_orchestrated(*info, crawlers[c], protocol.run,
+                                          protocol.repetitions, orch)
+              : harness::run_repeated(*info, crawlers[c], protocol.run,
+                                      protocol.repetitions);
+      const double percent =
+          harness::mean_coverage_percent(runs, app.reachable_lines);
+      percents[c].push_back(percent);
+      entries.push_back({app.name + "/" +
+                             std::string(to_string(crawlers[c])),
+                         percent, "percent", /*higher_is_better=*/true});
+    }
+    entries.push_back({app.name + "/ground_truth",
+                       static_cast<double>(app.reachable_lines), "lines",
+                       /*higher_is_better=*/true});
+    if ((i + 1) % 50 == 0 || i + 1 == described.size()) {
+      std::fprintf(stderr, "  ... %zu/%zu apps done\n", i + 1,
+                   described.size());
+    }
+  }
+
+  // Trait surfaces: per dial value, the mean coverage per crawler; per
+  // dial, the least-squares slope per crawler.
+  for (const TraitDial& dial : kDials) {
+    // value -> per-crawler (sum, count); std::map keeps values sorted so
+    // entry order is deterministic.
+    std::map<std::size_t, std::vector<std::pair<double, std::size_t>>> groups;
+    std::vector<double> xs;
+    for (std::size_t i = 0; i < described.size(); ++i) {
+      const std::size_t value = dial.value(described[i].spec);
+      xs.push_back(static_cast<double>(value));
+      auto& cell = groups[value];
+      cell.resize(std::size(crawlers), {0.0, 0});
+      for (std::size_t c = 0; c < std::size(crawlers); ++c) {
+        cell[c].first += percents[c][i];
+        cell[c].second += 1;
+      }
+    }
+
+    harness::TextTable table({std::string(dial.name), "apps", "MAK",
+                              "WebExplor", "BFS"});
+    for (const auto& [value, cells] : groups) {
+      std::vector<std::string> row = {dial.label(value),
+                                      std::to_string(cells[0].second)};
+      for (std::size_t c = 0; c < std::size(crawlers); ++c) {
+        const double mean =
+            cells[c].first / static_cast<double>(cells[c].second);
+        row.push_back(support::format_fixed(mean, 1) + "%");
+        entries.push_back({std::string("trait/") + dial.name + "=" +
+                               dial.label(value) + "/" +
+                               std::string(to_string(crawlers[c])),
+                           mean, "percent", /*higher_is_better=*/true});
+      }
+      entries.push_back({std::string("trait/") + dial.name + "=" +
+                             dial.label(value) + "/count",
+                         static_cast<double>(cells[0].second), "apps",
+                         /*higher_is_better=*/true});
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    for (std::size_t c = 0; c < std::size(crawlers); ++c) {
+      const double slope = slope_of(xs, percents[c]);
+      std::printf("  %s slope per unit %s: %+.2f%%\n",
+                  std::string(to_string(crawlers[c])).c_str(), dial.name,
+                  slope);
+      entries.push_back({std::string("trait/") + dial.name + "/slope/" +
+                             std::string(to_string(crawlers[c])),
+                         slope, "percent_per_unit",
+                         /*higher_is_better=*/true});
+    }
+    std::printf("\n");
+  }
+
+  // No metrics block: serial and --workers artifacts must be byte-equal
+  // (the orchestrator mode perturbs process-level counters).
+  harness::write_bench_json_file("MAK_BENCH_JSON",
+                                 "results/BENCH_population.json",
+                                 "population_sweep", entries, nullptr);
+  return 0;
+}

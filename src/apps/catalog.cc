@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "apps/features/aliased_reviews.h"
+#include "apps/generator/generator.h"
 #include "apps/features/calendar_trap.h"
 #include "apps/features/cart_flow.h"
 #include "apps/features/deep_wizard.h"
@@ -608,7 +609,33 @@ std::unique_ptr<SyntheticApp> make_app(std::string_view name) {
   for (const auto& info : app_catalog()) {
     if (info.name == name) return info.factory();
   }
-  throw std::invalid_argument("unknown app: " + std::string(name));
+  if (const auto spec = generator::AppSpec::from_name(name)) {
+    return generator::make_generated(*spec);
+  }
+  std::string message = "unknown app: " + std::string(name) + " (valid: ";
+  bool first = true;
+  for (const auto& info : app_catalog()) {
+    if (!first) message += ", ";
+    message += info.name;
+    first = false;
+  }
+  message += ", or a generated \"gen-v1-...\" name)";
+  throw std::invalid_argument(message);
+}
+
+std::optional<AppInfo> resolve_app(std::string_view name) {
+  for (const auto& info : app_catalog()) {
+    if (info.name == name) return info;
+  }
+  if (const auto spec = generator::AppSpec::from_name(name)) {
+    AppInfo info;
+    info.name = spec->to_name();
+    info.version = "generated";
+    info.platform = spec->platform;
+    info.factory = [spec = *spec]() { return generator::make_generated(spec); };
+    return info;
+  }
+  return std::nullopt;
 }
 
 }  // namespace mak::apps

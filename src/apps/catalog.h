@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -30,8 +31,16 @@ const std::vector<AppInfo>& app_catalog();
 // The 8 PHP apps (Figure 2 uses only these).
 std::vector<const AppInfo*> php_apps();
 
-// Build one app by name; throws std::invalid_argument for unknown names.
+// Build one app by name. Accepts both catalog names ("Drupal") and
+// generated-app names ("gen-v1-..."; see apps/generator/app_spec.h).
+// Throws std::invalid_argument listing the valid catalog names otherwise.
 std::unique_ptr<SyntheticApp> make_app(std::string_view name);
+
+// Resolve any app name — catalog or generated — to an AppInfo whose factory
+// rebuilds the app. Generated names carry their full spec, so worker
+// processes that re-exec and look apps up by name reconstruct the identical
+// app. Returns nullopt for unknown names.
+std::optional<AppInfo> resolve_app(std::string_view name);
 
 // Individual factories (used by tests and examples).
 std::unique_ptr<SyntheticApp> make_addressbook();

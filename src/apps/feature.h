@@ -25,6 +25,14 @@ class Feature {
   // and add entry links via app.add_home_link(). Handlers may capture both
   // `this` and `&app`; the app owns the feature, so lifetimes match.
   virtual void install(webapp::WebApp& app) = 0;
+
+  // Closed-form count of the arena lines install() allocates, as a function
+  // of the feature's parameters alone. This is the calibration contract the
+  // procedural generator (src/apps/generator) sizes app populations against:
+  // an app's total line count is the base framework lines plus the overhead
+  // region plus the sum of its features' calibrated_lines() plus dead code,
+  // and tests/generator_test.cc holds every feature to it.
+  virtual std::size_t calibrated_lines() const = 0;
 };
 
 }  // namespace mak::apps

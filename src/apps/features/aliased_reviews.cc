@@ -114,4 +114,12 @@ void AliasedReviews::install(WebApp& app) {
   }
 }
 
+
+std::size_t AliasedReviews::calibrated_lines() const {
+  return params_.shared_lines + 35 + 28 + 40 + 32 +
+         params_.paper_variants * params_.lines_per_paper_variant +
+         params_.review_variants * params_.lines_per_review_variant +
+         2 * params_.paper_count * params_.lines_per_entity;
+}
+
 }  // namespace mak::apps

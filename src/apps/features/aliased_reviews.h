@@ -34,6 +34,7 @@ class AliasedReviews final : public Feature {
       : params_(std::move(params)) {}
 
   void install(webapp::WebApp& app) override;
+  std::size_t calibrated_lines() const override;
 
  private:
   AliasedReviewsParams params_;

@@ -71,4 +71,9 @@ void CalendarTrap::install(WebApp& app) {
   }
 }
 
+
+std::size_t CalendarTrap::calibrated_lines() const {
+  return params_.shared_lines + 34;
+}
+
 }  // namespace mak::apps

@@ -29,6 +29,7 @@ class CalendarTrap final : public Feature {
   explicit CalendarTrap(CalendarTrapParams params) : params_(std::move(params)) {}
 
   void install(webapp::WebApp& app) override;
+  std::size_t calibrated_lines() const override;
 
  private:
   CalendarTrapParams params_;

@@ -152,4 +152,11 @@ void CartFlow::install(WebApp& app) {
   }
 }
 
+
+std::size_t CartFlow::calibrated_lines() const {
+  return params_.shared_lines + 36 + 26 + 24 + 30 + 16 + 48 + 26 +
+         params_.product_variants * params_.lines_per_product_variant +
+         params_.product_count * params_.lines_per_product;
+}
+
 }  // namespace mak::apps

@@ -32,6 +32,7 @@ class CartFlow final : public Feature {
   explicit CartFlow(CartFlowParams params) : params_(std::move(params)) {}
 
   void install(webapp::WebApp& app) override;
+  std::size_t calibrated_lines() const override;
 
  private:
   CartFlowParams params_;

@@ -122,4 +122,10 @@ void DeepWizard::install(WebApp& app) {
   }
 }
 
+
+std::size_t DeepWizard::calibrated_lines() const {
+  return params_.shared_lines + 24 + 14 + 30 +
+         params_.steps * params_.lines_per_step;
+}
+
 }  // namespace mak::apps

@@ -29,6 +29,7 @@ class DeepWizard final : public Feature {
   explicit DeepWizard(DeepWizardParams params) : params_(std::move(params)) {}
 
   void install(webapp::WebApp& app) override;
+  std::size_t calibrated_lines() const override;
 
  private:
   std::string progress_key() const { return params_.slug + ".progress"; }

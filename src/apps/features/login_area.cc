@@ -113,4 +113,11 @@ void LoginArea::install(WebApp& app) {
   }
 }
 
+
+std::size_t LoginArea::calibrated_lines() const {
+  return params_.shared_lines + 20 + 26 + 12 + 10 + 10 +
+         params_.page_variants * params_.lines_per_variant +
+         params_.private_pages * params_.lines_per_page;
+}
+
 }  // namespace mak::apps

@@ -31,6 +31,7 @@ class LoginArea final : public Feature {
   explicit LoginArea(LoginAreaParams params) : params_(std::move(params)) {}
 
   void install(webapp::WebApp& app) override;
+  std::size_t calibrated_lines() const override;
 
  private:
   std::string flag_key() const { return params_.slug + ".logged_in"; }

@@ -111,4 +111,12 @@ void ModuleRouter::install(WebApp& app) {
   }
 }
 
+
+std::size_t ModuleRouter::calibrated_lines() const {
+  return params_.shared_lines + 45 +
+         params_.module_count *
+             (params_.lines_per_module +
+              params_.actions_per_module * params_.lines_per_action);
+}
+
 }  // namespace mak::apps

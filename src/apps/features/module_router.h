@@ -29,6 +29,7 @@ class ModuleRouter final : public Feature {
   explicit ModuleRouter(ModuleRouterParams params) : params_(std::move(params)) {}
 
   void install(webapp::WebApp& app) override;
+  std::size_t calibrated_lines() const override;
 
   // Deterministic module/action names ("CoreAdminHome"-style).
   std::string module_name(std::size_t m) const;

@@ -67,4 +67,9 @@ void MutableShortcuts::install(WebApp& app) {
   }
 }
 
+
+std::size_t MutableShortcuts::calibrated_lines() const {
+  return params_.shared_lines + 38 + 20 + 12;
+}
+
 }  // namespace mak::apps

@@ -30,6 +30,7 @@ class MutableShortcuts final : public Feature {
       : params_(std::move(params)) {}
 
   void install(webapp::WebApp& app) override;
+  std::size_t calibrated_lines() const override;
 
  private:
   MutableShortcutsParams params_;

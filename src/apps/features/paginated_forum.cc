@@ -169,4 +169,13 @@ void PaginatedForum::install(WebApp& app) {
   }
 }
 
+
+std::size_t PaginatedForum::calibrated_lines() const {
+  return params_.shared_lines + 32 + 40 + 35 + 22 +
+         params_.board_count * params_.lines_per_board +
+         params_.topic_variants * params_.lines_per_topic_variant +
+         params_.board_count * params_.topics_per_board *
+             params_.lines_per_topic;
+}
+
 }  // namespace mak::apps

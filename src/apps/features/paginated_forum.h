@@ -44,6 +44,7 @@ class PaginatedForum final : public Feature {
       : params_(std::move(params)) {}
 
   void install(webapp::WebApp& app) override;
+  std::size_t calibrated_lines() const override;
 
  private:
   std::size_t topic_id(std::size_t board, std::size_t index) const {

@@ -56,4 +56,9 @@ void SearchBox::install(WebApp& app) {
   }
 }
 
+
+std::size_t SearchBox::calibrated_lines() const {
+  return params_.shared_lines + 22 + 35;
+}
+
 }  // namespace mak::apps

@@ -31,6 +31,7 @@ class SearchBox final : public Feature {
   explicit SearchBox(SearchBoxParams params) : params_(std::move(params)) {}
 
   void install(webapp::WebApp& app) override;
+  std::size_t calibrated_lines() const override;
 
  private:
   SearchBoxParams params_;

@@ -17,54 +17,75 @@ void StaticSection::install(WebApp& app) {
   pages_.allocate(arena, params_.page_count, params_.variants,
                   params_.lines_per_variant, params_.lines_per_entity);
 
-  app.router().get(
-      "/" + params_.slug + "/p/:id", [this, &app](RequestContext& ctx) {
-        app.cover(common_region_);
-        app.cover(handler_region_);
-        std::size_t id = 0;
-        try {
-          id = std::stoul(ctx.param("id"));
-        } catch (...) {
-          return Response::not_found("bad page id");
-        }
-        if (id >= params_.page_count) {
-          return Response::not_found(params_.slug + " page");
-        }
-        app.cover(pages_.variant_region(id));
-        app.cover(pages_.entity_region(id));
+  // Path of page `id`, rotated through the alias mirrors: salt picks which
+  // of the alias_routes + 1 equivalent URL spellings a link uses.
+  const auto page_path = [this](std::size_t id, std::size_t salt) {
+    const std::size_t spellings = params_.alias_routes + 1;
+    const std::size_t mirror = (id + salt) % spellings;
+    const std::string segment =
+        mirror == 0 ? std::string("p") : "alt" + std::to_string(mirror);
+    return "/" + params_.slug + "/" + segment + "/" + std::to_string(id);
+  };
 
-        PageBuilder page(params_.title + " #" + std::to_string(id));
-        page.heading(params_.title + " — page " + std::to_string(id));
-        page.paragraph("Static content for " + params_.slug + " page " +
-                       std::to_string(id) + ".");
-        page.list_begin();
-        // Tree children.
-        for (std::size_t c = 1; c <= params_.fanout; ++c) {
-          const std::size_t child = id * params_.fanout + c;
-          if (child < params_.page_count) {
-            page.nav_link("/" + params_.slug + "/p/" + std::to_string(child),
-                          params_.title + " " + std::to_string(child));
-          }
-        }
-        // Deterministic cross links (siblings elsewhere in the tree).
-        for (std::size_t k = 1; k <= params_.cross_links; ++k) {
-          const std::size_t other =
-              (id * 7 + k * 13) % params_.page_count;
-          if (other != id) {
-            page.nav_link("/" + params_.slug + "/p/" + std::to_string(other),
-                          "See also " + std::to_string(other));
-          }
-        }
-        if (id != 0) {
-          page.nav_link("/" + params_.slug + "/p/0", params_.title + " home");
-        }
-        page.list_end();
-        return Response::html(page.build());
-      });
+  const auto handler = [this, &app, page_path](RequestContext& ctx) {
+    app.cover(common_region_);
+    app.cover(handler_region_);
+    std::size_t id = 0;
+    try {
+      id = std::stoul(ctx.param("id"));
+    } catch (...) {
+      return Response::not_found("bad page id");
+    }
+    if (id >= params_.page_count) {
+      return Response::not_found(params_.slug + " page");
+    }
+    app.cover(pages_.variant_region(id));
+    app.cover(pages_.entity_region(id));
+
+    PageBuilder page(params_.title + " #" + std::to_string(id));
+    page.heading(params_.title + " — page " + std::to_string(id));
+    page.paragraph("Static content for " + params_.slug + " page " +
+                   std::to_string(id) + ".");
+    page.list_begin();
+    // Tree children.
+    for (std::size_t c = 1; c <= params_.fanout; ++c) {
+      const std::size_t child = id * params_.fanout + c;
+      if (child < params_.page_count) {
+        page.nav_link(page_path(child, 0),
+                      params_.title + " " + std::to_string(child));
+      }
+    }
+    // Deterministic cross links (siblings elsewhere in the tree), spelled
+    // through rotating alias mirrors when the dial is on.
+    for (std::size_t k = 1; k <= params_.cross_links; ++k) {
+      const std::size_t other = (id * 7 + k * 13) % params_.page_count;
+      if (other != id) {
+        page.nav_link(page_path(other, k),
+                      "See also " + std::to_string(other));
+      }
+    }
+    if (id != 0) {
+      page.nav_link(page_path(0, id), params_.title + " home");
+    }
+    page.list_end();
+    return Response::html(page.build());
+  };
+
+  app.router().get("/" + params_.slug + "/p/:id", handler);
+  for (std::size_t k = 1; k <= params_.alias_routes; ++k) {
+    app.router().get("/" + params_.slug + "/alt" + std::to_string(k) + "/:id",
+                     handler);
+  }
 
   if (params_.link_from_home) {
     app.add_home_link("/" + params_.slug + "/p/0", params_.title);
   }
+}
+
+std::size_t StaticSection::calibrated_lines() const {
+  return params_.shared_lines + 30 +
+         params_.variants * params_.lines_per_variant +
+         params_.page_count * params_.lines_per_entity;
 }
 
 void NewsArchive::install(WebApp& app) {
@@ -153,6 +174,12 @@ void NewsArchive::install(WebApp& app) {
   if (params_.link_from_home) {
     app.add_home_link("/" + params_.slug, params_.title);
   }
+}
+
+std::size_t NewsArchive::calibrated_lines() const {
+  return params_.shared_lines + 40 + 25 +
+         params_.variants * params_.lines_per_variant +
+         params_.article_count * params_.lines_per_entity;
 }
 
 }  // namespace mak::apps

@@ -29,6 +29,12 @@ struct StaticSectionParams {
   std::size_t lines_per_entity = 3;  // per-page micro-branches
   std::size_t cross_links = 2;     // extra deterministic cross links per page
   std::size_t shared_lines = 150;  // section code shared by all its pages
+  // URL-alias mirrors (the HotCRP pattern): every page is additionally
+  // served under /<slug>/alt<k>/<id> for k in [1, alias_routes], executing
+  // the same regions. Cross links rotate through the mirrors, so crawlers
+  // that key state on exact URLs see alias_routes + 1 URLs per page while
+  // the server-side line count is unchanged.
+  std::size_t alias_routes = 0;
   bool link_from_home = true;
 };
 
@@ -38,6 +44,7 @@ class StaticSection final : public Feature {
       : params_(std::move(params)) {}
 
   void install(webapp::WebApp& app) override;
+  std::size_t calibrated_lines() const override;
 
  private:
   StaticSectionParams params_;
@@ -63,6 +70,7 @@ class NewsArchive final : public Feature {
   explicit NewsArchive(NewsArchiveParams params) : params_(std::move(params)) {}
 
   void install(webapp::WebApp& app) override;
+  std::size_t calibrated_lines() const override;
 
  private:
   NewsArchiveParams params_;

@@ -129,4 +129,10 @@ void ValidatedSignup::install(WebApp& app) {
   }
 }
 
+
+std::size_t ValidatedSignup::calibrated_lines() const {
+  return 24 + 30 + 14 + 10 + params_.success_lines +
+         params_.member_pages * params_.lines_per_member_page;
+}
+
 }  // namespace mak::apps

@@ -1,0 +1,180 @@
+#include "apps/generator/app_spec.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "support/rng.h"
+
+namespace mak::apps::generator {
+
+namespace {
+
+void check_range(const char* field, std::size_t value, std::size_t lo,
+                 std::size_t hi) {
+  if (value < lo || value > hi) {
+    throw std::invalid_argument(
+        std::string("AppSpec.") + field + " = " + std::to_string(value) +
+        " out of range [" + std::to_string(lo) + ", " + std::to_string(hi) +
+        "]");
+  }
+}
+
+// Parse "<letter><decimal>" at `pos` in `name`; advances pos past the
+// trailing '-' (or to end). Returns false on any mismatch.
+bool take_field(std::string_view name, std::size_t& pos, char letter,
+                std::size_t& out) {
+  if (pos >= name.size() || name[pos] != letter) return false;
+  ++pos;
+  std::size_t value = 0;
+  std::size_t digits = 0;
+  while (pos < name.size() && name[pos] >= '0' && name[pos] <= '9') {
+    value = value * 10 + static_cast<std::size_t>(name[pos] - '0');
+    ++pos;
+    if (++digits > 9) return false;
+  }
+  if (digits == 0) return false;
+  if (pos < name.size()) {
+    if (name[pos] != '-') return false;
+    ++pos;
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+void AppSpec::validate() const {
+  check_range("line_budget", line_budget, 4000, 200000);
+  check_range("breadth", breadth, 1, 6);
+  check_range("depth", depth, 0, 3);
+  check_range("alias_density", alias_density, 0, 3);
+  check_range("traps", traps, 0, 4);
+  check_range("login_walls", login_walls, 0, 3);
+  check_range("wizards", wizards, 0, 3);
+  check_range("pagination", pagination, 0, 3);
+  check_range("dead_pct", dead_pct, 0, 40);
+}
+
+std::string AppSpec::to_name() const {
+  char seed_hex[17];
+  std::snprintf(seed_hex, sizeof(seed_hex), "%llx",
+                static_cast<unsigned long long>(seed));
+  std::string name = "gen-v1-s";
+  name += seed_hex;
+  name += "-L" + std::to_string(line_budget);
+  name += "-b" + std::to_string(breadth);
+  name += "-d" + std::to_string(depth);
+  name += "-a" + std::to_string(alias_density);
+  name += "-t" + std::to_string(traps);
+  name += "-g" + std::to_string(login_walls);
+  name += "-w" + std::to_string(wizards);
+  name += "-p" + std::to_string(pagination);
+  name += "-x" + std::to_string(dead_pct);
+  name += platform == Platform::kPhp ? "-php" : "-node";
+  return name;
+}
+
+std::optional<AppSpec> AppSpec::from_name(std::string_view name) {
+  constexpr std::string_view kPrefix = "gen-v1-s";
+  if (!name.starts_with(kPrefix)) return std::nullopt;
+  std::size_t pos = kPrefix.size();
+
+  std::uint64_t seed = 0;
+  std::size_t digits = 0;
+  while (pos < name.size() && name[pos] != '-') {
+    const char c = name[pos];
+    std::uint64_t nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return std::nullopt;
+    }
+    seed = (seed << 4) | nibble;
+    ++pos;
+    if (++digits > 16) return std::nullopt;
+  }
+  if (digits == 0 || pos >= name.size()) return std::nullopt;
+  ++pos;  // skip '-'
+
+  AppSpec spec;
+  spec.seed = seed;
+  if (!take_field(name, pos, 'L', spec.line_budget)) return std::nullopt;
+  if (!take_field(name, pos, 'b', spec.breadth)) return std::nullopt;
+  if (!take_field(name, pos, 'd', spec.depth)) return std::nullopt;
+  if (!take_field(name, pos, 'a', spec.alias_density)) return std::nullopt;
+  if (!take_field(name, pos, 't', spec.traps)) return std::nullopt;
+  if (!take_field(name, pos, 'g', spec.login_walls)) return std::nullopt;
+  if (!take_field(name, pos, 'w', spec.wizards)) return std::nullopt;
+  if (!take_field(name, pos, 'p', spec.pagination)) return std::nullopt;
+  if (!take_field(name, pos, 'x', spec.dead_pct)) return std::nullopt;
+
+  const std::string_view tail = name.substr(pos);
+  if (tail == "php") {
+    spec.platform = Platform::kPhp;
+  } else if (tail == "node") {
+    spec.platform = Platform::kNode;
+  } else {
+    return std::nullopt;
+  }
+  spec.validate();
+  return spec;
+}
+
+AppSpec AppSpec::from_seed(std::uint64_t population_seed) {
+  // Decisions draw from an Rng forked off the population seed; the content
+  // seed is an independent draw so structurally identical dial vectors from
+  // different population seeds still produce different apps.
+  support::Rng rng(support::mix64(population_seed ^ 0x67656e2d763100ULL));
+
+  AppSpec spec;
+  // Budget bands roughly matching the paper's testbed spread: many small
+  // apps (AddressBook-sized), a fat middle, a few Drupal-sized ones.
+  const std::uint64_t band = rng.next_below(100);
+  if (band < 40) {
+    spec.line_budget = 4000 + 100 * rng.next_below(61);      // 4k..10k
+  } else if (band < 85) {
+    spec.line_budget = 10000 + 250 * rng.next_below(81);     // 10k..30k
+  } else {
+    spec.line_budget = 30000 + 500 * rng.next_below(141);    // 30k..100k
+  }
+
+  const std::uint64_t b = rng.next_below(100);
+  spec.breadth = b < 30 ? 1 : b < 60 ? 2 : b < 80 ? 3 : b < 92 ? 4
+                 : b < 98 ? 5 : 6;
+  spec.depth = rng.next_below(4);
+  spec.alias_density = rng.next_below(4);
+  const std::uint64_t t = rng.next_below(100);
+  spec.traps = t < 50 ? 0 : t < 75 ? 1 : t < 90 ? 2 : t < 97 ? 3 : 4;
+  const std::uint64_t g = rng.next_below(100);
+  spec.login_walls = g < 45 ? 0 : g < 80 ? 1 : g < 95 ? 2 : 3;
+  spec.wizards = rng.next_below(3);
+  spec.pagination = rng.next_below(4);
+
+  // Platform mix mirrors the paper's 8 PHP : 3 Node testbed. Node apps get
+  // substantial dead code (coverage-node reports against total declared
+  // lines, vendored-but-unreachable code included); PHP apps mostly none.
+  if (rng.next_below(11) < 8) {
+    spec.platform = Platform::kPhp;
+    spec.dead_pct = rng.next_below(100) < 25 ? 5 * (1 + rng.next_below(2)) : 0;
+  } else {
+    spec.platform = Platform::kNode;
+    spec.dead_pct = 10 + 5 * rng.next_below(7);  // 10..40
+  }
+
+  spec.seed = rng.next();
+  spec.validate();
+  return spec;
+}
+
+std::vector<AppSpec> population_specs(std::uint64_t seed, std::size_t n) {
+  std::vector<AppSpec> specs;
+  specs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    specs.push_back(AppSpec::from_seed(support::mix64(seed) + i));
+  }
+  return specs;
+}
+
+}  // namespace mak::apps::generator

@@ -1,0 +1,78 @@
+// Trait grammar for procedurally generated testbed applications.
+//
+// An AppSpec is a small vector of structural dials — breadth/depth of the
+// content mix, URL-alias density, trap count, login/wizard/pagination
+// counts, a dead-code percentage — plus a target server-side line budget.
+// The generator (apps/generator/generator.h) composes the feature library
+// into a SyntheticApp whose total arena line count equals line_budget
+// EXACTLY, so ground truth is known in closed form per spec.
+//
+// Everything downstream is a pure function of (seed, dials): the canonical
+// name encodes every field and round-trips through from_name(), which is
+// how orchestrator worker processes (which re-exec and look apps up by
+// name) rebuild the identical app.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/synthetic_app.h"
+
+namespace mak::apps::generator {
+
+struct AppSpec {
+  // Content seed: drives section-kind rotation, slugs, and any structural
+  // choice not pinned by a dial. Two specs differing only in seed are
+  // different apps with the same trait surface.
+  std::uint64_t seed = 0;
+
+  // Target total server-side lines (framework + features + dead code).
+  // The generated app's CodeModel totals exactly this many lines.
+  std::size_t line_budget = 12000;
+
+  // Structural dials. validate() documents the accepted ranges; the bounds
+  // guarantee the budget allocator always has room for at least one
+  // content section.
+  std::size_t breadth = 2;        // content sections, 1..6
+  std::size_t depth = 1;          // link-depth dial, 0..3 (deeper trees,
+                                  // more wizard steps, more variants)
+  std::size_t alias_density = 0;  // URL-alias mirrors per page, 0..3
+  std::size_t traps = 0;          // calendar traps, 0..4
+  std::size_t login_walls = 0;    // login-gated areas, 0..3
+  std::size_t wizards = 0;        // multi-step wizards, 0..3
+  std::size_t pagination = 0;     // paginated flows (forum/cart), 0..3
+  std::size_t dead_pct = 0;       // % of budget that is dead code, 0..40
+  Platform platform = Platform::kPhp;
+
+  bool operator==(const AppSpec&) const = default;
+
+  // Throws std::invalid_argument naming the offending field if any dial is
+  // out of range.
+  void validate() const;
+
+  // Canonical self-describing name, e.g.
+  //   gen-v1-s1f3a-L12000-b2-d1-a0-t0-g1-w0-p1-x0-php
+  // (s = seed in hex, L = line budget, then one letter per dial). Used as
+  // the AppInfo name, so scratch directories, digests and worker lookups
+  // work unchanged for generated apps.
+  std::string to_name() const;
+
+  // Parse a canonical name back into a spec. Returns nullopt if the string
+  // is not a well-formed gen-v1 name; the result is validate()d.
+  static std::optional<AppSpec> from_name(std::string_view name);
+
+  // Sample a spec from a population seed: every dial drawn from a fixed
+  // distribution (budget bands, trait frequencies) so a seed sweep covers
+  // the trait space. Pure function of population_seed.
+  static AppSpec from_seed(std::uint64_t population_seed);
+};
+
+// The first n specs of the population stream rooted at `seed`: element i is
+// from_seed(mix(seed, i)), so populations with the same root are prefixes
+// of each other.
+std::vector<AppSpec> population_specs(std::uint64_t seed, std::size_t n);
+
+}  // namespace mak::apps::generator

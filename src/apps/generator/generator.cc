@@ -1,0 +1,532 @@
+#include "apps/generator/generator.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "apps/features/aliased_reviews.h"
+#include "apps/features/calendar_trap.h"
+#include "apps/features/cart_flow.h"
+#include "apps/features/deep_wizard.h"
+#include "apps/features/login_area.h"
+#include "apps/features/module_router.h"
+#include "apps/features/mutable_shortcuts.h"
+#include "apps/features/paginated_forum.h"
+#include "apps/features/search_box.h"
+#include "apps/features/static_section.h"
+#include "apps/features/validated_signup.h"
+#include "support/rng.h"
+#include "support/strings.h"
+#include "webapp/app_base.h"
+
+namespace mak::apps::generator {
+
+namespace {
+
+enum class SlotKind {
+  kStatic,
+  kNews,
+  kModules,
+  kAliased,
+  kForum,
+  kCart,
+  kLogin,
+  kWizard,
+  kSearch,
+  kSignup,
+  kShortcuts,
+};
+
+// A feature slot competing for the distributable budget R. min_lines is the
+// smallest share its builder can consume exactly (the bounds in the builder
+// arithmetic below assume it); weight steers the largest-remainder split of
+// the surplus — content carries most of an app's code, flows next, chrome
+// features least.
+struct Slot {
+  SlotKind kind;
+  std::size_t index = 0;  // ordinal in its group; keeps slugs unique
+  std::size_t min_lines = 0;
+  std::size_t weight = 0;
+  std::size_t share = 0;
+};
+
+std::size_t slot_min(SlotKind kind) {
+  switch (kind) {
+    case SlotKind::kStatic:
+    case SlotKind::kNews:
+      return 600;
+    case SlotKind::kModules:
+      return 900;
+    case SlotKind::kAliased:
+    case SlotKind::kForum:
+    case SlotKind::kCart:
+      return 700;
+    case SlotKind::kLogin:
+      return 500;
+    case SlotKind::kWizard:
+      return 300;
+    case SlotKind::kSearch:
+      return 320;
+    case SlotKind::kSignup:
+      return 250;
+    case SlotKind::kShortcuts:
+      return 230;
+  }
+  return 0;
+}
+
+std::size_t slot_weight(SlotKind kind) {
+  switch (kind) {
+    case SlotKind::kStatic:
+    case SlotKind::kNews:
+    case SlotKind::kModules:
+    case SlotKind::kAliased:
+      return 4;
+    case SlotKind::kForum:
+    case SlotKind::kCart:
+      return 3;
+    case SlotKind::kLogin:
+    case SlotKind::kWizard:
+      return 2;
+    case SlotKind::kSearch:
+    case SlotKind::kSignup:
+    case SlotKind::kShortcuts:
+      return 1;
+  }
+  return 1;
+}
+
+Slot make_slot(SlotKind kind, std::size_t index) {
+  return Slot{kind, index, slot_min(kind), slot_weight(kind), 0};
+}
+
+struct Plan {
+  std::size_t overhead_lines = 0;
+  std::size_t dead_lines = 0;
+  std::vector<Slot> slots;  // kept slots, shares summing exactly to R
+};
+
+// Split `surplus` over the slots proportionally to weight, distributing the
+// integer leftovers by largest remainder (ties to the earlier slot) so the
+// shares sum exactly to min + surplus.
+void allocate_shares(std::vector<Slot>& slots, std::size_t surplus) {
+  if (slots.empty()) return;
+  std::size_t total_weight = 0;
+  for (const Slot& slot : slots) total_weight += slot.weight;
+  std::size_t assigned = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> remainders;  // (rem, idx)
+  remainders.reserve(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const std::size_t portion = surplus * slots[i].weight;
+    const std::size_t extra = portion / total_weight;
+    slots[i].share = slots[i].min_lines + extra;
+    assigned += extra;
+    remainders.emplace_back(portion % total_weight, i);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  std::size_t leftover = surplus - assigned;
+  for (std::size_t i = 0; i < leftover; ++i) {
+    slots[remainders[i % remainders.size()].second].share += 1;
+  }
+}
+
+Plan plan_app(const AppSpec& spec) {
+  spec.validate();
+  Plan plan;
+  plan.overhead_lines = generated_overhead_lines(spec);
+  plan.dead_lines = generated_dead_lines(spec);
+
+  const std::size_t fixed = webapp::WebApp::kFrameworkBaseLines +
+                            plan.overhead_lines + plan.dead_lines +
+                            spec.traps * kTrapLines;
+  // The AppSpec bounds guarantee R >= 846 >= the largest single slot
+  // minimum, so at least one content section always fits.
+  const std::size_t distributable = spec.line_budget - fixed;
+
+  const std::uint64_t h = support::mix64(spec.seed);
+
+  // Content sections rotate through the four content kinds, starting at a
+  // seed-chosen offset. AliasedReviews registers fixed route paths
+  // (/papers, /review), so at most one instance per app; repeats fall back
+  // to NewsArchive. A non-zero alias dial pins the first section to
+  // StaticSection, the feature that implements URL-alias mirrors.
+  static constexpr SlotKind kCycle[4] = {SlotKind::kStatic, SlotKind::kNews,
+                                         SlotKind::kModules,
+                                         SlotKind::kAliased};
+  std::vector<Slot> content;
+  bool aliased_used = false;
+  for (std::size_t j = 0; j < spec.breadth; ++j) {
+    SlotKind kind = kCycle[(static_cast<std::size_t>(h & 3) + j) % 4];
+    if (j == 0 && spec.alias_density > 0) kind = SlotKind::kStatic;
+    if (kind == SlotKind::kAliased) {
+      if (aliased_used) kind = SlotKind::kNews;
+      aliased_used = true;
+    }
+    content.push_back(make_slot(kind, j));
+  }
+  std::vector<Slot> flows;
+  for (std::size_t j = 0; j < spec.pagination; ++j) {
+    flows.push_back(make_slot(
+        ((h >> (8 + j)) & 1) ? SlotKind::kCart : SlotKind::kForum, j));
+  }
+  std::vector<Slot> logins;
+  for (std::size_t j = 0; j < spec.login_walls; ++j) {
+    logins.push_back(make_slot(SlotKind::kLogin, j));
+  }
+  std::vector<Slot> wizards;
+  for (std::size_t j = 0; j < spec.wizards; ++j) {
+    wizards.push_back(make_slot(SlotKind::kWizard, j));
+  }
+
+  // Priority order for small budgets: the first content section and the
+  // site chrome come first, then the dial-driven features round-robin, then
+  // extra content sections. The kept set is the longest prefix whose
+  // minimums fit in R — dials beyond the budget are quietly dropped, which
+  // keeps every (budget, dials) combination constructible.
+  std::vector<Slot> ordered;
+  const auto push_group = [&ordered](const std::vector<Slot>& group,
+                                     std::size_t i) {
+    if (i < group.size()) ordered.push_back(group[i]);
+  };
+  push_group(content, 0);
+  ordered.push_back(make_slot(SlotKind::kSearch, 0));
+  push_group(logins, 0);
+  push_group(wizards, 0);
+  push_group(flows, 0);
+  push_group(content, 1);
+  if ((h >> 2) & 1) ordered.push_back(make_slot(SlotKind::kSignup, 0));
+  if ((h >> 3) & 1) ordered.push_back(make_slot(SlotKind::kShortcuts, 0));
+  for (std::size_t j = 1; j < 3; ++j) {
+    push_group(logins, j);
+    push_group(wizards, j);
+    push_group(flows, j);
+    push_group(content, j + 1);
+  }
+  push_group(content, 4);
+  push_group(content, 5);
+
+  std::size_t used = 0;
+  for (const Slot& slot : ordered) {
+    if (used + slot.min_lines > distributable) break;
+    used += slot.min_lines;
+    plan.slots.push_back(slot);
+  }
+  allocate_shares(plan.slots, distributable - used);
+  return plan;
+}
+
+// --- feature builders -----------------------------------------------------
+//
+// Each builder consumes slot.share EXACTLY: fixed handler regions and
+// variant/entity tables are sized from the share and the depth dial, and
+// the integer remainder is absorbed into the feature's shared-lines
+// parameter. make_generated() re-checks this via calibrated_lines().
+
+std::unique_ptr<Feature> build_static(const Slot& slot, const AppSpec& spec,
+                                      std::size_t alias_routes) {
+  const std::size_t share = slot.share;
+  StaticSectionParams p;
+  p.slug = "sec" + std::to_string(slot.index);
+  p.title = "Section " + std::to_string(slot.index);
+  p.lines_per_variant = 40;
+  p.lines_per_entity = 3;
+  p.variants = std::clamp<std::size_t>(6 + 2 * spec.depth, 2,
+                                       (share / 2 - 30) / 40);
+  const std::size_t rest = share - 30 - p.variants * p.lines_per_variant;
+  p.page_count = rest / 6;
+  p.shared_lines = rest - p.page_count * p.lines_per_entity;
+  p.fanout = spec.depth >= 2 ? 3 : 4;
+  p.cross_links = 2;
+  p.alias_routes = alias_routes;
+  return std::make_unique<StaticSection>(std::move(p));
+}
+
+std::unique_ptr<Feature> build_news(const Slot& slot, const AppSpec& spec) {
+  const std::size_t share = slot.share;
+  NewsArchiveParams p;
+  p.slug = "news" + std::to_string(slot.index);
+  p.title = "News " + std::to_string(slot.index);
+  p.lines_per_variant = 50;
+  p.lines_per_entity = 3;
+  p.index_page_size = 10;
+  p.variants = std::clamp<std::size_t>(8 + 2 * spec.depth, 2,
+                                       (share / 2 - 65) / 50);
+  const std::size_t rest = share - 65 - p.variants * p.lines_per_variant;
+  p.article_count = rest / 6;
+  p.shared_lines = rest - p.article_count * p.lines_per_entity;
+  return std::make_unique<NewsArchive>(std::move(p));
+}
+
+std::unique_ptr<Feature> build_modules(const Slot& slot, const AppSpec& spec) {
+  const std::size_t share = slot.share;
+  ModuleRouterParams p;
+  p.script = "/admin" + std::to_string(slot.index) + ".php";
+  p.module_count = 5 + spec.depth;
+  p.lines_per_action = 22;
+  // Reserve a fifth of the share for shared plugin-framework code, then
+  // size each module to an equal cut of the rest.
+  const std::size_t per_module = (share - 45 - share / 5) / p.module_count;
+  p.actions_per_module =
+      std::clamp<std::size_t>((per_module - 20) / p.lines_per_action, 2, 6);
+  p.lines_per_module =
+      per_module - p.actions_per_module * p.lines_per_action;
+  p.shared_lines =
+      share - 45 -
+      p.module_count * (p.lines_per_module +
+                        p.actions_per_module * p.lines_per_action);
+  return std::make_unique<ModuleRouter>(std::move(p));
+}
+
+std::unique_ptr<Feature> build_aliased(const Slot& slot, const AppSpec& spec) {
+  const std::size_t share = slot.share;
+  AliasedReviewsParams p;
+  p.lines_per_paper_variant = 35;
+  p.lines_per_review_variant = 45;
+  p.lines_per_entity = 2;
+  p.paper_variants =
+      std::clamp<std::size_t>(6 + spec.depth, 2, (share / 4) / 35);
+  p.review_variants =
+      std::clamp<std::size_t>(8 + spec.depth, 2, (share / 4) / 45);
+  const std::size_t rest = share - 135 -
+                           p.paper_variants * p.lines_per_paper_variant -
+                           p.review_variants * p.lines_per_review_variant;
+  p.paper_count = rest / 8;  // each paper costs 2 * lines_per_entity
+  p.shared_lines = rest - 2 * p.paper_count * p.lines_per_entity;
+  return std::make_unique<AliasedReviews>(std::move(p));
+}
+
+std::unique_ptr<Feature> build_forum(const Slot& slot, const AppSpec& spec) {
+  const std::size_t share = slot.share;
+  PaginatedForumParams p;
+  p.slug = "forum" + std::to_string(slot.index);
+  p.board_count = 2 + spec.depth;
+  p.lines_per_board = 30;
+  p.lines_per_topic_variant = 45;
+  p.lines_per_topic = 2;
+  p.topics_per_page = 8;
+  p.posts_per_topic = 3;
+  p.topic_variants =
+      std::clamp<std::size_t>(6 + 2 * spec.depth, 2, (share / 4) / 45);
+  const std::size_t rest = share - 129 -
+                           p.board_count * p.lines_per_board -
+                           p.topic_variants * p.lines_per_topic_variant;
+  p.topics_per_board = std::max<std::size_t>(3, rest / (4 * p.board_count));
+  p.shared_lines =
+      rest - p.board_count * p.topics_per_board * p.lines_per_topic;
+  return std::make_unique<PaginatedForum>(std::move(p));
+}
+
+std::unique_ptr<Feature> build_cart(const Slot& slot, const AppSpec& spec) {
+  const std::size_t share = slot.share;
+  CartFlowParams p;
+  p.slug = "shop" + std::to_string(slot.index);
+  p.lines_per_product_variant = 40;
+  p.lines_per_product = 2;
+  p.products_per_page = 10;
+  p.product_variants =
+      std::clamp<std::size_t>(8 + spec.depth, 2, (share / 4) / 40);
+  const std::size_t rest =
+      share - 206 - p.product_variants * p.lines_per_product_variant;
+  p.product_count = rest / 4;
+  p.shared_lines = rest - p.product_count * p.lines_per_product;
+  return std::make_unique<CartFlow>(std::move(p));
+}
+
+std::unique_ptr<Feature> build_login(const Slot& slot, const AppSpec& spec) {
+  const std::size_t share = slot.share;
+  LoginAreaParams p;
+  p.slug = "account" + std::to_string(slot.index);
+  p.lines_per_variant = 45;
+  p.lines_per_page = 3;
+  p.page_variants =
+      std::clamp<std::size_t>(4 + spec.depth, 1, (share / 4) / 45);
+  const std::size_t rest = share - 78 - p.page_variants * p.lines_per_variant;
+  p.private_pages = std::max<std::size_t>(3, rest / 6);
+  p.shared_lines = rest - p.private_pages * p.lines_per_page;
+  return std::make_unique<LoginArea>(std::move(p));
+}
+
+std::unique_ptr<Feature> build_wizard(const Slot& slot, const AppSpec& spec) {
+  const std::size_t share = slot.share;
+  DeepWizardParams p;
+  p.slug = "wizard" + std::to_string(slot.index);
+  p.title = "Setup wizard " + std::to_string(slot.index);
+  const std::size_t avail =
+      share - 68 - std::max<std::size_t>(80, share / 4);
+  p.steps = 5 + 3 * spec.depth;
+  p.lines_per_step = avail / p.steps;
+  if (p.lines_per_step < 8) {
+    p.steps = std::max<std::size_t>(3, avail / 8);
+    p.lines_per_step = avail / p.steps;
+  }
+  p.shared_lines = share - 68 - p.steps * p.lines_per_step;
+  return std::make_unique<DeepWizard>(std::move(p));
+}
+
+std::unique_ptr<Feature> build_search(const Slot& slot,
+                                      std::vector<std::string> targets) {
+  SearchBoxParams p;
+  p.result_paths = std::move(targets);
+  p.shared_lines = slot.share - 57;
+  return std::make_unique<SearchBox>(std::move(p));
+}
+
+std::unique_ptr<Feature> build_signup(const Slot& slot, const AppSpec& spec) {
+  const std::size_t share = slot.share;
+  ValidatedSignupParams p;
+  p.lines_per_member_page = 25;
+  p.member_pages = 3 + spec.depth;
+  if (78 + p.member_pages * p.lines_per_member_page + 40 > share) {
+    p.member_pages = std::max<std::size_t>(2, (share - 78 - 40) / 25);
+  }
+  p.success_lines = share - 78 - p.member_pages * p.lines_per_member_page;
+  return std::make_unique<ValidatedSignup>(std::move(p));
+}
+
+std::unique_ptr<Feature> build_shortcuts(const Slot& slot) {
+  MutableShortcutsParams p;
+  p.max_shortcuts = 500;
+  p.shared_lines = slot.share - 70;
+  return std::make_unique<MutableShortcuts>(std::move(p));
+}
+
+// Search-result targets pointing into the first content section, so the
+// search feature links to real content whatever kind leads the mix.
+std::vector<std::string> search_targets(const Plan& plan) {
+  for (const Slot& slot : plan.slots) {
+    switch (slot.kind) {
+      case SlotKind::kStatic: {
+        const std::string base = "/sec" + std::to_string(slot.index) + "/p/";
+        return {base + "1", base + "2", base + "3"};
+      }
+      case SlotKind::kNews: {
+        const std::string base = "/news" + std::to_string(slot.index);
+        return {base, base + "/a/1", base + "/a/2"};
+      }
+      case SlotKind::kModules: {
+        const std::string base = "/admin" + std::to_string(slot.index) +
+                                 ".php?module=";
+        return {base + "CoreHome&action=index",
+                base + "Dashboard&action=manage"};
+      }
+      case SlotKind::kAliased:
+        return {"/papers", "/paper/1", "/review"};
+      default:
+        continue;
+    }
+  }
+  return {"/"};
+}
+
+std::unique_ptr<Feature> build_slot(const Slot& slot, const AppSpec& spec,
+                                    const Plan& plan) {
+  switch (slot.kind) {
+    case SlotKind::kStatic:
+      return build_static(slot, spec,
+                          slot.index == 0 ? spec.alias_density : 0);
+    case SlotKind::kNews:
+      return build_news(slot, spec);
+    case SlotKind::kModules:
+      return build_modules(slot, spec);
+    case SlotKind::kAliased:
+      return build_aliased(slot, spec);
+    case SlotKind::kForum:
+      return build_forum(slot, spec);
+    case SlotKind::kCart:
+      return build_cart(slot, spec);
+    case SlotKind::kLogin:
+      return build_login(slot, spec);
+    case SlotKind::kWizard:
+      return build_wizard(slot, spec);
+    case SlotKind::kSearch:
+      return build_search(slot, search_targets(plan));
+    case SlotKind::kSignup:
+      return build_signup(slot, spec);
+    case SlotKind::kShortcuts:
+      return build_shortcuts(slot);
+  }
+  throw std::logic_error("generator: unhandled slot kind");
+}
+
+}  // namespace
+
+std::size_t generated_overhead_lines(const AppSpec& spec) {
+  return spec.line_budget / 5;
+}
+
+std::size_t generated_dead_lines(const AppSpec& spec) {
+  return spec.line_budget * spec.dead_pct / 100;
+}
+
+GeneratedApp describe_generated(const AppSpec& spec) {
+  spec.validate();
+  GeneratedApp described;
+  described.spec = spec;
+  described.name = spec.to_name();
+  described.total_lines = spec.line_budget;
+  described.reachable_lines = spec.line_budget - generated_dead_lines(spec);
+  return described;
+}
+
+std::unique_ptr<SyntheticApp> make_generated(const AppSpec& spec) {
+  const Plan plan = plan_app(spec);
+  const std::string name = spec.to_name();
+  // URL parsing lowercases hosts, so the host must not carry the name's
+  // uppercase budget marker ("-L12000-").
+  std::string host = support::to_lower(name) + ".test";
+  auto app = std::make_unique<SyntheticApp>(name, std::move(host),
+                                            spec.platform);
+  app->set_framework_overhead(plan.overhead_lines);
+  if (plan.dead_lines > 0) {
+    const auto file = app->arena().file(
+        spec.platform == Platform::kNode ? "build/bundle.js"
+                                         : "vendor/unused.php");
+    app->arena().dead_code(file, plan.dead_lines);
+  }
+  for (const Slot& slot : plan.slots) {
+    auto feature = build_slot(slot, spec, plan);
+    if (feature->calibrated_lines() != slot.share) {
+      throw std::logic_error(
+          "generator: slot consumed " +
+          std::to_string(feature->calibrated_lines()) + " lines, share was " +
+          std::to_string(slot.share) + " (app " + name + ")");
+    }
+    app->add_feature(std::move(feature));
+  }
+  for (std::size_t j = 0; j < spec.traps; ++j) {
+    CalendarTrapParams p;
+    p.slug = "cal" + std::to_string(j);
+    p.month_count = 720;
+    p.start_month = 360;
+    p.days_per_month = (j % 2) ? 28 : 0;
+    p.shared_lines = 120;
+    auto trap = std::make_unique<CalendarTrap>(std::move(p));
+    if (trap->calibrated_lines() != kTrapLines) {
+      throw std::logic_error("generator: trap calibration drifted");
+    }
+    app->add_feature(std::move(trap));
+  }
+  app->finalize();
+  if (app->code_model().total_lines() != spec.line_budget) {
+    throw std::logic_error(
+        "generator: app " + name + " modelled " +
+        std::to_string(app->code_model().total_lines()) +
+        " lines, budget was " + std::to_string(spec.line_budget));
+  }
+  return app;
+}
+
+std::vector<GeneratedApp> population(std::uint64_t seed, std::size_t n) {
+  std::vector<GeneratedApp> apps;
+  apps.reserve(n);
+  for (AppSpec& spec : population_specs(seed, n)) {
+    apps.push_back(describe_generated(spec));
+  }
+  return apps;
+}
+
+}  // namespace mak::apps::generator

@@ -1,0 +1,69 @@
+// Procedural app generator: composes the feature library (apps/features)
+// into SyntheticApps with closed-form ground truth, driven by an AppSpec.
+//
+// The central invariant is EXACT budget accounting. A generated app's total
+// arena line count equals spec.line_budget to the line:
+//
+//   line_budget = WebApp::kFrameworkBaseLines            (fixed skeleton)
+//               + framework overhead (line_budget / 5)
+//               + dead code          (line_budget * dead_pct / 100)
+//               + traps * kTrapLines (calendar traps, fixed size)
+//               + R                  (distributed over variable features)
+//
+// R is split across the spec's feature slots by a largest-remainder
+// weighted allocation, and every feature builder consumes its share
+// exactly (absorbing integer remainders into the feature's shared-code
+// parameter). Consequences the test harness relies on:
+//
+//   * reachable lines = line_budget - dead lines, independent of the
+//     alias dial (aliases mint URLs, not code) and independent of trap
+//     count (a trap's lines come out of R, not on top of it);
+//   * ground truth is known without crawling: see GeneratedApp;
+//   * SyntheticApp::calibrated_feature_lines() matches the model exactly
+//     (make_generated verifies this and throws std::logic_error on drift).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/generator/app_spec.h"
+#include "apps/synthetic_app.h"
+
+namespace mak::apps::generator {
+
+// Arena lines of one calendar trap as the generator configures it
+// (CalendarTrap shared_lines 120 + 34 fixed).
+inline constexpr std::size_t kTrapLines = 154;
+
+// Closed-form description of a generated app; cheap (no app construction).
+struct GeneratedApp {
+  AppSpec spec;
+  std::string name;  // spec.to_name()
+  // Ground truth: total modelled lines (== spec.line_budget) and the subset
+  // reachable by any crawler (total minus dead code).
+  std::size_t total_lines = 0;
+  std::size_t reachable_lines = 0;
+};
+
+// Framework overhead the generator assigns (line_budget / 5), mirroring the
+// hand-built catalog apps where boot/vendor code sets the coverage floor.
+std::size_t generated_overhead_lines(const AppSpec& spec);
+
+// Dead lines the generator allocates (line_budget * dead_pct / 100).
+std::size_t generated_dead_lines(const AppSpec& spec);
+
+// Describe without building. Validates the spec.
+GeneratedApp describe_generated(const AppSpec& spec);
+
+// Build the app. Deterministic: byte-identical route tables and line
+// layout for equal specs. Validates the spec; throws std::logic_error if
+// the built app misses its calibration (a generator bug, not a user error).
+std::unique_ptr<SyntheticApp> make_generated(const AppSpec& spec);
+
+// The first n apps of the population stream rooted at `seed` (described,
+// not built).
+std::vector<GeneratedApp> population(std::uint64_t seed, std::size_t n);
+
+}  // namespace mak::apps::generator

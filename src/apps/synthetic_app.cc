@@ -14,6 +14,12 @@ std::string_view to_string(Platform platform) noexcept {
   return "?";
 }
 
+std::size_t SyntheticApp::calibrated_feature_lines() const noexcept {
+  std::size_t total = 0;
+  for (const auto& feature : features_) total += feature->calibrated_lines();
+  return total;
+}
+
 void SyntheticApp::add_feature(std::unique_ptr<Feature> feature) {
   if (finalized()) {
     throw std::logic_error("SyntheticApp::add_feature after finalize()");

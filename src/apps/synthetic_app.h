@@ -31,6 +31,12 @@ class SyntheticApp final : public webapp::WebApp {
 
   std::size_t feature_count() const noexcept { return features_.size(); }
 
+  // Sum of the installed features' calibrated_lines() — the feature part of
+  // the line-calibration identity (see Feature::calibrated_lines()):
+  //   total = kFrameworkBaseLines + framework_overhead_lines()
+  //           + calibrated_feature_lines() + arena().dead_lines()
+  std::size_t calibrated_feature_lines() const noexcept;
+
  private:
   Platform platform_;
   std::vector<std::unique_ptr<Feature>> features_;

@@ -43,11 +43,10 @@ std::string crc_hex(std::uint32_t crc) {
   return std::string(buffer);
 }
 
-const apps::AppInfo* find_app(const std::string& name) {
-  for (const auto& info : apps::app_catalog()) {
-    if (info.name == name) return &info;
-  }
-  return nullptr;
+// Catalog names and generated "gen-v1-..." names both resolve; the latter
+// encode their full spec, so a re-exec'd worker rebuilds the same app.
+std::optional<apps::AppInfo> find_app(const std::string& name) {
+  return apps::resolve_app(name);
 }
 
 std::optional<CrawlerKind> find_crawler(const std::string& name) {
@@ -394,9 +393,9 @@ int worker_run(int argc, char** argv) {
     std::fprintf(stderr, "worker: bad invocation\n");
     return kExitTransient;
   }
-  const apps::AppInfo* info = find_app(args.app);
+  const auto info = find_app(args.app);
   const auto kind = find_crawler(args.crawler);
-  if (info == nullptr || !kind.has_value()) {
+  if (!info.has_value() || !kind.has_value()) {
     std::fprintf(stderr, "worker: unknown app or crawler\n");
     return kExitTransient;
   }
@@ -750,9 +749,9 @@ int replay_bundle(const std::string& bundle_dir) {
     const std::string& app_name = snapshot::require_string(*manifest, "app");
     const std::string& crawler_name =
         snapshot::require_string(*manifest, "crawler");
-    const apps::AppInfo* info = find_app(app_name);
+    const auto info = find_app(app_name);
     const auto kind = find_crawler(crawler_name);
-    if (info == nullptr || !kind.has_value()) {
+    if (!info.has_value() || !kind.has_value()) {
       std::fprintf(stderr, "replay: unknown app or crawler in manifest\n");
       return 1;
     }

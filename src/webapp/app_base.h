@@ -35,6 +35,12 @@ struct LatencyProfile {
 
 class WebApp : public httpsim::VirtualHost {
  public:
+  // Lines of the framework skeleton every WebApp allocates in its
+  // constructor (boot + session + 404 + home regions). Part of the line
+  // calibration contract: total lines = kFrameworkBaseLines +
+  // framework_overhead_lines() + sum of feature calibrations + dead code.
+  static constexpr std::size_t kFrameworkBaseLines = 60 + 35 + 18 + 25;
+
   WebApp(std::string name, std::string host);
   ~WebApp() override = default;
 
@@ -44,7 +50,9 @@ class WebApp : public httpsim::VirtualHost {
 
   // --- construction-time API (before finalize) ---
   CodeArena& arena() noexcept { return arena_; }
+  const CodeArena& arena() const noexcept { return arena_; }
   Router& router() noexcept { return router_; }
+  const Router& router() const noexcept { return router_; }
   LatencyProfile& latency() noexcept { return latency_; }
   void add_home_link(std::string href, std::string label);
 
@@ -54,6 +62,10 @@ class WebApp : public httpsim::VirtualHost {
   // lines — and it sets the coverage floor any crawler reaches after a
   // single request. Must be called before finalize().
   void set_framework_overhead(std::size_t lines);
+  // Lines of the overhead region (0 before set_framework_overhead()).
+  std::size_t framework_overhead_lines() const noexcept {
+    return overhead_region_.lines();
+  }
 
   // Mark a region executed; valid only while handling a request (handlers
   // capture the app and call this).

@@ -34,6 +34,7 @@ void CodeArena::dead_code(coverage::FileId id, std::size_t lines) {
     throw std::out_of_range("CodeArena::dead_code: bad file id");
   }
   files_[id].lines += lines;
+  dead_lines_ += lines;
 }
 
 void CodeArena::dead_code(std::size_t lines) {

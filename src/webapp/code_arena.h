@@ -47,6 +47,8 @@ class CodeArena {
 
   std::size_t file_count() const noexcept { return files_.size(); }
   std::size_t total_lines() const noexcept;
+  // Lines allocated through dead_code(); total_lines() includes them.
+  std::size_t dead_lines() const noexcept { return dead_lines_; }
 
   // Finalize: produces the CodeModel with exactly the allocated line counts.
   // The arena must not be used afterwards.
@@ -60,6 +62,7 @@ class CodeArena {
   coverage::FileId require_current_file() const;
 
   std::vector<PendingFile> files_;
+  std::size_t dead_lines_ = 0;
 };
 
 }  // namespace mak::webapp

@@ -14,6 +14,7 @@ void Router::add(httpsim::Method method, std::string pattern,
   Route route;
   route.method = method;
   route.handler = std::move(handler);
+  route.pattern = pattern;
   auto segments = support::split_nonempty(pattern, '/');
   if (!segments.empty() && segments.back().starts_with('*')) {
     route.trailing_wildcard = true;
@@ -50,6 +51,16 @@ bool Router::match_route(const Route& route, std::string_view path,
   }
   params = std::move(captured);
   return true;
+}
+
+std::vector<std::string> Router::route_table() const {
+  std::vector<std::string> table;
+  table.reserve(routes_.size());
+  for (const auto& route : routes_) {
+    table.push_back(std::string(httpsim::to_string(route.method)) + " " +
+                    route.pattern);
+  }
+  return table;
 }
 
 const Handler* Router::match(httpsim::Method method,

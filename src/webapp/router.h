@@ -53,9 +53,16 @@ class Router {
 
   std::size_t route_count() const noexcept { return routes_.size(); }
 
+  // The registered routes as "METHOD pattern" strings, in registration
+  // (i.e. matching-priority) order. Construction-time introspection: two
+  // identically built apps produce identical route tables, which the
+  // generator's determinism tests rely on.
+  std::vector<std::string> route_table() const;
+
  private:
   struct Route {
     httpsim::Method method;
+    std::string pattern;                // as registered (for route_table())
     std::vector<std::string> segments;  // pre-split pattern
     bool trailing_wildcard = false;     // last segment was "*name"
     std::string wildcard_name;

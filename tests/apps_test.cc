@@ -75,6 +75,20 @@ TEST(CatalogTest, MakeAppByName) {
   EXPECT_THROW(make_app("NotAnApp"), std::invalid_argument);
 }
 
+TEST(CatalogTest, MakeAppUnknownNameListsValidNames) {
+  try {
+    make_app("NotAnApp");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("NotAnApp"), std::string::npos) << message;
+    for (const auto& info : app_catalog()) {
+      EXPECT_NE(message.find(info.name), std::string::npos) << message;
+    }
+    EXPECT_NE(message.find("gen-v1-"), std::string::npos) << message;
+  }
+}
+
 TEST(CatalogTest, PlatformNames) {
   EXPECT_EQ(to_string(Platform::kPhp), "PHP");
   EXPECT_EQ(to_string(Platform::kNode), "Node.js");

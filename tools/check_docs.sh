@@ -7,6 +7,9 @@
 #      list in src/support/metric_names.h agree exactly, in both
 #      directions: every registered name is documented, and every
 #      documented name exists in source.
+#   3. Every field of the generator's AppSpec (src/apps/generator/
+#      app_spec.h) is documented in docs/apps.md — the trait table must
+#      not drift from the struct.
 #
 # Exit 0 when everything is consistent, 1 otherwise (each problem printed).
 set -u
@@ -62,6 +65,30 @@ done
 for name in $documented; do
   if ! printf '%s\n' $registered | grep -qx "$name"; then
     fail "$catalog: catalog row '$name' not found in $names_header"
+  fi
+done
+
+# --- 3. AppSpec fields <-> docs/apps.md ----------------------------------
+
+spec_header=src/apps/generator/app_spec.h
+apps_doc=docs/apps.md
+
+if [ ! -f "$spec_header" ] || [ ! -f "$apps_doc" ]; then
+  fail "missing $spec_header or $apps_doc"
+  exit 1
+fi
+
+# Field names: member declarations inside the AppSpec struct body.
+spec_fields=$(sed -n '/^struct AppSpec {/,/^};/p' "$spec_header" |
+    sed -n 's/^  [A-Za-z_:][A-Za-z0-9_:]*[a-z0-9_>] \([a-z_][a-z0-9_]*\) *[=;].*/\1/p' |
+    grep -v '^operator$' | sort -u)
+
+if [ -z "$spec_fields" ]; then
+  fail "$spec_header: could not extract any AppSpec fields"
+fi
+for field in $spec_fields; do
+  if ! grep -q "\`$field\`" "$apps_doc"; then
+    fail "$apps_doc: AppSpec field '$field' (from $spec_header) undocumented"
   fi
 done
 

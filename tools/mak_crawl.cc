@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "harness/experiment.h"
@@ -198,11 +199,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const apps::AppInfo* info = nullptr;
-  for (const auto& candidate : apps::app_catalog()) {
-    if (candidate.name == options.app) info = &candidate;
-  }
-  if (info == nullptr) {
+  // Catalog names and generated "gen-v1-..." specs (docs/apps.md) both work.
+  const std::optional<apps::AppInfo> info = apps::resolve_app(options.app);
+  if (!info.has_value()) {
     std::fprintf(stderr, "unknown app '%s' (try --list)\n",
                  options.app.c_str());
     return 2;

@@ -2,6 +2,13 @@
 //
 // Usage:
 //   metrics_diff <baseline.json> <candidate.json> [--threshold <percent>]
+//               [--identical]
+//
+// --identical switches from regression gating to an exact-equality check:
+// the two artifacts must contain the same entry list — same names in the
+// same order, bit-equal values, same units and directions. Used by the
+// determinism CI jobs (a serial and a --workers run of the same sweep must
+// produce byte-identical entries); exit 1 on the first difference.
 //
 // Both files must follow the BENCH schema (schema_version 1, see
 // docs/observability.md). An entry regresses when its value moved more than
@@ -57,10 +64,13 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string candidate_path;
   double threshold = 10.0;
+  bool identical = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--threshold") {
+    if (arg == "--identical") {
+      identical = true;
+    } else if (arg == "--threshold") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "metrics_diff: --threshold needs a value\n");
         return 2;
@@ -84,7 +94,7 @@ int main(int argc, char** argv) {
   if (baseline_path.empty() || candidate_path.empty()) {
     std::fprintf(stderr,
                  "usage: metrics_diff <baseline.json> <candidate.json> "
-                 "[--threshold <percent>]\n");
+                 "[--threshold <percent>] [--identical]\n");
     return 2;
   }
 
@@ -95,6 +105,29 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "metrics_diff: kind mismatch ('%s' vs '%s')\n",
                  baseline->kind.c_str(), candidate->kind.c_str());
     return 3;
+  }
+
+  if (identical) {
+    if (baseline->entries.size() != candidate->entries.size()) {
+      std::fprintf(stderr,
+                   "metrics_diff: entry count differs (%zu vs %zu)\n",
+                   baseline->entries.size(), candidate->entries.size());
+      return 1;
+    }
+    for (std::size_t i = 0; i < baseline->entries.size(); ++i) {
+      const auto& a = baseline->entries[i];
+      const auto& b = candidate->entries[i];
+      if (a.name != b.name || a.value != b.value || a.unit != b.unit ||
+          a.higher_is_better != b.higher_is_better) {
+        std::fprintf(stderr,
+                     "metrics_diff: entry %zu differs: %s=%.17g vs %s=%.17g\n",
+                     i, a.name.c_str(), a.value, b.name.c_str(), b.value);
+        return 1;
+      }
+    }
+    std::printf("metrics_diff: %s — %zu entries identical\n",
+                baseline->kind.c_str(), baseline->entries.size());
+    return 0;
   }
 
   const auto deltas =
