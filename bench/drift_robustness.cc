@@ -1,0 +1,230 @@
+// Drift robustness: the bandit-policy panel under nonstationary apps.
+//
+// Runs every policy in rl::policy_catalog() (via its MAK crawler variant)
+// over a small population of generated apps, once stationary and once per
+// drift profile (webapp/drift.h: deploy reroutes, A/B flips, content churn,
+// session-expiry storms). Reports per-run coverage, the per-policy
+// cumulative regret (rl/regret.h — the Bubeck & Cesa-Bianchi weak-regret
+// high-water mark), and the headline "retention": coverage under drift as a
+// percentage of the same policy's stationary coverage. Adversarial policies
+// (Exp3 family) should retain more than stochastic ones (UCB1, Thompson) —
+// the paper's argument for Exp3.1, measured instead of assumed.
+//
+// Protocol: MAK_REPS / MAK_BUDGET_MINUTES / MAK_SAMPLE_SECONDS override;
+// unset, the sweep defaults to 1 repetition x 6 virtual minutes per cell.
+//
+// The artifact (default results/BENCH_drift.json, override/disable via
+// MAK_BENCH_JSON) omits the metrics-registry block so repeated runs of the
+// same configuration are BYTE-IDENTICAL; CI runs it twice and diffs with
+// tools/metrics_diff --identical, then gates against the committed baseline.
+//
+//   drift_robustness [--apps N] [--pop-seed S] [--workers N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/catalog.h"
+#include "apps/generator/generator.h"
+#include "harness/aggregate.h"
+#include "harness/bench_json.h"
+#include "harness/experiment.h"
+#include "harness/orchestrator.h"
+#include "harness/report.h"
+#include "rl/policy_factory.h"
+#include "support/strings.h"
+
+namespace {
+
+struct DriftScenario {
+  const char* name;  // entry-name segment
+  const char* spec;  // DriftProfile::parse input ("off" = stationary)
+};
+
+// Explicit sub-minute periods rather than the CLI presets: the presets
+// phase their events over tens of minutes (a realistic deploy cadence),
+// which a short CI budget never reaches. These compress the same event mix
+// so every mechanism fires several times even in a 2-virtual-minute run.
+constexpr DriftScenario kScenarios[] = {
+    {"none", "off"},
+    {"moderate",
+     "deploy_period_ms=90000,deploy_offset_ms=45000,reroute=0.25,"
+     "flip_period_ms=60000,flip=0.2,churn_period_ms=45000,churn=0.25,"
+     "storm_period_ms=90000,storm_duration_ms=15000,storm_offset_ms=30000,"
+     "storm_expire=0.5"},
+    {"heavy",
+     "deploy_period_ms=45000,deploy_offset_ms=20000,reroute=0.4,"
+     "flip_period_ms=30000,flip=0.5,churn_period_ms=20000,churn=0.5,"
+     "storm_period_ms=45000,storm_duration_ms=20000,storm_offset_ms=15000,"
+     "storm_expire=0.9"},
+};
+
+// Mean cumulative regret over the runs that tracked it; 0 when none did
+// (all repetitions failed in orchestrated mode).
+double mean_cumulative_regret(const std::vector<mak::harness::RunResult>& runs) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& run : runs) {
+    if (!run.regret_tracked) continue;
+    sum += run.cumulative_regret;
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mak;
+
+  // Orchestrator workers re-exec this binary in --worker mode.
+  if (harness::is_worker_invocation(argc, argv)) {
+    return harness::worker_main(argc, argv);
+  }
+
+  std::size_t app_count = 2;
+  std::uint64_t population_seed = 7;
+  std::size_t workers = 0;  // 0 = serial in-process runs
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--apps") == 0 && i + 1 < argc) {
+      app_count =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--pop-seed") == 0 && i + 1 < argc) {
+      population_seed =
+          static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--apps N] [--pop-seed S] [--workers N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  harness::OrchestratorConfig orch = harness::orchestrator_from_env();
+  if (workers > 0) orch.workers = workers;
+
+  harness::Protocol protocol = harness::protocol_from_env();
+  if (std::getenv("MAK_REPS") == nullptr) protocol.repetitions = 1;
+  if (std::getenv("MAK_BUDGET_MINUTES") == nullptr) {
+    protocol.run.budget = 6 * support::kMillisPerMinute;
+  }
+
+  // The policy panel: every catalog policy, resolved to its MAK variant.
+  const auto& policies = rl::policy_catalog();
+  std::vector<harness::CrawlerKind> panel;
+  for (const auto& policy : policies) {
+    const auto kind = harness::crawler_for_policy(policy.name);
+    if (!kind.has_value()) {
+      std::fprintf(stderr,
+                   "drift_robustness: policy '%s' has no crawler binding\n",
+                   std::string(policy.name).c_str());
+      return 3;
+    }
+    panel.push_back(*kind);
+  }
+
+  const auto described =
+      apps::generator::population(population_seed, app_count);
+  std::printf(
+      "Drift robustness: %zu policies x %zu generated apps (seed %llu) x %zu "
+      "drift scenarios, %zu reps x %lld virtual minutes\n\n",
+      policies.size(), described.size(),
+      static_cast<unsigned long long>(population_seed), std::size(kScenarios),
+      protocol.repetitions,
+      static_cast<long long>(protocol.run.budget / support::kMillisPerMinute));
+
+  std::vector<harness::BenchEntry> entries;
+  // coverage[s][p]: per scenario and policy, the per-app coverage percents.
+  std::vector<std::vector<std::vector<double>>> coverage(
+      std::size(kScenarios),
+      std::vector<std::vector<double>>(policies.size()));
+
+  for (std::size_t s = 0; s < std::size(kScenarios); ++s) {
+    const DriftScenario& scenario = kScenarios[s];
+    const auto drift = webapp::DriftProfile::parse(scenario.spec);
+    if (!drift.has_value()) {
+      std::fprintf(stderr, "drift_robustness: bad drift spec '%s'\n",
+                   scenario.spec);
+      return 3;
+    }
+    harness::RunConfig config = protocol.run;
+    config.drift = *drift;
+
+    harness::TextTable table({std::string("policy (") + scenario.name + ")",
+                              "coverage", "regret"});
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      double coverage_sum = 0.0;
+      double regret_sum = 0.0;
+      for (const auto& app : described) {
+        const auto info = apps::resolve_app(app.name);
+        if (!info.has_value()) {
+          std::fprintf(stderr, "drift_robustness: cannot resolve %s\n",
+                       app.name.c_str());
+          return 3;
+        }
+        const auto runs =
+            workers > 0
+                ? harness::run_orchestrated(*info, panel[p], config,
+                                            protocol.repetitions, orch)
+                : harness::run_repeated(*info, panel[p], config,
+                                        protocol.repetitions);
+        const double percent =
+            harness::mean_coverage_percent(runs, app.reachable_lines);
+        const double regret = mean_cumulative_regret(runs);
+        coverage[s][p].push_back(percent);
+        coverage_sum += percent;
+        regret_sum += regret;
+        const std::string prefix = std::string("drift/") + scenario.name +
+                                   "/" + app.name + "/" +
+                                   std::string(policies[p].name);
+        entries.push_back({prefix + "/coverage", percent, "percent",
+                           /*higher_is_better=*/true});
+        entries.push_back({prefix + "/regret", regret, "regret",
+                           /*higher_is_better=*/false});
+      }
+      const double apps_n = static_cast<double>(described.size());
+      table.add_row({std::string(policies[p].name),
+                     support::format_fixed(coverage_sum / apps_n, 1) + "%",
+                     support::format_fixed(regret_sum / apps_n, 2)});
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+
+  // Retention: coverage under drift relative to the same policy's
+  // stationary coverage, averaged over apps. 100% = unaffected by drift.
+  for (std::size_t s = 1; s < std::size(kScenarios); ++s) {
+    harness::TextTable table({std::string("policy"),
+                              std::string("retention (") + kScenarios[s].name +
+                                  ")"});
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      double sum = 0.0;
+      std::size_t count = 0;
+      for (std::size_t a = 0; a < described.size(); ++a) {
+        const double baseline = coverage[0][p][a];
+        if (baseline <= 0.0) continue;
+        sum += 100.0 * coverage[s][p][a] / baseline;
+        ++count;
+      }
+      const double retention =
+          count == 0 ? 0.0 : sum / static_cast<double>(count);
+      table.add_row({std::string(policies[p].name),
+                     support::format_fixed(retention, 1) + "%"});
+      entries.push_back({std::string("drift/") + kScenarios[s].name + "/" +
+                             std::string(policies[p].name) + "/retention",
+                         retention, "percent", /*higher_is_better=*/true});
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+
+  // No metrics block: repeated runs of the same configuration must produce
+  // byte-identical artifacts (CI diffs two runs with --identical).
+  harness::write_bench_json_file("MAK_BENCH_JSON", "results/BENCH_drift.json",
+                                 "drift_robustness", entries, nullptr);
+  return 0;
+}

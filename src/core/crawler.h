@@ -27,6 +27,10 @@
 #include "support/rng.h"
 #include "support/snapshot.h"
 
+namespace mak::rl {
+class RegretAccountant;
+}  // namespace mak::rl
+
 namespace mak::core {
 
 class Crawler {
@@ -53,6 +57,12 @@ class Crawler {
   // their full mid-run state return themselves; the harness falls back to
   // repetition-level restarts for the rest (docs/robustness.md).
   virtual support::Snapshotable* snapshotable() noexcept { return nullptr; }
+
+  // Cumulative-regret accounting (rl/regret.h, docs/policies.md); null for
+  // crawlers that do not run a bandit policy (forced arms, Q-learning).
+  virtual const rl::RegretAccountant* regret_accountant() const noexcept {
+    return nullptr;
+  }
 };
 
 class RlCrawlerBase : public Crawler {

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "core/state_codec.h"
+#include "rl/discounted_exp3.h"
+#include "rl/dsee.h"
 #include "rl/epsilon_greedy.h"
 #include "rl/exp3.h"
 #include "rl/thompson.h"
@@ -30,6 +32,11 @@ std::unique_ptr<rl::BanditPolicy> build_policy(const MakConfig& config) {
       return std::make_unique<rl::Ucb1>(kArmCount);
     case MakConfig::PolicyKind::kThompson:
       return std::make_unique<rl::ThompsonSampling>(kArmCount);
+    case MakConfig::PolicyKind::kRottingExp3:
+      return std::make_unique<rl::DiscountedExp3>(kArmCount, config.exp3_gamma,
+                                                  config.exp3_discount);
+    case MakConfig::PolicyKind::kDsee:
+      return std::make_unique<rl::Dsee>(kArmCount, config.dsee_weight);
   }
   throw std::logic_error("unknown policy kind");
 }
@@ -55,7 +62,13 @@ MakCrawler::MakCrawler(support::Rng rng, MakConfig config)
     : RlCrawlerBase(std::move(rng)),
       config_(std::move(config)),
       name_(derive_name(config_)),
-      policy_(build_policy(config_)) {}
+      policy_(build_policy(config_)) {
+  // Forced-arm configurations never update the policy, so there is no
+  // sampling distribution to account regret against.
+  if (!config_.forced_arm.has_value()) {
+    regret_.emplace(kArmCount);
+  }
+}
 
 rl::StateId MakCrawler::get_state(const Page&) {
   return 0;  // stateless: the MAB has a single state
@@ -159,6 +172,12 @@ void MakCrawler::update_policy(rl::StateId, std::size_t action, double reward,
     in_flight_.reset();
   }
   if (!config_.forced_arm.has_value()) {
+    // Account regret against the distribution the arm was drawn from —
+    // probabilities() is pure (memoized for the Exp3 family, scratch-seeded
+    // for Thompson), so this observes without perturbing the run.
+    if (regret_.has_value()) {
+      regret_->observe(action, reward, policy_->probabilities());
+    }
     policy_->update(action, reward);
   }
 }
@@ -177,6 +196,9 @@ support::json::Value MakCrawler::save_state() const {
   state.emplace("previous_tags", support::json::Value(std::move(tags)));
   if (in_flight_.has_value()) {
     state.emplace("in_flight", action_to_json(*in_flight_));
+  }
+  if (regret_.has_value()) {
+    state.emplace("regret", regret_->save_state());
   }
   state.emplace("in_flight_failed", support::json::Value(in_flight_failed_));
   state.emplace("steps", static_cast<double>(steps_));
@@ -210,6 +232,12 @@ void MakCrawler::load_state(const support::json::Value& state) {
     in_flight_ = action_from_json(*in_flight);
   } else {
     in_flight_.reset();
+  }
+  // Optional for compatibility with checkpoints written before regret
+  // accounting existed (same pattern as "in_flight").
+  if (const auto* regret = state.find("regret");
+      regret != nullptr && regret_.has_value()) {
+    regret_->load_state(*regret);
   }
   in_flight_failed_ = snapshot::require_bool(state, "in_flight_failed");
   steps_ = static_cast<std::size_t>(snapshot::require_index(state, "steps"));

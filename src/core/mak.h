@@ -21,6 +21,7 @@
 #include "core/crawler.h"
 #include "core/frontier.h"
 #include "rl/bandit.h"
+#include "rl/regret.h"
 #include "rl/reward.h"
 
 namespace mak::core {
@@ -38,13 +39,17 @@ struct MakConfig {
     kEpsilonGreedy,  // stationary-assumption bandit (ablation)
     kUcb1,           // stochastic-MAB bandit (ablation)
     kThompson,       // Bayesian stochastic bandit (ablation)
+    kRottingExp3,    // discounted-gain Exp3 for rotting rewards
+    kDsee,           // deterministic exploration/exploitation (Vakili)
   };
 
   std::optional<Arm> forced_arm;  // set => static BFS/DFS/Random crawler
   RewardMode reward_mode = RewardMode::kStandardizedLinks;
   PolicyKind policy = PolicyKind::kExp31;
-  double exp3_gamma = 0.1;   // for kExp3Fixed
+  double exp3_gamma = 0.1;   // for kExp3Fixed and kRottingExp3
   double epsilon = 0.1;      // for kEpsilonGreedy
+  double exp3_discount = 0.99;  // for kRottingExp3
+  double dsee_weight = 8.0;  // for kDsee: exploration target ceil(w ln t)
   bool leveled_deque = true;  // false => flat single-level deque (ablation)
   std::string name_override;  // display name (defaults derived from config)
 };
@@ -76,6 +81,12 @@ class MakCrawler final : public RlCrawlerBase, public support::Snapshotable {
     return arm_counts_;
   }
 
+  // Weak-regret accounting against the policy's own importance-weighted
+  // arm-gain estimates (rl/regret.h); null for forced-arm configurations.
+  const rl::RegretAccountant* regret_accountant() const noexcept override {
+    return regret_.has_value() ? &*regret_ : nullptr;
+  }
+
  protected:
   rl::StateId get_state(const Page& page) override;
   std::size_t action_count(const Page& page) override;
@@ -98,6 +109,7 @@ class MakCrawler final : public RlCrawlerBase, public support::Snapshotable {
   rl::CuriosityReward curiosity_;
   std::vector<std::string> previous_tags_;  // for kDomNovelty
   std::optional<ResolvedAction> in_flight_;  // element taken this step
+  std::optional<rl::RegretAccountant> regret_;  // policy-driven configs only
   bool in_flight_failed_ = false;  // last interaction was a transport fault
   std::size_t steps_ = 0;
   std::size_t failed_interactions_ = 0;

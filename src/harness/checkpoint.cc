@@ -77,6 +77,30 @@ support::json::Value result_to_state(const RunResult& result) {
   state.emplace("latency_spikes", static_cast<double>(result.latency_spikes));
   state.emplace("degraded_requests",
                 static_cast<double>(result.degraded_requests));
+  // Drift and regret blocks are optional for the same reason as the failure
+  // annotations below: results from drift-free, non-bandit runs keep their
+  // exact pre-existing byte encoding.
+  if (result.drift_active) {
+    state.emplace("drift_active", Value(true));
+    state.emplace("drift_gone_requests",
+                  static_cast<double>(result.drift_gone_requests));
+    state.emplace("drift_rewritten_links",
+                  static_cast<double>(result.drift_rewritten_links));
+    state.emplace("drift_churned_links",
+                  static_cast<double>(result.drift_churned_links));
+    state.emplace("drift_expired_sessions",
+                  static_cast<double>(result.drift_expired_sessions));
+    state.emplace("drift_storm_requests",
+                  static_cast<double>(result.drift_storm_requests));
+  }
+  if (result.regret_tracked) {
+    state.emplace("regret_tracked", Value(true));
+    state.emplace("realized_gain", result.realized_gain);
+    state.emplace("best_arm_gain", result.best_arm_gain);
+    state.emplace("weak_regret", result.weak_regret);
+    state.emplace("cumulative_regret", result.cumulative_regret);
+    state.emplace("policy_updates", static_cast<double>(result.policy_updates));
+  }
   state.emplace("steps", static_cast<double>(result.steps));
   state.emplace("aborted", Value(result.aborted));
   state.emplace("abort_reason", result.abort_reason);
@@ -139,6 +163,29 @@ RunResult result_from_state(const support::json::Value& state) {
       snapshot::require_index(state, "latency_spikes"));
   result.degraded_requests = static_cast<std::size_t>(
       snapshot::require_index(state, "degraded_requests"));
+  if (state.find("drift_active") != nullptr) {
+    result.drift_active = snapshot::require_bool(state, "drift_active");
+    result.drift_gone_requests = static_cast<std::size_t>(
+        snapshot::require_index(state, "drift_gone_requests"));
+    result.drift_rewritten_links = static_cast<std::size_t>(
+        snapshot::require_index(state, "drift_rewritten_links"));
+    result.drift_churned_links = static_cast<std::size_t>(
+        snapshot::require_index(state, "drift_churned_links"));
+    result.drift_expired_sessions = static_cast<std::size_t>(
+        snapshot::require_index(state, "drift_expired_sessions"));
+    result.drift_storm_requests = static_cast<std::size_t>(
+        snapshot::require_index(state, "drift_storm_requests"));
+  }
+  if (state.find("regret_tracked") != nullptr) {
+    result.regret_tracked = snapshot::require_bool(state, "regret_tracked");
+    result.realized_gain = snapshot::require_number(state, "realized_gain");
+    result.best_arm_gain = snapshot::require_number(state, "best_arm_gain");
+    result.weak_regret = snapshot::require_number(state, "weak_regret");
+    result.cumulative_regret =
+        snapshot::require_number(state, "cumulative_regret");
+    result.policy_updates = static_cast<std::size_t>(
+        snapshot::require_index(state, "policy_updates"));
+  }
   result.steps =
       static_cast<std::size_t>(snapshot::require_index(state, "steps"));
   result.aborted = snapshot::require_bool(state, "aborted");
@@ -168,6 +215,7 @@ std::string run_digest(const apps::AppInfo& app_info, CrawlerKind kind,
            << config.think_time << '\n'
            << static_cast<int>(config.fill_strategy) << '\n'
            << config.fault.describe() << '\n'
+           << config.drift.describe() << '\n'
            << repetitions;
   return crc_hex(snapshot::crc32(identity.str()));
 }

@@ -52,8 +52,54 @@ std::string_view to_string(CrawlerKind kind) {
       return "MAK-dom-novelty";
     case CrawlerKind::kMakThompson:
       return "MAK-thompson";
+    case CrawlerKind::kMakRottingExp3:
+      return "MAK-exp3-rotting";
+    case CrawlerKind::kMakDsee:
+      return "MAK-dsee";
   }
   return "?";
+}
+
+const std::vector<CrawlerKind>& all_crawler_kinds() {
+  static const std::vector<CrawlerKind> kinds = {
+      CrawlerKind::kMak,
+      CrawlerKind::kWebExplor,
+      CrawlerKind::kQExplore,
+      CrawlerKind::kBfs,
+      CrawlerKind::kDfs,
+      CrawlerKind::kRandom,
+      CrawlerKind::kMakRawReward,
+      CrawlerKind::kMakCuriosityReward,
+      CrawlerKind::kMakFlatDeque,
+      CrawlerKind::kMakExp3Fixed,
+      CrawlerKind::kMakEpsilonGreedy,
+      CrawlerKind::kMakUcb1,
+      CrawlerKind::kMakDomNovelty,
+      CrawlerKind::kMakThompson,
+      CrawlerKind::kMakRottingExp3,
+      CrawlerKind::kMakDsee,
+  };
+  return kinds;
+}
+
+std::optional<CrawlerKind> crawler_kind_from_name(std::string_view name) {
+  for (const CrawlerKind kind : all_crawler_kinds()) {
+    if (to_string(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+std::optional<CrawlerKind> crawler_for_policy(std::string_view policy) {
+  // Keyed by the canonical rl::policy_catalog() names; the binding is
+  // cross-checked against the catalog in tests.
+  if (policy == "exp3.1") return CrawlerKind::kMak;
+  if (policy == "exp3") return CrawlerKind::kMakExp3Fixed;
+  if (policy == "eps-greedy") return CrawlerKind::kMakEpsilonGreedy;
+  if (policy == "ucb1") return CrawlerKind::kMakUcb1;
+  if (policy == "thompson") return CrawlerKind::kMakThompson;
+  if (policy == "exp3-rotting") return CrawlerKind::kMakRottingExp3;
+  if (policy == "dsee") return CrawlerKind::kMakDsee;
+  return std::nullopt;
 }
 
 std::unique_ptr<core::Crawler> make_crawler(CrawlerKind kind,
@@ -118,6 +164,18 @@ std::unique_ptr<core::Crawler> make_crawler(CrawlerKind kind,
       MakConfig config;
       config.policy = MakConfig::PolicyKind::kThompson;
       config.name_override = "MAK-thompson";
+      return std::make_unique<core::MakCrawler>(std::move(rng), config);
+    }
+    case CrawlerKind::kMakRottingExp3: {
+      MakConfig config;
+      config.policy = MakConfig::PolicyKind::kRottingExp3;
+      config.name_override = "MAK-exp3-rotting";
+      return std::make_unique<core::MakCrawler>(std::move(rng), config);
+    }
+    case CrawlerKind::kMakDsee: {
+      MakConfig config;
+      config.policy = MakConfig::PolicyKind::kDsee;
+      config.name_override = "MAK-dsee";
       return std::make_unique<core::MakCrawler>(std::move(rng), config);
     }
   }
@@ -202,6 +260,15 @@ RunResult run_one(const apps::AppInfo& app_info, CrawlerKind kind,
     browser.set_retry_policy(config.fault.retry);
   }
 
+  // App-side drift: its own RNG stream, forked after the injector's, so a
+  // disabled profile leaves every earlier stream — and therefore the whole
+  // run — bit-identical to a build without the drift layer.
+  std::optional<webapp::DriftEngine> drift;
+  if (config.drift.enabled()) {
+    drift.emplace(config.drift, master.fork().next(), clock);
+    app->set_drift_engine(&*drift);
+  }
+
   RunResult result;
   result.app = app_info.name;
   result.crawler = std::string(crawler->name());
@@ -262,6 +329,9 @@ RunResult run_one(const apps::AppInfo& app_info, CrawlerKind kind,
     if (injector.has_value()) {
       injector->load_state(snapshot::require(run_state, "injector"));
     }
+    if (drift.has_value()) {
+      drift->load_state(snapshot::require(run_state, "drift"));
+    }
     MAK_LOG_INFO << app_info.name << " / " << result.crawler
                  << ": resumed at step " << step_index << ", t="
                  << clock.now() << " ms";
@@ -293,6 +363,9 @@ RunResult run_one(const apps::AppInfo& app_info, CrawlerKind kind,
     run_state.emplace("crawler", crawler->snapshotable()->save_state());
     if (injector.has_value()) {
       run_state.emplace("injector", injector->save_state());
+    }
+    if (drift.has_value()) {
+      run_state.emplace("drift", drift->save_state());
     }
     ExperimentCheckpoint out;
     out.repetitions = ckpt->repetitions;
@@ -382,6 +455,24 @@ RunResult run_one(const apps::AppInfo& app_info, CrawlerKind kind,
     result.injected_drops = counters.injected_drops;
     result.latency_spikes = counters.latency_spikes;
     result.degraded_requests = counters.window_requests;
+  }
+  if (drift.has_value()) {
+    const auto& counters = drift->counters();
+    result.drift_active = true;
+    result.drift_gone_requests = counters.gone_requests;
+    result.drift_rewritten_links = counters.rewritten_links;
+    result.drift_churned_links = counters.churned_links;
+    result.drift_expired_sessions = counters.expired_sessions;
+    result.drift_storm_requests = counters.storm_requests;
+  }
+  if (const rl::RegretAccountant* regret = crawler->regret_accountant();
+      regret != nullptr) {
+    result.regret_tracked = true;
+    result.realized_gain = regret->realized_gain();
+    result.best_arm_gain = regret->best_arm_gain();
+    result.weak_regret = regret->weak_regret();
+    result.cumulative_regret = regret->cumulative_regret();
+    result.policy_updates = regret->updates();
   }
   MAK_LOG_INFO << app_info.name << " / " << result.crawler << ": covered "
                << result.final_covered_lines << "/" << result.total_lines
@@ -561,6 +652,12 @@ Protocol protocol_from_env() {
   } else if (const char* spec = std::getenv("MAK_FAULT_PROFILE");
              spec != nullptr && *spec != '\0') {
     MAK_LOG_WARN << "ignoring unparsable MAK_FAULT_PROFILE: " << spec;
+  }
+  if (const auto drift = webapp::DriftProfile::from_env()) {
+    p.run.drift = *drift;
+  } else if (const char* spec = std::getenv("MAK_DRIFT");
+             spec != nullptr && *spec != '\0') {
+    MAK_LOG_WARN << "ignoring unparsable MAK_DRIFT: " << spec;
   }
   if (const char* dir = std::getenv("MAK_CHECKPOINT_DIR");
       dir != nullptr && *dir != '\0') {

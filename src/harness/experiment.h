@@ -5,8 +5,10 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "apps/catalog.h"
@@ -17,6 +19,7 @@
 #include "harness/supervisor.h"
 #include "httpsim/fault.h"
 #include "support/clock.h"
+#include "webapp/drift.h"
 
 namespace mak::harness {
 
@@ -37,11 +40,23 @@ enum class CrawlerKind {
   kMakUcb1,            // UCB1 (stochastic MAB) policy
   kMakDomNovelty,      // DOM-structural-novelty reward
   kMakThompson,        // Thompson-sampling policy
+  kMakRottingExp3,     // discounted-gain Exp3 (rotting rewards)
+  kMakDsee,            // deterministic exploration/exploitation
 };
 
 std::string_view to_string(CrawlerKind kind);
 std::unique_ptr<core::Crawler> make_crawler(CrawlerKind kind,
                                             support::Rng rng);
+
+// Every CrawlerKind in display order — the single source for --list output
+// and name resolution in the CLIs and benches.
+const std::vector<CrawlerKind>& all_crawler_kinds();
+// Kind whose display name is `name`; nullopt if unknown.
+std::optional<CrawlerKind> crawler_kind_from_name(std::string_view name);
+
+// Bandit-policy panel: maps each rl::policy_catalog() name to the MAK
+// variant running that policy (docs/policies.md).
+std::optional<CrawlerKind> crawler_for_policy(std::string_view policy);
 
 // Crash-resilient checkpointing (docs/robustness.md). With a non-empty
 // `dir`, run_repeated/run_resumable write an atomic checkpoint file after
@@ -82,6 +97,10 @@ struct RunConfig {
   // (see protocol_from_env). The profile's RetryPolicy configures the
   // browser's client-side resilience.
   httpsim::FaultProfile fault;
+  // App-side nonstationary drift (webapp/drift.h; disabled by default, so
+  // the app behaves exactly as a stationary one). Set explicitly or via
+  // MAK_DRIFT (see protocol_from_env).
+  webapp::DriftProfile drift;
   // Checkpoint/resume (used by run_repeated and run_resumable; a plain
   // run_once ignores it).
   CheckpointConfig checkpoint;
@@ -118,6 +137,23 @@ struct RunResult {
   std::size_t injected_drops = 0;        // injected connection drops
   std::size_t latency_spikes = 0;        // injected latency spikes
   std::size_t degraded_requests = 0;     // requests inside degradation windows
+
+  // Drift accounting (all zero when the drift profile is disabled).
+  bool drift_active = false;
+  std::size_t drift_gone_requests = 0;    // URLs killed by deploys/flips
+  std::size_t drift_rewritten_links = 0;  // links minted into a new world
+  std::size_t drift_churned_links = 0;    // cache-busting link aliases
+  std::size_t drift_expired_sessions = 0; // storm session expirations
+  std::size_t drift_storm_requests = 0;   // requests routed inside storms
+
+  // Cumulative-regret accounting (rl/regret.h; docs/policies.md). Present
+  // for bandit-policy crawlers, zero/false otherwise.
+  bool regret_tracked = false;
+  double realized_gain = 0.0;            // sum of collected rewards
+  double best_arm_gain = 0.0;            // IW estimate of the best arm
+  double weak_regret = 0.0;              // final best - realized (>= 0)
+  double cumulative_regret = 0.0;        // monotone high-water mark
+  std::size_t policy_updates = 0;        // regret observations recorded
 
   // Supervisor outcome. A completed run leaves these at their defaults; an
   // aborted run carries partial coverage up to the cancellation point.

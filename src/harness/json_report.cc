@@ -88,6 +88,29 @@ std::string run_to_json(const RunResult& run, bool include_series) {
     out += ",\"degraded_requests\":" + std::to_string(run.degraded_requests);
     out += "}";
   }
+  if (run.drift_active) {
+    // Only present on drift runs, so stationary reports stay byte-identical
+    // to builds without the drift layer.
+    out += ",\"drift\":{";
+    out += "\"gone_requests\":" + std::to_string(run.drift_gone_requests);
+    out += ",\"rewritten_links\":" + std::to_string(run.drift_rewritten_links);
+    out += ",\"churned_links\":" + std::to_string(run.drift_churned_links);
+    out += ",\"expired_sessions\":" +
+           std::to_string(run.drift_expired_sessions);
+    out += ",\"storm_requests\":" + std::to_string(run.drift_storm_requests);
+    out += "}";
+  }
+  if (run.regret_tracked) {
+    // Present for bandit-policy crawlers (docs/policies.md).
+    using support::json::format_double;
+    out += ",\"regret\":{";
+    out += "\"realized_gain\":" + format_double(run.realized_gain);
+    out += ",\"best_arm_gain\":" + format_double(run.best_arm_gain);
+    out += ",\"weak\":" + format_double(run.weak_regret);
+    out += ",\"cumulative\":" + format_double(run.cumulative_regret);
+    out += ",\"updates\":" + std::to_string(run.policy_updates);
+    out += "}";
+  }
   if (run.aborted) {
     // Only present on supervisor-cancelled runs, so completed-run reports
     // stay byte-identical to earlier builds (and to resumed runs).

@@ -50,16 +50,7 @@ std::optional<apps::AppInfo> find_app(const std::string& name) {
 }
 
 std::optional<CrawlerKind> find_crawler(const std::string& name) {
-  for (const auto candidate :
-       {CrawlerKind::kMak, CrawlerKind::kWebExplor, CrawlerKind::kQExplore,
-        CrawlerKind::kBfs, CrawlerKind::kDfs, CrawlerKind::kRandom,
-        CrawlerKind::kMakRawReward, CrawlerKind::kMakCuriosityReward,
-        CrawlerKind::kMakFlatDeque, CrawlerKind::kMakExp3Fixed,
-        CrawlerKind::kMakEpsilonGreedy, CrawlerKind::kMakUcb1,
-        CrawlerKind::kMakDomNovelty, CrawlerKind::kMakThompson}) {
-    if (name == std::string(to_string(candidate))) return candidate;
-  }
-  return std::nullopt;
+  return crawler_kind_from_name(name);
 }
 
 // The per-repetition RunConfig a worker executes: the serial path's derived
@@ -143,6 +134,7 @@ struct WorkerArgs {
   long think_ms = 0;
   int fill = 0;
   std::string fault_spec;
+  std::string drift_spec;
   std::string checkpoint_dir;
   long ckpt_interval_ms = 0;
   unsigned long long ckpt_every_steps = 0;
@@ -180,6 +172,8 @@ bool parse_worker_args(int argc, char** argv, WorkerArgs& args) {
       args.fill = static_cast<int>(std::strtol(value, nullptr, 10));
     } else if (key == "--fault") {
       args.fault_spec = value;
+    } else if (key == "--drift") {
+      args.drift_spec = value;
     } else if (key == "--ckpt-dir") {
       args.checkpoint_dir = value;
     } else if (key == "--ckpt-interval-ms") {
@@ -230,6 +224,14 @@ RunConfig config_from_worker_args(const WorkerArgs& args, bool& ok) {
       return config;
     }
     config.fault = *fault;
+  }
+  if (!args.drift_spec.empty()) {
+    const auto drift = webapp::DriftProfile::parse(args.drift_spec);
+    if (!drift.has_value()) {
+      ok = false;
+      return config;
+    }
+    config.drift = *drift;
   }
   config.checkpoint.dir = args.checkpoint_dir;
   if (args.ckpt_interval_ms > 0) {
@@ -356,6 +358,7 @@ void archive_failure_bundle(const OrchestratorConfig& orch,
   manifest.emplace("fill",
                    static_cast<double>(static_cast<int>(config.fill_strategy)));
   manifest.emplace("fault", config.fault.describe());
+  manifest.emplace("drift", config.drift.describe());
   manifest.emplace("ckpt_interval_ms",
                    static_cast<double>(config.checkpoint.interval));
   manifest.emplace("ckpt_every_steps",
@@ -402,7 +405,7 @@ int worker_run(int argc, char** argv) {
   bool ok = true;
   RunConfig config = config_from_worker_args(args, ok);
   if (!ok) {
-    std::fprintf(stderr, "worker: unparsable fault spec\n");
+    std::fprintf(stderr, "worker: unparsable fault or drift spec\n");
     return kExitTransient;
   }
   if (args.kill_at_step > 0) {
@@ -532,6 +535,11 @@ std::vector<std::string> worker_argv(const apps::AppInfo& app_info,
       std::to_string(static_cast<int>(worker_config.fill_strategy)));
   const std::string fault = worker_config.fault.describe();
   if (!fault.empty()) add("--fault", fault);
+  // describe() canonically returns "off" for a disabled profile; only an
+  // active one needs to travel to the worker.
+  if (worker_config.drift.enabled()) {
+    add("--drift", worker_config.drift.describe());
+  }
   add("--ckpt-dir", worker_config.checkpoint.dir);
   add("--ckpt-interval-ms", std::to_string(worker_config.checkpoint.interval));
   add("--ckpt-every-steps",
@@ -775,6 +783,16 @@ int replay_bundle(const std::string& bundle_dir) {
         return 1;
       }
       config.fault = *fault;
+    }
+    // Optional: bundles written before the drift layer existed lack the key.
+    if (const Value* drift_value = manifest->find("drift");
+        drift_value != nullptr && drift_value->is_string()) {
+      const auto drift = webapp::DriftProfile::parse(drift_value->as_string());
+      if (!drift.has_value()) {
+        std::fprintf(stderr, "replay: unparsable drift spec in manifest\n");
+        return 1;
+      }
+      config.drift = *drift;
     }
     config.checkpoint.dir = bundle_dir + "/replay";
     config.checkpoint.interval = static_cast<support::VirtualMillis>(

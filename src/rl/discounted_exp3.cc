@@ -1,0 +1,109 @@
+#include "rl/discounted_exp3.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/snapshot.h"
+
+namespace mak::rl {
+
+DiscountedExp3::DiscountedExp3(std::size_t arms, double gamma, double discount)
+    : gamma_(gamma), discount_(discount) {
+  if (arms == 0) throw std::invalid_argument("DiscountedExp3: zero arms");
+  if (!(gamma > 0.0 && gamma <= 1.0)) {
+    throw std::invalid_argument("DiscountedExp3: gamma must be in (0, 1]");
+  }
+  if (!(discount > 0.0 && discount <= 1.0)) {
+    throw std::invalid_argument("DiscountedExp3: discount must be in (0, 1]");
+  }
+  gains_.assign(arms, 0.0);
+}
+
+const std::vector<double>& DiscountedExp3::current_probabilities() const {
+  if (!probs_valid_) {
+    // p_i = (1 - gamma) softmax(eta * G_i) + gamma / K with eta = gamma / K,
+    // the Exp3 exponent applied to the discounted gain sum. Max-subtraction
+    // keeps exp() in range without changing the distribution.
+    const std::size_t k = gains_.size();
+    const double eta = gamma_ / static_cast<double>(k);
+    const double max_gain = *std::max_element(gains_.begin(), gains_.end());
+    probs_.resize(k);
+    double total = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      probs_[i] = std::exp(eta * (gains_[i] - max_gain));
+      total += probs_[i];
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      probs_[i] = (1.0 - gamma_) * (probs_[i] / total) +
+                  gamma_ / static_cast<double>(k);
+    }
+    probs_valid_ = true;
+  }
+  return probs_;
+}
+
+std::size_t DiscountedExp3::choose(support::Rng& rng) {
+  return rng.weighted_index(current_probabilities());
+}
+
+void DiscountedExp3::update(std::size_t arm, double reward01) {
+  if (arm >= gains_.size()) {
+    throw std::out_of_range("DiscountedExp3: bad arm");
+  }
+  if (!(reward01 >= 0.0 && reward01 <= 1.0)) {
+    throw std::invalid_argument("DiscountedExp3: reward must be in [0, 1]");
+  }
+  const std::vector<double>& probs = current_probabilities();
+  const double estimated = reward01 / probs[arm];
+  gains_[arm] += estimated;
+  // The rotting twist: every arm's estimate decays, so evidence from before
+  // a drift event fades instead of anchoring the distribution forever.
+  for (double& g : gains_) g *= discount_;
+  ++steps_;
+  probs_valid_ = false;
+}
+
+std::vector<double> DiscountedExp3::probabilities() const {
+  return current_probabilities();
+}
+
+void DiscountedExp3::reset() {
+  std::fill(gains_.begin(), gains_.end(), 0.0);
+  steps_ = 0;
+  probs_valid_ = false;
+}
+
+support::json::Value DiscountedExp3::save_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state("rl.exp3_discounted", 1);
+  state.emplace("gamma", gamma_);
+  state.emplace("discount", discount_);
+  state.emplace("gains", snapshot::doubles_to_json(gains_));
+  state.emplace("steps", static_cast<double>(steps_));
+  return support::json::Value(std::move(state));
+}
+
+void DiscountedExp3::load_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, "rl.exp3_discounted", 1);
+  if (snapshot::require_number(state, "gamma") != gamma_) {
+    throw support::SnapshotError(
+        "DiscountedExp3: gamma mismatch with checkpoint");
+  }
+  if (snapshot::require_number(state, "discount") != discount_) {
+    throw support::SnapshotError(
+        "DiscountedExp3: discount mismatch with checkpoint");
+  }
+  auto gains =
+      snapshot::doubles_from_json(snapshot::require(state, "gains"), "gains");
+  if (gains.size() != gains_.size()) {
+    throw support::SnapshotError(
+        "DiscountedExp3: arm count mismatch with checkpoint");
+  }
+  gains_ = std::move(gains);
+  steps_ = static_cast<std::size_t>(snapshot::require_index(state, "steps"));
+  probs_valid_ = false;
+}
+
+}  // namespace mak::rl

@@ -1,0 +1,53 @@
+// Rotting-aware Exp3 variant with exponentially discounted gains.
+//
+// Coverage reward provably decays as a crawl saturates — the Rotting
+// Bandits regime (Levine, Crammer & Mannor, NeurIPS 2017). Plain Exp3
+// weights are products over the *entire* history, so an arm that paid well
+// a million steps ago keeps its head start forever. DiscountedExp3 keeps
+// importance-weighted gain estimates instead and multiplies all of them by
+// a discount factor rho in (0, 1] after every update, giving the policy an
+// effective memory of ~1/(1-rho) steps. With rho = 1 the sampling
+// distribution coincides with plain Exp3's (same exponent, summed rather
+// than accumulated multiplicatively).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rl/bandit.h"
+
+namespace mak::rl {
+
+class DiscountedExp3 final : public BanditPolicy {
+ public:
+  DiscountedExp3(std::size_t arms, double gamma, double discount);
+
+  std::size_t arm_count() const noexcept override { return gains_.size(); }
+  std::size_t choose(support::Rng& rng) override;
+  void update(std::size_t arm, double reward01) override;
+  std::vector<double> probabilities() const override;
+  void reset() override;
+  support::json::Value save_state() const override;
+  void load_state(const support::json::Value& state) override;
+
+  double gamma() const noexcept { return gamma_; }
+  double discount() const noexcept { return discount_; }
+  std::size_t steps() const noexcept { return steps_; }
+  const std::vector<double>& discounted_gains() const noexcept {
+    return gains_;
+  }
+
+ private:
+  const std::vector<double>& current_probabilities() const;
+
+  double gamma_;
+  double discount_;
+  std::vector<double> gains_;  // discounted \hat{G}_i
+  std::size_t steps_ = 0;
+  // See Exp3::probs_ — memoized sampling distribution, invalidated by every
+  // gain mutation.
+  mutable std::vector<double> probs_;
+  mutable bool probs_valid_ = false;
+};
+
+}  // namespace mak::rl

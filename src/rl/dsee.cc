@@ -1,0 +1,98 @@
+#include "rl/dsee.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/snapshot.h"
+
+namespace mak::rl {
+
+Dsee::Dsee(std::size_t arms, double exploration_weight)
+    : exploration_weight_(exploration_weight) {
+  if (arms == 0) throw std::invalid_argument("Dsee: zero arms");
+  if (!(exploration_weight > 0.0)) {
+    throw std::invalid_argument("Dsee: exploration weight must be positive");
+  }
+  means_.assign(arms, 0.0);
+  counts_.assign(arms, 0);
+}
+
+std::size_t Dsee::exploration_target() const noexcept {
+  const double t = static_cast<double>(steps_ + 1);
+  if (t < 2.0) return 1;
+  return static_cast<std::size_t>(std::ceil(exploration_weight_ * std::log(t)));
+}
+
+std::size_t Dsee::pick() const noexcept {
+  const std::size_t target = exploration_target();
+  std::size_t least = 0;
+  for (std::size_t i = 1; i < counts_.size(); ++i) {
+    if (counts_[i] < counts_[least]) least = i;
+  }
+  if (counts_[least] < target) return least;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < means_.size(); ++i) {
+    if (means_[i] > means_[best]) best = i;
+  }
+  return best;
+}
+
+std::size_t Dsee::choose(support::Rng& rng) {
+  (void)rng;  // deterministic sequencing: the RNG stream is untouched
+  return pick();
+}
+
+void Dsee::update(std::size_t arm, double reward01) {
+  if (arm >= counts_.size()) throw std::out_of_range("Dsee: bad arm");
+  if (!(reward01 >= 0.0 && reward01 <= 1.0)) {
+    throw std::invalid_argument("Dsee: reward must be in [0, 1]");
+  }
+  ++counts_[arm];
+  means_[arm] += (reward01 - means_[arm]) / static_cast<double>(counts_[arm]);
+  ++steps_;
+}
+
+std::vector<double> Dsee::probabilities() const {
+  std::vector<double> probs(counts_.size(), 0.0);
+  probs[pick()] = 1.0;
+  return probs;
+}
+
+void Dsee::reset() {
+  std::fill(means_.begin(), means_.end(), 0.0);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  steps_ = 0;
+}
+
+support::json::Value Dsee::save_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state("rl.dsee", 1);
+  state.emplace("exploration_weight", exploration_weight_);
+  state.emplace("means", snapshot::doubles_to_json(means_));
+  state.emplace("counts", snapshot::indices_to_json(counts_));
+  state.emplace("steps", static_cast<double>(steps_));
+  return support::json::Value(std::move(state));
+}
+
+void Dsee::load_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, "rl.dsee", 1);
+  if (snapshot::require_number(state, "exploration_weight") !=
+      exploration_weight_) {
+    throw support::SnapshotError(
+        "Dsee: exploration weight mismatch with checkpoint");
+  }
+  auto means =
+      snapshot::doubles_from_json(snapshot::require(state, "means"), "means");
+  auto counts = snapshot::indices_from_json(snapshot::require(state, "counts"),
+                                            "counts");
+  if (means.size() != means_.size() || counts.size() != counts_.size()) {
+    throw support::SnapshotError("Dsee: arm count mismatch with checkpoint");
+  }
+  means_ = std::move(means);
+  counts_ = std::move(counts);
+  steps_ = static_cast<std::size_t>(snapshot::require_index(state, "steps"));
+}
+
+}  // namespace mak::rl

@@ -1,0 +1,52 @@
+// DSEE: Deterministic Sequencing of Exploration and Exploitation
+// (Vakili, Liu & Zhao, "Deterministic Sequencing of Exploration and
+// Exploitation for Multi-Armed Bandit Problems", IEEE JSTSP 2013).
+//
+// The policy interleaves a deterministic exploration schedule with greedy
+// exploitation: each arm must accumulate ceil(w * ln t) pulls; whenever
+// some arm is behind that target the least-pulled arm is played (ties to
+// the lowest index), otherwise the arm with the best empirical mean wins.
+// choose() consumes NO randomness — the whole trajectory is a function of
+// the observed rewards — which makes it the natural deterministic
+// counterpoint to the Exp3 family in the drift benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rl/bandit.h"
+
+namespace mak::rl {
+
+class Dsee final : public BanditPolicy {
+ public:
+  Dsee(std::size_t arms, double exploration_weight);
+
+  std::size_t arm_count() const noexcept override { return counts_.size(); }
+  // Deterministic: ignores `rng` and never advances its stream.
+  std::size_t choose(support::Rng& rng) override;
+  void update(std::size_t arm, double reward01) override;
+  // Degenerate distribution: 1 on the arm choose() would return.
+  std::vector<double> probabilities() const override;
+  void reset() override;
+  support::json::Value save_state() const override;
+  void load_state(const support::json::Value& state) override;
+
+  double exploration_weight() const noexcept { return exploration_weight_; }
+  std::size_t steps() const noexcept { return steps_; }
+  // Exploration target ceil(w * ln t) for the upcoming round.
+  std::size_t exploration_target() const noexcept;
+  const std::vector<std::size_t>& pull_counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::size_t pick() const noexcept;
+
+  double exploration_weight_;
+  std::vector<double> means_;
+  std::vector<std::size_t> counts_;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace mak::rl

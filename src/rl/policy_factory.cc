@@ -1,0 +1,70 @@
+#include "rl/policy_factory.h"
+
+#include <stdexcept>
+
+#include "rl/discounted_exp3.h"
+#include "rl/dsee.h"
+#include "rl/epsilon_greedy.h"
+#include "rl/exp3.h"
+#include "rl/thompson.h"
+#include "rl/ucb.h"
+
+namespace mak::rl {
+
+namespace {
+
+// Default hyperparameters, mirroring core::MakConfig.
+constexpr double kDefaultGamma = 0.1;
+constexpr double kDefaultEpsilon = 0.1;
+constexpr double kDefaultDiscount = 0.99;
+constexpr double kDefaultDseeWeight = 8.0;
+
+// The catalog below is parsed by tools/check_docs.sh (check #4): one
+// {"name", "summary"} entry per line, names must appear in
+// docs/policies.md.
+const PolicyInfo kPolicyCatalog[] = {
+    {"exp3.1", "Exp3 with the doubling-epoch schedule (the paper's policy)"},
+    {"exp3", "plain Exp3, fixed exploration rate gamma=0.1"},
+    {"eps-greedy", "epsilon-greedy over empirical means, epsilon=0.1"},
+    {"ucb1", "UCB1 optimism over confidence radii"},
+    {"thompson", "Thompson sampling with Beta posteriors"},
+    {"exp3-rotting", "discounted-gain Exp3 for rotting rewards, rho=0.99"},
+    {"dsee", "deterministic sequencing of exploration and exploitation"},
+};
+
+}  // namespace
+
+const std::vector<PolicyInfo>& policy_catalog() {
+  static const std::vector<PolicyInfo> catalog(std::begin(kPolicyCatalog),
+                                               std::end(kPolicyCatalog));
+  return catalog;
+}
+
+std::string policy_names_joined() {
+  std::string joined;
+  for (const PolicyInfo& info : policy_catalog()) {
+    if (!joined.empty()) joined += ", ";
+    joined += info.name;
+  }
+  return joined;
+}
+
+std::unique_ptr<BanditPolicy> make_policy(std::string_view name,
+                                          std::size_t arms) {
+  if (name == "exp3.1") return std::make_unique<Exp31>(arms);
+  if (name == "exp3") return std::make_unique<Exp3>(arms, kDefaultGamma);
+  if (name == "eps-greedy") {
+    return std::make_unique<EpsilonGreedy>(arms, kDefaultEpsilon);
+  }
+  if (name == "ucb1") return std::make_unique<Ucb1>(arms);
+  if (name == "thompson") return std::make_unique<ThompsonSampling>(arms);
+  if (name == "exp3-rotting") {
+    return std::make_unique<DiscountedExp3>(arms, kDefaultGamma,
+                                            kDefaultDiscount);
+  }
+  if (name == "dsee") return std::make_unique<Dsee>(arms, kDefaultDseeWeight);
+  throw std::invalid_argument("unknown policy '" + std::string(name) +
+                              "' (valid: " + policy_names_joined() + ")");
+}
+
+}  // namespace mak::rl

@@ -1,0 +1,35 @@
+// Bandit policy registry (docs/policies.md).
+//
+// One canonical name per policy, shared by `mak_crawl --policy`, the
+// benches and the docs. tools/check_docs.sh check #4 greps the catalog in
+// policy_factory.cc and fails CI if any entry is missing from
+// docs/policies.md, so adding a policy here forces its documentation.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rl/bandit.h"
+
+namespace mak::rl {
+
+struct PolicyInfo {
+  std::string_view name;     // canonical CLI/docs name, e.g. "exp3.1"
+  std::string_view summary;  // one-line description for --list output
+};
+
+// Every registered policy, in display order.
+const std::vector<PolicyInfo>& policy_catalog();
+
+// Comma-separated catalog names, for error messages and usage text.
+std::string policy_names_joined();
+
+// Build a policy by canonical name with its default hyperparameters.
+// Throws std::invalid_argument listing the valid names on unknown input.
+std::unique_ptr<BanditPolicy> make_policy(std::string_view name,
+                                          std::size_t arms);
+
+}  // namespace mak::rl

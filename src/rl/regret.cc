@@ -1,0 +1,113 @@
+#include "rl/regret.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/metric_names.h"
+#include "support/metrics.h"
+#include "support/snapshot.h"
+
+namespace mak::rl {
+
+namespace {
+
+// Importance weights are clamped so a pathological near-zero probability
+// (possible only through float underflow) cannot blow the estimate up to
+// infinity. Exp3-family policies keep p_i >= gamma/K >> this floor.
+constexpr double kMinProbability = 1e-6;
+
+struct RegretMetrics {
+  support::Counter& updates;
+  support::Gauge& realized_gain;
+  support::Gauge& best_arm_gain;
+  support::Gauge& weak;
+  support::Gauge& cumulative;
+
+  static RegretMetrics& instance() {
+    namespace metric = support::metric;
+    auto& registry = support::MetricsRegistry::global();
+    static RegretMetrics metrics{
+        registry.counter(metric::kRegretUpdates),
+        registry.gauge(metric::kRegretRealizedGain),
+        registry.gauge(metric::kRegretBestArmGain),
+        registry.gauge(metric::kRegretWeak),
+        registry.gauge(metric::kRegretCumulative),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
+
+RegretAccountant::RegretAccountant(std::size_t arms) {
+  if (arms == 0) throw std::invalid_argument("RegretAccountant: zero arms");
+  gains_.assign(arms, 0.0);
+}
+
+void RegretAccountant::observe(std::size_t arm, double reward01,
+                               const std::vector<double>& probs) {
+  if (arm >= gains_.size()) {
+    throw std::out_of_range("RegretAccountant: bad arm");
+  }
+  if (probs.size() != gains_.size()) {
+    throw std::invalid_argument("RegretAccountant: probability size mismatch");
+  }
+  if (!(reward01 >= 0.0 && reward01 <= 1.0)) {
+    throw std::invalid_argument("RegretAccountant: reward must be in [0, 1]");
+  }
+  const double p = std::clamp(probs[arm], kMinProbability, 1.0);
+  realized_gain_ += reward01;
+  gains_[arm] += reward01 / p;
+  ++updates_;
+  const double weak = weak_regret();
+  cumulative_regret_ = std::max(cumulative_regret_, weak);
+  RegretMetrics& metrics = RegretMetrics::instance();
+  metrics.updates.add();
+  metrics.realized_gain.set(realized_gain_);
+  metrics.best_arm_gain.set(best_arm_gain());
+  metrics.weak.set(weak);
+  metrics.cumulative.set(cumulative_regret_);
+}
+
+double RegretAccountant::best_arm_gain() const noexcept {
+  return *std::max_element(gains_.begin(), gains_.end());
+}
+
+double RegretAccountant::weak_regret() const noexcept {
+  return std::max(0.0, best_arm_gain() - realized_gain_);
+}
+
+void RegretAccountant::reset() {
+  std::fill(gains_.begin(), gains_.end(), 0.0);
+  realized_gain_ = 0.0;
+  cumulative_regret_ = 0.0;
+  updates_ = 0;
+}
+
+support::json::Value RegretAccountant::save_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state("rl.regret", 1);
+  state.emplace("gains", snapshot::doubles_to_json(gains_));
+  state.emplace("realized_gain", realized_gain_);
+  state.emplace("cumulative_regret", cumulative_regret_);
+  state.emplace("updates", static_cast<double>(updates_));
+  return support::json::Value(std::move(state));
+}
+
+void RegretAccountant::load_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, "rl.regret", 1);
+  auto gains =
+      snapshot::doubles_from_json(snapshot::require(state, "gains"), "gains");
+  if (gains.size() != gains_.size()) {
+    throw support::SnapshotError(
+        "RegretAccountant: arm count mismatch with checkpoint");
+  }
+  gains_ = std::move(gains);
+  realized_gain_ = snapshot::require_number(state, "realized_gain");
+  cumulative_regret_ = snapshot::require_number(state, "cumulative_regret");
+  updates_ =
+      static_cast<std::size_t>(snapshot::require_index(state, "updates"));
+}
+
+}  // namespace mak::rl

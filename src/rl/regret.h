@@ -1,0 +1,62 @@
+// Cumulative-regret accounting for bandit policies (docs/policies.md).
+//
+// Weak regret in the adversarial formulation of Bubeck & Cesa-Bianchi
+// ("Regret Analysis of Stochastic and Nonstochastic Multi-armed Bandit
+// Problems", 2012, §3): the gap between the total gain of the single best
+// arm in hindsight and the gain the policy actually realized,
+//
+//   R_T = max_i G_i(T) - sum_t x_t .
+//
+// The crawler only observes the reward of the arm it pulled, so per-arm
+// gains are estimated with the standard importance-weighted estimator
+// \hat{G}_i += x_t / p_i(t) for the pulled arm — exactly the quantity
+// Exp3-family policies bound their regret against. The accountant is an
+// observer: it never samples randomness, never touches the policy, and its
+// removal changes no crawl behaviour.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/json.h"
+
+namespace mak::rl {
+
+class RegretAccountant {
+ public:
+  explicit RegretAccountant(std::size_t arms);
+
+  // Record one policy step: `arm` was pulled with the pre-update sampling
+  // distribution `probs` (from BanditPolicy::probabilities()) and returned
+  // reward01 in [0, 1]. Updates the metrics registry gauges.
+  void observe(std::size_t arm, double reward01,
+               const std::vector<double>& probs);
+
+  std::size_t arm_count() const noexcept { return gains_.size(); }
+  std::size_t updates() const noexcept { return updates_; }
+  // Total reward the policy actually collected: sum_t x_t.
+  double realized_gain() const noexcept { return realized_gain_; }
+  // Importance-weighted gain estimate of the best single arm in hindsight.
+  double best_arm_gain() const noexcept;
+  // Current weak regret, clamped at 0 (the estimator is noisy early on).
+  double weak_regret() const noexcept;
+  // High-water mark of weak_regret(): monotone non-decreasing by
+  // construction, the headline number reported per policy.
+  double cumulative_regret() const noexcept { return cumulative_regret_; }
+  const std::vector<double>& estimated_gains() const noexcept {
+    return gains_;
+  }
+
+  void reset();
+
+  support::json::Value save_state() const;
+  void load_state(const support::json::Value& state);
+
+ private:
+  std::vector<double> gains_;  // \hat{G}_i, importance-weighted
+  double realized_gain_ = 0.0;
+  double cumulative_regret_ = 0.0;
+  std::size_t updates_ = 0;
+};
+
+}  // namespace mak::rl

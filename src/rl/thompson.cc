@@ -78,7 +78,9 @@ double ThompsonSampling::posterior_mean(std::size_t arm) const {
 
 std::vector<double> ThompsonSampling::probabilities() const {
   // Monte-Carlo estimate of P(arm is the argmax draw) with a fixed scratch
-  // stream (diagnostic only).
+  // stream. Laplace-smoothed: every arm has nonzero posterior probability
+  // of winning, so an importance-weighted observer (rl::RegretAccountant)
+  // must never see a pulled arm reported at exactly 0.
   constexpr int kSamples = 512;
   support::Rng rng(0xbe7a);
   std::vector<std::size_t> wins(alpha_.size(), 0);
@@ -96,7 +98,8 @@ std::vector<double> ThompsonSampling::probabilities() const {
   }
   std::vector<double> probs(alpha_.size());
   for (std::size_t i = 0; i < probs.size(); ++i) {
-    probs[i] = static_cast<double>(wins[i]) / kSamples;
+    probs[i] = (static_cast<double>(wins[i]) + 1.0) /
+               (kSamples + static_cast<double>(alpha_.size()));
   }
   return probs;
 }

@@ -58,9 +58,24 @@ void Ucb1::update(std::size_t arm, double reward01) {
 }
 
 std::vector<double> Ucb1::probabilities() const {
-  // UCB1 is deterministic given history; report a point mass on the arm a
-  // fresh choose() would pick (modulo unpulled-arm tie-breaking).
+  // While unpulled arms remain, choose() picks among them uniformly at
+  // random — report exactly that distribution, so an importance-weighted
+  // observer (rl::RegretAccountant) never sees the pulled arm at
+  // probability 0. Past that phase UCB1 is deterministic given history:
+  // a point mass on the arm choose() would pick.
   std::vector<double> probs(means_.size(), 0.0);
+  std::size_t unpulled = 0;
+  for (std::size_t count : counts_) {
+    if (count == 0) ++unpulled;
+  }
+  if (unpulled > 0) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] == 0) {
+        probs[i] = 1.0 / static_cast<double>(unpulled);
+      }
+    }
+    return probs;
+  }
   support::Rng rng(0);
   probs[best_upper_bound(rng)] = 1.0;
   return probs;

@@ -92,6 +92,25 @@ inline constexpr std::string_view kRewardMean = "rl.reward.mean";
 inline constexpr std::string_view kRewardStddev = "rl.reward.stddev";
 inline constexpr std::string_view kRewardShaped = "rl.reward.shaped";
 
+// --- rl: cumulative-regret accounting (docs/policies.md) ----------------
+inline constexpr std::string_view kRegretUpdates = "regret.updates";
+inline constexpr std::string_view kRegretRealizedGain = "regret.realized_gain";
+inline constexpr std::string_view kRegretBestArmGain = "regret.best_arm_gain";
+inline constexpr std::string_view kRegretWeak = "regret.weak";
+inline constexpr std::string_view kRegretCumulative = "regret.cumulative";
+
+// --- webapp: nonstationary drift layer (docs/fault_injection.md) --------
+inline constexpr std::string_view kDriftRequests = "drift.requests";
+inline constexpr std::string_view kDriftGoneRequests = "drift.gone_requests";
+inline constexpr std::string_view kDriftRewrittenLinks =
+    "drift.rewritten_links";
+inline constexpr std::string_view kDriftChurnedLinks = "drift.churned_links";
+inline constexpr std::string_view kDriftExpiredSessions =
+    "drift.expired_sessions";
+inline constexpr std::string_view kDriftStormRequests = "drift.storm_requests";
+inline constexpr std::string_view kDriftDeployGeneration =
+    "drift.deploy_generation";
+
 // --- harness: experiment protocol ---------------------------------------
 inline constexpr std::string_view kHarnessRuns = "harness.runs";
 inline constexpr std::string_view kHarnessRunWallUs = "harness.run.wall_us";

@@ -4,6 +4,7 @@
 
 #include "html/entities.h"
 #include "support/snapshot.h"
+#include "webapp/drift.h"
 #include "webapp/page_builder.h"
 
 namespace mak::webapp {
@@ -107,12 +108,28 @@ httpsim::Response WebApp::handle(const httpsim::Request& request) {
   cover(boot_region_);
   cover(overhead_region_);
 
-  // Session resolution (every request runs the session middleware).
+  // Drifted routing (webapp/drift.h): deploys and flag flips can kill a URL
+  // outright or redirect a prefixed URL back to its canonical handler.
+  std::string path = request.decoded_path();
+  bool drift_gone = false;
+  if (drift_ != nullptr) {
+    DriftDecision decision = drift_->route(path);
+    if (decision.kind == DriftDecision::Kind::kGone) {
+      drift_gone = true;
+    } else if (decision.kind == DriftDecision::Kind::kRewrite) {
+      path = std::move(decision.path);
+    }
+  }
+
+  // Session resolution (every request runs the session middleware). During
+  // a drift storm the carried session can expire server-side: the cookie is
+  // ignored and a fresh (empty) session is minted below.
   cover(session_region_);
   httpsim::Session* session = nullptr;
   bool fresh_session = false;
   const auto cookie = request.cookies.find(sessions_.cookie_name());
-  if (cookie != request.cookies.end()) {
+  if (cookie != request.cookies.end() &&
+      (drift_ == nullptr || !drift_->expire_session())) {
     session = sessions_.find(cookie->second);
   }
   if (session == nullptr) {
@@ -125,8 +142,10 @@ httpsim::Response WebApp::handle(const httpsim::Request& request) {
   ctx.session = session;
 
   httpsim::Response response;
-  const std::string path = request.decoded_path();
-  if (path.empty() || path == "/") {
+  if (drift_gone) {
+    cover(notfound_region_);
+    response = httpsim::Response::not_found(path);
+  } else if (path.empty() || path == "/") {
     cover(home_region_);
     response = home_page(ctx);
   } else if (const Handler* handler =
@@ -147,6 +166,11 @@ httpsim::Response WebApp::handle(const httpsim::Request& request) {
     if (body_tag != std::string::npos) {
       response.body.insert(body_tag + 6, nav_html_);
     }
+  }
+  // Rewrite rendered links to the drifted world (after nav injection, so
+  // even 404 pages carry links into the current generation).
+  if (drift_ != nullptr && !response.body.empty()) {
+    drift_->transform_body(response.body);
   }
   if (response.cost_ms == 0) {
     response.cost_ms = latency_.cost(response.body.size());

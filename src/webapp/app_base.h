@@ -22,6 +22,8 @@
 
 namespace mak::webapp {
 
+class DriftEngine;
+
 // Per-response latency profile (big apps serve slower pages).
 struct LatencyProfile {
   support::VirtualMillis base_ms = 120;
@@ -85,6 +87,14 @@ class WebApp : public httpsim::VirtualHost {
 
   httpsim::Response handle(const httpsim::Request& request) final;
 
+  // Attach a nonstationary drift engine (webapp/drift.h). Non-owning, may
+  // be null; the harness wires it per run exactly like the FaultInjector on
+  // the network. When set, incoming paths are routed through the drifted
+  // world, session cookies can expire in storms, and rendered links are
+  // rewritten to the current generation/cohort/churn epoch.
+  void set_drift_engine(DriftEngine* engine) noexcept { drift_ = engine; }
+  DriftEngine* drift_engine() const noexcept { return drift_; }
+
   // Checkpointing: all mutable app state — the coverage tracker and the
   // session store. Every other member is construction-time configuration;
   // feature state (carts, logins, wizard progress) lives inside sessions.
@@ -119,6 +129,7 @@ class WebApp : public httpsim::VirtualHost {
   std::unique_ptr<coverage::CoverageTracker> tracker_;
   httpsim::SessionStore sessions_;
   std::string nav_html_;  // site-wide chrome, built at finalize()
+  DriftEngine* drift_ = nullptr;  // non-owning, see set_drift_engine()
 };
 
 }  // namespace mak::webapp

@@ -1,0 +1,484 @@
+#include "webapp/drift.h"
+
+#include <cstdlib>
+
+#include "support/metric_names.h"
+#include "support/metrics.h"
+#include "support/snapshot.h"
+#include "support/strings.h"
+
+namespace mak::webapp {
+
+namespace {
+
+// Distinct salts per mechanism: the same (seed, epoch, module) must answer
+// independently for deploys, flips and churn.
+constexpr std::uint64_t kRngSalt = 0xd81f7a9eULL;
+constexpr std::uint64_t kDeploySalt = 0xd81f7001ULL;
+constexpr std::uint64_t kFlipSalt = 0xd81f7002ULL;
+constexpr std::uint64_t kChurnSalt = 0xd81f7003ULL;
+
+// Uniform [0, 1) from a mixed hash — same construction as Rng::uniform().
+double hash_unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t chain(std::uint64_t a, std::uint64_t b) noexcept {
+  return support::mix64(a ^ support::mix64(b));
+}
+
+// First path segment ("/admin/users" -> "admin"); empty for the root.
+std::string_view module_of(std::string_view path) noexcept {
+  if (path.empty() || path[0] != '/') return {};
+  path.remove_prefix(1);
+  const auto slash = path.find('/');
+  return slash == std::string_view::npos ? path : path.substr(0, slash);
+}
+
+bool parse_rate(const std::string& text, double& out) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return false;
+  if (!(value >= 0.0 && value <= 1.0)) return false;
+  out = value;
+  return true;
+}
+
+bool parse_millis(const std::string& text, support::VirtualMillis& out) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || value < 0) return false;
+  out = static_cast<support::VirtualMillis>(value);
+  return true;
+}
+
+struct DriftMetrics {
+  support::Counter& requests;
+  support::Counter& gone_requests;
+  support::Counter& rewritten_links;
+  support::Counter& churned_links;
+  support::Counter& expired_sessions;
+  support::Counter& storm_requests;
+  support::Gauge& deploy_generation;
+
+  static DriftMetrics& instance() {
+    namespace metric = support::metric;
+    auto& registry = support::MetricsRegistry::global();
+    static DriftMetrics metrics{
+        registry.counter(metric::kDriftRequests),
+        registry.counter(metric::kDriftGoneRequests),
+        registry.counter(metric::kDriftRewrittenLinks),
+        registry.counter(metric::kDriftChurnedLinks),
+        registry.counter(metric::kDriftExpiredSessions),
+        registry.counter(metric::kDriftStormRequests),
+        registry.gauge(metric::kDriftDeployGeneration),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
+
+// ----------------------------------------------------------- DriftProfile
+
+bool DriftProfile::enabled() const noexcept {
+  return has_deploys() || has_flips() || has_churn() || has_storms();
+}
+
+DriftProfile drift_profile_light() {
+  DriftProfile p;
+  p.churn_period_ms = 5 * support::kMillisPerMinute;
+  p.churn_fraction = 0.15;
+  return p;
+}
+
+DriftProfile drift_profile_moderate() {
+  DriftProfile p;
+  p.deploy_period_ms = 10 * support::kMillisPerMinute;
+  p.deploy_offset_ms = 4 * support::kMillisPerMinute;
+  p.reroute_fraction = 0.25;
+  p.flip_period_ms = 5 * support::kMillisPerMinute;
+  p.flip_fraction = 0.2;
+  p.churn_period_ms = 4 * support::kMillisPerMinute;
+  p.churn_fraction = 0.25;
+  p.storm_period_ms = 8 * support::kMillisPerMinute;
+  p.storm_duration_ms = 30 * support::kMillisPerSecond;
+  p.storm_offset_ms = 3 * support::kMillisPerMinute;
+  p.storm_expire_rate = 0.5;
+  return p;
+}
+
+DriftProfile drift_profile_heavy() {
+  DriftProfile p;
+  p.deploy_period_ms = 5 * support::kMillisPerMinute;
+  p.deploy_offset_ms = 2 * support::kMillisPerMinute;
+  p.reroute_fraction = 0.4;
+  p.flip_period_ms = 3 * support::kMillisPerMinute;
+  p.flip_fraction = 0.5;
+  p.churn_period_ms = 2 * support::kMillisPerMinute;
+  p.churn_fraction = 0.5;
+  p.storm_period_ms = 4 * support::kMillisPerMinute;
+  p.storm_duration_ms = 60 * support::kMillisPerSecond;
+  p.storm_offset_ms = 1 * support::kMillisPerMinute;
+  p.storm_expire_rate = 0.9;
+  return p;
+}
+
+std::optional<DriftProfile> DriftProfile::parse(std::string_view spec) {
+  DriftProfile profile;
+  bool first = true;
+  for (std::string_view token : support::split(spec, ',')) {
+    const std::string item(support::trim(token));
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      // Bare token: a preset name, only meaningful as the first token so
+      // overrides always win.
+      if (!first) return std::nullopt;
+      if (item == "off" || item == "none") {
+        profile = DriftProfile{};
+      } else if (item == "light") {
+        profile = drift_profile_light();
+      } else if (item == "moderate") {
+        profile = drift_profile_moderate();
+      } else if (item == "heavy") {
+        profile = drift_profile_heavy();
+      } else {
+        return std::nullopt;
+      }
+      first = false;
+      continue;
+    }
+    first = false;
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    bool ok = true;
+    if (key == "deploy_period_ms") {
+      ok = parse_millis(value, profile.deploy_period_ms);
+    } else if (key == "deploy_offset_ms") {
+      ok = parse_millis(value, profile.deploy_offset_ms);
+    } else if (key == "reroute") {
+      ok = parse_rate(value, profile.reroute_fraction);
+    } else if (key == "flip_period_ms") {
+      ok = parse_millis(value, profile.flip_period_ms);
+    } else if (key == "flip") {
+      ok = parse_rate(value, profile.flip_fraction);
+    } else if (key == "churn_period_ms") {
+      ok = parse_millis(value, profile.churn_period_ms);
+    } else if (key == "churn") {
+      ok = parse_rate(value, profile.churn_fraction);
+    } else if (key == "storm_period_ms") {
+      ok = parse_millis(value, profile.storm_period_ms);
+    } else if (key == "storm_duration_ms") {
+      ok = parse_millis(value, profile.storm_duration_ms);
+    } else if (key == "storm_offset_ms") {
+      ok = parse_millis(value, profile.storm_offset_ms);
+    } else if (key == "storm_expire") {
+      ok = parse_rate(value, profile.storm_expire_rate);
+    } else {
+      ok = false;
+    }
+    if (!ok) return std::nullopt;
+  }
+  return profile;
+}
+
+std::optional<DriftProfile> DriftProfile::from_env() {
+  const char* spec = std::getenv("MAK_DRIFT");
+  if (spec == nullptr || *spec == '\0') return std::nullopt;
+  return parse(spec);
+}
+
+std::string DriftProfile::describe() const {
+  std::string out;
+  const auto add = [&out](const std::string& item) {
+    if (!out.empty()) out += ',';
+    out += item;
+  };
+  const auto rate = [](double r) { return support::format_fixed(r, 3); };
+  if (has_deploys()) {
+    add("deploy_period_ms=" + std::to_string(deploy_period_ms));
+    if (deploy_offset_ms > 0) {
+      add("deploy_offset_ms=" + std::to_string(deploy_offset_ms));
+    }
+    add("reroute=" + rate(reroute_fraction));
+  }
+  if (has_flips()) {
+    add("flip_period_ms=" + std::to_string(flip_period_ms));
+    add("flip=" + rate(flip_fraction));
+  }
+  if (has_churn()) {
+    add("churn_period_ms=" + std::to_string(churn_period_ms));
+    add("churn=" + rate(churn_fraction));
+  }
+  if (has_storms()) {
+    add("storm_period_ms=" + std::to_string(storm_period_ms));
+    add("storm_duration_ms=" + std::to_string(storm_duration_ms));
+    if (storm_offset_ms > 0) {
+      add("storm_offset_ms=" + std::to_string(storm_offset_ms));
+    }
+    add("storm_expire=" + rate(storm_expire_rate));
+  }
+  return out.empty() ? "off" : out;
+}
+
+// ------------------------------------------------------------ DriftEngine
+
+DriftEngine::DriftEngine(DriftProfile profile, std::uint64_t seed,
+                         const support::SimClock& clock)
+    : profile_(profile),
+      seed_(support::mix64(seed ^ kRngSalt)),
+      rng_(seed_),
+      clock_(&clock) {}
+
+std::uint64_t DriftEngine::deploy_generation() const noexcept {
+  if (!profile_.has_deploys()) return 0;
+  const support::VirtualMillis now = clock_->now();
+  if (now < profile_.deploy_offset_ms) return 0;
+  return static_cast<std::uint64_t>(
+             (now - profile_.deploy_offset_ms) / profile_.deploy_period_ms) +
+         1;
+}
+
+std::uint64_t DriftEngine::flip_epoch() const noexcept {
+  if (!profile_.has_flips()) return 0;
+  return static_cast<std::uint64_t>(clock_->now() / profile_.flip_period_ms);
+}
+
+std::uint64_t DriftEngine::churn_epoch() const noexcept {
+  if (!profile_.has_churn()) return 0;
+  return static_cast<std::uint64_t>(clock_->now() / profile_.churn_period_ms);
+}
+
+bool DriftEngine::in_storm() const noexcept {
+  if (!profile_.has_storms()) return false;
+  const support::VirtualMillis now = clock_->now();
+  if (now < profile_.storm_offset_ms) return false;
+  const support::VirtualMillis phase =
+      (now - profile_.storm_offset_ms) % profile_.storm_period_ms;
+  return phase < profile_.storm_duration_ms;
+}
+
+bool DriftEngine::module_moved(std::string_view module,
+                               std::uint64_t generation) const noexcept {
+  if (!profile_.has_deploys() || generation == 0 || module.empty()) {
+    return false;
+  }
+  const std::uint64_t h =
+      chain(chain(seed_ ^ kDeploySalt, generation), support::hash_bytes(module));
+  return hash_unit(h) < profile_.reroute_fraction;
+}
+
+bool DriftEngine::module_flagged(std::string_view module,
+                                 std::uint64_t epoch) const noexcept {
+  if (!profile_.has_flips() || module.empty()) return false;
+  const std::uint64_t h =
+      chain(chain(seed_ ^ kFlipSalt, epoch), support::hash_bytes(module));
+  return hash_unit(h) < profile_.flip_fraction;
+}
+
+bool DriftEngine::link_churned(std::string_view href,
+                               std::uint64_t epoch) const noexcept {
+  if (!profile_.has_churn()) return false;
+  const std::uint64_t h =
+      chain(chain(seed_ ^ kChurnSalt, epoch), support::hash_bytes(href));
+  return hash_unit(h) < profile_.churn_fraction;
+}
+
+DriftDecision DriftEngine::route(const std::string& path) {
+  DriftMetrics& metrics = DriftMetrics::instance();
+  ++counters_.requests_seen;
+  metrics.requests.add();
+  if (in_storm()) {
+    ++counters_.storm_requests;
+    metrics.storm_requests.add();
+  }
+  const std::uint64_t generation = deploy_generation();
+  metrics.deploy_generation.set(static_cast<double>(generation));
+
+  DriftDecision decision;
+  const auto gone = [&]() {
+    decision.kind = DriftDecision::Kind::kGone;
+    ++counters_.gone_requests;
+    metrics.gone_requests.add();
+    return decision;
+  };
+
+  if (support::starts_with(path, "/_r")) {
+    // Generation-stamped deploy prefix: /_r<g>/module/... — valid only
+    // while <g> is the current generation; every deploy invalidates the
+    // previous generation's URLs wholesale.
+    std::size_t digits = 3;
+    std::uint64_t stamped = 0;
+    while (digits < path.size() && path[digits] >= '0' && path[digits] <= '9') {
+      stamped = stamped * 10 + static_cast<std::uint64_t>(path[digits] - '0');
+      ++digits;
+    }
+    if (digits == 3 || digits >= path.size() || path[digits] != '/') {
+      return decision;  // not a link we minted; let the router 404 it
+    }
+    if (stamped == 0 || stamped != generation) return gone();
+    decision.kind = DriftDecision::Kind::kRewrite;
+    decision.path = path.substr(digits);
+    return decision;
+  }
+  if (support::starts_with(path, "/_b/")) {
+    // A/B experiment prefix: alive only while the module is in the current
+    // cohort; a flag flip kills the URL (and mints others elsewhere).
+    const std::string stripped = path.substr(3);
+    if (module_flagged(module_of(stripped), flip_epoch())) {
+      decision.kind = DriftDecision::Kind::kRewrite;
+      decision.path = stripped;
+      return decision;
+    }
+    return gone();
+  }
+  // Bare URL of a module that has moved: the deploy left a 404 behind.
+  if (module_moved(module_of(path), generation)) return gone();
+  return decision;
+}
+
+bool DriftEngine::expire_session() {
+  if (!profile_.has_storms()) return false;
+  if (!in_storm()) return false;
+  if (!rng_.chance(profile_.storm_expire_rate)) return false;
+  ++counters_.expired_sessions;
+  DriftMetrics::instance().expired_sessions.add();
+  return true;
+}
+
+std::optional<std::string> DriftEngine::rewrite_link(std::string_view href) {
+  // Split off query/fragment; prefixes apply to the path, churn to the
+  // whole link.
+  const std::size_t cut = href.find_first_of("?#");
+  std::string path(cut == std::string_view::npos ? href : href.substr(0, cut));
+  std::string rest(cut == std::string_view::npos ? std::string_view{}
+                                                 : href.substr(cut));
+  bool changed = false;
+  DriftMetrics& metrics = DriftMetrics::instance();
+  const std::string_view module = module_of(path);
+  const bool prefixed = support::starts_with(path, "/_r") ||
+                        support::starts_with(path, "/_b/");
+  if (!module.empty() && !prefixed) {
+    const std::uint64_t generation = deploy_generation();
+    if (module_moved(module, generation)) {
+      path = "/_r" + std::to_string(generation) + path;
+      changed = true;
+      ++counters_.rewritten_links;
+      metrics.rewritten_links.add();
+    } else if (module_flagged(module, flip_epoch())) {
+      path = "/_b" + path;
+      changed = true;
+      ++counters_.rewritten_links;
+      metrics.rewritten_links.add();
+    }
+  }
+  if (link_churned(href, churn_epoch())) {
+    const std::string stamp = std::to_string(churn_epoch());
+    if (rest.empty()) {
+      rest = "?cb=" + stamp;
+    } else if (rest[0] == '?') {
+      // Queries are HTML-escaped in rendered bodies, so extend with &amp;.
+      rest += "&amp;cb=" + stamp;
+    } else {
+      rest.insert(0, "?cb=" + stamp);
+    }
+    changed = true;
+    ++counters_.churned_links;
+    metrics.churned_links.add();
+  }
+  if (!changed) return std::nullopt;
+  return path + rest;
+}
+
+void DriftEngine::transform_body(std::string& body) {
+  if (!profile_.has_deploys() && !profile_.has_flips() &&
+      !profile_.has_churn()) {
+    return;
+  }
+  static constexpr std::string_view kHref = "href=\"";
+  static constexpr std::string_view kAction = "action=\"";
+  std::string out;
+  out.reserve(body.size() + 64);
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    const std::size_t h = body.find(kHref, pos);
+    const std::size_t a = body.find(kAction, pos);
+    std::size_t at = std::string::npos;
+    std::size_t attr_len = 0;
+    if (h != std::string::npos && (a == std::string::npos || h < a)) {
+      at = h;
+      attr_len = kHref.size();
+    } else if (a != std::string::npos) {
+      at = a;
+      attr_len = kAction.size();
+    }
+    if (at == std::string::npos) break;
+    const std::size_t start = at + attr_len;
+    const std::size_t end = body.find('"', start);
+    if (end == std::string::npos) break;
+    out.append(body, pos, start - pos);
+    const std::string_view link(body.data() + start, end - start);
+    if (!link.empty() && link[0] == '/') {
+      if (auto rewritten = rewrite_link(link)) {
+        out += *rewritten;
+      } else {
+        out.append(link);
+      }
+    } else {
+      out.append(link);
+    }
+    pos = end;  // the closing quote is copied by the next append
+  }
+  out.append(body, pos, body.size() - pos);
+  body = std::move(out);
+}
+
+support::json::Value DriftEngine::save_state() const {
+  namespace snapshot = support::snapshot;
+  auto state = snapshot::make_state("webapp.drift", 1);
+  state.emplace("profile", profile_.describe());
+  state.emplace("rng", snapshot::rng_to_json(rng_));
+  support::json::Object counters;
+  counters.emplace("requests_seen",
+                   static_cast<double>(counters_.requests_seen));
+  counters.emplace("gone_requests",
+                   static_cast<double>(counters_.gone_requests));
+  counters.emplace("rewritten_links",
+                   static_cast<double>(counters_.rewritten_links));
+  counters.emplace("churned_links",
+                   static_cast<double>(counters_.churned_links));
+  counters.emplace("expired_sessions",
+                   static_cast<double>(counters_.expired_sessions));
+  counters.emplace("storm_requests",
+                   static_cast<double>(counters_.storm_requests));
+  state.emplace("counters", support::json::Value(std::move(counters)));
+  return support::json::Value(std::move(state));
+}
+
+void DriftEngine::load_state(const support::json::Value& state) {
+  namespace snapshot = support::snapshot;
+  snapshot::check_header(state, "webapp.drift", 1);
+  if (snapshot::require_string(state, "profile") != profile_.describe()) {
+    throw support::SnapshotError(
+        "DriftEngine: drift profile mismatch with checkpoint");
+  }
+  const auto& counters = snapshot::require(state, "counters");
+  Counters restored;
+  restored.requests_seen = static_cast<std::size_t>(
+      snapshot::require_index(counters, "requests_seen"));
+  restored.gone_requests = static_cast<std::size_t>(
+      snapshot::require_index(counters, "gone_requests"));
+  restored.rewritten_links = static_cast<std::size_t>(
+      snapshot::require_index(counters, "rewritten_links"));
+  restored.churned_links = static_cast<std::size_t>(
+      snapshot::require_index(counters, "churned_links"));
+  restored.expired_sessions = static_cast<std::size_t>(
+      snapshot::require_index(counters, "expired_sessions"));
+  restored.storm_requests = static_cast<std::size_t>(
+      snapshot::require_index(counters, "storm_requests"));
+  snapshot::rng_from_json(rng_, snapshot::require(state, "rng"));
+  counters_ = restored;
+}
+
+}  // namespace mak::webapp

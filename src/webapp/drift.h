@@ -1,0 +1,170 @@
+// Nonstationary drift for the simulated web applications.
+//
+// The paper's argument for an adversarial bandit is that real crawl targets
+// change *under* the crawler: deploys move modules, A/B flags flip URLs on
+// and off, content churns cache-busting query strings, and session storms
+// log everybody out. The DriftEngine layers those behaviours over any
+// webapp::WebApp the same way httpsim::FaultInjector layers network faults
+// over the virtual network: seeded, deterministic, driven by the virtual
+// clock, and snapshot-able so checkpoint/resume replays the exact same
+// world.
+//
+// Mechanics (all scheduled by clock phase, never wall time):
+//   * Module reroute deploys — every deploy period a seeded fraction of
+//     top-level modules "moves": their links are minted under a
+//     generation-stamped prefix (/_r<g>/module/...) and the old bare URLs
+//     404. Stale generation links 404 too, so the frontier rots on every
+//     deploy.
+//   * A/B flag flips — a seeded per-epoch cohort of modules is served
+//     under an experiment prefix (/_b/module/...); when the flag flips the
+//     prefixed URLs die and a different cohort appears.
+//   * Content churn — a seeded fraction of links gains a cache-busting
+//     cb=<epoch> query parameter that changes every churn period, aliasing
+//     known pages under fresh URLs.
+//   * Session-expiry storms — inside storm windows each request carrying a
+//     session cookie loses its session with the configured probability.
+//
+// Epoch membership is decided by hashing (seed, epoch, module), not by
+// consuming RNG, so decisions are order-independent; only storm expiry
+// draws from the engine's dedicated RNG stream.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "support/clock.h"
+#include "support/json.h"
+#include "support/rng.h"
+
+namespace mak::webapp {
+
+// Declarative description of a drifting world. Fractions are in [0, 1];
+// periods are virtual milliseconds (0 disables the mechanism).
+struct DriftProfile {
+  // Module reroute deploys.
+  support::VirtualMillis deploy_period_ms = 0;  // 0 = no deploys
+  support::VirtualMillis deploy_offset_ms = 0;  // first deploy lands here
+  double reroute_fraction = 0.0;  // fraction of modules moved per deploy
+
+  // A/B flag flips.
+  support::VirtualMillis flip_period_ms = 0;  // 0 = no experiments
+  double flip_fraction = 0.0;  // fraction of modules in the B cohort
+
+  // Content churn (cache-busting link aliases).
+  support::VirtualMillis churn_period_ms = 0;  // 0 = no churn
+  double churn_fraction = 0.0;  // fraction of links churned per epoch
+
+  // Session-expiry storms.
+  support::VirtualMillis storm_period_ms = 0;  // 0 = no storms
+  support::VirtualMillis storm_duration_ms = 0;
+  support::VirtualMillis storm_offset_ms = 0;
+  double storm_expire_rate = 0.0;  // per-request expiry chance in a storm
+
+  // True if any drift mechanism can ever fire.
+  bool enabled() const noexcept;
+  bool has_deploys() const noexcept {
+    return deploy_period_ms > 0 && reroute_fraction > 0.0;
+  }
+  bool has_flips() const noexcept {
+    return flip_period_ms > 0 && flip_fraction > 0.0;
+  }
+  bool has_churn() const noexcept {
+    return churn_period_ms > 0 && churn_fraction > 0.0;
+  }
+  bool has_storms() const noexcept {
+    return storm_period_ms > 0 && storm_duration_ms > 0 &&
+           storm_expire_rate > 0.0;
+  }
+
+  // Parse a profile spec: either a preset name ("off", "light", "moderate",
+  // "heavy") or/and comma-separated key=value overrides, e.g.
+  //   "heavy,storm_expire=0.5"
+  //   "deploy_period_ms=300000,reroute=0.4,churn_period_ms=120000,churn=0.5"
+  // Returns nullopt on a malformed spec.
+  static std::optional<DriftProfile> parse(std::string_view spec);
+
+  // Profile from the MAK_DRIFT environment variable; nullopt when unset,
+  // empty, or unparsable.
+  static std::optional<DriftProfile> from_env();
+
+  // Canonical spec string (round-trips through parse(); "off" if disabled).
+  std::string describe() const;
+};
+
+// Preset profiles used by bench/drift_robustness.
+DriftProfile drift_profile_light();
+DriftProfile drift_profile_moderate();
+DriftProfile drift_profile_heavy();
+
+// What the engine decided for one incoming request path.
+struct DriftDecision {
+  enum class Kind {
+    kPass,     // serve the path untouched
+    kRewrite,  // serve `path` instead (prefix stripped)
+    kGone      // the URL no longer exists: 404
+  };
+  Kind kind = Kind::kPass;
+  std::string path;  // set when kind == kRewrite
+};
+
+// Drives drift for one app over one run. Owned by the harness alongside the
+// FaultInjector and attached to the WebApp via set_drift_engine().
+class DriftEngine {
+ public:
+  DriftEngine(DriftProfile profile, std::uint64_t seed,
+              const support::SimClock& clock);
+
+  // Route an incoming decoded path through the current world state
+  // (counts the request; consumes no RNG).
+  DriftDecision route(const std::string& path);
+
+  // Whether the session carried by the current request expires (storms
+  // only; consumes RNG only inside a storm window).
+  bool expire_session();
+
+  // Rewrite root-relative href/action links in a rendered page to the
+  // current world: generation prefixes, A/B prefixes, churn parameters.
+  void transform_body(std::string& body);
+
+  // Clock-derived world state (0 = before the first boundary / disabled).
+  std::uint64_t deploy_generation() const noexcept;
+  std::uint64_t flip_epoch() const noexcept;
+  std::uint64_t churn_epoch() const noexcept;
+  bool in_storm() const noexcept;
+
+  struct Counters {
+    std::size_t requests_seen = 0;
+    std::size_t gone_requests = 0;
+    std::size_t rewritten_links = 0;
+    std::size_t churned_links = 0;
+    std::size_t expired_sessions = 0;
+    std::size_t storm_requests = 0;  // requests routed inside a storm
+  };
+  const Counters& counters() const noexcept { return counters_; }
+  const DriftProfile& profile() const noexcept { return profile_; }
+
+  // Checkpointing: RNG stream and counters, bound to the profile spec so a
+  // checkpoint from a different drift world is rejected.
+  support::json::Value save_state() const;
+  void load_state(const support::json::Value& state);
+
+ private:
+  bool module_moved(std::string_view module,
+                    std::uint64_t generation) const noexcept;
+  bool module_flagged(std::string_view module,
+                      std::uint64_t epoch) const noexcept;
+  bool link_churned(std::string_view href,
+                    std::uint64_t epoch) const noexcept;
+  // Rewritten form of one root-relative link, or nullopt to leave it alone.
+  std::optional<std::string> rewrite_link(std::string_view href);
+
+  DriftProfile profile_;
+  std::uint64_t seed_;
+  support::Rng rng_;  // storm expiry draws only
+  const support::SimClock* clock_;
+  Counters counters_;
+};
+
+}  // namespace mak::webapp

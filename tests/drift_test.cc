@@ -1,0 +1,437 @@
+// Nonstationary drift layer (webapp/drift.h): profile parsing and describe()
+// round-trips, clock-phase world state, hash-chain determinism, engine
+// snapshot round-trips, and the harness-level guarantees — per-seed
+// determinism, resume-mid-drift bit-identity, the zero-magnitude metamorphic
+// (a disabled profile changes nothing), and regret accounting plumbing.
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/catalog.h"
+#include "harness/checkpoint.h"
+#include "harness/experiment.h"
+#include "harness/json_report.h"
+#include "httpsim/fault.h"
+#include "rl/policy_factory.h"
+#include "support/clock.h"
+#include "support/snapshot.h"
+
+namespace mak {
+namespace {
+
+using harness::CrawlerKind;
+using harness::RunConfig;
+using harness::RunResult;
+using support::json::dump;
+using webapp::DriftDecision;
+using webapp::DriftEngine;
+using webapp::DriftProfile;
+
+RunConfig quick_config(std::uint64_t seed = 0xd21f7) {
+  RunConfig config;
+  config.budget = 3 * support::kMillisPerMinute;
+  config.sample_interval = 15 * support::kMillisPerSecond;
+  config.seed = seed;
+  return config;
+}
+
+const apps::AppInfo& info_of(const std::string& name) {
+  for (const auto& info : apps::app_catalog()) {
+    if (info.name == name) return info;
+  }
+  throw std::runtime_error("unknown app " + name);
+}
+
+std::string result_bytes(const RunResult& result) {
+  return dump(harness::result_to_state(result));
+}
+
+// Saves and restores an environment variable around a test body.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+// ------------------------------------------------------------ DriftProfile
+
+TEST(DriftProfileTest, DefaultIsDisabled) {
+  const DriftProfile p;
+  EXPECT_FALSE(p.enabled());
+  EXPECT_FALSE(p.has_deploys());
+  EXPECT_FALSE(p.has_flips());
+  EXPECT_FALSE(p.has_churn());
+  EXPECT_FALSE(p.has_storms());
+  EXPECT_EQ(p.describe(), "off");
+}
+
+TEST(DriftProfileTest, PresetsParseAndEnable) {
+  for (const char* preset : {"light", "moderate", "heavy"}) {
+    const auto p = DriftProfile::parse(preset);
+    ASSERT_TRUE(p.has_value()) << preset;
+    EXPECT_TRUE(p->enabled()) << preset;
+  }
+  const auto off = DriftProfile::parse("off");
+  ASSERT_TRUE(off.has_value());
+  EXPECT_FALSE(off->enabled());
+  const auto none = DriftProfile::parse("none");
+  ASSERT_TRUE(none.has_value());
+  EXPECT_FALSE(none->enabled());
+}
+
+TEST(DriftProfileTest, DescribeRoundTrips) {
+  for (const char* spec :
+       {"off", "light", "moderate", "heavy",
+        "deploy_period_ms=300000,deploy_offset_ms=60000,reroute=0.4",
+        "heavy,storm_expire=0.25",
+        "churn_period_ms=120000,churn=0.5,flip_period_ms=60000,flip=0.1"}) {
+    const auto parsed = DriftProfile::parse(spec);
+    ASSERT_TRUE(parsed.has_value()) << spec;
+    const std::string canonical = parsed->describe();
+    const auto reparsed = DriftProfile::parse(canonical);
+    ASSERT_TRUE(reparsed.has_value()) << canonical;
+    EXPECT_EQ(reparsed->describe(), canonical) << spec;
+  }
+}
+
+TEST(DriftProfileTest, MalformedSpecsRejected) {
+  for (const char* spec :
+       {"bogus", "reroute=1.5", "reroute=-0.1", "deploy_period_ms=abc",
+        "light,unknown_key=3", "churn=", "=0.5"}) {
+    EXPECT_FALSE(DriftProfile::parse(spec).has_value()) << spec;
+  }
+}
+
+TEST(DriftProfileTest, FromEnvReadsMakDrift) {
+  {
+    ScopedEnv env("MAK_DRIFT", "moderate");
+    const auto p = DriftProfile::from_env();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_TRUE(p->enabled());
+  }
+  {
+    ScopedEnv env("MAK_DRIFT", nullptr);
+    EXPECT_FALSE(DriftProfile::from_env().has_value());
+  }
+  {
+    ScopedEnv env("MAK_DRIFT", "not-a-profile");
+    EXPECT_FALSE(DriftProfile::from_env().has_value());
+  }
+}
+
+// Zero-magnitude overrides must disable the profile entirely — the
+// metamorphic anchor for ZeroMagnitudeDriftIsBaseline below.
+TEST(DriftProfileTest, ZeroMagnitudeIsDisabled) {
+  const auto p = DriftProfile::parse(
+      "deploy_period_ms=60000,reroute=0,flip_period_ms=60000,flip=0,"
+      "churn_period_ms=60000,churn=0,storm_period_ms=60000,"
+      "storm_duration_ms=1000,storm_expire=0");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_FALSE(p->enabled());
+  EXPECT_EQ(p->describe(), "off");
+}
+
+// ------------------------------------------------------------- DriftEngine
+
+DriftProfile deploy_only_profile() {
+  DriftProfile p;
+  p.deploy_period_ms = 60000;
+  p.deploy_offset_ms = 30000;
+  p.reroute_fraction = 1.0;  // every module moves on every deploy
+  return p;
+}
+
+TEST(DriftEngineTest, DeployGenerationFollowsClockPhase) {
+  support::SimClock clock;
+  DriftEngine engine(deploy_only_profile(), 7, clock);
+  EXPECT_EQ(engine.deploy_generation(), 0u);
+  clock.advance(29999);
+  EXPECT_EQ(engine.deploy_generation(), 0u);
+  clock.advance(1);  // t = 30000: first deploy
+  EXPECT_EQ(engine.deploy_generation(), 1u);
+  clock.advance(60000);  // t = 90000: second deploy
+  EXPECT_EQ(engine.deploy_generation(), 2u);
+}
+
+TEST(DriftEngineTest, MovedModuleGoesGoneAndPrefixedPathServes) {
+  support::SimClock clock;
+  DriftEngine engine(deploy_only_profile(), 7, clock);
+  // Before the first deploy nothing moves.
+  EXPECT_EQ(engine.route("/users/list").kind, DriftDecision::Kind::kPass);
+  clock.advance(30000);  // generation 1, every module rerouted
+  const auto gone = engine.route("/users/list");
+  EXPECT_EQ(gone.kind, DriftDecision::Kind::kGone);
+  const auto current = engine.route("/_r1/users/list");
+  ASSERT_EQ(current.kind, DriftDecision::Kind::kRewrite);
+  EXPECT_EQ(current.path, "/users/list");
+  // Stale generation: the world moved on.
+  clock.advance(60000);  // generation 2
+  EXPECT_EQ(engine.route("/_r1/users/list").kind,
+            DriftDecision::Kind::kGone);
+  EXPECT_EQ(engine.route("/_r2/users/list").kind,
+            DriftDecision::Kind::kRewrite);
+  // Root is exempt: the seed URL must always load.
+  EXPECT_EQ(engine.route("/").kind, DriftDecision::Kind::kPass);
+}
+
+TEST(DriftEngineTest, TransformBodyStampsCurrentGeneration) {
+  support::SimClock clock;
+  DriftEngine engine(deploy_only_profile(), 7, clock);
+  clock.advance(30000);  // generation 1
+  std::string body = "<a href=\"/users/list\">users</a>"
+                     "<form action=\"/users/add\">";
+  engine.transform_body(body);
+  EXPECT_NE(body.find("href=\"/_r1/users/list\""), std::string::npos) << body;
+  EXPECT_NE(body.find("action=\"/_r1/users/add\""), std::string::npos) << body;
+  // The rewritten link routes back to the original path.
+  const auto routed = engine.route("/_r1/users/list");
+  ASSERT_EQ(routed.kind, DriftDecision::Kind::kRewrite);
+  EXPECT_EQ(routed.path, "/users/list");
+}
+
+TEST(DriftEngineTest, ChurnAppendsEpochParameter) {
+  DriftProfile p;
+  p.churn_period_ms = 60000;
+  p.churn_fraction = 1.0;
+  support::SimClock clock;
+  DriftEngine engine(p, 7, clock);
+  clock.advance(120000);  // churn epoch 2
+  std::string body = "<a href=\"/pages/view?id=3\">x</a>";
+  engine.transform_body(body);
+  EXPECT_NE(body.find("cb=2"), std::string::npos) << body;
+  // Churned URLs still route to the app unchanged (aliases, not moves).
+  EXPECT_EQ(engine.route("/pages/view").kind, DriftDecision::Kind::kPass);
+}
+
+TEST(DriftEngineTest, HashDecisionsAreDeterministicAndRngFree) {
+  support::SimClock clock;
+  DriftEngine a(deploy_only_profile(), 123, clock);
+  DriftEngine b(deploy_only_profile(), 123, clock);
+  clock.advance(30000);
+  for (const char* path : {"/users/list", "/pages/view", "/admin/panel"}) {
+    const auto da = a.route(path);
+    const auto db = b.route(path);
+    EXPECT_EQ(static_cast<int>(da.kind), static_cast<int>(db.kind)) << path;
+  }
+  // route() consumed no RNG: both snapshots carry identical streams.
+  EXPECT_EQ(dump(a.save_state()), dump(b.save_state()));
+}
+
+TEST(DriftEngineTest, StormExpiryOnlyInsideWindows) {
+  DriftProfile p;
+  p.storm_period_ms = 60000;
+  p.storm_duration_ms = 10000;
+  p.storm_offset_ms = 20000;
+  p.storm_expire_rate = 1.0;  // always expire inside the storm
+  support::SimClock clock;
+  DriftEngine engine(p, 99, clock);
+  EXPECT_FALSE(engine.in_storm());
+  EXPECT_FALSE(engine.expire_session());
+  clock.advance(20000);  // storm opens
+  EXPECT_TRUE(engine.in_storm());
+  EXPECT_TRUE(engine.expire_session());
+  clock.advance(10000);  // storm closed
+  EXPECT_FALSE(engine.in_storm());
+  EXPECT_FALSE(engine.expire_session());
+  EXPECT_EQ(engine.counters().expired_sessions, 1u);
+}
+
+TEST(DriftEngineTest, SnapshotRoundTripsAndBindsProfile) {
+  DriftProfile p = deploy_only_profile();
+  p.storm_period_ms = 60000;
+  p.storm_duration_ms = 30000;
+  p.storm_expire_rate = 0.5;
+  support::SimClock clock;
+  DriftEngine original(p, 42, clock);
+  clock.advance(45000);
+  original.route("/users/list");
+  original.expire_session();
+  std::string body = "<a href=\"/users/list\">x</a>";
+  original.transform_body(body);  // counters move
+
+  DriftEngine restored(p, 42, clock);
+  restored.load_state(original.save_state());
+  EXPECT_EQ(dump(original.save_state()), dump(restored.save_state()));
+  // Post-restore the RNG streams replay identically.
+  EXPECT_EQ(original.expire_session(), restored.expire_session());
+
+  // A checkpoint from a different drift world must be rejected.
+  DriftProfile other = p;
+  other.storm_expire_rate = 0.9;
+  DriftEngine mismatched(other, 42, clock);
+  EXPECT_THROW(mismatched.load_state(original.save_state()),
+               support::SnapshotError);
+}
+
+// -------------------------------------------------- harness-level runs
+
+TEST(DriftRunTest, DriftRunsEndToEndAndCounts) {
+  RunConfig config = quick_config();
+  config.drift = *DriftProfile::parse("heavy");
+  const auto result =
+      harness::run_once(info_of("AddressBook"), CrawlerKind::kMak, config);
+  EXPECT_TRUE(result.drift_active);
+  EXPECT_GT(result.final_covered_lines, 0u);
+  // Heavy drift must visibly bite: links rewritten and URLs killed.
+  EXPECT_GT(result.drift_rewritten_links, 0u);
+  EXPECT_GT(result.drift_gone_requests, 0u);
+}
+
+TEST(DriftRunTest, SameSeedSameDriftTrajectory) {
+  RunConfig config = quick_config(0xabc1);
+  config.drift = *DriftProfile::parse("moderate");
+  const auto a =
+      harness::run_once(info_of("AddressBook"), CrawlerKind::kMak, config);
+  const auto b =
+      harness::run_once(info_of("AddressBook"), CrawlerKind::kMak, config);
+  EXPECT_EQ(result_bytes(a), result_bytes(b));
+  EXPECT_EQ(harness::run_to_json(a, true), harness::run_to_json(b, true));
+}
+
+// The metamorphic anchor: a parsed-but-zero-magnitude drift profile is
+// disabled, so the run is bit-identical to one with no drift config at all.
+TEST(DriftRunTest, ZeroMagnitudeDriftIsBaseline) {
+  RunConfig baseline = quick_config(0x7777);
+  RunConfig zeroed = quick_config(0x7777);
+  zeroed.drift = *DriftProfile::parse(
+      "deploy_period_ms=60000,reroute=0,churn_period_ms=60000,churn=0");
+  ASSERT_FALSE(zeroed.drift.enabled());
+  const auto a =
+      harness::run_once(info_of("AddressBook"), CrawlerKind::kMak, baseline);
+  const auto b =
+      harness::run_once(info_of("AddressBook"), CrawlerKind::kMak, zeroed);
+  EXPECT_EQ(result_bytes(a), result_bytes(b));
+}
+
+TEST(DriftRunTest, RegretReportedForBanditCrawlersOnly) {
+  RunConfig config = quick_config();
+  const auto mak =
+      harness::run_once(info_of("AddressBook"), CrawlerKind::kMak, config);
+  EXPECT_TRUE(mak.regret_tracked);
+  EXPECT_GT(mak.policy_updates, 0u);
+  EXPECT_GE(mak.cumulative_regret, 0.0);
+  EXPECT_GE(mak.cumulative_regret, mak.weak_regret - 1e-12);
+  const auto bfs =
+      harness::run_once(info_of("AddressBook"), CrawlerKind::kBfs, config);
+  EXPECT_FALSE(bfs.regret_tracked);
+  EXPECT_EQ(bfs.policy_updates, 0u);
+}
+
+TEST(DriftRunTest, NewPolicyCrawlersRunUnderDrift) {
+  RunConfig config = quick_config();
+  config.budget = 2 * support::kMillisPerMinute;
+  config.drift = *DriftProfile::parse("moderate");
+  for (const auto kind :
+       {CrawlerKind::kMakRottingExp3, CrawlerKind::kMakDsee}) {
+    const auto result =
+        harness::run_once(info_of("AddressBook"), kind, config);
+    EXPECT_TRUE(result.regret_tracked) << to_string(kind);
+    EXPECT_GT(result.final_covered_lines, 0u) << to_string(kind);
+  }
+}
+
+// Every catalog policy has a crawler binding whose display name embeds the
+// policy; check_docs.sh check #4 keeps the docs in sync with the catalog,
+// this keeps the harness in sync.
+TEST(PolicyPanelTest, CatalogMatchesCrawlerBindings) {
+  for (const auto& info : rl::policy_catalog()) {
+    const auto kind = harness::crawler_for_policy(info.name);
+    ASSERT_TRUE(kind.has_value()) << info.name;
+  }
+  EXPECT_FALSE(harness::crawler_for_policy("nope").has_value());
+  EXPECT_FALSE(harness::crawler_for_policy("").has_value());
+}
+
+// ----------------------------------------- checkpoint/resume under drift
+
+TEST(DriftResumeTest, CrashMidDriftResumesBitIdentical) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "mak_drift_resume";
+  fs::remove_all(dir);
+
+  RunConfig config = quick_config(0xd21f);
+  config.drift = *DriftProfile::parse("heavy");
+  config.fault = httpsim::fault_profile_heavy();
+  config.checkpoint.dir = dir.string();
+  config.checkpoint.every_steps = 7;
+  config.checkpoint.interval = 0;
+
+  RunConfig crashing = config;
+  crashing.crash_at_step = 40;
+  EXPECT_THROW(harness::run_repeated(info_of("AddressBook"), CrawlerKind::kMak,
+                                     crashing, 2),
+               harness::InjectedCrash);
+  const auto resumed = harness::run_repeated(info_of("AddressBook"),
+                                             CrawlerKind::kMak, config, 2);
+
+  RunConfig plain = quick_config(0xd21f);
+  plain.drift = *DriftProfile::parse("heavy");
+  plain.fault = httpsim::fault_profile_heavy();
+  const auto reference = harness::run_repeated(info_of("AddressBook"),
+                                               CrawlerKind::kMak, plain, 2);
+  ASSERT_EQ(resumed.size(), reference.size());
+  for (std::size_t rep = 0; rep < reference.size(); ++rep) {
+    EXPECT_EQ(result_bytes(resumed[rep]), result_bytes(reference[rep]))
+        << "repetition " << rep << " diverged";
+  }
+}
+
+TEST(DriftResumeTest, NewPoliciesResumeBitIdentical) {
+  namespace fs = std::filesystem;
+  for (const auto kind :
+       {CrawlerKind::kMakRottingExp3, CrawlerKind::kMakDsee}) {
+    const fs::path dir = fs::temp_directory_path() /
+                         ("mak_policy_resume_" +
+                          std::string(to_string(kind)));
+    fs::remove_all(dir);
+
+    RunConfig config = quick_config(0x90d5);
+    config.budget = 2 * support::kMillisPerMinute;
+    config.drift = *DriftProfile::parse("moderate");
+    config.checkpoint.dir = dir.string();
+    config.checkpoint.every_steps = 5;
+    config.checkpoint.interval = 0;
+
+    RunConfig crashing = config;
+    crashing.crash_at_step = 23;
+    EXPECT_THROW(
+        harness::run_repeated(info_of("AddressBook"), kind, crashing, 1),
+        harness::InjectedCrash);
+    const auto resumed =
+        harness::run_repeated(info_of("AddressBook"), kind, config, 1);
+
+    RunConfig plain = quick_config(0x90d5);
+    plain.budget = 2 * support::kMillisPerMinute;
+    plain.drift = *DriftProfile::parse("moderate");
+    const auto reference =
+        harness::run_repeated(info_of("AddressBook"), kind, plain, 1);
+    ASSERT_EQ(resumed.size(), reference.size());
+    EXPECT_EQ(result_bytes(resumed[0]), result_bytes(reference[0]))
+        << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace mak

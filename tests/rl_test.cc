@@ -4,10 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include "rl/discounted_exp3.h"
+#include "rl/dsee.h"
 #include "rl/epsilon_greedy.h"
 #include "rl/exp3.h"
+#include "rl/policy_factory.h"
 #include "rl/qlearning.h"
+#include "rl/regret.h"
 #include "rl/reward.h"
+#include "support/json.h"
+#include "support/snapshot.h"
 #include "support/stats.h"
 
 namespace mak::rl {
@@ -396,6 +402,314 @@ TEST(CuriosityRewardTest, DecaysWithVisits) {
   EXPECT_EQ(curiosity.distinct_keys(), 2u);
   curiosity.reset();
   EXPECT_DOUBLE_EQ(curiosity.visit(7), 1.0);
+}
+
+// -------------------------------------------------------- DiscountedExp3
+
+TEST(DiscountedExp3Test, InitialPolicyIsUniform) {
+  DiscountedExp3 policy(4, 0.1, 0.99);
+  const auto probs = policy.probabilities();
+  ASSERT_EQ(probs.size(), 4u);
+  for (double p : probs) EXPECT_NEAR(p, 0.25, 1e-12);
+}
+
+TEST(DiscountedExp3Test, Validation) {
+  EXPECT_THROW(DiscountedExp3(0, 0.1, 0.99), std::invalid_argument);
+  EXPECT_THROW(DiscountedExp3(2, 0.0, 0.99), std::invalid_argument);
+  EXPECT_THROW(DiscountedExp3(2, 1.5, 0.99), std::invalid_argument);
+  EXPECT_THROW(DiscountedExp3(2, 0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW(DiscountedExp3(2, 0.1, 1.5), std::invalid_argument);
+  DiscountedExp3 policy(2, 0.1, 0.99);
+  EXPECT_THROW(policy.update(0, -0.1), std::invalid_argument);
+  EXPECT_THROW(policy.update(0, 1.1), std::invalid_argument);
+  EXPECT_THROW(policy.update(5, 0.5), std::out_of_range);
+}
+
+TEST(DiscountedExp3Test, ProbabilitiesSumToOneWithGammaFloor) {
+  DiscountedExp3 policy(3, 0.2, 0.95);
+  support::Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    policy.update(policy.choose(rng), rng.uniform01());
+    double sum = 0.0;
+    for (double p : policy.probabilities()) {
+      EXPECT_GE(p, 0.2 / 3 - 1e-12);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(DiscountedExp3Test, UndiscountedMatchesExp3Distribution) {
+  // With rho = 1 the discounted gain sum equals plain Exp3's accumulated
+  // exponent, so the sampling distributions must coincide step for step.
+  Exp3 reference(3, 0.1);
+  DiscountedExp3 policy(3, 0.1, 1.0);
+  support::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t arm = i % 3;
+    const double reward = rng.uniform01();
+    reference.update(arm, reward);
+    policy.update(arm, reward);
+    const auto expected = reference.probabilities();
+    const auto actual = policy.probabilities();
+    for (std::size_t a = 0; a < expected.size(); ++a) {
+      EXPECT_NEAR(actual[a], expected[a], 1e-9);
+    }
+  }
+}
+
+TEST(DiscountedExp3Test, DiscountForgetsStaleEvidence) {
+  // Arm 0 pays early, then goes silent while arm 1 pays. The discounted
+  // policy must hand the lead to arm 1; plain Exp3's product weights would
+  // take far longer to cross over.
+  DiscountedExp3 policy(2, 0.1, 0.9);
+  for (int i = 0; i < 50; ++i) policy.update(0, 1.0);
+  const double lead_before = policy.probabilities()[0];
+  EXPECT_GT(lead_before, 0.5);
+  for (int i = 0; i < 50; ++i) policy.update(1, 1.0);
+  EXPECT_GT(policy.probabilities()[1], policy.probabilities()[0]);
+  // The old evidence really decayed: arm 0's discounted gain is a shadow
+  // of the 50 importance-weighted wins it accumulated.
+  EXPECT_LT(policy.discounted_gains()[0], policy.discounted_gains()[1]);
+}
+
+TEST(DiscountedExp3Test, SnapshotRoundTripsByteIdentical) {
+  DiscountedExp3 original(3, 0.15, 0.97);
+  support::Rng rng(29);
+  for (int i = 0; i < 120; ++i) {
+    original.update(original.choose(rng), rng.uniform01());
+  }
+  DiscountedExp3 restored(3, 0.15, 0.97);
+  restored.load_state(original.save_state());
+  EXPECT_EQ(support::json::dump(original.save_state()),
+            support::json::dump(restored.save_state()));
+  // Post-restore trajectories agree.
+  support::Rng rng_a(7);
+  support::Rng rng_b(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(original.choose(rng_a), restored.choose(rng_b));
+  }
+}
+
+TEST(DiscountedExp3Test, SnapshotBindsHyperparameters) {
+  DiscountedExp3 original(3, 0.15, 0.97);
+  const auto state = original.save_state();
+  DiscountedExp3 wrong_gamma(3, 0.2, 0.97);
+  EXPECT_THROW(wrong_gamma.load_state(state), support::SnapshotError);
+  DiscountedExp3 wrong_discount(3, 0.15, 0.9);
+  EXPECT_THROW(wrong_discount.load_state(state), support::SnapshotError);
+  DiscountedExp3 wrong_arms(4, 0.15, 0.97);
+  EXPECT_THROW(wrong_arms.load_state(state), support::SnapshotError);
+}
+
+TEST(DiscountedExp3Test, ResetRestoresUniform) {
+  DiscountedExp3 policy(3, 0.1, 0.99);
+  for (int i = 0; i < 40; ++i) policy.update(0, 1.0);
+  policy.reset();
+  EXPECT_EQ(policy.steps(), 0u);
+  for (double p : policy.probabilities()) EXPECT_NEAR(p, 1.0 / 3, 1e-12);
+}
+
+// ------------------------------------------------------------------- DSEE
+
+TEST(DseeTest, Validation) {
+  EXPECT_THROW(Dsee(0, 8.0), std::invalid_argument);
+  EXPECT_THROW(Dsee(2, 0.0), std::invalid_argument);
+  EXPECT_THROW(Dsee(2, -1.0), std::invalid_argument);
+  Dsee policy(2, 8.0);
+  EXPECT_THROW(policy.update(0, -0.1), std::invalid_argument);
+  EXPECT_THROW(policy.update(0, 1.1), std::invalid_argument);
+  EXPECT_THROW(policy.update(5, 0.5), std::out_of_range);
+}
+
+TEST(DseeTest, ChooseNeverAdvancesRng) {
+  Dsee policy(3, 4.0);
+  support::Rng rng(13);
+  support::Rng untouched(13);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t arm = policy.choose(rng);
+    policy.update(arm, (arm == 1) ? 0.9 : 0.1);
+  }
+  // The whole trajectory consumed zero randomness.
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.next(), untouched.next());
+}
+
+TEST(DseeTest, ExplorationFillsLeastPulledArmFirst) {
+  Dsee policy(3, 8.0);
+  support::Rng rng(1);
+  // Round-robin start: each arm must reach the ceil(w ln t) target before
+  // exploitation kicks in, lowest index on ties.
+  EXPECT_EQ(policy.choose(rng), 0u);
+  policy.update(0, 0.0);
+  EXPECT_EQ(policy.choose(rng), 1u);
+  policy.update(1, 1.0);
+  EXPECT_EQ(policy.choose(rng), 2u);
+  policy.update(2, 0.0);
+  // All arms have one pull; target ceil(8 ln 4) > 1 keeps exploring.
+  EXPECT_GT(policy.exploration_target(), 1u);
+  EXPECT_EQ(policy.choose(rng), 0u);
+}
+
+TEST(DseeTest, ExploitsBestEmpiricalMeanOnceTargetMet) {
+  // Tiny exploration weight: after one pull each the target stays at 1 and
+  // the best empirical mean wins every round.
+  Dsee policy(3, 0.05);
+  support::Rng rng(1);
+  policy.update(0, 0.2);
+  policy.update(1, 0.9);
+  policy.update(2, 0.4);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(policy.choose(rng), 1u);
+    policy.update(1, 0.9);
+  }
+}
+
+TEST(DseeTest, ProbabilitiesAreDegenerateIndicator) {
+  Dsee policy(4, 8.0);
+  support::Rng rng(1);
+  const auto probs = policy.probabilities();
+  ASSERT_EQ(probs.size(), 4u);
+  double sum = 0.0;
+  for (double p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(probs[policy.choose(rng)], 1.0);
+}
+
+TEST(DseeTest, SnapshotRoundTripsByteIdentical) {
+  Dsee original(3, 6.0);
+  support::Rng rng(3);
+  for (int i = 0; i < 150; ++i) {
+    const std::size_t arm = original.choose(rng);
+    original.update(arm, (arm == 2) ? 0.8 : 0.3);
+  }
+  Dsee restored(3, 6.0);
+  restored.load_state(original.save_state());
+  EXPECT_EQ(support::json::dump(original.save_state()),
+            support::json::dump(restored.save_state()));
+  for (int i = 0; i < 50; ++i) {
+    const std::size_t a = original.choose(rng);
+    const std::size_t b = restored.choose(rng);
+    EXPECT_EQ(a, b);
+    original.update(a, 0.5);
+    restored.update(b, 0.5);
+  }
+}
+
+TEST(DseeTest, SnapshotBindsHyperparameters) {
+  Dsee original(3, 6.0);
+  const auto state = original.save_state();
+  Dsee wrong_weight(3, 7.0);
+  EXPECT_THROW(wrong_weight.load_state(state), support::SnapshotError);
+  Dsee wrong_arms(2, 6.0);
+  EXPECT_THROW(wrong_arms.load_state(state), support::SnapshotError);
+}
+
+// ------------------------------------------------------- RegretAccountant
+
+TEST(RegretAccountantTest, Validation) {
+  EXPECT_THROW(RegretAccountant(0), std::invalid_argument);
+  RegretAccountant accountant(2);
+  const std::vector<double> uniform{0.5, 0.5};
+  EXPECT_THROW(accountant.observe(5, 0.5, uniform), std::out_of_range);
+  EXPECT_THROW(accountant.observe(0, -0.1, uniform), std::invalid_argument);
+  EXPECT_THROW(accountant.observe(0, 1.1, uniform), std::invalid_argument);
+  EXPECT_THROW(accountant.observe(0, 0.5, {0.5, 0.25, 0.25}),
+               std::invalid_argument);
+}
+
+TEST(RegretAccountantTest, ImportanceWeightedGainEstimate) {
+  RegretAccountant accountant(2);
+  accountant.observe(0, 0.5, {0.25, 0.75});
+  // \hat{G}_0 = 0.5 / 0.25 = 2; realized gain is the raw reward.
+  EXPECT_NEAR(accountant.estimated_gains()[0], 2.0, 1e-12);
+  EXPECT_NEAR(accountant.realized_gain(), 0.5, 1e-12);
+  EXPECT_NEAR(accountant.best_arm_gain(), 2.0, 1e-12);
+  EXPECT_NEAR(accountant.weak_regret(), 1.5, 1e-12);
+  EXPECT_EQ(accountant.updates(), 1u);
+}
+
+TEST(RegretAccountantTest, CumulativeRegretNeverDecreases) {
+  RegretAccountant accountant(3);
+  support::Rng rng(17);
+  Exp31 policy(3);
+  double previous = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto probs = policy.probabilities();
+    const std::size_t arm = policy.choose(rng);
+    const double reward = (arm == 1) ? rng.uniform01() : 0.2 * rng.uniform01();
+    accountant.observe(arm, reward, probs);
+    policy.update(arm, reward);
+    EXPECT_GE(accountant.cumulative_regret(), previous);
+    EXPECT_GE(accountant.cumulative_regret(), accountant.weak_regret() - 1e-12);
+    previous = accountant.cumulative_regret();
+  }
+  EXPECT_EQ(accountant.updates(), 2000u);
+}
+
+TEST(RegretAccountantTest, SnapshotRoundTripsAndBindsArmCount) {
+  RegretAccountant original(2);
+  original.observe(0, 0.4, {0.5, 0.5});
+  original.observe(1, 0.9, {0.3, 0.7});
+  RegretAccountant restored(2);
+  restored.load_state(original.save_state());
+  EXPECT_EQ(support::json::dump(original.save_state()),
+            support::json::dump(restored.save_state()));
+  EXPECT_NEAR(restored.cumulative_regret(), original.cumulative_regret(),
+              1e-12);
+  RegretAccountant wrong_arms(3);
+  EXPECT_THROW(wrong_arms.load_state(original.save_state()),
+               support::SnapshotError);
+}
+
+TEST(RegretAccountantTest, ResetClearsEverything) {
+  RegretAccountant accountant(2);
+  accountant.observe(0, 1.0, {0.5, 0.5});
+  accountant.reset();
+  EXPECT_EQ(accountant.updates(), 0u);
+  EXPECT_DOUBLE_EQ(accountant.realized_gain(), 0.0);
+  EXPECT_DOUBLE_EQ(accountant.cumulative_regret(), 0.0);
+  EXPECT_DOUBLE_EQ(accountant.weak_regret(), 0.0);
+}
+
+// -------------------------------------------------------- policy factory
+
+TEST(PolicyFactoryTest, BuildsEveryCatalogEntry) {
+  for (const PolicyInfo& info : policy_catalog()) {
+    const auto policy = make_policy(info.name, 4);
+    ASSERT_NE(policy, nullptr) << info.name;
+    EXPECT_EQ(policy->arm_count(), 4u) << info.name;
+    const auto probs = policy->probabilities();
+    ASSERT_EQ(probs.size(), 4u) << info.name;
+    double sum = 0.0;
+    for (double p : probs) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << info.name;
+  }
+}
+
+TEST(PolicyFactoryTest, UnknownNameThrowsListingCatalog) {
+  try {
+    make_policy("nope", 4);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("nope"), std::string::npos);
+    for (const PolicyInfo& info : policy_catalog()) {
+      EXPECT_NE(message.find(std::string(info.name)), std::string::npos)
+          << info.name;
+    }
+  }
+}
+
+TEST(PolicyFactoryTest, CatalogNamesAreUniqueAndJoined) {
+  const std::string joined = policy_names_joined();
+  for (const PolicyInfo& info : policy_catalog()) {
+    EXPECT_NE(joined.find(std::string(info.name)), std::string::npos);
+    std::size_t occurrences = 0;
+    for (const PolicyInfo& other : policy_catalog()) {
+      if (other.name == info.name) ++occurrences;
+    }
+    EXPECT_EQ(occurrences, 1u) << info.name;
+  }
 }
 
 }  // namespace

@@ -10,6 +10,9 @@
 #   3. Every field of the generator's AppSpec (src/apps/generator/
 #      app_spec.h) is documented in docs/apps.md — the trait table must
 #      not drift from the struct.
+#   4. Every bandit policy registered in src/rl/policy_factory.cc
+#      (kPolicyCatalog) is documented in docs/policies.md — adding a
+#      policy without documenting it fails CI.
 #
 # Exit 0 when everything is consistent, 1 otherwise (each problem printed).
 set -u
@@ -89,6 +92,30 @@ fi
 for field in $spec_fields; do
   if ! grep -q "\`$field\`" "$apps_doc"; then
     fail "$apps_doc: AppSpec field '$field' (from $spec_header) undocumented"
+  fi
+done
+
+# --- 4. policy catalog <-> docs/policies.md ------------------------------
+
+factory_source=src/rl/policy_factory.cc
+policies_doc=docs/policies.md
+
+if [ ! -f "$factory_source" ] || [ ! -f "$policies_doc" ]; then
+  fail "missing $factory_source or $policies_doc"
+  exit 1
+fi
+
+# Registered policies: the first quoted string of each kPolicyCatalog
+# entry line ({"name", "summary"}).
+policy_names=$(sed -n '/kPolicyCatalog\[\]/,/^};/p' "$factory_source" |
+    sed -n 's/^ *{"\([^"]*\)".*/\1/p' | sort -u)
+
+if [ -z "$policy_names" ]; then
+  fail "$factory_source: could not extract any kPolicyCatalog entries"
+fi
+for name in $policy_names; do
+  if ! grep -q "\`$name\`" "$policies_doc"; then
+    fail "$policies_doc: policy '$name' (from $factory_source) undocumented"
   fi
 done
 

@@ -17,6 +17,7 @@
 #include "harness/json_report.h"
 #include "harness/orchestrator.h"
 #include "harness/report.h"
+#include "rl/policy_factory.h"
 #include "support/strings.h"
 
 namespace {
@@ -24,13 +25,17 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--app NAME] [--crawler NAME] [--minutes N] [--seed N]\n"
-      "          [--sample-seconds N] [--csv FILE] [--trace FILE] [--json FILE]\n"
-      "          [--fault PROFILE] [--checkpoint-dir DIR]\n"
+      "usage: %s [--app NAME] [--crawler NAME | --policy NAME] [--minutes N]\n"
+      "          [--seed N] [--sample-seconds N] [--csv FILE] [--trace FILE]\n"
+      "          [--json FILE] [--fault PROFILE] [--drift PROFILE]\n"
+      "          [--checkpoint-dir DIR]\n"
       "          [--checkpoint-seconds N] [--resume | --no-resume]\n"
       "          [--heartbeat-sec N] [--wall-limit-sec N] [--max-steps N]\n"
       "          [--replay-bundle DIR] [--list]\n"
       "defaults: --app AddressBook --crawler MAK --minutes 30 --seed 23501\n"
+      "policies: --policy runs the MAK variant with the named bandit policy\n"
+      "  (exp3.1, exp3, eps-greedy, ucb1, thompson, exp3-rotting, dsee; see\n"
+      "  docs/policies.md); equivalent to the matching --crawler name.\n"
       "checkpointing: with --checkpoint-dir the run writes periodic crash-safe\n"
       "  checkpoints (every N virtual seconds, default 120) and --resume\n"
       "  (default) continues an interrupted run from the newest valid one;\n"
@@ -45,7 +50,12 @@ void usage(const char* argv0) {
       "  key=value overrides (error=, drop=, spike=, spike_ms=MIN:MAX,\n"
       "  window_period_ms=, window_duration_ms=, window_offset_ms=,\n"
       "  window_error=, window_drop=, retries=, backoff_ms=, backoff_mult=,\n"
-      "  jitter=, timeout_ms=); also read from MAK_FAULT_PROFILE\n",
+      "  jitter=, timeout_ms=); also read from MAK_FAULT_PROFILE\n"
+      "drift profiles: off | light | moderate | heavy, optionally followed by\n"
+      "  key=value overrides (deploy_period_ms=, deploy_offset_ms=, reroute=,\n"
+      "  flip_period_ms=, flip=, churn_period_ms=, churn=, storm_period_ms=,\n"
+      "  storm_duration_ms=, storm_offset_ms=, storm_expire=); also read from\n"
+      "  MAK_DRIFT (see docs/fault_injection.md)\n",
       argv0);
 }
 
@@ -55,10 +65,12 @@ struct Options {
   long minutes = 30;
   long sample_seconds = 30;
   unsigned long long seed = 0x5bcd;
+  std::string policy;
   std::string csv_path;
   std::string trace_path;
   std::string json_path;
   std::string fault_spec;
+  std::string drift_spec;
   std::string checkpoint_dir;
   long checkpoint_seconds = 120;  // virtual-time cadence
   bool resume = true;
@@ -89,6 +101,10 @@ bool parse_args(int argc, char** argv, Options& options) {
       const char* value = next_value("--crawler");
       if (value == nullptr) return false;
       options.crawler = value;
+    } else if (arg == "--policy") {
+      const char* value = next_value("--policy");
+      if (value == nullptr) return false;
+      options.policy = value;
     } else if (arg == "--minutes") {
       const char* value = next_value("--minutes");
       if (value == nullptr) return false;
@@ -117,6 +133,10 @@ bool parse_args(int argc, char** argv, Options& options) {
       const char* value = next_value("--fault");
       if (value == nullptr) return false;
       options.fault_spec = value;
+    } else if (arg == "--drift") {
+      const char* value = next_value("--drift");
+      if (value == nullptr) return false;
+      options.drift_spec = value;
     } else if (arg == "--checkpoint-dir") {
       const char* value = next_value("--checkpoint-dir");
       if (value == nullptr) return false;
@@ -182,19 +202,12 @@ int main(int argc, char** argv) {
                   info.version.c_str(), to_string(info.platform).data());
     }
     std::printf("crawlers:\n");
-    for (const auto kind :
-         {harness::CrawlerKind::kMak, harness::CrawlerKind::kWebExplor,
-          harness::CrawlerKind::kQExplore, harness::CrawlerKind::kBfs,
-          harness::CrawlerKind::kDfs, harness::CrawlerKind::kRandom,
-          harness::CrawlerKind::kMakRawReward,
-          harness::CrawlerKind::kMakCuriosityReward,
-          harness::CrawlerKind::kMakFlatDeque,
-          harness::CrawlerKind::kMakExp3Fixed,
-          harness::CrawlerKind::kMakEpsilonGreedy,
-          harness::CrawlerKind::kMakUcb1,
-          harness::CrawlerKind::kMakDomNovelty,
-          harness::CrawlerKind::kMakThompson}) {
+    for (const auto kind : harness::all_crawler_kinds()) {
       std::printf("  %s\n", std::string(to_string(kind)).c_str());
+    }
+    std::printf("policies (--policy; docs/policies.md):\n");
+    for (const auto& info : rl::policy_catalog()) {
+      std::printf("  %-13s %s\n", info.name.data(), info.summary.data());
     }
     return 0;
   }
@@ -207,24 +220,26 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::optional<harness::CrawlerKind> kind;
-  for (const auto candidate :
-       {harness::CrawlerKind::kMak, harness::CrawlerKind::kWebExplor,
-        harness::CrawlerKind::kQExplore, harness::CrawlerKind::kBfs,
-        harness::CrawlerKind::kDfs, harness::CrawlerKind::kRandom,
-        harness::CrawlerKind::kMakRawReward,
-        harness::CrawlerKind::kMakCuriosityReward,
-        harness::CrawlerKind::kMakFlatDeque,
-        harness::CrawlerKind::kMakExp3Fixed,
-        harness::CrawlerKind::kMakEpsilonGreedy,
-        harness::CrawlerKind::kMakUcb1,
-        harness::CrawlerKind::kMakDomNovelty,
-        harness::CrawlerKind::kMakThompson}) {
-    if (options.crawler == std::string(to_string(candidate))) kind = candidate;
-  }
-  if (!kind.has_value()) {
-    std::fprintf(stderr, "unknown crawler '%s' (try --list)\n",
-                 options.crawler.c_str());
-    return 2;
+  if (!options.policy.empty()) {
+    kind = harness::crawler_for_policy(options.policy);
+    if (!kind.has_value()) {
+      std::fprintf(stderr, "unknown policy '%s' (valid: %s)\n",
+                   options.policy.c_str(),
+                   rl::policy_names_joined().c_str());
+      return 2;
+    }
+  } else {
+    kind = harness::crawler_kind_from_name(options.crawler);
+    if (!kind.has_value()) {
+      std::string names;
+      for (const auto candidate : harness::all_crawler_kinds()) {
+        if (!names.empty()) names += ", ";
+        names += std::string(to_string(candidate));
+      }
+      std::fprintf(stderr, "unknown crawler '%s' (valid: %s)\n",
+                   options.crawler.c_str(), names.c_str());
+      return 2;
+    }
   }
 
   harness::RunConfig config;
@@ -244,6 +259,21 @@ int main(int argc, char** argv) {
   } else if (const char* spec = std::getenv("MAK_FAULT_PROFILE");
              spec != nullptr && *spec != '\0') {
     std::fprintf(stderr, "warning: ignoring unparsable MAK_FAULT_PROFILE '%s'\n",
+                 spec);
+  }
+  if (!options.drift_spec.empty()) {
+    const auto drift = webapp::DriftProfile::parse(options.drift_spec);
+    if (!drift.has_value()) {
+      std::fprintf(stderr, "unparsable --drift spec '%s'\n",
+                   options.drift_spec.c_str());
+      return 2;
+    }
+    config.drift = *drift;
+  } else if (const auto drift = webapp::DriftProfile::from_env()) {
+    config.drift = *drift;
+  } else if (const char* spec = std::getenv("MAK_DRIFT");
+             spec != nullptr && *spec != '\0') {
+    std::fprintf(stderr, "warning: ignoring unparsable MAK_DRIFT '%s'\n",
                  spec);
   }
   if (!options.checkpoint_dir.empty()) {
@@ -295,6 +325,22 @@ int main(int argc, char** argv) {
         "timeouts, %lld ms backed off\n",
         result.retries, result.transport_failures, result.timeouts,
         static_cast<long long>(result.backoff_ms));
+  }
+  if (result.drift_active) {
+    std::printf("  drift profile:     %s\n", config.drift.describe().c_str());
+    std::printf(
+        "  drift effects:     %zu gone requests, %zu rewritten links, %zu "
+        "churned links, %zu expired sessions (%zu requests in storms)\n",
+        result.drift_gone_requests, result.drift_rewritten_links,
+        result.drift_churned_links, result.drift_expired_sessions,
+        result.drift_storm_requests);
+  }
+  if (result.regret_tracked) {
+    std::printf(
+        "  regret:            cumulative %.3f (weak %.3f; realized gain "
+        "%.3f, best-arm estimate %.3f over %zu updates)\n",
+        result.cumulative_regret, result.weak_regret, result.realized_gain,
+        result.best_arm_gain, result.policy_updates);
   }
 
   if (!options.csv_path.empty()) {
