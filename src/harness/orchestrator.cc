@@ -14,6 +14,7 @@
 
 #include "harness/checkpoint.h"
 #include "harness/json_report.h"
+#include "support/env.h"
 #include "support/fs.h"
 #include "support/log.h"
 #include "support/metric_names.h"
@@ -446,23 +447,22 @@ int worker_main(int argc, char** argv) {
 // ------------------------------------------------------------ parent side
 
 OrchestratorConfig orchestrator_from_env() {
-  const auto env_num = [](const char* name, long long fallback) {
-    const char* value = std::getenv(name);
-    if (value == nullptr || *value == '\0') return fallback;
-    const long long parsed = std::strtoll(value, nullptr, 10);
-    return parsed > 0 ? parsed : fallback;
-  };
+  // Validated parsing (support/env.h): a daemon-grade config surface must
+  // fail fast on a malformed knob instead of silently running defaults.
+  // Zero means "disabled" for the limit knobs, so their ranges start at 0.
+  namespace env = support::env;
   OrchestratorConfig orch;
-  orch.workers = static_cast<std::size_t>(env_num("MAK_WORKERS", 2));
-  orch.max_attempts =
-      static_cast<std::size_t>(env_num("MAK_ORCH_ATTEMPTS", 3));
-  orch.backoff_base_ms =
-      static_cast<long>(env_num("MAK_ORCH_BACKOFF_MS", 200));
+  orch.workers = env::require_count("MAK_WORKERS", 2, 4096);
+  orch.max_attempts = env::require_count("MAK_ORCH_ATTEMPTS", 3, 100);
+  orch.backoff_base_ms = static_cast<long>(
+      env::require_int("MAK_ORCH_BACKOFF_MS", 200, 0, 3600000));
   orch.limits.wall_timeout_ms =
-      static_cast<long>(env_num("MAK_ORCH_TIMEOUT_SEC", 0)) * 1000;
-  orch.limits.cpu_seconds = static_cast<long>(env_num("MAK_ORCH_CPU_SEC", 0));
-  orch.limits.address_space_mb =
-      static_cast<long>(env_num("MAK_ORCH_AS_MB", 0));
+      static_cast<long>(env::require_int("MAK_ORCH_TIMEOUT_SEC", 0, 0, 86400)) *
+      1000;
+  orch.limits.cpu_seconds =
+      static_cast<long>(env::require_int("MAK_ORCH_CPU_SEC", 0, 0, 86400));
+  orch.limits.address_space_mb = static_cast<long>(
+      env::require_int("MAK_ORCH_AS_MB", 0, 0, 1048576));
   if (const char* dir = std::getenv("MAK_ORCH_DIR");
       dir != nullptr && *dir != '\0') {
     orch.scratch_dir = dir;

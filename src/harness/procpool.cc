@@ -41,11 +41,15 @@ std::string_view to_string(FailureClass failure) {
       return "oom";
     case FailureClass::kTransient:
       return "transient";
+    case FailureClass::kCancelled:
+      return "cancelled";
   }
   return "?";
 }
 
-FailureClass classify_exit(int status, bool killed_by_deadline) {
+FailureClass classify_exit(int status, bool killed_by_deadline,
+                           bool killed_by_cancel) {
+  if (killed_by_cancel) return FailureClass::kCancelled;
   if (killed_by_deadline) return FailureClass::kTimeout;
   if (WIFSIGNALED(status)) {
     switch (WTERMSIG(status)) {
@@ -72,6 +76,7 @@ struct ProcPool::Worker {
   pid_t pid = -1;
   bool running = false;
   bool deadline_killed = false;
+  bool cancel_killed = false;
   bool has_deadline = false;
   Clock::time_point deadline;
 };
@@ -149,10 +154,29 @@ int ProcPool::spawn(const WorkerSpec& spec, const WorkerLimits& limits) {
   return static_cast<int>(workers_.size()) - 1;
 }
 
+bool ProcPool::cancel(int slot) {
+  if (slot < 0 || static_cast<std::size_t>(slot) >= workers_.size()) {
+    return false;
+  }
+  Worker& worker = workers_[static_cast<std::size_t>(slot)];
+  if (!worker.running || worker.cancel_killed) return false;
+  worker.cancel_killed = true;
+  ::kill(-worker.pid, SIGKILL);  // the whole process group
+  return true;
+}
+
+void ProcPool::drain() {
+  for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+    cancel(static_cast<int>(slot));
+  }
+}
+
 void ProcPool::kill_overdue() {
   const auto now = Clock::now();
   for (auto& worker : workers_) {
-    if (!worker.running || worker.deadline_killed) continue;
+    if (!worker.running || worker.deadline_killed || worker.cancel_killed) {
+      continue;
+    }
     if (worker.has_deadline && now >= worker.deadline) {
       worker.deadline_killed = true;
       ::kill(-worker.pid, SIGKILL);  // the whole process group
@@ -176,7 +200,8 @@ std::vector<ProcPool::Exit> ProcPool::poll(bool block) {
       --running_;
       Exit exit;
       exit.slot = static_cast<int>(slot);
-      exit.outcome.failure = classify_exit(status, worker.deadline_killed);
+      exit.outcome.failure = classify_exit(status, worker.deadline_killed,
+                                           worker.cancel_killed);
       exit.outcome.timed_out = worker.deadline_killed;
       if (WIFEXITED(status)) exit.outcome.exit_code = WEXITSTATUS(status);
       if (WIFSIGNALED(status)) exit.outcome.term_signal = WTERMSIG(status);

@@ -22,6 +22,9 @@ enum class FailureClass {
   kTimeout,    // parent wall deadline fired, or the kernel sent SIGXCPU
   kOom,        // SIGKILL (the Linux OOM killer's signature) or exit kExitOom
   kTransient,  // nonzero exit: I/O trouble, bad config, anything retryable
+  kCancelled,  // the pool itself requested the kill (cancel()/drain());
+               // deliberate shutdown must never masquerade as OOM and
+               // trigger spurious retries
 };
 std::string_view to_string(FailureClass failure);
 
@@ -57,8 +60,11 @@ struct WorkerOutcome {
 };
 
 // Map a waitpid status to a failure class. `killed_by_deadline` forces
-// kTimeout regardless of how the SIGKILL was reported.
-FailureClass classify_exit(int status, bool killed_by_deadline);
+// kTimeout regardless of how the SIGKILL was reported; `killed_by_cancel`
+// forces kCancelled the same way (and wins over the deadline, which cannot
+// have fired first — cancel marks the worker before the deadline scan runs).
+FailureClass classify_exit(int status, bool killed_by_deadline,
+                           bool killed_by_cancel = false);
 
 // Fork/exec pool. Not thread-safe: one owner drives spawn()/poll() from a
 // single thread (the orchestrator's scheduling loop).
@@ -78,6 +84,15 @@ class ProcPool {
   int spawn(const WorkerSpec& spec, const WorkerLimits& limits);
 
   std::size_t running() const noexcept { return running_; }
+
+  // Parent-initiated, deliberate termination of one worker (group SIGKILL).
+  // The next poll() reports the slot with FailureClass::kCancelled. Returns
+  // false when the slot is unknown or already exited.
+  bool cancel(int slot);
+
+  // Cancel every running worker (pool drain on shutdown). The workers are
+  // killed immediately; call poll() to reap them as kCancelled exits.
+  void drain();
 
   struct Exit {
     int slot = -1;

@@ -13,7 +13,9 @@ RunSupervisor::RunSupervisor(SupervisorConfig config)
   }
 }
 
-RunSupervisor::~RunSupervisor() {
+RunSupervisor::~RunSupervisor() { stop_watchdog(); }
+
+void RunSupervisor::stop_watchdog() {
   if (watchdog_.joinable()) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -21,6 +23,19 @@ RunSupervisor::~RunSupervisor() {
     }
     cv_.notify_all();
     watchdog_.join();
+  }
+}
+
+void RunSupervisor::rearm() {
+  stop_watchdog();
+  stalled_.store(false, std::memory_order_relaxed);
+  heartbeat();
+  if (config_.heartbeat_ms > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = false;
+    }
+    watchdog_ = std::thread([this] { watch(); });
   }
 }
 
@@ -47,7 +62,7 @@ void RunSupervisor::watch() {
     if (stop_) return;
     const long since_beat =
         elapsed_ms() - last_beat_ms_.load(std::memory_order_relaxed);
-    if (since_beat > config_.heartbeat_ms) {
+    if (stall_exceeded(since_beat, config_.heartbeat_ms)) {
       stalled_.store(true, std::memory_order_relaxed);
       stalls.add();
       MAK_LOG_WARN << "supervisor: no crawl-step progress in " << since_beat

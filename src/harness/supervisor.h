@@ -42,6 +42,12 @@ inline constexpr const char* kAbortStepLimit = "step_limit";
 // One supervisor per run, owned by the run loop's thread. heartbeat() and
 // should_abort() are called from the run thread; only the internal watchdog
 // thread reads the heartbeat concurrently.
+//
+// Long-lived services (src/serve) reuse one supervisor across many
+// scheduling quanta: after handling a flagged stall (cancelling the hung
+// worker), call rearm() to clear the stall and restart the watchdog —
+// without it the supervisor would report `stalled` forever, because the
+// watchdog thread exits after flagging once.
 class RunSupervisor {
  public:
   explicit RunSupervisor(SupervisorConfig config);
@@ -58,8 +64,26 @@ class RunSupervisor {
   // fires (each run aborts at most once).
   std::string should_abort(std::size_t steps);
 
+  // True once the watchdog has flagged a stall (and until rearm()).
+  bool stalled() const noexcept {
+    return stalled_.load(std::memory_order_relaxed);
+  }
+
+  // Clear a flagged stall and restart the watchdog thread, so a reused
+  // supervisor can detect the NEXT stall too. Records a fresh heartbeat
+  // (the caller just made progress by handling the stall). Safe to call
+  // when no stall was flagged; wall/step budgets are unaffected.
+  void rearm();
+
+  // The stall predicate, exposed for boundary tests: a gap of exactly
+  // heartbeat_ms is still on time — only strictly-greater gaps stall.
+  static bool stall_exceeded(long since_beat_ms, long heartbeat_ms) noexcept {
+    return since_beat_ms > heartbeat_ms;
+  }
+
  private:
   void watch();
+  void stop_watchdog();
   long elapsed_ms() const noexcept;
 
   SupervisorConfig config_;

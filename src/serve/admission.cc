@@ -1,0 +1,38 @@
+#include "serve/admission.h"
+
+#include "support/env.h"
+
+namespace mak::serve {
+
+std::string_view to_string(Reject reject) {
+  switch (reject) {
+    case Reject::kNone: return "none";
+    case Reject::kQueueFull: return "queue_full";
+    case Reject::kTenantSessions: return "tenant_sessions";
+    case Reject::kQuotaExhausted: return "quota_exhausted";
+    case Reject::kUnknownApp: return "unknown_app";
+    case Reject::kBadConfig: return "bad_config";
+    case Reject::kShuttingDown: return "shutting_down";
+  }
+  return "unknown";
+}
+
+ServerConfig server_from_env() {
+  namespace env = support::env;
+  ServerConfig config;
+  config.max_resident = env::require_count("MAK_SERVE_RESIDENT",
+                                           config.max_resident, 1 << 20);
+  config.max_queue =
+      env::require_count("MAK_SERVE_QUEUE", config.max_queue, 1 << 24);
+  config.batch_steps =
+      env::require_count("MAK_SERVE_BATCH", config.batch_steps, 1 << 20);
+  config.heartbeat_ms = static_cast<long>(env::require_int(
+      "MAK_SERVE_HEARTBEAT_MS", config.heartbeat_ms, 0, 3600000));
+  config.worker_wall_ms = env::require_int(
+      "MAK_SERVE_WORKER_WALL_MS", config.worker_wall_ms, 0, 86400000);
+  config.worker_attempts = env::require_count("MAK_SERVE_ATTEMPTS",
+                                              config.worker_attempts, 100);
+  return config;
+}
+
+}  // namespace mak::serve

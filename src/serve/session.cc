@@ -1,0 +1,214 @@
+#include "serve/session.h"
+
+#include <stdexcept>
+
+#include "rl/regret.h"
+#include "support/metric_names.h"
+#include "support/metrics.h"
+#include "support/rng.h"
+#include "support/snapshot.h"
+
+namespace mak::serve {
+
+namespace snapshot = mak::support::snapshot;
+
+namespace {
+constexpr std::string_view kSessionStateId = "serve.session";
+constexpr int kSessionStateVersion = 1;
+}  // namespace
+
+CrawlSession::CrawlSession(const apps::AppInfo& app_info,
+                           harness::CrawlerKind kind,
+                           const harness::RunConfig& config)
+    : info_(app_info), config_(config) {
+  if (config_.trace != nullptr) {
+    throw std::logic_error("CrawlSession: traces are not supported");
+  }
+  // Component and RNG-fork order replicate harness::run_once exactly —
+  // the equivalence is load-bearing (suspend/resume and process-tier
+  // re-execution must reproduce the uninterrupted run bit-for-bit) and
+  // pinned by tests/serve_test.cc.
+  app_ = info_.factory();
+  network_.emplace(clock_);
+  network_->register_host(app_->host(), *app_);
+
+  support::Rng master(config_.seed);
+  browser_.emplace(*network_, app_->seed_url(), master.fork(),
+                   config_.fill_strategy);
+  crawler_ = harness::make_crawler(kind, master.fork());
+
+  if (config_.fault.enabled()) {
+    injector_.emplace(config_.fault, master.fork().next(), clock_);
+    network_->set_fault_injector(&*injector_);
+  }
+  if (config_.fault.retry.active()) {
+    browser_->set_retry_policy(config_.fault.retry);
+  }
+  if (config_.drift.enabled()) {
+    drift_.emplace(config_.drift, master.fork().next(), clock_);
+    app_->set_drift_engine(&*drift_);
+  }
+}
+
+std::size_t CrawlSession::covered_lines() const {
+  return app_->tracker().covered_lines();
+}
+
+bool CrawlSession::snapshot_capable() const noexcept {
+  return crawler_->snapshotable() != nullptr;
+}
+
+void CrawlSession::record_due_samples() {
+  while (clock_.now() >= next_sample_) {
+    series_.record(next_sample_, covered_lines());
+    next_sample_ += config_.sample_interval;
+  }
+}
+
+std::size_t CrawlSession::step_batch(std::size_t max_steps) {
+  static support::Counter& steps_counter =
+      support::MetricsRegistry::global().counter(support::metric::kServeSteps);
+  if (finished_) return 0;
+  if (!started_) {
+    crawler_->start(*browser_);
+    started_ = true;
+  }
+  const support::Deadline deadline(clock_, config_.budget);
+  std::size_t ran = 0;
+  while (ran < max_steps && !deadline.expired()) {
+    record_due_samples();
+    clock_.advance(config_.think_time);
+    crawler_->step(*browser_);
+    ++step_index_;
+    ++ran;
+    if (config_.step_hook) config_.step_hook(step_index_);
+  }
+  steps_counter.add(ran);
+  if (deadline.expired()) {
+    finished_ = true;
+    series_.record(config_.budget, covered_lines());
+  }
+  return ran;
+}
+
+support::json::Value CrawlSession::save_state() const {
+  if (!snapshot_capable()) {
+    throw std::logic_error("CrawlSession: crawler cannot snapshot");
+  }
+  if (!started_ || finished_) {
+    throw std::logic_error("CrawlSession: no in-flight state to save");
+  }
+  auto state = snapshot::make_state(kSessionStateId, kSessionStateVersion);
+  state.emplace("clock_ms", static_cast<double>(clock_.now()));
+  state.emplace("next_sample", static_cast<double>(next_sample_));
+  state.emplace("step", static_cast<double>(step_index_));
+  support::json::Array series;
+  series.reserve(series_.points().size());
+  for (const auto& point : series_.points()) {
+    support::json::Array pair;
+    pair.emplace_back(static_cast<double>(point.time));
+    pair.emplace_back(static_cast<double>(point.covered_lines));
+    series.emplace_back(std::move(pair));
+  }
+  state.emplace("series", support::json::Value(std::move(series)));
+  state.emplace("app", app_->save_state());
+  state.emplace("browser", browser_->save_state());
+  state.emplace("crawler", crawler_->snapshotable()->save_state());
+  if (injector_.has_value()) {
+    state.emplace("injector", injector_->save_state());
+  }
+  if (drift_.has_value()) {
+    state.emplace("drift", drift_->save_state());
+  }
+  return support::json::Value(std::move(state));
+}
+
+void CrawlSession::load_state(const support::json::Value& state) {
+  if (!snapshot_capable()) {
+    throw std::logic_error("CrawlSession: crawler cannot snapshot");
+  }
+  snapshot::check_header(state, kSessionStateId, kSessionStateVersion);
+  clock_.restore(static_cast<support::VirtualMillis>(
+      snapshot::require_index(state, "clock_ms")));
+  next_sample_ = static_cast<support::VirtualMillis>(
+      snapshot::require_index(state, "next_sample"));
+  step_index_ =
+      static_cast<std::size_t>(snapshot::require_index(state, "step"));
+  series_ = coverage::CoverageSeries();
+  for (const auto& entry : snapshot::require_array(state, "series")) {
+    if (!entry.is_array() || entry.as_array().size() != 2 ||
+        !entry.as_array()[0].is_number() || !entry.as_array()[1].is_number()) {
+      throw support::SnapshotError("serve.session: malformed series point");
+    }
+    series_.record(
+        static_cast<support::VirtualMillis>(entry.as_array()[0].as_number()),
+        static_cast<std::size_t>(entry.as_array()[1].as_number()));
+  }
+  app_->load_state(snapshot::require(state, "app"));
+  browser_->load_state(snapshot::require(state, "browser"));
+  crawler_->snapshotable()->load_state(snapshot::require(state, "crawler"));
+  if (injector_.has_value()) {
+    injector_->load_state(snapshot::require(state, "injector"));
+  }
+  if (drift_.has_value()) {
+    drift_->load_state(snapshot::require(state, "drift"));
+  }
+  started_ = true;
+  finished_ = false;
+}
+
+harness::RunResult CrawlSession::result(const std::string& abort_reason) const {
+  harness::RunResult result;
+  result.app = info_.name;
+  result.crawler = std::string(crawler_->name());
+  result.platform = info_.platform;
+  result.total_lines = app_->code_model().total_lines();
+  result.series = series_;
+  if (!finished_) {
+    // Partial sample at the suspension/close instant — the budget-boundary
+    // sample of a completed run would misrepresent an unfinished one.
+    result.series.record(clock_.now(), covered_lines());
+    result.aborted = true;
+    result.abort_reason = abort_reason;
+  }
+  result.steps = step_index_;
+  result.final_covered_lines = covered_lines();
+  result.interactions = browser_->interactions();
+  result.navigations = browser_->navigations();
+  result.links_discovered = crawler_->links_discovered();
+  result.covered = app_->tracker().lines();
+  result.fault_active =
+      injector_.has_value() || config_.fault.retry.active();
+  result.retries = browser_->retries();
+  result.transport_failures = browser_->transport_failures();
+  result.timeouts = browser_->timeouts();
+  result.backoff_ms = browser_->backoff_ms();
+  if (injector_.has_value()) {
+    const auto& counters = injector_->counters();
+    result.injected_errors = counters.injected_errors;
+    result.injected_drops = counters.injected_drops;
+    result.latency_spikes = counters.latency_spikes;
+    result.degraded_requests = counters.window_requests;
+  }
+  if (drift_.has_value()) {
+    const auto& counters = drift_->counters();
+    result.drift_active = true;
+    result.drift_gone_requests = counters.gone_requests;
+    result.drift_rewritten_links = counters.rewritten_links;
+    result.drift_churned_links = counters.churned_links;
+    result.drift_expired_sessions = counters.expired_sessions;
+    result.drift_storm_requests = counters.storm_requests;
+  }
+  if (const rl::RegretAccountant* regret = crawler_->regret_accountant();
+      regret != nullptr) {
+    result.regret_tracked = true;
+    result.realized_gain = regret->realized_gain();
+    result.best_arm_gain = regret->best_arm_gain();
+    result.weak_regret = regret->weak_regret();
+    result.cumulative_regret = regret->cumulative_regret();
+    result.policy_updates = regret->updates();
+  }
+  return result;
+}
+
+}  // namespace mak::serve

@@ -1,0 +1,106 @@
+// One live crawl session with incremental, batched virtual-time stepping.
+//
+// harness::run_once drives a crawl from start to budget exhaustion in one
+// call; a session server needs to interleave thousands of crawls, so
+// CrawlSession exposes the same run as a steppable object: construct, call
+// step_batch() repeatedly (each call advances up to N crawl steps of virtual
+// time), and take the RunResult when the budget is exhausted. Stepping a
+// session to completion is bit-identical to run_once under the same config —
+// construction replicates run_once's component and RNG-fork order exactly,
+// and tests/serve_test.cc locks the equivalence in (including under fault
+// and drift profiles).
+//
+// Sessions whose crawler supports mid-run snapshots (Crawler::snapshotable)
+// can be suspended to a JSON state blob and resumed later — in the same
+// process (quota throttling, eviction under memory pressure) or in a fresh
+// one (the serve worker protocol, crash recovery). The state payload uses
+// the exact component codecs of the checkpoint layer, so suspend/resume is
+// byte-identical to running straight through.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "apps/catalog.h"
+#include "core/browser.h"
+#include "harness/experiment.h"
+#include "httpsim/fault.h"
+#include "httpsim/network.h"
+#include "support/clock.h"
+#include "support/json.h"
+#include "webapp/drift.h"
+
+namespace mak::serve {
+
+class CrawlSession {
+ public:
+  // Builds all run components (app instance, virtual clock, network,
+  // browser, crawler, optional fault injector and drift engine) in
+  // run_once's exact order. config.trace must be null: sessions do not
+  // record traces (the server's event log covers observability).
+  CrawlSession(const apps::AppInfo& app_info, harness::CrawlerKind kind,
+               const harness::RunConfig& config);
+
+  CrawlSession(const CrawlSession&) = delete;
+  CrawlSession& operator=(const CrawlSession&) = delete;
+
+  // Run up to `max_steps` crawl steps; stops early when the virtual budget
+  // expires. Returns the number of steps actually executed. Honors
+  // config.step_hook after every completed step (the serve worker's chaos
+  // kill rides on it, exactly like the orchestrator's).
+  std::size_t step_batch(std::size_t max_steps);
+
+  // True once the virtual budget is exhausted (no further steps will run).
+  bool finished() const noexcept { return finished_; }
+
+  // True after the first step_batch call (the crawler has loaded the seed
+  // page). A never-started session has no in-flight state to save.
+  bool started() const noexcept { return started_; }
+
+  std::size_t steps() const noexcept { return step_index_; }
+  support::VirtualMillis now() const noexcept { return clock_.now(); }
+  std::size_t covered_lines() const;
+  const harness::RunConfig& config() const noexcept { return config_; }
+
+  // True when the crawler supports mid-run state capture — the prerequisite
+  // for suspend-to-checkpoint and process-tier execution.
+  bool snapshot_capable() const noexcept;
+
+  // Full session state (standard {"id","v"} header, id "serve.session").
+  // Throws std::logic_error when !snapshot_capable().
+  support::json::Value save_state() const;
+
+  // Restore a freshly constructed session (same app/crawler/config) to a
+  // saved state. Throws support::SnapshotError on any mismatch.
+  void load_state(const support::json::Value& state);
+
+  // Final accounting. For a finished session this matches run_once's result
+  // bit-for-bit; for an unfinished one it carries partial coverage up to the
+  // current instant, marked aborted with `abort_reason` (empty = finished
+  // normally; the server passes the quota/close reason).
+  harness::RunResult result(const std::string& abort_reason = "") const;
+
+ private:
+  void record_due_samples();
+
+  apps::AppInfo info_;
+  harness::RunConfig config_;
+  std::unique_ptr<apps::SyntheticApp> app_;
+  support::SimClock clock_;
+  std::optional<httpsim::Network> network_;
+  std::optional<core::Browser> browser_;
+  std::unique_ptr<core::Crawler> crawler_;
+  std::optional<httpsim::FaultInjector> injector_;
+  std::optional<webapp::DriftEngine> drift_;
+
+  coverage::CoverageSeries series_;
+  support::VirtualMillis next_sample_ = 0;
+  std::size_t step_index_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+  bool final_sample_recorded_ = false;
+};
+
+}  // namespace mak::serve

@@ -1,0 +1,325 @@
+#include "serve/worker.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unistd.h>
+
+#include <new>
+#include <stdexcept>
+
+#include "harness/checkpoint.h"
+#include "harness/procpool.h"
+#include "serve/session.h"
+#include "support/fs.h"
+#include "support/snapshot.h"
+
+namespace mak::serve {
+
+namespace snapshot = mak::support::snapshot;
+namespace sfs = mak::support::fs;
+using support::json::Value;
+
+namespace {
+
+constexpr std::string_view kServeWorkerMagic = "mak-serve-worker";
+constexpr int kServeWorkerFormat = 1;
+
+std::string crc_hex(std::uint32_t crc) {
+  char buffer[9];
+  std::snprintf(buffer, sizeof(buffer), "%08x", crc);
+  return buffer;
+}
+
+}  // namespace
+
+std::vector<std::string> serve_worker_argv(const WorkerBatch& batch) {
+  std::vector<std::string> args;
+  args.emplace_back("--serve-worker");
+  const auto add = [&args](const char* key, std::string value) {
+    args.emplace_back(key);
+    args.push_back(std::move(value));
+  };
+  add("--app", batch.app);
+  add("--crawler", batch.crawler);
+  add("--session", snapshot::u64_to_hex(batch.session_id));
+  add("--base-step", std::to_string(batch.base_step));
+  add("--seed", snapshot::u64_to_hex(batch.config.seed));
+  add("--budget-ms", std::to_string(batch.config.budget));
+  add("--sample-ms", std::to_string(batch.config.sample_interval));
+  add("--think-ms", std::to_string(batch.config.think_time));
+  add("--fill",
+      std::to_string(static_cast<int>(batch.config.fill_strategy)));
+  const std::string fault = batch.config.fault.describe();
+  if (!fault.empty()) add("--fault", fault);
+  if (batch.config.drift.enabled()) {
+    add("--drift", batch.config.drift.describe());
+  }
+  if (!batch.state_path.empty()) add("--state-in", batch.state_path);
+  add("--steps", std::to_string(batch.steps));
+  add("--out", batch.out_path);
+  if (batch.kill_at_step > 0) {
+    add("--kill-at-step", std::to_string(batch.kill_at_step));
+  }
+  if (batch.hang_at_step > 0) {
+    add("--hang-at-step", std::to_string(batch.hang_at_step));
+  }
+  return args;
+}
+
+std::string encode_serve_outcome(const WorkerOutcome& outcome,
+                                 std::uint64_t session_id,
+                                 std::size_t base_step) {
+  support::json::Object inner;
+  inner.emplace("finished", outcome.finished);
+  inner.emplace("steps_run", static_cast<double>(outcome.steps_run));
+  if (outcome.finished) {
+    inner.emplace("result", harness::result_to_state(*outcome.result));
+  } else {
+    inner.emplace("state", *outcome.state);
+  }
+  const std::string payload = support::json::dump(Value(std::move(inner)));
+  support::json::Object outer;
+  outer.emplace("magic", std::string(kServeWorkerMagic));
+  outer.emplace("format", static_cast<double>(kServeWorkerFormat));
+  outer.emplace("session", snapshot::u64_to_hex(session_id));
+  outer.emplace("base_step", static_cast<double>(base_step));
+  outer.emplace("kind", std::string(outcome.finished ? "result" : "state"));
+  outer.emplace("crc32", crc_hex(snapshot::crc32(payload)));
+  outer.emplace("payload", payload);
+  return support::json::dump(Value(std::move(outer))) + "\n";
+}
+
+std::optional<WorkerOutcome> decode_serve_outcome(const std::string& path,
+                                                  std::uint64_t session_id,
+                                                  std::size_t base_step) {
+  const auto contents = sfs::default_fs().read_file(path);
+  if (!contents.has_value()) return std::nullopt;
+  try {
+    const auto outer = support::json::parse(*contents);
+    if (!outer.has_value() || !outer->is_object()) return std::nullopt;
+    if (snapshot::require_string(*outer, "magic") != kServeWorkerMagic ||
+        snapshot::require_int(*outer, "format") != kServeWorkerFormat ||
+        snapshot::require_string(*outer, "session") !=
+            snapshot::u64_to_hex(session_id) ||
+        snapshot::require_index(*outer, "base_step") != base_step) {
+      return std::nullopt;
+    }
+    const std::string& payload = snapshot::require_string(*outer, "payload");
+    if (snapshot::require_string(*outer, "crc32") !=
+        crc_hex(snapshot::crc32(payload))) {
+      return std::nullopt;
+    }
+    const auto inner = support::json::parse(payload);
+    if (!inner.has_value() || !inner->is_object()) return std::nullopt;
+    WorkerOutcome outcome;
+    outcome.steps_run = static_cast<std::size_t>(
+        snapshot::require_index(*inner, "steps_run"));
+    const std::string& kind = snapshot::require_string(*outer, "kind");
+    if (kind == "result") {
+      outcome.finished = true;
+      outcome.result =
+          harness::result_from_state(snapshot::require(*inner, "result"));
+    } else if (kind == "state") {
+      outcome.finished = false;
+      outcome.state = snapshot::require(*inner, "state");
+    } else {
+      return std::nullopt;
+    }
+    return outcome;
+  } catch (const support::SnapshotError&) {
+    return std::nullopt;
+  }
+}
+
+// ------------------------------------------------------------ child side
+
+bool is_serve_worker_invocation(int argc, char** argv) {
+  return argc >= 2 && std::strcmp(argv[1], "--serve-worker") == 0;
+}
+
+namespace {
+
+struct ServeWorkerArgs {
+  std::string app;
+  std::string crawler;
+  std::uint64_t session_id = 0;
+  std::size_t base_step = 0;
+  std::uint64_t seed = 0;
+  long budget_ms = 0;
+  long sample_ms = 0;
+  long think_ms = 0;
+  int fill = 0;
+  std::string fault_spec;
+  std::string drift_spec;
+  std::string state_in;
+  std::size_t steps = 0;
+  std::string out_path;
+  std::size_t kill_at_step = 0;
+  std::size_t hang_at_step = 0;
+};
+
+bool parse_serve_worker_args(int argc, char** argv, ServeWorkerArgs& args) {
+  // argv[1] is "--serve-worker"; everything after is key/value pairs.
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const char* value = argv[i + 1];
+    if (key == "--app") {
+      args.app = value;
+    } else if (key == "--crawler") {
+      args.crawler = value;
+    } else if (key == "--session") {
+      try {
+        args.session_id = snapshot::hex_to_u64(value);
+      } catch (const support::SnapshotError&) {
+        return false;
+      }
+    } else if (key == "--base-step") {
+      args.base_step =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (key == "--seed") {
+      try {
+        args.seed = snapshot::hex_to_u64(value);
+      } catch (const support::SnapshotError&) {
+        return false;
+      }
+    } else if (key == "--budget-ms") {
+      args.budget_ms = std::strtol(value, nullptr, 10);
+    } else if (key == "--sample-ms") {
+      args.sample_ms = std::strtol(value, nullptr, 10);
+    } else if (key == "--think-ms") {
+      args.think_ms = std::strtol(value, nullptr, 10);
+    } else if (key == "--fill") {
+      args.fill = static_cast<int>(std::strtol(value, nullptr, 10));
+    } else if (key == "--fault") {
+      args.fault_spec = value;
+    } else if (key == "--drift") {
+      args.drift_spec = value;
+    } else if (key == "--state-in") {
+      args.state_in = value;
+    } else if (key == "--steps") {
+      args.steps = static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (key == "--out") {
+      args.out_path = value;
+    } else if (key == "--kill-at-step") {
+      args.kill_at_step =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (key == "--hang-at-step") {
+      args.hang_at_step =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "serve-worker: unknown argument %s\n", key.c_str());
+      return false;
+    }
+  }
+  return !args.app.empty() && !args.crawler.empty() &&
+         !args.out_path.empty() && args.budget_ms > 0 && args.steps > 0;
+}
+
+int serve_worker_run(int argc, char** argv) {
+  ServeWorkerArgs args;
+  if (!parse_serve_worker_args(argc, argv, args)) {
+    std::fprintf(stderr, "serve-worker: bad invocation\n");
+    return harness::kExitTransient;
+  }
+  const auto info = apps::resolve_app(args.app);
+  const auto kind = harness::crawler_kind_from_name(args.crawler);
+  if (!info.has_value() || !kind.has_value()) {
+    std::fprintf(stderr, "serve-worker: unknown app or crawler\n");
+    return harness::kExitTransient;
+  }
+  harness::RunConfig config;
+  config.seed = args.seed;
+  config.budget = static_cast<support::VirtualMillis>(args.budget_ms);
+  if (args.sample_ms > 0) {
+    config.sample_interval = static_cast<support::VirtualMillis>(args.sample_ms);
+  }
+  if (args.think_ms > 0) {
+    config.think_time = static_cast<support::VirtualMillis>(args.think_ms);
+  }
+  config.fill_strategy = static_cast<core::FormFillStrategy>(args.fill);
+  if (!args.fault_spec.empty()) {
+    const auto fault = httpsim::FaultProfile::parse(args.fault_spec);
+    if (!fault.has_value()) {
+      std::fprintf(stderr, "serve-worker: unparsable fault spec\n");
+      return harness::kExitTransient;
+    }
+    config.fault = *fault;
+  }
+  if (!args.drift_spec.empty()) {
+    const auto drift = webapp::DriftProfile::parse(args.drift_spec);
+    if (!drift.has_value()) {
+      std::fprintf(stderr, "serve-worker: unparsable drift spec\n");
+      return harness::kExitTransient;
+    }
+    config.drift = *drift;
+  }
+  if (args.kill_at_step > 0) {
+    // Chaos hook: die the way an external `kill -9` (or the OOM killer)
+    // would — no cleanup, no envelope.
+    const std::size_t kill_at = args.kill_at_step;
+    config.step_hook = [kill_at](std::size_t step) {
+      if (step == kill_at) ::kill(::getpid(), SIGKILL);
+    };
+  } else if (args.hang_at_step > 0) {
+    // Chaos hook: wedge forever — exercises the parent's stall/deadline
+    // recovery (cancel → kCancelled, session survives on last good state).
+    const std::size_t hang_at = args.hang_at_step;
+    config.step_hook = [hang_at](std::size_t step) {
+      if (step == hang_at) {
+        for (;;) ::pause();
+      }
+    };
+  }
+
+  CrawlSession session(*info, *kind, config);
+  if (!args.state_in.empty()) {
+    const auto contents = sfs::default_fs().read_file(args.state_in);
+    if (!contents.has_value()) {
+      std::fprintf(stderr, "serve-worker: cannot read state %s\n",
+                   args.state_in.c_str());
+      return harness::kExitTransient;
+    }
+    const auto state = support::json::parse(*contents);
+    if (!state.has_value()) {
+      std::fprintf(stderr, "serve-worker: corrupt state %s\n",
+                   args.state_in.c_str());
+      return harness::kExitTransient;
+    }
+    session.load_state(*state);
+  }
+
+  WorkerOutcome outcome;
+  outcome.steps_run = session.step_batch(args.steps);
+  outcome.finished = session.finished();
+  if (outcome.finished) {
+    outcome.result = session.result();
+  } else {
+    outcome.state = session.save_state();
+  }
+  if (!sfs::write_file_atomic_verified(
+          sfs::default_fs(), args.out_path,
+          encode_serve_outcome(outcome, args.session_id, args.base_step))) {
+    std::fprintf(stderr, "serve-worker: cannot write result file %s\n",
+                 args.out_path.c_str());
+    return harness::kExitTransient;
+  }
+  return harness::kExitOk;
+}
+
+}  // namespace
+
+int serve_worker_main(int argc, char** argv) {
+  try {
+    return serve_worker_run(argc, argv);
+  } catch (const std::bad_alloc&) {
+    // RLIMIT_AS surfaces as bad_alloc; report it as the OOM it is.
+    return harness::kExitOom;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "serve-worker: %s\n", error.what());
+    return harness::kExitTransient;
+  }
+}
+
+}  // namespace mak::serve

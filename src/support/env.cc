@@ -1,0 +1,56 @@
+#include "support/env.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mak::support::env {
+
+namespace {
+
+std::string* failure_sink = nullptr;
+
+[[noreturn]] void fail(const std::string& message) {
+  if (failure_sink != nullptr) {
+    *failure_sink = message;
+    throw std::invalid_argument(message);
+  }
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+std::string* set_failure_sink(std::string* sink) noexcept {
+  std::string* previous = failure_sink;
+  failure_sink = sink;
+  return previous;
+}
+
+long long require_int(const char* name, long long fallback, long long min,
+                      long long max) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  const std::string range = "[" + std::to_string(min) + ", " +
+                            std::to_string(max) + "]";
+  if (end == value || *end != '\0') {
+    fail(std::string(name) + "=" + value +
+         ": not an integer; expected a value in " + range);
+  }
+  if (parsed < min || parsed > max) {
+    fail(std::string(name) + "=" + value + ": out of range; expected " +
+         range);
+  }
+  return parsed;
+}
+
+std::size_t require_count(const char* name, std::size_t fallback,
+                          std::size_t max) {
+  return static_cast<std::size_t>(
+      require_int(name, static_cast<long long>(fallback), 1,
+                  static_cast<long long>(max)));
+}
+
+}  // namespace mak::support::env

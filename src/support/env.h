@@ -1,0 +1,37 @@
+// Validated environment-variable parsing for long-lived services.
+//
+// The batch CLIs historically treated a malformed env knob as "use the
+// default", which is survivable for a one-shot experiment but poisonous for
+// a daemon: a typo like MAK_ORCH_BACKOFF_MS=-5 silently runs with the
+// default and the operator only finds out under load. Configuration
+// surfaces that keep a process alive (orchestrator, session server) parse
+// through these helpers instead: an unparsable or out-of-range value fails
+// fast at startup with a message naming the variable, the offending value
+// and the accepted range.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mak::support::env {
+
+// Parse `name` as a decimal integer in [min, max]. Unset or empty returns
+// `fallback` (which need not lie inside the range — 0 frequently means
+// "disabled"). A set-but-unparsable value, trailing garbage ("5x"), or a
+// value outside [min, max] prints one diagnostic line to stderr naming the
+// valid range and exits the process with status 2 — misconfiguration must
+// never be silently corrected.
+long long require_int(const char* name, long long fallback, long long min,
+                      long long max);
+
+// Same contract for a required-positive count (convenience for the common
+// [1, max] case).
+std::size_t require_count(const char* name, std::size_t fallback,
+                          std::size_t max);
+
+// Test seam: when non-null, require_int reports the diagnostic by assigning
+// *message and throwing std::invalid_argument instead of exiting, so death
+// semantics stay unit-testable without forking. Returns the previous sink.
+std::string* set_failure_sink(std::string* sink) noexcept;
+
+}  // namespace mak::support::env

@@ -142,4 +142,42 @@ inline constexpr std::string_view kOrchestratorFailedRepetitions =
 inline constexpr std::string_view kOrchestratorFailureBundles =
     "orchestrator.failure_bundles";
 
+// --- serve: multi-tenant session server (docs/robustness.md) ------------
+inline constexpr std::string_view kServeSessionsOpened =
+    "serve.sessions.opened";
+inline constexpr std::string_view kServeSessionsClosed =
+    "serve.sessions.closed";
+inline constexpr std::string_view kServeSessionsFinished =
+    "serve.sessions.finished";
+inline constexpr std::string_view kServeSessionsResident =
+    "serve.sessions.resident";
+inline constexpr std::string_view kServeSessionsSuspended =
+    "serve.sessions.suspended";
+inline constexpr std::string_view kServeSessionsResumed =
+    "serve.sessions.resumed";
+inline constexpr std::string_view kServeSessionsEvicted =
+    "serve.sessions.evicted";
+inline constexpr std::string_view kServeAdmissionRejections =
+    "serve.admission.rejections";
+inline constexpr std::string_view kServeAdmissionQueueDepth =
+    "serve.admission.queue_depth";
+inline constexpr std::string_view kServeSteps = "serve.steps";
+inline constexpr std::string_view kServeTicks = "serve.ticks";
+inline constexpr std::string_view kServeStallRecoveries =
+    "serve.stall_recoveries";
+inline constexpr std::string_view kServeWorkerDispatches =
+    "serve.worker.dispatches";
+inline constexpr std::string_view kServeWorkerFailures =
+    "serve.worker.failures";
+inline constexpr std::string_view kServeWorkerRetries = "serve.worker.retries";
+inline constexpr std::string_view kServeWorkerCancelled =
+    "serve.worker.cancelled";
+
+// --- serve: per-tenant resource quotas ----------------------------------
+inline constexpr std::string_view kQuotaDeprioritized = "quota.deprioritized";
+inline constexpr std::string_view kQuotaSuspensions = "quota.suspensions";
+inline constexpr std::string_view kQuotaRejections = "quota.rejections";
+inline constexpr std::string_view kQuotaCheckpointBytes =
+    "quota.checkpoint_bytes";
+
 }  // namespace mak::support::metric

@@ -13,6 +13,9 @@
 #   4. Every bandit policy registered in src/rl/policy_factory.cc
 #      (kPolicyCatalog) is documented in docs/policies.md — adding a
 #      policy without documenting it fails CI.
+#   5. Every admission rejection reason in src/serve/admission.cc
+#      (to_string(Reject)) is documented in docs/robustness.md — a new
+#      shed signal must land with its docs row.
 #
 # Exit 0 when everything is consistent, 1 otherwise (each problem printed).
 set -u
@@ -116,6 +119,30 @@ fi
 for name in $policy_names; do
   if ! grep -q "\`$name\`" "$policies_doc"; then
     fail "$policies_doc: policy '$name' (from $factory_source) undocumented"
+  fi
+done
+
+# --- 5. admission rejects <-> docs/robustness.md -------------------------
+
+admission_source=src/serve/admission.cc
+robustness_doc=docs/robustness.md
+
+if [ ! -f "$admission_source" ] || [ ! -f "$robustness_doc" ]; then
+  fail "missing $admission_source or $robustness_doc"
+  exit 1
+fi
+
+# Rejection reasons: the string each to_string(Reject) case returns,
+# minus "none" (the admitted case, not a shed signal).
+reject_names=$(sed -n 's/.*case Reject::k[A-Za-z]*: return "\([a-z_]*\)".*/\1/p' \
+    "$admission_source" | grep -vx none | sort -u)
+
+if [ -z "$reject_names" ]; then
+  fail "$admission_source: could not extract any Reject reasons"
+fi
+for name in $reject_names; do
+  if ! grep -q "\`$name\`" "$robustness_doc"; then
+    fail "$robustness_doc: reject reason '$name' (from $admission_source) undocumented"
   fi
 done
 
